@@ -1,0 +1,148 @@
+//! Bump allocators for memory planning.
+//!
+//! Scratch-pad memories force the program to manage placement explicitly
+//! (paper, Section III-A). Kernel builders plan their buffer layouts with
+//! these arenas; exceeding a capacity is a lowering-time error, mirroring
+//! how AKG rejects schedules whose tiles do not fit.
+
+use core::fmt;
+
+/// Alignment for all allocations: one fractal row (32 bytes) keeps every
+/// region aligned for f16, f32 and fractal accesses.
+pub const ALLOC_ALIGN: usize = 32;
+
+/// Error: a Unified-Buffer plan exceeded capacity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UbOverflow {
+    /// Bytes requested by the failing allocation.
+    pub requested: usize,
+    /// Bytes already allocated.
+    pub used: usize,
+    /// The buffer capacity.
+    pub capacity: usize,
+}
+
+impl fmt::Display for UbOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "UB plan overflow: requested {} with {} of {} bytes used",
+            self.requested, self.used, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for UbOverflow {}
+
+/// Bump allocator over a fixed-capacity scratchpad (UB, L1, ...).
+#[derive(Clone, Debug)]
+pub struct UbArena {
+    next: usize,
+    capacity: usize,
+}
+
+impl UbArena {
+    /// An arena over `capacity` bytes.
+    pub fn new(capacity: usize) -> UbArena {
+        UbArena { next: 0, capacity }
+    }
+
+    /// Allocate `bytes` bytes, aligned to [`ALLOC_ALIGN`]. Returns the
+    /// byte offset.
+    pub fn alloc(&mut self, bytes: usize) -> Result<usize, UbOverflow> {
+        let start = self.next.next_multiple_of(ALLOC_ALIGN);
+        let end = start.checked_add(bytes).ok_or(UbOverflow {
+            requested: bytes,
+            used: self.next,
+            capacity: self.capacity,
+        })?;
+        if end > self.capacity {
+            return Err(UbOverflow {
+                requested: bytes,
+                used: self.next,
+                capacity: self.capacity,
+            });
+        }
+        self.next = end;
+        Ok(start)
+    }
+
+    /// Bytes allocated so far (including alignment gaps).
+    pub fn used(&self) -> usize {
+        self.next
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.next
+    }
+}
+
+/// Bump allocator over global memory — unbounded, used to lay out the
+/// tensors of a workload before building its programs.
+#[derive(Clone, Debug, Default)]
+pub struct GmArena {
+    next: usize,
+}
+
+impl GmArena {
+    /// A fresh, empty arena.
+    pub fn new() -> GmArena {
+        GmArena::default()
+    }
+
+    /// Allocate `bytes` bytes, aligned; returns the byte offset.
+    pub fn alloc(&mut self, bytes: usize) -> usize {
+        let start = self.next.next_multiple_of(ALLOC_ALIGN);
+        self.next = start + bytes;
+        start
+    }
+
+    /// Total bytes the global-memory image needs.
+    pub fn size(&self) -> usize {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ub_arena_allocates_aligned() {
+        let mut a = UbArena::new(1024);
+        let x = a.alloc(10).unwrap();
+        let y = a.alloc(10).unwrap();
+        assert_eq!(x, 0);
+        assert_eq!(y, 32, "second allocation aligned past the first");
+        assert_eq!(a.used(), 42);
+    }
+
+    #[test]
+    fn ub_arena_overflow_detected() {
+        let mut a = UbArena::new(64);
+        assert!(a.alloc(64).is_ok());
+        let err = a.alloc(1).unwrap_err();
+        assert_eq!(err.capacity, 64);
+        assert_eq!(err.requested, 1);
+    }
+
+    #[test]
+    fn ub_arena_exact_fit() {
+        let mut a = UbArena::new(64);
+        assert_eq!(a.alloc(32).unwrap(), 0);
+        assert_eq!(a.alloc(32).unwrap(), 32);
+        assert_eq!(a.remaining(), 0);
+        assert!(a.alloc(1).is_err());
+    }
+
+    #[test]
+    fn gm_arena_grows() {
+        let mut g = GmArena::new();
+        let a = g.alloc(100);
+        let b = g.alloc(100);
+        assert_eq!(a, 0);
+        assert_eq!(b, 128);
+        assert_eq!(g.size(), 228);
+    }
+}

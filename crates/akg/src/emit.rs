@@ -1,0 +1,250 @@
+//! Vectorisation helpers — AKG's automatic behaviours, reproduced.
+//!
+//! "Two \[primitives\] are handled automatically by AKG: vectorization and
+//! parallelization. First, the inner loops of computations are vectorized
+//! (minimally on the C0 dimension) … When possible, the vector
+//! instructions are also issued with repeat factors." (paper, Section
+//! IV-A). [`elementwise`] is that codegen rule for dense regions: full
+//! 128-lane mask, hardware repeat chunked at the 255 limit, and a
+//! mask-limited tail instruction for the remainder.
+
+use dv_fp16::F16;
+use dv_isa::{
+    Addr, DataMove, Instr, IsaError, Mask, Program, VectorInstr, VectorOp, MAX_REPEAT,
+    VECTOR_BYTES, VECTOR_LANES,
+};
+
+/// Emit a dense elementwise operation over `elems` consecutive f16
+/// elements: `dst[i] = op(src0[i], src1[i])`. All three regions advance
+/// together. Saturates the mask and uses repeats; the non-multiple-of-128
+/// tail gets its own mask-limited instruction.
+pub fn elementwise(
+    p: &mut Program,
+    op: VectorOp,
+    dst: Addr,
+    src0: Addr,
+    src1: Addr,
+    elems: usize,
+) -> Result<(), IsaError> {
+    let full_blocks = elems / VECTOR_LANES;
+    let tail = elems % VECTOR_LANES;
+    let mut done = 0usize;
+    while done < full_blocks {
+        let rep = (full_blocks - done).min(MAX_REPEAT as usize);
+        let off = done * VECTOR_BYTES;
+        p.push(Instr::Vector(VectorInstr::unit_stride(
+            op,
+            dst.add(off),
+            src0.add(off),
+            src1.add(off),
+            Mask::FULL,
+            rep as u16,
+        )))?;
+        done += rep;
+    }
+    if tail > 0 {
+        let off = full_blocks * VECTOR_BYTES;
+        p.push(Instr::Vector(VectorInstr::unit_stride(
+            op,
+            dst.add(off),
+            src0.add(off),
+            src1.add(off),
+            Mask::first_n(tail),
+            1,
+        )))?;
+    }
+    Ok(())
+}
+
+/// Fill `elems` consecutive f16 elements with `value` (`vector_dup`) —
+/// output-tile initialisation ("the output tile is initialized with the
+/// minimum value of the data type", Section V-A) and zeroing Col2Im
+/// targets (Section III-D).
+pub fn fill_region(p: &mut Program, dst: Addr, value: F16, elems: usize) -> Result<(), IsaError> {
+    elementwise(p, VectorOp::Dup(value), dst, dst, dst, elems)
+}
+
+/// Zero `elems` consecutive f16 elements.
+pub fn zero_region(p: &mut Program, dst: Addr, elems: usize) -> Result<(), IsaError> {
+    fill_region(p, dst, F16::ZERO, elems)
+}
+
+/// Emit an MTE move of `bytes` bytes.
+pub fn dma(p: &mut Program, src: Addr, dst: Addr, bytes: usize) -> Result<(), IsaError> {
+    p.push(Instr::Move(DataMove::new(src, dst, bytes)))
+}
+
+/// Emit a strided accumulation family: one instruction per outer index,
+/// each accumulating `repeat` strided source blocks into a fixed
+/// destination — the baseline pooling pattern ("each vmax uses repetition
+/// to obtain the maximum value across the width of a patch Kw"). The
+/// destination does not advance across repeats (stride 0); the source
+/// advances by `src1_stride` bytes.
+#[allow(clippy::too_many_arguments)]
+pub fn strided_accumulate(
+    p: &mut Program,
+    op: VectorOp,
+    dst: Addr,
+    src1: Addr,
+    mask: Mask,
+    repeat: u16,
+    src1_stride: usize,
+) -> Result<(), IsaError> {
+    p.push(Instr::Vector(VectorInstr {
+        op,
+        dst,
+        src0: dst,
+        src1,
+        mask,
+        repeat,
+        dst_stride: 0,
+        src0_stride: 0,
+        src1_stride,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_isa::{BufferId, Instr};
+
+    fn count_vec(p: &Program) -> usize {
+        p.instrs()
+            .iter()
+            .filter(|i| matches!(i, Instr::Vector(_)))
+            .count()
+    }
+
+    #[test]
+    fn elementwise_exact_multiple_single_instr() {
+        let mut p = Program::new();
+        elementwise(
+            &mut p,
+            VectorOp::Add,
+            Addr::ub(0),
+            Addr::ub(1024),
+            Addr::ub(2048),
+            128 * 10,
+        )
+        .unwrap();
+        assert_eq!(count_vec(&p), 1);
+        if let Instr::Vector(v) = &p.instrs()[0] {
+            assert_eq!(v.repeat, 10);
+            assert!(v.mask.is_full());
+        } else {
+            panic!("expected vector instr");
+        }
+    }
+
+    #[test]
+    fn elementwise_chunks_at_255_repeats() {
+        let mut p = Program::new();
+        elementwise(
+            &mut p,
+            VectorOp::Max,
+            Addr::ub(0),
+            Addr::ub(0),
+            Addr::ub(0),
+            128 * 600,
+        )
+        .unwrap();
+        // 600 blocks -> 255 + 255 + 90
+        assert_eq!(count_vec(&p), 3);
+        let reps: Vec<u16> = p
+            .instrs()
+            .iter()
+            .map(|i| match i {
+                Instr::Vector(v) => v.repeat,
+                _ => 0,
+            })
+            .collect();
+        assert_eq!(reps, vec![255, 255, 90]);
+    }
+
+    #[test]
+    fn elementwise_tail_is_masked() {
+        let mut p = Program::new();
+        elementwise(
+            &mut p,
+            VectorOp::Mul,
+            Addr::ub(0),
+            Addr::ub(0),
+            Addr::ub(0),
+            128 + 40,
+        )
+        .unwrap();
+        assert_eq!(count_vec(&p), 2);
+        if let Instr::Vector(v) = &p.instrs()[1] {
+            assert_eq!(v.mask.count(), 40);
+            assert_eq!(v.repeat, 1);
+            // tail starts after the full block
+            assert_eq!(v.dst.offset, 256);
+        } else {
+            panic!("expected vector instr");
+        }
+    }
+
+    #[test]
+    fn elementwise_small_region_only_tail() {
+        let mut p = Program::new();
+        elementwise(
+            &mut p,
+            VectorOp::Add,
+            Addr::ub(0),
+            Addr::ub(256),
+            Addr::ub(512),
+            16,
+        )
+        .unwrap();
+        assert_eq!(count_vec(&p), 1);
+        if let Instr::Vector(v) = &p.instrs()[0] {
+            assert_eq!(v.mask.count(), 16);
+        }
+    }
+
+    #[test]
+    fn elementwise_zero_elems_is_noop() {
+        let mut p = Program::new();
+        elementwise(&mut p, VectorOp::Add, Addr::ub(0), Addr::ub(0), Addr::ub(0), 0).unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn fill_and_zero_emit_dup() {
+        let mut p = Program::new();
+        fill_region(&mut p, Addr::ub(0), F16::NEG_INFINITY, 128).unwrap();
+        zero_region(&mut p, Addr::ub(256), 128).unwrap();
+        assert_eq!(p.issue_count("vector_dup"), 2);
+    }
+
+    #[test]
+    fn dma_validates_path() {
+        let mut p = Program::new();
+        assert!(dma(&mut p, Addr::gm(0), Addr::l1(0), 64).is_ok());
+        assert!(dma(&mut p, Addr::gm(0), Addr::new(BufferId::L0A, 0), 64).is_err());
+    }
+
+    #[test]
+    fn strided_accumulate_shape() {
+        let mut p = Program::new();
+        strided_accumulate(
+            &mut p,
+            VectorOp::Max,
+            Addr::ub(0),
+            Addr::ub(1024),
+            Mask::C0_ONLY,
+            3,
+            32,
+        )
+        .unwrap();
+        if let Instr::Vector(v) = &p.instrs()[0] {
+            assert_eq!(v.dst_stride, 0);
+            assert_eq!(v.src0_stride, 0);
+            assert_eq!(v.src1_stride, 32);
+            assert_eq!(v.src0, v.dst, "accumulates in place");
+            assert_eq!(v.repeat, 3);
+        } else {
+            panic!();
+        }
+    }
+}

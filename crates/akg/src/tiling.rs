@@ -1,0 +1,202 @@
+//! Row-band tiling against scratchpad capacities.
+//!
+//! "Using TVM's schedule, this computation is divided in the C1 dimension
+//! so that a tile of size (Ih, Iw, C0) is computed at a time … unless
+//! further tiling is needed" (paper, Section V-A). Further tiling, when a
+//! plane exceeds the Unified Buffer, happens over output rows here. The
+//! *tiling threshold* — "the maximum size before tiling is required" —
+//! bounds the x-axis of Fig. 8.
+
+use core::fmt;
+use dv_tensor::PoolParams;
+
+/// Tiling failure: even a single output row exceeds the capacity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TilingError {
+    /// Footprint in bytes of the smallest possible band.
+    pub min_footprint: usize,
+    /// The capacity it must fit into.
+    pub capacity: usize,
+}
+
+impl fmt::Display for TilingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot tile: one output row needs {} bytes but capacity is {}",
+            self.min_footprint, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for TilingError {}
+
+/// One band of output rows and the input rows it consumes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Band {
+    /// First output row (inclusive).
+    pub oh0: usize,
+    /// Last output row (exclusive).
+    pub oh1: usize,
+    /// First input row the band reads.
+    pub ih0: usize,
+    /// Number of input rows the band reads.
+    pub ih_len: usize,
+}
+
+impl Band {
+    /// Output rows in the band.
+    pub fn oh_len(&self) -> usize {
+        self.oh1 - self.oh0
+    }
+}
+
+/// Input rows consumed by `boh` output rows: `(boh - 1) * Sh + Kh`.
+pub fn band_input_rows(params: &PoolParams, boh: usize) -> usize {
+    (boh - 1) * params.sh + params.kh
+}
+
+/// Largest band height (in output rows) whose footprint fits `capacity`.
+/// `footprint(boh)` must be monotonically non-decreasing. Returns an error
+/// if even one row does not fit.
+pub fn max_row_band(
+    oh: usize,
+    capacity: usize,
+    footprint: impl Fn(usize) -> usize,
+) -> Result<usize, TilingError> {
+    if footprint(1) > capacity {
+        return Err(TilingError {
+            min_footprint: footprint(1),
+            capacity,
+        });
+    }
+    // Binary search the largest feasible band.
+    let (mut lo, mut hi) = (1usize, oh);
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if footprint(mid) <= capacity {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    Ok(lo)
+}
+
+/// Split `oh` output rows into bands of at most `boh` rows, computing each
+/// band's input-row window for the given pooling geometry. Vertical
+/// padding is only supported when no splitting happens (one band);
+/// multi-band lowering with `Pt`/`Pb` padding would need per-band
+/// geometries and is rejected by the kernel builders upstream.
+pub fn row_bands(params: &PoolParams, oh: usize, boh: usize) -> Vec<Band> {
+    assert!(boh >= 1);
+    let mut bands = Vec::with_capacity(oh.div_ceil(boh));
+    let mut oh0 = 0;
+    while oh0 < oh {
+        let oh1 = (oh0 + boh).min(oh);
+        let ih0 = oh0 * params.sh;
+        let ih_len = band_input_rows(params, oh1 - oh0);
+        bands.push(Band {
+            oh0,
+            oh1,
+            ih0,
+            ih_len,
+        });
+        oh0 = oh1;
+    }
+    bands
+}
+
+/// The largest square input extent `H = W` for which `footprint(hw)` fits
+/// `capacity` — the Fig. 8 "tiling threshold". `footprint` must be
+/// monotone in `hw`. Probes up to `max_hw`.
+pub fn tiling_threshold(
+    capacity: usize,
+    max_hw: usize,
+    footprint: impl Fn(usize) -> usize,
+) -> usize {
+    let (mut lo, mut hi) = (0usize, max_hw);
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if footprint(mid) <= capacity {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K3S2: PoolParams = PoolParams::K3S2;
+
+    #[test]
+    fn band_input_rows_formula() {
+        assert_eq!(band_input_rows(&K3S2, 1), 3);
+        assert_eq!(band_input_rows(&K3S2, 2), 5);
+        assert_eq!(band_input_rows(&K3S2, 10), 21);
+        let s1 = PoolParams::new((3, 3), (1, 1));
+        assert_eq!(band_input_rows(&s1, 5), 7);
+    }
+
+    #[test]
+    fn max_row_band_monotone_search() {
+        // footprint = 100 bytes per output row
+        let b = max_row_band(50, 1000, |boh| boh * 100).unwrap();
+        assert_eq!(b, 10);
+        // plenty of capacity: whole extent
+        let b = max_row_band(50, 1_000_000, |boh| boh * 100).unwrap();
+        assert_eq!(b, 50);
+    }
+
+    #[test]
+    fn max_row_band_single_row_too_big() {
+        let err = max_row_band(50, 10, |boh| boh * 100).unwrap_err();
+        assert_eq!(err.min_footprint, 100);
+        assert_eq!(err.capacity, 10);
+    }
+
+    #[test]
+    fn row_bands_cover_exactly() {
+        let bands = row_bands(&K3S2, 73, 10);
+        assert_eq!(bands.len(), 8);
+        assert_eq!(bands[0], Band { oh0: 0, oh1: 10, ih0: 0, ih_len: 21 });
+        assert_eq!(bands[7].oh0, 70);
+        assert_eq!(bands[7].oh1, 73);
+        assert_eq!(bands[7].ih0, 140);
+        assert_eq!(bands[7].ih_len, 7); // 2*2 + 3
+        // coverage: no gaps, no overlaps in output rows
+        for w in bands.windows(2) {
+            assert_eq!(w[0].oh1, w[1].oh0);
+        }
+        // last band's input rows end exactly at the input extent
+        assert_eq!(bands[7].ih0 + bands[7].ih_len, 147);
+    }
+
+    #[test]
+    fn row_bands_single_band() {
+        let bands = row_bands(&K3S2, 17, 17);
+        assert_eq!(bands.len(), 1);
+        assert_eq!(bands[0].ih_len, 35);
+    }
+
+    #[test]
+    fn bands_overlap_in_input_when_stride_lt_kernel() {
+        let bands = row_bands(&K3S2, 4, 2);
+        // band 0 reads rows [0, 5), band 1 reads [4, 9): one-row halo
+        assert_eq!(bands[0].ih0 + bands[0].ih_len, 5);
+        assert_eq!(bands[1].ih0, 4);
+    }
+
+    #[test]
+    fn threshold_binary_search() {
+        // footprint = hw^2 bytes, capacity 10_000 -> threshold 100
+        assert_eq!(tiling_threshold(10_000, 1024, |hw| hw * hw), 100);
+        assert_eq!(tiling_threshold(9_999, 1024, |hw| hw * hw), 99);
+        // capacity smaller than any size -> 0
+        assert_eq!(tiling_threshold(0, 1024, |hw| hw * hw + 1), 0);
+    }
+}

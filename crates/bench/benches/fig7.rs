@@ -1,0 +1,77 @@
+//! Criterion wall-time benches of the Fig. 7 workloads — how fast the
+//! *simulator* executes each lowering (the simulated cycle counts
+//! themselves come from `repro`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dv_bench::inputs::{feature_map, gradients};
+use dv_core::{fig7_workloads, ForwardImpl, MergeImpl, PoolingEngine};
+use dv_tensor::reference;
+
+fn bench_fig7(c: &mut Criterion) {
+    let eng = PoolingEngine::ascend910();
+    // The smallest Fig. 7 configuration keeps bench time reasonable; the
+    // repro binary covers all three.
+    let w = fig7_workloads()[2]; // 35x35x288
+    let input = feature_map(1, w.c, w.h, w.w, 1);
+
+    let mut g = c.benchmark_group("fig7a_forward");
+    for impl_ in [ForwardImpl::Standard, ForwardImpl::Im2col] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{impl_:?}")),
+            &impl_,
+            |b, impl_| {
+                b.iter(|| {
+                    eng.maxpool_forward(&input, w.params, *impl_)
+                        .expect("forward")
+                        .1
+                        .cycles
+                })
+            },
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig7b_forward_argmax");
+    for impl_ in [ForwardImpl::Standard, ForwardImpl::Im2col] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{impl_:?}")),
+            &impl_,
+            |b, impl_| {
+                b.iter(|| {
+                    eng.maxpool_forward_with_argmax(&input, w.params, *impl_)
+                        .expect("forward+argmax")
+                        .2
+                        .cycles
+                })
+            },
+        );
+    }
+    g.finish();
+
+    let mask = reference::maxpool_argmax_mask(&input, &w.params).expect("mask");
+    let (oh, ow) = w.out_dims();
+    let grads = gradients(1, input.c1, oh, ow, 2);
+    let mut g = c.benchmark_group("fig7c_backward");
+    for merge in [MergeImpl::VAdd, MergeImpl::Col2Im] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{merge:?}")),
+            &merge,
+            |b, merge| {
+                b.iter(|| {
+                    eng.maxpool_backward(&mask, &grads, w.params, w.h, w.w, *merge)
+                        .expect("backward")
+                        .1
+                        .cycles
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig7
+}
+criterion_main!(benches);

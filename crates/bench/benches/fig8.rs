@@ -1,0 +1,44 @@
+//! Criterion wall-time benches of the Fig. 8 stride study (one AI core,
+//! all four implementations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dv_bench::inputs::plane;
+use dv_core::{ForwardImpl, PoolingEngine};
+use dv_sim::{Chip, CostModel};
+use dv_tensor::PoolParams;
+
+fn bench_fig8(c: &mut Criterion) {
+    let eng = PoolingEngine::new(Chip::new(1, CostModel::ascend910_like()));
+    let hw = 40;
+    let input = plane(1, hw, hw, 3);
+
+    for stride in [1usize, 2, 3] {
+        let params = PoolParams::new((3, 3), (stride, stride));
+        let mut g = c.benchmark_group(format!("fig8_stride{stride}"));
+        for impl_ in ForwardImpl::ALL {
+            if stride != 2 && impl_ == ForwardImpl::XYSplit {
+                continue; // the paper shows the X-Y split only at (2,2)
+            }
+            g.bench_with_input(
+                BenchmarkId::from_parameter(format!("{impl_:?}")),
+                &impl_,
+                |b, impl_| {
+                    b.iter(|| {
+                        eng.maxpool_forward(&input, params, *impl_)
+                            .expect("forward")
+                            .1
+                            .cycles
+                    })
+                },
+            );
+        }
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig8
+}
+criterion_main!(benches);

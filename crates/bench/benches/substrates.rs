@@ -1,0 +1,142 @@
+//! Microbenches of the substrates: the f16 soft-float, the reference
+//! im2col/col2im transforms, a raw simulated Im2Col/Col2Im instruction,
+//! and the Cube-Unit convolution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dv_fp16::F16;
+use dv_sim::{AiCore, CostModel};
+use dv_tensor::{im2col_fractal, reference, Nchw, PoolParams};
+
+fn bench_fp16(c: &mut Criterion) {
+    let xs: Vec<f32> = (0..4096).map(|i| (i as f32).sin() * 100.0).collect();
+    c.bench_function("fp16/convert_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &x in &xs {
+                acc = acc.wrapping_add(F16::from_f32(x).to_bits() as u32);
+            }
+            acc
+        })
+    });
+    let hs: Vec<F16> = xs.iter().map(|&x| F16::from_f32(x)).collect();
+    c.bench_function("fp16/max_reduce_4096", |b| {
+        b.iter(|| hs.iter().fold(F16::NEG_INFINITY, |a, &x| a.max(x)))
+    });
+}
+
+fn bench_reference_transforms(c: &mut Criterion) {
+    let params = PoolParams::K3S2;
+    let input = Nchw::from_fn(1, 16, 64, 64, |_, ci, h, w| {
+        F16::from_f32(((ci + h * 3 + w * 7) % 29) as f32)
+    })
+    .to_nc1hwc0();
+    c.bench_function("reference/im2col_64x64", |b| {
+        b.iter(|| im2col_fractal(&input, &params).unwrap().len())
+    });
+    let patches = im2col_fractal(&input, &params).unwrap();
+    c.bench_function("reference/col2im_64x64", |b| {
+        b.iter(|| dv_tensor::col2im_fractal(&patches, &params, 64, 64).unwrap().len())
+    });
+    c.bench_function("reference/maxpool_64x64", |b| {
+        b.iter(|| reference::maxpool_forward(&input, &params).unwrap().len())
+    });
+}
+
+fn bench_simulated_instructions(c: &mut Criterion) {
+    use dv_isa::{Addr, Im2Col, Im2ColGeometry, Instr, Program, RepeatMode};
+    let params = PoolParams::K3S2;
+    let geom = Im2ColGeometry::new(34, 34, 1, params).unwrap();
+    let bf = geom.fractals_per_plane().min(255);
+    let mut program = Program::new();
+    program
+        .push(Instr::Im2Col(Im2Col {
+            geom,
+            src: Addr::l1(0),
+            dst: Addr::ub(0),
+            first_patch: 0,
+            k_off: (1, 1),
+            c1: 0,
+            repeat: bf as u16,
+            mode: RepeatMode::Mode1,
+        }))
+        .unwrap();
+    c.bench_function("sim/im2col_instruction_34x34", |b| {
+        b.iter_batched(
+            || AiCore::new(CostModel::ascend910_like(), 0),
+            |mut core| {
+                core.run(&program).unwrap();
+                core.counters().cycles
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let params = PoolParams::new((3, 3), (1, 1));
+    let input = Nchw::from_fn(1, 16, 16, 16, |_, ci, h, w| {
+        F16::from_f32(((ci + h + w) % 7) as f32 * 0.5)
+    });
+    let kernels = Nchw::from_fn(16, 16, 3, 3, |m, ci, h, w| {
+        F16::from_f32(((m + ci + h + w) % 5) as f32 * 0.25)
+    });
+    c.bench_function("conv/cube_16ch_16x16", |b| {
+        b.iter(|| dv_conv::run_conv2d(&input, &kernels, &params).unwrap().1.cycles)
+    });
+    c.bench_function("conv/reference_16ch_16x16", |b| {
+        b.iter(|| reference::conv2d_direct(&input, &kernels, &params).unwrap().len())
+    });
+}
+
+fn bench_nn_model(c: &mut Criterion) {
+    use dv_core::{ForwardImpl, PoolingEngine};
+    use dv_nn::{Layer, Sequential};
+    let conv_w = Nchw::from_fn(16, 16, 3, 3, |m, ci, h, w| {
+        F16::from_f32(((m + ci + h + w) % 5) as f32 * 0.125 - 0.25)
+    });
+    let input = Nchw::from_fn(1, 16, 24, 24, |_, ci, h, w| {
+        F16::from_f32(((ci * 3 + h + w) % 9) as f32 * 0.5 - 2.0)
+    });
+    let mut g = c.benchmark_group("nn_model");
+    for (name, impl_) in [("standard", ForwardImpl::Standard), ("im2col", ForwardImpl::Im2col)] {
+        let model = Sequential::new(PoolingEngine::ascend910())
+            .layer(Layer::conv2d(conv_w.clone(), (1, 1)))
+            .layer(Layer::Relu)
+            .layer(Layer::maxpool2d(PoolParams::K3S2, impl_))
+            .layer(Layer::GlobalAvgPool);
+        g.bench_function(name, |b| {
+            b.iter(|| model.forward(&input).unwrap().1.total_cycles())
+        });
+    }
+    g.finish();
+}
+
+fn bench_program_encoding(c: &mut Criterion) {
+    use dv_core::maxpool::{build_forward, Reduction};
+    use dv_core::{ForwardImpl, PoolProblem};
+    use dv_sim::Capacities;
+    let prob = PoolProblem::new(1, 1, 64, 64, PoolParams::K3S2).unwrap();
+    let programs = build_forward(
+        &prob,
+        ForwardImpl::Im2col,
+        Reduction::Max,
+        0,
+        prob.in_bytes(),
+        Capacities::ASCEND910,
+    )
+    .unwrap();
+    let program = &programs[0];
+    let bytes = program.to_bytes();
+    c.bench_function("isa/encode_im2col_program", |b| b.iter(|| program.to_bytes().len()));
+    c.bench_function("isa/decode_im2col_program", |b| {
+        b.iter(|| dv_isa::Program::from_bytes(&bytes).unwrap().len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fp16, bench_reference_transforms, bench_simulated_instructions, bench_conv,
+              bench_nn_model, bench_program_encoding
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion wall-time benches over the Table I CNN workloads (one
+//! representative layer per network to bound bench time; `repro --
+//! table1` measures all thirteen).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dv_bench::inputs::feature_map;
+use dv_core::{table1_workloads, ForwardImpl, PoolingEngine};
+
+fn bench_table1(c: &mut Criterion) {
+    let eng = PoolingEngine::ascend910();
+    let picks = ["InceptionV3", "Xception", "Resnet50", "VGG16"];
+    let mut g = c.benchmark_group("table1");
+    for cnn in picks {
+        // the last (smallest) listed layer of each network
+        let w = table1_workloads()
+            .into_iter().rfind(|w| w.cnn == cnn)
+            .expect("workload");
+        let input = feature_map(1, w.c, w.h, w.w, 4);
+        for impl_ in [ForwardImpl::Standard, ForwardImpl::Im2col] {
+            g.bench_with_input(
+                BenchmarkId::new(cnn, format!("{impl_:?}")),
+                &impl_,
+                |b, impl_| {
+                    b.iter(|| {
+                        eng.maxpool_forward(&input, w.params, *impl_)
+                            .expect("forward")
+                            .1
+                            .cycles
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1
+}
+criterion_main!(benches);

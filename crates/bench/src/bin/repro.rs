@@ -1,0 +1,91 @@
+//! `repro` — regenerate the paper's tables and figures on the simulator.
+//!
+//! ```sh
+//! cargo run --release -p dv-bench --bin repro -- all
+//! cargo run --release -p dv-bench --bin repro -- fig7a fig8b
+//! ```
+//!
+//! Each experiment prints a paper-style table and writes
+//! `results/<name>.csv`.
+
+use dv_bench::experiments;
+use dv_bench::Table;
+use std::path::PathBuf;
+
+fn results_dir() -> PathBuf {
+    // Prefer the workspace root (where Cargo.toml with [workspace] lives).
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return dir.join("results");
+        }
+        if !dir.pop() {
+            return PathBuf::from("results");
+        }
+    }
+}
+
+fn run_one(name: &str) -> Option<(String, Table)> {
+    let table = match name {
+        "fig7a" => experiments::fig7a(),
+        "fig7b" => experiments::fig7b(),
+        "fig7c" => experiments::fig7c(),
+        "fig8a" => experiments::fig8(1),
+        "fig8b" => experiments::fig8(2),
+        "fig8c" => experiments::fig8(3),
+        "table1" => experiments::table1(),
+        "ablate" => experiments::ablate(),
+        "avgpool" => experiments::avgpool(),
+        "conv" => experiments::conv_substrate(),
+        "scaling" => experiments::scaling(),
+        "dgrad" => experiments::dgrad(),
+        "cubeavg" => experiments::cubeavg(),
+        "breakdown" => experiments::breakdown(),
+        "kernels" => experiments::kernels(),
+        "fusion" => experiments::fusion(),
+        "threshold" => experiments::threshold(),
+        _ => return None,
+    };
+    Some((name.to_string(), table))
+}
+
+const ALL: [&str; 17] = [
+    "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "table1", "ablate", "avgpool", "conv",
+    "scaling", "dgrad", "cubeavg", "breakdown", "kernels", "fusion", "threshold",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ALL.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+
+    let dir = results_dir();
+    let mut unknown = Vec::new();
+    for name in wanted {
+        match run_one(name) {
+            Some((name, table)) => {
+                println!("{}", table.render());
+                if name.starts_with("fig8") {
+                    println!("{}", dv_bench::plot::plot_table(&table, "H=W", "cycles"));
+                }
+                if let Err(e) = table.write_csv(&dir, &name) {
+                    eprintln!("warning: could not write {name}.csv: {e}");
+                } else {
+                    println!("   -> {}\n", dir.join(format!("{name}.csv")).display());
+                }
+            }
+            None => unknown.push(name),
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown experiment(s): {} — available: {}",
+            unknown.join(", "),
+            ALL.join(", ")
+        );
+        std::process::exit(2);
+    }
+}

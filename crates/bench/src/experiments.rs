@@ -1,0 +1,658 @@
+//! The experiments of the paper's evaluation, regenerated.
+
+use crate::inputs::{feature_map, gradients};
+use crate::report::Table;
+use dv_core::{
+    fig7_workloads, table1_workloads, tiling_threshold, ForwardImpl, MergeImpl, PoolingEngine,
+};
+use dv_sim::{Chip, CostModel};
+use dv_tensor::reference;
+use dv_tensor::{Nchw, PoolParams};
+
+/// The chip configuration of the paper's evaluation: "All the experiments
+/// were run on an Ascend 910 chip, which contains 32 AI Cores."
+fn chip32() -> PoolingEngine {
+    PoolingEngine::ascend910()
+}
+
+/// The single-core chip of the stride study: "dimensions N and C1 are set
+/// to 1 so that only one AI Core is utilized."
+fn chip1(cost: CostModel) -> PoolingEngine {
+    PoolingEngine::new(Chip::new(1, cost))
+}
+
+fn speedup(base: u64, acc: u64) -> String {
+    format!("{:.2}x", base as f64 / acc as f64)
+}
+
+/// Fig. 7a — MaxPool forward, standard vs Im2col, on the three bold
+/// InceptionV3 configurations of Table I.
+pub fn fig7a() -> Table {
+    let eng = chip32();
+    let mut t = Table::new(
+        "Fig. 7a — MaxPool forward (cycles, 32 AI cores)",
+        &["input (HWC)", "Maxpool", "Maxpool with Im2col", "speedup"],
+    );
+    for w in fig7_workloads() {
+        let input = feature_map(1, w.c, w.h, w.w, 71);
+        let (out_std, std) = eng
+            .maxpool_forward(&input, w.params, ForwardImpl::Standard)
+            .expect("standard");
+        let (out_acc, acc) = eng
+            .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("im2col");
+        assert_eq!(out_std.data(), out_acc.data(), "implementations disagree");
+        t.push_row(vec![
+            format!("{},{},{}", w.h, w.w, w.c),
+            std.cycles.to_string(),
+            acc.cycles.to_string(),
+            speedup(std.cycles, acc.cycles),
+        ]);
+    }
+    t
+}
+
+/// Fig. 7b — MaxPool forward *with the argmax mask*.
+pub fn fig7b() -> Table {
+    let eng = chip32();
+    let mut t = Table::new(
+        "Fig. 7b — MaxPool forward + argmax mask (cycles, 32 AI cores)",
+        &["input (HWC)", "Maxpool", "Maxpool with Im2col", "speedup"],
+    );
+    for w in fig7_workloads() {
+        let input = feature_map(1, w.c, w.h, w.w, 72);
+        let (o_s, m_s, std) = eng
+            .maxpool_forward_with_argmax(&input, w.params, ForwardImpl::Standard)
+            .expect("standard");
+        let (o_a, m_a, acc) = eng
+            .maxpool_forward_with_argmax(&input, w.params, ForwardImpl::Im2col)
+            .expect("im2col");
+        assert_eq!(o_s.data(), o_a.data());
+        assert_eq!(m_s.data(), m_a.data());
+        t.push_row(vec![
+            format!("{},{},{}", w.h, w.w, w.c),
+            std.cycles.to_string(),
+            acc.cycles.to_string(),
+            speedup(std.cycles, acc.cycles),
+        ]);
+    }
+    t
+}
+
+/// Fig. 7c — MaxPool backward, vadd merge vs Col2Im merge.
+pub fn fig7c() -> Table {
+    let eng = chip32();
+    let mut t = Table::new(
+        "Fig. 7c — MaxPool backward (cycles, 32 AI cores)",
+        &["input (HWC)", "Maxpool backward", "with Col2im", "speedup"],
+    );
+    for w in fig7_workloads() {
+        let input = feature_map(1, w.c, w.h, w.w, 73);
+        let mask = reference::maxpool_argmax_mask(&input, &w.params).expect("mask");
+        let (oh, ow) = w.out_dims();
+        let grads = gradients(1, input.c1, oh, ow, 74);
+        let (dx_s, std) = eng
+            .maxpool_backward(&mask, &grads, w.params, w.h, w.w, MergeImpl::VAdd)
+            .expect("vadd merge");
+        let (dx_a, acc) = eng
+            .maxpool_backward(&mask, &grads, w.params, w.h, w.w, MergeImpl::Col2Im)
+            .expect("col2im merge");
+        assert_eq!(dx_s.data(), dx_a.data(), "merges disagree");
+        t.push_row(vec![
+            format!("{},{},{}", w.h, w.w, w.c),
+            std.cycles.to_string(),
+            acc.cycles.to_string(),
+            speedup(std.cycles, acc.cycles),
+        ]);
+    }
+    t
+}
+
+/// Fig. 8 — the stride study. Kernel (3,3), N = C1 = 1, input height =
+/// width swept in steps of two up to the tiling threshold, one AI core.
+/// Stride (2,2) additionally shows the X-Y split (Fig. 8b).
+pub fn fig8(stride: usize) -> Table {
+    assert!((1..=3).contains(&stride), "paper sweeps strides 1..3");
+    let params = PoolParams::new((3, 3), (stride, stride));
+    let eng = chip1(CostModel::ascend910_like());
+    let mut impls = vec![
+        ForwardImpl::Standard,
+        ForwardImpl::Im2col,
+        ForwardImpl::Expansion,
+    ];
+    if stride == 2 {
+        impls.push(ForwardImpl::XYSplit);
+    }
+
+    // "The x-axis goes up to the tiling threshold" — bounded by the
+    // compared implementation with the largest UB footprint (the
+    // expansion variant: raw input band + all column planes resident).
+    let threshold = impls
+        .iter()
+        .map(|i| tiling_threshold(&params, *i, eng.chip.caps))
+        .min()
+        .unwrap();
+
+    let mut columns: Vec<String> = vec!["H=W".to_string()];
+    columns.extend(impls.iter().map(|i| i.label().to_string()));
+    let mut t = Table {
+        title: format!(
+            "Fig. 8{} — MaxPool forward, stride ({stride},{stride}), K(3,3), 1 AI core (tiling threshold H=W={threshold})",
+            (b'a' + (stride - 1) as u8) as char
+        ),
+        columns,
+        rows: Vec::new(),
+    };
+
+    let mut hw = 8.max(stride + 3);
+    if hw % 2 == 1 {
+        hw += 1;
+    }
+    while hw <= threshold {
+        let input = crate::inputs::plane(1, hw, hw, 80 + hw as u32);
+        let mut row = vec![hw.to_string()];
+        let mut first: Option<Vec<dv_fp16::F16>> = None;
+        for impl_ in &impls {
+            let (out, run) = eng
+                .maxpool_forward(&input, params, *impl_)
+                .expect("lowering");
+            match &first {
+                None => first = Some(out.data().to_vec()),
+                Some(f) => assert_eq!(f.as_slice(), out.data(), "{impl_:?} disagrees"),
+            }
+            row.push(run.cycles.to_string());
+        }
+        t.push_row(row);
+        hw += 2;
+    }
+    t
+}
+
+/// Table I — every MaxPool layer of the four CNNs, run through both
+/// implementations (the paper prints only the shapes; we add measured
+/// cycles so the table doubles as an end-to-end experiment).
+pub fn table1() -> Table {
+    let eng = chip32();
+    let mut t = Table::new(
+        "Table I — MaxPool input sizes in CNNs (+ measured cycles, 32 AI cores)",
+        &["CNN", "input", "shape (HWC)", "kernel", "stride", "Maxpool", "with Im2col", "speedup"],
+    );
+    for w in table1_workloads() {
+        let input = feature_map(1, w.c, w.h, w.w, 90 + w.input_idx as u32);
+        let (o_s, std) = eng
+            .maxpool_forward(&input, w.params, ForwardImpl::Standard)
+            .expect("standard");
+        let (o_a, acc) = eng
+            .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("im2col");
+        assert_eq!(o_s.data(), o_a.data());
+        t.push_row(vec![
+            w.cnn.to_string(),
+            w.input_idx.to_string(),
+            format!("{},{},{}", w.h, w.w, w.c),
+            format!("({},{})", w.params.kh, w.params.kw),
+            format!("({},{})", w.params.sh, w.params.sw),
+            std.cycles.to_string(),
+            acc.cycles.to_string(),
+            speedup(std.cycles, acc.cycles),
+        ]);
+    }
+    t
+}
+
+/// E8 — cost-model ablation: which mechanism buys the speedup? Runs the
+/// largest Fig. 7 configuration under variations of the cost model.
+pub fn ablate() -> Table {
+    let w = fig7_workloads()[0];
+    let input = feature_map(1, w.c, w.h, w.w, 100);
+    let variants: [(&str, CostModel); 3] = [
+        ("ascend910-like", CostModel::ascend910_like()),
+        ("zero issue overhead", CostModel::zero_issue_overhead()),
+        (
+            "slow SCU (2x fractal cost)",
+            CostModel {
+                im2col_per_fractal: 2 * CostModel::ascend910_like().im2col_per_fractal,
+                col2im_per_fractal: 2 * CostModel::ascend910_like().col2im_per_fractal,
+                ..CostModel::ascend910_like()
+            },
+        ),
+    ];
+    let mut t = Table::new(
+        format!(
+            "E8 — cost-model ablation on MaxPool forward {},{},{} (1 AI core)",
+            w.h, w.w, w.c
+        ),
+        &["cost model", "Maxpool", "with Im2col", "speedup"],
+    );
+    for (name, cost) in variants {
+        let eng = chip1(cost);
+        let (_, std) = eng
+            .maxpool_forward(&input, w.params, ForwardImpl::Standard)
+            .expect("standard");
+        let (_, acc) = eng
+            .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("im2col");
+        t.push_row(vec![
+            name.to_string(),
+            std.cycles.to_string(),
+            acc.cycles.to_string(),
+            speedup(std.cycles, acc.cycles),
+        ]);
+    }
+    t
+}
+
+/// E9 — AvgPool forward/backward with the same four-way comparison
+/// (Section V-C; the paper describes the implementations but plots only
+/// MaxPool, so this is the reproduction's extension experiment).
+pub fn avgpool() -> Table {
+    let eng = chip32();
+    let mut t = Table::new(
+        "E9 — AvgPool on the Fig. 7 shapes (cycles, 32 AI cores)",
+        &[
+            "input (HWC)",
+            "fwd standard",
+            "fwd im2col",
+            "fwd speedup",
+            "bwd vadd",
+            "bwd col2im",
+            "bwd speedup",
+        ],
+    );
+    for w in fig7_workloads() {
+        let input = feature_map(1, w.c, w.h, w.w, 110);
+        let (o_s, f_std) = eng
+            .avgpool_forward(&input, w.params, ForwardImpl::Standard)
+            .expect("fwd standard");
+        let (o_a, f_acc) = eng
+            .avgpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("fwd im2col");
+        assert_eq!(o_s.data(), o_a.data());
+        let (oh, ow) = w.out_dims();
+        let grads = gradients(1, input.c1, oh, ow, 111);
+        let (d_s, b_std) = eng
+            .avgpool_backward(&grads, w.params, w.h, w.w, MergeImpl::VAdd)
+            .expect("bwd vadd");
+        let (d_a, b_acc) = eng
+            .avgpool_backward(&grads, w.params, w.h, w.w, MergeImpl::Col2Im)
+            .expect("bwd col2im");
+        assert_eq!(d_s.data(), d_a.data());
+        t.push_row(vec![
+            format!("{},{},{}", w.h, w.w, w.c),
+            f_std.cycles.to_string(),
+            f_acc.cycles.to_string(),
+            speedup(f_std.cycles, f_acc.cycles),
+            b_std.cycles.to_string(),
+            b_acc.cycles.to_string(),
+            speedup(b_std.cycles, b_acc.cycles),
+        ]);
+    }
+    t
+}
+
+/// E17 — tiling threshold vs Unified-Buffer capacity: "the x-axis goes
+/// up to the tiling threshold, where this threshold is the maximum size
+/// before tiling is required" (Section VI-B). The threshold is a pure
+/// function of the UB capacity and the implementation's footprint; this
+/// table makes that dependence explicit for the Fig. 8 geometry.
+pub fn threshold() -> Table {
+    use dv_sim::Capacities;
+    let params = PoolParams::K3S2;
+    let mut t = Table::new(
+        "E17 — Fig. 8 tiling threshold (H=W) vs UB capacity, K(3,3) S(2,2)",
+        &["UB KiB", "Maxpool", "Maxpool with Im2col", "Maxpool with expansion", "X-Y split"],
+    );
+    for kib in [32usize, 64, 128, 256, 512] {
+        let caps = Capacities {
+            ub: kib * 1024,
+            ..Capacities::ASCEND910
+        };
+        let row: Vec<String> = [
+            ForwardImpl::Standard,
+            ForwardImpl::Im2col,
+            ForwardImpl::Expansion,
+            ForwardImpl::XYSplit,
+        ]
+        .iter()
+        .map(|i| tiling_threshold(&params, *i, caps).to_string())
+        .collect();
+        let mut cells = vec![kib.to_string()];
+        cells.extend(row);
+        t.push_row(cells);
+    }
+    t
+}
+
+/// E16 — conv+avgpool fusion (the paper's Section VIII future work,
+/// after Suita et al.): a stride-1 convolution followed by a P/P AvgPool
+/// equals one strided convolution with a box-smeared kernel, keeping the
+/// whole computation on the Cube Unit.
+pub fn fusion() -> Table {
+    use dv_fp16::F16;
+    let mut t = Table::new(
+        "E16 — conv+avgpool fusion on the Cube Unit (1 AI core)",
+        &[
+            "pipeline",
+            "conv cycles",
+            "pool cycles",
+            "total",
+            "vs unfused",
+            "max ulp",
+        ],
+    );
+    let (c, m, k, p) = (16usize, 16usize, 3usize, 2usize);
+    let (ih, iw) = (30usize, 30usize);
+    let weights = Nchw::from_fn(m, c, k, k, |mi, ci, h, w| {
+        F16::from_f32(((mi * 5 + ci * 3 + h + w) % 9) as f32 * 0.0625 - 0.25)
+    });
+    let input = Nchw::from_fn(1, c, ih, iw, |_, ci, h, w| {
+        F16::from_f32(((ci * 7 + h * 3 + w) % 13) as f32 * 0.25 - 1.5)
+    });
+    let conv_params = PoolParams::new((k, k), (1, 1));
+    let pool_params = PoolParams::new((p, p), (p, p));
+
+    // Unfused: conv on the Cube, then accelerated vector AvgPool.
+    let (conv_out, conv_run) = dv_conv::run_conv2d(&input, &weights, &conv_params).unwrap();
+    let eng = chip1(CostModel::ascend910_like());
+    let (pool_out, pool_run) = eng
+        .avgpool_forward(&conv_out.to_nc1hwc0(), pool_params, ForwardImpl::Im2col)
+        .unwrap();
+    let mut pool_out = pool_out;
+    pool_out.orig_c = m;
+    let unfused_total = conv_run.cycles + pool_run.cycles;
+    t.push_row(vec![
+        "conv + vector avgpool".into(),
+        conv_run.cycles.to_string(),
+        pool_run.cycles.to_string(),
+        unfused_total.to_string(),
+        "1.00x".into(),
+        "-".into(),
+    ]);
+
+    // Fused: one strided Cube convolution with the smeared kernel.
+    let (fused_w, fused_p) = dv_conv::fuse_conv_avgpool(&weights, &conv_params, p).unwrap();
+    let (fused_out, fused_run) = dv_conv::run_conv2d(&input, &fused_w, &fused_p).unwrap();
+    let unfused_nchw = pool_out.to_nchw();
+    let max_ulp = fused_out
+        .data()
+        .iter()
+        .zip(unfused_nchw.data())
+        .map(|(a, b)| a.ulp_distance(*b))
+        .max()
+        .unwrap_or(0);
+    assert!(max_ulp <= 4, "fused pipeline diverged ({max_ulp} ulp)");
+    t.push_row(vec![
+        "fused conv(+avgpool)".into(),
+        fused_run.cycles.to_string(),
+        "0".into(),
+        fused_run.cycles.to_string(),
+        speedup(unfused_total, fused_run.cycles),
+        max_ulp.to_string(),
+    ]);
+    t
+}
+
+/// E15 — kernel-size ablation (extension): at stride (2,2), the im2col
+/// duplication factor is `Kh*Kw/4`, growing quadratically with the
+/// kernel — while the baseline's issue count grows as `Oh*Ow*Kh`. How do
+/// the implementations trade off as the kernel grows?
+pub fn kernels() -> Table {
+    let mut t = Table::new(
+        "E15 — kernel-size ablation, stride (2,2), 48x48, 1 AI core",
+        &["kernel", "duplication", "Maxpool", "with Im2col", "speedup"],
+    );
+    let eng = chip1(CostModel::ascend910_like());
+    for k in 2usize..=6 {
+        let params = PoolParams::new((k, k), (2, 2));
+        let input = crate::inputs::plane(1, 48, 48, 140 + k as u32);
+        let (o_s, std) = eng
+            .maxpool_forward(&input, params, ForwardImpl::Standard)
+            .expect("standard");
+        let (o_a, acc) = eng
+            .maxpool_forward(&input, params, ForwardImpl::Im2col)
+            .expect("im2col");
+        assert_eq!(o_s.data(), o_a.data());
+        let (dn, dd) = params.duplication_ratio();
+        t.push_row(vec![
+            format!("({k},{k})"),
+            format!("{:.2}x", dn as f64 / dd as f64),
+            std.cycles.to_string(),
+            acc.cycles.to_string(),
+            speedup(std.cycles, acc.cycles),
+        ]);
+    }
+    t
+}
+
+/// E14 — per-unit cycle breakdown: where do the cycles go in each
+/// implementation? Makes the paper's mechanism visible: the baseline
+/// burns Vector-Unit cycles on issue overhead at 12.5% lane utilization;
+/// the accelerated version shifts work to the SCU stream and saturates
+/// the vector lanes.
+pub fn breakdown() -> Table {
+    use dv_core::MergeImpl as M;
+    use dv_sim::Unit;
+    let w = fig7_workloads()[1]; // 71x71x192
+    let input = feature_map(1, w.c, w.h, w.w, 130);
+    let eng = chip1(CostModel::ascend910_like());
+    let mut t = Table::new(
+        format!(
+            "E14 — per-unit cycle breakdown, MaxPool {},{},{} (1 AI core)",
+            w.h, w.w, w.c
+        ),
+        &["kernel", "total", "Vector", "SCU", "MTE", "vec util", "issues"],
+    );
+    let mask = reference::maxpool_argmax_mask(&input, &w.params).expect("mask");
+    let (oh, ow) = w.out_dims();
+    let grads = gradients(1, input.c1, oh, ow, 131);
+
+    let mut push = |name: &str, run: &dv_core::PoolRun| {
+        t.push_row(vec![
+            name.to_string(),
+            run.total.cycles.to_string(),
+            run.total.cycles_of(Unit::Vector).to_string(),
+            run.total.cycles_of(Unit::Scu).to_string(),
+            run.total.cycles_of(Unit::Mte).to_string(),
+            format!("{:.1}%", run.total.vector_utilization() * 100.0),
+            run.total.total_issues().to_string(),
+        ]);
+    };
+    let (_, r) = eng
+        .maxpool_forward(&input, w.params, ForwardImpl::Standard)
+        .expect("fwd std");
+    push("fwd standard", &r);
+    let (_, r) = eng
+        .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+        .expect("fwd im2col");
+    push("fwd im2col", &r);
+    let (_, r) = eng
+        .maxpool_backward(&mask, &grads, w.params, w.h, w.w, M::VAdd)
+        .expect("bwd vadd");
+    push("bwd vadd merge", &r);
+    let (_, r) = eng
+        .maxpool_backward(&mask, &grads, w.params, w.h, w.w, M::Col2Im)
+        .expect("bwd col2im");
+    push("bwd col2im merge", &r);
+    t
+}
+
+/// E11 — multi-core scaling: chip cycles vs core count on the largest
+/// Fig. 7 shape for both forward implementations. The paper parallelises
+/// "the outer loops … between the AI Cores available"; C1 = 4 bounds the
+/// useful parallelism for this layer.
+pub fn scaling() -> Table {
+    let w = fig7_workloads()[0];
+    let input = feature_map(1, w.c, w.h, w.w, 120);
+    let mut t = Table::new(
+        format!(
+            "E11 — multi-core scaling on MaxPool forward {},{},{} (C1 = {})",
+            w.h,
+            w.w,
+            w.c,
+            input.c1
+        ),
+        &[
+            "cores",
+            "Maxpool (C1 only)",
+            "Maxpool (+band split)",
+            "Im2col (C1 only)",
+            "Im2col (+band split)",
+        ],
+    );
+    for cores in [1usize, 2, 4, 8, 16, 32] {
+        let plane_only = PoolingEngine::new(Chip::new(cores, CostModel::ascend910_like()));
+        let split = plane_only.clone().with_band_splitting(true);
+        let (out_a, std_p) = plane_only
+            .maxpool_forward(&input, w.params, ForwardImpl::Standard)
+            .expect("standard");
+        let (out_b, std_s) = split
+            .maxpool_forward(&input, w.params, ForwardImpl::Standard)
+            .expect("standard split");
+        assert_eq!(out_a.data(), out_b.data(), "splitting must not change results");
+        let (_, acc_p) = plane_only
+            .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("im2col");
+        let (_, acc_s) = split
+            .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("im2col split");
+        t.push_row(vec![
+            cores.to_string(),
+            std_p.cycles.to_string(),
+            std_s.cycles.to_string(),
+            acc_p.cycles.to_string(),
+            acc_s.cycles.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E12 — convolution backward-data: the Cube Unit computes
+/// `dY x W^T` and **Col2Im merges** the column gradient — the
+/// instruction's designed use (Section II-B), cross-validating the
+/// pooling results.
+pub fn dgrad() -> Table {
+    use dv_fp16::F16;
+    let mut t = Table::new(
+        "E12 — convolution backward-data via Cube + Col2Im (1 AI core)",
+        &["conv", "cycles", "col2im issues", "matches reference"],
+    );
+    let cases: [(&str, usize, usize, usize, usize, PoolParams); 3] = [
+        ("16ch 12x12, 3x3 s1, 16 kernels", 16, 12, 12, 16, PoolParams::new((3, 3), (1, 1))),
+        ("32ch 13x13, 3x3 s2, 16 kernels", 32, 13, 13, 16, PoolParams::new((3, 3), (2, 2))),
+        ("16ch 10x10, 1x1 s1, 32 kernels", 16, 10, 10, 32, PoolParams::new((1, 1), (1, 1))),
+    ];
+    for (name, c, ih, iw, m, params) in cases {
+        let (oh, ow) = params.out_dims(ih, iw).unwrap();
+        let grads = Nchw::from_fn(1, m, oh, ow, |_, mi, h, ww| {
+            F16::from_f32(((mi * 7 + h * 3 + ww) % 9) as f32 * 0.5 - 2.0)
+        });
+        let kernels = Nchw::from_fn(m, c, params.kh, params.kw, |mi, ci, h, ww| {
+            F16::from_f32(((mi * 5 + ci * 3 + h + ww) % 7) as f32 * 0.25 - 0.75)
+        });
+        let want = reference::conv2d_backward_data(&grads, &kernels, &params, ih, iw).unwrap();
+        let (got, run) =
+            dv_conv::run_conv2d_backward_data(&grads, &kernels, &params, ih, iw).unwrap();
+        let matches = got == want;
+        t.push_row(vec![
+            name.to_string(),
+            run.cycles.to_string(),
+            run.total.issues_of("col2im").to_string(),
+            matches.to_string(),
+        ]);
+        assert!(matches, "dgrad diverged from the reference: {name}");
+    }
+    t
+}
+
+/// E13 — AvgPool mapped to convolution on the Cube Unit (the fusion
+/// direction of Suita et al. the paper cites as future work): a diagonal
+/// kernel of `1/(Kh*Kw)` turns AvgPool into matmul work. Compared against
+/// the Vector-Unit AvgPool implementations. (Numerics differ in the last
+/// ulp: the Cube accumulates in f32 and rounds once, while the vector
+/// path sums in f16; the table reports the max ulp distance.)
+pub fn cubeavg() -> Table {
+    use dv_fp16::F16;
+    let mut t = Table::new(
+        "E13 — AvgPool as Cube-Unit convolution vs Vector-Unit AvgPool (1 AI core)",
+        &["input", "vector standard", "vector im2col", "cube conv", "max ulp vs reference"],
+    );
+    let params = PoolParams::K3S2;
+    for (c, hw) in [(16usize, 33usize), (32, 25)] {
+        let input_nchw = Nchw::from_fn(1, c, hw, hw, |_, ci, h, w| {
+            F16::from_f32(((ci * 3 + h * 5 + w) % 17) as f32 * 0.5 - 4.0)
+        });
+        let input = input_nchw.to_nc1hwc0();
+        let eng = chip1(CostModel::ascend910_like());
+        let (_, vstd) = eng
+            .avgpool_forward(&input, params, ForwardImpl::Standard)
+            .expect("vector standard");
+        let (_, vim) = eng
+            .avgpool_forward(&input, params, ForwardImpl::Im2col)
+            .expect("vector im2col");
+        // diagonal kernel: out channel c reads only in channel c
+        let inv = F16::from_f32(1.0 / (params.kh * params.kw) as f32);
+        let kernels = Nchw::from_fn(c, c, params.kh, params.kw, |m, ci, _, _| {
+            if m == ci {
+                inv
+            } else {
+                F16::ZERO
+            }
+        });
+        let (conv_out, cube) =
+            dv_conv::run_conv2d(&input_nchw, &kernels, &params).expect("cube avgpool");
+        let reference_out = reference::avgpool_forward(&input, &params)
+            .expect("reference")
+            .to_nchw();
+        let max_ulp = conv_out
+            .data()
+            .iter()
+            .zip(reference_out.data())
+            .map(|(a, b)| a.ulp_distance(*b))
+            .max()
+            .unwrap_or(0);
+        assert!(max_ulp <= 1, "cube avgpool must agree to 1 ulp");
+        t.push_row(vec![
+            format!("{hw}x{hw}x{c}"),
+            vstd.cycles.to_string(),
+            vim.cycles.to_string(),
+            cube.cycles.to_string(),
+            max_ulp.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E10 — the convolution substrate: Im2Col + Cube Unit vs the direct
+/// reference (bit-exact check + cycle counts).
+pub fn conv_substrate() -> Table {
+    use dv_fp16::F16;
+    let mut t = Table::new(
+        "E10 — convolution on the Cube Unit via Im2Col (1 AI core)",
+        &["conv", "cycles", "cube issues", "im2col issues", "matches reference"],
+    );
+    let cases: [(&str, usize, usize, usize, usize, PoolParams); 3] = [
+        ("16ch 24x24, 3x3 s1, 16 kernels", 16, 24, 24, 16, PoolParams::new((3, 3), (1, 1))),
+        ("48ch 16x16, 3x3 s2, 32 kernels", 48, 16, 16, 32, PoolParams::new((3, 3), (2, 2))),
+        ("32ch 20x20, 1x1 s1, 64 kernels", 32, 20, 20, 64, PoolParams::new((1, 1), (1, 1))),
+    ];
+    for (name, c, h, w, m, params) in cases {
+        let input = Nchw::from_fn(1, c, h, w, |_, ci, hi, wi| {
+            F16::from_f32((((ci + 3) * (hi + 7) * (wi + 1)) % 13) as f32 * 0.25 - 1.5)
+        });
+        let kernels = Nchw::from_fn(m, c, params.kh, params.kw, |mi, ci, hi, wi| {
+            F16::from_f32((((mi + 1) * (ci + 5) * (hi + 2) * (wi + 3)) % 9) as f32 * 0.125 - 0.5)
+        });
+        let want = reference::conv2d_direct(&input, &kernels, &params).expect("reference");
+        let (got, run) = dv_conv::run_conv2d(&input, &kernels, &params).expect("cube conv");
+        let matches = got == want;
+        t.push_row(vec![
+            name.to_string(),
+            run.cycles.to_string(),
+            run.total.issues_of("cube_mmad").to_string(),
+            run.total.issues_of("im2col").to_string(),
+            matches.to_string(),
+        ]);
+        assert!(matches, "cube conv diverged from the reference: {name}");
+    }
+    t
+}

@@ -1,0 +1,59 @@
+//! Deterministic workload generators.
+//!
+//! All tensors are seeded deterministically so reruns are reproducible
+//! (the paper repeats each measurement ten times; the simulator is
+//! deterministic, so cycle counts are exact and need no averaging —
+//! see EXPERIMENTS.md).
+
+use dv_fp16::F16;
+use dv_tensor::{Nc1hwc0, Nchw};
+
+/// A feature-map-like NC1HWC0 input with f16-exact values in [-16, 16).
+pub fn feature_map(n: usize, c: usize, h: usize, w: usize, seed: u32) -> Nc1hwc0 {
+    let mut state = seed.wrapping_mul(0x9E3779B9).wrapping_add(1);
+    Nchw::from_fn(n, c, h, w, |_, _, _, _| {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        F16::from_f32(((state >> 16) % 128) as f32 * 0.25 - 16.0)
+    })
+    .to_nc1hwc0()
+}
+
+/// A fractal-layout tensor built directly at `(n, c1, h, w)` — used for
+/// the Fig. 8 sweeps where N = C1 = 1.
+pub fn plane(c1: usize, h: usize, w: usize, seed: u32) -> Nc1hwc0 {
+    let mut state = seed.wrapping_mul(0x85EBCA6B).wrapping_add(3);
+    Nc1hwc0::from_fn(1, c1, h, w, |_, _, _, _, _| {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        F16::from_f32(((state >> 18) % 64) as f32 * 0.5 - 16.0)
+    })
+}
+
+/// Integer-valued gradients (exact under any f16 summation order).
+pub fn gradients(n: usize, c1: usize, h: usize, w: usize, seed: u32) -> Nc1hwc0 {
+    let mut state = seed.wrapping_mul(0xC2B2AE35).wrapping_add(5);
+    Nc1hwc0::from_fn(n, c1, h, w, |_, _, _, _, _| {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        F16::from_f32(((state >> 20) % 8) as f32)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(feature_map(1, 32, 8, 8, 7).data(), feature_map(1, 32, 8, 8, 7).data());
+        assert_eq!(plane(1, 8, 8, 7).data(), plane(1, 8, 8, 7).data());
+        assert_ne!(plane(1, 8, 8, 7).data(), plane(1, 8, 8, 8).data());
+    }
+
+    #[test]
+    fn values_are_f16_exact() {
+        for v in feature_map(1, 16, 4, 4, 1).data() {
+            let f = v.to_f32();
+            assert_eq!(F16::from_f32(f), *v);
+            assert!((-16.0..16.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Terminal line plots — the paper's *figures*, as ASCII.
+//!
+//! The repro harness prints each Fig. 8 sweep both as a table (for exact
+//! values) and as a plot (for the shape the paper's figures show: who
+//! wins, where curves cross).
+
+use std::fmt::Write;
+
+/// One named series of `(x, y)` points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// The points, in ascending `x`.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Plot dimensions and labels.
+#[derive(Clone, Debug)]
+pub struct PlotSpec {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Character columns of the plotting area.
+    pub width: usize,
+    /// Character rows of the plotting area.
+    pub height: usize,
+}
+
+impl Default for PlotSpec {
+    fn default() -> Self {
+        PlotSpec {
+            title: String::new(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            width: 64,
+            height: 18,
+        }
+    }
+}
+
+const MARKS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Render the series into an ASCII chart. Returns an empty string when
+/// there is nothing to plot.
+pub fn render(spec: &PlotSpec, series: &[Series]) -> String {
+    let pts: Vec<&(f64, f64)> = series.iter().flat_map(|s| &s.points).collect();
+    if pts.is_empty() {
+        return String::new();
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (0.0f64, f64::NEG_INFINITY);
+    for (x, y) in pts {
+        x_min = x_min.min(*x);
+        x_max = x_max.max(*x);
+        y_min = y_min.min(*y);
+        y_max = y_max.max(*y);
+    }
+    if (x_max - x_min).abs() < f64::EPSILON {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+
+    let (w, h) = (spec.width.max(8), spec.height.max(4));
+    let mut grid = vec![vec![' '; w]; h];
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in &s.points {
+            let cx = (((x - x_min) / (x_max - x_min)) * (w - 1) as f64).round() as usize;
+            let cy = (((y - y_min) / (y_max - y_min)) * (h - 1) as f64).round() as usize;
+            let row = h - 1 - cy.min(h - 1);
+            let col = cx.min(w - 1);
+            // later series overwrite on collision; the legend explains
+            grid[row][col] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    if !spec.title.is_empty() {
+        let _ = writeln!(out, "{}", spec.title);
+    }
+    let y_top = format!("{y_max:.0}");
+    let y_bot = format!("{y_min:.0}");
+    let gut = y_top.len().max(y_bot.len()).max(spec.y_label.len());
+    let _ = writeln!(out, "{:>gut$} ", spec.y_label);
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            y_top.clone()
+        } else if r == h - 1 {
+            y_bot.clone()
+        } else {
+            String::new()
+        };
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{label:>gut$} |{line}");
+    }
+    let _ = writeln!(out, "{:>gut$} +{}", "", "-".repeat(w));
+    let x_lo = format!("{x_min:.0}");
+    let x_hi = format!("{x_max:.0}");
+    let pad = w.saturating_sub(x_lo.len() + x_hi.len());
+    let _ = writeln!(
+        out,
+        "{:>gut$}  {x_lo}{}{x_hi}  ({})",
+        "",
+        " ".repeat(pad),
+        spec.x_label
+    );
+    for (si, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "{:>gut$}  {} {}", "", MARKS[si % MARKS.len()], s.label);
+    }
+    out
+}
+
+/// Build the plot for a cycles-vs-size table whose first column is the
+/// x value and whose remaining columns are series (the Fig. 8 format).
+pub fn plot_table(table: &crate::report::Table, x_label: &str, y_label: &str) -> String {
+    let mut series: Vec<Series> = table.columns[1..]
+        .iter()
+        .map(|c| Series {
+            label: c.clone(),
+            points: Vec::new(),
+        })
+        .collect();
+    for row in &table.rows {
+        let Ok(x) = row[0].parse::<f64>() else {
+            continue;
+        };
+        for (i, cell) in row[1..].iter().enumerate() {
+            if let Ok(y) = cell.parse::<f64>() {
+                series[i].points.push((x, y));
+            }
+        }
+    }
+    render(
+        &PlotSpec {
+            title: table.title.clone(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            ..PlotSpec::default()
+        },
+        &series,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_series() -> Vec<Series> {
+        vec![
+            Series {
+                label: "linear".into(),
+                points: (0..10).map(|i| (i as f64, i as f64 * 10.0)).collect(),
+            },
+            Series {
+                label: "quadratic".into(),
+                points: (0..10).map(|i| (i as f64, (i * i) as f64)).collect(),
+            },
+        ]
+    }
+
+    #[test]
+    fn render_contains_marks_axes_and_legend() {
+        let s = render(&PlotSpec::default(), &two_series());
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+        assert!(s.contains("linear"));
+        assert!(s.contains("quadratic"));
+        assert!(s.contains('+'));
+        assert!(s.contains("90")); // y max of the linear series
+    }
+
+    #[test]
+    fn empty_series_render_empty() {
+        assert_eq!(render(&PlotSpec::default(), &[]), "");
+        let empty = vec![Series {
+            label: "e".into(),
+            points: vec![],
+        }];
+        assert_eq!(render(&PlotSpec::default(), &empty), "");
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = vec![Series {
+            label: "flat".into(),
+            points: vec![(1.0, 5.0), (2.0, 5.0)],
+        }];
+        let out = render(&PlotSpec::default(), &s);
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn plot_table_parses_numeric_columns() {
+        let mut t = crate::report::Table::new("T", &["H=W", "a", "b"]);
+        t.push_row(vec!["8".into(), "100".into(), "200".into()]);
+        t.push_row(vec!["10".into(), "150".into(), "120".into()]);
+        let s = plot_table(&t, "H=W", "cycles");
+        assert!(s.contains("T"));
+        assert!(s.contains(" a"));
+        assert!(s.contains(" b"));
+    }
+
+    #[test]
+    fn points_at_extremes_stay_in_grid() {
+        // would panic on out-of-bounds indexing if clamping were wrong
+        let s = vec![Series {
+            label: "edges".into(),
+            points: vec![(0.0, 0.0), (100.0, 1000.0), (50.0, -50.0)],
+        }];
+        let _ = render(&PlotSpec::default(), &s);
+    }
+}

@@ -1,0 +1,127 @@
+//! Table formatting and CSV output for the repro harness.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A result table: the unit every experiment produces.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment title (e.g. "Fig. 7a — MaxPool forward").
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of stringified cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row arity");
+        self.rows.push(row);
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", cells.join("  "));
+        }
+        out
+    }
+
+    /// Serialise as CSV.
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Write the CSV under `dir/name.csv`, creating the directory.
+    pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{name}.csv")), self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("T", &["a", "bb"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["10".into(), "x,y".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns() {
+        let s = sample().render();
+        assert!(s.contains("== T =="));
+        // column widths: "10" -> 2, "x,y" -> 3
+        assert!(s.contains(" a   bb"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let csv = sample().to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.starts_with("a,bb\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("T", &["a"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+}

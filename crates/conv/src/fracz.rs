@@ -1,0 +1,150 @@
+//! The fractal weight layout ("FracZ").
+//!
+//! The right operand of the Cube Unit is the `OutKer` matrix of Fig. 1:
+//! rows enumerate the reduction dimension `K = C1 * Kh * Kw * C0` (in
+//! that order, matching the mode-0 `Im2Col` load of the left operand) and
+//! columns enumerate the output feature maps `M` (zero-padded to a
+//! multiple of 16). The matrix is stored as a row-major grid of 16 x 16
+//! fractals — the layout AI frameworks precompute for DaVinci weights.
+
+use dv_fp16::F16;
+use dv_tensor::{Nchw, PoolParams, C0};
+
+/// Fractal edge (16).
+const E: usize = 16;
+
+/// Transform kernels `(M, C, Kh, Kw)` into the FracZ fractal grid for the
+/// given convolution geometry, returning `(data, k_fractals, n_fractals)`.
+///
+/// `k_fractals = C1 * Kh * Kw` (each fractal covers one `(c1, kh, kw)`
+/// combination's 16 `c0` rows); `n_fractals = ceil(M / 16)`.
+pub fn kernels_to_fracz(kernels: &Nchw, params: &PoolParams) -> (Vec<F16>, usize, usize) {
+    assert_eq!(kernels.h, params.kh, "kernel tensor height");
+    assert_eq!(kernels.w, params.kw, "kernel tensor width");
+    let m = kernels.n;
+    let c = kernels.c;
+    let c1 = c.div_ceil(C0);
+    let k_fr = c1 * params.kh * params.kw;
+    let n_fr = m.div_ceil(E);
+    let mut data = vec![F16::ZERO; k_fr * n_fr * E * E];
+    for kf in 0..k_fr {
+        let c1_i = kf / (params.kh * params.kw);
+        let rem = kf % (params.kh * params.kw);
+        let (kh, kw) = (rem / params.kw, rem % params.kw);
+        for nf in 0..n_fr {
+            for row in 0..E {
+                let ch = c1_i * C0 + row;
+                for col in 0..E {
+                    let mi = nf * E + col;
+                    let v = if ch < c && mi < m {
+                        kernels.get(mi, ch, kh, kw)
+                    } else {
+                        F16::ZERO
+                    };
+                    data[(kf * n_fr + nf) * E * E + row * E + col] = v;
+                }
+            }
+        }
+    }
+    (data, k_fr, n_fr)
+}
+
+/// Transform kernels `(M, C, Kh, Kw)` into the **transposed** fractal
+/// grid `W^T` — rows enumerate the output feature maps `M`, columns the
+/// reduction dimension `K = C1 * Kh * Kw * C0` — the right operand of the
+/// backward-data matmul `dX_cols = dY x W^T`. Returns
+/// `(data, m_fractals, k_fractals)`.
+pub fn kernels_to_fracz_t(kernels: &Nchw, params: &PoolParams) -> (Vec<F16>, usize, usize) {
+    assert_eq!(kernels.h, params.kh, "kernel tensor height");
+    assert_eq!(kernels.w, params.kw, "kernel tensor width");
+    let m = kernels.n;
+    let c = kernels.c;
+    let c1 = c.div_ceil(C0);
+    let k_fr = c1 * params.kh * params.kw;
+    let m_fr = m.div_ceil(E);
+    let mut data = vec![F16::ZERO; m_fr * k_fr * E * E];
+    for mf in 0..m_fr {
+        for kf in 0..k_fr {
+            let c1_i = kf / (params.kh * params.kw);
+            let rem = kf % (params.kh * params.kw);
+            let (kh, kw) = (rem / params.kw, rem % params.kw);
+            for row in 0..E {
+                let mi = mf * E + row;
+                for col in 0..E {
+                    let ch = c1_i * C0 + col;
+                    let v = if ch < c && mi < m {
+                        kernels.get(mi, ch, kh, kw)
+                    } else {
+                        F16::ZERO
+                    };
+                    data[(mf * k_fr + kf) * E * E + row * E + col] = v;
+                }
+            }
+        }
+    }
+    (data, m_fr, k_fr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fracz_shape_and_padding() {
+        // 3 kernels of 5 channels, 2x2 -> C1 = 1, k_fr = 4, n_fr = 1.
+        let kernels = Nchw::from_fn(3, 5, 2, 2, |m, c, h, w| {
+            F16::from_f32((m * 1000 + c * 100 + h * 10 + w) as f32)
+        });
+        let params = PoolParams::new((2, 2), (1, 1));
+        let (data, k_fr, n_fr) = kernels_to_fracz(&kernels, &params);
+        assert_eq!((k_fr, n_fr), (4, 1));
+        assert_eq!(data.len(), 4 * 256);
+        // fractal 0 = (c1=0, kh=0, kw=0): row = channel, col = kernel
+        assert_eq!(data[0].to_f32(), 0.0); // m=0, c=0, (0,0)
+        assert_eq!(data[1].to_f32(), 1000.0); // m=1
+        assert_eq!(data[16].to_f32(), 100.0); // c=1, m=0
+        // channel padding rows are zero
+        assert_eq!(data[5 * 16], F16::ZERO);
+        // kernel padding columns are zero
+        assert_eq!(data[3], F16::ZERO);
+        // fractal ordering: fractal 1 = (kh=0, kw=1)
+        assert_eq!(data[256].to_f32(), 1.0); // m=0, c=0, (0,1)
+    }
+
+    #[test]
+    fn fracz_t_is_elementwise_transpose_of_fracz() {
+        let kernels = Nchw::from_fn(20, 18, 2, 2, |m, c, h, w| {
+            F16::from_f32((m * 1000 + c * 10 + h * 5 + w) as f32)
+        });
+        let params = PoolParams::new((2, 2), (1, 1));
+        let (fz, k_fr, n_fr) = kernels_to_fracz(&kernels, &params);
+        let (fzt, m_fr, k_fr_t) = kernels_to_fracz_t(&kernels, &params);
+        assert_eq!(k_fr, k_fr_t);
+        assert_eq!(n_fr, m_fr); // M = 20 -> 2 fractals either way
+        // element (k, m) of W equals element (m, k) of W^T
+        for kf in 0..k_fr {
+            for nf in 0..n_fr {
+                for r in 0..16 {
+                    for c in 0..16 {
+                        let w_km = fz[(kf * n_fr + nf) * 256 + r * 16 + c];
+                        let wt_mk = fzt[(nf * k_fr + kf) * 256 + c * 16 + r];
+                        assert_eq!(w_km, wt_mk, "kf={kf} nf={nf} r={r} c={c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fracz_multi_c1() {
+        // 20 channels -> C1 = 2; fractal (c1=1, kh=0, kw=0) is index
+        // kh*kw (= 1*1) ... for a 1x1 kernel: k_fr = 2.
+        let kernels = Nchw::from_fn(1, 20, 1, 1, |_, c, _, _| F16::from_f32(c as f32));
+        let params = PoolParams::new((1, 1), (1, 1));
+        let (data, k_fr, n_fr) = kernels_to_fracz(&kernels, &params);
+        assert_eq!((k_fr, n_fr), (2, 1));
+        assert_eq!(data[16].to_f32(), 1.0); // c=1
+        assert_eq!(data[256].to_f32(), 16.0); // c1=1, row 0 -> c=16
+        assert_eq!(data[256 + 4 * 16].to_f32(), 0.0); // c=20 padded
+    }
+}

@@ -1,0 +1,134 @@
+//! Convolution + AvgPool fusion (the paper's future work, Section VIII).
+//!
+//! "Further work could … consider the fusion techniques described by
+//! Suita et al. to execute Avgpool together with convolution as matrix
+//! multiplication in the Cube Unit." The identity: a stride-1 convolution
+//! followed by AvgPool with kernel `(P, P)` and stride `(P, P)` equals a
+//! **single** convolution with stride `P` and a box-smeared kernel
+//!
+//! ```text
+//! W'[m, c, u, v] = 1/P^2 * sum over (i, j) with u-P < i <= u, i <= u,
+//!                  0 <= u-i < P (same for v) of W[m, c, i, j]
+//! ```
+//!
+//! of extent `(Kh + P - 1, Kw + P - 1)`. The fused kernel runs entirely
+//! on the Cube Unit — one matmul instead of a matmul plus a Vector-Unit
+//! pooling pass. (MaxPool "cannot be fused in the same way" — max does
+//! not distribute over the multiply-accumulate — which is exactly the
+//! paper's point for accelerating it with Im2Col instead.)
+
+use crate::lower::ConvError;
+use dv_fp16::F16;
+use dv_tensor::{Nchw, PoolParams};
+
+/// Compose stride-1 convolution weights with a following `(P, P)`/`(P, P)`
+/// AvgPool into the equivalent fused convolution `(weights', params')`.
+///
+/// The smearing sums are computed in f32 and rounded once to f16 —
+/// matching the Cube Unit's accumulate-then-round numerics.
+pub fn fuse_conv_avgpool(
+    weights: &Nchw,
+    conv_params: &PoolParams,
+    pool: usize,
+) -> Result<(Nchw, PoolParams), ConvError> {
+    if (conv_params.sh, conv_params.sw) != (1, 1) {
+        return Err(ConvError::Unsupported(
+            "fusion requires a stride-1 convolution".into(),
+        ));
+    }
+    if !conv_params.padding.is_none() {
+        return Err(ConvError::Unsupported(
+            "fusion with padding is not implemented".into(),
+        ));
+    }
+    if pool == 0 {
+        return Err(ConvError::Unsupported("pool extent must be nonzero".into()));
+    }
+    let (kh, kw) = (weights.h, weights.w);
+    let (fkh, fkw) = (kh + pool - 1, kw + pool - 1);
+    let inv = 1.0f32 / (pool * pool) as f32;
+    let fused = Nchw::from_fn(weights.n, weights.c, fkh, fkw, |m, c, u, v| {
+        let mut acc = 0.0f32;
+        // positions (i, j) of the original kernel that land on (u, v)
+        // for some pool offset (p, q) with p = u - i in [0, P).
+        for i in u.saturating_sub(pool - 1)..=u.min(kh - 1) {
+            for j in v.saturating_sub(pool - 1)..=v.min(kw - 1) {
+                acc += weights.get(m, c, i, j).to_f32();
+            }
+        }
+        F16::from_f32(acc * inv)
+    });
+    let fused_params = PoolParams::new((fkh, fkw), (pool, pool));
+    Ok((fused, fused_params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_tensor::reference;
+
+    fn det(seed: usize, i: usize) -> F16 {
+        F16::from_f32(((seed * 13 + i * 7) % 9) as f32 * 0.125 - 0.5)
+    }
+
+    /// The fused convolution equals conv -> avgpool computed in full f32
+    /// (sum reassociation means f16 intermediate rounding differs, so the
+    /// comparison is against the f32 composition with an ulp bound).
+    #[test]
+    fn fused_equals_composition() {
+        let (c, m, k, p) = (5, 3, 3, 2);
+        let (ih, iw) = (11, 13);
+        let weights = Nchw::from_fn(m, c, k, k, |mi, ci, h, w| det(1, mi * 100 + ci * 10 + h * 3 + w));
+        let input = Nchw::from_fn(1, c, ih, iw, |_, ci, h, w| det(2, ci * 200 + h * 15 + w));
+        let conv_params = PoolParams::new((k, k), (1, 1));
+
+        let (fused_w, fused_p) = fuse_conv_avgpool(&weights, &conv_params, p).unwrap();
+        assert_eq!((fused_w.h, fused_w.w), (k + p - 1, k + p - 1));
+        let fused_out = reference::conv2d_direct(&input, &fused_w, &fused_p).unwrap();
+
+        // composition: conv (f32 acc, f16 rounded) then avgpool
+        let conv_out = reference::conv2d_direct(&input, &weights, &conv_params).unwrap();
+        let pool_params = PoolParams::new((p, p), (p, p));
+        let pooled = reference::avgpool_forward(&conv_out.to_nc1hwc0(), &pool_params).unwrap();
+        let mut pooled = pooled;
+        pooled.orig_c = m;
+        let pooled = pooled.to_nchw();
+
+        assert_eq!(
+            (fused_out.c, fused_out.h, fused_out.w),
+            (pooled.c, pooled.h, pooled.w)
+        );
+        let max_ulp = fused_out
+            .data()
+            .iter()
+            .zip(pooled.data())
+            .map(|(a, b)| a.ulp_distance(*b))
+            .max()
+            .unwrap();
+        assert!(max_ulp <= 4, "fused vs composed differ by {max_ulp} ulp");
+    }
+
+    #[test]
+    fn fused_kernel_weights_are_box_sums() {
+        // 1x1 conv kernel of weight 1, pool 2: fused kernel is 2x2 of 1/4.
+        let weights = Nchw::from_fn(1, 1, 1, 1, |_, _, _, _| F16::ONE);
+        let (fused, params) =
+            fuse_conv_avgpool(&weights, &PoolParams::new((1, 1), (1, 1)), 2).unwrap();
+        assert_eq!((fused.h, fused.w), (2, 2));
+        assert_eq!((params.sh, params.sw), (2, 2));
+        for h in 0..2 {
+            for w in 0..2 {
+                assert_eq!(fused.get(0, 0, h, w).to_f32(), 0.25);
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_rejects_strided_conv_and_padding() {
+        let weights = Nchw::zeros(1, 1, 3, 3);
+        assert!(fuse_conv_avgpool(&weights, &PoolParams::new((3, 3), (2, 2)), 2).is_err());
+        let padded = PoolParams::with_padding((3, 3), (1, 1), dv_tensor::Padding::uniform(1));
+        assert!(fuse_conv_avgpool(&weights, &padded, 2).is_err());
+        assert!(fuse_conv_avgpool(&weights, &PoolParams::new((3, 3), (1, 1)), 0).is_err());
+    }
+}

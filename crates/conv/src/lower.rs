@@ -1,0 +1,516 @@
+//! Lowering of 2-D convolution onto the simulated Cube Unit.
+
+use core::fmt;
+use dv_akg::{dma, GmArena};
+use dv_fp16::F16;
+use dv_isa::{
+    Addr, BufferId, CubeMatmul, Im2Col, Im2ColGeometry, Instr, Program, RepeatMode, MAX_REPEAT,
+};
+use dv_sim::{Chip, ChipRun, CostModel, SimError};
+use dv_tensor::{Nc1hwc0, Nchw, PoolParams, C0, FRACTAL_BYTES, FRACTAL_ROWS};
+
+use crate::fracz::kernels_to_fracz;
+
+/// Fractal edge (16 rows/columns).
+const E: usize = FRACTAL_ROWS;
+/// Bytes of one f32 fractal in L0C.
+const L0C_FRACTAL_BYTES: usize = E * E * 4;
+
+/// Errors from the convolution lowering/run.
+#[derive(Debug)]
+pub enum ConvError {
+    /// The problem exceeds what this lowering tiles (see message).
+    Unsupported(String),
+    /// Instruction emission failed.
+    Isa(dv_isa::IsaError),
+    /// Simulation failed.
+    Sim(SimError),
+    /// Bad shapes.
+    Shape(dv_tensor::ShapeError),
+}
+
+impl fmt::Display for ConvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            ConvError::Isa(e) => write!(f, "isa: {e}"),
+            ConvError::Sim(e) => write!(f, "sim: {e}"),
+            ConvError::Shape(e) => write!(f, "shape: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConvError {}
+
+impl From<dv_isa::IsaError> for ConvError {
+    fn from(e: dv_isa::IsaError) -> Self {
+        ConvError::Isa(e)
+    }
+}
+impl From<SimError> for ConvError {
+    fn from(e: SimError) -> Self {
+        ConvError::Sim(e)
+    }
+}
+impl From<dv_tensor::ShapeError> for ConvError {
+    fn from(e: dv_tensor::ShapeError) -> Self {
+        ConvError::Shape(e)
+    }
+}
+
+/// The planned dimensions of a convolution run.
+struct Plan {
+    c1: usize,
+    oh: usize,
+    ow: usize,
+    m_fr: usize,
+    k_fr: usize,
+    n_fr: usize,
+    mt: usize,  // patch-block fractals per Cube tile
+    kt: usize,  // reduction fractals per K chunk
+    boh: usize, // output rows per L1 band
+    weight_bytes: usize,
+}
+
+fn plan(
+    input_c: usize,
+    ih: usize,
+    iw: usize,
+    m: usize,
+    params: &PoolParams,
+    chip: &Chip,
+) -> Result<Plan, ConvError> {
+    let (oh, ow) = params.out_dims(ih, iw)?;
+    let c1 = input_c.div_ceil(C0);
+    let patches = oh * ow;
+    let m_fr = patches.div_ceil(E);
+    let k_fr = c1 * params.kh * params.kw;
+    let n_fr = m.div_ceil(E);
+    let weight_bytes = k_fr * n_fr * FRACTAL_BYTES;
+    // Weights stay resident in L1; the input streams through the rest in
+    // row bands (like the pooling kernels).
+    let band_budget = chip.caps.l1.saturating_sub(weight_bytes);
+    let boh = dv_akg::max_row_band(oh, band_budget, |b| {
+        c1 * dv_akg::band_input_rows(params, b) * iw * C0 * 2
+    })
+    .map_err(|e| {
+        ConvError::Unsupported(format!(
+            "weights ({weight_bytes} B) leave no room in L1 for one input band: {e}"
+        ))
+    })?;
+    if boh < oh && (params.padding.top > 0 || params.padding.bottom > 0) {
+        return Err(ConvError::Unsupported(
+            "vertical padding requires the image to fit one L1 band".into(),
+        ));
+    }
+    // K is chunked: each chunk's weight slice must fit L0B, its A slice
+    // must leave room for at least one patch row in L0A, and one mode-0
+    // repeat chain must cover it. Accumulation over chunks happens in
+    // L0C (`accumulate = true`).
+    let kt = k_fr
+        .min(MAX_REPEAT as usize)
+        .min(chip.caps.l0b / (n_fr * FRACTAL_BYTES))
+        .min(chip.caps.l0a / FRACTAL_BYTES);
+    if kt == 0 {
+        return Err(ConvError::Unsupported(
+            "one reduction fractal does not fit the Cube buffers".into(),
+        ));
+    }
+    // Tile patch blocks so the A tile fits L0A and the C tile fits L0C.
+    let mt_a = chip.caps.l0a / (kt * FRACTAL_BYTES);
+    let mt_c = chip.caps.l0c / (n_fr * L0C_FRACTAL_BYTES);
+    let mt_ub = chip.caps.ub / (n_fr * FRACTAL_BYTES);
+    let mt = m_fr.min(mt_a).min(mt_c).min(mt_ub);
+    if mt == 0 {
+        return Err(ConvError::Unsupported(
+            "a single patch-block row does not fit the Cube buffers".into(),
+        ));
+    }
+    Ok(Plan {
+        c1,
+        oh,
+        ow,
+        m_fr,
+        k_fr,
+        n_fr,
+        mt,
+        kt,
+        boh,
+        weight_bytes,
+    })
+}
+
+/// Build the convolution program (single core; convolution here is a
+/// substrate demonstration, not a parallel-scaling study).
+///
+/// GM layout: the NC1HWC0 input at `gm_in`, the FracZ weights at
+/// `gm_weights`, and the output written as `n_fr` fractal-padded planes
+/// of `m_fr * 512` bytes each at `gm_out`.
+#[allow(clippy::too_many_arguments)]
+pub fn build_conv2d(
+    input_c: usize,
+    ih: usize,
+    iw: usize,
+    m: usize,
+    params: &PoolParams,
+    gm_in: usize,
+    gm_weights: usize,
+    gm_out: usize,
+    chip: &Chip,
+) -> Result<Program, ConvError> {
+    let pl = plan(input_c, ih, iw, m, params, chip)?;
+    let mut p = Program::new();
+    let kk = params.kh * params.kw;
+
+    // Weights stay resident at the bottom of L1; input bands stream in
+    // above them.
+    dma(&mut p, Addr::gm(gm_weights), Addr::l1(0), pl.weight_bytes)?;
+    let l1_in = pl.weight_bytes.next_multiple_of(32);
+
+    let mut bands = dv_akg::row_bands(params, pl.oh, pl.boh);
+    if bands.len() == 1 {
+        bands[0].ih_len = ih; // covers vertical padding (plan enforces
+                              // single-band for it) and trailing rows
+    }
+    let full_plane_bytes = ih * iw * C0 * 2;
+
+    for band in &bands {
+        let boh = band.oh1 - band.oh0;
+        let band_patches = boh * pl.ow;
+        let band_m_fr = band_patches.div_ceil(E);
+        let band_plane_bytes = band.ih_len * iw * C0 * 2;
+        // Stage this band's rows of every c1 plane.
+        for c1i in 0..pl.c1 {
+            dma(
+                &mut p,
+                Addr::gm(gm_in + c1i * full_plane_bytes + band.ih0 * iw * C0 * 2),
+                Addr::l1(l1_in + c1i * band_plane_bytes),
+                band_plane_bytes,
+            )?;
+        }
+        // Band geometry: vertical padding only exists in the single-band
+        // case (enforced by `plan`), so stripping it for inner bands is
+        // exact.
+        let band_params = if band.oh0 == 0 && band.oh1 == pl.oh {
+            *params
+        } else {
+            PoolParams::with_padding(
+                (params.kh, params.kw),
+                (params.sh, params.sw),
+                dv_tensor::Padding {
+                    top: 0,
+                    bottom: 0,
+                    left: params.padding.left,
+                    right: params.padding.right,
+                },
+            )
+        };
+        let geom = Im2ColGeometry::new(band.ih_len, iw, pl.c1, band_params)?;
+        debug_assert_eq!(geom.out_dims(), (boh, pl.ow));
+
+        let mut t = 0usize;
+        while t < band_m_fr {
+            let mt = pl.mt.min(band_m_fr - t);
+            // Reduce over K in chunks, accumulating in L0C's f32 fractals.
+            let mut k0 = 0usize;
+            while k0 < pl.k_fr {
+                let kt = pl.kt.min(pl.k_fr - k0);
+                // The weight slice for rows [k0, k0+kt) is contiguous in
+                // the FracZ layout; load2d it into L0B.
+                p.push(Instr::Move(dv_isa::DataMove::new(
+                    Addr::l1(k0 * pl.n_fr * FRACTAL_BYTES),
+                    Addr::new(BufferId::L0B, 0),
+                    kt * pl.n_fr * FRACTAL_BYTES,
+                )))?;
+                // One mode-0 Im2Col per patch-block row: its repeats sweep
+                // the flat (c1, xk, yk) range [k0, k0+kt), materialising
+                // one fractal row of the OutIn chunk in L0A.
+                for i in 0..mt {
+                    let first_patch = (t + i) * E;
+                    debug_assert!(first_patch < band_patches);
+                    p.push(Instr::Im2Col(Im2Col {
+                        geom,
+                        src: Addr::l1(l1_in),
+                        dst: Addr::new(BufferId::L0A, i * kt * FRACTAL_BYTES),
+                        first_patch,
+                        k_off: ((k0 % kk) / params.kw, k0 % params.kw),
+                        c1: k0 / kk,
+                        repeat: kt as u16,
+                        mode: RepeatMode::Mode0,
+                    }))?;
+                }
+                p.push(Instr::Cube(CubeMatmul {
+                    a: Addr::new(BufferId::L0A, 0),
+                    b: Addr::new(BufferId::L0B, 0),
+                    c: Addr::new(BufferId::L0C, 0),
+                    m_fractals: mt,
+                    k_fractals: kt,
+                    n_fractals: pl.n_fr,
+                    accumulate: k0 > 0,
+                }))?;
+                k0 += kt;
+            }
+            // Drain L0C to the UB (f32 -> f16), regrouping fractals by
+            // output channel plane, then flush the valid slice of each
+            // plane to GM (the band's last fractal may be partial).
+            let valid_bytes = (band_patches.min((t + mt) * E) - t * E) * C0 * 2;
+            for j in 0..pl.n_fr {
+                for i in 0..mt {
+                    p.push(Instr::Move(dv_isa::DataMove::new(
+                        Addr::new(BufferId::L0C, (i * pl.n_fr + j) * L0C_FRACTAL_BYTES),
+                        Addr::ub(j * pl.mt * FRACTAL_BYTES + i * FRACTAL_BYTES),
+                        L0C_FRACTAL_BYTES,
+                    )))?;
+                }
+                dma(
+                    &mut p,
+                    Addr::ub(j * pl.mt * FRACTAL_BYTES),
+                    Addr::gm(
+                        gm_out
+                            + j * pl.m_fr * FRACTAL_BYTES
+                            + (band.oh0 * pl.ow + t * E) * C0 * 2,
+                    ),
+                    valid_bytes,
+                )?;
+            }
+            t += mt;
+        }
+    }
+    Ok(p)
+}
+
+/// Build the backward-data ("dgrad") program: `dX = col2im(dY x W^T)` —
+/// the Cube Unit computes the column-space gradient, the drain converts
+/// it to f16 in the UB, and **`Col2Im` instructions perform the merge**,
+/// the exact use the instruction was designed for (Section II-B).
+///
+/// GM layout: `gm_dy` holds dY as `m_up_fr` fractal-padded planes of
+/// `patch_fr * 512` bytes (patch-major per output channel group);
+/// `gm_wt` holds the transposed FracZ weights; `gm_dx` receives the
+/// NC1HWC0 input gradient (`c1` planes of `ih * iw * C0` f16).
+#[allow(clippy::too_many_arguments)]
+pub fn build_conv2d_backward_data(
+    input_c: usize,
+    ih: usize,
+    iw: usize,
+    m: usize,
+    params: &PoolParams,
+    gm_dy: usize,
+    gm_wt: usize,
+    gm_dx: usize,
+    chip: &Chip,
+) -> Result<Program, ConvError> {
+    let (oh, ow) = params.out_dims(ih, iw)?;
+    let c1 = input_c.div_ceil(C0);
+    let patches = oh * ow;
+    let patch_fr = patches.div_ceil(E);
+    let k_fr = c1 * params.kh * params.kw;
+    let m_up_fr = m.div_ceil(E);
+
+    // Single-tile lowering: everything must be resident at once.
+    let a_fr = patch_fr * m_up_fr;
+    let b_fr = m_up_fr * k_fr;
+    let c_fr = patch_fr * k_fr;
+    let dy_bytes = m_up_fr * patch_fr * FRACTAL_BYTES;
+    let wt_bytes = b_fr * FRACTAL_BYTES;
+    let mg_bytes = k_fr * patch_fr * FRACTAL_BYTES;
+    let dx_bytes = c1 * ih * iw * C0 * 2;
+    if a_fr * FRACTAL_BYTES > chip.caps.l0a
+        || wt_bytes > chip.caps.l0b
+        || c_fr * L0C_FRACTAL_BYTES > chip.caps.l0c
+        || dy_bytes + wt_bytes > chip.caps.l1
+        || mg_bytes + dx_bytes > chip.caps.ub
+    {
+        return Err(ConvError::Unsupported(
+            "backward-data problem exceeds the single-tile lowering".into(),
+        ));
+    }
+
+    let mut p = Program::new();
+    // Stage dY and W^T in L1.
+    dma(&mut p, Addr::gm(gm_dy), Addr::l1(0), dy_bytes)?;
+    dma(&mut p, Addr::gm(gm_wt), Addr::l1(dy_bytes), wt_bytes)?;
+    // A = dY as (patch_fr x m_up_fr) fractals: fractal (i, j) is bytes
+    // [i*512, i*512+512) of dY plane j.
+    for i in 0..patch_fr {
+        for j in 0..m_up_fr {
+            p.push(Instr::Move(dv_isa::DataMove::new(
+                Addr::l1(j * patch_fr * FRACTAL_BYTES + i * FRACTAL_BYTES),
+                Addr::new(BufferId::L0A, (i * m_up_fr + j) * FRACTAL_BYTES),
+                FRACTAL_BYTES,
+            )))?;
+        }
+    }
+    // B = W^T, already fractal-ordered.
+    p.push(Instr::Move(dv_isa::DataMove::new(
+        Addr::l1(dy_bytes),
+        Addr::new(BufferId::L0B, 0),
+        wt_bytes,
+    )))?;
+    p.push(Instr::Cube(CubeMatmul {
+        a: Addr::new(BufferId::L0A, 0),
+        b: Addr::new(BufferId::L0B, 0),
+        c: Addr::new(BufferId::L0C, 0),
+        m_fractals: patch_fr,
+        k_fractals: m_up_fr,
+        n_fractals: k_fr,
+        accumulate: false,
+    }))?;
+    // Drain the column-space gradient to the UB, regrouped into
+    // (c1, kh, kw) planes of patch-major fractals.
+    let ub_mg = Addr::ub(0);
+    let ub_dx = Addr::ub(mg_bytes);
+    for kk in 0..k_fr {
+        for i in 0..patch_fr {
+            p.push(Instr::Move(dv_isa::DataMove::new(
+                Addr::new(BufferId::L0C, (i * k_fr + kk) * L0C_FRACTAL_BYTES),
+                ub_mg.add(kk * patch_fr * FRACTAL_BYTES + i * FRACTAL_BYTES),
+                L0C_FRACTAL_BYTES,
+            )))?;
+        }
+    }
+    // Col2Im requires a zero-initialised output (Section III-D).
+    dv_akg::zero_region(&mut p, ub_dx, c1 * ih * iw * C0)?;
+    let geom = Im2ColGeometry::new(ih, iw, c1, *params)?;
+    for kk in 0..k_fr {
+        let c1_i = kk / (params.kh * params.kw);
+        let rem = kk % (params.kh * params.kw);
+        let k_off = (rem / params.kw, rem % params.kw);
+        let mplane = ub_mg.add(kk * patch_fr * FRACTAL_BYTES);
+        let mut f0 = 0usize;
+        while f0 < patch_fr {
+            let rep = (patch_fr - f0).min(MAX_REPEAT as usize);
+            p.push(Instr::Col2Im(dv_isa::Col2Im {
+                geom,
+                src: mplane.add(f0 * FRACTAL_BYTES),
+                dst: ub_dx,
+                first_patch: f0 * E,
+                k_off,
+                c1: c1_i,
+                repeat: rep as u16,
+            }))?;
+            f0 += rep;
+        }
+    }
+    dma(&mut p, ub_dx, Addr::gm(gm_dx), dx_bytes)?;
+    Ok(p)
+}
+
+/// Host-level convenience: run backward-data on a fresh single-core chip
+/// and return the NCHW input gradient plus the chip counters.
+pub fn run_conv2d_backward_data(
+    gradients: &Nchw,
+    kernels: &Nchw,
+    params: &PoolParams,
+    ih: usize,
+    iw: usize,
+) -> Result<(Nchw, ChipRun), ConvError> {
+    if gradients.n != 1 {
+        return Err(ConvError::Unsupported("batch size must be 1".into()));
+    }
+    if gradients.c != kernels.n {
+        return Err(ConvError::Shape(dv_tensor::ShapeError::Mismatch(format!(
+            "gradient channels {} != kernel count {}",
+            gradients.c, kernels.n
+        ))));
+    }
+    let (oh, ow) = params.out_dims(ih, iw)?;
+    if (gradients.h, gradients.w) != (oh, ow) {
+        return Err(ConvError::Shape(dv_tensor::ShapeError::Mismatch(format!(
+            "gradient plane {:?} != derived {:?}",
+            (gradients.h, gradients.w),
+            (oh, ow)
+        ))));
+    }
+    let chip = Chip::new(1, CostModel::ascend910_like());
+    let c1 = kernels.c.div_ceil(C0);
+    let patch_fr = (oh * ow).div_ceil(E);
+    let (wt, m_up_fr, _k_fr) = crate::fracz::kernels_to_fracz_t(kernels, params);
+
+    let mut gm = GmArena::new();
+    let gm_dy = gm.alloc(m_up_fr * patch_fr * FRACTAL_BYTES);
+    let gm_wt = gm.alloc(wt.len() * 2);
+    let gm_dx = gm.alloc(c1 * ih * iw * C0 * 2);
+
+    let program = build_conv2d_backward_data(
+        kernels.c, ih, iw, kernels.n, params, gm_dy, gm_wt, gm_dx, &chip,
+    )?;
+
+    let mut image = vec![0u8; gm.size()];
+    // dY planes: channel group j, patch-major, fractal-padded.
+    let dy_fractal = gradients.to_nc1hwc0();
+    for j in 0..m_up_fr {
+        let plane = dy_fractal.slice_plane(0, j);
+        let base = gm_dy + j * patch_fr * FRACTAL_BYTES;
+        image[base..base + plane.len() * 2].copy_from_slice(dv_fp16::as_bytes(&plane));
+    }
+    image[gm_wt..gm_wt + wt.len() * 2].copy_from_slice(dv_fp16::as_bytes(&wt));
+    let run = chip.run(&mut image, &[program])?;
+
+    let mut dx = Nc1hwc0::zeros(1, c1, ih, iw);
+    dx.orig_c = kernels.c;
+    let n = c1 * ih * iw * C0;
+    let vals: Vec<F16> = (0..n)
+        .map(|i| {
+            let o = gm_dx + i * 2;
+            F16::from_bits(u16::from_le_bytes([image[o], image[o + 1]]))
+        })
+        .collect();
+    dx.data_mut().copy_from_slice(&vals);
+    Ok((dx.to_nchw(), run))
+}
+
+/// Host-level convenience: run a full convolution on a fresh single-core
+/// chip image and return the NCHW result plus the chip counters.
+pub fn run_conv2d(
+    input: &Nchw,
+    kernels: &Nchw,
+    params: &PoolParams,
+) -> Result<(Nchw, ChipRun), ConvError> {
+    if input.n != 1 {
+        return Err(ConvError::Unsupported("batch size must be 1".into()));
+    }
+    if kernels.c != input.c {
+        return Err(ConvError::Shape(dv_tensor::ShapeError::Mismatch(format!(
+            "kernel channels {} != input channels {}",
+            kernels.c, input.c
+        ))));
+    }
+    let chip = Chip::new(1, CostModel::ascend910_like());
+    let fractal_in = input.to_nc1hwc0();
+    let (weights, k_fr, n_fr) = kernels_to_fracz(kernels, params);
+    let (oh, ow) = params.out_dims(input.h, input.w)?;
+    let m_fr = (oh * ow).div_ceil(E);
+
+    let mut gm = GmArena::new();
+    let gm_in = gm.alloc(fractal_in.byte_len());
+    let gm_weights = gm.alloc(weights.len() * 2);
+    let gm_out = gm.alloc(n_fr * m_fr * FRACTAL_BYTES);
+
+    let program = build_conv2d(
+        input.c, input.h, input.w, kernels.n, params, gm_in, gm_weights, gm_out, &chip,
+    )?;
+    let _ = k_fr;
+
+    let mut image = vec![0u8; gm.size()];
+    image[gm_in..gm_in + fractal_in.byte_len()]
+        .copy_from_slice(dv_fp16::as_bytes(fractal_in.data()));
+    image[gm_weights..gm_weights + weights.len() * 2]
+        .copy_from_slice(dv_fp16::as_bytes(&weights));
+    let run = chip.run(&mut image, &[program])?;
+
+    // Deserialize: plane j holds patches-major (oh, ow) x 16 output
+    // channels.
+    let mut out = Nc1hwc0::zeros(1, n_fr, oh, ow);
+    out.orig_c = kernels.n;
+    for j in 0..n_fr {
+        for patch in 0..oh * ow {
+            for c0 in 0..C0 {
+                let off = gm_out + j * m_fr * FRACTAL_BYTES + (patch * C0 + c0) * 2;
+                let v = F16::from_bits(u16::from_le_bytes([image[off], image[off + 1]]));
+                out.set(0, j, patch / ow, patch % ow, c0, v);
+            }
+        }
+    }
+    Ok((out.to_nchw(), run))
+}

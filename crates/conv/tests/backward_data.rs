@@ -1,0 +1,90 @@
+//! The simulated backward-data pipeline (Cube matmul + **Col2Im merge**)
+//! must match the reference `col2im(dY x W^T)` bit-exactly.
+
+use dv_conv::run_conv2d_backward_data;
+use dv_fp16::F16;
+use dv_tensor::reference::conv2d_backward_data;
+use dv_tensor::{Nchw, PoolParams};
+
+fn det_grads(m: usize, oh: usize, ow: usize, seed: usize) -> Nchw {
+    Nchw::from_fn(1, m, oh, ow, |_, mi, h, w| {
+        F16::from_f32(((seed * 17 + mi * 13 + h * 7 + w * 3) % 11) as f32 * 0.5 - 2.5)
+    })
+}
+
+fn det_kernels(m: usize, c: usize, kh: usize, kw: usize, seed: usize) -> Nchw {
+    Nchw::from_fn(m, c, kh, kw, |mi, ci, hi, wi| {
+        F16::from_f32(((seed * 29 + mi * 19 + ci * 11 + hi * 5 + wi) % 7) as f32 * 0.25 - 0.75)
+    })
+}
+
+fn check(m: usize, c: usize, kernel: (usize, usize), stride: (usize, usize),
+         ih: usize, iw: usize, what: &str) {
+    let params = PoolParams::new(kernel, stride);
+    let (oh, ow) = params.out_dims(ih, iw).unwrap();
+    let grads = det_grads(m, oh, ow, 1);
+    let kernels = det_kernels(m, c, kernel.0, kernel.1, 2);
+    let want = conv2d_backward_data(&grads, &kernels, &params, ih, iw).unwrap();
+    let (got, run) = run_conv2d_backward_data(&grads, &kernels, &params, ih, iw).unwrap();
+    assert_eq!(
+        (got.c, got.h, got.w),
+        (want.c, want.h, want.w),
+        "{what}: shape"
+    );
+    for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "{what}: element {i}");
+    }
+    assert!(run.total.issues_of("col2im") > 0, "{what}: used Col2Im");
+    assert!(run.total.issues_of("cube_mmad") > 0, "{what}: used the Cube");
+}
+
+#[test]
+fn dgrad_3x3_stride1_overlapping() {
+    check(16, 16, (3, 3), (1, 1), 10, 10, "3x3 s1");
+}
+
+#[test]
+fn dgrad_3x3_stride2() {
+    check(8, 32, (3, 3), (2, 2), 11, 11, "3x3 s2");
+}
+
+#[test]
+fn dgrad_1x1_pointwise() {
+    check(24, 16, (1, 1), (1, 1), 8, 8, "1x1");
+}
+
+#[test]
+fn dgrad_2x2_nonoverlapping_leaves_gaps_zero() {
+    let params = PoolParams::new((2, 2), (3, 3));
+    let (ih, iw) = (8, 8);
+    let (oh, ow) = params.out_dims(ih, iw).unwrap();
+    let grads = det_grads(16, oh, ow, 3);
+    let kernels = det_kernels(16, 16, 2, 2, 4);
+    let (got, _) = run_conv2d_backward_data(&grads, &kernels, &params, ih, iw).unwrap();
+    let mult = dv_tensor::coverage_multiplicity(&params, ih, iw);
+    for h in 0..ih {
+        for w in 0..iw {
+            if mult[h * iw + w] == 0 {
+                for c in 0..16 {
+                    assert_eq!(
+                        got.get(0, c, h, w),
+                        F16::ZERO,
+                        "uncovered pixel ({h},{w}) channel {c}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dgrad_rejects_bad_shapes() {
+    let params = PoolParams::new((3, 3), (1, 1));
+    let kernels = det_kernels(8, 16, 3, 3, 5);
+    // wrong gradient channels
+    let bad = det_grads(4, 8, 8, 6);
+    assert!(run_conv2d_backward_data(&bad, &kernels, &params, 10, 10).is_err());
+    // wrong gradient plane
+    let bad = det_grads(8, 5, 5, 7);
+    assert!(run_conv2d_backward_data(&bad, &kernels, &params, 10, 10).is_err());
+}

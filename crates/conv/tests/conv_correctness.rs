@@ -1,0 +1,135 @@
+//! The simulated Im2Col + Cube-Unit convolution pipeline must match the
+//! direct (nested-loop) reference convolution bit-exactly — both
+//! accumulate f16 products in f32 and round once.
+
+use dv_conv::run_conv2d;
+use dv_fp16::F16;
+use dv_tensor::reference::conv2d_direct;
+use dv_tensor::{Nchw, Padding, PoolParams};
+
+fn det_input(c: usize, h: usize, w: usize, seed: usize) -> Nchw {
+    Nchw::from_fn(1, c, h, w, |_, ci, hi, wi| {
+        let v = ((seed * 31 + ci * 17 + hi * 13 + wi * 7) % 15) as f32 - 7.0;
+        F16::from_f32(v * 0.5)
+    })
+}
+
+fn det_kernels(m: usize, c: usize, kh: usize, kw: usize, seed: usize) -> Nchw {
+    Nchw::from_fn(m, c, kh, kw, |mi, ci, hi, wi| {
+        let v = ((seed * 23 + mi * 19 + ci * 11 + hi * 5 + wi * 3) % 9) as f32 - 4.0;
+        F16::from_f32(v * 0.25)
+    })
+}
+
+fn check(input: &Nchw, kernels: &Nchw, params: &PoolParams, what: &str) {
+    let want = conv2d_direct(input, kernels, params).unwrap();
+    let (got, run) = run_conv2d(input, kernels, params).unwrap();
+    assert_eq!(
+        (got.n, got.c, got.h, got.w),
+        (want.n, want.c, want.h, want.w),
+        "{what}: shape"
+    );
+    for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "{what}: element {i}");
+    }
+    assert!(run.total.issues_of("cube_mmad") > 0, "{what}: used the Cube");
+    assert!(run.total.issues_of("im2col") > 0, "{what}: used Im2Col");
+}
+
+#[test]
+fn conv_3x3_stride1_single_channel_group() {
+    let input = det_input(16, 10, 10, 1);
+    let kernels = det_kernels(16, 16, 3, 3, 2);
+    check(&input, &kernels, &PoolParams::new((3, 3), (1, 1)), "3x3 s1");
+}
+
+#[test]
+fn conv_3x3_stride2_multi_c1() {
+    let input = det_input(40, 12, 12, 3);
+    let kernels = det_kernels(8, 40, 3, 3, 4);
+    check(&input, &kernels, &PoolParams::new((3, 3), (2, 2)), "3x3 s2 c40");
+}
+
+#[test]
+fn conv_1x1_pointwise() {
+    let input = det_input(32, 9, 9, 5);
+    let kernels = det_kernels(24, 32, 1, 1, 6);
+    check(&input, &kernels, &PoolParams::new((1, 1), (1, 1)), "1x1");
+}
+
+#[test]
+fn conv_with_padding() {
+    let input = det_input(16, 8, 8, 7);
+    let kernels = det_kernels(16, 16, 3, 3, 8);
+    let params = PoolParams::with_padding((3, 3), (1, 1), Padding::uniform(1));
+    check(&input, &kernels, &params, "3x3 same-pad");
+}
+
+#[test]
+fn conv_asymmetric_kernel() {
+    let input = det_input(16, 9, 11, 9);
+    let kernels = det_kernels(4, 16, 2, 3, 10);
+    check(&input, &kernels, &PoolParams::new((2, 3), (2, 1)), "2x3 kernel");
+}
+
+#[test]
+fn conv_many_output_channels_tile_n() {
+    // 40 output channels -> 3 N-fractals; patches force multiple M tiles
+    // through small L0A... at default capacities one tile suffices, so
+    // this exercises the n_fr > 1 drain path.
+    let input = det_input(16, 14, 14, 11);
+    let kernels = det_kernels(40, 16, 3, 3, 12);
+    check(&input, &kernels, &PoolParams::new((3, 3), (2, 2)), "m=40");
+}
+
+#[test]
+fn conv_large_reduction_k_tiling() {
+    // 128 input channels, 3x3 kernel, 32 output kernels: K = 72 fractals
+    // with n_fr = 2 exceeds the 64-fractal L0B chunk bound, forcing the
+    // accumulate-over-K-chunks path.
+    let input = det_input(128, 10, 10, 21);
+    let kernels = det_kernels(32, 128, 3, 3, 22);
+    check(&input, &kernels, &PoolParams::new((3, 3), (1, 1)), "k-tiled");
+}
+
+#[test]
+fn conv_large_image_l1_banding() {
+    // 64 channels at 76x76: the input alone is 64*76*76*2 = 739 KB of
+    // NC1HWC0 data — more than fits alongside the weights in the 1 MiB
+    // L1... with c1 = 4 planes it is 4*76*76*32 B = 739 KB; adding the
+    // weights still fits, so push to 112x112 (2.4 MB > L1) to force the
+    // band path.
+    let input = det_input(64, 112, 112, 31);
+    let kernels = det_kernels(8, 64, 3, 3, 32);
+    check(&input, &kernels, &PoolParams::new((3, 3), (2, 2)), "112x112 banded");
+}
+
+#[test]
+fn conv_large_image_stride1_banded() {
+    // stride 1 bands overlap by Kh - 1 input rows
+    let input = det_input(32, 96, 40, 33);
+    let kernels = det_kernels(16, 32, 3, 3, 34);
+    check(&input, &kernels, &PoolParams::new((3, 3), (1, 1)), "96x40 banded s1");
+}
+
+#[test]
+fn conv_very_deep_channels() {
+    // 288 channels (InceptionV3's third pooling depth): K = 162 fractals.
+    let input = det_input(288, 8, 8, 23);
+    let kernels = det_kernels(16, 288, 3, 3, 24);
+    check(&input, &kernels, &PoolParams::new((3, 3), (2, 2)), "288ch");
+}
+
+#[test]
+fn conv_rejects_channel_mismatch() {
+    let input = det_input(16, 8, 8, 13);
+    let kernels = det_kernels(4, 32, 3, 3, 14);
+    assert!(run_conv2d(&input, &kernels, &PoolParams::new((3, 3), (1, 1))).is_err());
+}
+
+#[test]
+fn conv_rejects_batch() {
+    let input = Nchw::zeros(2, 16, 8, 8);
+    let kernels = det_kernels(4, 16, 3, 3, 15);
+    assert!(run_conv2d(&input, &kernels, &PoolParams::new((3, 3), (1, 1))).is_err());
+}

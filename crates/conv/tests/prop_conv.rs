@@ -1,0 +1,99 @@
+//! Property tests: the Cube-Unit convolution pipeline vs the direct
+//! reference over random geometries, and fusion-law checks.
+
+use dv_conv::{fuse_conv_avgpool, run_conv2d, run_conv2d_backward_data};
+use dv_fp16::F16;
+use dv_tensor::{reference, Nchw, PoolParams};
+use proptest::prelude::*;
+
+fn tensor(n: usize, c: usize, h: usize, w: usize, seed: u64) -> Nchw {
+    let mut s = seed | 1;
+    Nchw::from_fn(n, c, h, w, |_, _, _, _| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(17);
+        F16::from_f32(((s >> 38) % 17) as f32 * 0.25 - 2.0)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Forward convolution matches the direct reference bit-exactly for
+    /// random channel counts, kernels and strides.
+    #[test]
+    fn conv_forward_matches_reference(
+        c_groups in 1usize..=3, m in 1usize..=24,
+        k in 1usize..=3, stride in 1usize..=2,
+        hw in 6usize..=14, seed in any::<u64>(),
+    ) {
+        let c = c_groups * 16;
+        let params = PoolParams::new((k, k), (stride, stride));
+        prop_assume!(params.out_dims(hw, hw).is_ok());
+        let input = tensor(1, c, hw, hw, seed);
+        let kernels = tensor(m, c, k, k, seed ^ 0xAAAA);
+        let want = reference::conv2d_direct(&input, &kernels, &params).unwrap();
+        let (got, run) = run_conv2d(&input, &kernels, &params).unwrap();
+        prop_assert_eq!(got.data(), want.data());
+        prop_assert!(run.total.issues_of("cube_mmad") > 0);
+    }
+
+    /// Backward-data matches the composition reference bit-exactly.
+    #[test]
+    fn conv_dgrad_matches_reference(
+        c_groups in 1usize..=2, m in 1usize..=20,
+        k in 1usize..=3, stride in 1usize..=2,
+        hw in 6usize..=12, seed in any::<u64>(),
+    ) {
+        let c = c_groups * 16;
+        let params = PoolParams::new((k, k), (stride, stride));
+        prop_assume!(params.out_dims(hw, hw).is_ok());
+        let (oh, ow) = params.out_dims(hw, hw).unwrap();
+        let grads = tensor(1, m, oh, ow, seed);
+        let kernels = tensor(m, c, k, k, seed ^ 0xBBBB);
+        let want = reference::conv2d_backward_data(&grads, &kernels, &params, hw, hw).unwrap();
+        let (got, run) = run_conv2d_backward_data(&grads, &kernels, &params, hw, hw).unwrap();
+        prop_assert_eq!(got.data(), want.data());
+        prop_assert!(run.total.issues_of("col2im") > 0);
+    }
+
+    /// The fusion law holds within a small ulp bound for random weights
+    /// and inputs: conv(s=1) then AvgPool(P/P) == fused conv(s=P).
+    #[test]
+    fn fusion_law(k in 1usize..=3, p in 1usize..=3, hw in 8usize..=14, seed in any::<u64>()) {
+        let (c, m) = (16usize, 8usize);
+        let conv_params = PoolParams::new((k, k), (1, 1));
+        let input = tensor(1, c, hw, hw, seed);
+        let weights = tensor(m, c, k, k, seed ^ 0xCCCC);
+        let (oh, ow) = conv_params.out_dims(hw, hw).unwrap();
+        prop_assume!(oh >= p && ow >= p);
+
+        let (fused_w, fused_p) = fuse_conv_avgpool(&weights, &conv_params, p).unwrap();
+        prop_assume!(fused_p.out_dims(hw, hw).is_ok());
+        let fused = reference::conv2d_direct(&input, &fused_w, &fused_p).unwrap();
+
+        let conv_out = reference::conv2d_direct(&input, &weights, &conv_params).unwrap();
+        let pool_params = PoolParams::new((p, p), (p, p));
+        let mut pooled =
+            reference::avgpool_forward(&conv_out.to_nc1hwc0(), &pool_params).unwrap();
+        pooled.orig_c = m;
+        let pooled = pooled.to_nchw();
+
+        prop_assert_eq!((fused.h, fused.w), (pooled.h, pooled.w));
+        // The composed path rounds each conv output to f16 and sums p*p of
+        // them sequentially in f16; the fused path accumulates everything
+        // in f32 and rounds once. Near-zero sums therefore differ by up
+        // to the f16 rounding of the *summands*, not of the result — an
+        // absolute tolerance scaled by the summand magnitude.
+        let max_summand = conv_out
+            .data()
+            .iter()
+            .map(|v| v.to_f32().abs())
+            .fold(0.0f32, f32::max);
+        let eps = (p * p + 2) as f32 * max_summand * 2.0f32.powi(-10) / (p * p) as f32
+            + 1e-4;
+        for (a, b) in fused.data().iter().zip(pooled.data()) {
+            let (x, y) = (a.to_f32(), b.to_f32());
+            prop_assert!((x - y).abs() <= eps + 0.01 * y.abs(),
+                "fused {a:?} vs composed {b:?} (eps {eps})");
+        }
+    }
+}

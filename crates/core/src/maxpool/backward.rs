@@ -1,0 +1,299 @@
+//! Backward pooling lowerings (paper, Section V-B).
+//!
+//! Both implementations share the multiply step (`vmul` of the argmax
+//! mask with the broadcast gradients, Listing 3 — or a `vmuls` of the
+//! gradient for AvgPool's uniform mask) and differ only in the **merge
+//! step**, which is "exactly the Col2im operation":
+//!
+//! * [`MergeImpl::VAdd`] — the standard lowering: one 16-lane `vadd` per
+//!   `(kh, kw, oh, ow)` patch element, `Kh*Kw*Oh*Ow` issues, no repeat
+//!   ("the scattered access pattern of the merge step leads to very poor
+//!   usage of the Vector Unit").
+//! * [`MergeImpl::Col2Im`] — the accelerated lowering: `Kh*Kw` `Col2Im`
+//!   issues per tile, each merging a whole plane fractal-by-fractal with
+//!   the hardware repeat.
+//!
+//! Tiling: bands of output rows. Because patches of adjacent bands
+//! overlap on `Kh - Sh` input rows, the lowering keeps that halo resident
+//! in the UB between bands: finalized rows are DMA-ed out, the halo is
+//! shifted to the front of the `dx` region with a vector copy, and the
+//! rest is re-zeroed (Col2Im requires a zero-initialised target,
+//! Section III-D).
+
+use crate::problem::{LowerError, MergeImpl, PoolProblem};
+use dv_akg::{
+    band_input_rows, dma, elementwise, max_row_band, row_bands, zero_region, Band, UbArena,
+};
+use dv_fp16::F16;
+use dv_isa::{
+    Addr, Col2Im, Im2ColGeometry, Instr, Mask, Program, VectorInstr, VectorOp, MAX_REPEAT,
+};
+use dv_sim::Capacities;
+use dv_tensor::{PoolParams, C0, FRACTAL_BYTES, FRACTAL_ROWS};
+
+const ROW: usize = C0 * 2;
+
+/// Where the per-patch multiplier comes from.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BackwardSource {
+    /// MaxPool: the argmax mask tensor (im2col patch layout) at this GM
+    /// byte offset; the multiply step is `vmul(mask, grad)`.
+    MaxMask {
+        /// GM byte offset of the mask tensor
+        gm_mask: usize,
+    },
+    /// AvgPool: "the equivalent mask contains 1 in all its positions" —
+    /// the multiply step collapses to `vmuls(grad, scale)` with
+    /// `scale = 1/(Kh*Kw)`.
+    AvgUniform {
+        /// the uniform scale factor
+        scale: F16,
+    },
+}
+
+/// Build backward pooling programs, one per `(n, c1)` plane.
+///
+/// `gm_grad` is the incoming-gradient tensor `(N, C1, Oh, Ow, C0)`;
+/// `gm_dx` receives the input-shaped gradient `(N, C1, Ih, Iw, C0)`.
+pub fn build_backward(
+    prob: &PoolProblem,
+    merge: MergeImpl,
+    source: BackwardSource,
+    gm_grad: usize,
+    gm_dx: usize,
+    caps: Capacities,
+) -> Result<Vec<Program>, LowerError> {
+    let params = prob.params;
+    let (oh, ow) = prob.out_dims();
+    let planes = params.kh * params.kw;
+
+    // Footprint: gradient band + Kh*Kw mask-gradient planes + the dx
+    // window including the inter-band halo slack.
+    let footprint = |boh: usize| {
+        let padded = PoolProblem::padded_plane_bytes(boh * ow);
+        let dx_rows = band_input_rows(&params, boh) + params.sh;
+        padded + planes * padded + dx_rows * prob.iw * ROW
+    };
+    let boh = max_row_band(oh, caps.ub, footprint)?;
+    let mut bands = row_bands(&params, oh, boh);
+    if bands.len() == 1 {
+        // Single band: hold the whole image (covers vertical padding and
+        // trailing rows no patch touches).
+        bands[0].ih_len = prob.ih;
+    } else if params.padding.top > 0 || params.padding.bottom > 0 {
+        return Err(LowerError::Unsupported(
+            "vertical padding requires the plane to fit in a single band".into(),
+        ));
+    }
+
+    // The dx window must hold every band's rows AND everything its
+    // finalize DMA flushes: for the last band that is everything up to
+    // Ih (rows past the last patch stay zero); for inner bands it is
+    // `boh * Sh` rows, which exceeds the touched `ih_len` rows when
+    // Sh > Kh (the gap rows between patches, flushed as zeros).
+    let alloc_rows = bands
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            if i + 1 == bands.len() {
+                prob.ih - b.ih0
+            } else {
+                b.ih_len.max(bands[i + 1].ih0 - b.ih0)
+            }
+        })
+        .max()
+        .unwrap();
+
+    let boh_max = bands[0].oh_len();
+    let padded = PoolProblem::padded_plane_bytes(boh_max * ow);
+
+    let mut programs = Vec::with_capacity(prob.n * prob.c1);
+    for (n, c1) in prob.planes() {
+        let grad_base = gm_grad + prob.out_plane_offset(n, c1);
+        let dx_base = gm_dx + prob.in_plane_offset(n, c1);
+
+        let mut ub = UbArena::new(caps.ub);
+        let ub_grad = Addr::ub(ub.alloc(padded)?);
+        let ub_mg = Addr::ub(ub.alloc(planes * padded)?);
+        let ub_dx = Addr::ub(ub.alloc(alloc_rows * prob.iw * ROW)?);
+
+        let mut p = Program::new();
+        let mut prev: Option<Band> = None;
+        for (bi, band) in bands.iter().enumerate() {
+            let last = bi + 1 == bands.len();
+            emit_backward_band(
+                &mut p, prob, merge, source, grad_base, dx_base, band, prev.as_ref(),
+                last, alloc_rows, padded, (n, c1), ub_grad, ub_mg, ub_dx,
+            )?;
+            prev = Some(*band);
+        }
+        programs.push(p);
+    }
+    Ok(programs)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_backward_band(
+    p: &mut Program,
+    prob: &PoolProblem,
+    merge: MergeImpl,
+    source: BackwardSource,
+    grad_base: usize,
+    dx_base: usize,
+    band: &Band,
+    prev: Option<&Band>,
+    last: bool,
+    alloc_rows: usize,
+    padded: usize,
+    (n, c1): (usize, usize),
+    ub_grad: Addr,
+    ub_mg: Addr,
+    ub_dx: Addr,
+) -> Result<(), LowerError> {
+    let params = prob.params;
+    let (oh_total, ow) = prob.out_dims();
+    let boh = band.oh_len();
+    let planes = params.kh * params.kw;
+    let valid = boh * ow * C0;
+    let row_bytes = prob.iw * ROW;
+
+    // --- dx window preparation: shift the halo, zero the rest.
+    match prev {
+        None => zero_region(p, ub_dx, alloc_rows * prob.iw * C0)?,
+        Some(prev) => {
+            let shift_rows = band.ih0 - prev.ih0;
+            let halo_rows = (prev.ih0 + prev.ih_len).saturating_sub(band.ih0);
+            if halo_rows > 0 {
+                // Forward-overlapping copy (dst < src): the Vector Unit
+                // processes lanes and repeats in ascending order, so this
+                // is a well-defined left shift.
+                elementwise(
+                    p,
+                    VectorOp::Copy,
+                    ub_dx,
+                    ub_dx.add(shift_rows * row_bytes),
+                    Addr::ub(0),
+                    halo_rows * prob.iw * C0,
+                )?;
+            }
+            zero_region(
+                p,
+                ub_dx.add(halo_rows * row_bytes),
+                (alloc_rows - halo_rows) * prob.iw * C0,
+            )?;
+        }
+    }
+
+    // --- load the gradient band.
+    dma(
+        p,
+        Addr::gm(grad_base + band.oh0 * ow * ROW),
+        ub_grad,
+        boh * ow * ROW,
+    )?;
+
+    // --- multiply step (Listing 3).
+    match source {
+        BackwardSource::MaxMask { gm_mask } => {
+            for kh in 0..params.kh {
+                for kw in 0..params.kw {
+                    let idx = kh * params.kw + kw;
+                    let mplane = ub_mg.add(idx * padded);
+                    let plane_gm = gm_mask
+                        + prob.mask_plane_offset(n, c1, kh, kw)
+                        + band.oh0 * ow * ROW;
+                    dma(p, Addr::gm(plane_gm), mplane, boh * ow * ROW)?;
+                    elementwise(p, VectorOp::Mul, mplane, mplane, ub_grad, valid)?;
+                }
+            }
+        }
+        BackwardSource::AvgUniform { scale } => {
+            for idx in 0..planes {
+                let mplane = ub_mg.add(idx * padded);
+                elementwise(p, VectorOp::MulScalar(scale), mplane, ub_grad, ub_grad, valid)?;
+            }
+        }
+    }
+
+    // --- band geometry for the merge.
+    let band_params = if band.oh0 == 0 && band.oh1 == oh_total {
+        params
+    } else {
+        PoolParams::with_padding(
+            (params.kh, params.kw),
+            (params.sh, params.sw),
+            dv_tensor::Padding {
+                top: 0,
+                bottom: 0,
+                left: params.padding.left,
+                right: params.padding.right,
+            },
+        )
+    };
+    let geom = Im2ColGeometry::new(band.ih_len, prob.iw, 1, band_params)
+        .map_err(LowerError::Isa)?;
+    debug_assert_eq!(geom.out_dims(), (boh, ow));
+
+    // --- merge step.
+    match merge {
+        MergeImpl::VAdd => {
+            // "the vadd instructions only set 16 elements of the vector
+            // mask (vectorizing on C0) and repetition is not used."
+            for kh in 0..params.kh {
+                for kw in 0..params.kw {
+                    let mplane = ub_mg.add((kh * params.kw + kw) * padded);
+                    for patch in 0..boh * ow {
+                        let Some((h, w)) = geom.element_coord(patch, kh, kw) else {
+                            continue; // contribution lands in padding
+                        };
+                        let dst = ub_dx.add((h * prob.iw + w) * ROW);
+                        p.push(Instr::Vector(VectorInstr {
+                            op: VectorOp::Add,
+                            dst,
+                            src0: dst,
+                            src1: mplane.add(patch * ROW),
+                            mask: Mask::C0_ONLY,
+                            repeat: 1,
+                            dst_stride: 0,
+                            src0_stride: 0,
+                            src1_stride: 0,
+                        }))?;
+                    }
+                }
+            }
+        }
+        MergeImpl::Col2Im => {
+            let bf = PoolProblem::fractals_for(boh * ow);
+            for kh in 0..params.kh {
+                for kw in 0..params.kw {
+                    let mplane = ub_mg.add((kh * params.kw + kw) * padded);
+                    let mut f0 = 0usize;
+                    while f0 < bf {
+                        let rep = (bf - f0).min(MAX_REPEAT as usize);
+                        p.push(Instr::Col2Im(Col2Im {
+                            geom,
+                            src: mplane.add(f0 * FRACTAL_BYTES),
+                            dst: ub_dx,
+                            first_patch: f0 * FRACTAL_ROWS,
+                            k_off: (kh, kw),
+                            c1: 0,
+                            repeat: rep as u16,
+                        }))?;
+                        f0 += rep;
+                    }
+                }
+            }
+        }
+    }
+
+    // --- finalize: rows no later band will touch go back to GM.
+    let end_abs = if last { prob.ih } else { band.oh1 * params.sh };
+    let rows_out = end_abs - band.ih0;
+    dma(
+        p,
+        ub_dx,
+        Addr::gm(dx_base + band.ih0 * row_bytes),
+        rows_out * row_bytes,
+    )?;
+    Ok(())
+}

@@ -1,0 +1,794 @@
+//! Forward pooling lowerings (paper, Section V-A and VI-B).
+//!
+//! Every builder produces one [`Program`] per `(n, c1)` plane — the unit
+//! the chip parallelises — and row-band tiles inside the program when the
+//! plane exceeds the Unified Buffer.
+
+use crate::problem::{ForwardImpl, LowerError, PoolProblem};
+use dv_akg::{
+    band_input_rows, dma, elementwise, fill_region, max_row_band, row_bands, strided_accumulate,
+    Band, UbArena,
+};
+use dv_fp16::F16;
+use dv_isa::{
+    Addr, Im2Col, Im2ColGeometry, Instr, Mask, Program, RepeatMode, VectorInstr, VectorOp,
+    MAX_REPEAT,
+};
+use dv_sim::Capacities;
+use dv_tensor::{PoolParams, C0, FRACTAL_BYTES, FRACTAL_ROWS};
+
+/// The reduction a forward pooling applies (MaxPool / AvgPool share all
+/// four lowerings; AvgPool adds a final scale — Section V-C).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Reduction {
+    /// `vmax` accumulation from `-inf`.
+    Max,
+    /// `vadd` accumulation from `0`, then one `vmuls` by `scale`
+    /// (`1/(Kh*Kw)`).
+    Sum {
+        /// the post-reduction scale factor
+        scale: F16,
+    },
+}
+
+impl Reduction {
+    fn op(self) -> VectorOp {
+        match self {
+            Reduction::Max => VectorOp::Max,
+            Reduction::Sum { .. } => VectorOp::Add,
+        }
+    }
+
+    fn init(self) -> F16 {
+        match self {
+            Reduction::Max => F16::NEG_INFINITY,
+            Reduction::Sum { .. } => F16::ZERO,
+        }
+    }
+}
+
+const ROW: usize = C0 * 2; // bytes of one C0 group
+
+/// Build forward pooling programs, one per `(n, c1)` plane.
+///
+/// `gm_in`/`gm_out` are the global-memory byte offsets of the NC1HWC0
+/// input and output tensors.
+pub fn build_forward(
+    prob: &PoolProblem,
+    impl_: ForwardImpl,
+    reduction: Reduction,
+    gm_in: usize,
+    gm_out: usize,
+    caps: Capacities,
+) -> Result<Vec<Program>, LowerError> {
+    build_forward_inner(prob, impl_, reduction, gm_in, gm_out, None, caps, 1)
+}
+
+/// Like [`build_forward`], but split each plane's row bands over up to
+/// `parallel` total programs so a chip with more cores than `(N, C1)`
+/// planes still parallelises ("each core calculates a share of the
+/// output", Section VII). Forward bands write disjoint output rows, so
+/// they partition freely; backward keeps one program per plane because
+/// adjacent bands share a halo.
+#[allow(clippy::too_many_arguments)]
+pub fn build_forward_parallel(
+    prob: &PoolProblem,
+    impl_: ForwardImpl,
+    reduction: Reduction,
+    gm_in: usize,
+    gm_out: usize,
+    caps: Capacities,
+    parallel: usize,
+) -> Result<Vec<Program>, LowerError> {
+    build_forward_inner(prob, impl_, reduction, gm_in, gm_out, None, caps, parallel)
+}
+
+/// Build forward pooling that additionally stores the argmax mask (in the
+/// im2col patch layout) at `gm_mask` — the Fig. 7b computation. Only the
+/// `Standard` and `Im2col` implementations support the mask, and only
+/// with `Reduction::Max`.
+pub fn build_forward_with_argmax(
+    prob: &PoolProblem,
+    impl_: ForwardImpl,
+    gm_in: usize,
+    gm_out: usize,
+    gm_mask: usize,
+    caps: Capacities,
+) -> Result<Vec<Program>, LowerError> {
+    if !matches!(impl_, ForwardImpl::Standard | ForwardImpl::Im2col) {
+        return Err(LowerError::Unsupported(format!(
+            "argmax mask is lowered only for Standard and Im2col (got {impl_:?})"
+        )));
+    }
+    build_forward_inner(
+        prob,
+        impl_,
+        Reduction::Max,
+        gm_in,
+        gm_out,
+        Some(gm_mask),
+        caps,
+        1,
+    )
+}
+
+/// Like [`build_forward_with_argmax`] with band-level parallel splitting
+/// (see [`build_forward_parallel`]).
+#[allow(clippy::too_many_arguments)]
+pub fn build_forward_with_argmax_parallel(
+    prob: &PoolProblem,
+    impl_: ForwardImpl,
+    gm_in: usize,
+    gm_out: usize,
+    gm_mask: usize,
+    caps: Capacities,
+    parallel: usize,
+) -> Result<Vec<Program>, LowerError> {
+    if !matches!(impl_, ForwardImpl::Standard | ForwardImpl::Im2col) {
+        return Err(LowerError::Unsupported(format!(
+            "argmax mask is lowered only for Standard and Im2col (got {impl_:?})"
+        )));
+    }
+    build_forward_inner(
+        prob,
+        impl_,
+        Reduction::Max,
+        gm_in,
+        gm_out,
+        Some(gm_mask),
+        caps,
+        parallel,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_forward_inner(
+    prob: &PoolProblem,
+    impl_: ForwardImpl,
+    reduction: Reduction,
+    gm_in: usize,
+    gm_out: usize,
+    gm_mask: Option<usize>,
+    caps: Capacities,
+    parallel: usize,
+) -> Result<Vec<Program>, LowerError> {
+    let params = prob.params;
+    // Padding support: the Im2Col instruction realises padding for free;
+    // the other lowerings would need explicit border handling that the
+    // paper's experiments never exercise ("No padding is used in them").
+    if impl_ != ForwardImpl::Im2col && !params.padding.is_none() {
+        return Err(LowerError::Unsupported(format!(
+            "{impl_:?} lowering requires no padding"
+        )));
+    }
+
+    let (oh, _ow) = prob.out_dims();
+    let mut boh = plan_band(prob, impl_, gm_mask.is_some(), caps)?;
+    // When the chip has more cores than (N, C1) planes, shrink bands so
+    // each plane yields enough independent bands to occupy its share of
+    // cores (the scheduler trades tile size for parallelism).
+    let planes = prob.n * prob.c1;
+    let desired_groups = (parallel.max(1) / planes).max(1);
+    if desired_groups > 1 {
+        boh = boh.min(oh.div_ceil(desired_groups)).max(1);
+    }
+    if impl_ == ForwardImpl::Im2col
+        && boh < oh
+        && (params.padding.top > 0 || params.padding.bottom > 0)
+    {
+        return Err(LowerError::Unsupported(
+            "vertical padding requires the plane to fit in a single band".into(),
+        ));
+    }
+
+    let mut bands = row_bands(&params, oh, boh);
+    if bands.len() == 1 {
+        // Single band: hold the whole image. Required for vertical
+        // padding (where the band-rows formula overshoots the image) and
+        // harmless otherwise.
+        bands[0].ih_len = prob.ih;
+    }
+
+    // Distribute this plane count's bands over `parallel` programs:
+    // forward bands touch disjoint output rows, so grouping contiguous
+    // bands into separate programs lets idle cores take shares of a
+    // plane when C1 < cores.
+    let groups_per_plane = desired_groups.min(bands.len());
+
+    let mut programs = Vec::with_capacity(planes * groups_per_plane);
+    for (n, c1) in prob.planes() {
+        let in_base = gm_in + prob.in_plane_offset(n, c1);
+        let out_base = gm_out + prob.out_plane_offset(n, c1);
+        for group in bands.chunks(bands.len().div_ceil(groups_per_plane)) {
+            let mut p = Program::new();
+            for band in group {
+                match impl_ {
+                    ForwardImpl::Standard => emit_standard_band(
+                        &mut p, prob, reduction, in_base, out_base, band, boh, gm_mask,
+                        (n, c1), caps,
+                    )?,
+                    ForwardImpl::Im2col => emit_im2col_band(
+                        &mut p, prob, reduction, in_base, out_base, band, boh, gm_mask,
+                        (n, c1), caps,
+                    )?,
+                    ForwardImpl::Expansion => emit_expansion_band(
+                        &mut p, prob, reduction, in_base, out_base, band, boh, caps,
+                    )?,
+                    ForwardImpl::XYSplit => emit_xysplit_band(
+                        &mut p, prob, reduction, in_base, out_base, band, boh, caps,
+                    )?,
+                }
+            }
+            programs.push(p);
+        }
+    }
+    Ok(programs)
+}
+
+/// Unified-Buffer footprint of one band for each implementation, in
+/// bytes. `boh` = output rows in the band.
+fn ub_footprint(prob: &PoolProblem, impl_: ForwardImpl, with_mask: bool, boh: usize) -> usize {
+    let params = &prob.params;
+    let (_, ow) = prob.out_dims();
+    let in_band = band_input_rows(params, boh) * prob.iw * ROW;
+    let out_band = boh * ow * ROW;
+    let planes = params.kh * params.kw;
+    let padded = PoolProblem::padded_plane_bytes(boh * ow);
+    let mask = if with_mask { planes * padded } else { 0 };
+    match impl_ {
+        ForwardImpl::Standard => in_band + out_band + mask,
+        // Im2col: the raw input stages in L1, the UB holds the column
+        // planes plus a fractal-padded output.
+        ForwardImpl::Im2col => (planes + 1) * padded + mask,
+        ForwardImpl::Expansion => in_band + (planes + 1) * padded,
+        ForwardImpl::XYSplit => {
+            let tmp = band_input_rows(params, boh) * ow * ROW;
+            in_band + tmp + out_band
+        }
+    }
+}
+
+/// Choose the band height: the largest that fits the UB (and, for
+/// Im2col, stages its input rows in L1).
+fn plan_band(
+    prob: &PoolProblem,
+    impl_: ForwardImpl,
+    with_mask: bool,
+    caps: Capacities,
+) -> Result<usize, LowerError> {
+    let (oh, _) = prob.out_dims();
+    let mut boh = max_row_band(oh, caps.ub, |b| ub_footprint(prob, impl_, with_mask, b))?;
+    if impl_ == ForwardImpl::Im2col {
+        let l1_band = max_row_band(oh, caps.l1, |b| {
+            band_input_rows(&prob.params, b) * prob.iw * ROW
+        })?;
+        boh = boh.min(l1_band);
+    }
+    Ok(boh)
+}
+
+/// The Fig. 8 *tiling threshold*: the largest square input `H = W` one
+/// band can process for this implementation (N = C1 = 1).
+pub fn tiling_threshold(
+    params: &PoolParams,
+    impl_: ForwardImpl,
+    caps: Capacities,
+) -> usize {
+    dv_akg::tiling_threshold(caps.ub, 4096, |hw| {
+        match PoolProblem::new(1, 1, hw.max(params.kh), hw.max(params.kw), *params) {
+            Ok(p) => {
+                let (oh, _) = p.out_dims();
+                let ub = ub_footprint(&p, impl_, false, oh);
+                if impl_ == ForwardImpl::Im2col {
+                    // also require the L1 staging to fit
+                    if p.in_plane_bytes() > caps.l1 {
+                        return usize::MAX;
+                    }
+                }
+                ub
+            }
+            Err(_) => usize::MAX,
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Standard (Listing 1): strided reduction on the NC1HWC0 band.
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn emit_standard_band(
+    p: &mut Program,
+    prob: &PoolProblem,
+    reduction: Reduction,
+    in_base: usize,
+    out_base: usize,
+    band: &Band,
+    boh_max: usize,
+    gm_mask: Option<usize>,
+    (n, c1): (usize, usize),
+    caps: Capacities,
+) -> Result<(), LowerError> {
+    let params = &prob.params;
+    let (oh_total, ow) = prob.out_dims();
+    let boh = band.oh_len();
+    let planes = params.kh * params.kw;
+    let padded = PoolProblem::padded_plane_bytes(boh_max * ow);
+
+    let mut ub = UbArena::new(caps.ub);
+    let ub_in = Addr::ub(ub.alloc(band_input_rows(params, boh_max) * prob.iw * ROW)?);
+    let ub_out = Addr::ub(ub.alloc(boh_max * ow * ROW)?);
+    let ub_mask = if gm_mask.is_some() {
+        Some(Addr::ub(ub.alloc(planes * padded)?))
+    } else {
+        None
+    };
+
+    // Load the input band and initialise the output accumulator.
+    dma(
+        p,
+        Addr::gm(in_base + band.ih0 * prob.iw * ROW),
+        ub_in,
+        band.ih_len * prob.iw * ROW,
+    )?;
+    fill_region(p, ub_out, reduction.init(), boh * ow * C0)?;
+
+    if params.sw == 1 {
+        // Stride width 1: consecutive patches are consecutive in memory,
+        // so the lowering "combin[es] the mask register set with all 128
+        // elements and its repeat parameter" (Section VI-B): per output
+        // row and kernel row, full-mask chunks whose Kw-repeat slides the
+        // source one column (32 B) per iteration — the behaviour that
+        // makes direct pooling win Fig. 8a.
+        for oh_r in 0..boh {
+            for kh in 0..params.kh {
+                let dst_row = ub_out.add(oh_r * ow * ROW);
+                let src_row = ub_in.add((oh_r * params.sh + kh) * prob.iw * ROW);
+                let elems = ow * C0;
+                let mut e0 = 0usize;
+                while e0 < elems {
+                    let n = (elems - e0).min(dv_isa::VECTOR_LANES);
+                    p.push(Instr::Vector(VectorInstr {
+                        op: reduction.op(),
+                        dst: dst_row.add(e0 * 2),
+                        src0: dst_row.add(e0 * 2),
+                        src1: src_row.add(e0 * 2),
+                        mask: Mask::first_n(n),
+                        repeat: params.kw as u16,
+                        dst_stride: 0,
+                        src0_stride: 0,
+                        src1_stride: ROW,
+                    }))?;
+                    e0 += n;
+                }
+            }
+        }
+    } else {
+        // General case: 16 of 128 mask lanes (the C0 group), one issue
+        // per (oh, ow, kh) with a Kw-repeat over the patch width.
+        for oh_r in 0..boh {
+            for ow_i in 0..ow {
+                for kh in 0..params.kh {
+                    let dst = ub_out.add((oh_r * ow + ow_i) * ROW);
+                    let src = ub_in
+                        .add(((oh_r * params.sh + kh) * prob.iw + ow_i * params.sw) * ROW);
+                    strided_accumulate(
+                        p,
+                        reduction.op(),
+                        dst,
+                        src,
+                        Mask::C0_ONLY,
+                        params.kw as u16,
+                        ROW,
+                    )?;
+                }
+            }
+        }
+    }
+
+    if let Reduction::Sum { scale } = reduction {
+        elementwise(
+            p,
+            VectorOp::MulScalar(scale),
+            ub_out,
+            ub_out,
+            ub_out,
+            boh * ow * C0,
+        )?;
+    }
+
+    // Argmax mask: compare every patch element against the patch maximum
+    // (Section V-A). One vcmp per (oh, ow, kh) with a Kw repeat whose
+    // destination strides across whole mask planes.
+    if let (Some(mask_base), Some(ub_mask)) = (gm_mask, ub_mask) {
+        for oh_r in 0..boh {
+            for ow_i in 0..ow {
+                for kh in 0..params.kh {
+                    p.push(Instr::Vector(VectorInstr {
+                        op: VectorOp::CmpEq,
+                        dst: ub_mask.add((kh * params.kw) * padded + (oh_r * ow + ow_i) * ROW),
+                        src0: ub_in
+                            .add(((oh_r * params.sh + kh) * prob.iw + ow_i * params.sw) * ROW),
+                        src1: ub_out.add((oh_r * ow + ow_i) * ROW),
+                        mask: Mask::C0_ONLY,
+                        repeat: params.kw as u16,
+                        dst_stride: padded,
+                        src0_stride: ROW,
+                        src1_stride: 0,
+                    }))?;
+                }
+            }
+        }
+        for kh in 0..params.kh {
+            for kw in 0..params.kw {
+                let plane_gm = mask_base
+                    + prob.mask_plane_offset(n, c1, kh, kw)
+                    + band.oh0 * ow * ROW;
+                dma(
+                    p,
+                    ub_mask.add((kh * params.kw + kw) * padded),
+                    Addr::gm(plane_gm),
+                    boh * ow * ROW,
+                )?;
+            }
+        }
+    }
+
+    let _ = oh_total;
+    dma(
+        p,
+        ub_out,
+        Addr::gm(out_base + band.oh0 * ow * ROW),
+        boh * ow * ROW,
+    )?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Im2col (Listing 2): SCU loads into (Kh, Kw, Oh, Ow, C0), saturated
+// reduction over the outer kernel axes.
+// ---------------------------------------------------------------------
+
+/// Emit the mode-1 `Im2Col` issues covering `bf` fractals of one
+/// `(kh, kw)` plane (chunked at the hardware repeat limit).
+fn emit_im2col_plane(
+    p: &mut Program,
+    geom: Im2ColGeometry,
+    k_off: (usize, usize),
+    src: Addr,
+    dst: Addr,
+    bf: usize,
+) -> Result<(), LowerError> {
+    let mut f0 = 0usize;
+    while f0 < bf {
+        let rep = (bf - f0).min(MAX_REPEAT as usize);
+        p.push(Instr::Im2Col(Im2Col {
+            geom,
+            src,
+            dst: dst.add(f0 * FRACTAL_BYTES),
+            first_patch: f0 * FRACTAL_ROWS,
+            k_off,
+            c1: 0,
+            repeat: rep as u16,
+            mode: RepeatMode::Mode1,
+        }))?;
+        f0 += rep;
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_im2col_band(
+    p: &mut Program,
+    prob: &PoolProblem,
+    reduction: Reduction,
+    in_base: usize,
+    out_base: usize,
+    band: &Band,
+    boh_max: usize,
+    gm_mask: Option<usize>,
+    (n, c1): (usize, usize),
+    caps: Capacities,
+) -> Result<(), LowerError> {
+    let params = prob.params;
+    let (oh_total, ow) = prob.out_dims();
+    let boh = band.oh_len();
+    let planes = params.kh * params.kw;
+    let padded = PoolProblem::padded_plane_bytes(boh_max * ow);
+    let bf = PoolProblem::fractals_for(boh * ow);
+
+    let mut ub = UbArena::new(caps.ub);
+    let ub_cols = Addr::ub(ub.alloc(planes * padded)?);
+    let ub_out = Addr::ub(ub.alloc(padded)?);
+    let ub_mask = if gm_mask.is_some() {
+        Some(Addr::ub(ub.alloc(planes * padded)?))
+    } else {
+        None
+    };
+
+    // Band geometry: multi-band lowering requires no vertical padding
+    // (enforced by the caller), so dropping top/bottom is exact.
+    let band_params = if band.oh0 == 0 && band.oh1 == oh_total {
+        params
+    } else {
+        PoolParams::with_padding(
+            (params.kh, params.kw),
+            (params.sh, params.sw),
+            dv_tensor::Padding {
+                top: 0,
+                bottom: 0,
+                left: params.padding.left,
+                right: params.padding.right,
+            },
+        )
+    };
+    let geom = Im2ColGeometry::new(band.ih_len, prob.iw, 1, band_params)
+        .map_err(LowerError::Isa)?;
+    debug_assert_eq!(geom.out_dims(), (boh, ow));
+
+    // Stage the input band in L1 and issue the SCU loads.
+    dma(
+        p,
+        Addr::gm(in_base + band.ih0 * prob.iw * ROW),
+        Addr::l1(0),
+        band.ih_len * prob.iw * ROW,
+    )?;
+    for kh in 0..params.kh {
+        for kw in 0..params.kw {
+            let plane = ub_cols.add((kh * params.kw + kw) * padded);
+            emit_im2col_plane(p, geom, (kh, kw), Addr::l1(0), plane, bf)?;
+        }
+    }
+
+    // Saturated reduction: Kh*Kw elementwise issues over the whole band.
+    fill_region(p, ub_out, reduction.init(), bf * FRACTAL_ROWS * C0)?;
+    for plane_idx in 0..planes {
+        let plane = ub_cols.add(plane_idx * padded);
+        elementwise(
+            p,
+            reduction.op(),
+            ub_out,
+            ub_out,
+            plane,
+            bf * FRACTAL_ROWS * C0,
+        )?;
+    }
+    if let Reduction::Sum { scale } = reduction {
+        elementwise(
+            p,
+            VectorOp::MulScalar(scale),
+            ub_out,
+            ub_out,
+            ub_out,
+            bf * FRACTAL_ROWS * C0,
+        )?;
+    }
+
+    // Argmax mask: one saturated vcmp per plane, comparing the plane
+    // against the reduced maximum ("comparing each patch of the input
+    // with its maximum value").
+    if let (Some(mask_base), Some(ub_mask)) = (gm_mask, ub_mask) {
+        for plane_idx in 0..planes {
+            let plane = ub_cols.add(plane_idx * padded);
+            let mplane = ub_mask.add(plane_idx * padded);
+            elementwise(
+                p,
+                VectorOp::CmpEq,
+                mplane,
+                plane,
+                ub_out,
+                bf * FRACTAL_ROWS * C0,
+            )?;
+        }
+        for kh in 0..params.kh {
+            for kw in 0..params.kw {
+                let plane_gm = mask_base
+                    + prob.mask_plane_offset(n, c1, kh, kw)
+                    + band.oh0 * ow * ROW;
+                dma(
+                    p,
+                    ub_mask.add((kh * params.kw + kw) * padded),
+                    Addr::gm(plane_gm),
+                    boh * ow * ROW,
+                )?;
+            }
+        }
+    }
+
+    dma(
+        p,
+        ub_out,
+        Addr::gm(out_base + band.oh0 * ow * ROW),
+        boh * ow * ROW,
+    )?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Expansion (Fig. 8): layout change with regular vector copies in the UB.
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn emit_expansion_band(
+    p: &mut Program,
+    prob: &PoolProblem,
+    reduction: Reduction,
+    in_base: usize,
+    out_base: usize,
+    band: &Band,
+    boh_max: usize,
+    caps: Capacities,
+) -> Result<(), LowerError> {
+    let params = &prob.params;
+    let (_, ow) = prob.out_dims();
+    let boh = band.oh_len();
+    let planes = params.kh * params.kw;
+    let padded = PoolProblem::padded_plane_bytes(boh_max * ow);
+    let bf = PoolProblem::fractals_for(boh * ow);
+
+    let mut ub = UbArena::new(caps.ub);
+    let ub_in = Addr::ub(ub.alloc(band_input_rows(params, boh_max) * prob.iw * ROW)?);
+    let ub_cols = Addr::ub(ub.alloc(planes * padded)?);
+    let ub_out = Addr::ub(ub.alloc(padded)?);
+
+    dma(
+        p,
+        Addr::gm(in_base + band.ih0 * prob.iw * ROW),
+        ub_in,
+        band.ih_len * prob.iw * ROW,
+    )?;
+
+    // The expansion itself: copy each (kh, kw) selection into its dense
+    // plane. With Sw = 1 the source is contiguous and the copy saturates;
+    // otherwise it is a 16-lane strided gather per output row.
+    for kh in 0..params.kh {
+        for kw in 0..params.kw {
+            let plane = ub_cols.add((kh * params.kw + kw) * padded);
+            for oh_r in 0..boh {
+                let src_row = (oh_r * params.sh + kh) * prob.iw;
+                if params.sw == 1 {
+                    elementwise(
+                        p,
+                        VectorOp::Copy,
+                        plane.add(oh_r * ow * ROW),
+                        ub_in.add((src_row + kw) * ROW),
+                        Addr::ub(0),
+                        ow * C0,
+                    )?;
+                } else {
+                    let mut o0 = 0usize;
+                    while o0 < ow {
+                        let rep = (ow - o0).min(MAX_REPEAT as usize);
+                        p.push(Instr::Vector(VectorInstr {
+                            op: VectorOp::Copy,
+                            dst: plane.add((oh_r * ow + o0) * ROW),
+                            src0: ub_in.add((src_row + o0 * params.sw + kw) * ROW),
+                            src1: Addr::ub(0),
+                            mask: Mask::C0_ONLY,
+                            repeat: rep as u16,
+                            dst_stride: ROW,
+                            src0_stride: params.sw * ROW,
+                            src1_stride: 0,
+                        }))?;
+                        o0 += rep;
+                    }
+                }
+            }
+        }
+    }
+
+    // Identical reduction to the Im2col variant.
+    fill_region(p, ub_out, reduction.init(), bf * FRACTAL_ROWS * C0)?;
+    for plane_idx in 0..planes {
+        let plane = ub_cols.add(plane_idx * padded);
+        // Only the valid prefix was written by the expansion; reduce just
+        // that (the padded tail of ub_out stays at its init value).
+        elementwise(p, reduction.op(), ub_out, ub_out, plane, boh * ow * C0)?;
+    }
+    if let Reduction::Sum { scale } = reduction {
+        elementwise(
+            p,
+            VectorOp::MulScalar(scale),
+            ub_out,
+            ub_out,
+            ub_out,
+            boh * ow * C0,
+        )?;
+    }
+
+    dma(
+        p,
+        ub_out,
+        Addr::gm(out_base + band.oh0 * ow * ROW),
+        boh * ow * ROW,
+    )?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// X-Y split (Fig. 8b): width reduction, then height reduction over the
+// intermediate tensor ("In TVM, all computations generate a new tensor,
+// and thus the in-place approach is not possible").
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn emit_xysplit_band(
+    p: &mut Program,
+    prob: &PoolProblem,
+    reduction: Reduction,
+    in_base: usize,
+    out_base: usize,
+    band: &Band,
+    boh_max: usize,
+    caps: Capacities,
+) -> Result<(), LowerError> {
+    let params = &prob.params;
+    let (_, ow) = prob.out_dims();
+    let boh = band.oh_len();
+
+    let mut ub = UbArena::new(caps.ub);
+    let max_rows = band_input_rows(params, boh_max);
+    let ub_in = Addr::ub(ub.alloc(max_rows * prob.iw * ROW)?);
+    let ub_tmp = Addr::ub(ub.alloc(max_rows * ow * ROW)?);
+    let ub_out = Addr::ub(ub.alloc(boh_max * ow * ROW)?);
+
+    dma(
+        p,
+        Addr::gm(in_base + band.ih0 * prob.iw * ROW),
+        ub_in,
+        band.ih_len * prob.iw * ROW,
+    )?;
+
+    // Step 1: reduce along the patch width into tmp[ih, ow, c0].
+    fill_region(p, ub_tmp, reduction.init(), band.ih_len * ow * C0)?;
+    for ih_r in 0..band.ih_len {
+        if params.sw == 1 {
+            for kw in 0..params.kw {
+                let dst = ub_tmp.add(ih_r * ow * ROW);
+                let src = ub_in.add((ih_r * prob.iw + kw) * ROW);
+                elementwise(p, reduction.op(), dst, dst, src, ow * C0)?;
+            }
+        } else {
+            for ow_i in 0..ow {
+                strided_accumulate(
+                    p,
+                    reduction.op(),
+                    ub_tmp.add((ih_r * ow + ow_i) * ROW),
+                    ub_in.add((ih_r * prob.iw + ow_i * params.sw) * ROW),
+                    Mask::C0_ONLY,
+                    params.kw as u16,
+                    ROW,
+                )?;
+            }
+        }
+    }
+
+    // Step 2: reduce along the patch height — tmp rows are dense, so this
+    // step is fully saturated.
+    fill_region(p, ub_out, reduction.init(), boh * ow * C0)?;
+    for oh_r in 0..boh {
+        for kh in 0..params.kh {
+            let dst = ub_out.add(oh_r * ow * ROW);
+            let src = ub_tmp.add((oh_r * params.sh + kh) * ow * ROW);
+            elementwise(p, reduction.op(), dst, dst, src, ow * C0)?;
+        }
+    }
+    if let Reduction::Sum { scale } = reduction {
+        elementwise(
+            p,
+            VectorOp::MulScalar(scale),
+            ub_out,
+            ub_out,
+            ub_out,
+            boh * ow * C0,
+        )?;
+    }
+
+    dma(
+        p,
+        ub_out,
+        Addr::gm(out_base + band.oh0 * ow * ROW),
+        boh * ow * ROW,
+    )?;
+    Ok(())
+}

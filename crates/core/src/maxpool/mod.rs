@@ -1,0 +1,11 @@
+//! MaxPool lowering: forward (four implementations), forward with argmax
+//! mask, and backward (two merge implementations).
+
+pub mod backward;
+pub mod forward;
+
+pub use backward::{build_backward, BackwardSource};
+pub use forward::{
+    build_forward, build_forward_parallel, build_forward_with_argmax,
+    build_forward_with_argmax_parallel, tiling_threshold, Reduction,
+};

@@ -1,0 +1,351 @@
+//! The high-level API: run pooling operators on a simulated chip.
+//!
+//! [`PoolingEngine`] owns a [`Chip`], lays out tensors in a global-memory
+//! image, lowers the requested implementation, runs it, and returns the
+//! output tensors together with the chip's hardware counters — the f16
+//! results are what the tests compare bit-exactly against the golden
+//! references, and the cycle counts are what the benchmark harness plots
+//! against the paper's figures.
+
+use crate::avgpool::{build_avgpool_backward, build_avgpool_forward_parallel};
+use crate::maxpool::{
+    build_backward, build_forward_parallel, build_forward_with_argmax_parallel, BackwardSource,
+    Reduction,
+};
+use crate::problem::{ForwardImpl, LowerError, MergeImpl, PoolProblem};
+use core::fmt;
+use dv_akg::GmArena;
+use dv_sim::{Chip, ChipRun, SimError};
+use dv_tensor::{Nc1hwc0, PatchTensor, PoolParams, C0};
+
+/// Errors surfaced by engine runs.
+#[derive(Debug)]
+pub enum RunError {
+    /// Lowering failed.
+    Lower(LowerError),
+    /// Simulation failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Lower(e) => write!(f, "lowering: {e}"),
+            RunError::Sim(e) => write!(f, "simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<LowerError> for RunError {
+    fn from(e: LowerError) -> Self {
+        RunError::Lower(e)
+    }
+}
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+/// A pooling run's outcome: the simulated chip statistics.
+pub type PoolRun = ChipRun;
+
+/// Owns a simulated chip and runs pooling operators on it.
+#[derive(Clone, Debug)]
+pub struct PoolingEngine {
+    /// The simulated chip (cores, cost model, capacities).
+    pub chip: Chip,
+    /// When set, forward lowerings split each plane's row bands across
+    /// idle cores ("each core calculates a share of the output") instead
+    /// of parallelising over (N, C1) planes only. Off by default to match
+    /// the paper's per-plane schedule; the multi-core scaling experiment
+    /// turns it on. Backward never splits (adjacent bands share a halo).
+    pub split_bands: bool,
+}
+
+impl PoolingEngine {
+    /// An engine over an Ascend-910-like chip (32 cores).
+    pub fn ascend910() -> PoolingEngine {
+        PoolingEngine {
+            chip: Chip::ascend910(),
+            split_bands: false,
+        }
+    }
+
+    /// An engine over a custom chip.
+    pub fn new(chip: Chip) -> PoolingEngine {
+        PoolingEngine {
+            chip,
+            split_bands: false,
+        }
+    }
+
+    /// Enable or disable forward band splitting across idle cores.
+    pub fn with_band_splitting(mut self, on: bool) -> PoolingEngine {
+        self.split_bands = on;
+        self
+    }
+
+    fn parallel(&self) -> usize {
+        if self.split_bands {
+            self.chip.cores
+        } else {
+            1
+        }
+    }
+
+    fn problem(input: &Nc1hwc0, params: PoolParams) -> Result<PoolProblem, LowerError> {
+        PoolProblem::new(input.n, input.c1, input.h, input.w, params)
+    }
+
+    /// MaxPool forward (Fig. 7a / Fig. 8): returns the pooled tensor and
+    /// the chip counters.
+    pub fn maxpool_forward(
+        &self,
+        input: &Nc1hwc0,
+        params: PoolParams,
+        impl_: ForwardImpl,
+    ) -> Result<(Nc1hwc0, PoolRun), RunError> {
+        let prob = Self::problem(input, params)?;
+        let mut gm = GmArena::new();
+        let gm_in = gm.alloc(prob.in_bytes());
+        let gm_out = gm.alloc(prob.out_bytes());
+        let programs = build_forward_parallel(
+            &prob,
+            impl_,
+            Reduction::Max,
+            gm_in,
+            gm_out,
+            self.chip.caps,
+            self.parallel(),
+        )?;
+        let mut image = vec![0u8; gm.size()];
+        write_tensor(&mut image, gm_in, input.data());
+        let run = self.chip.run(&mut image, &programs)?;
+        let out = read_plane_tensor(&image, gm_out, &prob);
+        Ok((out, run))
+    }
+
+    /// MaxPool forward with the argmax mask (Fig. 7b).
+    pub fn maxpool_forward_with_argmax(
+        &self,
+        input: &Nc1hwc0,
+        params: PoolParams,
+        impl_: ForwardImpl,
+    ) -> Result<(Nc1hwc0, PatchTensor, PoolRun), RunError> {
+        let prob = Self::problem(input, params)?;
+        let mut gm = GmArena::new();
+        let gm_in = gm.alloc(prob.in_bytes());
+        let gm_out = gm.alloc(prob.out_bytes());
+        let gm_mask = gm.alloc(prob.mask_bytes());
+        let programs = build_forward_with_argmax_parallel(
+            &prob,
+            impl_,
+            gm_in,
+            gm_out,
+            gm_mask,
+            self.chip.caps,
+            self.parallel(),
+        )?;
+        let mut image = vec![0u8; gm.size()];
+        write_tensor(&mut image, gm_in, input.data());
+        let run = self.chip.run(&mut image, &programs)?;
+        let out = read_plane_tensor(&image, gm_out, &prob);
+        let mask = read_mask_tensor(&image, gm_mask, &prob);
+        Ok((out, mask, run))
+    }
+
+    /// MaxPool backward (Fig. 7c): scatter the masked gradients back to
+    /// the input shape.
+    pub fn maxpool_backward(
+        &self,
+        mask: &PatchTensor,
+        gradients: &Nc1hwc0,
+        params: PoolParams,
+        ih: usize,
+        iw: usize,
+        merge: MergeImpl,
+    ) -> Result<(Nc1hwc0, PoolRun), RunError> {
+        let prob = PoolProblem::new(mask.n, mask.c1, ih, iw, params)?;
+        let (oh, ow) = prob.out_dims();
+        if (mask.oh, mask.ow) != (oh, ow) || (gradients.h, gradients.w) != (oh, ow) {
+            return Err(RunError::Lower(LowerError::Shape(
+                dv_tensor::ShapeError::Mismatch(format!(
+                    "mask {:?} / gradients {:?} do not match derived patch grid {:?}",
+                    (mask.oh, mask.ow),
+                    (gradients.h, gradients.w),
+                    (oh, ow)
+                )),
+            )));
+        }
+        let mut gm = GmArena::new();
+        let gm_mask = gm.alloc(prob.mask_bytes());
+        let gm_grad = gm.alloc(prob.out_bytes());
+        let gm_dx = gm.alloc(prob.in_bytes());
+        let programs = build_backward(
+            &prob,
+            merge,
+            BackwardSource::MaxMask { gm_mask },
+            gm_grad,
+            gm_dx,
+            self.chip.caps,
+        )?;
+        let mut image = vec![0u8; gm.size()];
+        write_tensor(&mut image, gm_mask, mask.data());
+        write_tensor(&mut image, gm_grad, gradients.data());
+        let run = self.chip.run(&mut image, &programs)?;
+        let dx = read_input_tensor(&image, gm_dx, &prob);
+        Ok((dx, run))
+    }
+
+    /// Rectified-linear activation (`vrelu`) over a whole tensor — the
+    /// elementwise layer a CNN interleaves between convolution and
+    /// pooling. One program per `(n, c1)` plane; each tiles against the
+    /// UB like the pooling kernels.
+    pub fn relu(&self, input: &Nc1hwc0) -> Result<(Nc1hwc0, PoolRun), RunError> {
+        use dv_akg::{dma, elementwise, UbArena};
+        use dv_isa::{Addr, Program, VectorOp};
+
+        let plane_bytes = input.h * input.w * C0 * 2;
+        let mut gm = GmArena::new();
+        let gm_in = gm.alloc(input.byte_len());
+        let gm_out = gm.alloc(input.byte_len());
+
+        let mut programs = Vec::new();
+        for n in 0..input.n {
+            for c1 in 0..input.c1 {
+                let off = (n * input.c1 + c1) * plane_bytes;
+                let mut p = Program::new();
+                // tile the plane against the UB (in + out regions)
+                let mut ub = UbArena::new(self.chip.caps.ub);
+                let tile_bytes = (self.chip.caps.ub / 2 - 64).min(plane_bytes);
+                let ub_in = Addr::ub(ub.alloc(tile_bytes).map_err(LowerError::Ub)?);
+                let ub_out = Addr::ub(ub.alloc(tile_bytes).map_err(LowerError::Ub)?);
+                let mut done = 0usize;
+                while done < plane_bytes {
+                    let chunk = tile_bytes.min(plane_bytes - done);
+                    dma(&mut p, Addr::gm(gm_in + off + done), ub_in, chunk)
+                        .map_err(LowerError::Isa)?;
+                    elementwise(&mut p, VectorOp::Relu, ub_out, ub_in, ub_in, chunk / 2)
+                        .map_err(LowerError::Isa)?;
+                    dma(&mut p, ub_out, Addr::gm(gm_out + off + done), chunk)
+                        .map_err(LowerError::Isa)?;
+                    done += chunk;
+                }
+                programs.push(p);
+            }
+        }
+
+        let mut image = vec![0u8; gm.size()];
+        write_tensor(&mut image, gm_in, input.data());
+        let run = self.chip.run(&mut image, &programs)?;
+        let data = read_f16s(&image, gm_out, input.len());
+        let mut out = Nc1hwc0::from_vec(input.n, input.c1, input.h, input.w, data)
+            .expect("engine-produced shape");
+        out.orig_c = input.orig_c;
+        Ok((out, run))
+    }
+
+    /// AvgPool forward (Section V-C).
+    pub fn avgpool_forward(
+        &self,
+        input: &Nc1hwc0,
+        params: PoolParams,
+        impl_: ForwardImpl,
+    ) -> Result<(Nc1hwc0, PoolRun), RunError> {
+        let prob = Self::problem(input, params)?;
+        let mut gm = GmArena::new();
+        let gm_in = gm.alloc(prob.in_bytes());
+        let gm_out = gm.alloc(prob.out_bytes());
+        let programs = build_avgpool_forward_parallel(
+            &prob,
+            impl_,
+            gm_in,
+            gm_out,
+            self.chip.caps,
+            self.parallel(),
+        )?;
+        let mut image = vec![0u8; gm.size()];
+        write_tensor(&mut image, gm_in, input.data());
+        let run = self.chip.run(&mut image, &programs)?;
+        let out = read_plane_tensor(&image, gm_out, &prob);
+        Ok((out, run))
+    }
+
+    /// AvgPool backward (Section V-C): uniform mask, same merge choices.
+    pub fn avgpool_backward(
+        &self,
+        gradients: &Nc1hwc0,
+        params: PoolParams,
+        ih: usize,
+        iw: usize,
+        merge: MergeImpl,
+    ) -> Result<(Nc1hwc0, PoolRun), RunError> {
+        let prob = PoolProblem::new(gradients.n, gradients.c1, ih, iw, params)?;
+        let (oh, ow) = prob.out_dims();
+        if (gradients.h, gradients.w) != (oh, ow) {
+            return Err(RunError::Lower(LowerError::Shape(
+                dv_tensor::ShapeError::Mismatch(format!(
+                    "gradients {:?} do not match derived patch grid {:?}",
+                    (gradients.h, gradients.w),
+                    (oh, ow)
+                )),
+            )));
+        }
+        let mut gm = GmArena::new();
+        let gm_grad = gm.alloc(prob.out_bytes());
+        let gm_dx = gm.alloc(prob.in_bytes());
+        let programs = build_avgpool_backward(&prob, merge, gm_grad, gm_dx, self.chip.caps)?;
+        let mut image = vec![0u8; gm.size()];
+        write_tensor(&mut image, gm_grad, gradients.data());
+        let run = self.chip.run(&mut image, &programs)?;
+        let dx = read_input_tensor(&image, gm_dx, &prob);
+        Ok((dx, run))
+    }
+}
+
+fn write_tensor(image: &mut [u8], offset: usize, data: &[dv_fp16::F16]) {
+    let bytes = dv_fp16::as_bytes(data);
+    image[offset..offset + bytes.len()].copy_from_slice(bytes);
+}
+
+fn read_f16s(image: &[u8], offset: usize, len: usize) -> Vec<dv_fp16::F16> {
+    (0..len)
+        .map(|i| {
+            let o = offset + i * 2;
+            dv_fp16::F16::from_bits(u16::from_le_bytes([image[o], image[o + 1]]))
+        })
+        .collect()
+}
+
+/// Read the output tensor `(N, C1, Oh, Ow, C0)`.
+fn read_plane_tensor(image: &[u8], offset: usize, prob: &PoolProblem) -> Nc1hwc0 {
+    let (oh, ow) = prob.out_dims();
+    let data = read_f16s(image, offset, prob.n * prob.c1 * oh * ow * C0);
+    Nc1hwc0::from_vec(prob.n, prob.c1, oh, ow, data).expect("engine-produced shape")
+}
+
+/// Read the input-shaped tensor `(N, C1, Ih, Iw, C0)`.
+fn read_input_tensor(image: &[u8], offset: usize, prob: &PoolProblem) -> Nc1hwc0 {
+    let data = read_f16s(image, offset, prob.n * prob.c1 * prob.ih * prob.iw * C0);
+    Nc1hwc0::from_vec(prob.n, prob.c1, prob.ih, prob.iw, data).expect("engine-produced shape")
+}
+
+/// Read the argmax mask `(N, C1, Kh, Kw, Oh, Ow, C0)`.
+fn read_mask_tensor(image: &[u8], offset: usize, prob: &PoolProblem) -> PatchTensor {
+    let (oh, ow) = prob.out_dims();
+    let len = prob.n * prob.c1 * prob.params.kh * prob.params.kw * oh * ow * C0;
+    let data = read_f16s(image, offset, len);
+    PatchTensor::from_vec(
+        prob.n,
+        prob.c1,
+        prob.params.kh,
+        prob.params.kw,
+        oh,
+        ow,
+        data,
+    )
+    .expect("engine-produced shape")
+}

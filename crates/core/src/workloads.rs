@@ -1,0 +1,163 @@
+//! The CNN pooling workloads of Table I.
+//!
+//! "Table I shows multiple CNNs and the input sizes of four of their
+//! Maxpool layers. The inputs are shown in the HWC layout and they were
+//! gathered on the Keras framework. All configurations use a kernel size
+//! of (3, 3) and a stride of (2, 2), except for VGG16, which has a kernel
+//! size and stride of (2, 2)."
+
+use dv_tensor::{PoolParams, C0};
+
+/// One MaxPool layer configuration from Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CnnWorkload {
+    /// Network name as printed in Table I.
+    pub cnn: &'static str,
+    /// Layer index within the network's pooling layers (1-based, "Input
+    /// 1" … "Input 4").
+    pub input_idx: usize,
+    /// Input height (HWC layout in the table).
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Kernel/stride configuration.
+    pub params: PoolParams,
+    /// Whether the paper's Fig. 7 evaluation uses this configuration
+    /// (the bold entries of Table I: InceptionV3 inputs 1–3).
+    pub evaluated_in_fig7: bool,
+}
+
+impl CnnWorkload {
+    /// `C1 = ceil(C / C0)` for the fractal layout.
+    pub fn c1(&self) -> usize {
+        self.c.div_ceil(C0)
+    }
+
+    /// Output extents.
+    pub fn out_dims(&self) -> (usize, usize) {
+        self.params.out_dims(self.h, self.w).expect("table shapes are valid")
+    }
+}
+
+/// All rows of Table I.
+pub fn table1_workloads() -> Vec<CnnWorkload> {
+    let k3s2 = PoolParams::K3S2;
+    let k2s2 = PoolParams::K2S2;
+    let mut v = Vec::new();
+    // InceptionV3 — the bold (evaluated) configurations are inputs 1-3.
+    for (i, (h, w, c), fig7) in [
+        (1, (147, 147, 64), true),
+        (2, (71, 71, 192), true),
+        (3, (35, 35, 288), true),
+        (4, (17, 17, 768), false),
+    ] {
+        v.push(CnnWorkload {
+            cnn: "InceptionV3",
+            input_idx: i,
+            h,
+            w,
+            c,
+            params: k3s2,
+            evaluated_in_fig7: fig7,
+        });
+    }
+    // Xception.
+    for (i, (h, w, c)) in [
+        (1, (147, 147, 128)),
+        (2, (74, 74, 256)),
+        (3, (37, 37, 728)),
+        (4, (19, 19, 1024)),
+    ] {
+        v.push(CnnWorkload {
+            cnn: "Xception",
+            input_idx: i,
+            h,
+            w,
+            c,
+            params: k3s2,
+            evaluated_in_fig7: false,
+        });
+    }
+    // Resnet50 — a single maxpool.
+    v.push(CnnWorkload {
+        cnn: "Resnet50",
+        input_idx: 1,
+        h: 112,
+        w: 112,
+        c: 64,
+        params: k3s2,
+        evaluated_in_fig7: false,
+    });
+    // VGG16 — kernel and stride (2, 2).
+    for (i, (h, w, c)) in [
+        (1, (224, 224, 64)),
+        (2, (112, 112, 128)),
+        (3, (56, 56, 256)),
+        (4, (28, 28, 512)),
+    ] {
+        v.push(CnnWorkload {
+            cnn: "VGG16",
+            input_idx: i,
+            h,
+            w,
+            c,
+            params: k2s2,
+            evaluated_in_fig7: false,
+        });
+    }
+    v
+}
+
+/// The three bold InceptionV3 configurations Fig. 7 evaluates.
+pub fn fig7_workloads() -> Vec<CnnWorkload> {
+    table1_workloads()
+        .into_iter()
+        .filter(|w| w.evaluated_in_fig7)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_all_13_rows() {
+        let t = table1_workloads();
+        assert_eq!(t.len(), 13);
+        assert_eq!(t.iter().filter(|w| w.cnn == "InceptionV3").count(), 4);
+        assert_eq!(t.iter().filter(|w| w.cnn == "Xception").count(), 4);
+        assert_eq!(t.iter().filter(|w| w.cnn == "Resnet50").count(), 1);
+        assert_eq!(t.iter().filter(|w| w.cnn == "VGG16").count(), 4);
+    }
+
+    #[test]
+    fn fig7_selects_the_bold_inception_rows() {
+        let f = fig7_workloads();
+        assert_eq!(f.len(), 3);
+        assert!(f.iter().all(|w| w.cnn == "InceptionV3"));
+        assert_eq!(
+            f.iter().map(|w| (w.h, w.w, w.c)).collect::<Vec<_>>(),
+            vec![(147, 147, 64), (71, 71, 192), (35, 35, 288)]
+        );
+    }
+
+    #[test]
+    fn channel_splits() {
+        let t = table1_workloads();
+        let inception1 = &t[0];
+        assert_eq!(inception1.c1(), 4); // 64 / 16
+        let xception3 = t.iter().find(|w| w.cnn == "Xception" && w.input_idx == 3).unwrap();
+        assert_eq!(xception3.c1(), 46); // ceil(728 / 16)
+        assert_eq!(xception3.out_dims(), (18, 18));
+    }
+
+    #[test]
+    fn vgg_uses_2x2_nonoverlapping(){
+        let t = table1_workloads();
+        let vgg = t.iter().find(|w| w.cnn == "VGG16").unwrap();
+        assert!(!vgg.params.patches_overlap());
+        assert_eq!(vgg.out_dims(), (112, 112));
+    }
+}

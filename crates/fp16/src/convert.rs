@@ -1,0 +1,212 @@
+//! Bit-exact conversions between IEEE 754 binary32 and binary16.
+//!
+//! `f32 -> f16` uses round-to-nearest, ties-to-even — the default IEEE
+//! rounding mode and the one hardware `vconv` instructions implement.
+//! `f16 -> f32` is exact.
+
+/// Convert an `f32` to the nearest `f16` bit pattern (round-to-nearest-even).
+///
+/// Handles normals, subnormals, signed zeros, infinities, NaN (preserving
+/// "quietness" by setting the top mantissa bit), overflow to infinity and
+/// underflow to zero.
+pub fn f16_bits_from_f32(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp32 = ((bits >> 23) & 0xFF) as i32;
+    let man32 = bits & 0x007F_FFFF;
+
+    if exp32 == 0xFF {
+        // Infinity or NaN.
+        return if man32 == 0 {
+            sign | 0x7C00
+        } else {
+            // Quiet NaN; keep top mantissa bits where possible.
+            let payload = (man32 >> 13) as u16 & 0x03FF;
+            sign | 0x7C00 | payload | 0x0200
+        };
+    }
+
+    // Unbiased exponent.
+    let exp = exp32 - 127;
+
+    if exp > 15 {
+        // Overflows f16 range (max normal exponent is 15) -> infinity.
+        return sign | 0x7C00;
+    }
+
+    if exp >= -14 {
+        // Normal f16 range. 10-bit mantissa; round 23 -> 10 bits.
+        let exp16 = (exp + 15) as u32; // 1..=30
+        let man = man32;
+        let shifted = man >> 13;
+        let round_bit = (man >> 12) & 1;
+        let sticky = man & 0x0FFF;
+        let mut m = shifted;
+        if round_bit == 1 && (sticky != 0 || (shifted & 1) == 1) {
+            m += 1;
+        }
+        // Addition (not OR) so a mantissa carry (m == 0x400) propagates
+        // into the exponent; if the exponent was 30 this correctly yields
+        // infinity 0x7C00.
+        let result = (exp16 << 10) + m;
+        return sign | result as u16;
+    }
+
+    if exp >= -25 {
+        // Subnormal f16 (or rounds up into the smallest normal).
+        // Value = 1.man32 * 2^exp; align into a 10-bit subnormal mantissa
+        // with exponent -14. The implicit leading 1 must be materialised.
+        let man = man32 | 0x0080_0000; // 24-bit significand
+        let shift = (-exp - 14 + 13) as u32; // in 14..=24 for exp in -25..=-15
+        debug_assert!((14..=24).contains(&shift));
+        let shifted = man >> shift;
+        let round_mask = 1u32 << (shift - 1);
+        let sticky_mask = round_mask - 1;
+        let round_bit = (man & round_mask) != 0;
+        let sticky = (man & sticky_mask) != 0;
+        let mut m = shifted;
+        if round_bit && (sticky || (shifted & 1) == 1) {
+            m += 1;
+        }
+        // m can reach 0x400 = smallest normal; the bit layout is again
+        // continuous so plain addition is correct.
+        return sign | m as u16;
+    }
+
+    // Underflows to (signed) zero.
+    sign
+}
+
+/// Convert an `f16` bit pattern to the exactly equal `f32`.
+pub fn f32_from_f16_bits(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = ((bits >> 10) & 0x1F) as u32;
+    let man = (bits & 0x03FF) as u32;
+
+    let out = if exp == 0 {
+        if man == 0 {
+            sign // signed zero
+        } else {
+            // Subnormal: value = man * 2^-24. Normalise into f32: with the
+            // most significant set bit of `man` at index k, the value is
+            // 1.xxx * 2^(k - 24).
+            let k = 31 - man.leading_zeros(); // 0..=9
+            let exp32 = k + 103; // 127 + (k - 24)
+            let man_norm = (man << (10 - k)) & 0x03FF; // drop implicit bit
+            sign | (exp32 << 23) | (man_norm << 13)
+        }
+    } else if exp == 0x1F {
+        if man == 0 {
+            sign | 0x7F80_0000 // infinity
+        } else {
+            sign | 0x7FC0_0000 | (man << 13) // NaN, keep payload, force quiet
+        }
+    } else {
+        let exp32 = exp + 127 - 15;
+        sign | (exp32 << 23) | (man << 13)
+    };
+    f32::from_bits(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive: every f16 bit pattern must survive a round trip through
+    /// f32 (the conversion f16->f32 is exact, so f32->f16 must return the
+    /// original bits, modulo NaN payload quieting).
+    #[test]
+    fn exhaustive_f16_to_f32_round_trip() {
+        for bits in 0u16..=u16::MAX {
+            let x = f32_from_f16_bits(bits);
+            let back = f16_bits_from_f32(x);
+            let exp = (bits >> 10) & 0x1F;
+            let man = bits & 0x03FF;
+            if exp == 0x1F && man != 0 {
+                // NaN: sign+quiet bit preserved, payload may be altered.
+                assert!(
+                    (back >> 10) & 0x1F == 0x1F && back & 0x03FF != 0,
+                    "NaN {bits:04x} -> {back:04x}"
+                );
+            } else {
+                assert_eq!(back, bits, "round trip failed for {bits:04x} ({x})");
+            }
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(f16_bits_from_f32(0.0), 0x0000);
+        assert_eq!(f16_bits_from_f32(-0.0), 0x8000);
+        assert_eq!(f16_bits_from_f32(1.0), 0x3C00);
+        assert_eq!(f16_bits_from_f32(-2.0), 0xC000);
+        assert_eq!(f16_bits_from_f32(65504.0), 0x7BFF);
+        assert_eq!(f16_bits_from_f32(0.5), 0x3800);
+        assert_eq!(f16_bits_from_f32(0.099975586), 0x2E66); // nearest to 0.1
+        assert_eq!(f32_from_f16_bits(0x3555), 0.33325195); // ~1/3
+    }
+
+    #[test]
+    fn overflow_rounds_to_infinity() {
+        assert_eq!(f16_bits_from_f32(65520.0), 0x7C00); // ties-to-even up
+        assert_eq!(f16_bits_from_f32(1e9), 0x7C00);
+        assert_eq!(f16_bits_from_f32(-1e9), 0xFC00);
+        assert_eq!(f16_bits_from_f32(f32::INFINITY), 0x7C00);
+        assert_eq!(f16_bits_from_f32(f32::NEG_INFINITY), 0xFC00);
+    }
+
+    #[test]
+    fn underflow_rounds_to_zero() {
+        assert_eq!(f16_bits_from_f32(1e-9), 0x0000);
+        assert_eq!(f16_bits_from_f32(-1e-9), 0x8000);
+        // Half of the smallest subnormal ties to even -> zero.
+        let half_min_sub = 2.0_f32.powi(-25);
+        assert_eq!(f16_bits_from_f32(half_min_sub), 0x0000);
+        // Just above half of the smallest subnormal rounds up.
+        let just_above = f32::from_bits(half_min_sub.to_bits() + 1);
+        assert_eq!(f16_bits_from_f32(just_above), 0x0001);
+    }
+
+    #[test]
+    fn subnormal_boundaries() {
+        // Largest subnormal: (1023/1024) * 2^-14.
+        let largest_sub = 1023.0_f32 * 2.0_f32.powi(-24);
+        assert_eq!(f16_bits_from_f32(largest_sub), 0x03FF);
+        // Smallest normal.
+        assert_eq!(f16_bits_from_f32(2.0_f32.powi(-14)), 0x0400);
+        // Smallest subnormal.
+        assert_eq!(f16_bits_from_f32(2.0_f32.powi(-24)), 0x0001);
+    }
+
+    #[test]
+    fn ties_round_to_even() {
+        // 1.0 + 2^-11 is exactly between 1.0 (0x3C00) and 1.0+2^-10
+        // (0x3C01); even mantissa wins -> 0x3C00.
+        let tie = 1.0 + 2.0_f32.powi(-11);
+        assert_eq!(f16_bits_from_f32(tie), 0x3C00);
+        // 1.0 + 3*2^-11 is between 0x3C01 and 0x3C02; even -> 0x3C02.
+        let tie2 = 1.0 + 3.0 * 2.0_f32.powi(-11);
+        assert_eq!(f16_bits_from_f32(tie2), 0x3C02);
+    }
+
+    #[test]
+    fn mantissa_carry_into_exponent() {
+        // Value slightly below 2.0 that rounds up across the binade.
+        let x = 1.99999; // rounds to 2.0 in f16
+        assert_eq!(f16_bits_from_f32(x), 0x4000);
+        // Value slightly below 65536 that would round to 2^16 -> infinity.
+        assert_eq!(f16_bits_from_f32(65535.0), 0x7C00);
+    }
+
+    #[test]
+    fn nan_conversion_preserves_nanness_and_sign() {
+        let qnan = f32::NAN;
+        let b = f16_bits_from_f32(qnan);
+        assert_eq!((b >> 10) & 0x1F, 0x1F);
+        assert_ne!(b & 0x03FF, 0);
+        let neg_nan = f32::from_bits(f32::NAN.to_bits() | 0x8000_0000);
+        let nb = f16_bits_from_f32(neg_nan);
+        assert_ne!(nb & 0x8000, 0);
+        assert!(f32_from_f16_bits(nb).is_nan());
+    }
+}

@@ -1,0 +1,123 @@
+//! Arithmetic operators for [`F16`], computed by widening to `f32` and
+//! rounding the result back to the nearest `f16`.
+//!
+//! For a single operation this is exactly the correctly rounded `f16`
+//! result whenever the `f32` intermediate is exact — which holds for
+//! addition, subtraction and multiplication of any two `f16` values
+//! (their exact products/sums fit in `f32`'s 24-bit significand).
+//! Division is correctly rounded to `f32` first and may double-round in
+//! rare cases; the simulator does not rely on exact division.
+
+use crate::F16;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for F16 {
+            type Output = F16;
+            #[inline(always)]
+            fn $method(self, rhs: F16) -> F16 {
+                F16::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, +);
+impl_binop!(Sub, sub, -);
+impl_binop!(Mul, mul, *);
+impl_binop!(Div, div, /);
+
+macro_rules! impl_assign {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for F16 {
+            #[inline(always)]
+            fn $method(&mut self, rhs: F16) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+
+impl_assign!(AddAssign, add_assign, +);
+impl_assign!(SubAssign, sub_assign, -);
+impl_assign!(MulAssign, mul_assign, *);
+impl_assign!(DivAssign, div_assign, /);
+
+impl Neg for F16 {
+    type Output = F16;
+    #[inline(always)]
+    fn neg(self) -> F16 {
+        F16::neg(self)
+    }
+}
+
+impl Sum for F16 {
+    fn sum<I: Iterator<Item = F16>>(iter: I) -> F16 {
+        iter.fold(F16::ZERO, |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integer_arithmetic() {
+        let a = F16::from_f32(3.0);
+        let b = F16::from_f32(4.0);
+        assert_eq!((a + b).to_f32(), 7.0);
+        assert_eq!((a - b).to_f32(), -1.0);
+        assert_eq!((a * b).to_f32(), 12.0);
+        assert_eq!((b / F16::from_f32(2.0)).to_f32(), 2.0);
+    }
+
+    #[test]
+    fn addition_rounds_to_nearest() {
+        // 2048 + 1 is not representable (f16 spacing at 2048 is 2);
+        // ties-to-even keeps 2048.
+        let big = F16::from_f32(2048.0);
+        let one = F16::ONE;
+        assert_eq!((big + one).to_f32(), 2048.0);
+        // 2048 + 3 = 2051 ties between 2050 (odd mantissa) and 2052
+        // (even mantissa); ties-to-even picks 2052.
+        assert_eq!((big + F16::from_f32(3.0)).to_f32(), 2052.0);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        let max = F16::MAX;
+        assert!((max + max).is_infinite());
+        assert!((max * F16::from_f32(2.0)).is_infinite());
+    }
+
+    #[test]
+    fn assign_ops_match_binops() {
+        let mut x = F16::from_f32(1.5);
+        x += F16::from_f32(2.5);
+        assert_eq!(x.to_f32(), 4.0);
+        x *= F16::from_f32(0.5);
+        assert_eq!(x.to_f32(), 2.0);
+        x -= F16::ONE;
+        assert_eq!(x.to_f32(), 1.0);
+        x /= F16::from_f32(4.0);
+        assert_eq!(x.to_f32(), 0.25);
+    }
+
+    #[test]
+    fn neg_operator() {
+        assert_eq!((-F16::ONE), F16::NEG_ONE);
+        assert_eq!((-F16::ZERO), F16::NEG_ZERO);
+    }
+
+    #[test]
+    fn sum_accumulates_in_f16_order() {
+        // Summation happens in f16 after every step — required so the
+        // simulator (which accumulates in buffer precision) matches the
+        // reference operators exactly.
+        let xs: Vec<F16> = (1..=10).map(|i| F16::from_f32(i as f32)).collect();
+        let s: F16 = xs.iter().copied().sum();
+        assert_eq!(s.to_f32(), 55.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the software binary16 implementation, checked
+//! against the host's native f32 arithmetic as oracle.
+
+use dv_fp16::{f16_bits_from_f32, f32_from_f16_bits, F16};
+use proptest::prelude::*;
+
+/// Strategy generating arbitrary *finite* f16 values via their bit patterns.
+fn finite_f16() -> impl Strategy<Value = F16> {
+    any::<u16>()
+        .prop_map(F16::from_bits)
+        .prop_filter("finite", |x| x.is_finite())
+}
+
+/// Strategy generating any non-NaN f16 (finite or infinite).
+fn non_nan_f16() -> impl Strategy<Value = F16> {
+    any::<u16>()
+        .prop_map(F16::from_bits)
+        .prop_filter("non-nan", |x| !x.is_nan())
+}
+
+proptest! {
+    /// f32 -> f16 -> f32 must be the identity for values already exactly
+    /// representable in f16.
+    #[test]
+    fn round_trip_representable(x in finite_f16()) {
+        let as_f32 = x.to_f32();
+        prop_assert_eq!(F16::from_f32(as_f32), x);
+    }
+
+    /// Conversion from f32 must pick the nearest f16: no adjacent f16
+    /// value may be strictly closer to the original. (At binade
+    /// boundaries the spacing differs on each side, so this is checked
+    /// against both actual neighbours rather than a single spacing.)
+    #[test]
+    fn conversion_is_nearest(x in -70000.0f32..70000.0f32) {
+        let h = F16::from_f32(x);
+        if h.is_finite() {
+            let v = h.to_f32();
+            let err = (v - x).abs();
+            // neighbours in the totalOrder (skip across NaN/inf edges)
+            for nb_bits in [h.to_bits().wrapping_add(1), h.to_bits().wrapping_sub(1),
+                            h.to_bits() ^ 0x8000] {
+                let nb = F16::from_bits(nb_bits);
+                if nb.is_finite() {
+                    let nb_err = (nb.to_f32() - x).abs();
+                    prop_assert!(err <= nb_err,
+                        "x={x}: chose {v} (err {err}) but {} is closer (err {nb_err})",
+                        nb.to_f32());
+                }
+            }
+        }
+    }
+
+    /// max is commutative, associative and idempotent over non-NaN values.
+    #[test]
+    fn max_lattice_laws(a in non_nan_f16(), b in non_nan_f16(), c in non_nan_f16()) {
+        prop_assert_eq!(a.max(b), b.max(a));
+        prop_assert_eq!(a.max(b).max(c), a.max(b.max(c)));
+        prop_assert_eq!(a.max(a), a);
+    }
+
+    /// min/max absorption: max(a, min(a, b)) == a.
+    #[test]
+    fn min_max_absorption(a in non_nan_f16(), b in non_nan_f16()) {
+        prop_assert_eq!(a.max(a.min(b)), a);
+        prop_assert_eq!(a.min(a.max(b)), a);
+    }
+
+    /// total_cmp is antisymmetric and transitive (sampled).
+    #[test]
+    fn total_cmp_consistency(a in any::<u16>().prop_map(F16::from_bits),
+                             b in any::<u16>().prop_map(F16::from_bits)) {
+        let ab = a.total_cmp(b);
+        let ba = b.total_cmp(a);
+        prop_assert_eq!(ab, ba.reverse());
+    }
+
+    /// Addition is commutative and matches the correctly rounded f32 sum.
+    #[test]
+    fn add_commutative_and_correct(a in finite_f16(), b in finite_f16()) {
+        prop_assert_eq!(a + b, b + a);
+        let expect = F16::from_f32(a.to_f32() + b.to_f32());
+        prop_assert_eq!(a + b, expect);
+    }
+
+    /// Multiplication by one is the identity; by zero gives (signed) zero
+    /// for finite values.
+    #[test]
+    fn mul_identities(a in finite_f16()) {
+        prop_assert_eq!(a * F16::ONE, a);
+        prop_assert!((a * F16::ZERO).is_zero());
+    }
+
+    /// x + (-x) == +0 or -0 for finite x.
+    #[test]
+    fn additive_inverse(a in finite_f16()) {
+        prop_assert!((a + (-a)).is_zero());
+    }
+
+    /// Exhaustively-sampled conversion agreement with `as`-casting through
+    /// the bit-level reference path.
+    #[test]
+    fn bits_of_conversion_stable(bits in any::<u16>()) {
+        let via_f32 = f16_bits_from_f32(f32_from_f16_bits(bits));
+        let exp = (bits >> 10) & 0x1F;
+        let man = bits & 0x03FF;
+        if exp == 0x1F && man != 0 {
+            prop_assert!((via_f32 >> 10) & 0x1F == 0x1F && via_f32 & 0x03FF != 0);
+        } else {
+            prop_assert_eq!(via_f32, bits);
+        }
+    }
+
+    /// Ordering agrees with f32 ordering for non-NaN values.
+    #[test]
+    fn partial_ord_matches_f32(a in non_nan_f16(), b in non_nan_f16()) {
+        prop_assert_eq!(a.partial_cmp(&b), a.to_f32().partial_cmp(&b.to_f32()));
+    }
+}

@@ -1,0 +1,130 @@
+//! Buffer identifiers and intra-buffer addresses.
+//!
+//! The AI Core's private buffers are scratch-pad memories: "each buffer
+//! has its own address space, which is separated from the address space of
+//! the memory" (paper, Section III-A). An [`Addr`] is therefore a
+//! `(buffer, byte offset)` pair, not a flat pointer.
+
+use core::fmt;
+
+/// One of the AI Core's memories (Fig. 4). DDR, HBM and the shared L2 are
+/// all "global memory" from the core's perspective and collapse into
+/// [`BufferId::Gm`] exactly as the paper draws them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BufferId {
+    /// Global memory (DDR / HBM / L2 — shared among AI Cores).
+    Gm,
+    /// L1 buffer — staging for SCU transformations.
+    L1,
+    /// L0A — left-operand input buffer of the Cube Unit.
+    L0A,
+    /// L0B — right-operand input buffer of the Cube Unit.
+    L0B,
+    /// L0C — output buffer of the Cube Unit.
+    L0C,
+    /// Unified Buffer — operand memory of the Vector and Scalar units.
+    Ub,
+}
+
+impl BufferId {
+    /// All buffer identifiers, for iteration in tests and the simulator.
+    pub const ALL: [BufferId; 6] = [
+        BufferId::Gm,
+        BufferId::L1,
+        BufferId::L0A,
+        BufferId::L0B,
+        BufferId::L0C,
+        BufferId::Ub,
+    ];
+
+    /// True for the scratchpads private to one AI Core.
+    pub const fn is_private(self) -> bool {
+        !matches!(self, BufferId::Gm)
+    }
+}
+
+impl fmt::Display for BufferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            BufferId::Gm => "GM",
+            BufferId::L1 => "L1",
+            BufferId::L0A => "L0A",
+            BufferId::L0B => "L0B",
+            BufferId::L0C => "L0C",
+            BufferId::Ub => "UB",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A byte address inside one buffer's private address space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Addr {
+    /// Which memory.
+    pub buffer: BufferId,
+    /// Byte offset within that memory.
+    pub offset: usize,
+}
+
+impl Addr {
+    /// Construct an address.
+    pub const fn new(buffer: BufferId, offset: usize) -> Addr {
+        Addr { buffer, offset }
+    }
+
+    /// Address in global memory.
+    pub const fn gm(offset: usize) -> Addr {
+        Addr::new(BufferId::Gm, offset)
+    }
+
+    /// Address in the L1 buffer.
+    pub const fn l1(offset: usize) -> Addr {
+        Addr::new(BufferId::L1, offset)
+    }
+
+    /// Address in the Unified Buffer.
+    pub const fn ub(offset: usize) -> Addr {
+        Addr::new(BufferId::Ub, offset)
+    }
+
+    /// This address displaced by `bytes`.
+    pub const fn add(self, bytes: usize) -> Addr {
+        Addr {
+            buffer: self.buffer,
+            offset: self.offset + bytes,
+        }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+0x{:x}", self.buffer, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privacy_classification() {
+        assert!(!BufferId::Gm.is_private());
+        for b in [BufferId::L1, BufferId::L0A, BufferId::L0B, BufferId::L0C, BufferId::Ub] {
+            assert!(b.is_private(), "{b} should be private");
+        }
+    }
+
+    #[test]
+    fn addr_displacement_stays_in_buffer() {
+        let a = Addr::ub(0x100);
+        let b = a.add(0x40);
+        assert_eq!(b.buffer, BufferId::Ub);
+        assert_eq!(b.offset, 0x140);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr::l1(16).to_string(), "L1+0x10");
+        assert_eq!(Addr::gm(0).to_string(), "GM+0x0");
+    }
+}

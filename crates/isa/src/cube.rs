@@ -1,0 +1,109 @@
+//! The Cube Unit's fractal matrix multiplication.
+//!
+//! "The Cube Unit receives data-fractals from its input buffers. A
+//! data-fractal is a small matrix of a constant size of 4096 bits. The
+//! Cube Unit can multiply two data-fractals per clock cycle" (paper,
+//! Section III-A). A fractal viewed as a matrix is 16 x 16 f16.
+//!
+//! [`CubeMatmul`] multiplies an `(m x k)`-fractal tile in L0A by a
+//! `(k x n)`-fractal tile in L0B into an `(m x n)`-fractal tile in L0C,
+//! accumulating in f32 like real systolic arrays. Dimensions are counted
+//! in fractals (units of 16).
+
+use crate::addr::{Addr, BufferId};
+use crate::program::IsaError;
+
+/// Edge length (rows or columns) of one fractal viewed as a matrix.
+pub const FRACTAL_EDGE: usize = 16;
+
+/// A Cube-Unit matrix multiply over fractal tiles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CubeMatmul {
+    /// Left operand base (L0A), row-major fractals of an `(m*16, k*16)`
+    /// matrix.
+    pub a: Addr,
+    /// Right operand base (L0B), row-major fractals of a `(k*16, n*16)`
+    /// matrix.
+    pub b: Addr,
+    /// Output base (L0C), row-major fractals of an `(m*16, n*16)` matrix.
+    pub c: Addr,
+    /// Row fractals of A and C.
+    pub m_fractals: usize,
+    /// Inner-dimension fractals.
+    pub k_fractals: usize,
+    /// Column fractals of B and C.
+    pub n_fractals: usize,
+    /// When true, add into the existing contents of C instead of
+    /// overwriting — used to accumulate over K tiles larger than L0A/L0B.
+    pub accumulate: bool,
+}
+
+impl CubeMatmul {
+    /// Number of fractal-pair multiplications the instruction performs
+    /// (one per cycle in the cost model).
+    pub fn fractal_ops(&self) -> usize {
+        self.m_fractals * self.k_fractals * self.n_fractals
+    }
+
+    /// Validate datapath legality (A from L0A, B from L0B, C into L0C)
+    /// and non-degenerate dimensions.
+    pub fn validate(&self) -> Result<(), IsaError> {
+        if self.m_fractals == 0 || self.k_fractals == 0 || self.n_fractals == 0 {
+            return Err(IsaError::BadPosition("cube dims must be nonzero".into()));
+        }
+        for (addr, want, role) in [
+            (self.a, BufferId::L0A, "a"),
+            (self.b, BufferId::L0B, "b"),
+            (self.c, BufferId::L0C, "c"),
+        ] {
+            if addr.buffer != want {
+                return Err(IsaError::IllegalDatapath {
+                    instr: "cube",
+                    buffer: addr.buffer,
+                    role,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mm() -> CubeMatmul {
+        CubeMatmul {
+            a: Addr::new(BufferId::L0A, 0),
+            b: Addr::new(BufferId::L0B, 0),
+            c: Addr::new(BufferId::L0C, 0),
+            m_fractals: 2,
+            k_fractals: 3,
+            n_fractals: 4,
+            accumulate: false,
+        }
+    }
+
+    #[test]
+    fn fractal_ops_product() {
+        assert_eq!(mm().fractal_ops(), 24);
+    }
+
+    #[test]
+    fn validates_buffer_roles() {
+        assert!(mm().validate().is_ok());
+        let mut bad = mm();
+        bad.a = Addr::ub(0);
+        assert!(bad.validate().is_err());
+        let mut bad = mm();
+        bad.c = Addr::new(BufferId::L0B, 0);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_dims() {
+        let mut bad = mm();
+        bad.k_fractals = 0;
+        assert!(bad.validate().is_err());
+    }
+}

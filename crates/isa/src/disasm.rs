@@ -1,0 +1,237 @@
+//! Human-readable disassembly of programs — the equivalent of reading
+//! the "lowered CCE C code" the paper uses to explain each
+//! implementation (Section V).
+
+use crate::addr::Addr;
+use crate::program::{Instr, Program};
+use crate::scu::RepeatMode;
+use crate::vector::VectorOp;
+use core::fmt;
+use std::collections::BTreeMap;
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Vector(v) => {
+                write!(
+                    f,
+                    "{:<10} {} <- {}",
+                    self.mnemonic(),
+                    v.dst,
+                    match v.op {
+                        VectorOp::Dup(x) => format!("#{x}"),
+                        VectorOp::MulScalar(x) => format!("{} * #{x}", v.src0),
+                        op if op.has_src1() => format!("{}, {}", v.src0, v.src1),
+                        _ => format!("{}", v.src0),
+                    }
+                )?;
+                write!(f, "  mask={}/128 rep={}", v.mask.count(), v.repeat)?;
+                if v.dst_stride != 256 || v.src0_stride != 256 || v.src1_stride != 256 {
+                    write!(
+                        f,
+                        " strides=[{},{},{}]",
+                        v.dst_stride, v.src0_stride, v.src1_stride
+                    )?;
+                }
+                Ok(())
+            }
+            Instr::Im2Col(i) => write!(
+                f,
+                "im2col     {} <- {}  k=({},{}) c1={} patch={} rep={} mode={}",
+                i.dst,
+                i.src,
+                i.k_off.0,
+                i.k_off.1,
+                i.c1,
+                i.first_patch,
+                i.repeat,
+                match i.mode {
+                    RepeatMode::Mode0 => 0,
+                    RepeatMode::Mode1 => 1,
+                }
+            ),
+            Instr::Col2Im(c) => write!(
+                f,
+                "col2im     {} <-+ {}  k=({},{}) c1={} patch={} rep={}",
+                c.dst, c.src, c.k_off.0, c.k_off.1, c.c1, c.first_patch, c.repeat
+            ),
+            Instr::Move(m) => write!(f, "mte_move   {} <- {}  {}B", m.dst, m.src, m.bytes),
+            Instr::Cube(c) => write!(
+                f,
+                "cube_mmad  {} <- {} x {}  [{}x{}x{}]fr{}",
+                c.c,
+                c.a,
+                c.b,
+                c.m_fractals,
+                c.k_fractals,
+                c.n_fractals,
+                if c.accumulate { " +acc" } else { "" }
+            ),
+        }
+    }
+}
+
+/// Static (pre-execution) statistics of a program: what the paper's
+/// analysis counts without running anything.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StaticStats {
+    /// Instruction issues per mnemonic.
+    pub issues: BTreeMap<&'static str, u64>,
+    /// Sum of vector repeat counts (total 256-byte iterations).
+    pub vector_repeats: u64,
+    /// Enabled-lane slots over all vector repeats.
+    pub vector_useful_lanes: u64,
+    /// Total lane slots (128 x repeats).
+    pub vector_total_lanes: u64,
+    /// Fractals produced by Im2Col issues.
+    pub im2col_fractals: u64,
+    /// Fractals merged by Col2Im issues.
+    pub col2im_fractals: u64,
+    /// Bytes moved by MTE instructions.
+    pub move_bytes: u64,
+    /// Fractal-pair multiplications in Cube issues.
+    pub cube_fractal_ops: u64,
+}
+
+impl StaticStats {
+    /// Static vector-lane utilization in [0, 1].
+    pub fn vector_utilization(&self) -> f64 {
+        if self.vector_total_lanes == 0 {
+            0.0
+        } else {
+            self.vector_useful_lanes as f64 / self.vector_total_lanes as f64
+        }
+    }
+
+    /// Total instruction issues.
+    pub fn total_issues(&self) -> u64 {
+        self.issues.values().sum()
+    }
+}
+
+impl Program {
+    /// Compute static statistics without executing.
+    pub fn static_stats(&self) -> StaticStats {
+        let mut s = StaticStats::default();
+        for i in self.instrs() {
+            *s.issues.entry(i.mnemonic()).or_default() += 1;
+            match i {
+                Instr::Vector(v) => {
+                    s.vector_repeats += v.repeat as u64;
+                    s.vector_useful_lanes += v.useful_lanes();
+                    s.vector_total_lanes += 128 * v.repeat as u64;
+                }
+                Instr::Im2Col(x) => s.im2col_fractals += x.repeat as u64,
+                Instr::Col2Im(x) => s.col2im_fractals += x.repeat as u64,
+                Instr::Move(m) => s.move_bytes += m.bytes as u64,
+                Instr::Cube(c) => s.cube_fractal_ops += c.fractal_ops() as u64,
+            }
+        }
+        s
+    }
+
+    /// Disassemble into one line per instruction.
+    pub fn disassemble(&self) -> String {
+        use core::fmt::Write;
+        let mut out = String::new();
+        for (pc, i) in self.instrs().iter().enumerate() {
+            let _ = writeln!(out, "{pc:>5}: {i}");
+        }
+        out
+    }
+}
+
+/// Shorthand used by `Display` impls above.
+impl Addr {
+    /// The byte offset formatted as the disassembler shows it.
+    pub fn disasm(&self) -> String {
+        self.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::Mask;
+    use crate::vector::VectorInstr;
+    use dv_fp16::F16;
+
+    fn sample_program() -> Program {
+        let mut p = Program::new();
+        p.push(Instr::Move(crate::mte::DataMove::new(
+            Addr::gm(0),
+            Addr::ub(0),
+            512,
+        )))
+        .unwrap();
+        p.push(Instr::Vector(VectorInstr::unit_stride(
+            VectorOp::Dup(F16::NEG_INFINITY),
+            Addr::ub(1024),
+            Addr::ub(0),
+            Addr::ub(0),
+            Mask::FULL,
+            4,
+        )))
+        .unwrap();
+        p.push(Instr::Vector(VectorInstr {
+            op: VectorOp::Max,
+            dst: Addr::ub(1024),
+            src0: Addr::ub(1024),
+            src1: Addr::ub(0),
+            mask: Mask::C0_ONLY,
+            repeat: 3,
+            dst_stride: 0,
+            src0_stride: 0,
+            src1_stride: 32,
+        }))
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn disassembly_mentions_every_instruction() {
+        let p = sample_program();
+        let d = p.disassemble();
+        assert_eq!(d.lines().count(), 3);
+        assert!(d.contains("mte_move"));
+        assert!(d.contains("vector_dup"));
+        assert!(d.contains("vmax"));
+        assert!(d.contains("mask=16/128"));
+        assert!(d.contains("strides=[0,0,32]"));
+    }
+
+    #[test]
+    fn static_stats_count_structures() {
+        let p = sample_program();
+        let s = p.static_stats();
+        assert_eq!(s.total_issues(), 3);
+        assert_eq!(s.issues["vmax"], 1);
+        assert_eq!(s.move_bytes, 512);
+        assert_eq!(s.vector_repeats, 7);
+        assert_eq!(s.vector_total_lanes, 7 * 128);
+        assert_eq!(s.vector_useful_lanes, 4 * 128 + 3 * 16);
+        let util = s.vector_utilization();
+        assert!((util - (560.0 / 896.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats_scu_instructions() {
+        use crate::scu::{Im2Col, Im2ColGeometry};
+        use dv_tensor::PoolParams;
+        let geom = Im2ColGeometry::new(8, 8, 1, PoolParams::new((2, 2), (2, 2))).unwrap();
+        let i = Instr::Im2Col(Im2Col {
+            geom,
+            src: Addr::l1(0),
+            dst: Addr::ub(0),
+            first_patch: 0,
+            k_off: (1, 0),
+            c1: 0,
+            repeat: 1,
+            mode: RepeatMode::Mode1,
+        });
+        let s = i.to_string();
+        assert!(s.contains("im2col"));
+        assert!(s.contains("k=(1,0)"));
+        assert!(s.contains("mode=1"));
+    }
+}

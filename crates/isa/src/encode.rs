@@ -1,0 +1,508 @@
+//! Compact binary encoding of programs.
+//!
+//! Lowered programs are expensive to rebuild for large networks, so — as
+//! real kernel stacks cache compiled kernels — programs can be serialised
+//! to a compact little-endian binary format and reloaded. Decoding
+//! re-validates every instruction, so a corrupted or hand-forged blob can
+//! never put an illegal instruction into a [`Program`].
+//!
+//! Format: magic `DVP1`, instruction count (u32), then per instruction a
+//! 1-byte opcode followed by fixed-width fields. All integers
+//! little-endian; buffer ids and vector ops are 1-byte enums.
+
+use crate::addr::{Addr, BufferId};
+use crate::cube::CubeMatmul;
+use crate::mask::Mask;
+use crate::mte::DataMove;
+use crate::program::{Instr, IsaError, Program};
+use crate::scu::{Col2Im, Im2Col, Im2ColGeometry, RepeatMode};
+use crate::vector::{VectorInstr, VectorOp};
+use dv_fp16::F16;
+use dv_tensor::{Padding, PoolParams};
+
+/// Errors from decoding a binary program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DecodeError {
+    /// Missing or wrong magic header.
+    BadMagic,
+    /// The blob ended mid-instruction.
+    Truncated,
+    /// An unknown opcode or enum tag.
+    BadTag(u8),
+    /// The decoded instruction failed validation.
+    Invalid(IsaError),
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bad magic (expected DVP1)"),
+            DecodeError::Truncated => write!(f, "truncated program blob"),
+            DecodeError::BadTag(t) => write!(f, "unknown tag 0x{t:02x}"),
+            DecodeError::Invalid(e) => write!(f, "invalid instruction: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const MAGIC: &[u8; 4] = b"DVP1";
+
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn usize_(&mut self, v: usize) {
+        self.u32(u32::try_from(v).expect("field exceeds u32"));
+    }
+    fn buffer(&mut self, b: BufferId) {
+        self.u8(match b {
+            BufferId::Gm => 0,
+            BufferId::L1 => 1,
+            BufferId::L0A => 2,
+            BufferId::L0B => 3,
+            BufferId::L0C => 4,
+            BufferId::Ub => 5,
+        });
+    }
+    fn addr(&mut self, a: Addr) {
+        self.buffer(a.buffer);
+        self.usize_(a.offset);
+    }
+    fn geom(&mut self, g: &Im2ColGeometry) {
+        self.usize_(g.ih);
+        self.usize_(g.iw);
+        self.usize_(g.c1_len);
+        self.u8(g.params.kh as u8);
+        self.u8(g.params.kw as u8);
+        self.u8(g.params.sh as u8);
+        self.u8(g.params.sw as u8);
+        self.u8(g.params.padding.top as u8);
+        self.u8(g.params.padding.bottom as u8);
+        self.u8(g.params.padding.left as u8);
+        self.u8(g.params.padding.right as u8);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn usize_(&mut self) -> Result<usize, DecodeError> {
+        Ok(self.u32()? as usize)
+    }
+    fn buffer(&mut self) -> Result<BufferId, DecodeError> {
+        match self.u8()? {
+            0 => Ok(BufferId::Gm),
+            1 => Ok(BufferId::L1),
+            2 => Ok(BufferId::L0A),
+            3 => Ok(BufferId::L0B),
+            4 => Ok(BufferId::L0C),
+            5 => Ok(BufferId::Ub),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+    fn addr(&mut self) -> Result<Addr, DecodeError> {
+        let b = self.buffer()?;
+        let o = self.usize_()?;
+        Ok(Addr::new(b, o))
+    }
+    fn geom(&mut self) -> Result<Im2ColGeometry, DecodeError> {
+        let ih = self.usize_()?;
+        let iw = self.usize_()?;
+        let c1_len = self.usize_()?;
+        let kh = self.u8()? as usize;
+        let kw = self.u8()? as usize;
+        let sh = self.u8()? as usize;
+        let sw = self.u8()? as usize;
+        let padding = Padding {
+            top: self.u8()? as usize,
+            bottom: self.u8()? as usize,
+            left: self.u8()? as usize,
+            right: self.u8()? as usize,
+        };
+        let params = PoolParams::with_padding((kh, kw), (sh, sw), padding);
+        Im2ColGeometry::new(ih, iw, c1_len, params).map_err(DecodeError::Invalid)
+    }
+}
+
+fn vec_op_tag(op: VectorOp) -> (u8, u16) {
+    match op {
+        VectorOp::Max => (0, 0),
+        VectorOp::Min => (1, 0),
+        VectorOp::Add => (2, 0),
+        VectorOp::Sub => (3, 0),
+        VectorOp::Mul => (4, 0),
+        VectorOp::MulScalar(s) => (5, s.to_bits()),
+        VectorOp::Dup(s) => (6, s.to_bits()),
+        VectorOp::CmpEq => (7, 0),
+        VectorOp::Copy => (8, 0),
+        VectorOp::Relu => (9, 0),
+    }
+}
+
+fn vec_op_from(tag: u8, imm: u16) -> Result<VectorOp, DecodeError> {
+    Ok(match tag {
+        0 => VectorOp::Max,
+        1 => VectorOp::Min,
+        2 => VectorOp::Add,
+        3 => VectorOp::Sub,
+        4 => VectorOp::Mul,
+        5 => VectorOp::MulScalar(F16::from_bits(imm)),
+        6 => VectorOp::Dup(F16::from_bits(imm)),
+        7 => VectorOp::CmpEq,
+        8 => VectorOp::Copy,
+        9 => VectorOp::Relu,
+        t => return Err(DecodeError::BadTag(t)),
+    })
+}
+
+impl Program {
+    /// Serialise to the compact binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer { out: Vec::new() };
+        w.out.extend_from_slice(MAGIC);
+        w.u32(self.len() as u32);
+        for i in self.instrs() {
+            match i {
+                Instr::Vector(v) => {
+                    w.u8(0x01);
+                    let (tag, imm) = vec_op_tag(v.op);
+                    w.u8(tag);
+                    w.u16(imm);
+                    w.addr(v.dst);
+                    w.addr(v.src0);
+                    w.addr(v.src1);
+                    let (lo, hi) = mask_words(&v.mask);
+                    w.out.extend_from_slice(&lo.to_le_bytes());
+                    w.out.extend_from_slice(&hi.to_le_bytes());
+                    w.u16(v.repeat);
+                    w.usize_(v.dst_stride);
+                    w.usize_(v.src0_stride);
+                    w.usize_(v.src1_stride);
+                }
+                Instr::Im2Col(x) => {
+                    w.u8(0x02);
+                    w.geom(&x.geom);
+                    w.addr(x.src);
+                    w.addr(x.dst);
+                    w.usize_(x.first_patch);
+                    w.u8(x.k_off.0 as u8);
+                    w.u8(x.k_off.1 as u8);
+                    w.usize_(x.c1);
+                    w.u16(x.repeat);
+                    w.u8(match x.mode {
+                        RepeatMode::Mode0 => 0,
+                        RepeatMode::Mode1 => 1,
+                    });
+                }
+                Instr::Col2Im(x) => {
+                    w.u8(0x03);
+                    w.geom(&x.geom);
+                    w.addr(x.src);
+                    w.addr(x.dst);
+                    w.usize_(x.first_patch);
+                    w.u8(x.k_off.0 as u8);
+                    w.u8(x.k_off.1 as u8);
+                    w.usize_(x.c1);
+                    w.u16(x.repeat);
+                }
+                Instr::Move(m) => {
+                    w.u8(0x04);
+                    w.addr(m.src);
+                    w.addr(m.dst);
+                    w.usize_(m.bytes);
+                }
+                Instr::Cube(c) => {
+                    w.u8(0x05);
+                    w.addr(c.a);
+                    w.addr(c.b);
+                    w.addr(c.c);
+                    w.usize_(c.m_fractals);
+                    w.usize_(c.k_fractals);
+                    w.usize_(c.n_fractals);
+                    w.u8(c.accumulate as u8);
+                }
+            }
+        }
+        w.out
+    }
+
+    /// Decode from the binary format, re-validating every instruction.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Program, DecodeError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let count = r.u32()? as usize;
+        let mut p = Program::new();
+        for _ in 0..count {
+            let instr = match r.u8()? {
+                0x01 => {
+                    let tag = r.u8()?;
+                    let imm = r.u16()?;
+                    let op = vec_op_from(tag, imm)?;
+                    let dst = r.addr()?;
+                    let src0 = r.addr()?;
+                    let src1 = r.addr()?;
+                    let lo = u64::from_le_bytes(r.take(8)?.try_into().unwrap());
+                    let hi = u64::from_le_bytes(r.take(8)?.try_into().unwrap());
+                    let repeat = r.u16()?;
+                    let dst_stride = r.usize_()?;
+                    let src0_stride = r.usize_()?;
+                    let src1_stride = r.usize_()?;
+                    Instr::Vector(VectorInstr {
+                        op,
+                        dst,
+                        src0,
+                        src1,
+                        mask: Mask::from_words(lo, hi),
+                        repeat,
+                        dst_stride,
+                        src0_stride,
+                        src1_stride,
+                    })
+                }
+                0x02 => {
+                    let geom = r.geom()?;
+                    let src = r.addr()?;
+                    let dst = r.addr()?;
+                    let first_patch = r.usize_()?;
+                    let k_off = (r.u8()? as usize, r.u8()? as usize);
+                    let c1 = r.usize_()?;
+                    let repeat = r.u16()?;
+                    let mode = match r.u8()? {
+                        0 => RepeatMode::Mode0,
+                        1 => RepeatMode::Mode1,
+                        t => return Err(DecodeError::BadTag(t)),
+                    };
+                    Instr::Im2Col(Im2Col {
+                        geom,
+                        src,
+                        dst,
+                        first_patch,
+                        k_off,
+                        c1,
+                        repeat,
+                        mode,
+                    })
+                }
+                0x03 => {
+                    let geom = r.geom()?;
+                    let src = r.addr()?;
+                    let dst = r.addr()?;
+                    let first_patch = r.usize_()?;
+                    let k_off = (r.u8()? as usize, r.u8()? as usize);
+                    let c1 = r.usize_()?;
+                    let repeat = r.u16()?;
+                    Instr::Col2Im(Col2Im {
+                        geom,
+                        src,
+                        dst,
+                        first_patch,
+                        k_off,
+                        c1,
+                        repeat,
+                    })
+                }
+                0x04 => {
+                    let src = r.addr()?;
+                    let dst = r.addr()?;
+                    let bytes = r.usize_()?;
+                    Instr::Move(DataMove::new(src, dst, bytes))
+                }
+                0x05 => {
+                    let a = r.addr()?;
+                    let b = r.addr()?;
+                    let c = r.addr()?;
+                    let m_fractals = r.usize_()?;
+                    let k_fractals = r.usize_()?;
+                    let n_fractals = r.usize_()?;
+                    let accumulate = r.u8()? != 0;
+                    Instr::Cube(CubeMatmul {
+                        a,
+                        b,
+                        c,
+                        m_fractals,
+                        k_fractals,
+                        n_fractals,
+                        accumulate,
+                    })
+                }
+                t => return Err(DecodeError::BadTag(t)),
+            };
+            p.push(instr).map_err(DecodeError::Invalid)?;
+        }
+        Ok(p)
+    }
+}
+
+fn mask_words(m: &Mask) -> (u64, u64) {
+    let mut lo = 0u64;
+    let mut hi = 0u64;
+    for i in 0..64 {
+        if m.lane(i) {
+            lo |= 1 << i;
+        }
+        if m.lane(64 + i) {
+            hi |= 1 << i;
+        }
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Program {
+        let mut p = Program::new();
+        p.push(Instr::Move(DataMove::new(Addr::gm(128), Addr::l1(0), 1024)))
+            .unwrap();
+        let geom =
+            Im2ColGeometry::new(12, 12, 2, PoolParams::new((3, 3), (2, 2))).unwrap();
+        p.push(Instr::Im2Col(Im2Col {
+            geom,
+            src: Addr::l1(0),
+            dst: Addr::ub(256),
+            first_patch: 0,
+            k_off: (1, 2),
+            c1: 1,
+            repeat: 2,
+            mode: RepeatMode::Mode1,
+        }))
+        .unwrap();
+        p.push(Instr::Vector(VectorInstr {
+            op: VectorOp::MulScalar(F16::from_f32(0.25)),
+            dst: Addr::ub(0),
+            src0: Addr::ub(512),
+            src1: Addr::ub(0),
+            mask: Mask::first_n(37),
+            repeat: 7,
+            dst_stride: 0,
+            src0_stride: 32,
+            src1_stride: 0,
+        }))
+        .unwrap();
+        p.push(Instr::Col2Im(Col2Im {
+            geom,
+            src: Addr::ub(0),
+            dst: Addr::ub(8192),
+            first_patch: 16,
+            k_off: (0, 1),
+            c1: 0,
+            repeat: 1,
+        }))
+        .unwrap();
+        p.push(Instr::Cube(CubeMatmul {
+            a: Addr::new(BufferId::L0A, 512),
+            b: Addr::new(BufferId::L0B, 0),
+            c: Addr::new(BufferId::L0C, 1024),
+            m_fractals: 2,
+            k_fractals: 3,
+            n_fractals: 1,
+            accumulate: true,
+        }))
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_every_instruction() {
+        let p = sample();
+        let bytes = p.to_bytes();
+        let q = Program::from_bytes(&bytes).unwrap();
+        assert_eq!(p.instrs(), q.instrs());
+    }
+
+    #[test]
+    fn magic_checked() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(
+            Program::from_bytes(&bytes).unwrap_err(),
+            DecodeError::BadMagic
+        );
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = sample().to_bytes();
+        for cut in [5, 9, 20, bytes.len() - 1] {
+            assert_eq!(
+                Program::from_bytes(&bytes[..cut]).unwrap_err(),
+                DecodeError::Truncated,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_opcode_detected() {
+        let mut bytes = sample().to_bytes();
+        bytes[8] = 0x7F; // first opcode byte
+        assert!(matches!(
+            Program::from_bytes(&bytes),
+            Err(DecodeError::BadTag(0x7F))
+        ));
+    }
+
+    #[test]
+    fn forged_illegal_instruction_rejected() {
+        // Encode a vector instruction, then corrupt its dst buffer to GM:
+        // decoding must re-validate and refuse.
+        let mut p = Program::new();
+        p.push(Instr::Vector(VectorInstr::unit_stride(
+            VectorOp::Add,
+            Addr::ub(0),
+            Addr::ub(0),
+            Addr::ub(0),
+            Mask::FULL,
+            1,
+        )))
+        .unwrap();
+        let mut bytes = p.to_bytes();
+        // layout: magic(4) count(4) opcode(1) tag(1) imm(2) dst.buffer(1)
+        bytes[12] = 0; // BufferId::Gm
+        assert!(matches!(
+            Program::from_bytes(&bytes),
+            Err(DecodeError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn empty_program_round_trips() {
+        let p = Program::new();
+        let q = Program::from_bytes(&p.to_bytes()).unwrap();
+        assert!(q.is_empty());
+    }
+}

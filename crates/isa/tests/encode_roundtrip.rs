@@ -1,0 +1,128 @@
+//! Property test: arbitrary valid programs survive the binary encoding
+//! round trip instruction-for-instruction.
+
+use dv_fp16::F16;
+use dv_isa::{
+    Addr, BufferId, Col2Im, CubeMatmul, DataMove, Im2Col, Im2ColGeometry, Instr, Mask, Program,
+    RepeatMode, VectorInstr, VectorOp,
+};
+use dv_tensor::PoolParams;
+use proptest::prelude::*;
+
+fn arb_vector() -> impl Strategy<Value = Instr> {
+    (
+        0u8..=8,
+        any::<u16>(),
+        0usize..4096,
+        0usize..4096,
+        0usize..4096,
+        0usize..=128,
+        1u16..=255,
+        prop_oneof![Just(0usize), Just(32), Just(256), Just(512)],
+    )
+        .prop_map(|(tag, imm, d, s0, s1, lanes, rep, stride)| {
+            let op = match tag {
+                0 => VectorOp::Max,
+                1 => VectorOp::Min,
+                2 => VectorOp::Add,
+                3 => VectorOp::Sub,
+                4 => VectorOp::Mul,
+                5 => VectorOp::MulScalar(F16::from_bits(imm)),
+                6 => VectorOp::Dup(F16::from_bits(imm)),
+                7 => VectorOp::CmpEq,
+                _ => VectorOp::Copy,
+            };
+            Instr::Vector(VectorInstr {
+                op,
+                dst: Addr::ub(d * 2),
+                src0: Addr::ub(s0 * 2),
+                src1: Addr::ub(s1 * 2),
+                mask: Mask::first_n(lanes),
+                repeat: rep,
+                dst_stride: stride,
+                src0_stride: stride,
+                src1_stride: stride,
+            })
+        })
+}
+
+fn arb_scu() -> impl Strategy<Value = Instr> {
+    (
+        1usize..=3,
+        1usize..=3,
+        1usize..=3,
+        1usize..=3,
+        6usize..=16,
+        6usize..=16,
+        1usize..=2,
+        any::<bool>(),
+    )
+        .prop_filter_map("valid geometry", |(kh, kw, sh, sw, ih, iw, c1_len, col2im)| {
+            let params = PoolParams::new((kh, kw), (sh, sw));
+            let geom = Im2ColGeometry::new(ih, iw, c1_len, params).ok()?;
+            if col2im {
+                Some(Instr::Col2Im(Col2Im {
+                    geom,
+                    src: Addr::ub(0),
+                    dst: Addr::ub(8192),
+                    first_patch: 0,
+                    k_off: (kh - 1, 0),
+                    c1: c1_len - 1,
+                    repeat: 1,
+                }))
+            } else {
+                Some(Instr::Im2Col(Im2Col {
+                    geom,
+                    src: Addr::l1(0),
+                    dst: Addr::ub(0),
+                    first_patch: 0,
+                    k_off: (0, kw - 1),
+                    c1: 0,
+                    repeat: 1,
+                    mode: RepeatMode::Mode1,
+                }))
+            }
+        })
+}
+
+fn arb_other() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (1usize..=4096).prop_map(|b| Instr::Move(DataMove::new(Addr::gm(0), Addr::l1(0), b))),
+        (1usize..=3, 1usize..=3, 1usize..=3, any::<bool>()).prop_map(|(m, k, n, acc)| {
+            Instr::Cube(CubeMatmul {
+                a: Addr::new(BufferId::L0A, 0),
+                b: Addr::new(BufferId::L0B, 0),
+                c: Addr::new(BufferId::L0C, 0),
+                m_fractals: m,
+                k_fractals: k,
+                n_fractals: n,
+                accumulate: acc,
+            })
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_programs_round_trip(
+        instrs in prop::collection::vec(
+            prop_oneof![arb_vector(), arb_scu(), arb_other()], 0..40)
+    ) {
+        let mut p = Program::new();
+        for i in instrs {
+            p.push(i).unwrap();
+        }
+        let bytes = p.to_bytes();
+        let q = Program::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(p.instrs(), q.instrs());
+    }
+
+    /// Any random byte blob either decodes to a valid program or fails
+    /// cleanly — never panics.
+    #[test]
+    fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Program::from_bytes(&bytes);
+    }
+}

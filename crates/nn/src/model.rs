@@ -1,0 +1,406 @@
+//! The layer types and the sequential model runner.
+
+use core::fmt;
+use dv_core::{ForwardImpl, PoolingEngine, RunError};
+use dv_tensor::{Nchw, PoolParams, ShapeError};
+
+/// Errors from building or running a model.
+#[derive(Debug)]
+pub enum NnError {
+    /// A layer's geometry does not accept its input shape.
+    Shape {
+        /// index of the failing layer
+        layer: usize,
+        /// underlying geometry error
+        source: ShapeError,
+    },
+    /// Channel mismatch between a convolution's weights and its input.
+    ChannelMismatch {
+        /// index of the failing layer
+        layer: usize,
+        /// channels the layer expected
+        expected: usize,
+        /// channels it received
+        got: usize,
+    },
+    /// A layer failed to lower or simulate.
+    Run {
+        /// index of the failing layer
+        layer: usize,
+        /// underlying engine error
+        source: Box<dyn std::error::Error + Send + Sync>,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Shape { layer, source } => write!(f, "layer {layer}: {source}"),
+            NnError::ChannelMismatch {
+                layer,
+                expected,
+                got,
+            } => write!(f, "layer {layer}: expected {expected} channels, got {got}"),
+            NnError::Run { layer, source } => write!(f, "layer {layer}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+/// One layer of a [`Sequential`] model.
+#[derive(Clone, Debug)]
+pub enum Layer {
+    /// 2-D convolution on the Cube Unit (weights `(M, C, Kh, Kw)`).
+    Conv2d {
+        /// filter weights
+        weights: Nchw,
+        /// stride/padding geometry (kernel extents must match `weights`)
+        params: PoolParams,
+    },
+    /// Rectified linear activation on the Vector Unit.
+    Relu,
+    /// MaxPool with a selectable lowering (the paper's subject).
+    MaxPool2d {
+        /// kernel/stride/padding
+        params: PoolParams,
+        /// which lowering (baseline vs accelerated)
+        impl_: ForwardImpl,
+    },
+    /// AvgPool with a selectable lowering.
+    AvgPool2d {
+        /// kernel/stride/padding
+        params: PoolParams,
+        /// which lowering
+        impl_: ForwardImpl,
+    },
+    /// Global average pooling: kernel = the whole spatial extent.
+    GlobalAvgPool,
+}
+
+impl Layer {
+    /// Convolution layer; kernel extents are taken from the weight
+    /// tensor.
+    pub fn conv2d(weights: Nchw, stride: (usize, usize)) -> Layer {
+        let params = PoolParams::new((weights.h, weights.w), stride);
+        Layer::Conv2d { weights, params }
+    }
+
+    /// MaxPool layer.
+    pub fn maxpool2d(params: PoolParams, impl_: ForwardImpl) -> Layer {
+        Layer::MaxPool2d { params, impl_ }
+    }
+
+    /// AvgPool layer.
+    pub fn avgpool2d(params: PoolParams, impl_: ForwardImpl) -> Layer {
+        Layer::AvgPool2d { params, impl_ }
+    }
+
+    /// Display name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            Layer::Conv2d { weights, params } => format!(
+                "conv2d {}x{}/{} ({} kernels)",
+                params.kh, params.kw, params.sh, weights.n
+            ),
+            Layer::Relu => "relu".into(),
+            Layer::MaxPool2d { params, impl_ } => format!(
+                "maxpool {}x{}/{} ({impl_:?})",
+                params.kh, params.kw, params.sh
+            ),
+            Layer::AvgPool2d { params, impl_ } => format!(
+                "avgpool {}x{}/{} ({impl_:?})",
+                params.kh, params.kw, params.sh
+            ),
+            Layer::GlobalAvgPool => "global avgpool".into(),
+        }
+    }
+
+    /// Infer the output `(C, H, W)` for an input `(C, H, W)`.
+    pub fn out_shape(
+        &self,
+        (c, h, w): (usize, usize, usize),
+    ) -> Result<(usize, usize, usize), ShapeError> {
+        match self {
+            Layer::Conv2d { weights, params } => {
+                if weights.c != c {
+                    return Err(ShapeError::Mismatch(format!(
+                        "conv weights expect {} channels, input has {c}",
+                        weights.c
+                    )));
+                }
+                let (oh, ow) = params.out_dims(h, w)?;
+                Ok((weights.n, oh, ow))
+            }
+            Layer::Relu => Ok((c, h, w)),
+            Layer::MaxPool2d { params, .. } | Layer::AvgPool2d { params, .. } => {
+                let (oh, ow) = params.out_dims(h, w)?;
+                Ok((c, oh, ow))
+            }
+            Layer::GlobalAvgPool => {
+                PoolParams::new((h, w), (1, 1)).out_dims(h, w)?;
+                Ok((c, 1, 1))
+            }
+        }
+    }
+}
+
+/// Per-layer outcome of a forward pass.
+#[derive(Clone, Debug)]
+pub struct LayerRun {
+    /// The layer's display name.
+    pub name: String,
+    /// Output `(C, H, W)`.
+    pub out_shape: (usize, usize, usize),
+    /// Simulated chip cycles the layer consumed.
+    pub cycles: u64,
+}
+
+/// The outcome of a whole forward pass.
+#[derive(Clone, Debug, Default)]
+pub struct NetRun {
+    /// Per-layer reports, in execution order.
+    pub layers: Vec<LayerRun>,
+}
+
+impl NetRun {
+    /// Total simulated cycles over all layers.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Render an aligned per-layer report.
+    pub fn report(&self) -> String {
+        use core::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<36} {:>14} {:>12}", "layer", "output", "cycles");
+        for l in &self.layers {
+            let _ = writeln!(
+                out,
+                "{:<36} {:>14} {:>12}",
+                l.name,
+                format!("{}x{}x{}", l.out_shape.1, l.out_shape.2, l.out_shape.0),
+                l.cycles
+            );
+        }
+        let _ = writeln!(out, "{:<36} {:>14} {:>12}", "total", "", self.total_cycles());
+        out
+    }
+}
+
+/// A feed-forward stack of layers executed on one [`PoolingEngine`].
+///
+/// Inference-only: the simulated substrate covers every forward operator
+/// (and pooling/conv backward-data exist crate-side), but weight
+/// gradients would need the SCU's transposing loads, which the paper —
+/// and therefore this reproduction — leaves out of scope.
+#[derive(Clone, Debug)]
+pub struct Sequential {
+    layers: Vec<Layer>,
+    engine: PoolingEngine,
+}
+
+impl Sequential {
+    /// An empty model over an engine.
+    pub fn new(engine: PoolingEngine) -> Sequential {
+        Sequential {
+            layers: Vec::new(),
+            engine,
+        }
+    }
+
+    /// Append a layer (builder style).
+    pub fn layer(mut self, layer: Layer) -> Sequential {
+        self.layers.push(layer);
+        self
+    }
+
+    /// The layers in order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Shape-check the model against an input `(C, H, W)`, returning
+    /// every intermediate shape (including the input at index 0).
+    pub fn shapes(
+        &self,
+        input: (usize, usize, usize),
+    ) -> Result<Vec<(usize, usize, usize)>, NnError> {
+        let mut shapes = vec![input];
+        let mut cur = input;
+        for (i, layer) in self.layers.iter().enumerate() {
+            cur = layer
+                .out_shape(cur)
+                .map_err(|source| NnError::Shape { layer: i, source })?;
+            shapes.push(cur);
+        }
+        Ok(shapes)
+    }
+
+    /// Run the model on an NCHW input (batch 1), returning the output and
+    /// the per-layer cycle report.
+    pub fn forward(&self, input: &Nchw) -> Result<(Nchw, NetRun), NnError> {
+        self.shapes((input.c, input.h, input.w))?;
+        let mut x = input.clone();
+        let mut run = NetRun::default();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let boxed = |e: RunError| NnError::Run {
+                layer: i,
+                source: Box::new(e),
+            };
+            let cycles;
+            match layer {
+                Layer::Conv2d { weights, params } => {
+                    if weights.c != x.c {
+                        return Err(NnError::ChannelMismatch {
+                            layer: i,
+                            expected: weights.c,
+                            got: x.c,
+                        });
+                    }
+                    let (out, r) =
+                        dv_conv::run_conv2d(&x, weights, params).map_err(|e| NnError::Run {
+                            layer: i,
+                            source: Box::new(e),
+                        })?;
+                    cycles = r.cycles;
+                    x = out;
+                }
+                Layer::Relu => {
+                    let (out, r) = self.engine.relu(&x.to_nc1hwc0()).map_err(boxed)?;
+                    cycles = r.cycles;
+                    x = out.to_nchw();
+                }
+                Layer::MaxPool2d { params, impl_ } => {
+                    let (out, r) = self
+                        .engine
+                        .maxpool_forward(&x.to_nc1hwc0(), *params, *impl_)
+                        .map_err(boxed)?;
+                    cycles = r.cycles;
+                    let mut out = out;
+                    out.orig_c = x.c;
+                    x = out.to_nchw();
+                }
+                Layer::AvgPool2d { params, impl_ } => {
+                    let (out, r) = self
+                        .engine
+                        .avgpool_forward(&x.to_nc1hwc0(), *params, *impl_)
+                        .map_err(boxed)?;
+                    cycles = r.cycles;
+                    let mut out = out;
+                    out.orig_c = x.c;
+                    x = out.to_nchw();
+                }
+                Layer::GlobalAvgPool => {
+                    let params = PoolParams::new((x.h, x.w), (1, 1));
+                    let (out, r) = self
+                        .engine
+                        .avgpool_forward(&x.to_nc1hwc0(), params, ForwardImpl::Im2col)
+                        .map_err(boxed)?;
+                    cycles = r.cycles;
+                    let mut out = out;
+                    out.orig_c = x.c;
+                    x = out.to_nchw();
+                }
+            }
+            run.layers.push(LayerRun {
+                name: layer.name(),
+                out_shape: (x.c, x.h, x.w),
+                cycles,
+            });
+        }
+        Ok((x, run))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_fp16::F16;
+
+    fn weights(m: usize, c: usize, k: usize, seed: usize) -> Nchw {
+        Nchw::from_fn(m, c, k, k, |mi, ci, h, w| {
+            F16::from_f32(((seed + mi * 7 + ci * 3 + h + w) % 9) as f32 * 0.125 - 0.5)
+        })
+    }
+
+    fn image(c: usize, hw: usize, seed: usize) -> Nchw {
+        Nchw::from_fn(1, c, hw, hw, |_, ci, h, w| {
+            F16::from_f32(((seed + ci * 5 + h * 3 + w) % 11) as f32 * 0.25 - 1.25)
+        })
+    }
+
+    fn engine() -> PoolingEngine {
+        PoolingEngine::new(dv_sim::Chip::new(2, dv_sim::CostModel::ascend910_like()))
+    }
+
+    #[test]
+    fn shape_inference_matches_execution() {
+        let model = Sequential::new(engine())
+            .layer(Layer::conv2d(weights(16, 16, 3, 1), (1, 1)))
+            .layer(Layer::Relu)
+            .layer(Layer::maxpool2d(PoolParams::K3S2, ForwardImpl::Im2col))
+            .layer(Layer::GlobalAvgPool);
+        let shapes = model.shapes((16, 14, 14)).unwrap();
+        assert_eq!(
+            shapes,
+            vec![(16, 14, 14), (16, 12, 12), (16, 12, 12), (16, 5, 5), (16, 1, 1)]
+        );
+        let (out, run) = model.forward(&image(16, 14, 2)).unwrap();
+        assert_eq!((out.c, out.h, out.w), *shapes.last().unwrap());
+        assert_eq!(run.layers.len(), 4);
+        let report = run.report();
+        assert!(report.contains("maxpool 3x3/2"));
+        assert!(report.contains("total"));
+    }
+
+    #[test]
+    fn bad_geometry_is_caught_before_running() {
+        let model = Sequential::new(engine())
+            .layer(Layer::maxpool2d(PoolParams::new((9, 9), (1, 1)), ForwardImpl::Standard));
+        assert!(matches!(
+            model.shapes((16, 4, 4)),
+            Err(NnError::Shape { layer: 0, .. })
+        ));
+        assert!(model.forward(&image(16, 4, 3)).is_err());
+    }
+
+    #[test]
+    fn channel_mismatch_is_caught() {
+        let model = Sequential::new(engine())
+            .layer(Layer::conv2d(weights(8, 32, 3, 4), (1, 1)));
+        assert!(matches!(
+            model.shapes((16, 10, 10)),
+            Err(NnError::Shape { layer: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn accelerated_model_is_faster_and_equal() {
+        let conv_w = weights(16, 16, 3, 5);
+        let build = |impl_| {
+            Sequential::new(engine())
+                .layer(Layer::conv2d(conv_w.clone(), (1, 1)))
+                .layer(Layer::Relu)
+                .layer(Layer::maxpool2d(PoolParams::K3S2, impl_))
+        };
+        let base = build(ForwardImpl::Standard);
+        let fast = build(ForwardImpl::Im2col);
+        let img = image(16, 20, 6);
+        let (out_b, run_b) = base.forward(&img).unwrap();
+        let (out_f, run_f) = fast.forward(&img).unwrap();
+        assert_eq!(out_b, out_f, "lowerings must agree");
+        // only the pooling layer differs
+        assert_eq!(run_b.layers[0].cycles, run_f.layers[0].cycles);
+        assert!(run_f.layers[2].cycles < run_b.layers[2].cycles);
+    }
+
+    #[test]
+    fn empty_model_is_identity() {
+        let model = Sequential::new(engine());
+        let img = image(16, 8, 7);
+        let (out, run) = model.forward(&img).unwrap();
+        assert_eq!(out, img);
+        assert_eq!(run.total_cycles(), 0);
+    }
+}

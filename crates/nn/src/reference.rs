@@ -1,0 +1,81 @@
+//! A scalar reference forward pass for whole models — the oracle the
+//! simulated [`Sequential`](crate::Sequential) is tested against.
+
+use crate::model::{Layer, NnError, Sequential};
+use dv_fp16::F16;
+use dv_tensor::reference as golden;
+use dv_tensor::{Nchw, PoolParams};
+
+/// Run the model's layers through the golden reference operators (no
+/// simulation). Bit-exact against [`Sequential::forward`] by
+/// construction of the simulated kernels.
+pub fn reference_forward(model: &Sequential, input: &Nchw) -> Result<Nchw, NnError> {
+    let mut x = input.clone();
+    for (i, layer) in model.layers().iter().enumerate() {
+        let shape_err = |source| NnError::Shape { layer: i, source };
+        x = match layer {
+            Layer::Conv2d { weights, params } => {
+                golden::conv2d_direct(&x, weights, params).map_err(shape_err)?
+            }
+            Layer::Relu => {
+                let mut y = x.clone();
+                for v in y.data_mut() {
+                    *v = v.max(F16::ZERO);
+                }
+                y
+            }
+            Layer::MaxPool2d { params, .. } => {
+                let mut out = golden::maxpool_forward(&x.to_nc1hwc0(), params)
+                    .map_err(shape_err)?;
+                out.orig_c = x.c;
+                out.to_nchw()
+            }
+            Layer::AvgPool2d { params, .. } => {
+                let mut out = golden::avgpool_forward(&x.to_nc1hwc0(), params)
+                    .map_err(shape_err)?;
+                out.orig_c = x.c;
+                out.to_nchw()
+            }
+            Layer::GlobalAvgPool => {
+                let params = PoolParams::new((x.h, x.w), (1, 1));
+                let mut out = golden::avgpool_forward(&x.to_nc1hwc0(), &params)
+                    .map_err(shape_err)?;
+                out.orig_c = x.c;
+                out.to_nchw()
+            }
+        };
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_core::{ForwardImpl, PoolingEngine};
+
+    #[test]
+    fn simulated_model_matches_reference_model() {
+        let conv1 = Nchw::from_fn(16, 16, 3, 3, |m, c, h, w| {
+            F16::from_f32(((m * 3 + c + h * 2 + w) % 7) as f32 * 0.25 - 0.75)
+        });
+        let conv2 = Nchw::from_fn(32, 16, 3, 3, |m, c, h, w| {
+            F16::from_f32(((m + c * 2 + h + w * 3) % 5) as f32 * 0.125 - 0.25)
+        });
+        let model = Sequential::new(PoolingEngine::ascend910())
+            .layer(Layer::conv2d(conv1, (1, 1)))
+            .layer(Layer::Relu)
+            .layer(Layer::maxpool2d(PoolParams::K3S2, ForwardImpl::Im2col))
+            .layer(Layer::conv2d(conv2, (1, 1)))
+            .layer(Layer::Relu)
+            .layer(Layer::avgpool2d(PoolParams::K2S2, ForwardImpl::Im2col))
+            .layer(Layer::GlobalAvgPool);
+        let input = Nchw::from_fn(1, 16, 22, 22, |_, c, h, w| {
+            F16::from_f32(((c * 7 + h * 5 + w * 3) % 13) as f32 * 0.25 - 1.5)
+        });
+        let (sim_out, run) = model.forward(&input).unwrap();
+        let ref_out = reference_forward(&model, &input).unwrap();
+        assert_eq!(sim_out, ref_out, "7-layer network must match bit-exactly");
+        assert_eq!(run.layers.len(), 7);
+        assert!(run.total_cycles() > 0);
+    }
+}

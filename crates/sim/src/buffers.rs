@@ -1,0 +1,397 @@
+//! The AI Core's scratch-pad memories.
+//!
+//! Each buffer is a fixed-capacity byte array with its own address space
+//! (paper, Section III-A: scratch-pads need no tags or coherence, but the
+//! program must manage placement and consistency explicitly). Out-of-range
+//! accesses are hard errors — the "failure injection" surface of the test
+//! suite.
+//!
+//! Element conventions: every buffer holds f16 elements **except L0C**,
+//! which holds f32 accumulators (systolic matrix units accumulate f16
+//! products at full precision; the precision drop to f16 happens on the
+//! L0C -> UB drain path, as on real hardware).
+
+use core::fmt;
+use dv_fp16::F16;
+use dv_isa::BufferId;
+
+use crate::cost::Capacities;
+
+/// Simulation errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// Access outside a buffer's capacity.
+    OutOfBounds {
+        /// buffer accessed
+        buffer: BufferId,
+        /// starting byte offset
+        offset: usize,
+        /// access length in bytes
+        len: usize,
+        /// the buffer's capacity
+        capacity: usize,
+    },
+    /// f16 accesses must be 2-byte aligned; f32 (L0C) 4-byte aligned.
+    Misaligned {
+        /// buffer accessed
+        buffer: BufferId,
+        /// offending byte offset
+        offset: usize,
+        /// required alignment
+        align: usize,
+    },
+    /// Instruction-level validation failure.
+    Isa(dv_isa::IsaError),
+    /// An element-typed access hit the wrong buffer (e.g. f16 read of
+    /// L0C).
+    WrongElementType {
+        /// buffer accessed
+        buffer: BufferId,
+        /// what the access expected
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfBounds {
+                buffer,
+                offset,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "out of bounds: {buffer}+0x{offset:x}..+{len} exceeds capacity {capacity}"
+            ),
+            SimError::Misaligned {
+                buffer,
+                offset,
+                align,
+            } => write!(f, "misaligned: {buffer}+0x{offset:x} requires align {align}"),
+            SimError::Isa(e) => write!(f, "isa: {e}"),
+            SimError::WrongElementType { buffer, expected } => {
+                write!(f, "{buffer} does not hold {expected} elements")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<dv_isa::IsaError> for SimError {
+    fn from(e: dv_isa::IsaError) -> Self {
+        SimError::Isa(e)
+    }
+}
+
+/// All memories reachable from one AI Core, including its view of global
+/// memory.
+#[derive(Clone, Debug)]
+pub struct BufferSet {
+    gm: Vec<u8>,
+    l1: Vec<u8>,
+    l0a: Vec<u8>,
+    l0b: Vec<u8>,
+    l0c: Vec<u8>,
+    ub: Vec<u8>,
+}
+
+impl BufferSet {
+    /// Allocate scratchpads at the given capacities plus a `gm_bytes`-byte
+    /// global memory image. All memories are zero-initialised.
+    pub fn new(caps: Capacities, gm_bytes: usize) -> BufferSet {
+        BufferSet {
+            gm: vec![0; gm_bytes],
+            l1: vec![0; caps.l1],
+            l0a: vec![0; caps.l0a],
+            l0b: vec![0; caps.l0b],
+            l0c: vec![0; caps.l0c],
+            ub: vec![0; caps.ub],
+        }
+    }
+
+    /// Capacity in bytes of one buffer.
+    pub fn capacity(&self, id: BufferId) -> usize {
+        self.raw(id).len()
+    }
+
+    fn raw(&self, id: BufferId) -> &Vec<u8> {
+        match id {
+            BufferId::Gm => &self.gm,
+            BufferId::L1 => &self.l1,
+            BufferId::L0A => &self.l0a,
+            BufferId::L0B => &self.l0b,
+            BufferId::L0C => &self.l0c,
+            BufferId::Ub => &self.ub,
+        }
+    }
+
+    fn raw_mut(&mut self, id: BufferId) -> &mut Vec<u8> {
+        match id {
+            BufferId::Gm => &mut self.gm,
+            BufferId::L1 => &mut self.l1,
+            BufferId::L0A => &mut self.l0a,
+            BufferId::L0B => &mut self.l0b,
+            BufferId::L0C => &mut self.l0c,
+            BufferId::Ub => &mut self.ub,
+        }
+    }
+
+    fn check(&self, id: BufferId, offset: usize, len: usize, align: usize) -> Result<(), SimError> {
+        let cap = self.capacity(id);
+        if !offset.is_multiple_of(align) {
+            return Err(SimError::Misaligned {
+                buffer: id,
+                offset,
+                align,
+            });
+        }
+        if offset.checked_add(len).is_none_or(|end| end > cap) {
+            return Err(SimError::OutOfBounds {
+                buffer: id,
+                offset,
+                len,
+                capacity: cap,
+            });
+        }
+        Ok(())
+    }
+
+    /// Read one f16 element at a byte offset.
+    pub fn read_f16(&self, id: BufferId, offset: usize) -> Result<F16, SimError> {
+        if id == BufferId::L0C {
+            return Err(SimError::WrongElementType {
+                buffer: id,
+                expected: "f16",
+            });
+        }
+        self.check(id, offset, 2, 2)?;
+        let b = self.raw(id);
+        Ok(F16::from_bits(u16::from_le_bytes([b[offset], b[offset + 1]])))
+    }
+
+    /// Write one f16 element at a byte offset.
+    pub fn write_f16(&mut self, id: BufferId, offset: usize, v: F16) -> Result<(), SimError> {
+        if id == BufferId::L0C {
+            return Err(SimError::WrongElementType {
+                buffer: id,
+                expected: "f16",
+            });
+        }
+        self.check(id, offset, 2, 2)?;
+        let bytes = v.to_bits().to_le_bytes();
+        let b = self.raw_mut(id);
+        b[offset] = bytes[0];
+        b[offset + 1] = bytes[1];
+        Ok(())
+    }
+
+    /// Read one f32 accumulator from L0C.
+    pub fn read_f32_l0c(&self, offset: usize) -> Result<f32, SimError> {
+        self.check(BufferId::L0C, offset, 4, 4)?;
+        let b = &self.l0c;
+        Ok(f32::from_le_bytes([
+            b[offset],
+            b[offset + 1],
+            b[offset + 2],
+            b[offset + 3],
+        ]))
+    }
+
+    /// Write one f32 accumulator to L0C.
+    pub fn write_f32_l0c(&mut self, offset: usize, v: f32) -> Result<(), SimError> {
+        self.check(BufferId::L0C, offset, 4, 4)?;
+        self.l0c[offset..offset + 4].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Bulk byte copy between buffers (the MTE's work). Overlapping
+    /// same-buffer copies are copied through a temporary, like a DMA
+    /// engine with a store queue.
+    pub fn copy(
+        &mut self,
+        src: BufferId,
+        src_off: usize,
+        dst: BufferId,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<(), SimError> {
+        self.check(src, src_off, len, 1)?;
+        self.check(dst, dst_off, len, 1)?;
+        if src == dst {
+            let buf = self.raw_mut(src);
+            buf.copy_within(src_off..src_off + len, dst_off);
+        } else {
+            // Split borrows: temporaries avoid unsafe double-borrow.
+            let tmp = self.raw(src)[src_off..src_off + len].to_vec();
+            self.raw_mut(dst)[dst_off..dst_off + len].copy_from_slice(&tmp);
+        }
+        Ok(())
+    }
+
+    /// Load a slice of f16 values into a buffer starting at a byte
+    /// offset — test/driver convenience.
+    pub fn load_f16_slice(
+        &mut self,
+        id: BufferId,
+        offset: usize,
+        data: &[F16],
+    ) -> Result<(), SimError> {
+        if id == BufferId::L0C {
+            return Err(SimError::WrongElementType {
+                buffer: id,
+                expected: "f16",
+            });
+        }
+        let bytes = dv_fp16::as_bytes(data);
+        self.check(id, offset, bytes.len(), 2)?;
+        self.raw_mut(id)[offset..offset + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Read `len` f16 values from a buffer starting at a byte offset.
+    pub fn read_f16_slice(
+        &self,
+        id: BufferId,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<F16>, SimError> {
+        if id == BufferId::L0C {
+            return Err(SimError::WrongElementType {
+                buffer: id,
+                expected: "f16",
+            });
+        }
+        self.check(id, offset, len * 2, 2)?;
+        let b = self.raw(id);
+        Ok((0..len)
+            .map(|i| {
+                let o = offset + i * 2;
+                F16::from_bits(u16::from_le_bytes([b[o], b[o + 1]]))
+            })
+            .collect())
+    }
+
+    /// Direct byte view of global memory (for the chip-level merge of
+    /// per-core writes).
+    pub fn gm_bytes(&self) -> &[u8] {
+        &self.gm
+    }
+
+    /// Mutable byte view of global memory.
+    pub fn gm_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.gm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> BufferSet {
+        BufferSet::new(
+            Capacities {
+                l1: 128,
+                l0a: 64,
+                l0b: 64,
+                l0c: 64,
+                ub: 128,
+            },
+            256,
+        )
+    }
+
+    #[test]
+    fn f16_round_trip() {
+        let mut b = small();
+        b.write_f16(BufferId::Ub, 10, F16::from_f32(1.5)).unwrap();
+        assert_eq!(b.read_f16(BufferId::Ub, 10).unwrap().to_f32(), 1.5);
+    }
+
+    #[test]
+    fn zero_initialised() {
+        let b = small();
+        assert_eq!(b.read_f16(BufferId::L1, 0).unwrap(), F16::ZERO);
+        assert_eq!(b.read_f32_l0c(0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mut b = small();
+        assert!(matches!(
+            b.read_f16(BufferId::Ub, 128),
+            Err(SimError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            b.write_f16(BufferId::Ub, 127, F16::ZERO),
+            Err(SimError::Misaligned { .. }) | Err(SimError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            b.write_f16(BufferId::Ub, 126, F16::ZERO),
+            Ok(())
+        ));
+        assert!(matches!(
+            b.copy(BufferId::Gm, 200, BufferId::L1, 0, 100),
+            Err(SimError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn misalignment_detected() {
+        let b = small();
+        assert!(matches!(
+            b.read_f16(BufferId::Ub, 1),
+            Err(SimError::Misaligned { align: 2, .. })
+        ));
+        assert!(matches!(
+            b.read_f32_l0c(2),
+            Err(SimError::Misaligned { align: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn l0c_is_f32_only() {
+        let mut b = small();
+        assert!(matches!(
+            b.read_f16(BufferId::L0C, 0),
+            Err(SimError::WrongElementType { .. })
+        ));
+        assert!(matches!(
+            b.write_f16(BufferId::L0C, 0, F16::ZERO),
+            Err(SimError::WrongElementType { .. })
+        ));
+        b.write_f32_l0c(4, 2.5).unwrap();
+        assert_eq!(b.read_f32_l0c(4).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn copy_between_buffers() {
+        let mut b = small();
+        b.load_f16_slice(BufferId::Gm, 0, &[F16::ONE, F16::from_f32(2.0)])
+            .unwrap();
+        b.copy(BufferId::Gm, 0, BufferId::L1, 4, 4).unwrap();
+        assert_eq!(b.read_f16(BufferId::L1, 4).unwrap(), F16::ONE);
+        assert_eq!(b.read_f16(BufferId::L1, 6).unwrap().to_f32(), 2.0);
+    }
+
+    #[test]
+    fn overlapping_same_buffer_copy() {
+        let mut b = small();
+        let vals: Vec<F16> = (0..8).map(|i| F16::from_f32(i as f32)).collect();
+        b.load_f16_slice(BufferId::Ub, 0, &vals).unwrap();
+        // shift right by one element, overlapping
+        b.copy(BufferId::Ub, 0, BufferId::Ub, 2, 14).unwrap();
+        let out = b.read_f16_slice(BufferId::Ub, 2, 7).unwrap();
+        let expect: Vec<F16> = (0..7).map(|i| F16::from_f32(i as f32)).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let mut b = small();
+        let vals: Vec<F16> = (0..16).map(|i| F16::from_f32(i as f32 * 0.5)).collect();
+        b.load_f16_slice(BufferId::Ub, 32, &vals).unwrap();
+        assert_eq!(b.read_f16_slice(BufferId::Ub, 32, 16).unwrap(), vals);
+    }
+}

@@ -1,0 +1,296 @@
+//! Multi-core execution: an Ascend-910-like chip with up to 32 AI Cores.
+//!
+//! "If multiple AI Cores are available, multiple tiles can be processed in
+//! parallel" (paper, Section V-A) — the lowering layer partitions work
+//! (typically over `C1`) into one program per tile and the chip executes
+//! them round-robin over its cores, each core running its share
+//! sequentially. The reported cycle count is the maximum over cores, plus
+//! a per-tile dispatch charge.
+//!
+//! Concurrency model: each core gets a private copy of the global-memory
+//! image (real cores share GM, but our kernels never communicate through
+//! GM mid-run); after all cores join, the byte ranges each program wrote
+//! to GM — recovered from its `Move`-to-GM instructions — are merged back.
+//! Overlapping writes from different cores are a lowering bug and are
+//! detected.
+
+use crate::buffers::SimError;
+use crate::core::AiCore;
+use crate::cost::{Capacities, CostModel};
+use crate::counters::HwCounters;
+use dv_isa::{BufferId, Instr, Program};
+
+/// A simulated multi-core chip.
+#[derive(Clone, Debug)]
+pub struct Chip {
+    /// Number of AI Cores (Ascend 910: 32).
+    pub cores: usize,
+    /// Cost model shared by all cores.
+    pub cost: CostModel,
+    /// Scratchpad capacities per core.
+    pub caps: Capacities,
+}
+
+/// The result of a chip run.
+#[derive(Clone, Debug)]
+pub struct ChipRun {
+    /// Counters per physical core (index = core id), dispatch included.
+    pub per_core: Vec<HwCounters>,
+    /// Cycles per core including dispatch overhead.
+    pub core_cycles: Vec<u64>,
+    /// The chip-level cycle count: max over cores (cores run in
+    /// parallel).
+    pub cycles: u64,
+    /// Sum of all counters — total work, for utilization statistics.
+    pub total: HwCounters,
+}
+
+impl Chip {
+    /// An Ascend-910-like chip: 32 cores, default cost model.
+    pub fn ascend910() -> Chip {
+        Chip {
+            cores: 32,
+            cost: CostModel::ascend910_like(),
+            caps: Capacities::ASCEND910,
+        }
+    }
+
+    /// A chip with a custom core count and cost model.
+    pub fn new(cores: usize, cost: CostModel) -> Chip {
+        assert!(cores > 0, "a chip needs at least one core");
+        Chip {
+            cores,
+            cost,
+            caps: Capacities::ASCEND910,
+        }
+    }
+
+    /// Execute `programs` (one per tile) over the cores, reading and
+    /// updating the global-memory image `gm` in place.
+    pub fn run(&self, gm: &mut [u8], programs: &[Program]) -> Result<ChipRun, SimError> {
+        // Recover each program's GM output ranges up front, and check
+        // cross-program disjointness (a lowering invariant).
+        let out_ranges: Vec<Vec<(usize, usize)>> =
+            programs.iter().map(gm_write_ranges).collect();
+        check_disjoint(&out_ranges)?;
+
+        // Round-robin programs onto cores.
+        let groups: Vec<Vec<usize>> = (0..self.cores)
+            .map(|c| {
+                (c..programs.len())
+                    .step_by(self.cores)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        struct CoreResult {
+            counters: HwCounters,
+            cycles: u64,
+            writes: Vec<(usize, Vec<u8>)>,
+        }
+
+        let gm_ref: &[u8] = gm;
+        let results: Vec<Option<CoreResult>> = std::thread::scope(|s| {
+            let handles: Vec<_> = groups
+                .iter()
+                .map(|jobs| {
+                    let out_ranges = &out_ranges;
+                    s.spawn(move || -> Result<Option<CoreResult>, SimError> {
+                        if jobs.is_empty() {
+                            return Ok(None);
+                        }
+                        let mut core =
+                            AiCore::with_capacities(self.cost, self.caps, gm_ref.len());
+                        core.buffers_mut().gm_bytes_mut().copy_from_slice(gm_ref);
+                        let mut dispatch = 0u64;
+                        for &j in jobs {
+                            core.run(&programs[j])?;
+                            dispatch += self.cost.core_dispatch;
+                        }
+                        let mut writes = Vec::new();
+                        for &j in jobs {
+                            for &(off, len) in &out_ranges[j] {
+                                writes.push((
+                                    off,
+                                    core.buffers().gm_bytes()[off..off + len].to_vec(),
+                                ));
+                            }
+                        }
+                        let counters = core.counters().clone();
+                        let cycles = counters.cycles + dispatch;
+                        Ok(Some(CoreResult {
+                            counters,
+                            cycles,
+                            writes,
+                        }))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("core thread panicked"))
+                .collect::<Result<Vec<_>, _>>()
+        })?;
+
+        let mut per_core = Vec::new();
+        let mut core_cycles = Vec::new();
+        let mut total = HwCounters::default();
+        let mut max_cycles = 0u64;
+        for r in results.into_iter().flatten() {
+            for (off, bytes) in &r.writes {
+                gm[*off..*off + bytes.len()].copy_from_slice(bytes);
+            }
+            max_cycles = max_cycles.max(r.cycles);
+            total.merge(&r.counters);
+            core_cycles.push(r.cycles);
+            per_core.push(r.counters);
+        }
+        Ok(ChipRun {
+            per_core,
+            core_cycles,
+            cycles: max_cycles,
+            total,
+        })
+    }
+}
+
+/// The byte ranges a program writes to global memory (its `Move`
+/// instructions with a GM destination).
+fn gm_write_ranges(p: &Program) -> Vec<(usize, usize)> {
+    p.instrs()
+        .iter()
+        .filter_map(|i| match i {
+            Instr::Move(m) if m.dst.buffer == BufferId::Gm => {
+                Some((m.dst.offset, m.bytes))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Check that no two *programs* write overlapping GM ranges.
+fn check_disjoint(ranges: &[Vec<(usize, usize)>]) -> Result<(), SimError> {
+    let mut flat: Vec<(usize, usize, usize)> = Vec::new(); // (start, end, program)
+    for (pi, rs) in ranges.iter().enumerate() {
+        for &(off, len) in rs {
+            flat.push((off, off + len, pi));
+        }
+    }
+    flat.sort_unstable();
+    for w in flat.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b.0 < a.1 && a.2 != b.2 {
+            return Err(SimError::Isa(dv_isa::IsaError::BadPosition(format!(
+                "programs {} and {} write overlapping GM ranges [{:#x},{:#x}) and [{:#x},{:#x})",
+                a.2, b.2, a.0, a.1, b.0, b.1
+            ))));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_fp16::F16;
+    use dv_isa::{Addr, DataMove, Mask, VectorInstr, VectorOp};
+
+    /// A program that doubles 128 f16 values: GM[in] -> UB, vadd, UB ->
+    /// GM[out].
+    fn doubler(in_off: usize, out_off: usize) -> Program {
+        let mut p = Program::new();
+        p.push(Instr::Move(DataMove::new(Addr::gm(in_off), Addr::ub(0), 256)))
+            .unwrap();
+        p.push(Instr::Vector(VectorInstr::unit_stride(
+            VectorOp::Add,
+            Addr::ub(256),
+            Addr::ub(0),
+            Addr::ub(0),
+            Mask::FULL,
+            1,
+        )))
+        .unwrap();
+        p.push(Instr::Move(DataMove::new(
+            Addr::ub(256),
+            Addr::gm(out_off),
+            256,
+        )))
+        .unwrap();
+        p
+    }
+
+    fn gm_with(vals: &[F16], bytes: usize) -> Vec<u8> {
+        let mut gm = vec![0u8; bytes];
+        gm[..vals.len() * 2].copy_from_slice(dv_fp16::as_bytes(vals));
+        gm
+    }
+
+    #[test]
+    fn parallel_tiles_produce_correct_gm() {
+        let vals: Vec<F16> = (0..512).map(|i| F16::from_f32((i % 100) as f32)).collect();
+        let mut gm = gm_with(&vals, 4096);
+        // four tiles of 128 elements, outputs at byte 2048 onward
+        let programs: Vec<Program> = (0..4)
+            .map(|t| doubler(t * 256, 2048 + t * 256))
+            .collect();
+        let chip = Chip::new(4, CostModel::ascend910_like());
+        let run = chip.run(&mut gm, &programs).unwrap();
+        let out = dv_fp16::from_bytes(&gm[2048..2048 + 1024]);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.to_f32(), 2.0 * ((i % 100) as f32), "element {i}");
+        }
+        assert_eq!(run.per_core.len(), 4);
+        assert!(run.cycles > 0);
+    }
+
+    #[test]
+    fn chip_cycles_is_max_not_sum() {
+        let vals: Vec<F16> = (0..512).map(|i| F16::from_f32(i as f32 % 7.0)).collect();
+        let programs: Vec<Program> = (0..4)
+            .map(|t| doubler(t * 256, 2048 + t * 256))
+            .collect();
+
+        let mut gm1 = gm_with(&vals, 4096);
+        let chip1 = Chip::new(1, CostModel::ascend910_like());
+        let seq = chip1.run(&mut gm1, &programs).unwrap();
+
+        let mut gm4 = gm_with(&vals, 4096);
+        let chip4 = Chip::new(4, CostModel::ascend910_like());
+        let par = chip4.run(&mut gm4, &programs).unwrap();
+
+        assert_eq!(gm1, gm4, "results identical regardless of core count");
+        // 4 equal tiles: 4 cores should be ~4x faster.
+        assert_eq!(seq.cycles, 4 * par.cycles);
+        // total work identical
+        assert_eq!(seq.total.cycles, par.total.cycles);
+    }
+
+    #[test]
+    fn more_cores_than_tiles_is_fine() {
+        let vals: Vec<F16> = (0..128).map(|_| F16::ONE).collect();
+        let mut gm = gm_with(&vals, 2048);
+        let chip = Chip::new(32, CostModel::ascend910_like());
+        let run = chip.run(&mut gm, &[doubler(0, 1024)]).unwrap();
+        assert_eq!(run.per_core.len(), 1, "idle cores report nothing");
+        let out = dv_fp16::from_bytes(&gm[1024..1280]);
+        assert!(out.iter().all(|v| v.to_f32() == 2.0));
+    }
+
+    #[test]
+    fn overlapping_gm_writes_detected() {
+        let mut gm = vec![0u8; 4096];
+        // both tiles write to byte 2048
+        let programs = vec![doubler(0, 2048), doubler(256, 2048)];
+        let chip = Chip::new(2, CostModel::ascend910_like());
+        assert!(chip.run(&mut gm, &programs).is_err());
+    }
+
+    #[test]
+    fn empty_program_list() {
+        let mut gm = vec![0u8; 64];
+        let chip = Chip::new(2, CostModel::ascend910_like());
+        let run = chip.run(&mut gm, &[]).unwrap();
+        assert_eq!(run.cycles, 0);
+        assert!(run.per_core.is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! One AI Core: buffers + counters + cost model, executing programs.
+
+use crate::buffers::{BufferSet, SimError};
+use crate::cost::{Capacities, CostModel};
+use crate::counters::HwCounters;
+use crate::exec::execute;
+use dv_fp16::F16;
+use dv_isa::{BufferId, Program};
+
+/// A single simulated AI Core with a private global-memory image.
+///
+/// For multi-core runs, [`crate::chip::Chip`] gives each core a copy of
+/// global memory and merges the (disjoint) written ranges afterwards —
+/// the cores in our workloads never communicate through GM mid-kernel.
+#[derive(Clone, Debug)]
+pub struct AiCore {
+    bufs: BufferSet,
+    counters: HwCounters,
+    cost: CostModel,
+}
+
+impl AiCore {
+    /// A core with Ascend-910 scratchpad capacities and a `gm_bytes`-byte
+    /// global memory.
+    pub fn new(cost: CostModel, gm_bytes: usize) -> AiCore {
+        AiCore::with_capacities(cost, Capacities::ASCEND910, gm_bytes)
+    }
+
+    /// A core with explicit scratchpad capacities (used by tests and by
+    /// the tiling-threshold experiments).
+    pub fn with_capacities(cost: CostModel, caps: Capacities, gm_bytes: usize) -> AiCore {
+        AiCore {
+            bufs: BufferSet::new(caps, gm_bytes),
+            counters: HwCounters::default(),
+            cost,
+        }
+    }
+
+    /// Load f16 data into global memory at a byte offset.
+    pub fn load_gm(&mut self, offset: usize, data: &[F16]) -> Result<(), SimError> {
+        self.bufs.load_f16_slice(BufferId::Gm, offset, data)
+    }
+
+    /// Read f16 data back from global memory.
+    pub fn read_gm(&self, offset: usize, len: usize) -> Result<Vec<F16>, SimError> {
+        self.bufs.read_f16_slice(BufferId::Gm, offset, len)
+    }
+
+    /// Execute a program to completion, accumulating counters.
+    pub fn run(&mut self, program: &Program) -> Result<(), SimError> {
+        for instr in program.instrs() {
+            execute(instr, &mut self.bufs, &self.cost, &mut self.counters)?;
+        }
+        Ok(())
+    }
+
+    /// Execute a program and return a per-instruction trace of
+    /// `(pc, mnemonic, cycles charged)` — the debugging view behind
+    /// `Program::disassemble`.
+    pub fn run_traced(
+        &mut self,
+        program: &Program,
+    ) -> Result<Vec<(usize, &'static str, u64)>, SimError> {
+        let mut trace = Vec::with_capacity(program.len());
+        for (pc, instr) in program.instrs().iter().enumerate() {
+            let before = self.counters.cycles;
+            execute(instr, &mut self.bufs, &self.cost, &mut self.counters)?;
+            trace.push((pc, instr.mnemonic(), self.counters.cycles - before));
+        }
+        Ok(trace)
+    }
+
+    /// The hardware counters accumulated so far.
+    pub fn counters(&self) -> &HwCounters {
+        &self.counters
+    }
+
+    /// Reset the counters (keeps buffer contents).
+    pub fn reset_counters(&mut self) {
+        self.counters = HwCounters::default();
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Direct buffer access for white-box tests.
+    pub fn buffers(&self) -> &BufferSet {
+        &self.bufs
+    }
+
+    /// Mutable buffer access for white-box tests and chip-level merges.
+    pub fn buffers_mut(&mut self) -> &mut BufferSet {
+        &mut self.bufs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dv_isa::{Addr, DataMove, Instr, Mask, VectorInstr, VectorOp};
+
+    #[test]
+    fn run_executes_sequentially_and_counts() {
+        let mut core = AiCore::new(CostModel::ascend910_like(), 4096);
+        let data: Vec<F16> = (0..128).map(|i| F16::from_f32(i as f32)).collect();
+        core.load_gm(0, &data).unwrap();
+
+        let mut p = Program::new();
+        p.push(Instr::Move(DataMove::new(Addr::gm(0), Addr::ub(0), 256)))
+            .unwrap();
+        p.push(Instr::Vector(VectorInstr::unit_stride(
+            VectorOp::Add,
+            Addr::ub(256),
+            Addr::ub(0),
+            Addr::ub(0),
+            Mask::FULL,
+            1,
+        )))
+        .unwrap();
+        p.push(Instr::Move(DataMove::new(Addr::ub(256), Addr::gm(1024), 256)))
+            .unwrap();
+        core.run(&p).unwrap();
+
+        let out = core.read_gm(1024, 128).unwrap();
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.to_f32(), (2 * i) as f32);
+        }
+        assert_eq!(core.counters().issues_of("mte_move"), 2);
+        assert_eq!(core.counters().issues_of("vadd"), 1);
+        assert!(core.counters().cycles > 0);
+    }
+
+    #[test]
+    fn reset_counters_keeps_buffers() {
+        let mut core = AiCore::new(CostModel::ascend910_like(), 1024);
+        core.load_gm(0, &[F16::ONE]).unwrap();
+        let mut p = Program::new();
+        p.push(Instr::Move(DataMove::new(Addr::gm(0), Addr::l1(0), 2)))
+            .unwrap();
+        core.run(&p).unwrap();
+        assert!(core.counters().cycles > 0);
+        core.reset_counters();
+        assert_eq!(core.counters().cycles, 0);
+        assert_eq!(core.read_gm(0, 1).unwrap()[0], F16::ONE);
+    }
+
+    #[test]
+    fn run_traced_reports_per_instruction_cycles() {
+        let mut core = AiCore::new(CostModel::ascend910_like(), 1024);
+        core.load_gm(0, &[F16::ONE; 128]).unwrap();
+        let mut p = Program::new();
+        p.push(Instr::Move(DataMove::new(Addr::gm(0), Addr::ub(0), 256)))
+            .unwrap();
+        p.push(Instr::Vector(VectorInstr::unit_stride(
+            VectorOp::Relu,
+            Addr::ub(256),
+            Addr::ub(0),
+            Addr::ub(0),
+            Mask::FULL,
+            1,
+        )))
+        .unwrap();
+        let trace = core.run_traced(&p).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].1, "mte_move");
+        assert_eq!(trace[1], (1, "vrelu", core.cost().issue_overhead + 1));
+        let total: u64 = trace.iter().map(|(_, _, c)| c).sum();
+        assert_eq!(total, core.counters().cycles);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut core = AiCore::new(CostModel::ascend910_like(), 0);
+        let vals: Vec<F16> = [-2.0f32, -0.5, 0.0, 0.5, 3.0]
+            .iter()
+            .map(|&x| F16::from_f32(x))
+            .collect();
+        core.buffers_mut()
+            .load_f16_slice(dv_isa::BufferId::Ub, 0, &vals)
+            .unwrap();
+        let mut p = Program::new();
+        p.push(Instr::Vector(VectorInstr::unit_stride(
+            VectorOp::Relu,
+            Addr::ub(1024),
+            Addr::ub(0),
+            Addr::ub(0),
+            Mask::first_n(5),
+            1,
+        )))
+        .unwrap();
+        core.run(&p).unwrap();
+        let out = core
+            .buffers()
+            .read_f16_slice(dv_isa::BufferId::Ub, 1024, 5)
+            .unwrap();
+        let got: Vec<f32> = out.iter().map(|x| x.to_f32()).collect();
+        assert_eq!(got, vec![0.0, 0.0, 0.0, 0.5, 3.0]);
+    }
+
+    #[test]
+    fn error_propagates_from_mid_program() {
+        let mut core = AiCore::new(CostModel::ascend910_like(), 64);
+        let mut p = Program::new();
+        p.push(Instr::Move(DataMove::new(Addr::gm(0), Addr::l1(0), 2)))
+            .unwrap();
+        p.push(Instr::Move(DataMove::new(Addr::gm(0), Addr::l1(0), 1 << 21)))
+            .unwrap(); // larger than L1
+        assert!(core.run(&p).is_err());
+    }
+}

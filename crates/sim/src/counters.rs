@@ -1,0 +1,147 @@
+//! Hardware counters.
+//!
+//! "The cycle count numbers were obtained using the hardware counters of
+//! the chip" (paper, Section VI). The simulator's counters additionally
+//! expose the decomposition the paper reasons about: issue counts per
+//! mnemonic, per-unit cycles, and vector-lane utilization.
+
+use std::collections::BTreeMap;
+
+/// The functional unit an instruction executes on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Unit {
+    /// Vector Unit (vmax/vadd/vmul/... and, architecturally, Col2Im).
+    Vector,
+    /// Storage Conversion Unit (Im2Col; Col2Im's transform logic).
+    Scu,
+    /// Memory Transfer Engine (plain moves).
+    Mte,
+    /// Cube Unit (fractal matmul).
+    Cube,
+}
+
+/// Cycle and event counters for one program execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HwCounters {
+    /// Total cycles charged.
+    pub cycles: u64,
+    /// Cycles attributed to each unit (issue overhead included).
+    pub unit_cycles: BTreeMap<Unit, u64>,
+    /// Instruction issues per mnemonic.
+    pub issues: BTreeMap<&'static str, u64>,
+    /// Enabled vector lanes summed over all vector repeat iterations.
+    pub vector_useful_lanes: u64,
+    /// Total vector lane slots (128 x repeats) over all vector
+    /// instructions — the denominator of utilization.
+    pub vector_total_lanes: u64,
+    /// Bytes read from / written to global memory.
+    pub gm_bytes: u64,
+    /// Bytes moved between private buffers (including the Im2Col and
+    /// Col2Im traffic).
+    pub scratch_bytes: u64,
+}
+
+impl HwCounters {
+    /// Record an instruction: its mnemonic, unit, and cycle charge.
+    pub fn record(&mut self, mnemonic: &'static str, unit: Unit, cycles: u64) {
+        self.cycles += cycles;
+        *self.unit_cycles.entry(unit).or_default() += cycles;
+        *self.issues.entry(mnemonic).or_default() += 1;
+    }
+
+    /// Record vector-lane activity.
+    pub fn record_lanes(&mut self, useful: u64, total: u64) {
+        self.vector_useful_lanes += useful;
+        self.vector_total_lanes += total;
+    }
+
+    /// Vector-lane utilization in [0, 1] — the paper's first performance
+    /// factor made measurable.
+    pub fn vector_utilization(&self) -> f64 {
+        if self.vector_total_lanes == 0 {
+            0.0
+        } else {
+            self.vector_useful_lanes as f64 / self.vector_total_lanes as f64
+        }
+    }
+
+    /// Total instruction issues.
+    pub fn total_issues(&self) -> u64 {
+        self.issues.values().sum()
+    }
+
+    /// Issues of one mnemonic.
+    pub fn issues_of(&self, mnemonic: &str) -> u64 {
+        self.issues.get(mnemonic).copied().unwrap_or(0)
+    }
+
+    /// Cycles attributed to one unit.
+    pub fn cycles_of(&self, unit: Unit) -> u64 {
+        self.unit_cycles.get(&unit).copied().unwrap_or(0)
+    }
+
+    /// Merge another counter set into this one (used when a logical
+    /// operator runs as several tiled programs on one core).
+    pub fn merge(&mut self, other: &HwCounters) {
+        self.cycles += other.cycles;
+        for (u, c) in &other.unit_cycles {
+            *self.unit_cycles.entry(*u).or_default() += c;
+        }
+        for (m, c) in &other.issues {
+            *self.issues.entry(m).or_default() += c;
+        }
+        self.vector_useful_lanes += other.vector_useful_lanes;
+        self.vector_total_lanes += other.vector_total_lanes;
+        self.gm_bytes += other.gm_bytes;
+        self.scratch_bytes += other.scratch_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut c = HwCounters::default();
+        c.record("vmax", Unit::Vector, 10);
+        c.record("vmax", Unit::Vector, 5);
+        c.record("im2col", Unit::Scu, 7);
+        assert_eq!(c.cycles, 22);
+        assert_eq!(c.issues_of("vmax"), 2);
+        assert_eq!(c.issues_of("im2col"), 1);
+        assert_eq!(c.cycles_of(Unit::Vector), 15);
+        assert_eq!(c.cycles_of(Unit::Scu), 7);
+        assert_eq!(c.total_issues(), 3);
+    }
+
+    #[test]
+    fn utilization() {
+        let mut c = HwCounters::default();
+        assert_eq!(c.vector_utilization(), 0.0);
+        c.record_lanes(16, 128);
+        assert!((c.vector_utilization() - 0.125).abs() < 1e-12);
+        c.record_lanes(128, 128);
+        assert!((c.vector_utilization() - (144.0 / 256.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = HwCounters::default();
+        a.record("vadd", Unit::Vector, 3);
+        a.record_lanes(16, 128);
+        a.gm_bytes = 100;
+        let mut b = HwCounters::default();
+        b.record("vadd", Unit::Vector, 4);
+        b.record("col2im", Unit::Vector, 9);
+        b.record_lanes(128, 128);
+        b.scratch_bytes = 50;
+        a.merge(&b);
+        assert_eq!(a.cycles, 16);
+        assert_eq!(a.issues_of("vadd"), 2);
+        assert_eq!(a.issues_of("col2im"), 1);
+        assert_eq!(a.vector_total_lanes, 256);
+        assert_eq!(a.gm_bytes, 100);
+        assert_eq!(a.scratch_bytes, 50);
+    }
+}

@@ -1,0 +1,565 @@
+//! Instruction execution: functional semantics + cycle charging.
+
+use crate::buffers::{BufferSet, SimError};
+use crate::cost::CostModel;
+use crate::counters::{HwCounters, Unit};
+use dv_fp16::F16;
+use dv_isa::{
+    BufferId, Col2Im, CubeMatmul, DataMove, Im2Col, Instr, VectorInstr, VectorOp, VECTOR_LANES,
+};
+use dv_tensor::{C0, FRACTAL_BYTES, FRACTAL_ROWS};
+
+/// Execute one instruction against the buffer set, charging `cost` cycles
+/// into `counters`.
+pub fn execute(
+    instr: &Instr,
+    bufs: &mut BufferSet,
+    cost: &CostModel,
+    counters: &mut HwCounters,
+) -> Result<(), SimError> {
+    instr.validate()?;
+    match instr {
+        Instr::Vector(v) => exec_vector(v, bufs, cost, counters, instr.mnemonic()),
+        Instr::Im2Col(i) => exec_im2col(i, bufs, cost, counters),
+        Instr::Col2Im(c) => exec_col2im(c, bufs, cost, counters),
+        Instr::Move(m) => exec_move(m, bufs, cost, counters),
+        Instr::Cube(c) => exec_cube(c, bufs, cost, counters),
+    }
+}
+
+fn exec_vector(
+    v: &VectorInstr,
+    bufs: &mut BufferSet,
+    cost: &CostModel,
+    counters: &mut HwCounters,
+    mnemonic: &'static str,
+) -> Result<(), SimError> {
+    for rep in 0..v.repeat as usize {
+        let dst_base = v.dst.offset + rep * v.dst_stride;
+        let src0_base = v.src0.offset + rep * v.src0_stride;
+        let src1_base = v.src1.offset + rep * v.src1_stride;
+        for lane in 0..VECTOR_LANES {
+            if !v.mask.lane(lane) {
+                continue;
+            }
+            let off = lane * 2;
+            let a = if v.op.has_src0() {
+                bufs.read_f16(v.src0.buffer, src0_base + off)?
+            } else {
+                F16::ZERO
+            };
+            let b = if v.op.has_src1() {
+                bufs.read_f16(v.src1.buffer, src1_base + off)?
+            } else {
+                F16::ZERO
+            };
+            let out = match v.op {
+                VectorOp::Max => a.max(b),
+                VectorOp::Min => a.min(b),
+                VectorOp::Add => a + b,
+                VectorOp::Sub => a - b,
+                VectorOp::Mul => a * b,
+                VectorOp::MulScalar(s) => a * s,
+                VectorOp::Dup(s) => s,
+                VectorOp::CmpEq => {
+                    if a == b {
+                        F16::ONE
+                    } else {
+                        F16::ZERO
+                    }
+                }
+                VectorOp::Copy => a,
+                VectorOp::Relu => a.max(F16::ZERO),
+            };
+            bufs.write_f16(v.dst.buffer, dst_base + off, out)?;
+        }
+    }
+    let cycles = cost.issue_overhead + v.repeat as u64 * cost.vector_per_repeat;
+    counters.record(mnemonic, Unit::Vector, cycles);
+    counters.record_lanes(
+        v.useful_lanes(),
+        VECTOR_LANES as u64 * v.repeat as u64,
+    );
+    Ok(())
+}
+
+fn exec_im2col(
+    i: &Im2Col,
+    bufs: &mut BufferSet,
+    cost: &CostModel,
+    counters: &mut HwCounters,
+) -> Result<(), SimError> {
+    let geom = &i.geom;
+    let iw = geom.iw;
+    for (frac_idx, (c1, xk, yk, first_patch)) in i.repeat_positions().into_iter().enumerate() {
+        let plane_base = i.src.offset + c1 * geom.src_plane_bytes();
+        let frac_base = i.dst.offset + frac_idx * FRACTAL_BYTES;
+        for row in 0..FRACTAL_ROWS {
+            let patch = first_patch + row;
+            let coord = geom.element_coord(patch, xk, yk);
+            for c0 in 0..C0 {
+                let v = match coord {
+                    Some((h, w)) => {
+                        let off = plane_base + ((h * iw + w) * C0 + c0) * 2;
+                        bufs.read_f16(i.src.buffer, off)?
+                    }
+                    // Padding border or past-the-grid patch slots load
+                    // zeros.
+                    None => F16::ZERO,
+                };
+                bufs.write_f16(i.dst.buffer, frac_base + (row * C0 + c0) * 2, v)?;
+            }
+        }
+    }
+    let cycles = cost.issue_overhead + i.repeat as u64 * cost.im2col_per_fractal;
+    counters.record("im2col", Unit::Scu, cycles);
+    counters.scratch_bytes += i.repeat as u64 * FRACTAL_BYTES as u64;
+    Ok(())
+}
+
+fn exec_col2im(
+    c: &Col2Im,
+    bufs: &mut BufferSet,
+    cost: &CostModel,
+    counters: &mut HwCounters,
+) -> Result<(), SimError> {
+    let geom = &c.geom;
+    let iw = geom.iw;
+    let (xk, yk) = c.k_off;
+    let plane_base = c.dst.offset + c.c1 * geom.src_plane_bytes();
+    for rep in 0..c.repeat as usize {
+        let frac_base = c.src.offset + rep * FRACTAL_BYTES;
+        for row in 0..FRACTAL_ROWS {
+            let patch = c.first_patch + rep * FRACTAL_ROWS + row;
+            // Patch slots past the grid and padding-border positions are
+            // skipped — their contributions do not land anywhere.
+            let Some((h, w)) = geom.element_coord(patch, xk, yk) else {
+                continue;
+            };
+            for c0 in 0..C0 {
+                let src_off = frac_base + (row * C0 + c0) * 2;
+                let dst_off = plane_base + ((h * iw + w) * C0 + c0) * 2;
+                let add = bufs.read_f16(c.src.buffer, src_off)?;
+                let cur = bufs.read_f16(c.dst.buffer, dst_off)?;
+                bufs.write_f16(c.dst.buffer, dst_off, cur + add)?;
+            }
+        }
+    }
+    // Architecturally Col2Im "acts as a vector instruction" (Section
+    // III-D), so its cycles are attributed to the Vector Unit.
+    let cycles = cost.issue_overhead + c.repeat as u64 * cost.col2im_per_fractal;
+    counters.record("col2im", Unit::Vector, cycles);
+    counters.scratch_bytes += 2 * c.repeat as u64 * FRACTAL_BYTES as u64; // RMW
+    Ok(())
+}
+
+fn exec_move(
+    m: &DataMove,
+    bufs: &mut BufferSet,
+    cost: &CostModel,
+    counters: &mut HwCounters,
+) -> Result<(), SimError> {
+    if m.src.buffer == BufferId::L0C {
+        // The L0C -> UB drain converts f32 accumulators to f16; `bytes`
+        // counts source (f32) bytes.
+        if !m.bytes.is_multiple_of(4) {
+            return Err(SimError::Misaligned {
+                buffer: BufferId::L0C,
+                offset: m.bytes,
+                align: 4,
+            });
+        }
+        let n = m.bytes / 4;
+        for e in 0..n {
+            let v = bufs.read_f32_l0c(m.src.offset + e * 4)?;
+            bufs.write_f16(m.dst.buffer, m.dst.offset + e * 2, F16::from_f32(v))?;
+        }
+    } else {
+        bufs.copy(m.src.buffer, m.src.offset, m.dst.buffer, m.dst.offset, m.bytes)?;
+    }
+    let cycles = cost.issue_overhead + cost.move_cycles(m.bytes);
+    counters.record("mte_move", Unit::Mte, cycles);
+    if m.src.buffer == BufferId::Gm || m.dst.buffer == BufferId::Gm {
+        counters.gm_bytes += m.bytes as u64;
+    } else {
+        counters.scratch_bytes += m.bytes as u64;
+    }
+    Ok(())
+}
+
+fn exec_cube(
+    c: &CubeMatmul,
+    bufs: &mut BufferSet,
+    cost: &CostModel,
+    counters: &mut HwCounters,
+) -> Result<(), SimError> {
+    const E: usize = dv_isa::cube::FRACTAL_EDGE; // 16
+    let (mf, kf, nf) = (c.m_fractals, c.k_fractals, c.n_fractals);
+    // Tiles are stored as row-major grids of fractals, each fractal
+    // row-major 16x16 f16 (f32 in L0C).
+    let a_frac = |bufs: &BufferSet, fi: usize, fj: usize, r: usize, col: usize| {
+        bufs.read_f16(
+            c.a.buffer,
+            c.a.offset + ((fi * kf + fj) * E * E + r * E + col) * 2,
+        )
+    };
+    let b_frac = |bufs: &BufferSet, fi: usize, fj: usize, r: usize, col: usize| {
+        bufs.read_f16(
+            c.b.buffer,
+            c.b.offset + ((fi * nf + fj) * E * E + r * E + col) * 2,
+        )
+    };
+    for mi in 0..mf * E {
+        for ni in 0..nf * E {
+            let mut acc = if c.accumulate {
+                bufs.read_f32_l0c(
+                    c.c.offset + (((mi / E) * nf + ni / E) * E * E + (mi % E) * E + ni % E) * 4,
+                )?
+            } else {
+                0.0f32
+            };
+            for ki in 0..kf * E {
+                let a = a_frac(bufs, mi / E, ki / E, mi % E, ki % E)?;
+                let b = b_frac(bufs, ki / E, ni / E, ki % E, ni % E)?;
+                acc += a.to_f32() * b.to_f32();
+            }
+            bufs.write_f32_l0c(
+                c.c.offset + (((mi / E) * nf + ni / E) * E * E + (mi % E) * E + ni % E) * 4,
+                acc,
+            )?;
+        }
+    }
+    let cycles = cost.issue_overhead + c.fractal_ops() as u64 * cost.cube_per_fractal_pair;
+    counters.record("cube_mmad", Unit::Cube, cycles);
+    Ok(())
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::cost::Capacities;
+    use dv_isa::{Addr, Mask};
+    use dv_tensor::PoolParams;
+
+    fn setup() -> (BufferSet, CostModel, HwCounters) {
+        (
+            BufferSet::new(Capacities::ASCEND910, 1 << 20),
+            CostModel::ascend910_like(),
+            HwCounters::default(),
+        )
+    }
+
+    fn f(x: f32) -> F16 {
+        F16::from_f32(x)
+    }
+
+    #[test]
+    fn vmax_masked_lanes_only() {
+        let (mut bufs, cost, mut ctr) = setup();
+        let a: Vec<F16> = (0..128).map(|i| f(i as f32)).collect();
+        let b: Vec<F16> = (0..128).map(|i| f((127 - i) as f32)).collect();
+        bufs.load_f16_slice(BufferId::Ub, 0, &a).unwrap();
+        bufs.load_f16_slice(BufferId::Ub, 256, &b).unwrap();
+        let i = Instr::Vector(VectorInstr::unit_stride(
+            VectorOp::Max,
+            Addr::ub(512),
+            Addr::ub(0),
+            Addr::ub(256),
+            Mask::first_n(16),
+            1,
+        ));
+        execute(&i, &mut bufs, &cost, &mut ctr).unwrap();
+        let out = bufs.read_f16_slice(BufferId::Ub, 512, 128).unwrap();
+        for lane in 0..16 {
+            assert_eq!(out[lane].to_f32(), (127 - lane).max(lane) as f32);
+        }
+        for lane in 16..128 {
+            assert_eq!(out[lane], F16::ZERO, "masked lane {lane} must not write");
+        }
+        assert_eq!(ctr.cycles, cost.issue_overhead + 1);
+        assert_eq!(ctr.vector_useful_lanes, 16);
+        assert_eq!(ctr.vector_total_lanes, 128);
+    }
+
+    #[test]
+    fn vector_repeat_with_strides() {
+        let (mut bufs, cost, mut ctr) = setup();
+        // accumulate max over 3 blocks into one block: dst_stride = 0.
+        let init: Vec<F16> = vec![F16::NEG_INFINITY; 128];
+        bufs.load_f16_slice(BufferId::Ub, 0, &init).unwrap();
+        for rep in 0..3usize {
+            let vals: Vec<F16> = (0..128).map(|i| f((i * (rep + 1)) as f32)).collect();
+            bufs.load_f16_slice(BufferId::Ub, 1024 + rep * 256, &vals)
+                .unwrap();
+        }
+        let i = Instr::Vector(VectorInstr {
+            op: VectorOp::Max,
+            dst: Addr::ub(0),
+            src0: Addr::ub(0),
+            src1: Addr::ub(1024),
+            mask: Mask::FULL,
+            repeat: 3,
+            dst_stride: 0,
+            src0_stride: 0,
+            src1_stride: 256,
+        });
+        execute(&i, &mut bufs, &cost, &mut ctr).unwrap();
+        let out = bufs.read_f16_slice(BufferId::Ub, 0, 128).unwrap();
+        for lane in 0..128 {
+            assert_eq!(out[lane].to_f32(), (lane * 3) as f32);
+        }
+        assert_eq!(ctr.cycles, cost.issue_overhead + 3);
+    }
+
+    #[test]
+    fn vdup_initialises() {
+        let (mut bufs, cost, mut ctr) = setup();
+        let i = Instr::Vector(VectorInstr::unit_stride(
+            VectorOp::Dup(F16::NEG_INFINITY),
+            Addr::ub(0),
+            Addr::ub(0),
+            Addr::ub(0),
+            Mask::FULL,
+            2,
+        ));
+        execute(&i, &mut bufs, &cost, &mut ctr).unwrap();
+        let out = bufs.read_f16_slice(BufferId::Ub, 0, 256).unwrap();
+        assert!(out.iter().all(|&x| x == F16::NEG_INFINITY));
+    }
+
+    #[test]
+    fn vcmp_eq_produces_indicator() {
+        let (mut bufs, cost, mut ctr) = setup();
+        bufs.load_f16_slice(BufferId::Ub, 0, &[f(1.0), f(2.0), f(3.0)])
+            .unwrap();
+        bufs.load_f16_slice(BufferId::Ub, 256, &[f(1.0), f(9.0), f(3.0)])
+            .unwrap();
+        let i = Instr::Vector(VectorInstr::unit_stride(
+            VectorOp::CmpEq,
+            Addr::ub(512),
+            Addr::ub(0),
+            Addr::ub(256),
+            Mask::first_n(3),
+            1,
+        ));
+        execute(&i, &mut bufs, &cost, &mut ctr).unwrap();
+        let out = bufs.read_f16_slice(BufferId::Ub, 512, 3).unwrap();
+        assert_eq!(out, vec![F16::ONE, F16::ZERO, F16::ONE]);
+    }
+
+    #[test]
+    fn move_gm_to_l1_and_counters() {
+        let (mut bufs, cost, mut ctr) = setup();
+        let vals: Vec<F16> = (0..64).map(|i| f(i as f32)).collect();
+        bufs.load_f16_slice(BufferId::Gm, 0, &vals).unwrap();
+        let i = Instr::Move(DataMove::new(Addr::gm(0), Addr::l1(0), 128));
+        execute(&i, &mut bufs, &cost, &mut ctr).unwrap();
+        assert_eq!(bufs.read_f16_slice(BufferId::L1, 0, 64).unwrap(), vals);
+        assert_eq!(ctr.gm_bytes, 128);
+        assert_eq!(ctr.cycles, cost.issue_overhead + cost.move_cycles(128));
+    }
+
+    /// Fig. 5 end-to-end: four mode-0 repeats of one Im2Col load the 8x8
+    /// image into four fractals in the (kh, kw)-indexed order.
+    #[test]
+    fn im2col_figure_5() {
+        let (mut bufs, cost, mut ctr) = setup();
+        let params = PoolParams::new((2, 2), (2, 2));
+        let geom = dv_isa::Im2ColGeometry::new(8, 8, 1, params).unwrap();
+        // Input plane HWC0 in L1, value = h*8 + w (same for all c0).
+        let mut plane = Vec::with_capacity(8 * 8 * C0);
+        for h in 0..8 {
+            for w in 0..8 {
+                for _ in 0..C0 {
+                    plane.push(f((h * 8 + w) as f32));
+                }
+            }
+        }
+        bufs.load_f16_slice(BufferId::L1, 0, &plane).unwrap();
+        let i = Instr::Im2Col(Im2Col {
+            geom,
+            src: Addr::l1(0),
+            dst: Addr::ub(0),
+            first_patch: 0,
+            k_off: (0, 0),
+            c1: 0,
+            repeat: 4,
+            mode: dv_isa::RepeatMode::Mode0,
+        });
+        execute(&i, &mut bufs, &cost, &mut ctr).unwrap();
+        // Fractal 0 = kernel offset (0,0): patch p at (2*(p/4), 2*(p%4)).
+        for p in 0..16 {
+            let (ph, pw) = (2 * (p / 4), 2 * (p % 4));
+            let v = bufs
+                .read_f16(BufferId::Ub, (p * C0) * 2)
+                .unwrap()
+                .to_f32();
+            assert_eq!(v, (ph * 8 + pw) as f32, "fractal 0 patch {p}");
+        }
+        // Fractal 1 = kernel offset (0,1): same patches shifted right.
+        for p in 0..16 {
+            let (ph, pw) = (2 * (p / 4), 2 * (p % 4) + 1);
+            let v = bufs
+                .read_f16(BufferId::Ub, FRACTAL_BYTES + p * C0 * 2)
+                .unwrap()
+                .to_f32();
+            assert_eq!(v, (ph * 8 + pw) as f32, "fractal 1 patch {p}");
+        }
+        // Fractal 3 = kernel offset (1,1).
+        for p in 0..16 {
+            let (ph, pw) = (2 * (p / 4) + 1, 2 * (p % 4) + 1);
+            let v = bufs
+                .read_f16(BufferId::Ub, 3 * FRACTAL_BYTES + p * C0 * 2)
+                .unwrap()
+                .to_f32();
+            assert_eq!(v, (ph * 8 + pw) as f32, "fractal 3 patch {p}");
+        }
+        assert_eq!(ctr.issues_of("im2col"), 1);
+        assert_eq!(
+            ctr.cycles,
+            cost.issue_overhead + 4 * cost.im2col_per_fractal
+        );
+    }
+
+    /// Fig. 6: one Col2Im merges one fractal back into a zero-initialised
+    /// output, summing at the scattered positions.
+    #[test]
+    fn col2im_figure_6() {
+        let (mut bufs, cost, mut ctr) = setup();
+        let params = PoolParams::new((2, 2), (2, 2));
+        let geom = dv_isa::Im2ColGeometry::new(8, 8, 1, params).unwrap();
+        // Input fractal at UB+0: patch p row holds value p+1.
+        let mut frac = Vec::with_capacity(16 * C0);
+        for p in 0..16 {
+            for _ in 0..C0 {
+                frac.push(f((p + 1) as f32));
+            }
+        }
+        bufs.load_f16_slice(BufferId::Ub, 0, &frac).unwrap();
+        // Output tile at UB+8192 (already zero).
+        let i = Instr::Col2Im(Col2Im {
+            geom,
+            src: Addr::ub(0),
+            dst: Addr::ub(8192),
+            first_patch: 0,
+            k_off: (0, 0),
+            c1: 0,
+            repeat: 1,
+        });
+        execute(&i, &mut bufs, &cost, &mut ctr).unwrap();
+        // Patch p maps to input position (2*(p/4), 2*(p%4)); offset (0,0).
+        for p in 0..16 {
+            let (h, w) = (2 * (p / 4), 2 * (p % 4));
+            let off = 8192 + ((h * 8 + w) * C0) * 2;
+            assert_eq!(
+                bufs.read_f16(BufferId::Ub, off).unwrap().to_f32(),
+                (p + 1) as f32
+            );
+        }
+        // Non-patch positions stay zero.
+        assert_eq!(
+            bufs.read_f16(BufferId::Ub, 8192 + C0 * 2).unwrap(),
+            F16::ZERO
+        );
+        // Running the same Col2Im again doubles the values (sum semantics).
+        execute(&i, &mut bufs, &cost, &mut ctr).unwrap();
+        assert_eq!(
+            bufs.read_f16(BufferId::Ub, 8192).unwrap().to_f32(),
+            2.0
+        );
+        assert_eq!(ctr.issues_of("col2im"), 2);
+    }
+
+    #[test]
+    fn cube_matmul_single_fractal() {
+        let (mut bufs, cost, mut ctr) = setup();
+        // A = I (16x16 identity), B = ramp; C must equal B.
+        let mut a = vec![F16::ZERO; 256];
+        for i in 0..16 {
+            a[i * 16 + i] = F16::ONE;
+        }
+        let b: Vec<F16> = (0..256).map(|i| f((i % 23) as f32)).collect();
+        bufs.load_f16_slice(BufferId::L0A, 0, &a).unwrap();
+        bufs.load_f16_slice(BufferId::L0B, 0, &b).unwrap();
+        let i = Instr::Cube(CubeMatmul {
+            a: Addr::new(BufferId::L0A, 0),
+            b: Addr::new(BufferId::L0B, 0),
+            c: Addr::new(BufferId::L0C, 0),
+            m_fractals: 1,
+            k_fractals: 1,
+            n_fractals: 1,
+            accumulate: false,
+        });
+        execute(&i, &mut bufs, &cost, &mut ctr).unwrap();
+        for e in 0..256 {
+            assert_eq!(bufs.read_f32_l0c(e * 4).unwrap(), b[e].to_f32());
+        }
+        assert_eq!(ctr.cycles, cost.issue_overhead + cost.cube_per_fractal_pair);
+    }
+
+    #[test]
+    fn cube_accumulate_mode() {
+        let (mut bufs, cost, mut ctr) = setup();
+        let ones = vec![F16::ONE; 256];
+        bufs.load_f16_slice(BufferId::L0A, 0, &ones).unwrap();
+        bufs.load_f16_slice(BufferId::L0B, 0, &ones).unwrap();
+        let mut mm = CubeMatmul {
+            a: Addr::new(BufferId::L0A, 0),
+            b: Addr::new(BufferId::L0B, 0),
+            c: Addr::new(BufferId::L0C, 0),
+            m_fractals: 1,
+            k_fractals: 1,
+            n_fractals: 1,
+            accumulate: false,
+        };
+        execute(&Instr::Cube(mm), &mut bufs, &cost, &mut ctr).unwrap();
+        assert_eq!(bufs.read_f32_l0c(0).unwrap(), 16.0);
+        mm.accumulate = true;
+        execute(&Instr::Cube(mm), &mut bufs, &cost, &mut ctr).unwrap();
+        assert_eq!(bufs.read_f32_l0c(0).unwrap(), 32.0);
+    }
+
+    #[test]
+    fn l0c_drain_converts_f32_to_f16() {
+        let (mut bufs, cost, mut ctr) = setup();
+        bufs.write_f32_l0c(0, 3.125).unwrap();
+        bufs.write_f32_l0c(4, -2.0).unwrap();
+        let i = Instr::Move(DataMove::new(
+            Addr::new(BufferId::L0C, 0),
+            Addr::ub(0),
+            8,
+        ));
+        execute(&i, &mut bufs, &cost, &mut ctr).unwrap();
+        assert_eq!(bufs.read_f16(BufferId::Ub, 0).unwrap().to_f32(), 3.125);
+        assert_eq!(bufs.read_f16(BufferId::Ub, 2).unwrap().to_f32(), -2.0);
+    }
+
+    #[test]
+    fn oob_vector_access_errors() {
+        let (mut bufs, cost, mut ctr) = setup();
+        let cap = bufs.capacity(BufferId::Ub);
+        let i = Instr::Vector(VectorInstr::unit_stride(
+            VectorOp::Add,
+            Addr::ub(cap - 64), // 128 lanes x 2B = 256B needed
+            Addr::ub(0),
+            Addr::ub(256),
+            Mask::FULL,
+            1,
+        ));
+        assert!(matches!(
+            execute(&i, &mut bufs, &cost, &mut ctr),
+            Err(SimError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_instruction_rejected_at_execute() {
+        let (mut bufs, cost, mut ctr) = setup();
+        let i = Instr::Move(DataMove::new(Addr::gm(0), Addr::new(BufferId::L0A, 0), 4));
+        assert!(matches!(
+            execute(&i, &mut bufs, &cost, &mut ctr),
+            Err(SimError::Isa(_))
+        ));
+    }
+}

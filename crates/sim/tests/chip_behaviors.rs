@@ -1,0 +1,133 @@
+//! Chip-level behaviours: error propagation out of worker threads, GM
+//! write-range merging, and scheduling invariants.
+
+use dv_fp16::F16;
+use dv_isa::{Addr, DataMove, Instr, Mask, Program, VectorInstr, VectorOp};
+use dv_sim::{Chip, CostModel};
+
+fn doubler(in_off: usize, out_off: usize) -> Program {
+    let mut p = Program::new();
+    p.push(Instr::Move(DataMove::new(Addr::gm(in_off), Addr::ub(0), 256)))
+        .unwrap();
+    p.push(Instr::Vector(VectorInstr::unit_stride(
+        VectorOp::Add,
+        Addr::ub(256),
+        Addr::ub(0),
+        Addr::ub(0),
+        Mask::FULL,
+        1,
+    )))
+    .unwrap();
+    p.push(Instr::Move(DataMove::new(Addr::ub(256), Addr::gm(out_off), 256)))
+        .unwrap();
+    p
+}
+
+/// A program whose execution (not validation) fails: it reads past the
+/// end of global memory.
+fn oob_program(gm_bytes: usize) -> Program {
+    let mut p = Program::new();
+    p.push(Instr::Move(DataMove::new(
+        Addr::gm(gm_bytes - 64),
+        Addr::ub(0),
+        256,
+    )))
+    .unwrap();
+    p
+}
+
+#[test]
+fn worker_thread_errors_propagate() {
+    let mut gm = vec![0u8; 4096];
+    let chip = Chip::new(4, CostModel::ascend910_like());
+    let programs = vec![doubler(0, 2048), oob_program(4096), doubler(256, 2560)];
+    let err = chip.run(&mut gm, &programs);
+    assert!(err.is_err(), "mid-run failure must surface as Err");
+}
+
+#[test]
+fn failed_run_does_not_corrupt_untouched_gm() {
+    let vals: Vec<F16> = (0..128).map(|i| F16::from_f32(i as f32)).collect();
+    let mut gm = vec![0u8; 4096];
+    gm[..256].copy_from_slice(dv_fp16::as_bytes(&vals));
+    let snapshot = gm.clone();
+    let chip = Chip::new(1, CostModel::ascend910_like());
+    let _ = chip.run(&mut gm, &[oob_program(4096)]);
+    assert_eq!(gm, snapshot, "failed run must not write back");
+}
+
+#[test]
+fn multiple_jobs_per_core_all_write_back() {
+    // 6 jobs on 2 cores: each core runs 3 sequentially; every output
+    // range must still land in GM.
+    let vals: Vec<F16> = (0..768).map(|i| F16::from_f32((i % 50) as f32)).collect();
+    let mut gm = vec![0u8; 8192];
+    gm[..1536].copy_from_slice(dv_fp16::as_bytes(&vals));
+    let programs: Vec<Program> = (0..6).map(|t| doubler(t * 256, 4096 + t * 256)).collect();
+    let chip = Chip::new(2, CostModel::ascend910_like());
+    let run = chip.run(&mut gm, &programs).unwrap();
+    assert_eq!(run.per_core.len(), 2);
+    let out = dv_fp16::from_bytes(&gm[4096..4096 + 1536]);
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(v.to_f32(), 2.0 * ((i % 50) as f32), "element {i}");
+    }
+}
+
+#[test]
+fn adjacent_but_disjoint_writes_allowed() {
+    let mut gm = vec![0u8; 4096];
+    let programs = vec![doubler(0, 2048), doubler(256, 2304)]; // touching ranges
+    let chip = Chip::new(2, CostModel::ascend910_like());
+    assert!(chip.run(&mut gm, &programs).is_ok());
+}
+
+#[test]
+fn same_program_may_write_overlapping_ranges() {
+    // One program rewriting its own output region (e.g. banded halo
+    // flushes) is legal; only cross-program overlap is a bug.
+    let mut p = doubler(0, 2048);
+    p.push(Instr::Move(DataMove::new(Addr::ub(256), Addr::gm(2048), 256)))
+        .unwrap();
+    let mut gm = vec![0u8; 4096];
+    let chip = Chip::new(1, CostModel::ascend910_like());
+    assert!(chip.run(&mut gm, &[p]).is_ok());
+}
+
+#[test]
+fn core_cycles_reported_per_core() {
+    let vals: Vec<F16> = (0..512).map(|_| F16::ONE).collect();
+    let mut gm = vec![0u8; 8192];
+    gm[..1024].copy_from_slice(dv_fp16::as_bytes(&vals));
+    // 3 jobs on 2 cores: core 0 gets 2 jobs, core 1 gets 1.
+    let programs: Vec<Program> = (0..3).map(|t| doubler(t * 256, 4096 + t * 256)).collect();
+    let chip = Chip::new(2, CostModel::ascend910_like());
+    let run = chip.run(&mut gm, &programs).unwrap();
+    assert_eq!(run.core_cycles.len(), 2);
+    let (a, b) = (run.core_cycles[0], run.core_cycles[1]);
+    assert!(a != b, "unbalanced load must show unequal core cycles");
+    assert_eq!(run.cycles, a.max(b), "chip cycles = max over cores");
+}
+
+#[test]
+fn dispatch_overhead_charged_per_job() {
+    let vals: Vec<F16> = (0..256).map(|_| F16::ONE).collect();
+    let cost = CostModel::ascend910_like();
+    let mk_gm = |n: usize| {
+        let mut gm = vec![0u8; 8192];
+        gm[..n * 256].copy_from_slice(dv_fp16::as_bytes(&vals[..n * 128]));
+        gm
+    };
+    let chip = Chip::new(1, cost);
+    let mut gm1 = mk_gm(1);
+    let one = chip.run(&mut gm1, &[doubler(0, 4096)]).unwrap();
+    let mut gm2 = mk_gm(2);
+    let two = chip
+        .run(&mut gm2, &[doubler(0, 4096), doubler(256, 4352)])
+        .unwrap();
+    assert_eq!(
+        two.cycles,
+        2 * one.cycles,
+        "two identical jobs on one core = exactly double (incl. dispatch)"
+    );
+    assert!(one.cycles > cost.core_dispatch);
+}

@@ -1,0 +1,164 @@
+//! Cost-model regression tests: pin the exact cycle formula of each
+//! instruction class so experiment results cannot drift silently when
+//! the simulator changes. (If a deliberate recalibration changes these,
+//! update EXPERIMENTS.md's calibration record alongside.)
+
+use dv_fp16::F16;
+use dv_isa::{
+    Addr, BufferId, Col2Im, CubeMatmul, DataMove, Im2Col, Im2ColGeometry, Instr, Mask, Program,
+    RepeatMode, VectorInstr, VectorOp,
+};
+use dv_sim::{AiCore, CostModel};
+use dv_tensor::PoolParams;
+
+fn run_one(instr: Instr) -> u64 {
+    let mut core = AiCore::new(CostModel::ascend910_like(), 1 << 16);
+    let mut p = Program::new();
+    p.push(instr).unwrap();
+    core.run(&p).unwrap();
+    core.counters().cycles
+}
+
+#[test]
+fn vector_cycles_are_issue_plus_repeats() {
+    let c = CostModel::ascend910_like();
+    for repeat in [1u16, 3, 255] {
+        let cycles = run_one(Instr::Vector(VectorInstr::unit_stride(
+            VectorOp::Add,
+            Addr::ub(0),
+            Addr::ub(0),
+            Addr::ub(0),
+            Mask::FULL,
+            repeat,
+        )));
+        assert_eq!(cycles, c.issue_overhead + repeat as u64 * c.vector_per_repeat);
+    }
+}
+
+#[test]
+fn vector_cycles_independent_of_mask_width() {
+    // The crux of the paper: a 16-lane instruction costs the same as a
+    // 128-lane one — partial masks waste throughput, they don't save
+    // time.
+    let narrow = run_one(Instr::Vector(VectorInstr::unit_stride(
+        VectorOp::Max,
+        Addr::ub(0),
+        Addr::ub(0),
+        Addr::ub(0),
+        Mask::C0_ONLY,
+        5,
+    )));
+    let wide = run_one(Instr::Vector(VectorInstr::unit_stride(
+        VectorOp::Max,
+        Addr::ub(0),
+        Addr::ub(0),
+        Addr::ub(0),
+        Mask::FULL,
+        5,
+    )));
+    assert_eq!(narrow, wide);
+}
+
+#[test]
+fn im2col_cycles_scale_with_fractals() {
+    let c = CostModel::ascend910_like();
+    let geom = Im2ColGeometry::new(34, 34, 1, PoolParams::K3S2).unwrap();
+    for repeat in [1u16, 4, 16] {
+        let cycles = run_one(Instr::Im2Col(Im2Col {
+            geom,
+            src: Addr::l1(0),
+            dst: Addr::ub(0),
+            first_patch: 0,
+            k_off: (0, 0),
+            c1: 0,
+            repeat,
+            mode: RepeatMode::Mode1,
+        }));
+        assert_eq!(cycles, c.issue_overhead + repeat as u64 * c.im2col_per_fractal);
+    }
+}
+
+#[test]
+fn col2im_cycles_scale_with_fractals() {
+    let c = CostModel::ascend910_like();
+    let geom = Im2ColGeometry::new(34, 34, 1, PoolParams::K3S2).unwrap();
+    for repeat in [1u16, 8] {
+        let cycles = run_one(Instr::Col2Im(Col2Im {
+            geom,
+            src: Addr::ub(0),
+            dst: Addr::ub(32768),
+            first_patch: 0,
+            k_off: (0, 0),
+            c1: 0,
+            repeat,
+        }));
+        assert_eq!(cycles, c.issue_overhead + repeat as u64 * c.col2im_per_fractal);
+    }
+}
+
+#[test]
+fn move_cycles_are_bandwidth_bound() {
+    let c = CostModel::ascend910_like();
+    for bytes in [32usize, 33, 1024, 4096] {
+        let cycles = run_one(Instr::Move(DataMove::new(Addr::gm(0), Addr::l1(0), bytes)));
+        assert_eq!(cycles, c.issue_overhead + c.move_cycles(bytes));
+    }
+}
+
+#[test]
+fn cube_cycles_scale_with_fractal_ops() {
+    let c = CostModel::ascend910_like();
+    let cycles = run_one(Instr::Cube(CubeMatmul {
+        a: Addr::new(BufferId::L0A, 0),
+        b: Addr::new(BufferId::L0B, 0),
+        c: Addr::new(BufferId::L0C, 0),
+        m_fractals: 2,
+        k_fractals: 3,
+        n_fractals: 4,
+        accumulate: false,
+    }));
+    assert_eq!(cycles, c.issue_overhead + 24 * c.cube_per_fractal_pair);
+}
+
+#[test]
+fn calibrated_constants_are_pinned() {
+    // The calibration EXPERIMENTS.md documents — changing these changes
+    // every reproduced figure.
+    let c = CostModel::ascend910_like();
+    assert_eq!(c.issue_overhead, 16);
+    assert_eq!(c.vector_per_repeat, 1);
+    assert_eq!(c.im2col_per_fractal, 20);
+    assert_eq!(c.col2im_per_fractal, 20);
+    assert_eq!(c.move_bytes_per_cycle, 32);
+    assert_eq!(c.cube_per_fractal_pair, 1);
+    assert_eq!(c.core_dispatch, 64);
+}
+
+#[test]
+fn scu_is_slower_per_byte_than_mte() {
+    // The physical constraint the second calibration pass fixed: the
+    // SCU's strided gather cannot beat the MTE's sequential stream.
+    let c = CostModel::ascend910_like();
+    let scu_bytes_per_cycle = 512.0 / c.im2col_per_fractal as f64;
+    assert!(scu_bytes_per_cycle <= c.move_bytes_per_cycle as f64);
+}
+
+#[test]
+fn dup_requires_no_source_reads() {
+    // vector_dup on a region whose "sources" would be out of bounds must
+    // still work (it reads nothing).
+    let mut core = AiCore::new(CostModel::ascend910_like(), 0);
+    let cap = core.buffers().capacity(BufferId::Ub);
+    let mut p = Program::new();
+    p.push(Instr::Vector(VectorInstr::unit_stride(
+        VectorOp::Dup(F16::ONE),
+        Addr::ub(0),
+        Addr::ub(cap), // would be OOB if read
+        Addr::ub(cap),
+        Mask::FULL,
+        1,
+    )))
+    .unwrap();
+    core.run(&p).unwrap();
+    assert_eq!(core.buffers().read_f16(BufferId::Ub, 0).unwrap(), F16::ONE);
+}

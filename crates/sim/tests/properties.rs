@@ -1,0 +1,349 @@
+//! Property-based tests: every simulated instruction against a scalar
+//! model of its semantics, over randomized operands, masks, repeats and
+//! strides.
+
+use dv_fp16::F16;
+use dv_isa::{
+    Addr, BufferId, Col2Im, CubeMatmul, DataMove, Im2Col, Im2ColGeometry, Instr, Mask,
+    RepeatMode, VectorInstr, VectorOp, VECTOR_LANES,
+};
+use dv_sim::{AiCore, CostModel};
+use dv_tensor::{im2col_fractal, Nc1hwc0, PoolParams, C0, FRACTAL_BYTES, FRACTAL_ROWS};
+use proptest::prelude::*;
+
+fn core() -> AiCore {
+    AiCore::new(CostModel::ascend910_like(), 1 << 16)
+}
+
+fn f16s(len: usize, seed: u64) -> Vec<F16> {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            F16::from_f32(((s >> 34) % 65) as f32 * 0.5 - 16.0)
+        })
+        .collect()
+}
+
+fn vec_op() -> impl Strategy<Value = VectorOp> {
+    prop_oneof![
+        Just(VectorOp::Max),
+        Just(VectorOp::Min),
+        Just(VectorOp::Add),
+        Just(VectorOp::Sub),
+        Just(VectorOp::Mul),
+        Just(VectorOp::CmpEq),
+        Just(VectorOp::Copy),
+        Just(VectorOp::Relu),
+        (-8i32..=8).prop_map(|s| VectorOp::MulScalar(F16::from_f32(s as f32 * 0.5))),
+        (-8i32..=8).prop_map(|s| VectorOp::Dup(F16::from_f32(s as f32 * 0.5))),
+    ]
+}
+
+fn scalar_semantics(op: VectorOp, a: F16, b: F16) -> F16 {
+    match op {
+        VectorOp::Max => a.max(b),
+        VectorOp::Min => a.min(b),
+        VectorOp::Add => a + b,
+        VectorOp::Sub => a - b,
+        VectorOp::Mul => a * b,
+        VectorOp::MulScalar(s) => a * s,
+        VectorOp::Dup(s) => s,
+        VectorOp::CmpEq => {
+            if a == b {
+                F16::ONE
+            } else {
+                F16::ZERO
+            }
+        }
+        VectorOp::Copy => a,
+        VectorOp::Relu => a.max(F16::ZERO),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Vector instructions with disjoint operands match the scalar model
+    /// lane by lane; masked-off lanes never write.
+    #[test]
+    fn vector_instr_matches_scalar_model(
+        op in vec_op(),
+        mask_lanes in 0usize..=VECTOR_LANES,
+        repeat in 1u16..=4,
+        seed in any::<u64>(),
+    ) {
+        let mut core = core();
+        let total = VECTOR_LANES * repeat as usize;
+        let src0v = f16s(total, seed);
+        let src1v = f16s(total, seed ^ 0x1111);
+        let sentinel = F16::from_f32(-999.0);
+        core.buffers_mut().load_f16_slice(BufferId::Ub, 0, &src0v).unwrap();
+        core.buffers_mut().load_f16_slice(BufferId::Ub, 8192, &src1v).unwrap();
+        core.buffers_mut()
+            .load_f16_slice(BufferId::Ub, 16384, &vec![sentinel; total])
+            .unwrap();
+        let mask = Mask::first_n(mask_lanes);
+        let instr = Instr::Vector(VectorInstr::unit_stride(
+            op,
+            Addr::ub(16384),
+            Addr::ub(0),
+            Addr::ub(8192),
+            mask,
+            repeat,
+        ));
+        if mask_lanes == 0 {
+            // empty mask is legal and writes nothing
+        }
+        let mut p = dv_isa::Program::new();
+        p.push(instr).unwrap();
+        core.run(&p).unwrap();
+        let out = core.buffers().read_f16_slice(BufferId::Ub, 16384, total).unwrap();
+        for r in 0..repeat as usize {
+            for lane in 0..VECTOR_LANES {
+                let i = r * VECTOR_LANES + lane;
+                if lane < mask_lanes {
+                    let want = scalar_semantics(op, src0v[i], src1v[i]);
+                    prop_assert_eq!(out[i], want, "repeat {} lane {}", r, lane);
+                } else {
+                    prop_assert_eq!(out[i], sentinel, "masked lane {} wrote", lane);
+                }
+            }
+        }
+    }
+
+    /// In-place accumulation with dst == src0, stride 0, and a strided
+    /// src1 reduces sequentially — the baseline pooling pattern.
+    #[test]
+    fn strided_accumulation_is_sequential(repeat in 1u16..=5, seed in any::<u64>()) {
+        let mut core = core();
+        let init = f16s(16, seed ^ 0xAA);
+        let src = f16s(16 * repeat as usize, seed);
+        core.buffers_mut().load_f16_slice(BufferId::Ub, 0, &init).unwrap();
+        core.buffers_mut().load_f16_slice(BufferId::Ub, 4096, &src).unwrap();
+        let instr = Instr::Vector(VectorInstr {
+            op: VectorOp::Add,
+            dst: Addr::ub(0),
+            src0: Addr::ub(0),
+            src1: Addr::ub(4096),
+            mask: Mask::C0_ONLY,
+            repeat,
+            dst_stride: 0,
+            src0_stride: 0,
+            src1_stride: 32,
+        });
+        let mut p = dv_isa::Program::new();
+        p.push(instr).unwrap();
+        core.run(&p).unwrap();
+        let out = core.buffers().read_f16_slice(BufferId::Ub, 0, 16).unwrap();
+        for lane in 0..16 {
+            let mut acc = init[lane];
+            for r in 0..repeat as usize {
+                acc += src[r * 16 + lane];
+            }
+            prop_assert_eq!(out[lane], acc, "lane {}", lane);
+        }
+    }
+
+    /// A full mode-1 Im2Col plane load equals the corresponding slice of
+    /// the golden im2col transform, for random geometries.
+    #[test]
+    fn im2col_instruction_matches_reference(
+        kh in 1usize..=3, kw in 1usize..=3,
+        sh in 1usize..=3, sw in 1usize..=3,
+        ih in 6usize..=14, iw in 6usize..=14,
+        xk_sel in 0usize..9, yk_sel in 0usize..9,
+        seed in any::<u64>(),
+    ) {
+        let params = PoolParams::new((kh, kw), (sh, sw));
+        prop_assume!(params.out_dims(ih, iw).is_ok());
+        let geom = Im2ColGeometry::new(ih, iw, 1, params).unwrap();
+        let (xk, yk) = (xk_sel % kh, yk_sel % kw);
+        let input = Nc1hwc0::from_fn(1, 1, ih, iw, |_, _, h, w, c0| {
+            F16::from_f32(((seed as usize + h * 131 + w * 17 + c0) % 251) as f32 - 125.0)
+        });
+        let mut core = core();
+        core.buffers_mut()
+            .load_f16_slice(BufferId::L1, 0, input.data())
+            .unwrap();
+        let bf = geom.fractals_per_plane();
+        let mut p = dv_isa::Program::new();
+        p.push(Instr::Im2Col(Im2Col {
+            geom,
+            src: Addr::l1(0),
+            dst: Addr::ub(0),
+            first_patch: 0,
+            k_off: (xk, yk),
+            c1: 0,
+            repeat: bf as u16,
+            mode: RepeatMode::Mode1,
+        })).unwrap();
+        core.run(&p).unwrap();
+
+        let golden = im2col_fractal(&input, &params).unwrap();
+        let (oh, ow) = geom.out_dims();
+        for patch in 0..oh * ow {
+            for c0 in 0..C0 {
+                let got = core
+                    .buffers()
+                    .read_f16(BufferId::Ub, (patch * C0 + c0) * 2)
+                    .unwrap();
+                let want = golden.get(0, 0, xk, yk, patch / ow, patch % ow, c0);
+                prop_assert_eq!(got, want, "patch {} c0 {}", patch, c0);
+            }
+        }
+        // zero-fill of the padded tail slots
+        for patch in oh * ow..bf * FRACTAL_ROWS {
+            let got = core
+                .buffers()
+                .read_f16(BufferId::Ub, (patch * C0) * 2)
+                .unwrap();
+            prop_assert_eq!(got, F16::ZERO, "tail patch {}", patch);
+        }
+    }
+
+    /// Col2Im of one plane equals the golden col2im restricted to that
+    /// kernel offset (scatter into a zeroed target).
+    #[test]
+    fn col2im_instruction_matches_reference(
+        kh in 1usize..=3, kw in 1usize..=3,
+        sh in 1usize..=2, sw in 1usize..=2,
+        ih in 6usize..=12, iw in 6usize..=12,
+        xk_sel in 0usize..9, yk_sel in 0usize..9,
+        seed in any::<u64>(),
+    ) {
+        let params = PoolParams::new((kh, kw), (sh, sw));
+        prop_assume!(params.out_dims(ih, iw).is_ok());
+        let geom = Im2ColGeometry::new(ih, iw, 1, params).unwrap();
+        let (xk, yk) = (xk_sel % kh, yk_sel % kw);
+        let (oh, ow) = geom.out_dims();
+        let bf = geom.fractals_per_plane();
+        // a full patch tensor that is zero everywhere except our plane
+        let mut patches = dv_tensor::PatchTensor::zeros(1, 1, kh, kw, oh, ow);
+        let vals = f16s(bf * FRACTAL_ROWS * C0, seed);
+        let mut plane = vec![F16::ZERO; bf * FRACTAL_ROWS * C0];
+        for patch in 0..oh * ow {
+            for c0 in 0..C0 {
+                let v = vals[patch * C0 + c0];
+                plane[patch * C0 + c0] = v;
+                patches.set(0, 0, xk, yk, patch / ow, patch % ow, c0, v);
+            }
+        }
+        let golden = dv_tensor::col2im_fractal(&patches, &params, ih, iw).unwrap();
+
+        let mut core = core();
+        core.buffers_mut().load_f16_slice(BufferId::Ub, 0, &plane).unwrap();
+        // output region at 16384, already zero
+        let mut p = dv_isa::Program::new();
+        p.push(Instr::Col2Im(Col2Im {
+            geom,
+            src: Addr::ub(0),
+            dst: Addr::ub(16384),
+            first_patch: 0,
+            k_off: (xk, yk),
+            c1: 0,
+            repeat: bf as u16,
+        })).unwrap();
+        core.run(&p).unwrap();
+        for h in 0..ih {
+            for w in 0..iw {
+                for c0 in 0..C0 {
+                    let got = core.buffers()
+                        .read_f16(BufferId::Ub, 16384 + ((h * iw + w) * C0 + c0) * 2)
+                        .unwrap();
+                    prop_assert_eq!(got, golden.get(0, 0, h, w, c0),
+                        "({}, {}, {})", h, w, c0);
+                }
+            }
+        }
+    }
+
+    /// Cube matmul over random fractal tiles equals the f32-accumulating
+    /// reference matmul.
+    #[test]
+    fn cube_matches_reference_matmul(
+        mf in 1usize..=2, kf in 1usize..=2, nf in 1usize..=2,
+        seed in any::<u64>(),
+    ) {
+        const E: usize = 16;
+        let a = f16s(mf * kf * E * E, seed);
+        let b = f16s(kf * nf * E * E, seed ^ 0x77);
+        let mut core = core();
+        core.buffers_mut().load_f16_slice(BufferId::L0A, 0, &a).unwrap();
+        core.buffers_mut().load_f16_slice(BufferId::L0B, 0, &b).unwrap();
+        let mut p = dv_isa::Program::new();
+        p.push(Instr::Cube(CubeMatmul {
+            a: Addr::new(BufferId::L0A, 0),
+            b: Addr::new(BufferId::L0B, 0),
+            c: Addr::new(BufferId::L0C, 0),
+            m_fractals: mf,
+            k_fractals: kf,
+            n_fractals: nf,
+            accumulate: false,
+        })).unwrap();
+        core.run(&p).unwrap();
+
+        // flatten the fractal grids into row-major matrices
+        let (m, k, n) = (mf * E, kf * E, nf * E);
+        let flat = |grid: &[F16], _rows: usize, col_fr: usize, r: usize, c: usize| {
+            grid[((r / E) * col_fr + c / E) * E * E + (r % E) * E + (c % E)]
+        };
+        let mut am = vec![F16::ZERO; m * k];
+        for r in 0..m { for c in 0..k { am[r * k + c] = flat(&a, m, kf, r, c); } }
+        let mut bm = vec![F16::ZERO; k * n];
+        for r in 0..k { for c in 0..n { bm[r * n + c] = flat(&b, k, nf, r, c); } }
+        let want = dv_tensor::reference::matmul_f32acc(&am, &bm, m, k, n);
+
+        for r in 0..m {
+            for c in 0..n {
+                let off = (((r / E) * nf + c / E) * E * E + (r % E) * E + (c % E)) * 4;
+                let got = core.buffers().read_f32_l0c(off).unwrap();
+                prop_assert_eq!(F16::from_f32(got), want[r * n + c], "({}, {})", r, c);
+            }
+        }
+    }
+
+    /// Data moves preserve bytes exactly along every legal path that can
+    /// carry f16 data.
+    #[test]
+    fn moves_preserve_data(len_words in 1usize..=512, seed in any::<u64>()) {
+        let vals = f16s(len_words, seed);
+        let mut core = core();
+        core.load_gm(0, &vals).unwrap();
+        let bytes = len_words * 2;
+        let mut p = dv_isa::Program::new();
+        p.push(Instr::Move(DataMove::new(Addr::gm(0), Addr::l1(0), bytes))).unwrap();
+        p.push(Instr::Move(DataMove::new(Addr::l1(0), Addr::ub(0), bytes))).unwrap();
+        p.push(Instr::Move(DataMove::new(Addr::ub(0), Addr::gm(8192), bytes))).unwrap();
+        core.run(&p).unwrap();
+        prop_assert_eq!(core.read_gm(8192, len_words).unwrap(), vals);
+    }
+
+    /// Cycle accounting is deterministic and additive: running the same
+    /// program twice exactly doubles every counter.
+    #[test]
+    fn counters_are_deterministic_and_additive(repeat in 1u16..=8, seed in any::<u64>()) {
+        let vals = f16s(VECTOR_LANES * repeat as usize, seed);
+        let mut p = dv_isa::Program::new();
+        p.push(Instr::Vector(VectorInstr::unit_stride(
+            VectorOp::Add, Addr::ub(0), Addr::ub(8192), Addr::ub(16384),
+            Mask::FULL, repeat,
+        ))).unwrap();
+        let mut core1 = core();
+        core1.buffers_mut().load_f16_slice(BufferId::Ub, 8192, &vals).unwrap();
+        core1.run(&p).unwrap();
+        let once = core1.counters().clone();
+        core1.run(&p).unwrap();
+        let twice = core1.counters().clone();
+        prop_assert_eq!(twice.cycles, 2 * once.cycles);
+        prop_assert_eq!(twice.vector_total_lanes, 2 * once.vector_total_lanes);
+        prop_assert_eq!(twice.issues_of("vadd"), 2 * once.issues_of("vadd"));
+    }
+}
+
+/// Fractal-size constants that the instruction encodings rely on.
+#[test]
+fn fractal_constants_hold() {
+    assert_eq!(FRACTAL_BYTES, 512);
+    assert_eq!(FRACTAL_ROWS * C0 * 2, FRACTAL_BYTES);
+}

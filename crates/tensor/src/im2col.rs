@@ -1,0 +1,401 @@
+//! The im2col patch layout `(N, C1, Kh, Kw, Oh, Ow, C0)` and the golden
+//! scalar im2col / col2im transformations over the fractal layout.
+//!
+//! This is the output shape of the `Im2Col` instruction in repeat mode 1
+//! with loop order `[c1, (xk, yk), (x, y)]` (paper, end of Section III-C):
+//! a matrix of shape `(C1*Kh*Kw*16, (Oh*Ow)/16 * C0)` viewed as the tensor
+//! `(C1, Kh, Kw, Oh, Ow, C0)`. Each `(kh, kw)` plane stores, densely in
+//! patch order, the element every patch selects at that kernel offset —
+//! so a reduction over patches becomes a dense loop and the 128-lane
+//! vector mask can be fully saturated (Section V-A).
+
+use crate::layout::{Nc1hwc0, C0};
+use crate::pool::PoolParams;
+use crate::shape::ShapeError;
+use dv_fp16::F16;
+
+/// A dense tensor in the `(N, C1, Kh, Kw, Oh, Ow, C0)` im2col layout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PatchTensor {
+    /// Batch size `N`.
+    pub n: usize,
+    /// Outer channel count `C1`.
+    pub c1: usize,
+    /// Kernel height `Kh`.
+    pub kh: usize,
+    /// Kernel width `Kw`.
+    pub kw: usize,
+    /// Patch rows `Oh`.
+    pub oh: usize,
+    /// Patch columns `Ow`.
+    pub ow: usize,
+    data: Vec<F16>,
+}
+
+impl PatchTensor {
+    /// All-zero tensor.
+    pub fn zeros(n: usize, c1: usize, kh: usize, kw: usize, oh: usize, ow: usize) -> PatchTensor {
+        PatchTensor {
+            n,
+            c1,
+            kh,
+            kw,
+            oh,
+            ow,
+            data: vec![F16::ZERO; n * c1 * kh * kw * oh * ow * C0],
+        }
+    }
+
+    /// Build from existing data.
+    pub fn from_vec(
+        n: usize,
+        c1: usize,
+        kh: usize,
+        kw: usize,
+        oh: usize,
+        ow: usize,
+        data: Vec<F16>,
+    ) -> Result<PatchTensor, ShapeError> {
+        let expected = n * c1 * kh * kw * oh * ow * C0;
+        if data.len() != expected {
+            return Err(ShapeError::DataLength {
+                expected,
+                got: data.len(),
+            });
+        }
+        Ok(PatchTensor {
+            n,
+            c1,
+            kh,
+            kw,
+            oh,
+            ow,
+            data,
+        })
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes in a scratchpad buffer.
+    pub fn byte_len(&self) -> usize {
+        self.data.len() * F16::SIZE_BYTES
+    }
+
+    /// Linear index of `(n, c1, kh, kw, oh, ow, c0)`.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn index(
+        &self,
+        n: usize,
+        c1: usize,
+        kh: usize,
+        kw: usize,
+        oh: usize,
+        ow: usize,
+        c0: usize,
+    ) -> usize {
+        debug_assert!(
+            n < self.n
+                && c1 < self.c1
+                && kh < self.kh
+                && kw < self.kw
+                && oh < self.oh
+                && ow < self.ow
+                && c0 < C0
+        );
+        (((((n * self.c1 + c1) * self.kh + kh) * self.kw + kw) * self.oh + oh) * self.ow + ow)
+            * C0
+            + c0
+    }
+
+    /// Element accessor.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn get(
+        &self,
+        n: usize,
+        c1: usize,
+        kh: usize,
+        kw: usize,
+        oh: usize,
+        ow: usize,
+        c0: usize,
+    ) -> F16 {
+        self.data[self.index(n, c1, kh, kw, oh, ow, c0)]
+    }
+
+    /// Set one element.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn set(
+        &mut self,
+        n: usize,
+        c1: usize,
+        kh: usize,
+        kw: usize,
+        oh: usize,
+        ow: usize,
+        c0: usize,
+        v: F16,
+    ) {
+        let i = self.index(n, c1, kh, kw, oh, ow, c0);
+        self.data[i] = v;
+    }
+
+    /// The flat element slice.
+    pub fn data(&self) -> &[F16] {
+        &self.data
+    }
+
+    /// The flat mutable element slice.
+    pub fn data_mut(&mut self) -> &mut [F16] {
+        &mut self.data
+    }
+}
+
+/// Golden im2col over the fractal layout: transform an NC1HWC0 input into
+/// the `(N, C1, Kh, Kw, Oh, Ow, C0)` patch layout, reading zeros inside the
+/// padding border. This is the semantic the `Im2Col` *instruction* realises
+/// fractal-by-fractal; the simulator's SCU is tested against this function.
+pub fn im2col_fractal(input: &Nc1hwc0, params: &PoolParams) -> Result<PatchTensor, ShapeError> {
+    let (oh, ow) = params.out_dims(input.h, input.w)?;
+    let mut out = PatchTensor::zeros(input.n, input.c1, params.kh, params.kw, oh, ow);
+    let pt = params.padding.top as isize;
+    let pl = params.padding.left as isize;
+    for n in 0..input.n {
+        for c1 in 0..input.c1 {
+            for khi in 0..params.kh {
+                for kwi in 0..params.kw {
+                    for ohi in 0..oh {
+                        for owi in 0..ow {
+                            let ih = (ohi * params.sh + khi) as isize - pt;
+                            let iw = (owi * params.sw + kwi) as isize - pl;
+                            for c0 in 0..C0 {
+                                let v = if ih >= 0
+                                    && iw >= 0
+                                    && (ih as usize) < input.h
+                                    && (iw as usize) < input.w
+                                {
+                                    input.get(n, c1, ih as usize, iw as usize, c0)
+                                } else {
+                                    F16::ZERO // zero padding
+                                };
+                                out.set(n, c1, khi, kwi, ohi, owi, c0, v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Golden col2im over the fractal layout: scatter-add the patch tensor back
+/// into NC1HWC0 shape. Values of overlapping patches that refer to the same
+/// input position are **summed** (paper, Section II-B and Fig. 2);
+/// contributions that fall inside the padding border are dropped.
+///
+/// The accumulation order is the canonical `(kh, kw, oh, ow)` row-major
+/// order — all simulated merge implementations iterate identically so
+/// `f16` results are bit-exact.
+pub fn col2im_fractal(
+    patches: &PatchTensor,
+    params: &PoolParams,
+    ih: usize,
+    iw: usize,
+) -> Result<Nc1hwc0, ShapeError> {
+    let (oh, ow) = params.out_dims(ih, iw)?;
+    if (oh, ow) != (patches.oh, patches.ow) {
+        return Err(ShapeError::Mismatch(format!(
+            "patch grid {:?} does not match geometry-derived {:?}",
+            (patches.oh, patches.ow),
+            (oh, ow)
+        )));
+    }
+    if (params.kh, params.kw) != (patches.kh, patches.kw) {
+        return Err(ShapeError::Mismatch(format!(
+            "kernel {:?} does not match patch tensor {:?}",
+            (params.kh, params.kw),
+            (patches.kh, patches.kw)
+        )));
+    }
+    let mut out = Nc1hwc0::zeros(patches.n, patches.c1, ih, iw);
+    let pt = params.padding.top as isize;
+    let pl = params.padding.left as isize;
+    for n in 0..patches.n {
+        for c1 in 0..patches.c1 {
+            for khi in 0..params.kh {
+                for kwi in 0..params.kw {
+                    for ohi in 0..oh {
+                        for owi in 0..ow {
+                            let h = (ohi * params.sh + khi) as isize - pt;
+                            let w = (owi * params.sw + kwi) as isize - pl;
+                            if h < 0 || w < 0 || h as usize >= ih || w as usize >= iw {
+                                continue; // contribution lands in padding
+                            }
+                            for c0 in 0..C0 {
+                                let cur = out.get(n, c1, h as usize, w as usize, c0);
+                                let add = patches.get(n, c1, khi, kwi, ohi, owi, c0);
+                                out.set(n, c1, h as usize, w as usize, c0, cur + add);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// How many patches cover each input position — the "multiplicity map".
+/// `col2im(im2col(x)) == multiplicity ⊙ x` elementwise, which the property
+/// tests exploit. Returned in `(H, W)` row-major order (it is identical
+/// for every `(n, c1, c0)`).
+pub fn coverage_multiplicity(params: &PoolParams, ih: usize, iw: usize) -> Vec<u32> {
+    let (oh, ow) = params
+        .out_dims(ih, iw)
+        .expect("coverage_multiplicity requires a valid geometry");
+    let pt = params.padding.top as isize;
+    let pl = params.padding.left as isize;
+    let mut mult = vec![0u32; ih * iw];
+    for khi in 0..params.kh {
+        for kwi in 0..params.kw {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let h = (ohi * params.sh + khi) as isize - pt;
+                    let w = (owi * params.sw + kwi) as isize - pl;
+                    if h >= 0 && w >= 0 && (h as usize) < ih && (w as usize) < iw {
+                        mult[h as usize * iw + w as usize] += 1;
+                    }
+                }
+            }
+        }
+    }
+    mult
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Nchw;
+
+    /// The worked example of Fig. 2: a single-channel 5x5-ish image with
+    /// two overlapping patches. We reproduce the overlap-sum semantics on
+    /// a 1x1x3x8 input with K=(3,3), S=(1,5)... simpler: use the actual
+    /// figure: patches of (3,5) kernel? The figure uses two 3x5 patches of
+    /// a 3x8 image overlapping in one column triplet {3, 8, 13}.
+    /// Here we verify the same *property* on the figure's geometry:
+    /// K=(3,5), S=(1,3), input 3x8 -> two patches overlapping by 2 columns.
+    #[test]
+    fn figure_2_overlap_sum() {
+        let params = PoolParams::new((3, 5), (1, 3));
+        let input = Nchw::from_fn(1, 1, 3, 8, |_, _, h, w| F16::from_f32((h * 8 + w) as f32))
+            .to_nc1hwc0();
+        let patches = im2col_fractal(&input, &params).unwrap();
+        assert_eq!((patches.oh, patches.ow), (1, 2));
+        // Columns 3 and 4 are covered by both patches.
+        let mult = coverage_multiplicity(&params, 3, 8);
+        for h in 0..3 {
+            for w in 0..8 {
+                let expect = if (3..5).contains(&w) { 2 } else { 1 };
+                assert_eq!(mult[h * 8 + w], expect, "multiplicity at ({h},{w})");
+            }
+        }
+        // col2im of the identity patches doubles the overlapped columns.
+        let back = col2im_fractal(&patches, &params, 3, 8).unwrap();
+        for h in 0..3 {
+            for w in 0..8 {
+                let x = input.get(0, 0, h, w, 0).to_f32();
+                let got = back.get(0, 0, h, w, 0).to_f32();
+                let expect = x * mult[h * 8 + w] as f32;
+                assert_eq!(got, expect, "({h},{w})");
+            }
+        }
+    }
+
+    /// Fig. 5's geometry: 8x8 input, K=(2,2), S=(2,2) — exactly 16
+    /// non-overlapping patches; col2im inverts im2col.
+    #[test]
+    fn figure_5_no_overlap_identity() {
+        let params = PoolParams::new((2, 2), (2, 2));
+        let input =
+            Nchw::from_fn(1, 16, 8, 8, |_, c, h, w| F16::from_f32((c + h * 8 + w) as f32))
+                .to_nc1hwc0();
+        let patches = im2col_fractal(&input, &params).unwrap();
+        assert_eq!((patches.oh, patches.ow), (4, 4));
+        let back = col2im_fractal(&patches, &params, 8, 8).unwrap();
+        assert_eq!(back.data(), input.data());
+    }
+
+    #[test]
+    fn im2col_layout_places_patch_elements_densely() {
+        // 4x4 input, K=(2,2), S=(2,2): patch (oh,ow)=(0,1) starts at
+        // (0,2); its (kh,kw)=(1,0) element is input (1,2).
+        let params = PoolParams::new((2, 2), (2, 2));
+        let input = Nchw::from_fn(1, 16, 4, 4, |_, c, h, w| {
+            F16::from_f32((c * 100 + h * 10 + w) as f32)
+        })
+        .to_nc1hwc0();
+        let patches = im2col_fractal(&input, &params).unwrap();
+        assert_eq!(
+            patches.get(0, 0, 1, 0, 0, 1, 3).to_f32(),
+            (3 * 100 + 10 + 2) as f32
+        );
+        // the (kh,kw) plane is contiguous over (oh, ow, c0)
+        let i_a = patches.index(0, 0, 0, 0, 0, 0, 0);
+        let i_b = patches.index(0, 0, 0, 0, 0, 1, 0);
+        assert_eq!(i_b - i_a, C0);
+    }
+
+    #[test]
+    fn im2col_reads_zero_padding() {
+        use crate::shape::Padding;
+        let params = PoolParams::with_padding((3, 3), (2, 2), Padding::uniform(1));
+        let input = Nchw::from_fn(1, 16, 5, 5, |_, _, _, _| F16::ONE).to_nc1hwc0();
+        let patches = im2col_fractal(&input, &params).unwrap();
+        assert_eq!((patches.oh, patches.ow), (3, 3));
+        // top-left patch, kernel offset (0,0) falls at (-1,-1): zero.
+        assert_eq!(patches.get(0, 0, 0, 0, 0, 0, 0), F16::ZERO);
+        // kernel offset (1,1) falls at (0,0): one.
+        assert_eq!(patches.get(0, 0, 1, 1, 0, 0, 0), F16::ONE);
+    }
+
+    #[test]
+    fn col2im_drops_padding_contributions() {
+        use crate::shape::Padding;
+        let params = PoolParams::with_padding((3, 3), (2, 2), Padding::uniform(1));
+        let input = Nchw::from_fn(1, 16, 5, 5, |_, _, _, _| F16::ONE).to_nc1hwc0();
+        let patches = im2col_fractal(&input, &params).unwrap();
+        let back = col2im_fractal(&patches, &params, 5, 5).unwrap();
+        let mult = coverage_multiplicity(&params, 5, 5);
+        for h in 0..5 {
+            for w in 0..5 {
+                assert_eq!(
+                    back.get(0, 0, h, w, 0).to_f32(),
+                    mult[h * 5 + w] as f32,
+                    "({h},{w})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_shape_mismatch_rejected() {
+        let params = PoolParams::new((2, 2), (2, 2));
+        let patches = PatchTensor::zeros(1, 1, 2, 2, 4, 4);
+        // wrong input extent for this patch grid
+        assert!(col2im_fractal(&patches, &params, 6, 6).is_err());
+        // wrong kernel
+        let params_bad = PoolParams::new((3, 3), (2, 2));
+        assert!(col2im_fractal(&patches, &params_bad, 8, 8).is_err());
+    }
+}

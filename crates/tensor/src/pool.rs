@@ -1,0 +1,169 @@
+//! Pooling geometry: kernel/stride/padding parameter block and derived
+//! quantities (output extents, duplication factor, overlap predicate).
+
+use crate::shape::{out_extent, Padding, ShapeError};
+
+/// Which reduction a pooling layer applies (paper, Section II-C).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// `max` reduction — the variant CNNs prefer ("maximal activation of
+    /// features").
+    Max,
+    /// `avg` reduction — sum then scale by `1/(Kh*Kw)`.
+    Avg,
+}
+
+/// The parameter block shared by pooling layers and the `Im2Col`/`Col2Im`
+/// instructions: kernel extents `(Kh, Kw)`, strides `(Sh, Sw)` and zero
+/// padding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PoolParams {
+    /// Kernel height `Kh`.
+    pub kh: usize,
+    /// Kernel width `Kw`.
+    pub kw: usize,
+    /// Stride in the height direction `Sh`.
+    pub sh: usize,
+    /// Stride in the width direction `Sw`.
+    pub sw: usize,
+    /// Zero padding `(Pt, Pb, Pl, Pr)`.
+    pub padding: Padding,
+}
+
+impl PoolParams {
+    /// Construct with no padding — the configuration of every experiment
+    /// in the paper's evaluation.
+    pub const fn new(kernel: (usize, usize), stride: (usize, usize)) -> PoolParams {
+        PoolParams {
+            kh: kernel.0,
+            kw: kernel.1,
+            sh: stride.0,
+            sw: stride.1,
+            padding: Padding::NONE,
+        }
+    }
+
+    /// Construct with explicit padding.
+    pub const fn with_padding(
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: Padding,
+    ) -> PoolParams {
+        PoolParams {
+            kh: kernel.0,
+            kw: kernel.1,
+            sh: stride.0,
+            sw: stride.1,
+            padding,
+        }
+    }
+
+    /// The paper's headline configuration: kernel (3,3), stride (2,2),
+    /// no padding (used by InceptionV3, Xception, Resnet50).
+    pub const K3S2: PoolParams = PoolParams::new((3, 3), (2, 2));
+
+    /// VGG16's configuration: kernel (2,2), stride (2,2).
+    pub const K2S2: PoolParams = PoolParams::new((2, 2), (2, 2));
+
+    /// Output extents `(Oh, Ow)` for an `(Ih, Iw)` input — Equation 1.
+    pub fn out_dims(&self, ih: usize, iw: usize) -> Result<(usize, usize), ShapeError> {
+        let oh = out_extent(ih, self.padding.top, self.padding.bottom, self.kh, self.sh)?;
+        let ow = out_extent(iw, self.padding.left, self.padding.right, self.kw, self.sw)?;
+        Ok((oh, ow))
+    }
+
+    /// Number of elements inside one patch (per channel).
+    pub const fn patch_len(&self) -> usize {
+        self.kh * self.kw
+    }
+
+    /// `true` when neighbouring patches share input elements, i.e. the
+    /// stride is smaller than the kernel in either dimension. Overlap is
+    /// what makes im2col duplicate data and what makes col2im *sum*
+    /// (Section II-A/B, Fig. 2).
+    pub const fn patches_overlap(&self) -> bool {
+        self.sh < self.kh || self.sw < self.kw
+    }
+
+    /// The data duplication factor of im2col relative to the input:
+    /// `(Kh * Kw) / (Sh * Sw)` as a rational, returned as (numerator,
+    /// denominator). For K=(3,3): stride (1,1) -> 9x, (2,2) -> 2.25x,
+    /// (3,3) -> 1x (Section VI-B).
+    pub const fn duplication_ratio(&self) -> (usize, usize) {
+        (self.kh * self.kw, self.sh * self.sw)
+    }
+
+    /// Validate the geometry against an input extent without computing
+    /// outputs.
+    pub fn validate(&self, ih: usize, iw: usize) -> Result<(), ShapeError> {
+        self.out_dims(ih, iw).map(|_| ())
+    }
+
+    /// Iterator over `(kh, kw)` kernel offsets in the canonical row-major
+    /// order used by every merge/reduction implementation in this
+    /// workspace. Fixing the order makes `f16` accumulation bit-exact
+    /// across implementations.
+    pub fn kernel_offsets(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let kw = self.kw;
+        (0..self.kh).flat_map(move |r| (0..kw).map(move |c| (r, c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k3s2_inception_shapes() {
+        let p = PoolParams::K3S2;
+        assert_eq!(p.out_dims(147, 147), Ok((73, 73)));
+        assert_eq!(p.out_dims(71, 71), Ok((35, 35)));
+        assert_eq!(p.out_dims(35, 35), Ok((17, 17)));
+        assert!(p.patches_overlap());
+        assert_eq!(p.duplication_ratio(), (9, 4));
+    }
+
+    #[test]
+    fn k2s2_vgg_shapes() {
+        let p = PoolParams::K2S2;
+        assert_eq!(p.out_dims(224, 224), Ok((112, 112)));
+        assert!(!p.patches_overlap());
+        assert_eq!(p.duplication_ratio(), (4, 4));
+    }
+
+    #[test]
+    fn stride_variants_of_figure_8() {
+        // K=(3,3) with strides (1,1), (2,2), (3,3).
+        let s1 = PoolParams::new((3, 3), (1, 1));
+        let s2 = PoolParams::new((3, 3), (2, 2));
+        let s3 = PoolParams::new((3, 3), (3, 3));
+        assert!(s1.patches_overlap());
+        assert!(s2.patches_overlap());
+        assert!(!s3.patches_overlap());
+        assert_eq!(s1.duplication_ratio(), (9, 1));
+        assert_eq!(s3.duplication_ratio(), (9, 9));
+        // 30x30 input: s1 -> 28, s2 -> 14, s3 -> 10.
+        assert_eq!(s1.out_dims(30, 30), Ok((28, 28)));
+        assert_eq!(s2.out_dims(30, 30), Ok((14, 14)));
+        assert_eq!(s3.out_dims(30, 30), Ok((10, 10)));
+    }
+
+    #[test]
+    fn kernel_offsets_row_major() {
+        let p = PoolParams::new((2, 3), (1, 1));
+        let offs: Vec<_> = p.kernel_offsets().collect();
+        assert_eq!(
+            offs,
+            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+        );
+        assert_eq!(p.patch_len(), 6);
+    }
+
+    #[test]
+    fn invalid_geometry_propagates_errors() {
+        let p = PoolParams::new((5, 5), (1, 1));
+        assert!(p.validate(4, 10).is_err());
+        assert!(p.validate(10, 4).is_err());
+        assert!(p.validate(5, 5).is_ok());
+    }
+}

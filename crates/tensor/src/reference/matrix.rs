@@ -1,0 +1,221 @@
+//! The classic matrix form of im2col/col2im — Figures 1 and 2 of the
+//! paper — over plain NCHW tensors.
+//!
+//! The fractal-layout transforms in [`crate::im2col`] are what the
+//! `Im2Col` *instruction* computes; these are the textbook matrices the
+//! paper uses to *explain* it: `OutIn` is `(Oh*Ow, C*Kh*Kw)` — "each row
+//! of matrix OutIn contains all the input needed to compute one element
+//! of an output feature map linearized into one dimension" — and
+//! `OutKer` is `(C*Kh*Kw, M)`. Multiplying them performs the
+//! convolution.
+
+use crate::layout::Nchw;
+use crate::pool::PoolParams;
+use crate::shape::ShapeError;
+use dv_fp16::F16;
+
+/// The `OutIn` matrix of Fig. 1: row = patch (row-major over `(oh, ow)`),
+/// column = `(c, kh, kw)` linearised. Returns `(data, rows, cols)` with
+/// `data` row-major. Padding positions contribute zeros.
+pub fn im2col_matrix(
+    input: &Nchw,
+    params: &PoolParams,
+) -> Result<(Vec<F16>, usize, usize), ShapeError> {
+    if input.n != 1 {
+        return Err(ShapeError::Mismatch("matrix im2col takes N = 1".into()));
+    }
+    let (oh, ow) = params.out_dims(input.h, input.w)?;
+    let rows = oh * ow;
+    let cols = input.c * params.kh * params.kw;
+    let pt = params.padding.top as isize;
+    let pl = params.padding.left as isize;
+    let mut out = vec![F16::ZERO; rows * cols];
+    for ohi in 0..oh {
+        for owi in 0..ow {
+            let row = ohi * ow + owi;
+            let mut col = 0usize;
+            for c in 0..input.c {
+                for khi in 0..params.kh {
+                    for kwi in 0..params.kw {
+                        let h = (ohi * params.sh + khi) as isize - pt;
+                        let w = (owi * params.sw + kwi) as isize - pl;
+                        if h >= 0 && w >= 0 && (h as usize) < input.h && (w as usize) < input.w
+                        {
+                            out[row * cols + col] = input.get(0, c, h as usize, w as usize);
+                        }
+                        col += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok((out, rows, cols))
+}
+
+/// The inverse of [`im2col_matrix`]: scatter-add an `OutIn`-shaped matrix
+/// back to `(1, C, Ih, Iw)`. "When patches do overlap, gradients that
+/// refer to the same position in the output are summed" (Fig. 2);
+/// contributions landing in the padding border are dropped. Accumulation
+/// follows the canonical `(kh, kw, patch)` order used everywhere else.
+pub fn col2im_matrix(
+    matrix: &[F16],
+    params: &PoolParams,
+    c: usize,
+    ih: usize,
+    iw: usize,
+) -> Result<Nchw, ShapeError> {
+    let (oh, ow) = params.out_dims(ih, iw)?;
+    let rows = oh * ow;
+    let cols = c * params.kh * params.kw;
+    if matrix.len() != rows * cols {
+        return Err(ShapeError::DataLength {
+            expected: rows * cols,
+            got: matrix.len(),
+        });
+    }
+    let pt = params.padding.top as isize;
+    let pl = params.padding.left as isize;
+    let mut out = Nchw::zeros(1, c, ih, iw);
+    for ci in 0..c {
+        for khi in 0..params.kh {
+            for kwi in 0..params.kw {
+                let col = (ci * params.kh + khi) * params.kw + kwi;
+                for row in 0..rows {
+                    let (ohi, owi) = (row / ow, row % ow);
+                    let h = (ohi * params.sh + khi) as isize - pt;
+                    let w = (owi * params.sw + kwi) as isize - pl;
+                    if h < 0 || w < 0 || h as usize >= ih || w as usize >= iw {
+                        continue;
+                    }
+                    let cur = out.get(0, ci, h as usize, w as usize);
+                    out.set(0, ci, h as usize, w as usize, cur + matrix[row * cols + col]);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The `OutKer` matrix of Fig. 1: "each column of matrix OutKer contains
+/// the weights of a kernel similarly linearized" — rows = `(c, kh, kw)`,
+/// columns = output feature maps. Returns `(data, rows, cols)` row-major.
+pub fn outker_matrix(kernels: &Nchw) -> (Vec<F16>, usize, usize) {
+    let rows = kernels.c * kernels.h * kernels.w;
+    let cols = kernels.n;
+    let mut out = vec![F16::ZERO; rows * cols];
+    for m in 0..kernels.n {
+        let mut row = 0usize;
+        for c in 0..kernels.c {
+            for kh in 0..kernels.h {
+                for kw in 0..kernels.w {
+                    out[row * cols + m] = kernels.get(m, c, kh, kw);
+                    row += 1;
+                }
+            }
+        }
+    }
+    (out, rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{conv2d_direct, matmul_f32acc};
+
+    /// Figure 2, with the paper's exact numbers: a 3x5 single-channel
+    /// image numbered row-major
+    ///   1  2  3  4  5
+    ///   6  7  8  9 10
+    ///  11 12 13 14 15
+    /// with kernel (3,3) and stride width 2 has two patches that overlap
+    /// on the middle column {3, 8, 13}; im2col duplicates those elements
+    /// into both rows, and col2im doubles them on the way back.
+    #[test]
+    fn figure_2_exact_numbers() {
+        let img = Nchw::from_fn(1, 1, 3, 5, |_, _, h, w| F16::from_f32((h * 5 + w + 1) as f32));
+        let params = PoolParams::new((3, 3), (1, 2));
+        let (m, rows, cols) = im2col_matrix(&img, &params).unwrap();
+        assert_eq!((rows, cols), (2, 9));
+        let as_f32: Vec<f32> = m.iter().map(|v| v.to_f32()).collect();
+        assert_eq!(
+            &as_f32[..9],
+            &[1., 2., 3., 6., 7., 8., 11., 12., 13.],
+            "first patch row"
+        );
+        assert_eq!(
+            &as_f32[9..],
+            &[3., 4., 5., 8., 9., 10., 13., 14., 15.],
+            "second patch row — {{3, 8, 13}} duplicated"
+        );
+        // col2im sums the duplicated column.
+        let back = col2im_matrix(&m, &params, 1, 3, 5).unwrap();
+        for h in 0..3 {
+            for w in 0..5 {
+                let orig = (h * 5 + w + 1) as f32;
+                let mult = if w == 2 { 2.0 } else { 1.0 };
+                assert_eq!(back.get(0, 0, h, w).to_f32(), orig * mult, "({h},{w})");
+            }
+        }
+    }
+
+    /// Fig. 1's claim: "multiplying OutIn and OutKer is equivalent to
+    /// performing convolution with its original inputs."
+    #[test]
+    fn outin_times_outker_is_convolution() {
+        let img = Nchw::from_fn(1, 3, 7, 8, |_, c, h, w| {
+            F16::from_f32(((c * 13 + h * 5 + w * 2) % 11) as f32 * 0.25 - 1.25)
+        });
+        let kernels = Nchw::from_fn(4, 3, 3, 3, |m, c, h, w| {
+            F16::from_f32(((m * 7 + c * 3 + h + w) % 9) as f32 * 0.125 - 0.5)
+        });
+        let params = PoolParams::new((3, 3), (2, 2));
+        let (a, rows, k) = im2col_matrix(&img, &params).unwrap();
+        let (b, k2, m) = outker_matrix(&kernels);
+        assert_eq!(k, k2);
+        let prod = matmul_f32acc(&a, &b, rows, k, m);
+        let direct = conv2d_direct(&img, &kernels, &params).unwrap();
+        let (oh, ow) = params.out_dims(7, 8).unwrap();
+        for mi in 0..m {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    assert_eq!(
+                        prod[(ohi * ow + owi) * m + mi],
+                        direct.get(0, mi, ohi, owi),
+                        "m={mi} ({ohi},{owi})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Matrix and fractal transforms agree where both are defined (full
+    /// C0 channel groups).
+    #[test]
+    fn matrix_and_fractal_im2col_agree() {
+        use crate::im2col::im2col_fractal;
+        use crate::layout::C0;
+        let img = Nchw::from_fn(1, 16, 6, 6, |_, c, h, w| {
+            F16::from_f32(((c * 5 + h * 3 + w) % 17) as f32 - 8.0)
+        });
+        let params = PoolParams::new((2, 2), (2, 2));
+        let (m, rows, cols) = im2col_matrix(&img, &params).unwrap();
+        let fr = im2col_fractal(&img.to_nc1hwc0(), &params).unwrap();
+        let (oh, ow) = params.out_dims(6, 6).unwrap();
+        for row in 0..rows {
+            for col in 0..cols {
+                let c = col / 4; // (kh, kw) = 2x2
+                let kh = (col % 4) / 2;
+                let kw = col % 2;
+                let want = fr.get(0, c / C0, kh, kw, row / ow, row % ow, c % C0);
+                assert_eq!(m[row * cols + col], want, "row {row} col {col}");
+            }
+        }
+        let _ = oh;
+    }
+
+    #[test]
+    fn col2im_matrix_validates_length() {
+        let params = PoolParams::new((2, 2), (2, 2));
+        assert!(col2im_matrix(&[F16::ZERO; 7], &params, 1, 4, 4).is_err());
+    }
+}

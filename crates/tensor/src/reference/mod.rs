@@ -1,0 +1,19 @@
+//! Golden (scalar, obviously-correct) reference operators.
+//!
+//! These are the oracles for the whole workspace: every simulated kernel —
+//! baseline or im2col/col2im accelerated — must produce **bit-identical
+//! f16 output** to the functions here. To make that possible, each
+//! reference fixes an accumulation order (documented per function) and the
+//! simulated implementations are lowered so their hardware instructions
+//! visit elements in the same order.
+
+mod conv;
+mod matrix;
+mod pooling;
+
+pub use conv::{conv2d_backward_data, conv2d_direct, conv2d_via_im2col, matmul_f32acc};
+pub use matrix::{col2im_matrix, im2col_matrix, outker_matrix};
+pub use pooling::{
+    avgpool_backward, avgpool_forward, maxpool_argmax_mask, maxpool_backward, maxpool_forward,
+    maxpool_forward_with_argmax,
+};

@@ -1,0 +1,440 @@
+//! Reference pooling operators over the fractal NC1HWC0 layout
+//! (paper, Section II-C and Fig. 3).
+//!
+//! All operators treat every `(n, c1, c0)` channel independently and apply
+//! the reduction over `(Kh, Kw)` windows of the `(H, W)` plane selected by
+//! the stride, reading zeros in the padding border.
+
+use crate::im2col::PatchTensor;
+use crate::layout::{Nc1hwc0, C0};
+use crate::pool::PoolParams;
+use crate::shape::ShapeError;
+use dv_fp16::F16;
+
+/// MaxPool forward: `out[n,c1,oh,ow,c0] = max over (kh,kw) of the patch`.
+///
+/// The reduction uses [`F16::max`], whose result is independent of
+/// iteration order, and starts from `-inf` exactly like the simulated
+/// kernels ("the output tile is initialized with the minimum value of the
+/// data type in use", Section V-A).
+///
+/// With padding, padded positions contribute *zero* (not `-inf`): the
+/// paper's Im2Col loads zeros into the padding border, so the simulated
+/// reduction sees zeros there. The reference matches that convention
+/// (this is "count-include-pad" max semantics; it only differs from
+/// ignore-pad semantics when every in-bounds element is negative).
+pub fn maxpool_forward(input: &Nc1hwc0, params: &PoolParams) -> Result<Nc1hwc0, ShapeError> {
+    let (oh, ow) = params.out_dims(input.h, input.w)?;
+    let mut out = Nc1hwc0::zeros(input.n, input.c1, oh, ow);
+    out.orig_c = input.orig_c;
+    let pt = params.padding.top as isize;
+    let pl = params.padding.left as isize;
+    let pad_any = !params.padding.is_none();
+    for n in 0..input.n {
+        for c1 in 0..input.c1 {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    for c0 in 0..C0 {
+                        let mut acc = F16::NEG_INFINITY;
+                        for khi in 0..params.kh {
+                            for kwi in 0..params.kw {
+                                let h = (ohi * params.sh + khi) as isize - pt;
+                                let w = (owi * params.sw + kwi) as isize - pl;
+                                let v = if h >= 0
+                                    && w >= 0
+                                    && (h as usize) < input.h
+                                    && (w as usize) < input.w
+                                {
+                                    input.get(n, c1, h as usize, w as usize, c0)
+                                } else if pad_any {
+                                    F16::ZERO
+                                } else {
+                                    unreachable!("no padding but out of bounds")
+                                };
+                                acc = acc.max(v);
+                            }
+                        }
+                        out.set(n, c1, ohi, owi, c0, acc);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The argmax mask of MaxPool forward, stored in the im2col patch layout
+/// `(N, C1, Kh, Kw, Oh, Ow, C0)` — "the Im2Col output shape of Line 3 in
+/// Listing 2 is used to store it, as it keeps overlapping patches
+/// separated" (Section V-A).
+///
+/// For each patch the positions holding the maximum value are set to 1 and
+/// the rest to 0. The mask is produced "by comparing each patch of the
+/// input with its maximum value", so **ties mark every tied position**
+/// (this matches the vcmp-based lowering; gradient then flows to all tied
+/// maxima).
+pub fn maxpool_argmax_mask(
+    input: &Nc1hwc0,
+    params: &PoolParams,
+) -> Result<PatchTensor, ShapeError> {
+    let maxes = maxpool_forward(input, params)?;
+    let (oh, ow) = (maxes.h, maxes.w);
+    let mut mask = PatchTensor::zeros(input.n, input.c1, params.kh, params.kw, oh, ow);
+    let pt = params.padding.top as isize;
+    let pl = params.padding.left as isize;
+    for n in 0..input.n {
+        for c1 in 0..input.c1 {
+            for khi in 0..params.kh {
+                for kwi in 0..params.kw {
+                    for ohi in 0..oh {
+                        for owi in 0..ow {
+                            let h = (ohi * params.sh + khi) as isize - pt;
+                            let w = (owi * params.sw + kwi) as isize - pl;
+                            for c0 in 0..C0 {
+                                let v = if h >= 0
+                                    && w >= 0
+                                    && (h as usize) < input.h
+                                    && (w as usize) < input.w
+                                {
+                                    input.get(n, c1, h as usize, w as usize, c0)
+                                } else {
+                                    F16::ZERO
+                                };
+                                let m = maxes.get(n, c1, ohi, owi, c0);
+                                if v == m {
+                                    mask.set(n, c1, khi, kwi, ohi, owi, c0, F16::ONE);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(mask)
+}
+
+/// Convenience: forward output *and* argmax mask in one pass — the
+/// multi-output computation of Fig. 7b.
+pub fn maxpool_forward_with_argmax(
+    input: &Nc1hwc0,
+    params: &PoolParams,
+) -> Result<(Nc1hwc0, PatchTensor), ShapeError> {
+    let out = maxpool_forward(input, params)?;
+    let mask = maxpool_argmax_mask(input, params)?;
+    Ok((out, mask))
+}
+
+/// MaxPool backward (Fig. 3 bottom): multiply the argmax mask by the
+/// incoming gradients (broadcast over `(Kh, Kw)`), then col2im-merge back
+/// to the input shape, summing overlaps.
+///
+/// Accumulation order: canonical `(kh, kw, oh, ow)` row-major, identical
+/// to [`crate::im2col::col2im_fractal`] and to every simulated merge.
+pub fn maxpool_backward(
+    mask: &PatchTensor,
+    gradients: &Nc1hwc0,
+    params: &PoolParams,
+    ih: usize,
+    iw: usize,
+) -> Result<Nc1hwc0, ShapeError> {
+    if (gradients.h, gradients.w) != (mask.oh, mask.ow) {
+        return Err(ShapeError::Mismatch(format!(
+            "gradient plane {:?} does not match mask patch grid {:?}",
+            (gradients.h, gradients.w),
+            (mask.oh, mask.ow)
+        )));
+    }
+    if gradients.n != mask.n || gradients.c1 != mask.c1 {
+        return Err(ShapeError::Mismatch(
+            "gradient N/C1 does not match mask".into(),
+        ));
+    }
+    // Multiply step (Listing 3): mask-gradient in the patch layout.
+    let mut mg = PatchTensor::zeros(mask.n, mask.c1, mask.kh, mask.kw, mask.oh, mask.ow);
+    for n in 0..mask.n {
+        for c1 in 0..mask.c1 {
+            for khi in 0..mask.kh {
+                for kwi in 0..mask.kw {
+                    for ohi in 0..mask.oh {
+                        for owi in 0..mask.ow {
+                            for c0 in 0..C0 {
+                                let m = mask.get(n, c1, khi, kwi, ohi, owi, c0);
+                                let g = gradients.get(n, c1, ohi, owi, c0);
+                                mg.set(n, c1, khi, kwi, ohi, owi, c0, m * g);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Merge step == col2im (Section V-B).
+    crate::im2col::col2im_fractal(&mg, params, ih, iw)
+}
+
+/// AvgPool forward (Section V-C): sum-reduce each patch in canonical
+/// `(kh, kw)` order, then multiply by `1/(Kh*Kw)` as an f16 constant —
+/// exactly the `vadd` + `vmuls` lowering the simulator uses, so results
+/// are bit-identical.
+pub fn avgpool_forward(input: &Nc1hwc0, params: &PoolParams) -> Result<Nc1hwc0, ShapeError> {
+    let (oh, ow) = params.out_dims(input.h, input.w)?;
+    let mut out = Nc1hwc0::zeros(input.n, input.c1, oh, ow);
+    out.orig_c = input.orig_c;
+    let pt = params.padding.top as isize;
+    let pl = params.padding.left as isize;
+    let inv = F16::from_f32(1.0 / (params.kh * params.kw) as f32);
+    for n in 0..input.n {
+        for c1 in 0..input.c1 {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    for c0 in 0..C0 {
+                        let mut acc = F16::ZERO;
+                        for khi in 0..params.kh {
+                            for kwi in 0..params.kw {
+                                let h = (ohi * params.sh + khi) as isize - pt;
+                                let w = (owi * params.sw + kwi) as isize - pl;
+                                let v = if h >= 0
+                                    && w >= 0
+                                    && (h as usize) < input.h
+                                    && (w as usize) < input.w
+                                {
+                                    input.get(n, c1, h as usize, w as usize, c0)
+                                } else {
+                                    F16::ZERO
+                                };
+                                acc += v;
+                            }
+                        }
+                        out.set(n, c1, ohi, owi, c0, acc * inv);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// AvgPool backward (Section V-C): "the equivalent mask for Avgpool
+/// contains 1 in all its positions" — each input position receives the sum
+/// over covering patches of `gradient * 1/(Kh*Kw)`.
+///
+/// The scale is applied to the gradient *before* the merge (one `vmuls`
+/// on the small gradient tensor), then merged in canonical order.
+pub fn avgpool_backward(
+    gradients: &Nc1hwc0,
+    params: &PoolParams,
+    ih: usize,
+    iw: usize,
+) -> Result<Nc1hwc0, ShapeError> {
+    let (oh, ow) = params.out_dims(ih, iw)?;
+    if (gradients.h, gradients.w) != (oh, ow) {
+        return Err(ShapeError::Mismatch(format!(
+            "gradient plane {:?} does not match derived patch grid {:?}",
+            (gradients.h, gradients.w),
+            (oh, ow)
+        )));
+    }
+    let inv = F16::from_f32(1.0 / (params.kh * params.kw) as f32);
+    // Scaled gradient broadcast to the patch layout (uniform mask).
+    let mut mg = PatchTensor::zeros(gradients.n, gradients.c1, params.kh, params.kw, oh, ow);
+    for n in 0..gradients.n {
+        for c1 in 0..gradients.c1 {
+            for khi in 0..params.kh {
+                for kwi in 0..params.kw {
+                    for ohi in 0..oh {
+                        for owi in 0..ow {
+                            for c0 in 0..C0 {
+                                let g = gradients.get(n, c1, ohi, owi, c0);
+                                mg.set(n, c1, khi, kwi, ohi, owi, c0, g * inv);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    crate::im2col::col2im_fractal(&mg, params, ih, iw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Nchw;
+
+    /// Fig. 3 (top): MaxPool forward on two overlapping patches.
+    /// We reconstruct the figure's spirit: K=(2,2), S=(1,1) on a tiny
+    /// image; verify max selection per patch.
+    #[test]
+    fn maxpool_forward_tiny() {
+        let input = Nchw::from_vec(
+            1,
+            1,
+            2,
+            3,
+            [1.0, 5.0, 2.0, 3.0, 4.0, 0.5]
+                .iter()
+                .map(|&x| F16::from_f32(x))
+                .collect(),
+        )
+        .unwrap()
+        .to_nc1hwc0();
+        let params = PoolParams::new((2, 2), (1, 1));
+        let out = maxpool_forward(&input, &params).unwrap();
+        assert_eq!((out.h, out.w), (1, 2));
+        assert_eq!(out.get(0, 0, 0, 0, 0).to_f32(), 5.0);
+        assert_eq!(out.get(0, 0, 0, 1, 0).to_f32(), 5.0);
+    }
+
+    #[test]
+    fn maxpool_forward_negative_values() {
+        // All-negative patch must return the (negative) max, proving the
+        // accumulator starts at -inf and not at 0.
+        let input = Nchw::from_vec(
+            1,
+            1,
+            2,
+            2,
+            [-4.0, -2.0, -8.0, -3.0]
+                .iter()
+                .map(|&x| F16::from_f32(x))
+                .collect(),
+        )
+        .unwrap()
+        .to_nc1hwc0();
+        let params = PoolParams::new((2, 2), (1, 1));
+        let out = maxpool_forward(&input, &params).unwrap();
+        assert_eq!(out.get(0, 0, 0, 0, 0).to_f32(), -2.0);
+    }
+
+    #[test]
+    fn argmax_mask_marks_maximum_positions() {
+        let input = Nchw::from_vec(
+            1,
+            1,
+            2,
+            2,
+            [1.0, 9.0, 3.0, 4.0]
+                .iter()
+                .map(|&x| F16::from_f32(x))
+                .collect(),
+        )
+        .unwrap()
+        .to_nc1hwc0();
+        let params = PoolParams::new((2, 2), (1, 1));
+        let mask = maxpool_argmax_mask(&input, &params).unwrap();
+        // max 9.0 at (kh,kw)=(0,1)
+        assert_eq!(mask.get(0, 0, 0, 0, 0, 0, 0), F16::ZERO);
+        assert_eq!(mask.get(0, 0, 0, 1, 0, 0, 0), F16::ONE);
+        assert_eq!(mask.get(0, 0, 1, 0, 0, 0, 0), F16::ZERO);
+        assert_eq!(mask.get(0, 0, 1, 1, 0, 0, 0), F16::ZERO);
+    }
+
+    #[test]
+    fn argmax_mask_ties_mark_all() {
+        let input = Nchw::from_vec(
+            1,
+            1,
+            1,
+            2,
+            vec![F16::from_f32(7.0), F16::from_f32(7.0)],
+        )
+        .unwrap()
+        .to_nc1hwc0();
+        let params = PoolParams::new((1, 2), (1, 1));
+        let mask = maxpool_argmax_mask(&input, &params).unwrap();
+        assert_eq!(mask.get(0, 0, 0, 0, 0, 0, 0), F16::ONE);
+        assert_eq!(mask.get(0, 0, 0, 1, 0, 0, 0), F16::ONE);
+    }
+
+    /// Fig. 3 (bottom): backward distributes gradient to max positions,
+    /// summing where patches overlap on the same max element.
+    #[test]
+    fn maxpool_backward_routes_gradient_to_max() {
+        // 1x1x2x3 input, K=(2,2), S=(1,1): two patches, both with max 5.0
+        // at position (0,1) of the image.
+        let input = Nchw::from_vec(
+            1,
+            1,
+            2,
+            3,
+            [1.0, 5.0, 2.0, 3.0, 4.0, 0.5]
+                .iter()
+                .map(|&x| F16::from_f32(x))
+                .collect(),
+        )
+        .unwrap()
+        .to_nc1hwc0();
+        let params = PoolParams::new((2, 2), (1, 1));
+        let mask = maxpool_argmax_mask(&input, &params).unwrap();
+        // gradient of ones
+        let grad = Nchw::from_vec(1, 1, 1, 2, vec![F16::ONE; 2])
+            .unwrap()
+            .to_nc1hwc0();
+        let dx = maxpool_backward(&mask, &grad, &params, 2, 3).unwrap();
+        // (0,1) is the max of both patches -> gradient 2; everything else 0.
+        assert_eq!(dx.get(0, 0, 0, 1, 0).to_f32(), 2.0);
+        let mut total = 0.0;
+        for h in 0..2 {
+            for w in 0..3 {
+                total += dx.get(0, 0, h, w, 0).to_f32();
+            }
+        }
+        assert_eq!(total, 2.0, "gradient mass conserved (no ties)");
+    }
+
+    #[test]
+    fn avgpool_forward_matches_manual_average() {
+        let input = Nchw::from_vec(
+            1,
+            1,
+            2,
+            2,
+            [1.0, 2.0, 3.0, 6.0]
+                .iter()
+                .map(|&x| F16::from_f32(x))
+                .collect(),
+        )
+        .unwrap()
+        .to_nc1hwc0();
+        let params = PoolParams::new((2, 2), (1, 1));
+        let out = avgpool_forward(&input, &params).unwrap();
+        assert_eq!(out.get(0, 0, 0, 0, 0).to_f32(), 3.0);
+    }
+
+    #[test]
+    fn avgpool_backward_conserves_mass_without_padding() {
+        // Each gradient element g contributes g * (Kh*Kw) * 1/(Kh*Kw) = g
+        // in total, so the total mass is conserved (exact in f16 for
+        // power-of-two kernels).
+        let params = PoolParams::new((2, 2), (2, 2));
+        let grad = Nchw::from_fn(1, 16, 2, 2, |_, _, h, w| F16::from_f32((h * 2 + w + 1) as f32))
+            .to_nc1hwc0();
+        let dx = avgpool_backward(&grad, &params, 4, 4).unwrap();
+        let total: f32 = dx.data().iter().map(|x| x.to_f32()).sum();
+        let grad_total: f32 = grad.data().iter().map(|x| x.to_f32()).sum();
+        assert_eq!(total, grad_total);
+    }
+
+    #[test]
+    fn backward_shape_mismatch_rejected() {
+        let params = PoolParams::new((2, 2), (2, 2));
+        let mask = PatchTensor::zeros(1, 1, 2, 2, 2, 2);
+        let grad_bad = Nc1hwc0::zeros(1, 1, 3, 3);
+        assert!(maxpool_backward(&mask, &grad_bad, &params, 4, 4).is_err());
+        let grad_bad_c1 = Nc1hwc0::zeros(1, 2, 2, 2);
+        assert!(maxpool_backward(&mask, &grad_bad_c1, &params, 4, 4).is_err());
+    }
+
+    #[test]
+    fn maxpool_with_padding_sees_zeros() {
+        use crate::shape::Padding;
+        // all-negative input with padding: the padded zeros win the max on
+        // border patches (documented count-include-pad semantics).
+        let params = PoolParams::with_padding((3, 3), (2, 2), Padding::uniform(1));
+        let input = Nchw::from_fn(1, 16, 5, 5, |_, _, _, _| F16::from_f32(-1.0)).to_nc1hwc0();
+        let out = maxpool_forward(&input, &params).unwrap();
+        assert_eq!(out.get(0, 0, 0, 0, 0).to_f32(), 0.0); // border patch
+        assert_eq!(out.get(0, 0, 1, 1, 0).to_f32(), -1.0); // interior patch
+    }
+}

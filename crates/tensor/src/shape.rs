@@ -1,0 +1,204 @@
+//! Shape arithmetic shared by every crate: zero padding, Equation 1 of the
+//! paper (output patch counts), and validation errors.
+
+use core::fmt;
+
+/// Zero padding applied around the spatial `(H, W)` plane before patches
+/// are selected. Matches the `Im2Col` instruction parameters `Pl, Pr, Pt,
+/// Pb` (paper, Section III-C).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Padding {
+    /// Rows of zeros above the image (`Pt`).
+    pub top: usize,
+    /// Rows of zeros below the image (`Pb`).
+    pub bottom: usize,
+    /// Columns of zeros left of the image (`Pl`).
+    pub left: usize,
+    /// Columns of zeros right of the image (`Pr`).
+    pub right: usize,
+}
+
+impl Padding {
+    /// No padding — the configuration used by all of the paper's
+    /// experiments ("No padding is used in them").
+    pub const NONE: Padding = Padding {
+        top: 0,
+        bottom: 0,
+        left: 0,
+        right: 0,
+    };
+
+    /// Symmetric padding of `p` on every side.
+    pub const fn uniform(p: usize) -> Padding {
+        Padding {
+            top: p,
+            bottom: p,
+            left: p,
+            right: p,
+        }
+    }
+
+    /// Total vertical padding `Pt + Pb`.
+    pub const fn vertical(&self) -> usize {
+        self.top + self.bottom
+    }
+
+    /// Total horizontal padding `Pl + Pr`.
+    pub const fn horizontal(&self) -> usize {
+        self.left + self.right
+    }
+
+    /// True when no padding is applied on any side.
+    pub const fn is_none(&self) -> bool {
+        self.top == 0 && self.bottom == 0 && self.left == 0 && self.right == 0
+    }
+}
+
+/// Errors produced when a pooling/convolution geometry is inconsistent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShapeError {
+    /// Kernel height/width of zero.
+    ZeroKernel,
+    /// Stride height/width of zero.
+    ZeroStride,
+    /// Input too small for even one patch: `Ih + Pt + Pb < Kh` (or the
+    /// width equivalent).
+    KernelLargerThanInput {
+        /// padded input extent in the failing dimension
+        padded: usize,
+        /// kernel extent in the failing dimension
+        kernel: usize,
+    },
+    /// Padding at least as large as the kernel would create patches made
+    /// entirely of zeros, which frameworks reject.
+    PaddingTooLarge {
+        /// the offending padding amount
+        padding: usize,
+        /// kernel extent in that dimension
+        kernel: usize,
+    },
+    /// A tensor constructor was handed a data vector of the wrong length.
+    DataLength {
+        /// expected element count
+        expected: usize,
+        /// provided element count
+        got: usize,
+    },
+    /// Two tensors that must agree in shape do not.
+    Mismatch(String),
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::ZeroKernel => write!(f, "kernel dimensions must be nonzero"),
+            ShapeError::ZeroStride => write!(f, "stride dimensions must be nonzero"),
+            ShapeError::KernelLargerThanInput { padded, kernel } => write!(
+                f,
+                "kernel extent {kernel} exceeds padded input extent {padded}"
+            ),
+            ShapeError::PaddingTooLarge { padding, kernel } => write!(
+                f,
+                "padding {padding} must be smaller than kernel extent {kernel}"
+            ),
+            ShapeError::DataLength { expected, got } => {
+                write!(f, "data length {got} does not match shape volume {expected}")
+            }
+            ShapeError::Mismatch(msg) => write!(f, "shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Equation 1 of the paper for one dimension:
+/// `O = floor((I + P_lo + P_hi - K) / S) + 1`.
+///
+/// Returns an error when the padded input cannot fit a single patch.
+pub fn out_extent(
+    input: usize,
+    pad_lo: usize,
+    pad_hi: usize,
+    kernel: usize,
+    stride: usize,
+) -> Result<usize, ShapeError> {
+    if kernel == 0 {
+        return Err(ShapeError::ZeroKernel);
+    }
+    if stride == 0 {
+        return Err(ShapeError::ZeroStride);
+    }
+    if pad_lo >= kernel || pad_hi >= kernel {
+        return Err(ShapeError::PaddingTooLarge {
+            padding: pad_lo.max(pad_hi),
+            kernel,
+        });
+    }
+    let padded = input + pad_lo + pad_hi;
+    if padded < kernel {
+        return Err(ShapeError::KernelLargerThanInput { padded, kernel });
+    }
+    Ok((padded - kernel) / stride + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation_1_matches_paper_examples() {
+        // Fig. 5: Ih = Iw = 8, K = 2, S = 2, no padding -> Oh = Ow = 4.
+        assert_eq!(out_extent(8, 0, 0, 2, 2), Ok(4));
+        // InceptionV3 first maxpool: 147, K=3, S=2 -> 73.
+        assert_eq!(out_extent(147, 0, 0, 3, 2), Ok(73));
+        // 71 -> 35; 35 -> 17 (Fig. 7 shapes).
+        assert_eq!(out_extent(71, 0, 0, 3, 2), Ok(35));
+        assert_eq!(out_extent(35, 0, 0, 3, 2), Ok(17));
+        // VGG16: 224, K=2, S=2 -> 112.
+        assert_eq!(out_extent(224, 0, 0, 2, 2), Ok(112));
+    }
+
+    #[test]
+    fn equation_1_with_padding() {
+        // 5 input, pad 1 each side, K=3, S=1 -> same-size output 5.
+        assert_eq!(out_extent(5, 1, 1, 3, 1), Ok(5));
+        // 4 input, pad 1/0, K=3, S=2 -> floor((4+1-3)/2)+1 = 2.
+        assert_eq!(out_extent(4, 1, 0, 3, 2), Ok(2));
+    }
+
+    #[test]
+    fn degenerate_shapes_rejected() {
+        assert_eq!(out_extent(8, 0, 0, 0, 1), Err(ShapeError::ZeroKernel));
+        assert_eq!(out_extent(8, 0, 0, 2, 0), Err(ShapeError::ZeroStride));
+        assert_eq!(
+            out_extent(2, 0, 0, 3, 1),
+            Err(ShapeError::KernelLargerThanInput {
+                padded: 2,
+                kernel: 3
+            })
+        );
+        assert_eq!(
+            out_extent(8, 3, 0, 3, 1),
+            Err(ShapeError::PaddingTooLarge {
+                padding: 3,
+                kernel: 3
+            })
+        );
+    }
+
+    #[test]
+    fn single_patch_edge_case() {
+        // Input exactly kernel-sized: one patch regardless of stride.
+        assert_eq!(out_extent(3, 0, 0, 3, 1), Ok(1));
+        assert_eq!(out_extent(3, 0, 0, 3, 7), Ok(1));
+    }
+
+    #[test]
+    fn padding_helpers() {
+        let p = Padding::uniform(2);
+        assert_eq!(p.vertical(), 4);
+        assert_eq!(p.horizontal(), 4);
+        assert!(!p.is_none());
+        assert!(Padding::NONE.is_none());
+    }
+}

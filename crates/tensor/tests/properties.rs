@@ -1,0 +1,250 @@
+//! Property-based tests over layouts and golden operators.
+
+use dv_fp16::F16;
+use dv_tensor::reference;
+use dv_tensor::{
+    col2im_fractal, coverage_multiplicity, im2col_fractal, Nc1hwc0, Nchw, Padding, PoolParams, C0,
+};
+use proptest::prelude::*;
+
+/// Strategy: a small pooling geometry plus an input extent that admits at
+/// least one patch.
+fn geometry() -> impl Strategy<Value = (PoolParams, usize, usize)> {
+    (1usize..=3, 1usize..=3, 1usize..=3, 1usize..=3, 0usize..=2, 0usize..=2).prop_flat_map(
+        |(kh, kw, sh, sw, pv, ph)| {
+            let pad = Padding {
+                top: pv.min(kh.saturating_sub(1)),
+                bottom: pv.min(kh.saturating_sub(1)),
+                left: ph.min(kw.saturating_sub(1)),
+                right: ph.min(kw.saturating_sub(1)),
+            };
+            let params = PoolParams::with_padding((kh, kw), (sh, sw), pad);
+            let min_h = kh.saturating_sub(pad.vertical()).max(1);
+            let min_w = kw.saturating_sub(pad.horizontal()).max(1);
+            (
+                Just(params),
+                min_h.max(kh)..=min_h.max(kh) + 12,
+                min_w.max(kw)..=min_w.max(kw) + 12,
+            )
+        },
+    )
+}
+
+/// Small-integer tensors: every f16 partial sum over them is exact, so
+/// accumulation order never matters.
+fn int_tensor(c1: usize, h: usize, w: usize, seed: u64) -> Nc1hwc0 {
+    let mut s = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(1);
+    Nc1hwc0::from_fn(1, c1, h, w, |_, _, _, _, _| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        F16::from_f32(((s >> 33) % 17) as f32 - 8.0)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// NCHW -> NC1HWC0 -> NCHW is the identity for any channel count.
+    #[test]
+    fn layout_round_trip(n in 1usize..=2, c in 1usize..=40, h in 1usize..=6, w in 1usize..=6,
+                         seed in any::<u32>()) {
+        let t = Nchw::from_fn(n, c, h, w, |ni, ci, hi, wi| {
+            F16::from_f32(((seed as usize + ni * 97 + ci * 13 + hi * 7 + wi) % 200) as f32 - 100.0)
+        });
+        let f = t.to_nc1hwc0();
+        prop_assert_eq!(f.c1, c.div_ceil(C0));
+        prop_assert_eq!(f.to_nchw(), t);
+    }
+
+    /// col2im(im2col(x)) == multiplicity ⊙ x, elementwise, for any valid
+    /// geometry including padding.
+    #[test]
+    fn col2im_of_im2col_is_multiplicity((params, ih, iw) in geometry(), seed in any::<u64>()) {
+        let x = int_tensor(1, ih, iw, seed);
+        let patches = im2col_fractal(&x, &params).unwrap();
+        let back = col2im_fractal(&patches, &params, ih, iw).unwrap();
+        let mult = coverage_multiplicity(&params, ih, iw);
+        for h in 0..ih {
+            for w in 0..iw {
+                for c0 in 0..C0 {
+                    let want = x.get(0, 0, h, w, c0).to_f32() * mult[h * iw + w] as f32;
+                    prop_assert_eq!(back.get(0, 0, h, w, c0).to_f32(), want,
+                        "at ({}, {}, {})", h, w, c0);
+                }
+            }
+        }
+    }
+
+    /// Without overlap (stride >= kernel) and without padding, col2im is
+    /// the exact inverse of im2col.
+    #[test]
+    fn no_overlap_col2im_inverts(kh in 1usize..=3, kw in 1usize..=3,
+                                 extra in 0usize..=2, seed in any::<u64>()) {
+        let params = PoolParams::new((kh, kw), (kh + extra, kw + extra));
+        let (ih, iw) = (kh * 4 + extra, kw * 4 + extra);
+        let x = int_tensor(1, ih, iw, seed);
+        let patches = im2col_fractal(&x, &params).unwrap();
+        let back = col2im_fractal(&patches, &params, ih, iw).unwrap();
+        let mult = coverage_multiplicity(&params, ih, iw);
+        for h in 0..ih {
+            for w in 0..iw {
+                let m = mult[h * iw + w];
+                prop_assert!(m <= 1, "no overlap means multiplicity <= 1");
+                for c0 in 0..C0 {
+                    let want = if m == 1 { x.get(0, 0, h, w, c0) } else { F16::ZERO };
+                    prop_assert_eq!(back.get(0, 0, h, w, c0), want);
+                }
+            }
+        }
+    }
+
+    /// Every MaxPool output value appears in the input (or is the padding
+    /// zero); and it is >= every element of its patch.
+    #[test]
+    fn maxpool_output_dominates_patch((params, ih, iw) in geometry(), seed in any::<u64>()) {
+        let x = int_tensor(1, ih, iw, seed);
+        let out = reference::maxpool_forward(&x, &params).unwrap();
+        let patches = im2col_fractal(&x, &params).unwrap();
+        for oh in 0..out.h {
+            for ow in 0..out.w {
+                for c0 in 0..C0 {
+                    let m = out.get(0, 0, oh, ow, c0);
+                    let mut seen = false;
+                    for kh in 0..params.kh {
+                        for kw in 0..params.kw {
+                            let v = patches.get(0, 0, kh, kw, oh, ow, c0);
+                            prop_assert!(v <= m, "patch element exceeds max");
+                            if v == m { seen = true; }
+                        }
+                    }
+                    prop_assert!(seen, "max value must come from the patch");
+                }
+            }
+        }
+    }
+
+    /// The argmax mask marks exactly the positions holding the patch max
+    /// (>= 1 per patch; all ties marked).
+    #[test]
+    fn argmax_mask_marks_exactly_maxima((params, ih, iw) in geometry(), seed in any::<u64>()) {
+        let x = int_tensor(1, ih, iw, seed);
+        let out = reference::maxpool_forward(&x, &params).unwrap();
+        let mask = reference::maxpool_argmax_mask(&x, &params).unwrap();
+        let patches = im2col_fractal(&x, &params).unwrap();
+        for oh in 0..out.h {
+            for ow in 0..out.w {
+                for c0 in 0..C0 {
+                    let m = out.get(0, 0, oh, ow, c0);
+                    let mut marked = 0;
+                    for kh in 0..params.kh {
+                        for kw in 0..params.kw {
+                            let bit = mask.get(0, 0, kh, kw, oh, ow, c0);
+                            let v = patches.get(0, 0, kh, kw, oh, ow, c0);
+                            prop_assert_eq!(bit == F16::ONE, v == m,
+                                "mask bit must equal (element == max)");
+                            if bit == F16::ONE { marked += 1; }
+                        }
+                    }
+                    prop_assert!(marked >= 1);
+                }
+            }
+        }
+    }
+
+    /// MaxPool backward conserves gradient mass scaled by the tie count:
+    /// sum(dx) == sum over patches of grad * (#ties in that patch),
+    /// exactly for integer values.
+    #[test]
+    fn maxpool_backward_mass((params, ih, iw) in geometry(), seed in any::<u64>()) {
+        // padding drops contributions that land in the border; restrict
+        // to no padding for an exact conservation statement
+        let params = PoolParams::new((params.kh, params.kw), (params.sh, params.sw));
+        prop_assume!(params.out_dims(ih, iw).is_ok());
+        let x = int_tensor(1, ih, iw, seed);
+        let mask = reference::maxpool_argmax_mask(&x, &params).unwrap();
+        let (oh, ow) = params.out_dims(ih, iw).unwrap();
+        let g = int_tensor(1, oh.max(1), ow.max(1), seed ^ 0xABCD);
+        // reshape gradient tensor to the patch grid
+        let g = Nc1hwc0::from_fn(1, 1, oh, ow, |_, _, h, w, c0| {
+            F16::from_f32((g.get(0, 0, h % g.h, w % g.w, c0).to_f32() / 2.0).round().abs())
+        });
+        let dx = reference::maxpool_backward(&mask, &g, &params, ih, iw).unwrap();
+        let dx_sum: f64 = dx.data().iter().map(|v| v.to_f32() as f64).sum();
+        let mut want = 0.0f64;
+        for ohi in 0..oh {
+            for owi in 0..ow {
+                for c0 in 0..C0 {
+                    let mut ties = 0.0;
+                    for kh in 0..params.kh {
+                        for kw in 0..params.kw {
+                            if mask.get(0, 0, kh, kw, ohi, owi, c0) == F16::ONE {
+                                ties += 1.0;
+                            }
+                        }
+                    }
+                    want += g.get(0, 0, ohi, owi, c0).to_f32() as f64 * ties;
+                }
+            }
+        }
+        prop_assert_eq!(dx_sum, want);
+    }
+
+    /// AvgPool of a constant tensor is that constant (for exactly
+    /// representable constants and kernel areas whose reciprocal times
+    /// area rounds back: use powers of two).
+    #[test]
+    fn avgpool_constant(k in 1usize..=2, s in 1usize..=2, c in -8i32..=8) {
+        let k = 1 << k; // 2 or 4 -> area 4 or 16, reciprocal exact
+        let params = PoolParams::new((k, k), (s, s));
+        let (ih, iw) = (k + 3 * s, k + 3 * s);
+        let x = Nc1hwc0::from_fn(1, 1, ih, iw, |_, _, _, _, _| F16::from_f32(c as f32));
+        let out = reference::avgpool_forward(&x, &params).unwrap();
+        for v in out.data() {
+            prop_assert_eq!(v.to_f32(), c as f32);
+        }
+    }
+
+    /// AvgPool backward conserves gradient mass exactly when the kernel
+    /// area is a power of two and there is no padding.
+    #[test]
+    fn avgpool_backward_mass(s in 1usize..=2, seed in any::<u64>()) {
+        let params = PoolParams::new((2, 2), (s, s));
+        let (ih, iw) = (9, 9);
+        let (oh, ow) = params.out_dims(ih, iw).unwrap();
+        let g = int_tensor(1, oh, ow, seed);
+        let dx = reference::avgpool_backward(&g, &params, ih, iw).unwrap();
+        let dx_sum: f64 = dx.data().iter().map(|v| v.to_f32() as f64).sum();
+        let g_sum: f64 = g.data().iter().map(|v| v.to_f32() as f64).sum();
+        prop_assert_eq!(dx_sum, g_sum);
+    }
+
+    /// Equation-1 consistency: the last patch fits inside the padded
+    /// input, and one more patch would not.
+    #[test]
+    fn out_dims_tight((params, ih, iw) in geometry()) {
+        let (oh, ow) = params.out_dims(ih, iw).unwrap();
+        let padded_h = ih + params.padding.vertical();
+        let padded_w = iw + params.padding.horizontal();
+        prop_assert!((oh - 1) * params.sh + params.kh <= padded_h);
+        prop_assert!(oh * params.sh + params.kh > padded_h);
+        prop_assert!((ow - 1) * params.sw + params.kw <= padded_w);
+        prop_assert!(ow * params.sw + params.kw > padded_w);
+    }
+
+    /// im2col is injective on data: two tensors differing at a covered
+    /// position produce different patch tensors.
+    #[test]
+    fn im2col_detects_single_element_change((params, ih, iw) in geometry(),
+                                            seed in any::<u64>(),
+                                            hsel in 0usize..64, wsel in 0usize..64) {
+        let x = int_tensor(1, ih, iw, seed);
+        let (h, w) = (hsel % ih, wsel % iw);
+        let mult = coverage_multiplicity(&params, ih, iw);
+        prop_assume!(mult[h * iw + w] > 0);
+        let mut y = x.clone();
+        let old = y.get(0, 0, h, w, 0);
+        y.set(0, 0, h, w, 0, old + F16::from_f32(64.0));
+        let px = im2col_fractal(&x, &params).unwrap();
+        let py = im2col_fractal(&y, &params).unwrap();
+        prop_assert_ne!(px.data(), py.data());
+    }
+}

@@ -1,0 +1,131 @@
+//! A miniature CNN forward pass running end-to-end on the simulated
+//! chip: convolutions on the Cube Unit (via `Im2Col` loads) interleaved
+//! with accelerated pooling on the Vector Unit — the composition the
+//! paper's introduction motivates ("many modern CNN architectures also
+//! use pooling").
+//!
+//! Every layer output is verified against the golden references.
+//!
+//! ```sh
+//! cargo run --release --example cnn_inference
+//! ```
+
+use davinci_pooling::prelude::*;
+use davinci_pooling::tensor::reference;
+
+fn main() {
+    // input "image": 16 channels, 32x32 (channel-padded RGB stand-in)
+    let mut image = Nchw::from_fn(1, 16, 32, 32, |_, c, h, w| {
+        F16::from_f32((((c + 1) * (h + 2) * (w + 3)) % 29) as f32 * 0.125 - 1.75)
+    });
+
+    let engine = PoolingEngine::ascend910();
+    let mut total_cycles = 0u64;
+    println!("{:<34} {:>14} {:>12}", "layer", "output", "cycles");
+
+    // --- conv1: 16 -> 16 channels, 3x3, stride 2 ---------------------
+    let conv1_w = Nchw::from_fn(16, 16, 3, 3, |m, c, h, w| {
+        F16::from_f32((((m + 2) * (c + 1) + h * 3 + w) % 9) as f32 * 0.0625 - 0.25)
+    });
+    let conv1_p = PoolParams::new((3, 3), (2, 2));
+    let (c1_out, run) =
+        davinci_pooling::conv::run_conv2d(&image, &conv1_w, &conv1_p).expect("conv1");
+    assert_eq!(
+        c1_out,
+        reference::conv2d_direct(&image, &conv1_w, &conv1_p).unwrap()
+    );
+    total_cycles += run.cycles;
+    println!(
+        "{:<34} {:>14} {:>12}",
+        "conv1 3x3/2 (Cube + Im2Col)",
+        format!("{}x{}x{}", c1_out.h, c1_out.w, c1_out.c),
+        run.cycles
+    );
+    image = c1_out;
+
+    // --- relu1 on the Vector Unit ------------------------------------
+    let relu_in = image.to_nc1hwc0();
+    let (relu_out, run) = engine.relu(&relu_in).expect("relu1");
+    for (got, x) in relu_out.data().iter().zip(relu_in.data()) {
+        assert_eq!(*got, x.max(F16::ZERO));
+    }
+    total_cycles += run.cycles;
+    println!(
+        "{:<34} {:>14} {:>12}",
+        "relu1 (vrelu)",
+        format!("{}x{}x{}", image.h, image.w, image.c),
+        run.cycles
+    );
+    image = relu_out.to_nchw();
+
+    // --- pool1: maxpool 3x3/2, accelerated --------------------------
+    let pool_p = PoolParams::K3S2;
+    let pool_in = image.to_nc1hwc0();
+    let (p1_out, run) = engine
+        .maxpool_forward(&pool_in, pool_p, ForwardImpl::Im2col)
+        .expect("pool1");
+    assert_eq!(
+        p1_out.data(),
+        reference::maxpool_forward(&pool_in, &pool_p).unwrap().data()
+    );
+    total_cycles += run.cycles;
+    println!(
+        "{:<34} {:>14} {:>12}",
+        "pool1 max 3x3/2 (Im2col)",
+        format!("{}x{}x{}", p1_out.h, p1_out.w, image.c),
+        run.cycles
+    );
+    image = p1_out.to_nchw();
+
+    // --- conv2: 16 -> 32 channels, 3x3, stride 1 --------------------
+    let conv2_w = Nchw::from_fn(32, 16, 3, 3, |m, c, h, w| {
+        F16::from_f32((((m + 1) * (c + 3) + h + w * 2) % 7) as f32 * 0.0625 - 0.1875)
+    });
+    let conv2_p = PoolParams::new((3, 3), (1, 1));
+    let (c2_out, run) =
+        davinci_pooling::conv::run_conv2d(&image, &conv2_w, &conv2_p).expect("conv2");
+    assert_eq!(
+        c2_out,
+        reference::conv2d_direct(&image, &conv2_w, &conv2_p).unwrap()
+    );
+    total_cycles += run.cycles;
+    println!(
+        "{:<34} {:>14} {:>12}",
+        "conv2 3x3/1 (Cube + Im2Col)",
+        format!("{}x{}x{}", c2_out.h, c2_out.w, c2_out.c),
+        run.cycles
+    );
+    image = c2_out;
+
+    // --- pool2: global average pooling -------------------------------
+    let gap_p = PoolParams::new((image.h, image.w), (1, 1));
+    let gap_in = image.to_nc1hwc0();
+    let (gap_out, run) = engine
+        .avgpool_forward(&gap_in, gap_p, ForwardImpl::Im2col)
+        .expect("gap");
+    assert_eq!(
+        gap_out.data(),
+        reference::avgpool_forward(&gap_in, &gap_p).unwrap().data()
+    );
+    total_cycles += run.cycles;
+    println!(
+        "{:<34} {:>14} {:>12}",
+        "pool2 global avg (Im2col)",
+        format!("1x1x{}", image.c),
+        run.cycles
+    );
+
+    println!("\ntotal simulated cycles: {total_cycles}");
+    println!("all layer outputs verified against the golden references");
+
+    // the "logits": the 32 pooled channel activations
+    let logits: Vec<f32> = (0..image.c)
+        .map(|c| gap_out.get(0, c / 16, 0, 0, c % 16).to_f32())
+        .collect();
+    let best = logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    println!("argmax activation: channel {} ({:.4})", best.0, best.1);
+}

@@ -1,0 +1,72 @@
+//! Inspect the lowered instruction streams — the reproduction's
+//! equivalent of reading the paper's "lowered CCE C code" (Section V).
+//!
+//! Prints the first instructions and the static statistics of the
+//! standard and im2col MaxPool lowerings side by side, making the
+//! issue-count formulas of the paper visible:
+//! standard emits `Oh*Ow*Kh` vmax issues; im2col emits `Kh*Kw`.
+//!
+//! ```sh
+//! cargo run --release --example disassemble
+//! ```
+
+use davinci_pooling::core::maxpool::{build_forward, Reduction};
+use davinci_pooling::core::{ForwardImpl, PoolProblem};
+use davinci_pooling::prelude::*;
+use davinci_pooling::sim::Capacities;
+
+fn main() {
+    let params = PoolParams::K3S2;
+    let prob = PoolProblem::new(1, 1, 21, 21, params).expect("geometry");
+    let (oh, ow) = prob.out_dims();
+
+    for impl_ in [ForwardImpl::Standard, ForwardImpl::Im2col] {
+        let programs = build_forward(
+            &prob,
+            impl_,
+            Reduction::Max,
+            0,
+            prob.in_bytes(),
+            Capacities::ASCEND910,
+        )
+        .expect("lowering");
+        let p = &programs[0];
+        let stats = p.static_stats();
+
+        println!("==== {impl_:?} lowering of MaxPool 21x21, K(3,3)/S(2,2) ====");
+        let dis = p.disassemble();
+        for line in dis.lines().take(10) {
+            println!("{line}");
+        }
+        if p.len() > 10 {
+            println!("  ... {} more instructions", p.len() - 10);
+        }
+        println!("\nstatic statistics:");
+        println!("  total issues:        {}", stats.total_issues());
+        for (mnemonic, count) in &stats.issues {
+            println!("  {mnemonic:<12} issues: {count}");
+        }
+        println!(
+            "  vector lane slots:   {} useful of {} ({:.1}%)",
+            stats.vector_useful_lanes,
+            stats.vector_total_lanes,
+            stats.vector_utilization() * 100.0
+        );
+        println!();
+    }
+
+    println!("paper formulas for this shape:");
+    println!(
+        "  standard: Oh*Ow*Kh = {}*{}*{} = {} vmax issues",
+        oh,
+        ow,
+        params.kh,
+        oh * ow * params.kh
+    );
+    println!(
+        "  im2col:   Kh*Kw    = {}*{} = {} vmax issues",
+        params.kh,
+        params.kw,
+        params.kh * params.kw
+    );
+}

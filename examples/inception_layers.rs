@@ -1,0 +1,47 @@
+//! Run every MaxPool layer of Table I (InceptionV3, Xception, Resnet50,
+//! VGG16) through the standard and Im2col implementations on the
+//! simulated 32-core chip — the workloads that motivate the paper.
+//!
+//! ```sh
+//! cargo run --release --example inception_layers
+//! ```
+
+use davinci_pooling::core::{table1_workloads, ForwardImpl, PoolingEngine};
+use davinci_pooling::prelude::*;
+
+fn main() {
+    let engine = PoolingEngine::ascend910();
+    println!(
+        "{:<12} {:>3} {:>13} {:>7} {:>12} {:>12} {:>8}",
+        "CNN", "in", "shape (HWC)", "K/S", "standard", "im2col", "speedup"
+    );
+    for w in table1_workloads() {
+        let input = Nchw::from_fn(1, w.c, w.h, w.w, |_, c, h, ww| {
+            F16::from_f32((((c + 13) * (h + 5) * (ww + 2)) % 19) as f32 - 9.0)
+        })
+        .to_nc1hwc0();
+
+        let (out_std, run_std) = engine
+            .maxpool_forward(&input, w.params, ForwardImpl::Standard)
+            .expect("standard");
+        let (out_acc, run_acc) = engine
+            .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("im2col");
+        assert_eq!(out_std.data(), out_acc.data(), "implementations disagree");
+
+        println!(
+            "{:<12} {:>3} {:>13} {:>7} {:>12} {:>12} {:>7.2}x",
+            w.cnn,
+            w.input_idx,
+            format!("{}x{}x{}", w.h, w.w, w.c),
+            format!(
+                "{}{}/{}{}",
+                w.params.kh, w.params.kw, w.params.sh, w.params.sw
+            ),
+            run_std.cycles,
+            run_acc.cycles,
+            run_std.cycles as f64 / run_acc.cycles as f64
+        );
+    }
+    println!("\n(cycle counts from the simulator's hardware counters, 32 AI cores)");
+}

@@ -1,0 +1,73 @@
+//! Build the same CNN twice with `dv-nn` — once with baseline pooling,
+//! once with the paper's Im2col pooling — and compare end-to-end network
+//! cycles. Shows how much a "slow" pooling layer costs a whole model
+//! (the paper's motivation: "a naive implementation can hinder the
+//! overall performance of a CNN").
+//!
+//! ```sh
+//! cargo run --release --example sequential_model
+//! ```
+
+use davinci_pooling::nn::{reference_forward, Layer, Sequential};
+use davinci_pooling::prelude::*;
+
+fn main() {
+    let conv1 = Nchw::from_fn(16, 16, 3, 3, |m, c, h, w| {
+        F16::from_f32(((m * 3 + c + h * 2 + w) % 7) as f32 * 0.25 - 0.75)
+    });
+    let conv2 = Nchw::from_fn(32, 16, 3, 3, |m, c, h, w| {
+        F16::from_f32(((m + c * 2 + h + w * 3) % 5) as f32 * 0.125 - 0.25)
+    });
+
+    let build = |impl_: ForwardImpl| {
+        Sequential::new(PoolingEngine::ascend910())
+            .layer(Layer::conv2d(conv1.clone(), (1, 1)))
+            .layer(Layer::Relu)
+            .layer(Layer::maxpool2d(PoolParams::K3S2, impl_))
+            .layer(Layer::conv2d(conv2.clone(), (1, 1)))
+            .layer(Layer::Relu)
+            .layer(Layer::maxpool2d(PoolParams::K3S2, impl_))
+            .layer(Layer::GlobalAvgPool)
+    };
+
+    let input = Nchw::from_fn(1, 16, 64, 64, |_, c, h, w| {
+        F16::from_f32(((c * 7 + h * 5 + w * 3) % 13) as f32 * 0.25 - 1.5)
+    });
+
+    let baseline = build(ForwardImpl::Standard);
+    let accelerated = build(ForwardImpl::Im2col);
+
+    let (out_b, run_b) = baseline.forward(&input).expect("baseline model");
+    let (out_a, run_a) = accelerated.forward(&input).expect("accelerated model");
+    assert_eq!(out_b, out_a, "models must agree bit-exactly");
+    let ref_out = reference_forward(&accelerated, &input).expect("reference model");
+    assert_eq!(out_a, ref_out, "simulated model must match the reference");
+
+    println!("== baseline (standard pooling) ==");
+    print!("{}", run_b.report());
+    println!("\n== accelerated (Im2col pooling) ==");
+    print!("{}", run_a.report());
+
+    let (tb, ta) = (run_b.total_cycles(), run_a.total_cycles());
+    println!(
+        "\nwhole-network speedup from accelerating ONLY the pooling layers: {:.2}x",
+        tb as f64 / ta as f64
+    );
+    let pool_b: u64 = run_b
+        .layers
+        .iter()
+        .filter(|l| l.name.starts_with("maxpool"))
+        .map(|l| l.cycles)
+        .sum();
+    let pool_a: u64 = run_a
+        .layers
+        .iter()
+        .filter(|l| l.name.starts_with("maxpool"))
+        .map(|l| l.cycles)
+        .sum();
+    println!(
+        "pooling share of network cycles: {:.1}% baseline -> {:.1}% accelerated",
+        100.0 * pool_b as f64 / tb as f64,
+        100.0 * pool_a as f64 / ta as f64
+    );
+}

@@ -1,0 +1,106 @@
+//! Cross-crate integration: a convolution layer (Cube Unit) feeding a
+//! pooling layer (Vector Unit) with a training-direction backward pass —
+//! conv -> maxpool(+argmax) -> backward — everything simulated, everything
+//! checked against the golden references.
+
+use davinci_pooling::prelude::*;
+use davinci_pooling::tensor::reference;
+
+fn det(seed: usize, i: usize) -> F16 {
+    F16::from_f32(((seed * 31 + i * 7) % 13) as f32 * 0.25 - 1.5)
+}
+
+#[test]
+fn conv_then_pool_then_backward() {
+    // --- layer 1: convolution on the Cube Unit ---------------------
+    let image = Nchw::from_fn(1, 16, 21, 21, |_, c, h, w| det(1, c * 441 + h * 21 + w));
+    let kernels = Nchw::from_fn(32, 16, 3, 3, |m, c, h, w| det(2, m * 144 + c * 9 + h * 3 + w));
+    let conv_params = PoolParams::new((3, 3), (1, 1));
+
+    let (feature, conv_run) =
+        davinci_pooling::conv::run_conv2d(&image, &kernels, &conv_params).expect("conv");
+    let want_feature = reference::conv2d_direct(&image, &kernels, &conv_params).unwrap();
+    assert_eq!(feature, want_feature, "conv layer output");
+    assert!(conv_run.total.issues_of("cube_mmad") > 0);
+
+    // --- layer 2: maxpool on the Vector Unit, accelerated path -----
+    let pool_in = feature.to_nc1hwc0();
+    let pool_params = PoolParams::K3S2;
+    let engine = PoolingEngine::ascend910();
+
+    let (pooled, mask, _) = engine
+        .maxpool_forward_with_argmax(&pool_in, pool_params, ForwardImpl::Im2col)
+        .expect("pool forward");
+    let (want_pooled, want_mask) =
+        reference::maxpool_forward_with_argmax(&pool_in, &pool_params).unwrap();
+    assert_eq!(pooled.data(), want_pooled.data(), "pool output");
+    assert_eq!(mask.data(), want_mask.data(), "argmax mask");
+
+    // --- backward through the pool, accelerated merge --------------
+    let grads = Nc1hwc0::from_fn(1, pool_in.c1, pooled.h, pooled.w, |_, c1, h, w, c0| {
+        F16::from_f32(((c1 + h * 2 + w * 3 + c0) % 5) as f32)
+    });
+    let (dx, bwd_run) = engine
+        .maxpool_backward(&mask, &grads, pool_params, pool_in.h, pool_in.w, MergeImpl::Col2Im)
+        .expect("pool backward");
+    let want_dx =
+        reference::maxpool_backward(&want_mask, &grads, &pool_params, pool_in.h, pool_in.w)
+            .unwrap();
+    assert_eq!(dx.data(), want_dx.data(), "input gradients");
+    assert!(bwd_run.total.issues_of("col2im") > 0, "used Col2Im");
+}
+
+#[test]
+fn both_paths_agree_end_to_end() {
+    // Baseline and accelerated paths must agree on every intermediate
+    // tensor of the forward+backward pipeline.
+    let input = Nchw::from_fn(1, 48, 25, 25, |_, c, h, w| det(3, c * 625 + h * 25 + w))
+        .to_nc1hwc0();
+    let params = PoolParams::K3S2;
+    let engine = PoolingEngine::ascend910();
+
+    let (out_b, mask_b, run_b) = engine
+        .maxpool_forward_with_argmax(&input, params, ForwardImpl::Standard)
+        .unwrap();
+    let (out_a, mask_a, run_a) = engine
+        .maxpool_forward_with_argmax(&input, params, ForwardImpl::Im2col)
+        .unwrap();
+    assert_eq!(out_b.data(), out_a.data());
+    assert_eq!(mask_b.data(), mask_a.data());
+    assert!(run_a.cycles < run_b.cycles, "accelerated path is faster");
+
+    let grads = Nc1hwc0::from_fn(1, input.c1, out_a.h, out_a.w, |_, c1, h, w, c0| {
+        F16::from_f32(((c1 * 7 + h + w * 2 + c0) % 6) as f32)
+    });
+    let (dx_b, brun_b) = engine
+        .maxpool_backward(&mask_a, &grads, params, 25, 25, MergeImpl::VAdd)
+        .unwrap();
+    let (dx_a, brun_a) = engine
+        .maxpool_backward(&mask_a, &grads, params, 25, 25, MergeImpl::Col2Im)
+        .unwrap();
+    assert_eq!(dx_b.data(), dx_a.data());
+    assert!(brun_a.cycles < brun_b.cycles, "Col2Im merge is faster");
+}
+
+#[test]
+fn avgpool_training_pipeline() {
+    let input = Nchw::from_fn(1, 32, 19, 19, |_, c, h, w| det(5, c * 361 + h * 19 + w))
+        .to_nc1hwc0();
+    let params = PoolParams::K3S2;
+    let engine = PoolingEngine::ascend910();
+
+    let (out, _) = engine
+        .avgpool_forward(&input, params, ForwardImpl::Im2col)
+        .unwrap();
+    let want = reference::avgpool_forward(&input, &params).unwrap();
+    assert_eq!(out.data(), want.data());
+
+    let grads = Nc1hwc0::from_fn(1, input.c1, out.h, out.w, |_, _, h, w, c0| {
+        F16::from_f32(((h + w + c0) % 4) as f32)
+    });
+    let (dx, _) = engine
+        .avgpool_backward(&grads, params, 19, 19, MergeImpl::Col2Im)
+        .unwrap();
+    let want_dx = reference::avgpool_backward(&grads, &params, 19, 19).unwrap();
+    assert_eq!(dx.data(), want_dx.data());
+}

@@ -1,0 +1,167 @@
+//! Robustness: user-facing error messages and floating-point
+//! special-value behaviour across the whole stack.
+
+use davinci_pooling::prelude::*;
+use davinci_pooling::tensor::reference;
+
+// ---------------------------------------------------------------------
+// error display surfaces
+// ---------------------------------------------------------------------
+
+#[test]
+fn shape_errors_render_helpfully() {
+    use davinci_pooling::tensor::ShapeError;
+    let e = PoolParams::K3S2.out_dims(2, 2).unwrap_err();
+    let msg = e.to_string();
+    assert!(msg.contains("kernel extent 3"), "{msg}");
+    assert!(msg.contains("exceeds"), "{msg}");
+    let e = ShapeError::DataLength {
+        expected: 10,
+        got: 7,
+    };
+    assert!(e.to_string().contains("data length 7"));
+}
+
+#[test]
+fn isa_errors_render_helpfully() {
+    use davinci_pooling::isa::{Addr, Instr, Mask, VectorInstr, VectorOp};
+    let bad = Instr::Vector(VectorInstr::unit_stride(
+        VectorOp::Add,
+        Addr::gm(0),
+        Addr::ub(0),
+        Addr::ub(0),
+        Mask::FULL,
+        1,
+    ));
+    let msg = bad.validate().unwrap_err().to_string();
+    assert!(msg.contains("vector"), "{msg}");
+    assert!(msg.contains("GM"), "{msg}");
+}
+
+#[test]
+fn sim_errors_render_helpfully() {
+    use davinci_pooling::isa::BufferId;
+    use davinci_pooling::sim::{BufferSet, Capacities};
+    let b = BufferSet::new(Capacities::ASCEND910, 16);
+    let msg = b.read_f16(BufferId::Gm, 64).unwrap_err().to_string();
+    assert!(msg.contains("out of bounds"), "{msg}");
+    assert!(msg.contains("GM"), "{msg}");
+    let msg = b.read_f16(BufferId::Ub, 1).unwrap_err().to_string();
+    assert!(msg.contains("misaligned"), "{msg}");
+}
+
+#[test]
+fn engine_errors_render_helpfully() {
+    let eng = PoolingEngine::ascend910();
+    let input = Nc1hwc0::zeros(1, 1, 2, 2);
+    let err = eng
+        .maxpool_forward(&input, PoolParams::K3S2, ForwardImpl::Im2col)
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("lowering"), "{msg}");
+}
+
+#[test]
+fn decode_errors_render_helpfully() {
+    use davinci_pooling::isa::Program;
+    let msg = Program::from_bytes(b"oops").unwrap_err().to_string();
+    assert!(msg.contains("magic"), "{msg}");
+}
+
+// ---------------------------------------------------------------------
+// floating-point special values through the full simulated stack
+// ---------------------------------------------------------------------
+
+fn special_input() -> Nc1hwc0 {
+    // a tensor salted with NaN, +-inf, -0.0 and subnormals
+    Nc1hwc0::from_fn(1, 1, 9, 9, |_, _, h, w, c0| {
+        match (h * 9 + w + c0) % 9 {
+            0 => F16::NAN,
+            1 => F16::INFINITY,
+            2 => F16::NEG_INFINITY,
+            3 => F16::NEG_ZERO,
+            4 => F16::MIN_POSITIVE_SUBNORMAL,
+            5 => F16::MAX,
+            6 => F16::MIN,
+            7 => F16::from_f32(1.5),
+            _ => F16::from_f32(-2.25),
+        }
+    })
+}
+
+#[test]
+fn maxpool_with_special_values_matches_reference() {
+    // hardware-max semantics (NaN ignored, -0 < +0) must match the
+    // reference bit-for-bit for every implementation
+    let input = special_input();
+    let params = PoolParams::K3S2;
+    let want = reference::maxpool_forward(&input, &params).unwrap();
+    let eng = PoolingEngine::ascend910();
+    for impl_ in [
+        ForwardImpl::Standard,
+        ForwardImpl::Im2col,
+        ForwardImpl::Expansion,
+        ForwardImpl::XYSplit,
+    ] {
+        let (got, _) = eng.maxpool_forward(&input, params, impl_).unwrap();
+        for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "{impl_:?} element {i}");
+        }
+    }
+}
+
+#[test]
+fn avgpool_with_infinities_matches_reference() {
+    // inf + finite = inf; inf + (-inf) = NaN — whatever the semantics,
+    // simulated and reference paths must agree bit-for-bit
+    let input = special_input();
+    let params = PoolParams::K2S2;
+    let want = reference::avgpool_forward(&input, &params).unwrap();
+    let eng = PoolingEngine::ascend910();
+    for impl_ in [ForwardImpl::Standard, ForwardImpl::Im2col] {
+        let (got, _) = eng.avgpool_forward(&input, params, impl_).unwrap();
+        for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "{impl_:?} element {i}");
+        }
+    }
+}
+
+#[test]
+fn backward_with_special_gradients_matches_reference() {
+    let input = special_input();
+    let params = PoolParams::K3S2;
+    let mask = reference::maxpool_argmax_mask(&input, &params).unwrap();
+    let (oh, ow) = params.out_dims(9, 9).unwrap();
+    let grads = Nc1hwc0::from_fn(1, 1, oh, ow, |_, _, h, w, c0| match (h + w + c0) % 5 {
+        0 => F16::INFINITY,
+        1 => F16::NEG_ZERO,
+        2 => F16::MIN_POSITIVE_SUBNORMAL,
+        _ => F16::from_f32(2.0),
+    });
+    let want = reference::maxpool_backward(&mask, &grads, &params, 9, 9).unwrap();
+    let eng = PoolingEngine::ascend910();
+    for merge in [MergeImpl::VAdd, MergeImpl::Col2Im] {
+        let (got, _) = eng
+            .maxpool_backward(&mask, &grads, params, 9, 9, merge)
+            .unwrap();
+        for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "{merge:?} element {i}");
+        }
+    }
+}
+
+#[test]
+fn relu_with_special_values() {
+    let input = special_input();
+    let eng = PoolingEngine::ascend910();
+    let (out, _) = eng.relu(&input).unwrap();
+    for (got, x) in out.data().iter().zip(input.data()) {
+        let want = x.max(F16::ZERO);
+        assert_eq!(got.to_bits(), want.to_bits(), "relu({x:?})");
+    }
+    // spot-check semantics: NaN -> 0 is NOT what hardware max does; it
+    // returns the non-NaN operand, which is 0 here
+    assert_eq!(F16::NAN.max(F16::ZERO), F16::ZERO);
+    // -0.0 relu's to +0.0 under totalOrder max
+    assert_eq!(F16::NEG_ZERO.max(F16::ZERO), F16::ZERO);
+}
