@@ -8,11 +8,71 @@
 //! 128-lane mask, hardware repeat chunked at the 255 limit, and a
 //! mask-limited tail instruction for the remainder.
 
+use core::fmt;
 use dv_fp16::F16;
 use dv_isa::{
     Addr, DataMove, Instr, IsaError, Mask, Program, VectorInstr, VectorOp, MAX_REPEAT,
     VECTOR_BYTES, VECTOR_LANES,
 };
+
+/// Errors from inspecting the shape of an emitted program.
+///
+/// The emit helpers make structural promises ("this lowers to one
+/// full-mask vector instruction with repeat 10") that tests and debug
+/// tooling check by looking instructions up by position. Those lookups
+/// fail with this typed error instead of a bare panic, so a failure names
+/// the position and what was found there.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EmitError {
+    /// The program is shorter than the requested instruction index.
+    OutOfRange {
+        /// Requested instruction index.
+        pc: usize,
+        /// Actual program length.
+        len: usize,
+    },
+    /// The instruction at `pc` is not of the expected class.
+    WrongClass {
+        /// Inspected instruction index.
+        pc: usize,
+        /// The class the caller expected.
+        expected: &'static str,
+        /// Mnemonic of the instruction actually found.
+        found: &'static str,
+    },
+}
+
+impl fmt::Display for EmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmitError::OutOfRange { pc, len } => {
+                write!(f, "no instruction at pc {pc}: program has {len}")
+            }
+            EmitError::WrongClass {
+                pc,
+                expected,
+                found,
+            } => write!(f, "instruction at pc {pc} is {found}, expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for EmitError {}
+
+/// Fetch the vector instruction at position `pc` of a program, with a
+/// typed error when the program is shorter or holds another instruction
+/// class there.
+pub fn expect_vector(p: &Program, pc: usize) -> Result<&VectorInstr, EmitError> {
+    match p.instrs().get(pc) {
+        None => Err(EmitError::OutOfRange { pc, len: p.len() }),
+        Some(Instr::Vector(v)) => Ok(v),
+        Some(other) => Err(EmitError::WrongClass {
+            pc,
+            expected: "vector",
+            found: other.mnemonic(),
+        }),
+    }
+}
 
 /// Emit a dense elementwise operation over `elems` consecutive f16
 /// elements: `dst[i] = op(src0[i], src1[i])`. All three regions advance
@@ -116,7 +176,7 @@ mod tests {
     }
 
     #[test]
-    fn elementwise_exact_multiple_single_instr() {
+    fn elementwise_exact_multiple_single_instr() -> Result<(), EmitError> {
         let mut p = Program::new();
         elementwise(
             &mut p,
@@ -128,12 +188,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(count_vec(&p), 1);
-        if let Instr::Vector(v) = &p.instrs()[0] {
-            assert_eq!(v.repeat, 10);
-            assert!(v.mask.is_full());
-        } else {
-            panic!("expected vector instr");
-        }
+        let v = expect_vector(&p, 0)?;
+        assert_eq!(v.repeat, 10);
+        assert!(v.mask.is_full());
+        Ok(())
     }
 
     #[test]
@@ -162,7 +220,7 @@ mod tests {
     }
 
     #[test]
-    fn elementwise_tail_is_masked() {
+    fn elementwise_tail_is_masked() -> Result<(), EmitError> {
         let mut p = Program::new();
         elementwise(
             &mut p,
@@ -174,18 +232,16 @@ mod tests {
         )
         .unwrap();
         assert_eq!(count_vec(&p), 2);
-        if let Instr::Vector(v) = &p.instrs()[1] {
-            assert_eq!(v.mask.count(), 40);
-            assert_eq!(v.repeat, 1);
-            // tail starts after the full block
-            assert_eq!(v.dst.offset, 256);
-        } else {
-            panic!("expected vector instr");
-        }
+        let v = expect_vector(&p, 1)?;
+        assert_eq!(v.mask.count(), 40);
+        assert_eq!(v.repeat, 1);
+        // tail starts after the full block
+        assert_eq!(v.dst.offset, 256);
+        Ok(())
     }
 
     #[test]
-    fn elementwise_small_region_only_tail() {
+    fn elementwise_small_region_only_tail() -> Result<(), EmitError> {
         let mut p = Program::new();
         elementwise(
             &mut p,
@@ -197,15 +253,22 @@ mod tests {
         )
         .unwrap();
         assert_eq!(count_vec(&p), 1);
-        if let Instr::Vector(v) = &p.instrs()[0] {
-            assert_eq!(v.mask.count(), 16);
-        }
+        assert_eq!(expect_vector(&p, 0)?.mask.count(), 16);
+        Ok(())
     }
 
     #[test]
     fn elementwise_zero_elems_is_noop() {
         let mut p = Program::new();
-        elementwise(&mut p, VectorOp::Add, Addr::ub(0), Addr::ub(0), Addr::ub(0), 0).unwrap();
+        elementwise(
+            &mut p,
+            VectorOp::Add,
+            Addr::ub(0),
+            Addr::ub(0),
+            Addr::ub(0),
+            0,
+        )
+        .unwrap();
         assert!(p.is_empty());
     }
 
@@ -225,7 +288,7 @@ mod tests {
     }
 
     #[test]
-    fn strided_accumulate_shape() {
+    fn strided_accumulate_shape() -> Result<(), EmitError> {
         let mut p = Program::new();
         strided_accumulate(
             &mut p,
@@ -237,14 +300,34 @@ mod tests {
             32,
         )
         .unwrap();
-        if let Instr::Vector(v) = &p.instrs()[0] {
-            assert_eq!(v.dst_stride, 0);
-            assert_eq!(v.src0_stride, 0);
-            assert_eq!(v.src1_stride, 32);
-            assert_eq!(v.src0, v.dst, "accumulates in place");
-            assert_eq!(v.repeat, 3);
-        } else {
-            panic!();
-        }
+        let v = expect_vector(&p, 0)?;
+        assert_eq!(v.dst_stride, 0);
+        assert_eq!(v.src0_stride, 0);
+        assert_eq!(v.src1_stride, 32);
+        assert_eq!(v.src0, v.dst, "accumulates in place");
+        assert_eq!(v.repeat, 3);
+        Ok(())
+    }
+
+    #[test]
+    fn expect_vector_reports_typed_errors() {
+        let mut p = Program::new();
+        dma(&mut p, Addr::gm(0), Addr::l1(0), 64).unwrap();
+        assert_eq!(
+            expect_vector(&p, 0),
+            Err(EmitError::WrongClass {
+                pc: 0,
+                expected: "vector",
+                found: "mte_move",
+            })
+        );
+        assert_eq!(
+            expect_vector(&p, 5),
+            Err(EmitError::OutOfRange { pc: 5, len: 1 })
+        );
+        assert!(expect_vector(&p, 0)
+            .unwrap_err()
+            .to_string()
+            .contains("mte_move"));
     }
 }

@@ -19,5 +19,7 @@ pub mod emit;
 pub mod tiling;
 
 pub use arena::{GmArena, UbArena, UbOverflow};
-pub use emit::{dma, elementwise, fill_region, strided_accumulate, zero_region};
+pub use emit::{
+    dma, elementwise, expect_vector, fill_region, strided_accumulate, zero_region, EmitError,
+};
 pub use tiling::{band_input_rows, max_row_band, row_bands, tiling_threshold, Band, TilingError};

@@ -163,12 +163,20 @@ mod tests {
     fn row_bands_cover_exactly() {
         let bands = row_bands(&K3S2, 73, 10);
         assert_eq!(bands.len(), 8);
-        assert_eq!(bands[0], Band { oh0: 0, oh1: 10, ih0: 0, ih_len: 21 });
+        assert_eq!(
+            bands[0],
+            Band {
+                oh0: 0,
+                oh1: 10,
+                ih0: 0,
+                ih_len: 21
+            }
+        );
         assert_eq!(bands[7].oh0, 70);
         assert_eq!(bands[7].oh1, 73);
         assert_eq!(bands[7].ih0, 140);
         assert_eq!(bands[7].ih_len, 7); // 2*2 + 3
-        // coverage: no gaps, no overlaps in output rows
+                                        // coverage: no gaps, no overlaps in output rows
         for w in bands.windows(2) {
             assert_eq!(w[0].oh1, w[1].oh0);
         }

@@ -35,7 +35,11 @@ fn bench_reference_transforms(c: &mut Criterion) {
     });
     let patches = im2col_fractal(&input, &params).unwrap();
     c.bench_function("reference/col2im_64x64", |b| {
-        b.iter(|| dv_tensor::col2im_fractal(&patches, &params, 64, 64).unwrap().len())
+        b.iter(|| {
+            dv_tensor::col2im_fractal(&patches, &params, 64, 64)
+                .unwrap()
+                .len()
+        })
     });
     c.bench_function("reference/maxpool_64x64", |b| {
         b.iter(|| reference::maxpool_forward(&input, &params).unwrap().len())
@@ -81,10 +85,19 @@ fn bench_conv(c: &mut Criterion) {
         F16::from_f32(((m + ci + h + w) % 5) as f32 * 0.25)
     });
     c.bench_function("conv/cube_16ch_16x16", |b| {
-        b.iter(|| dv_conv::run_conv2d(&input, &kernels, &params).unwrap().1.cycles)
+        b.iter(|| {
+            dv_conv::run_conv2d(&input, &kernels, &params)
+                .unwrap()
+                .1
+                .cycles
+        })
     });
     c.bench_function("conv/reference_16ch_16x16", |b| {
-        b.iter(|| reference::conv2d_direct(&input, &kernels, &params).unwrap().len())
+        b.iter(|| {
+            reference::conv2d_direct(&input, &kernels, &params)
+                .unwrap()
+                .len()
+        })
     });
 }
 
@@ -98,7 +111,10 @@ fn bench_nn_model(c: &mut Criterion) {
         F16::from_f32(((ci * 3 + h + w) % 9) as f32 * 0.5 - 2.0)
     });
     let mut g = c.benchmark_group("nn_model");
-    for (name, impl_) in [("standard", ForwardImpl::Standard), ("im2col", ForwardImpl::Im2col)] {
+    for (name, impl_) in [
+        ("standard", ForwardImpl::Standard),
+        ("im2col", ForwardImpl::Im2col),
+    ] {
         let model = Sequential::new(PoolingEngine::ascend910())
             .layer(Layer::conv2d(conv_w.clone(), (1, 1)))
             .layer(Layer::Relu)
@@ -127,7 +143,9 @@ fn bench_program_encoding(c: &mut Criterion) {
     .unwrap();
     let program = &programs[0];
     let bytes = program.to_bytes();
-    c.bench_function("isa/encode_im2col_program", |b| b.iter(|| program.to_bytes().len()));
+    c.bench_function("isa/encode_im2col_program", |b| {
+        b.iter(|| program.to_bytes().len())
+    });
     c.bench_function("isa/decode_im2col_program", |b| {
         b.iter(|| dv_isa::Program::from_bytes(&bytes).unwrap().len())
     });

@@ -13,7 +13,8 @@ fn bench_table1(c: &mut Criterion) {
     for cnn in picks {
         // the last (smallest) listed layer of each network
         let w = table1_workloads()
-            .into_iter().rfind(|w| w.cnn == cnn)
+            .into_iter()
+            .rfind(|w| w.cnn == cnn)
             .expect("workload");
         let input = feature_map(1, w.c, w.h, w.w, 4);
         for impl_ in [ForwardImpl::Standard, ForwardImpl::Im2col] {

@@ -50,16 +50,67 @@ fn run_one(name: &str) -> Option<(String, Table)> {
 }
 
 const ALL: [&str; 17] = [
-    "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c", "table1", "ablate", "avgpool", "conv",
-    "scaling", "dgrad", "cubeavg", "breakdown", "kernels", "fusion", "threshold",
+    "fig7a",
+    "fig7b",
+    "fig7c",
+    "fig8a",
+    "fig8b",
+    "fig8c",
+    "table1",
+    "ablate",
+    "avgpool",
+    "conv",
+    "scaling",
+    "dgrad",
+    "cubeavg",
+    "breakdown",
+    "kernels",
+    "fusion",
+    "threshold",
 ];
+
+/// `repro -- gate`: replay the tracked workloads, refresh the committed
+/// baseline and the workspace-root `BENCH_pooling.json`, and report any
+/// drift against the previous baseline (informational here — the
+/// *enforcing* comparison is the `perf_gate` test).
+fn run_gate() {
+    use dv_bench::gate;
+    let root = results_dir()
+        .parent()
+        .map(PathBuf::from)
+        .unwrap_or_default();
+    let current = gate::collect();
+    let old = gate::parse_metrics(gate::COMMITTED_BASELINE).ok();
+    let doc = gate::to_json(&current, old.as_deref());
+    let bench_path = root.join("BENCH_pooling.json");
+    std::fs::write(&bench_path, &doc).expect("write BENCH_pooling.json");
+    println!("wrote {}", bench_path.display());
+    let baseline_path = root.join("crates/bench/baselines/pooling.json");
+    std::fs::write(&baseline_path, gate::to_json(&current, None))
+        .expect("write committed baseline");
+    println!("refreshed {}", baseline_path.display());
+    if let Some(old) = old {
+        for r in gate::compare(&current, &old, gate::TOLERANCE) {
+            println!("note: vs previous baseline: {r}");
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "gate") {
+        run_gate();
+        if args.len() == 1 {
+            return;
+        }
+    }
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         ALL.to_vec()
     } else {
-        args.iter().map(|s| s.as_str()).collect()
+        args.iter()
+            .filter(|s| *s != "gate")
+            .map(|s| s.as_str())
+            .collect()
     };
 
     let dir = results_dir();
@@ -82,7 +133,7 @@ fn main() {
     }
     if !unknown.is_empty() {
         eprintln!(
-            "unknown experiment(s): {} — available: {}",
+            "unknown experiment(s): {} — available: {}, gate",
             unknown.join(", "),
             ALL.join(", ")
         );

@@ -175,7 +175,16 @@ pub fn table1() -> Table {
     let eng = chip32();
     let mut t = Table::new(
         "Table I — MaxPool input sizes in CNNs (+ measured cycles, 32 AI cores)",
-        &["CNN", "input", "shape (HWC)", "kernel", "stride", "Maxpool", "with Im2col", "speedup"],
+        &[
+            "CNN",
+            "input",
+            "shape (HWC)",
+            "kernel",
+            "stride",
+            "Maxpool",
+            "with Im2col",
+            "speedup",
+        ],
     );
     for w in table1_workloads() {
         let input = feature_map(1, w.c, w.h, w.w, 90 + w.input_idx as u32);
@@ -300,7 +309,13 @@ pub fn threshold() -> Table {
     let params = PoolParams::K3S2;
     let mut t = Table::new(
         "E17 — Fig. 8 tiling threshold (H=W) vs UB capacity, K(3,3) S(2,2)",
-        &["UB KiB", "Maxpool", "Maxpool with Im2col", "Maxpool with expansion", "X-Y split"],
+        &[
+            "UB KiB",
+            "Maxpool",
+            "Maxpool with Im2col",
+            "Maxpool with expansion",
+            "X-Y split",
+        ],
     );
     for kib in [32usize, 64, 128, 256, 512] {
         let caps = Capacities {
@@ -440,7 +455,9 @@ pub fn breakdown() -> Table {
             "E14 — per-unit cycle breakdown, MaxPool {},{},{} (1 AI core)",
             w.h, w.w, w.c
         ),
-        &["kernel", "total", "Vector", "SCU", "MTE", "vec util", "issues"],
+        &[
+            "kernel", "total", "Vector", "SCU", "MTE", "vec util", "issues",
+        ],
     );
     let mask = reference::maxpool_argmax_mask(&input, &w.params).expect("mask");
     let (oh, ow) = w.out_dims();
@@ -486,10 +503,7 @@ pub fn scaling() -> Table {
     let mut t = Table::new(
         format!(
             "E11 — multi-core scaling on MaxPool forward {},{},{} (C1 = {})",
-            w.h,
-            w.w,
-            w.c,
-            input.c1
+            w.h, w.w, w.c, input.c1
         ),
         &[
             "cores",
@@ -508,7 +522,11 @@ pub fn scaling() -> Table {
         let (out_b, std_s) = split
             .maxpool_forward(&input, w.params, ForwardImpl::Standard)
             .expect("standard split");
-        assert_eq!(out_a.data(), out_b.data(), "splitting must not change results");
+        assert_eq!(
+            out_a.data(),
+            out_b.data(),
+            "splitting must not change results"
+        );
         let (_, acc_p) = plane_only
             .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
             .expect("im2col");
@@ -537,9 +555,30 @@ pub fn dgrad() -> Table {
         &["conv", "cycles", "col2im issues", "matches reference"],
     );
     let cases: [(&str, usize, usize, usize, usize, PoolParams); 3] = [
-        ("16ch 12x12, 3x3 s1, 16 kernels", 16, 12, 12, 16, PoolParams::new((3, 3), (1, 1))),
-        ("32ch 13x13, 3x3 s2, 16 kernels", 32, 13, 13, 16, PoolParams::new((3, 3), (2, 2))),
-        ("16ch 10x10, 1x1 s1, 32 kernels", 16, 10, 10, 32, PoolParams::new((1, 1), (1, 1))),
+        (
+            "16ch 12x12, 3x3 s1, 16 kernels",
+            16,
+            12,
+            12,
+            16,
+            PoolParams::new((3, 3), (1, 1)),
+        ),
+        (
+            "32ch 13x13, 3x3 s2, 16 kernels",
+            32,
+            13,
+            13,
+            16,
+            PoolParams::new((3, 3), (2, 2)),
+        ),
+        (
+            "16ch 10x10, 1x1 s1, 32 kernels",
+            16,
+            10,
+            10,
+            32,
+            PoolParams::new((1, 1), (1, 1)),
+        ),
     ];
     for (name, c, ih, iw, m, params) in cases {
         let (oh, ow) = params.out_dims(ih, iw).unwrap();
@@ -574,7 +613,13 @@ pub fn cubeavg() -> Table {
     use dv_fp16::F16;
     let mut t = Table::new(
         "E13 — AvgPool as Cube-Unit convolution vs Vector-Unit AvgPool (1 AI core)",
-        &["input", "vector standard", "vector im2col", "cube conv", "max ulp vs reference"],
+        &[
+            "input",
+            "vector standard",
+            "vector im2col",
+            "cube conv",
+            "max ulp vs reference",
+        ],
     );
     let params = PoolParams::K3S2;
     for (c, hw) in [(16usize, 33usize), (32, 25)] {
@@ -628,12 +673,39 @@ pub fn conv_substrate() -> Table {
     use dv_fp16::F16;
     let mut t = Table::new(
         "E10 — convolution on the Cube Unit via Im2Col (1 AI core)",
-        &["conv", "cycles", "cube issues", "im2col issues", "matches reference"],
+        &[
+            "conv",
+            "cycles",
+            "cube issues",
+            "im2col issues",
+            "matches reference",
+        ],
     );
     let cases: [(&str, usize, usize, usize, usize, PoolParams); 3] = [
-        ("16ch 24x24, 3x3 s1, 16 kernels", 16, 24, 24, 16, PoolParams::new((3, 3), (1, 1))),
-        ("48ch 16x16, 3x3 s2, 32 kernels", 48, 16, 16, 32, PoolParams::new((3, 3), (2, 2))),
-        ("32ch 20x20, 1x1 s1, 64 kernels", 32, 20, 20, 64, PoolParams::new((1, 1), (1, 1))),
+        (
+            "16ch 24x24, 3x3 s1, 16 kernels",
+            16,
+            24,
+            24,
+            16,
+            PoolParams::new((3, 3), (1, 1)),
+        ),
+        (
+            "48ch 16x16, 3x3 s2, 32 kernels",
+            48,
+            16,
+            16,
+            32,
+            PoolParams::new((3, 3), (2, 2)),
+        ),
+        (
+            "32ch 20x20, 1x1 s1, 64 kernels",
+            32,
+            20,
+            20,
+            64,
+            PoolParams::new((1, 1), (1, 1)),
+        ),
     ];
     for (name, c, h, w, m, params) in cases {
         let input = Nchw::from_fn(1, c, h, w, |_, ci, hi, wi| {

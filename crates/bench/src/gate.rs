@@ -1,0 +1,303 @@
+//! The performance-regression gate.
+//!
+//! The whole point of this repository is the *cycle counts* — a refactor
+//! that keeps outputs bit-exact but quietly doubles the simulated cycles
+//! of the accelerated kernels has destroyed the artifact without failing
+//! a single functional test. This module replays the paper's Fig. 7 and
+//! Fig. 8 workloads, writes the measured cycles and speedups to
+//! `BENCH_pooling.json`, and compares them against the committed baseline
+//! in `crates/bench/baselines/pooling.json`: any tracked metric more than
+//! [`TOLERANCE`] worse than the baseline fails the gate (the simulator is
+//! deterministic, so honest changes show up as exact deltas).
+//!
+//! When a cost-model or lowering change moves cycles *intentionally*,
+//! regenerate the baseline with
+//! `cargo run --release -p dv-bench --bin repro -- gate` and commit the
+//! refreshed `pooling.json` alongside the change.
+
+use crate::inputs::{feature_map, gradients, plane};
+use crate::json;
+use dv_core::{fig7_workloads, tiling_threshold, ForwardImpl, MergeImpl, PoolingEngine};
+use dv_sim::{Chip, CostModel};
+use dv_tensor::{reference, PoolParams};
+use std::fmt::Write as _;
+
+/// Relative slowdown tolerated before the gate fails (5%).
+pub const TOLERANCE: f64 = 0.05;
+
+/// The committed baseline (regenerate via `repro -- gate` when a change
+/// legitimately moves cycles).
+pub const COMMITTED_BASELINE: &str = include_str!("../baselines/pooling.json");
+
+/// One tracked workload: cycles for the baseline implementation and for
+/// the paper's accelerated implementation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Metric {
+    /// Stable identifier, e.g. `fig7a/147x147x64` or `fig8s2/24x24`.
+    pub key: String,
+    /// Cycles of the standard (non-accelerated) implementation.
+    pub standard_cycles: u64,
+    /// Cycles of the Im2col/Col2Im-accelerated implementation.
+    pub accelerated_cycles: u64,
+}
+
+impl Metric {
+    /// Speedup of the accelerated implementation (standard / accelerated).
+    pub fn speedup(&self) -> f64 {
+        self.standard_cycles as f64 / self.accelerated_cycles as f64
+    }
+}
+
+/// Replay every tracked workload and measure it.
+///
+/// Covers all Fig. 7 shapes (forward, forward+argmax, backward — the
+/// three bold InceptionV3 rows of Table I on the 32-core chip) and the
+/// Fig. 8 stride study (strides 1–3 on one core at fixed sizes below the
+/// tiling threshold). Inputs reuse the experiment seeds, so cycle counts
+/// match the corresponding `experiments::*` tables exactly.
+pub fn collect() -> Vec<Metric> {
+    let mut out = Vec::new();
+    let eng = PoolingEngine::ascend910();
+
+    for w in fig7_workloads() {
+        let shape = format!("{}x{}x{}", w.h, w.w, w.c);
+
+        // Fig. 7a — forward.
+        let input = feature_map(1, w.c, w.h, w.w, 71);
+        let (o_s, std) = eng
+            .maxpool_forward(&input, w.params, ForwardImpl::Standard)
+            .expect("fig7a standard");
+        let (o_a, acc) = eng
+            .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("fig7a im2col");
+        assert_eq!(o_s.data(), o_a.data(), "fig7a implementations disagree");
+        out.push(Metric {
+            key: format!("fig7a/{shape}"),
+            standard_cycles: std.cycles,
+            accelerated_cycles: acc.cycles,
+        });
+
+        // Fig. 7b — forward with the argmax mask.
+        let input = feature_map(1, w.c, w.h, w.w, 72);
+        let (o_s, m_s, std) = eng
+            .maxpool_forward_with_argmax(&input, w.params, ForwardImpl::Standard)
+            .expect("fig7b standard");
+        let (o_a, m_a, acc) = eng
+            .maxpool_forward_with_argmax(&input, w.params, ForwardImpl::Im2col)
+            .expect("fig7b im2col");
+        assert_eq!(o_s.data(), o_a.data(), "fig7b implementations disagree");
+        assert_eq!(m_s.data(), m_a.data(), "fig7b masks disagree");
+        out.push(Metric {
+            key: format!("fig7b/{shape}"),
+            standard_cycles: std.cycles,
+            accelerated_cycles: acc.cycles,
+        });
+
+        // Fig. 7c — backward.
+        let input = feature_map(1, w.c, w.h, w.w, 73);
+        let mask = reference::maxpool_argmax_mask(&input, &w.params).expect("mask");
+        let (oh, ow) = w.out_dims();
+        let grads = gradients(1, input.c1, oh, ow, 74);
+        let (dx_s, std) = eng
+            .maxpool_backward(&mask, &grads, w.params, w.h, w.w, MergeImpl::VAdd)
+            .expect("fig7c vadd");
+        let (dx_a, acc) = eng
+            .maxpool_backward(&mask, &grads, w.params, w.h, w.w, MergeImpl::Col2Im)
+            .expect("fig7c col2im");
+        assert_eq!(dx_s.data(), dx_a.data(), "fig7c merges disagree");
+        out.push(Metric {
+            key: format!("fig7c/{shape}"),
+            standard_cycles: std.cycles,
+            accelerated_cycles: acc.cycles,
+        });
+    }
+
+    // Fig. 8 — the stride study, one AI core, K(3,3).
+    for stride in 1usize..=3 {
+        let params = PoolParams::new((3, 3), (stride, stride));
+        let eng1 = PoolingEngine::new(Chip::new(1, CostModel::ascend910_like()));
+        let threshold = [ForwardImpl::Standard, ForwardImpl::Im2col]
+            .iter()
+            .map(|i| tiling_threshold(&params, *i, eng1.chip.caps))
+            .min()
+            .unwrap();
+        for hw in [16usize, 24, 32] {
+            if hw > threshold {
+                continue;
+            }
+            let input = plane(1, hw, hw, 80 + hw as u32);
+            let (o_s, std) = eng1
+                .maxpool_forward(&input, params, ForwardImpl::Standard)
+                .expect("fig8 standard");
+            let (o_a, acc) = eng1
+                .maxpool_forward(&input, params, ForwardImpl::Im2col)
+                .expect("fig8 im2col");
+            assert_eq!(o_s.data(), o_a.data(), "fig8 implementations disagree");
+            out.push(Metric {
+                key: format!("fig8s{stride}/{hw}x{hw}"),
+                standard_cycles: std.cycles,
+                accelerated_cycles: acc.cycles,
+            });
+        }
+    }
+
+    out
+}
+
+/// Render metrics as the `BENCH_pooling.json` document. When `baseline`
+/// is given, each metric additionally carries its cycle ratio vs the
+/// baseline (1.0 = unchanged, >1.0 = slower).
+pub fn to_json(metrics: &[Metric], baseline: Option<&[Metric]>) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"pooling\",\n");
+    let _ = writeln!(out, "  \"tolerance\": {TOLERANCE},");
+    out.push_str("  \"metrics\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"key\": \"{}\", \"standard_cycles\": {}, \"accelerated_cycles\": {}, \"speedup\": {:.4}",
+            m.key, m.standard_cycles, m.accelerated_cycles, m.speedup()
+        );
+        if let Some(base) = baseline {
+            if let Some(b) = base.iter().find(|b| b.key == m.key) {
+                let _ = write!(
+                    out,
+                    ", \"vs_baseline_standard\": {:.4}, \"vs_baseline_accelerated\": {:.4}",
+                    m.standard_cycles as f64 / b.standard_cycles as f64,
+                    m.accelerated_cycles as f64 / b.accelerated_cycles as f64
+                );
+            }
+        }
+        out.push_str(if i + 1 == metrics.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parse a `BENCH_pooling.json`-format document back into metrics.
+pub fn parse_metrics(doc: &str) -> Result<Vec<Metric>, String> {
+    let v = json::parse(doc).map_err(|e| e.to_string())?;
+    let arr = v
+        .get("metrics")
+        .and_then(|m| m.as_arr())
+        .ok_or("missing \"metrics\" array")?;
+    arr.iter()
+        .map(|m| {
+            Ok(Metric {
+                key: m
+                    .get("key")
+                    .and_then(|k| k.as_str())
+                    .ok_or("metric missing \"key\"")?
+                    .to_string(),
+                standard_cycles: m
+                    .get("standard_cycles")
+                    .and_then(|c| c.as_u64())
+                    .ok_or("metric missing \"standard_cycles\"")?,
+                accelerated_cycles: m
+                    .get("accelerated_cycles")
+                    .and_then(|c| c.as_u64())
+                    .ok_or("metric missing \"accelerated_cycles\"")?,
+            })
+        })
+        .collect::<Result<Vec<_>, &str>>()
+        .map_err(|e| e.to_string())
+}
+
+/// Compare current metrics against a baseline. Returns the list of
+/// regressions — a baseline metric that disappeared, or one whose cycle
+/// count (either implementation) grew by more than `tolerance`. An empty
+/// list means the gate passes; improvements and new metrics pass.
+pub fn compare(current: &[Metric], baseline: &[Metric], tolerance: f64) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for b in baseline {
+        let Some(c) = current.iter().find(|c| c.key == b.key) else {
+            regressions.push(format!("{}: tracked metric disappeared", b.key));
+            continue;
+        };
+        for (what, now, base) in [
+            ("standard", c.standard_cycles, b.standard_cycles),
+            ("accelerated", c.accelerated_cycles, b.accelerated_cycles),
+        ] {
+            let ratio = now as f64 / base as f64;
+            if ratio > 1.0 + tolerance {
+                regressions.push(format!(
+                    "{} ({what}): {now} cycles vs baseline {base} ({:+.1}%)",
+                    b.key,
+                    (ratio - 1.0) * 100.0
+                ));
+            }
+        }
+    }
+    regressions
+}
+
+/// Run the full gate against [`COMMITTED_BASELINE`]: collect, compare,
+/// and return the rendered `BENCH_pooling.json` contents on success or
+/// the regression list on failure.
+pub fn run() -> Result<String, Vec<String>> {
+    let baseline = parse_metrics(COMMITTED_BASELINE)
+        .map_err(|e| vec![format!("committed baseline unreadable: {e}")])?;
+    let current = collect();
+    let regressions = compare(&current, &baseline, TOLERANCE);
+    if regressions.is_empty() {
+        Ok(to_json(&current, Some(&baseline)))
+    } else {
+        Err(regressions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(key: &str, s: u64, a: u64) -> Metric {
+        Metric {
+            key: key.into(),
+            standard_cycles: s,
+            accelerated_cycles: a,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let ms = vec![m("fig7a/1x1x16", 1000, 250), m("fig8s2/16x16", 77, 33)];
+        let doc = to_json(&ms, None);
+        assert_eq!(parse_metrics(&doc).unwrap(), ms);
+        // with-baseline rendering stays parseable
+        let doc2 = to_json(&ms, Some(&ms));
+        assert!(doc2.contains("\"vs_baseline_standard\": 1.0000"));
+        assert_eq!(parse_metrics(&doc2).unwrap(), ms);
+    }
+
+    #[test]
+    fn compare_flags_only_real_regressions() {
+        let base = vec![m("a", 1000, 100), m("b", 1000, 100)];
+        // within tolerance + improvement + new metric → pass
+        let ok = vec![m("a", 1040, 100), m("b", 900, 90), m("c", 5, 5)];
+        assert!(compare(&ok, &base, TOLERANCE).is_empty());
+        // 6% regression on the accelerated column → fail
+        let slow = vec![m("a", 1000, 106), m("b", 1000, 100)];
+        let regs = compare(&slow, &base, TOLERANCE);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("a (accelerated)"));
+        // disappeared metric → fail
+        let gone = vec![m("a", 1000, 100)];
+        assert_eq!(compare(&gone, &base, TOLERANCE).len(), 1);
+    }
+
+    #[test]
+    fn committed_baseline_parses_and_covers_all_figures() {
+        let base = parse_metrics(COMMITTED_BASELINE).expect("baseline must parse");
+        for prefix in [
+            "fig7a/", "fig7b/", "fig7c/", "fig8s1/", "fig8s2/", "fig8s3/",
+        ] {
+            assert!(
+                base.iter().any(|m| m.key.starts_with(prefix)),
+                "baseline missing {prefix} metrics"
+            );
+        }
+    }
+}

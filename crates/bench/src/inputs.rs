@@ -43,7 +43,10 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(feature_map(1, 32, 8, 8, 7).data(), feature_map(1, 32, 8, 8, 7).data());
+        assert_eq!(
+            feature_map(1, 32, 8, 8, 7).data(),
+            feature_map(1, 32, 8, 8, 7).data()
+        );
         assert_eq!(plane(1, 8, 8, 7).data(), plane(1, 8, 8, 7).data());
         assert_ne!(plane(1, 8, 8, 7).data(), plane(1, 8, 8, 8).data());
     }

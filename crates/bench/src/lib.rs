@@ -19,7 +19,9 @@
 //! | E10 | Cube-Unit convolution substrate | [`experiments::conv_substrate`] |
 
 pub mod experiments;
+pub mod gate;
 pub mod inputs;
+pub mod json;
 pub mod plot;
 pub mod report;
 

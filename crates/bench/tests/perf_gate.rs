@@ -1,0 +1,54 @@
+//! The enforcing performance-regression gate: replays the Fig. 7 and
+//! Fig. 8 workloads, writes `BENCH_pooling.json` at the workspace root,
+//! and fails if any tracked cycle count regressed more than the
+//! tolerance against the committed baseline
+//! (`crates/bench/baselines/pooling.json`).
+//!
+//! If this test fails after an *intentional* cost-model or lowering
+//! change, regenerate the baseline with
+//! `cargo run --release -p dv-bench --bin repro -- gate` and commit it.
+
+use dv_bench::gate;
+use std::path::Path;
+
+#[test]
+fn perf_gate_no_regressions_vs_committed_baseline() {
+    match gate::run() {
+        Ok(doc) => {
+            let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..");
+            let path = root.join("BENCH_pooling.json");
+            std::fs::write(&path, &doc).expect("write BENCH_pooling.json");
+
+            // The emitted document must itself be well-formed and carry
+            // the per-shape speedups.
+            let metrics = gate::parse_metrics(&doc).expect("emitted JSON parses");
+            assert_eq!(
+                metrics.len(),
+                gate::parse_metrics(gate::COMMITTED_BASELINE)
+                    .expect("baseline parses")
+                    .len(),
+                "metric set drifted from the committed baseline"
+            );
+            for m in &metrics {
+                assert!(m.speedup() > 0.0, "{}: degenerate speedup", m.key);
+            }
+            let parsed = dv_bench::json::parse(&doc).unwrap();
+            assert!(
+                parsed
+                    .get("metrics")
+                    .and_then(|a| a.as_arr())
+                    .and_then(|a| a.first())
+                    .and_then(|m| m.get("vs_baseline_standard"))
+                    .is_some(),
+                "BENCH_pooling.json must report speedup vs the baseline"
+            );
+        }
+        Err(regressions) => panic!(
+            "performance regressions vs the committed baseline:\n  {}\n\
+             (if intentional, regenerate with `cargo run --release -p dv-bench --bin repro -- gate`)",
+            regressions.join("\n  ")
+        ),
+    }
+}

@@ -103,7 +103,7 @@ mod tests {
         assert_eq!(data[0].to_f32(), 0.0); // m=0, c=0, (0,0)
         assert_eq!(data[1].to_f32(), 1000.0); // m=1
         assert_eq!(data[16].to_f32(), 100.0); // c=1, m=0
-        // channel padding rows are zero
+                                              // channel padding rows are zero
         assert_eq!(data[5 * 16], F16::ZERO);
         // kernel padding columns are zero
         assert_eq!(data[3], F16::ZERO);
@@ -121,7 +121,7 @@ mod tests {
         let (fzt, m_fr, k_fr_t) = kernels_to_fracz_t(&kernels, &params);
         assert_eq!(k_fr, k_fr_t);
         assert_eq!(n_fr, m_fr); // M = 20 -> 2 fractals either way
-        // element (k, m) of W equals element (m, k) of W^T
+                                // element (k, m) of W equals element (m, k) of W^T
         for kf in 0..k_fr {
             for nf in 0..n_fr {
                 for r in 0..16 {

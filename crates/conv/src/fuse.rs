@@ -78,7 +78,9 @@ mod tests {
     fn fused_equals_composition() {
         let (c, m, k, p) = (5, 3, 3, 2);
         let (ih, iw) = (11, 13);
-        let weights = Nchw::from_fn(m, c, k, k, |mi, ci, h, w| det(1, mi * 100 + ci * 10 + h * 3 + w));
+        let weights = Nchw::from_fn(m, c, k, k, |mi, ci, h, w| {
+            det(1, mi * 100 + ci * 10 + h * 3 + w)
+        });
         let input = Nchw::from_fn(1, c, ih, iw, |_, ci, h, w| det(2, ci * 200 + h * 15 + w));
         let conv_params = PoolParams::new((k, k), (1, 1));
 

@@ -266,9 +266,7 @@ pub fn build_conv2d(
                     &mut p,
                     Addr::ub(j * pl.mt * FRACTAL_BYTES),
                     Addr::gm(
-                        gm_out
-                            + j * pl.m_fr * FRACTAL_BYTES
-                            + (band.oh0 * pl.ow + t * E) * C0 * 2,
+                        gm_out + j * pl.m_fr * FRACTAL_BYTES + (band.oh0 * pl.ow + t * E) * C0 * 2,
                     ),
                     valid_bytes,
                 )?;
@@ -495,8 +493,7 @@ pub fn run_conv2d(
     let mut image = vec![0u8; gm.size()];
     image[gm_in..gm_in + fractal_in.byte_len()]
         .copy_from_slice(dv_fp16::as_bytes(fractal_in.data()));
-    image[gm_weights..gm_weights + weights.len() * 2]
-        .copy_from_slice(dv_fp16::as_bytes(&weights));
+    image[gm_weights..gm_weights + weights.len() * 2].copy_from_slice(dv_fp16::as_bytes(&weights));
     let run = chip.run(&mut image, &[program])?;
 
     // Deserialize: plane j holds patches-major (oh, ow) x 16 output

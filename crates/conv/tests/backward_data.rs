@@ -18,8 +18,15 @@ fn det_kernels(m: usize, c: usize, kh: usize, kw: usize, seed: usize) -> Nchw {
     })
 }
 
-fn check(m: usize, c: usize, kernel: (usize, usize), stride: (usize, usize),
-         ih: usize, iw: usize, what: &str) {
+fn check(
+    m: usize,
+    c: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    ih: usize,
+    iw: usize,
+    what: &str,
+) {
     let params = PoolParams::new(kernel, stride);
     let (oh, ow) = params.out_dims(ih, iw).unwrap();
     let grads = det_grads(m, oh, ow, 1);
@@ -35,7 +42,10 @@ fn check(m: usize, c: usize, kernel: (usize, usize), stride: (usize, usize),
         assert_eq!(g.to_bits(), w.to_bits(), "{what}: element {i}");
     }
     assert!(run.total.issues_of("col2im") > 0, "{what}: used Col2Im");
-    assert!(run.total.issues_of("cube_mmad") > 0, "{what}: used the Cube");
+    assert!(
+        run.total.issues_of("cube_mmad") > 0,
+        "{what}: used the Cube"
+    );
 }
 
 #[test]

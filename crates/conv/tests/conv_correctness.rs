@@ -32,7 +32,10 @@ fn check(input: &Nchw, kernels: &Nchw, params: &PoolParams, what: &str) {
     for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
         assert_eq!(g.to_bits(), w.to_bits(), "{what}: element {i}");
     }
-    assert!(run.total.issues_of("cube_mmad") > 0, "{what}: used the Cube");
+    assert!(
+        run.total.issues_of("cube_mmad") > 0,
+        "{what}: used the Cube"
+    );
     assert!(run.total.issues_of("im2col") > 0, "{what}: used Im2Col");
 }
 
@@ -47,7 +50,12 @@ fn conv_3x3_stride1_single_channel_group() {
 fn conv_3x3_stride2_multi_c1() {
     let input = det_input(40, 12, 12, 3);
     let kernels = det_kernels(8, 40, 3, 3, 4);
-    check(&input, &kernels, &PoolParams::new((3, 3), (2, 2)), "3x3 s2 c40");
+    check(
+        &input,
+        &kernels,
+        &PoolParams::new((3, 3), (2, 2)),
+        "3x3 s2 c40",
+    );
 }
 
 #[test]
@@ -69,7 +77,12 @@ fn conv_with_padding() {
 fn conv_asymmetric_kernel() {
     let input = det_input(16, 9, 11, 9);
     let kernels = det_kernels(4, 16, 2, 3, 10);
-    check(&input, &kernels, &PoolParams::new((2, 3), (2, 1)), "2x3 kernel");
+    check(
+        &input,
+        &kernels,
+        &PoolParams::new((2, 3), (2, 1)),
+        "2x3 kernel",
+    );
 }
 
 #[test]
@@ -89,7 +102,12 @@ fn conv_large_reduction_k_tiling() {
     // accumulate-over-K-chunks path.
     let input = det_input(128, 10, 10, 21);
     let kernels = det_kernels(32, 128, 3, 3, 22);
-    check(&input, &kernels, &PoolParams::new((3, 3), (1, 1)), "k-tiled");
+    check(
+        &input,
+        &kernels,
+        &PoolParams::new((3, 3), (1, 1)),
+        "k-tiled",
+    );
 }
 
 #[test]
@@ -101,7 +119,12 @@ fn conv_large_image_l1_banding() {
     // band path.
     let input = det_input(64, 112, 112, 31);
     let kernels = det_kernels(8, 64, 3, 3, 32);
-    check(&input, &kernels, &PoolParams::new((3, 3), (2, 2)), "112x112 banded");
+    check(
+        &input,
+        &kernels,
+        &PoolParams::new((3, 3), (2, 2)),
+        "112x112 banded",
+    );
 }
 
 #[test]
@@ -109,7 +132,12 @@ fn conv_large_image_stride1_banded() {
     // stride 1 bands overlap by Kh - 1 input rows
     let input = det_input(32, 96, 40, 33);
     let kernels = det_kernels(16, 32, 3, 3, 34);
-    check(&input, &kernels, &PoolParams::new((3, 3), (1, 1)), "96x40 banded s1");
+    check(
+        &input,
+        &kernels,
+        &PoolParams::new((3, 3), (1, 1)),
+        "96x40 banded s1",
+    );
 }
 
 #[test]

@@ -122,8 +122,21 @@ pub fn build_backward(
         for (bi, band) in bands.iter().enumerate() {
             let last = bi + 1 == bands.len();
             emit_backward_band(
-                &mut p, prob, merge, source, grad_base, dx_base, band, prev.as_ref(),
-                last, alloc_rows, padded, (n, c1), ub_grad, ub_mg, ub_dx,
+                &mut p,
+                prob,
+                merge,
+                source,
+                grad_base,
+                dx_base,
+                band,
+                prev.as_ref(),
+                last,
+                alloc_rows,
+                padded,
+                (n, c1),
+                ub_grad,
+                ub_mg,
+                ub_dx,
             )?;
             prev = Some(*band);
         }
@@ -199,9 +212,8 @@ fn emit_backward_band(
                 for kw in 0..params.kw {
                     let idx = kh * params.kw + kw;
                     let mplane = ub_mg.add(idx * padded);
-                    let plane_gm = gm_mask
-                        + prob.mask_plane_offset(n, c1, kh, kw)
-                        + band.oh0 * ow * ROW;
+                    let plane_gm =
+                        gm_mask + prob.mask_plane_offset(n, c1, kh, kw) + band.oh0 * ow * ROW;
                     dma(p, Addr::gm(plane_gm), mplane, boh * ow * ROW)?;
                     elementwise(p, VectorOp::Mul, mplane, mplane, ub_grad, valid)?;
                 }
@@ -210,7 +222,14 @@ fn emit_backward_band(
         BackwardSource::AvgUniform { scale } => {
             for idx in 0..planes {
                 let mplane = ub_mg.add(idx * padded);
-                elementwise(p, VectorOp::MulScalar(scale), mplane, ub_grad, ub_grad, valid)?;
+                elementwise(
+                    p,
+                    VectorOp::MulScalar(scale),
+                    mplane,
+                    ub_grad,
+                    ub_grad,
+                    valid,
+                )?;
             }
         }
     }
@@ -230,8 +249,8 @@ fn emit_backward_band(
             },
         )
     };
-    let geom = Im2ColGeometry::new(band.ih_len, prob.iw, 1, band_params)
-        .map_err(LowerError::Isa)?;
+    let geom =
+        Im2ColGeometry::new(band.ih_len, prob.iw, 1, band_params).map_err(LowerError::Isa)?;
     debug_assert_eq!(geom.out_dims(), (boh, ow));
 
     // --- merge step.

@@ -204,12 +204,28 @@ fn build_forward_inner(
             for band in group {
                 match impl_ {
                     ForwardImpl::Standard => emit_standard_band(
-                        &mut p, prob, reduction, in_base, out_base, band, boh, gm_mask,
-                        (n, c1), caps,
+                        &mut p,
+                        prob,
+                        reduction,
+                        in_base,
+                        out_base,
+                        band,
+                        boh,
+                        gm_mask,
+                        (n, c1),
+                        caps,
                     )?,
                     ForwardImpl::Im2col => emit_im2col_band(
-                        &mut p, prob, reduction, in_base, out_base, band, boh, gm_mask,
-                        (n, c1), caps,
+                        &mut p,
+                        prob,
+                        reduction,
+                        in_base,
+                        out_base,
+                        band,
+                        boh,
+                        gm_mask,
+                        (n, c1),
+                        caps,
                     )?,
                     ForwardImpl::Expansion => emit_expansion_band(
                         &mut p, prob, reduction, in_base, out_base, band, boh, caps,
@@ -269,11 +285,7 @@ fn plan_band(
 
 /// The Fig. 8 *tiling threshold*: the largest square input `H = W` one
 /// band can process for this implementation (N = C1 = 1).
-pub fn tiling_threshold(
-    params: &PoolParams,
-    impl_: ForwardImpl,
-    caps: Capacities,
-) -> usize {
+pub fn tiling_threshold(params: &PoolParams, impl_: ForwardImpl, caps: Capacities) -> usize {
     dv_akg::tiling_threshold(caps.ub, 4096, |hw| {
         match PoolProblem::new(1, 1, hw.max(params.kh), hw.max(params.kw), *params) {
             Ok(p) => {
@@ -370,8 +382,8 @@ fn emit_standard_band(
             for ow_i in 0..ow {
                 for kh in 0..params.kh {
                     let dst = ub_out.add((oh_r * ow + ow_i) * ROW);
-                    let src = ub_in
-                        .add(((oh_r * params.sh + kh) * prob.iw + ow_i * params.sw) * ROW);
+                    let src =
+                        ub_in.add(((oh_r * params.sh + kh) * prob.iw + ow_i * params.sw) * ROW);
                     strided_accumulate(
                         p,
                         reduction.op(),
@@ -421,9 +433,8 @@ fn emit_standard_band(
         }
         for kh in 0..params.kh {
             for kw in 0..params.kw {
-                let plane_gm = mask_base
-                    + prob.mask_plane_offset(n, c1, kh, kw)
-                    + band.oh0 * ow * ROW;
+                let plane_gm =
+                    mask_base + prob.mask_plane_offset(n, c1, kh, kw) + band.oh0 * ow * ROW;
                 dma(
                     p,
                     ub_mask.add((kh * params.kw + kw) * padded),
@@ -522,8 +533,8 @@ fn emit_im2col_band(
             },
         )
     };
-    let geom = Im2ColGeometry::new(band.ih_len, prob.iw, 1, band_params)
-        .map_err(LowerError::Isa)?;
+    let geom =
+        Im2ColGeometry::new(band.ih_len, prob.iw, 1, band_params).map_err(LowerError::Isa)?;
     debug_assert_eq!(geom.out_dims(), (boh, ow));
 
     // Stage the input band in L1 and issue the SCU loads.
@@ -582,9 +593,8 @@ fn emit_im2col_band(
         }
         for kh in 0..params.kh {
             for kw in 0..params.kw {
-                let plane_gm = mask_base
-                    + prob.mask_plane_offset(n, c1, kh, kw)
-                    + band.oh0 * ow * ROW;
+                let plane_gm =
+                    mask_base + prob.mask_plane_offset(n, c1, kh, kw) + band.oh0 * ow * ROW;
                 dma(
                     p,
                     ub_mask.add((kh * params.kw + kw) * padded),

@@ -88,6 +88,15 @@ impl PoolingEngine {
         self
     }
 
+    /// The same engine with per-instruction tracing configured on its
+    /// chip: every returned [`PoolRun`] then carries a [`dv_sim::Trace`]
+    /// per core, exportable via [`ChipRun::chrome_trace_json`] and
+    /// summarisable via [`ChipRun::breakdown`].
+    pub fn with_trace(mut self, trace: dv_sim::TraceConfig) -> PoolingEngine {
+        self.chip = self.chip.with_trace(trace);
+        self
+    }
+
     fn parallel(&self) -> usize {
         if self.split_bands {
             self.chip.cores

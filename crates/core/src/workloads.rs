@@ -37,7 +37,9 @@ impl CnnWorkload {
 
     /// Output extents.
     pub fn out_dims(&self) -> (usize, usize) {
-        self.params.out_dims(self.h, self.w).expect("table shapes are valid")
+        self.params
+            .out_dims(self.h, self.w)
+            .expect("table shapes are valid")
     }
 }
 
@@ -148,13 +150,16 @@ mod tests {
         let t = table1_workloads();
         let inception1 = &t[0];
         assert_eq!(inception1.c1(), 4); // 64 / 16
-        let xception3 = t.iter().find(|w| w.cnn == "Xception" && w.input_idx == 3).unwrap();
+        let xception3 = t
+            .iter()
+            .find(|w| w.cnn == "Xception" && w.input_idx == 3)
+            .unwrap();
         assert_eq!(xception3.c1(), 46); // ceil(728 / 16)
         assert_eq!(xception3.out_dims(), (18, 18));
     }
 
     #[test]
-    fn vgg_uses_2x2_nonoverlapping(){
+    fn vgg_uses_2x2_nonoverlapping() {
         let t = table1_workloads();
         let vgg = t.iter().find(|w| w.cnn == "VGG16").unwrap();
         assert!(!vgg.params.patches_overlap());

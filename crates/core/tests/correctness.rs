@@ -54,7 +54,11 @@ fn assert_tensors_eq(got: &Nc1hwc0, want: &Nc1hwc0, what: &str) {
         "{what}: shape"
     );
     for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
-        assert_eq!(g.to_bits(), w.to_bits(), "{what}: element {i}: {g:?} != {w:?}");
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: element {i}: {g:?} != {w:?}"
+        );
     }
 }
 
@@ -181,8 +185,7 @@ fn maxpool_argmax_both_impls() {
         *v = F16::from_f32((v.to_f32() / 2.0).round());
     }
     let params = PoolParams::K3S2;
-    let (want_out, want_mask) =
-        reference::maxpool_forward_with_argmax(&input, &params).unwrap();
+    let (want_out, want_mask) = reference::maxpool_forward_with_argmax(&input, &params).unwrap();
     let eng = engine();
     for impl_ in [ForwardImpl::Standard, ForwardImpl::Im2col] {
         let (out, mask, _) = eng
@@ -309,7 +312,11 @@ fn avgpool_forward_standard_and_im2col() {
     for params in [PoolParams::K3S2, PoolParams::K2S2] {
         let want = reference::avgpool_forward(&input, &params).unwrap();
         let eng = engine();
-        for impl_ in [ForwardImpl::Standard, ForwardImpl::Im2col, ForwardImpl::Expansion] {
+        for impl_ in [
+            ForwardImpl::Standard,
+            ForwardImpl::Im2col,
+            ForwardImpl::Expansion,
+        ] {
             let (got, _) = eng.avgpool_forward(&input, params, impl_).unwrap();
             assert_tensors_eq(&got, &want, &format!("avg {impl_:?} {params:?}"));
         }
@@ -324,9 +331,7 @@ fn avgpool_backward_both_merges() {
     let want = reference::avgpool_backward(&grads, &params, 21, 21).unwrap();
     let eng = engine();
     for merge in [MergeImpl::VAdd, MergeImpl::Col2Im] {
-        let (got, _) = eng
-            .avgpool_backward(&grads, params, 21, 21, merge)
-            .unwrap();
+        let (got, _) = eng.avgpool_backward(&grads, params, 21, 21, merge).unwrap();
         assert_tensors_eq(&got, &want, &format!("avg {merge:?} backward"));
     }
 }
@@ -366,8 +371,12 @@ fn im2col_beats_standard_at_stride_2_and_loses_at_stride_1() {
     let input = test_input(1, 1, 48, 48, 23);
 
     let s2 = PoolParams::new((3, 3), (2, 2));
-    let (_, std_run) = eng.maxpool_forward(&input, s2, ForwardImpl::Standard).unwrap();
-    let (_, im_run) = eng.maxpool_forward(&input, s2, ForwardImpl::Im2col).unwrap();
+    let (_, std_run) = eng
+        .maxpool_forward(&input, s2, ForwardImpl::Standard)
+        .unwrap();
+    let (_, im_run) = eng
+        .maxpool_forward(&input, s2, ForwardImpl::Im2col)
+        .unwrap();
     assert!(
         im_run.cycles < std_run.cycles,
         "stride 2: im2col ({}) must beat standard ({})",
@@ -376,8 +385,12 @@ fn im2col_beats_standard_at_stride_2_and_loses_at_stride_1() {
     );
 
     let s1 = PoolParams::new((3, 3), (1, 1));
-    let (_, std_run1) = eng.maxpool_forward(&input, s1, ForwardImpl::Standard).unwrap();
-    let (_, im_run1) = eng.maxpool_forward(&input, s1, ForwardImpl::Im2col).unwrap();
+    let (_, std_run1) = eng
+        .maxpool_forward(&input, s1, ForwardImpl::Standard)
+        .unwrap();
+    let (_, im_run1) = eng
+        .maxpool_forward(&input, s1, ForwardImpl::Im2col)
+        .unwrap();
     assert!(
         std_run1.cycles < im_run1.cycles,
         "stride 1: standard ({}) must beat im2col ({})",
@@ -439,14 +452,18 @@ fn issue_counts_match_paper_formulas() {
     let (oh, ow) = params.out_dims(21, 21).unwrap();
     let eng = PoolingEngine::new(Chip::new(1, CostModel::ascend910_like()));
 
-    let (_, std_run) = eng.maxpool_forward(&input, params, ForwardImpl::Standard).unwrap();
+    let (_, std_run) = eng
+        .maxpool_forward(&input, params, ForwardImpl::Standard)
+        .unwrap();
     assert_eq!(
         std_run.total.issues_of("vmax"),
         (oh * ow * params.kh) as u64,
         "standard vmax issues"
     );
 
-    let (_, im_run) = eng.maxpool_forward(&input, params, ForwardImpl::Im2col).unwrap();
+    let (_, im_run) = eng
+        .maxpool_forward(&input, params, ForwardImpl::Im2col)
+        .unwrap();
     // single band, patches = 100 -> 7 fractals -> 14 repeats, one issue
     // per (kh, kw) plane
     assert_eq!(
@@ -486,8 +503,12 @@ fn vector_utilization_reflects_mask_saturation() {
     let input = test_input(1, 1, 33, 33, 35);
     let params = PoolParams::K3S2;
     let eng = PoolingEngine::new(Chip::new(1, CostModel::ascend910_like()));
-    let (_, std_run) = eng.maxpool_forward(&input, params, ForwardImpl::Standard).unwrap();
-    let (_, im_run) = eng.maxpool_forward(&input, params, ForwardImpl::Im2col).unwrap();
+    let (_, std_run) = eng
+        .maxpool_forward(&input, params, ForwardImpl::Standard)
+        .unwrap();
+    let (_, im_run) = eng
+        .maxpool_forward(&input, params, ForwardImpl::Im2col)
+        .unwrap();
     // The standard lowering can only enable the 16 C0 lanes; the im2col
     // lowering saturates.
     assert!(
@@ -525,8 +546,7 @@ fn maxpool_backward_with_padding_single_band() {
 fn argmax_im2col_with_padding() {
     let params = PoolParams::with_padding((3, 3), (2, 2), Padding::uniform(1));
     let input = test_input(1, 1, 11, 11, 42);
-    let (want_out, want_mask) =
-        reference::maxpool_forward_with_argmax(&input, &params).unwrap();
+    let (want_out, want_mask) = reference::maxpool_forward_with_argmax(&input, &params).unwrap();
     let eng = engine();
     let (out, mask, _) = eng
         .maxpool_forward_with_argmax(&input, params, ForwardImpl::Im2col)

@@ -281,7 +281,11 @@ pub fn as_bytes(slice: &[F16]) -> &[u8] {
 /// Reinterpret raw bytes as a slice of `F16`. Panics if the byte slice is
 /// misaligned or has odd length.
 pub fn from_bytes(bytes: &[u8]) -> &[F16] {
-    assert!(bytes.len().is_multiple_of(2), "odd byte length {}", bytes.len());
+    assert!(
+        bytes.len().is_multiple_of(2),
+        "odd byte length {}",
+        bytes.len()
+    );
     assert!(
         (bytes.as_ptr() as usize).is_multiple_of(core::mem::align_of::<F16>()),
         "misaligned f16 byte slice"

@@ -109,7 +109,13 @@ mod tests {
     #[test]
     fn privacy_classification() {
         assert!(!BufferId::Gm.is_private());
-        for b in [BufferId::L1, BufferId::L0A, BufferId::L0B, BufferId::L0C, BufferId::Ub] {
+        for b in [
+            BufferId::L1,
+            BufferId::L0A,
+            BufferId::L0B,
+            BufferId::L0C,
+            BufferId::Ub,
+        ] {
             assert!(b.is_private(), "{b} should be private");
         }
     }

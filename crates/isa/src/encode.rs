@@ -388,8 +388,7 @@ mod tests {
         let mut p = Program::new();
         p.push(Instr::Move(DataMove::new(Addr::gm(128), Addr::l1(0), 1024)))
             .unwrap();
-        let geom =
-            Im2ColGeometry::new(12, 12, 2, PoolParams::new((3, 3), (2, 2))).unwrap();
+        let geom = Im2ColGeometry::new(12, 12, 2, PoolParams::new((3, 3), (2, 2))).unwrap();
         p.push(Instr::Im2Col(Im2Col {
             geom,
             src: Addr::l1(0),

@@ -30,6 +30,7 @@ pub mod mask;
 pub mod mte;
 pub mod program;
 pub mod scu;
+pub mod unit;
 pub mod vector;
 
 pub use addr::{Addr, BufferId};
@@ -40,6 +41,7 @@ pub use mask::Mask;
 pub use mte::DataMove;
 pub use program::{Instr, IsaError, Program};
 pub use scu::{Col2Im, Im2Col, Im2ColGeometry, RepeatMode};
+pub use unit::Unit;
 pub use vector::{VectorInstr, VectorOp};
 
 /// Number of f16 lanes one vector iteration processes (256 bytes).

@@ -30,9 +30,7 @@ impl Mask {
 
     /// The first 16 lanes — one C0 channel group, the mask of the
     /// baseline strided kernels.
-    pub const C0_ONLY: Mask = Mask {
-        bits: [0xFFFF, 0],
-    };
+    pub const C0_ONLY: Mask = Mask { bits: [0xFFFF, 0] };
 
     /// Enable the first `n` lanes (`n <= 128`).
     pub fn first_n(n: usize) -> Mask {

@@ -39,7 +39,11 @@ impl fmt::Display for IsaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IsaError::BadRepeat(r) => write!(f, "repeat {r} out of range 1..=255"),
-            IsaError::IllegalDatapath { instr, buffer, role } => {
+            IsaError::IllegalDatapath {
+                instr,
+                buffer,
+                role,
+            } => {
                 write!(f, "{instr}: operand {role} cannot use buffer {buffer}")
             }
             IsaError::BadPosition(msg) => write!(f, "bad positional parameter: {msg}"),

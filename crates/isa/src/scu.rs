@@ -69,9 +69,7 @@ impl Im2ColGeometry {
     /// Construct and validate the geometry (Equation 1 must be
     /// satisfiable).
     pub fn new(ih: usize, iw: usize, c1_len: usize, params: PoolParams) -> Result<Self, IsaError> {
-        params
-            .out_dims(ih, iw)
-            .map_err(IsaError::Shape)?;
+        params.out_dims(ih, iw).map_err(IsaError::Shape)?;
         if c1_len == 0 {
             return Err(IsaError::Shape(dv_tensor::ShapeError::Mismatch(
                 "c1_len must be nonzero".into(),
@@ -154,12 +152,7 @@ impl Im2ColGeometry {
     /// element at kernel offset `(xk, yk)`, or `None` when it falls into
     /// the padding border. Patch indices at or beyond
     /// [`Self::patch_count`] also resolve to `None` (zero-fill slots).
-    pub fn element_coord(
-        &self,
-        patch: usize,
-        xk: usize,
-        yk: usize,
-    ) -> Option<(usize, usize)> {
+    pub fn element_coord(&self, patch: usize, xk: usize, yk: usize) -> Option<(usize, usize)> {
         let (oh, ow) = self.out_dims();
         if patch >= oh * ow {
             return None;
@@ -211,7 +204,10 @@ impl Im2Col {
                 role: "src",
             });
         }
-        if !matches!(self.dst.buffer, BufferId::L0A | BufferId::L0B | BufferId::Ub) {
+        if !matches!(
+            self.dst.buffer,
+            BufferId::L0A | BufferId::L0B | BufferId::Ub
+        ) {
             return Err(IsaError::IllegalDatapath {
                 instr: "im2col",
                 buffer: self.dst.buffer,
@@ -490,14 +486,22 @@ mod tests {
         i.src = Addr::gm(0);
         assert!(matches!(
             i.validate(),
-            Err(IsaError::IllegalDatapath { instr: "im2col", role: "src", .. })
+            Err(IsaError::IllegalDatapath {
+                instr: "im2col",
+                role: "src",
+                ..
+            })
         ));
 
         let mut i = fig5_im2col(RepeatMode::Mode1, 1);
         i.dst = Addr::new(BufferId::L0C, 0);
         assert!(matches!(
             i.validate(),
-            Err(IsaError::IllegalDatapath { instr: "im2col", role: "dst", .. })
+            Err(IsaError::IllegalDatapath {
+                instr: "im2col",
+                role: "dst",
+                ..
+            })
         ));
     }
 
@@ -519,7 +523,10 @@ mod tests {
         bad.src = Addr::l1(0); // Col2Im is UB -> UB only (path 8 -> 8)
         assert!(matches!(
             bad.validate(),
-            Err(IsaError::IllegalDatapath { instr: "col2im", .. })
+            Err(IsaError::IllegalDatapath {
+                instr: "col2im",
+                ..
+            })
         ));
 
         let mut bad = ok;

@@ -1,0 +1,80 @@
+//! Stable functional-unit metadata.
+//!
+//! Every instruction executes on exactly one of the AI Core's functional
+//! units (paper, Section III-A). The mapping is *architectural* — it is
+//! part of the ISA, not of any particular simulator — so it lives here
+//! and is consumed by the simulator's counters, the trace recorder, and
+//! the benchmark reports, all of which must agree on it.
+
+use crate::program::Instr;
+
+/// The functional unit an instruction executes on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Unit {
+    /// Vector Unit (`vmax`/`vadd`/`vmul`/… and, architecturally, `Col2Im`:
+    /// "acts as a vector instruction", Section III-D).
+    Vector,
+    /// Storage Conversion Unit (`Im2Col`'s on-the-fly layout transform).
+    Scu,
+    /// Memory Transfer Engine (plain data moves).
+    Mte,
+    /// Cube Unit (fractal matrix multiply).
+    Cube,
+}
+
+impl Unit {
+    /// All units, in display order.
+    pub const ALL: [Unit; 4] = [Unit::Vector, Unit::Scu, Unit::Mte, Unit::Cube];
+
+    /// Stable lowercase name used in traces and reports.
+    pub const fn name(&self) -> &'static str {
+        match self {
+            Unit::Vector => "vector",
+            Unit::Scu => "scu",
+            Unit::Mte => "mte",
+            Unit::Cube => "cube",
+        }
+    }
+}
+
+impl core::fmt::Display for Unit {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Instr {
+    /// The functional unit this instruction executes on.
+    pub const fn unit(&self) -> Unit {
+        match self {
+            Instr::Vector(_) => Unit::Vector,
+            Instr::Im2Col(_) => Unit::Scu,
+            // Architecturally Col2Im "acts as a vector instruction"
+            // (Section III-D); its cycles belong to the Vector Unit.
+            Instr::Col2Im(_) => Unit::Vector,
+            Instr::Move(_) => Unit::Mte,
+            Instr::Cube(_) => Unit::Cube,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::mte::DataMove;
+
+    #[test]
+    fn move_is_mte() {
+        let i = Instr::Move(DataMove::new(Addr::gm(0), Addr::l1(0), 32));
+        assert_eq!(i.unit(), Unit::Mte);
+        assert_eq!(i.unit().name(), "mte");
+        assert_eq!(i.unit().to_string(), "mte");
+    }
+
+    #[test]
+    fn all_units_have_distinct_names() {
+        let names: std::collections::BTreeSet<_> = Unit::ALL.iter().map(|u| u.name()).collect();
+        assert_eq!(names.len(), Unit::ALL.len());
+    }
+}

@@ -57,7 +57,12 @@ impl VectorOp {
     pub const fn has_src1(self) -> bool {
         matches!(
             self,
-            VectorOp::Max | VectorOp::Min | VectorOp::Add | VectorOp::Sub | VectorOp::Mul | VectorOp::CmpEq
+            VectorOp::Max
+                | VectorOp::Min
+                | VectorOp::Add
+                | VectorOp::Sub
+                | VectorOp::Mul
+                | VectorOp::CmpEq
         )
     }
 
@@ -94,7 +99,14 @@ pub struct VectorInstr {
 impl VectorInstr {
     /// A unit-stride instruction: all operands advance by one full vector
     /// (256 bytes) per repeat — the common case for saturated kernels.
-    pub fn unit_stride(op: VectorOp, dst: Addr, src0: Addr, src1: Addr, mask: Mask, repeat: u16) -> VectorInstr {
+    pub fn unit_stride(
+        op: VectorOp,
+        dst: Addr,
+        src0: Addr,
+        src1: Addr,
+        mask: Mask,
+        repeat: u16,
+    ) -> VectorInstr {
         VectorInstr {
             op,
             dst,
@@ -165,10 +177,16 @@ mod tests {
     fn validate_rejects_non_ub() {
         let mut i = v(VectorOp::Add);
         i.src1 = Addr::l1(0);
-        assert!(matches!(i.validate(), Err(IsaError::IllegalDatapath { role: "src1", .. })));
+        assert!(matches!(
+            i.validate(),
+            Err(IsaError::IllegalDatapath { role: "src1", .. })
+        ));
         let mut j = v(VectorOp::Add);
         j.dst = Addr::gm(0);
-        assert!(matches!(j.validate(), Err(IsaError::IllegalDatapath { role: "dst", .. })));
+        assert!(matches!(
+            j.validate(),
+            Err(IsaError::IllegalDatapath { role: "dst", .. })
+        ));
     }
 
     #[test]

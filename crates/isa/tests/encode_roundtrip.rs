@@ -57,32 +57,35 @@ fn arb_scu() -> impl Strategy<Value = Instr> {
         1usize..=2,
         any::<bool>(),
     )
-        .prop_filter_map("valid geometry", |(kh, kw, sh, sw, ih, iw, c1_len, col2im)| {
-            let params = PoolParams::new((kh, kw), (sh, sw));
-            let geom = Im2ColGeometry::new(ih, iw, c1_len, params).ok()?;
-            if col2im {
-                Some(Instr::Col2Im(Col2Im {
-                    geom,
-                    src: Addr::ub(0),
-                    dst: Addr::ub(8192),
-                    first_patch: 0,
-                    k_off: (kh - 1, 0),
-                    c1: c1_len - 1,
-                    repeat: 1,
-                }))
-            } else {
-                Some(Instr::Im2Col(Im2Col {
-                    geom,
-                    src: Addr::l1(0),
-                    dst: Addr::ub(0),
-                    first_patch: 0,
-                    k_off: (0, kw - 1),
-                    c1: 0,
-                    repeat: 1,
-                    mode: RepeatMode::Mode1,
-                }))
-            }
-        })
+        .prop_filter_map(
+            "valid geometry",
+            |(kh, kw, sh, sw, ih, iw, c1_len, col2im)| {
+                let params = PoolParams::new((kh, kw), (sh, sw));
+                let geom = Im2ColGeometry::new(ih, iw, c1_len, params).ok()?;
+                if col2im {
+                    Some(Instr::Col2Im(Col2Im {
+                        geom,
+                        src: Addr::ub(0),
+                        dst: Addr::ub(8192),
+                        first_patch: 0,
+                        k_off: (kh - 1, 0),
+                        c1: c1_len - 1,
+                        repeat: 1,
+                    }))
+                } else {
+                    Some(Instr::Im2Col(Im2Col {
+                        geom,
+                        src: Addr::l1(0),
+                        dst: Addr::ub(0),
+                        first_patch: 0,
+                        k_off: (0, kw - 1),
+                        c1: 0,
+                        repeat: 1,
+                        mode: RepeatMode::Mode1,
+                    }))
+                }
+            },
+        )
 }
 
 fn arb_other() -> impl Strategy<Value = Instr> {

@@ -183,7 +183,13 @@ impl NetRun {
                 l.cycles
             );
         }
-        let _ = writeln!(out, "{:<36} {:>14} {:>12}", "total", "", self.total_cycles());
+        let _ = writeln!(
+            out,
+            "{:<36} {:>14} {:>12}",
+            "total",
+            "",
+            self.total_cycles()
+        );
         out
     }
 }
@@ -344,7 +350,13 @@ mod tests {
         let shapes = model.shapes((16, 14, 14)).unwrap();
         assert_eq!(
             shapes,
-            vec![(16, 14, 14), (16, 12, 12), (16, 12, 12), (16, 5, 5), (16, 1, 1)]
+            vec![
+                (16, 14, 14),
+                (16, 12, 12),
+                (16, 12, 12),
+                (16, 5, 5),
+                (16, 1, 1)
+            ]
         );
         let (out, run) = model.forward(&image(16, 14, 2)).unwrap();
         assert_eq!((out.c, out.h, out.w), *shapes.last().unwrap());
@@ -356,8 +368,10 @@ mod tests {
 
     #[test]
     fn bad_geometry_is_caught_before_running() {
-        let model = Sequential::new(engine())
-            .layer(Layer::maxpool2d(PoolParams::new((9, 9), (1, 1)), ForwardImpl::Standard));
+        let model = Sequential::new(engine()).layer(Layer::maxpool2d(
+            PoolParams::new((9, 9), (1, 1)),
+            ForwardImpl::Standard,
+        ));
         assert!(matches!(
             model.shapes((16, 4, 4)),
             Err(NnError::Shape { layer: 0, .. })
@@ -367,8 +381,7 @@ mod tests {
 
     #[test]
     fn channel_mismatch_is_caught() {
-        let model = Sequential::new(engine())
-            .layer(Layer::conv2d(weights(8, 32, 3, 4), (1, 1)));
+        let model = Sequential::new(engine()).layer(Layer::conv2d(weights(8, 32, 3, 4), (1, 1)));
         assert!(matches!(
             model.shapes((16, 10, 10)),
             Err(NnError::Shape { layer: 0, .. })

@@ -25,21 +25,21 @@ pub fn reference_forward(model: &Sequential, input: &Nchw) -> Result<Nchw, NnErr
                 y
             }
             Layer::MaxPool2d { params, .. } => {
-                let mut out = golden::maxpool_forward(&x.to_nc1hwc0(), params)
-                    .map_err(shape_err)?;
+                let mut out =
+                    golden::maxpool_forward(&x.to_nc1hwc0(), params).map_err(shape_err)?;
                 out.orig_c = x.c;
                 out.to_nchw()
             }
             Layer::AvgPool2d { params, .. } => {
-                let mut out = golden::avgpool_forward(&x.to_nc1hwc0(), params)
-                    .map_err(shape_err)?;
+                let mut out =
+                    golden::avgpool_forward(&x.to_nc1hwc0(), params).map_err(shape_err)?;
                 out.orig_c = x.c;
                 out.to_nchw()
             }
             Layer::GlobalAvgPool => {
                 let params = PoolParams::new((x.h, x.w), (1, 1));
-                let mut out = golden::avgpool_forward(&x.to_nc1hwc0(), &params)
-                    .map_err(shape_err)?;
+                let mut out =
+                    golden::avgpool_forward(&x.to_nc1hwc0(), &params).map_err(shape_err)?;
                 out.orig_c = x.c;
                 out.to_nchw()
             }

@@ -68,7 +68,10 @@ impl fmt::Display for SimError {
                 buffer,
                 offset,
                 align,
-            } => write!(f, "misaligned: {buffer}+0x{offset:x} requires align {align}"),
+            } => write!(
+                f,
+                "misaligned: {buffer}+0x{offset:x} requires align {align}"
+            ),
             SimError::Isa(e) => write!(f, "isa: {e}"),
             SimError::WrongElementType { buffer, expected } => {
                 write!(f, "{buffer} does not hold {expected} elements")
@@ -85,6 +88,60 @@ impl From<dv_isa::IsaError> for SimError {
     }
 }
 
+/// Display/iteration order of the buffers tracked by [`BufferPeaks`].
+const TRACKED: [BufferId; 6] = [
+    BufferId::Gm,
+    BufferId::L1,
+    BufferId::L0A,
+    BufferId::L0B,
+    BufferId::L0C,
+    BufferId::Ub,
+];
+
+fn peak_index(id: BufferId) -> usize {
+    match id {
+        BufferId::Gm => 0,
+        BufferId::L1 => 1,
+        BufferId::L0A => 2,
+        BufferId::L0B => 3,
+        BufferId::L0C => 4,
+        BufferId::Ub => 5,
+    }
+}
+
+/// Occupancy high-water marks: for each buffer, the highest byte offset
+/// ever written plus the write's length. Scratchpads have no allocator —
+/// the lowering layer lays data out manually — so the peak written end
+/// is the tightest capacity the kernel actually needed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BufferPeaks {
+    peaks: [usize; 6],
+}
+
+impl BufferPeaks {
+    /// Peak occupancy of one buffer in bytes (0 if never written).
+    pub fn of(&self, id: BufferId) -> usize {
+        self.peaks[peak_index(id)]
+    }
+
+    /// All `(buffer, peak_bytes)` pairs in display order.
+    pub fn iter(&self) -> impl Iterator<Item = (BufferId, usize)> + '_ {
+        TRACKED.iter().map(|&id| (id, self.of(id)))
+    }
+
+    /// Pointwise maximum with another peak set (used when merging cores).
+    pub fn merge_max(&mut self, other: &BufferPeaks) {
+        for (p, o) in self.peaks.iter_mut().zip(other.peaks) {
+            *p = (*p).max(o);
+        }
+    }
+
+    fn note(&mut self, id: BufferId, end: usize) {
+        let p = &mut self.peaks[peak_index(id)];
+        *p = (*p).max(end);
+    }
+}
+
 /// All memories reachable from one AI Core, including its view of global
 /// memory.
 #[derive(Clone, Debug)]
@@ -95,6 +152,7 @@ pub struct BufferSet {
     l0b: Vec<u8>,
     l0c: Vec<u8>,
     ub: Vec<u8>,
+    peaks: BufferPeaks,
 }
 
 impl BufferSet {
@@ -108,7 +166,13 @@ impl BufferSet {
             l0b: vec![0; caps.l0b],
             l0c: vec![0; caps.l0c],
             ub: vec![0; caps.ub],
+            peaks: BufferPeaks::default(),
         }
+    }
+
+    /// Occupancy high-water marks accumulated over all writes so far.
+    pub fn peaks(&self) -> &BufferPeaks {
+        &self.peaks
     }
 
     /// Capacity in bytes of one buffer.
@@ -168,7 +232,10 @@ impl BufferSet {
         }
         self.check(id, offset, 2, 2)?;
         let b = self.raw(id);
-        Ok(F16::from_bits(u16::from_le_bytes([b[offset], b[offset + 1]])))
+        Ok(F16::from_bits(u16::from_le_bytes([
+            b[offset],
+            b[offset + 1],
+        ])))
     }
 
     /// Write one f16 element at a byte offset.
@@ -181,6 +248,7 @@ impl BufferSet {
         }
         self.check(id, offset, 2, 2)?;
         let bytes = v.to_bits().to_le_bytes();
+        self.peaks.note(id, offset + 2);
         let b = self.raw_mut(id);
         b[offset] = bytes[0];
         b[offset + 1] = bytes[1];
@@ -202,6 +270,7 @@ impl BufferSet {
     /// Write one f32 accumulator to L0C.
     pub fn write_f32_l0c(&mut self, offset: usize, v: f32) -> Result<(), SimError> {
         self.check(BufferId::L0C, offset, 4, 4)?;
+        self.peaks.note(BufferId::L0C, offset + 4);
         self.l0c[offset..offset + 4].copy_from_slice(&v.to_le_bytes());
         Ok(())
     }
@@ -219,6 +288,7 @@ impl BufferSet {
     ) -> Result<(), SimError> {
         self.check(src, src_off, len, 1)?;
         self.check(dst, dst_off, len, 1)?;
+        self.peaks.note(dst, dst_off + len);
         if src == dst {
             let buf = self.raw_mut(src);
             buf.copy_within(src_off..src_off + len, dst_off);
@@ -246,6 +316,7 @@ impl BufferSet {
         }
         let bytes = dv_fp16::as_bytes(data);
         self.check(id, offset, bytes.len(), 2)?;
+        self.peaks.note(id, offset + bytes.len());
         self.raw_mut(id)[offset..offset + bytes.len()].copy_from_slice(bytes);
         Ok(())
     }
@@ -327,10 +398,7 @@ mod tests {
             b.write_f16(BufferId::Ub, 127, F16::ZERO),
             Err(SimError::Misaligned { .. }) | Err(SimError::OutOfBounds { .. })
         ));
-        assert!(matches!(
-            b.write_f16(BufferId::Ub, 126, F16::ZERO),
-            Ok(())
-        ));
+        assert!(matches!(b.write_f16(BufferId::Ub, 126, F16::ZERO), Ok(())));
         assert!(matches!(
             b.copy(BufferId::Gm, 200, BufferId::L1, 0, 100),
             Err(SimError::OutOfBounds { .. })
@@ -385,6 +453,31 @@ mod tests {
         let out = b.read_f16_slice(BufferId::Ub, 2, 7).unwrap();
         let expect: Vec<F16> = (0..7).map(|i| F16::from_f32(i as f32)).collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn peaks_track_highest_written_end() {
+        let mut b = small();
+        assert_eq!(b.peaks().of(BufferId::Ub), 0);
+        b.write_f16(BufferId::Ub, 10, F16::ONE).unwrap();
+        assert_eq!(b.peaks().of(BufferId::Ub), 12);
+        b.write_f16(BufferId::Ub, 2, F16::ONE).unwrap();
+        assert_eq!(b.peaks().of(BufferId::Ub), 12, "lower writes keep the peak");
+        b.copy(BufferId::Ub, 0, BufferId::L1, 20, 8).unwrap();
+        assert_eq!(b.peaks().of(BufferId::L1), 28);
+        b.write_f32_l0c(8, 1.0).unwrap();
+        assert_eq!(b.peaks().of(BufferId::L0C), 12);
+        // Failed writes do not move the peak.
+        assert!(b.write_f16(BufferId::Ub, 1000, F16::ONE).is_err());
+        assert_eq!(b.peaks().of(BufferId::Ub), 12);
+
+        let mut other = BufferPeaks::default();
+        other.note(BufferId::Ub, 100);
+        let mut merged = *b.peaks();
+        merged.merge_max(&other);
+        assert_eq!(merged.of(BufferId::Ub), 100);
+        assert_eq!(merged.of(BufferId::L1), 28);
+        assert_eq!(merged.iter().count(), 6);
     }
 
     #[test]

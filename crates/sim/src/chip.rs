@@ -14,10 +14,11 @@
 //! Overlapping writes from different cores are a lowering bug and are
 //! detected.
 
-use crate::buffers::SimError;
+use crate::buffers::{BufferPeaks, SimError};
 use crate::core::AiCore;
 use crate::cost::{Capacities, CostModel};
 use crate::counters::HwCounters;
+use crate::trace::{Trace, TraceConfig};
 use dv_isa::{BufferId, Instr, Program};
 
 /// A simulated multi-core chip.
@@ -29,12 +30,15 @@ pub struct Chip {
     pub cost: CostModel,
     /// Scratchpad capacities per core.
     pub caps: Capacities,
+    /// Per-instruction trace recording (off by default).
+    pub trace: TraceConfig,
 }
 
 /// The result of a chip run.
 #[derive(Clone, Debug)]
 pub struct ChipRun {
-    /// Counters per physical core (index = core id), dispatch included.
+    /// Counters per physical core (index parallel to `core_cycles` and
+    /// `traces`), dispatch included.
     pub per_core: Vec<HwCounters>,
     /// Cycles per core including dispatch overhead.
     pub core_cycles: Vec<u64>,
@@ -43,6 +47,25 @@ pub struct ChipRun {
     pub cycles: u64,
     /// Sum of all counters — total work, for utilization statistics.
     pub total: HwCounters,
+    /// Per-core instruction traces (empty unless the chip's
+    /// [`TraceConfig`] enables tracing). `Trace::core` holds the physical
+    /// core id.
+    pub traces: Vec<Trace>,
+    /// Scratchpad occupancy high-water marks, max over all cores.
+    pub peaks: BufferPeaks,
+}
+
+impl ChipRun {
+    /// Export this run's traces as Chrome trace-event JSON (empty trace
+    /// list when tracing was off — the JSON is still valid).
+    pub fn chrome_trace_json(&self) -> String {
+        crate::trace::chrome_trace_json(&self.traces)
+    }
+
+    /// Per-(unit, mnemonic) cycle breakdown aggregated over all cores.
+    pub fn breakdown(&self) -> crate::trace::Breakdown {
+        crate::trace::Breakdown::from_traces(&self.traces)
+    }
 }
 
 impl Chip {
@@ -52,6 +75,7 @@ impl Chip {
             cores: 32,
             cost: CostModel::ascend910_like(),
             caps: Capacities::ASCEND910,
+            trace: TraceConfig::OFF,
         }
     }
 
@@ -62,7 +86,14 @@ impl Chip {
             cores,
             cost,
             caps: Capacities::ASCEND910,
+            trace: TraceConfig::OFF,
         }
+    }
+
+    /// The same chip with a different trace configuration.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Chip {
+        self.trace = trace;
+        self
     }
 
     /// Execute `programs` (one per tile) over the cores, reading and
@@ -70,37 +101,35 @@ impl Chip {
     pub fn run(&self, gm: &mut [u8], programs: &[Program]) -> Result<ChipRun, SimError> {
         // Recover each program's GM output ranges up front, and check
         // cross-program disjointness (a lowering invariant).
-        let out_ranges: Vec<Vec<(usize, usize)>> =
-            programs.iter().map(gm_write_ranges).collect();
+        let out_ranges: Vec<Vec<(usize, usize)>> = programs.iter().map(gm_write_ranges).collect();
         check_disjoint(&out_ranges)?;
 
         // Round-robin programs onto cores.
         let groups: Vec<Vec<usize>> = (0..self.cores)
-            .map(|c| {
-                (c..programs.len())
-                    .step_by(self.cores)
-                    .collect::<Vec<_>>()
-            })
+            .map(|c| (c..programs.len()).step_by(self.cores).collect::<Vec<_>>())
             .collect();
 
         struct CoreResult {
             counters: HwCounters,
             cycles: u64,
             writes: Vec<(usize, Vec<u8>)>,
+            trace: Trace,
+            peaks: BufferPeaks,
         }
 
         let gm_ref: &[u8] = gm;
         let results: Vec<Option<CoreResult>> = std::thread::scope(|s| {
             let handles: Vec<_> = groups
                 .iter()
-                .map(|jobs| {
+                .enumerate()
+                .map(|(core_id, jobs)| {
                     let out_ranges = &out_ranges;
                     s.spawn(move || -> Result<Option<CoreResult>, SimError> {
                         if jobs.is_empty() {
                             return Ok(None);
                         }
-                        let mut core =
-                            AiCore::with_capacities(self.cost, self.caps, gm_ref.len());
+                        let mut core = AiCore::with_capacities(self.cost, self.caps, gm_ref.len());
+                        core.set_trace(self.trace);
                         core.buffers_mut().gm_bytes_mut().copy_from_slice(gm_ref);
                         let mut dispatch = 0u64;
                         for &j in jobs {
@@ -118,10 +147,15 @@ impl Chip {
                         }
                         let counters = core.counters().clone();
                         let cycles = counters.cycles + dispatch;
+                        let peaks = *core.buffers().peaks();
+                        let mut trace = core.take_trace();
+                        trace.core = core_id;
                         Ok(Some(CoreResult {
                             counters,
                             cycles,
                             writes,
+                            trace,
+                            peaks,
                         }))
                     })
                 })
@@ -134,7 +168,9 @@ impl Chip {
 
         let mut per_core = Vec::new();
         let mut core_cycles = Vec::new();
+        let mut traces = Vec::new();
         let mut total = HwCounters::default();
+        let mut peaks = BufferPeaks::default();
         let mut max_cycles = 0u64;
         for r in results.into_iter().flatten() {
             for (off, bytes) in &r.writes {
@@ -142,14 +178,20 @@ impl Chip {
             }
             max_cycles = max_cycles.max(r.cycles);
             total.merge(&r.counters);
+            peaks.merge_max(&r.peaks);
             core_cycles.push(r.cycles);
             per_core.push(r.counters);
+            if self.trace.enabled {
+                traces.push(r.trace);
+            }
         }
         Ok(ChipRun {
             per_core,
             core_cycles,
             cycles: max_cycles,
             total,
+            traces,
+            peaks,
         })
     }
 }
@@ -160,9 +202,7 @@ fn gm_write_ranges(p: &Program) -> Vec<(usize, usize)> {
     p.instrs()
         .iter()
         .filter_map(|i| match i {
-            Instr::Move(m) if m.dst.buffer == BufferId::Gm => {
-                Some((m.dst.offset, m.bytes))
-            }
+            Instr::Move(m) if m.dst.buffer == BufferId::Gm => Some((m.dst.offset, m.bytes)),
             _ => None,
         })
         .collect()
@@ -199,8 +239,12 @@ mod tests {
     /// GM[out].
     fn doubler(in_off: usize, out_off: usize) -> Program {
         let mut p = Program::new();
-        p.push(Instr::Move(DataMove::new(Addr::gm(in_off), Addr::ub(0), 256)))
-            .unwrap();
+        p.push(Instr::Move(DataMove::new(
+            Addr::gm(in_off),
+            Addr::ub(0),
+            256,
+        )))
+        .unwrap();
         p.push(Instr::Vector(VectorInstr::unit_stride(
             VectorOp::Add,
             Addr::ub(256),
@@ -230,9 +274,7 @@ mod tests {
         let vals: Vec<F16> = (0..512).map(|i| F16::from_f32((i % 100) as f32)).collect();
         let mut gm = gm_with(&vals, 4096);
         // four tiles of 128 elements, outputs at byte 2048 onward
-        let programs: Vec<Program> = (0..4)
-            .map(|t| doubler(t * 256, 2048 + t * 256))
-            .collect();
+        let programs: Vec<Program> = (0..4).map(|t| doubler(t * 256, 2048 + t * 256)).collect();
         let chip = Chip::new(4, CostModel::ascend910_like());
         let run = chip.run(&mut gm, &programs).unwrap();
         let out = dv_fp16::from_bytes(&gm[2048..2048 + 1024]);
@@ -246,9 +288,7 @@ mod tests {
     #[test]
     fn chip_cycles_is_max_not_sum() {
         let vals: Vec<F16> = (0..512).map(|i| F16::from_f32(i as f32 % 7.0)).collect();
-        let programs: Vec<Program> = (0..4)
-            .map(|t| doubler(t * 256, 2048 + t * 256))
-            .collect();
+        let programs: Vec<Program> = (0..4).map(|t| doubler(t * 256, 2048 + t * 256)).collect();
 
         let mut gm1 = gm_with(&vals, 4096);
         let chip1 = Chip::new(1, CostModel::ascend910_like());
@@ -283,6 +323,41 @@ mod tests {
         let programs = vec![doubler(0, 2048), doubler(256, 2048)];
         let chip = Chip::new(2, CostModel::ascend910_like());
         assert!(chip.run(&mut gm, &programs).is_err());
+    }
+
+    #[test]
+    fn traced_run_matches_counters_and_tracks_peaks() {
+        let vals: Vec<F16> = (0..512).map(|i| F16::from_f32((i % 50) as f32)).collect();
+        let mut gm = gm_with(&vals, 4096);
+        let programs: Vec<Program> = (0..4).map(|t| doubler(t * 256, 2048 + t * 256)).collect();
+        let chip =
+            Chip::new(2, CostModel::ascend910_like()).with_trace(crate::trace::TraceConfig::ON);
+        let run = chip.run(&mut gm, &programs).unwrap();
+
+        // One trace per active core, each consistent with that core's
+        // counters, and the aggregate consistent with the totals.
+        assert_eq!(run.traces.len(), run.per_core.len());
+        for (t, c) in run.traces.iter().zip(&run.per_core) {
+            assert_eq!(t.total_cycles(), c.cycles);
+            assert_eq!(t.events.len(), c.total_issues() as usize);
+        }
+        run.breakdown().verify_against(&run.total).unwrap();
+
+        // The doubler stages 512 bytes in UB per tile.
+        assert_eq!(run.peaks.of(BufferId::Ub), 512);
+        assert_eq!(run.peaks.of(BufferId::L1), 0);
+
+        let json = run.chrome_trace_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"vadd\""));
+
+        // Untraced runs record nothing but count identically.
+        let mut gm2 = gm_with(&vals, 4096);
+        let untraced = Chip::new(2, CostModel::ascend910_like())
+            .run(&mut gm2, &programs)
+            .unwrap();
+        assert!(untraced.traces.is_empty());
+        assert_eq!(untraced.total, run.total);
     }
 
     #[test]

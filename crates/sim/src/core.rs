@@ -3,7 +3,8 @@
 use crate::buffers::{BufferSet, SimError};
 use crate::cost::{Capacities, CostModel};
 use crate::counters::HwCounters;
-use crate::exec::execute;
+use crate::exec::execute_info;
+use crate::trace::{Trace, TraceConfig, TraceEvent};
 use dv_fp16::F16;
 use dv_isa::{BufferId, Program};
 
@@ -17,6 +18,9 @@ pub struct AiCore {
     bufs: BufferSet,
     counters: HwCounters,
     cost: CostModel,
+    trace_cfg: TraceConfig,
+    trace: Trace,
+    programs_run: usize,
 }
 
 impl AiCore {
@@ -33,7 +37,27 @@ impl AiCore {
             bufs: BufferSet::new(caps, gm_bytes),
             counters: HwCounters::default(),
             cost,
+            trace_cfg: TraceConfig::OFF,
+            trace: Trace::default(),
+            programs_run: 0,
         }
+    }
+
+    /// Enable or disable per-instruction trace recording. When disabled
+    /// (the default) the run loop pays a single predictable branch per
+    /// instruction and stores nothing.
+    pub fn set_trace(&mut self, cfg: TraceConfig) {
+        self.trace_cfg = cfg;
+    }
+
+    /// The trace recorded so far (empty unless tracing was enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Take ownership of the recorded trace, leaving an empty one.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
     }
 
     /// Load f16 data into global memory at a byte offset.
@@ -46,27 +70,53 @@ impl AiCore {
         self.bufs.read_f16_slice(BufferId::Gm, offset, len)
     }
 
-    /// Execute a program to completion, accumulating counters.
+    /// Execute a program to completion, accumulating counters (and trace
+    /// events, if tracing is enabled).
     pub fn run(&mut self, program: &Program) -> Result<(), SimError> {
-        for instr in program.instrs() {
-            execute(instr, &mut self.bufs, &self.cost, &mut self.counters)?;
+        let program_idx = self.programs_run;
+        for (pc, instr) in program.instrs().iter().enumerate() {
+            let start = self.counters.cycles;
+            let info = execute_info(instr, &mut self.bufs, &self.cost)?;
+            info.apply(&mut self.counters);
+            if self.trace_cfg.enabled {
+                self.trace.push(
+                    &self.trace_cfg,
+                    TraceEvent {
+                        pc,
+                        program: program_idx,
+                        mnemonic: info.mnemonic,
+                        unit: info.unit,
+                        start,
+                        cycles: info.cycles,
+                        repeat: info.repeat,
+                        useful_lanes: info.useful_lanes,
+                        total_lanes: info.total_lanes,
+                        src: info.src,
+                        dst: info.dst,
+                        bytes: info.bytes(),
+                    },
+                );
+            }
         }
+        self.programs_run += 1;
         Ok(())
     }
 
     /// Execute a program and return a per-instruction trace of
     /// `(pc, mnemonic, cycles charged)` — the debugging view behind
-    /// `Program::disassemble`.
+    /// `Program::disassemble`. For the full structured trace, enable
+    /// [`AiCore::set_trace`] and use [`AiCore::trace`] instead.
     pub fn run_traced(
         &mut self,
         program: &Program,
     ) -> Result<Vec<(usize, &'static str, u64)>, SimError> {
         let mut trace = Vec::with_capacity(program.len());
         for (pc, instr) in program.instrs().iter().enumerate() {
-            let before = self.counters.cycles;
-            execute(instr, &mut self.bufs, &self.cost, &mut self.counters)?;
-            trace.push((pc, instr.mnemonic(), self.counters.cycles - before));
+            let info = execute_info(instr, &mut self.bufs, &self.cost)?;
+            info.apply(&mut self.counters);
+            trace.push((pc, info.mnemonic, info.cycles));
         }
+        self.programs_run += 1;
         Ok(trace)
     }
 
@@ -75,9 +125,11 @@ impl AiCore {
         &self.counters
     }
 
-    /// Reset the counters (keeps buffer contents).
+    /// Reset the counters and any recorded trace (keeps buffer contents).
     pub fn reset_counters(&mut self) {
         self.counters = HwCounters::default();
+        self.trace = Trace::default();
+        self.programs_run = 0;
     }
 
     /// The cost model in effect.
@@ -119,8 +171,12 @@ mod tests {
             1,
         )))
         .unwrap();
-        p.push(Instr::Move(DataMove::new(Addr::ub(256), Addr::gm(1024), 256)))
-            .unwrap();
+        p.push(Instr::Move(DataMove::new(
+            Addr::ub(256),
+            Addr::gm(1024),
+            256,
+        )))
+        .unwrap();
         core.run(&p).unwrap();
 
         let out = core.read_gm(1024, 128).unwrap();
@@ -205,8 +261,12 @@ mod tests {
         let mut p = Program::new();
         p.push(Instr::Move(DataMove::new(Addr::gm(0), Addr::l1(0), 2)))
             .unwrap();
-        p.push(Instr::Move(DataMove::new(Addr::gm(0), Addr::l1(0), 1 << 21)))
-            .unwrap(); // larger than L1
+        p.push(Instr::Move(DataMove::new(
+            Addr::gm(0),
+            Addr::l1(0),
+            1 << 21,
+        )))
+        .unwrap(); // larger than L1
         assert!(core.run(&p).is_err());
     }
 }

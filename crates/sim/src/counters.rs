@@ -7,18 +7,9 @@
 
 use std::collections::BTreeMap;
 
-/// The functional unit an instruction executes on.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum Unit {
-    /// Vector Unit (vmax/vadd/vmul/... and, architecturally, Col2Im).
-    Vector,
-    /// Storage Conversion Unit (Im2Col; Col2Im's transform logic).
-    Scu,
-    /// Memory Transfer Engine (plain moves).
-    Mte,
-    /// Cube Unit (fractal matmul).
-    Cube,
-}
+// The unit ↔ instruction mapping is architectural, so it lives in the ISA
+// crate; re-exported here for backwards compatibility.
+pub use dv_isa::Unit;
 
 /// Cycle and event counters for one program execution.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]

@@ -9,6 +9,45 @@ use dv_isa::{
 };
 use dv_tensor::{C0, FRACTAL_BYTES, FRACTAL_ROWS};
 
+/// Everything the simulator learns from executing one instruction: the
+/// counter charges *and* the metadata the trace recorder stores. Every
+/// executor returns one of these and the charges are applied at a single
+/// site ([`ExecInfo::apply`]), so hardware-counter totals equal the sum
+/// over trace events by construction.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ExecInfo {
+    pub mnemonic: &'static str,
+    pub unit: Unit,
+    pub cycles: u64,
+    /// Hardware repeat count (1 for non-repeating instructions).
+    pub repeat: u32,
+    /// Enabled vector lanes over all repeats (0 for non-vector).
+    pub useful_lanes: u64,
+    /// Lane slots over all repeats (0 for non-vector).
+    pub total_lanes: u64,
+    pub src: Option<BufferId>,
+    pub dst: Option<BufferId>,
+    pub gm_bytes: u64,
+    pub scratch_bytes: u64,
+}
+
+impl ExecInfo {
+    /// Total data traffic (GM + scratchpad) this instruction caused.
+    pub fn bytes(&self) -> u64 {
+        self.gm_bytes + self.scratch_bytes
+    }
+
+    /// Charge this instruction into the hardware counters.
+    pub fn apply(&self, counters: &mut HwCounters) {
+        counters.record(self.mnemonic, self.unit, self.cycles);
+        if self.total_lanes > 0 {
+            counters.record_lanes(self.useful_lanes, self.total_lanes);
+        }
+        counters.gm_bytes += self.gm_bytes;
+        counters.scratch_bytes += self.scratch_bytes;
+    }
+}
+
 /// Execute one instruction against the buffer set, charging `cost` cycles
 /// into `counters`.
 pub fn execute(
@@ -17,13 +56,26 @@ pub fn execute(
     cost: &CostModel,
     counters: &mut HwCounters,
 ) -> Result<(), SimError> {
+    let info = execute_info(instr, bufs, cost)?;
+    info.apply(counters);
+    Ok(())
+}
+
+/// Execute one instruction and report what happened without touching any
+/// counters — the single entry point both [`execute`] and the tracing
+/// core loop build on.
+pub(crate) fn execute_info(
+    instr: &Instr,
+    bufs: &mut BufferSet,
+    cost: &CostModel,
+) -> Result<ExecInfo, SimError> {
     instr.validate()?;
     match instr {
-        Instr::Vector(v) => exec_vector(v, bufs, cost, counters, instr.mnemonic()),
-        Instr::Im2Col(i) => exec_im2col(i, bufs, cost, counters),
-        Instr::Col2Im(c) => exec_col2im(c, bufs, cost, counters),
-        Instr::Move(m) => exec_move(m, bufs, cost, counters),
-        Instr::Cube(c) => exec_cube(c, bufs, cost, counters),
+        Instr::Vector(v) => exec_vector(v, bufs, cost, instr.mnemonic()),
+        Instr::Im2Col(i) => exec_im2col(i, bufs, cost),
+        Instr::Col2Im(c) => exec_col2im(c, bufs, cost),
+        Instr::Move(m) => exec_move(m, bufs, cost),
+        Instr::Cube(c) => exec_cube(c, bufs, cost),
     }
 }
 
@@ -31,9 +83,8 @@ fn exec_vector(
     v: &VectorInstr,
     bufs: &mut BufferSet,
     cost: &CostModel,
-    counters: &mut HwCounters,
     mnemonic: &'static str,
-) -> Result<(), SimError> {
+) -> Result<ExecInfo, SimError> {
     for rep in 0..v.repeat as usize {
         let dst_base = v.dst.offset + rep * v.dst_stride;
         let src0_base = v.src0.offset + rep * v.src0_stride;
@@ -74,21 +125,21 @@ fn exec_vector(
             bufs.write_f16(v.dst.buffer, dst_base + off, out)?;
         }
     }
-    let cycles = cost.issue_overhead + v.repeat as u64 * cost.vector_per_repeat;
-    counters.record(mnemonic, Unit::Vector, cycles);
-    counters.record_lanes(
-        v.useful_lanes(),
-        VECTOR_LANES as u64 * v.repeat as u64,
-    );
-    Ok(())
+    Ok(ExecInfo {
+        mnemonic,
+        unit: Unit::Vector,
+        cycles: cost.issue_overhead + v.repeat as u64 * cost.vector_per_repeat,
+        repeat: v.repeat as u32,
+        useful_lanes: v.useful_lanes(),
+        total_lanes: VECTOR_LANES as u64 * v.repeat as u64,
+        src: v.op.has_src0().then_some(v.src0.buffer),
+        dst: Some(v.dst.buffer),
+        gm_bytes: 0,
+        scratch_bytes: 0,
+    })
 }
 
-fn exec_im2col(
-    i: &Im2Col,
-    bufs: &mut BufferSet,
-    cost: &CostModel,
-    counters: &mut HwCounters,
-) -> Result<(), SimError> {
+fn exec_im2col(i: &Im2Col, bufs: &mut BufferSet, cost: &CostModel) -> Result<ExecInfo, SimError> {
     let geom = &i.geom;
     let iw = geom.iw;
     for (frac_idx, (c1, xk, yk, first_patch)) in i.repeat_positions().into_iter().enumerate() {
@@ -111,18 +162,21 @@ fn exec_im2col(
             }
         }
     }
-    let cycles = cost.issue_overhead + i.repeat as u64 * cost.im2col_per_fractal;
-    counters.record("im2col", Unit::Scu, cycles);
-    counters.scratch_bytes += i.repeat as u64 * FRACTAL_BYTES as u64;
-    Ok(())
+    Ok(ExecInfo {
+        mnemonic: "im2col",
+        unit: Unit::Scu,
+        cycles: cost.issue_overhead + i.repeat as u64 * cost.im2col_per_fractal,
+        repeat: i.repeat as u32,
+        useful_lanes: 0,
+        total_lanes: 0,
+        src: Some(i.src.buffer),
+        dst: Some(i.dst.buffer),
+        gm_bytes: 0,
+        scratch_bytes: i.repeat as u64 * FRACTAL_BYTES as u64,
+    })
 }
 
-fn exec_col2im(
-    c: &Col2Im,
-    bufs: &mut BufferSet,
-    cost: &CostModel,
-    counters: &mut HwCounters,
-) -> Result<(), SimError> {
+fn exec_col2im(c: &Col2Im, bufs: &mut BufferSet, cost: &CostModel) -> Result<ExecInfo, SimError> {
     let geom = &c.geom;
     let iw = geom.iw;
     let (xk, yk) = c.k_off;
@@ -147,18 +201,21 @@ fn exec_col2im(
     }
     // Architecturally Col2Im "acts as a vector instruction" (Section
     // III-D), so its cycles are attributed to the Vector Unit.
-    let cycles = cost.issue_overhead + c.repeat as u64 * cost.col2im_per_fractal;
-    counters.record("col2im", Unit::Vector, cycles);
-    counters.scratch_bytes += 2 * c.repeat as u64 * FRACTAL_BYTES as u64; // RMW
-    Ok(())
+    Ok(ExecInfo {
+        mnemonic: "col2im",
+        unit: Unit::Vector,
+        cycles: cost.issue_overhead + c.repeat as u64 * cost.col2im_per_fractal,
+        repeat: c.repeat as u32,
+        useful_lanes: 0,
+        total_lanes: 0,
+        src: Some(c.src.buffer),
+        dst: Some(c.dst.buffer),
+        gm_bytes: 0,
+        scratch_bytes: 2 * c.repeat as u64 * FRACTAL_BYTES as u64, // RMW
+    })
 }
 
-fn exec_move(
-    m: &DataMove,
-    bufs: &mut BufferSet,
-    cost: &CostModel,
-    counters: &mut HwCounters,
-) -> Result<(), SimError> {
+fn exec_move(m: &DataMove, bufs: &mut BufferSet, cost: &CostModel) -> Result<ExecInfo, SimError> {
     if m.src.buffer == BufferId::L0C {
         // The L0C -> UB drain converts f32 accumulators to f16; `bytes`
         // counts source (f32) bytes.
@@ -175,24 +232,30 @@ fn exec_move(
             bufs.write_f16(m.dst.buffer, m.dst.offset + e * 2, F16::from_f32(v))?;
         }
     } else {
-        bufs.copy(m.src.buffer, m.src.offset, m.dst.buffer, m.dst.offset, m.bytes)?;
+        bufs.copy(
+            m.src.buffer,
+            m.src.offset,
+            m.dst.buffer,
+            m.dst.offset,
+            m.bytes,
+        )?;
     }
-    let cycles = cost.issue_overhead + cost.move_cycles(m.bytes);
-    counters.record("mte_move", Unit::Mte, cycles);
-    if m.src.buffer == BufferId::Gm || m.dst.buffer == BufferId::Gm {
-        counters.gm_bytes += m.bytes as u64;
-    } else {
-        counters.scratch_bytes += m.bytes as u64;
-    }
-    Ok(())
+    let touches_gm = m.src.buffer == BufferId::Gm || m.dst.buffer == BufferId::Gm;
+    Ok(ExecInfo {
+        mnemonic: "mte_move",
+        unit: Unit::Mte,
+        cycles: cost.issue_overhead + cost.move_cycles(m.bytes),
+        repeat: 1,
+        useful_lanes: 0,
+        total_lanes: 0,
+        src: Some(m.src.buffer),
+        dst: Some(m.dst.buffer),
+        gm_bytes: if touches_gm { m.bytes as u64 } else { 0 },
+        scratch_bytes: if touches_gm { 0 } else { m.bytes as u64 },
+    })
 }
 
-fn exec_cube(
-    c: &CubeMatmul,
-    bufs: &mut BufferSet,
-    cost: &CostModel,
-    counters: &mut HwCounters,
-) -> Result<(), SimError> {
+fn exec_cube(c: &CubeMatmul, bufs: &mut BufferSet, cost: &CostModel) -> Result<ExecInfo, SimError> {
     const E: usize = dv_isa::cube::FRACTAL_EDGE; // 16
     let (mf, kf, nf) = (c.m_fractals, c.k_fractals, c.n_fractals);
     // Tiles are stored as row-major grids of fractals, each fractal
@@ -229,9 +292,18 @@ fn exec_cube(
             )?;
         }
     }
-    let cycles = cost.issue_overhead + c.fractal_ops() as u64 * cost.cube_per_fractal_pair;
-    counters.record("cube_mmad", Unit::Cube, cycles);
-    Ok(())
+    Ok(ExecInfo {
+        mnemonic: "cube_mmad",
+        unit: Unit::Cube,
+        cycles: cost.issue_overhead + c.fractal_ops() as u64 * cost.cube_per_fractal_pair,
+        repeat: 1,
+        useful_lanes: 0,
+        total_lanes: 0,
+        src: Some(c.a.buffer),
+        dst: Some(c.c.buffer),
+        gm_bytes: 0,
+        scratch_bytes: 0,
+    })
 }
 
 #[cfg(test)]
@@ -391,10 +463,7 @@ mod tests {
         // Fractal 0 = kernel offset (0,0): patch p at (2*(p/4), 2*(p%4)).
         for p in 0..16 {
             let (ph, pw) = (2 * (p / 4), 2 * (p % 4));
-            let v = bufs
-                .read_f16(BufferId::Ub, (p * C0) * 2)
-                .unwrap()
-                .to_f32();
+            let v = bufs.read_f16(BufferId::Ub, (p * C0) * 2).unwrap().to_f32();
             assert_eq!(v, (ph * 8 + pw) as f32, "fractal 0 patch {p}");
         }
         // Fractal 1 = kernel offset (0,1): same patches shifted right.
@@ -464,10 +533,7 @@ mod tests {
         );
         // Running the same Col2Im again doubles the values (sum semantics).
         execute(&i, &mut bufs, &cost, &mut ctr).unwrap();
-        assert_eq!(
-            bufs.read_f16(BufferId::Ub, 8192).unwrap().to_f32(),
-            2.0
-        );
+        assert_eq!(bufs.read_f16(BufferId::Ub, 8192).unwrap().to_f32(), 2.0);
         assert_eq!(ctr.issues_of("col2im"), 2);
     }
 
@@ -525,11 +591,7 @@ mod tests {
         let (mut bufs, cost, mut ctr) = setup();
         bufs.write_f32_l0c(0, 3.125).unwrap();
         bufs.write_f32_l0c(4, -2.0).unwrap();
-        let i = Instr::Move(DataMove::new(
-            Addr::new(BufferId::L0C, 0),
-            Addr::ub(0),
-            8,
-        ));
+        let i = Instr::Move(DataMove::new(Addr::new(BufferId::L0C, 0), Addr::ub(0), 8));
         execute(&i, &mut bufs, &cost, &mut ctr).unwrap();
         assert_eq!(bufs.read_f16(BufferId::Ub, 0).unwrap().to_f32(), 3.125);
         assert_eq!(bufs.read_f16(BufferId::Ub, 2).unwrap().to_f32(), -2.0);

@@ -30,9 +30,11 @@ pub mod core;
 pub mod cost;
 pub mod counters;
 pub mod exec;
+pub mod trace;
 
 pub use crate::core::AiCore;
-pub use buffers::{BufferSet, SimError};
+pub use buffers::{BufferPeaks, BufferSet, SimError};
 pub use chip::{Chip, ChipRun};
 pub use cost::{Capacities, CostModel};
 pub use counters::{HwCounters, Unit};
+pub use trace::{chrome_trace_json, Breakdown, BreakdownRow, Trace, TraceConfig, TraceEvent};

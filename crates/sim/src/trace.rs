@@ -1,0 +1,448 @@
+//! Instruction-level execution tracing.
+//!
+//! The paper's speedup claims rest on *where* cycles go — issue overhead
+//! vs. repeat iterations, Vector Unit vs. SCU vs. MTE. [`Trace`] records
+//! one [`TraceEvent`] per executed instruction (mnemonic, unit, issue
+//! cycle, duration, repeat count, lane usage, buffer endpoints and bytes
+//! moved), gated behind [`TraceConfig`] so an untraced run pays only a
+//! branch per instruction. Two consumers are built in:
+//!
+//! * [`chrome_trace_json`] — export to the Chrome trace-event format,
+//!   loadable in `chrome://tracing` or <https://ui.perfetto.dev> (one
+//!   process per AI Core, one thread row per functional unit);
+//! * [`Breakdown`] — a per-(unit, mnemonic) cycle/issue/lane/byte
+//!   aggregation, rendered as an aligned text report.
+//!
+//! Invariant (asserted by the end-to-end tests): the sum of all traced
+//! durations equals [`HwCounters::cycles`] for the same execution.
+
+use crate::counters::{HwCounters, Unit};
+use dv_isa::BufferId;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Tracing configuration for a core or chip run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Record per-instruction events. Off by default: the recorder is a
+    /// single predictable branch per instruction when disabled.
+    pub enabled: bool,
+    /// Optional cap on recorded events per core (0 = unlimited). When the
+    /// cap is hit, further events are counted in [`Trace::dropped`] but
+    /// not stored — cycle sums remain exact via the counters.
+    pub max_events_per_core: usize,
+}
+
+impl TraceConfig {
+    /// Tracing disabled (the default).
+    pub const OFF: TraceConfig = TraceConfig {
+        enabled: false,
+        max_events_per_core: 0,
+    };
+
+    /// Tracing enabled, unbounded.
+    pub const ON: TraceConfig = TraceConfig {
+        enabled: true,
+        max_events_per_core: 0,
+    };
+
+    /// Tracing enabled with a per-core event cap.
+    pub const fn capped(max_events_per_core: usize) -> TraceConfig {
+        TraceConfig {
+            enabled: true,
+            max_events_per_core,
+        }
+    }
+}
+
+/// One executed instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Index of the instruction in its program.
+    pub pc: usize,
+    /// Index of the program within the core's work list.
+    pub program: usize,
+    /// Stable mnemonic (see `dv_isa::Instr::mnemonic`).
+    pub mnemonic: &'static str,
+    /// Functional unit that executed the instruction.
+    pub unit: Unit,
+    /// Core-local cycle at which the instruction issued.
+    pub start: u64,
+    /// Cycles charged (issue overhead + iteration cost).
+    pub cycles: u64,
+    /// Hardware repeat count (1 for non-repeating instructions).
+    pub repeat: u32,
+    /// Enabled vector lanes summed over repeats (0 for non-vector).
+    pub useful_lanes: u64,
+    /// Total lane slots over repeats (0 for non-vector).
+    pub total_lanes: u64,
+    /// Source buffer, when the instruction reads one.
+    pub src: Option<BufferId>,
+    /// Destination buffer, when the instruction writes one.
+    pub dst: Option<BufferId>,
+    /// Bytes of data traffic the instruction caused.
+    pub bytes: u64,
+}
+
+/// The recorded execution of one AI Core.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Physical core id (filled in by the chip; 0 for a lone core).
+    pub core: usize,
+    /// Events in execution order.
+    pub events: Vec<TraceEvent>,
+    /// Events not stored because `max_events_per_core` was reached.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Sum of all recorded durations (equals `HwCounters::cycles` when no
+    /// events were dropped).
+    pub fn total_cycles(&self) -> u64 {
+        self.events.iter().map(|e| e.cycles).sum()
+    }
+
+    /// Record an event, honouring the configured cap.
+    pub(crate) fn push(&mut self, cfg: &TraceConfig, event: TraceEvent) {
+        if cfg.max_events_per_core != 0 && self.events.len() >= cfg.max_events_per_core {
+            self.dropped += 1;
+        } else {
+            self.events.push(event);
+        }
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unit_tid(unit: Unit) -> usize {
+    match unit {
+        Unit::Vector => 0,
+        Unit::Scu => 1,
+        Unit::Mte => 2,
+        Unit::Cube => 3,
+    }
+}
+
+/// Export traces (one per core) as Chrome trace-event JSON.
+///
+/// Open the resulting file in `chrome://tracing` or
+/// <https://ui.perfetto.dev>: each AI Core appears as a process, each
+/// functional unit as a thread row, each instruction as a complete (`X`)
+/// event whose duration is its simulated cycle count (1 cycle = 1 µs of
+/// trace time).
+pub fn chrome_trace_json(traces: &[Trace]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, ev: String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(&ev);
+    };
+    for t in traces {
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{},\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"AI Core {}\"}}}}",
+                t.core, t.core
+            ),
+        );
+        for unit in Unit::ALL {
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":{},\"tid\":{},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    t.core,
+                    unit_tid(unit),
+                    escape_json(unit.name())
+                ),
+            );
+        }
+        for e in &t.events {
+            let mut args = format!(
+                "\"pc\":{},\"program\":{},\"repeat\":{},\"bytes\":{}",
+                e.pc, e.program, e.repeat, e.bytes
+            );
+            if e.total_lanes > 0 {
+                let _ = write!(
+                    args,
+                    ",\"useful_lanes\":{},\"total_lanes\":{}",
+                    e.useful_lanes, e.total_lanes
+                );
+            }
+            if let Some(src) = e.src {
+                let _ = write!(args, ",\"src\":\"{src}\"");
+            }
+            if let Some(dst) = e.dst {
+                let _ = write!(args, ",\"dst\":\"{dst}\"");
+            }
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"name\":\"{}\",\
+                     \"cat\":\"{}\",\"ts\":{},\"dur\":{},\"args\":{{{args}}}}}",
+                    t.core,
+                    unit_tid(e.unit),
+                    escape_json(e.mnemonic),
+                    escape_json(e.unit.name()),
+                    e.start,
+                    e.cycles
+                ),
+            );
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// One row of the per-unit/per-mnemonic breakdown.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BreakdownRow {
+    /// Functional unit.
+    pub unit: Unit,
+    /// Instruction mnemonic.
+    pub mnemonic: &'static str,
+    /// Number of issues.
+    pub issues: u64,
+    /// Total cycles charged.
+    pub cycles: u64,
+    /// Total hardware repeats.
+    pub repeats: u64,
+    /// Enabled vector lanes (0 for non-vector rows).
+    pub useful_lanes: u64,
+    /// Lane slots (0 for non-vector rows).
+    pub total_lanes: u64,
+    /// Bytes of data traffic.
+    pub bytes: u64,
+}
+
+impl BreakdownRow {
+    /// Lane utilization in `[0, 1]`, or `None` for non-vector rows.
+    pub fn utilization(&self) -> Option<f64> {
+        (self.total_lanes > 0).then(|| self.useful_lanes as f64 / self.total_lanes as f64)
+    }
+}
+
+/// Per-(unit, mnemonic) aggregation of one or more traces — the roofline
+/// view: which unit burned the cycles and how well its lanes were used.
+#[derive(Clone, Debug, Default)]
+pub struct Breakdown {
+    /// Aggregated rows, keyed and sorted by `(unit, mnemonic)`.
+    pub rows: Vec<BreakdownRow>,
+}
+
+impl Breakdown {
+    /// Aggregate over traces (typically: all cores of one chip run).
+    pub fn from_traces<'a>(traces: impl IntoIterator<Item = &'a Trace>) -> Breakdown {
+        let mut map: BTreeMap<(Unit, &'static str), BreakdownRow> = BTreeMap::new();
+        for t in traces {
+            for e in &t.events {
+                let row = map.entry((e.unit, e.mnemonic)).or_insert(BreakdownRow {
+                    unit: e.unit,
+                    mnemonic: e.mnemonic,
+                    issues: 0,
+                    cycles: 0,
+                    repeats: 0,
+                    useful_lanes: 0,
+                    total_lanes: 0,
+                    bytes: 0,
+                });
+                row.issues += 1;
+                row.cycles += e.cycles;
+                row.repeats += e.repeat as u64;
+                row.useful_lanes += e.useful_lanes;
+                row.total_lanes += e.total_lanes;
+                row.bytes += e.bytes;
+            }
+        }
+        Breakdown {
+            rows: map.into_values().collect(),
+        }
+    }
+
+    /// Total cycles across all rows.
+    pub fn total_cycles(&self) -> u64 {
+        self.rows.iter().map(|r| r.cycles).sum()
+    }
+
+    /// Cycles attributed to one unit.
+    pub fn unit_cycles(&self, unit: Unit) -> u64 {
+        self.rows
+            .iter()
+            .filter(|r| r.unit == unit)
+            .map(|r| r.cycles)
+            .sum()
+    }
+
+    /// Render as an aligned text table, most expensive row first.
+    pub fn render(&self) -> String {
+        let mut rows = self.rows.clone();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.cycles));
+        let total = self.total_cycles().max(1);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<8} {:<12} {:>10} {:>12} {:>8} {:>12} {:>7} {:>6}",
+            "unit", "mnemonic", "issues", "cycles", "cyc%", "bytes", "repeat", "lane%"
+        );
+        for r in &rows {
+            let lane = r
+                .utilization()
+                .map(|u| format!("{:.1}", 100.0 * u))
+                .unwrap_or_else(|| "-".to_string());
+            let _ = writeln!(
+                out,
+                "{:<8} {:<12} {:>10} {:>12} {:>7.1}% {:>12} {:>7} {:>6}",
+                r.unit.name(),
+                r.mnemonic,
+                r.issues,
+                r.cycles,
+                100.0 * r.cycles as f64 / total as f64,
+                r.bytes,
+                r.repeats,
+                lane
+            );
+        }
+        let _ = writeln!(out, "total cycles: {}", self.total_cycles());
+        out
+    }
+
+    /// Cross-check against hardware counters: every mnemonic's issue
+    /// count and every unit's cycle total must match. Returns the first
+    /// discrepancy found.
+    pub fn verify_against(&self, counters: &HwCounters) -> Result<(), String> {
+        if self.total_cycles() != counters.cycles {
+            return Err(format!(
+                "trace cycles {} != counter cycles {}",
+                self.total_cycles(),
+                counters.cycles
+            ));
+        }
+        for unit in Unit::ALL {
+            if self.unit_cycles(unit) != counters.cycles_of(unit) {
+                return Err(format!(
+                    "unit {} trace cycles {} != counter cycles {}",
+                    unit,
+                    self.unit_cycles(unit),
+                    counters.cycles_of(unit)
+                ));
+            }
+        }
+        for r in &self.rows {
+            if r.issues != counters.issues_of(r.mnemonic) {
+                return Err(format!(
+                    "mnemonic {} trace issues {} != counter issues {}",
+                    r.mnemonic,
+                    r.issues,
+                    counters.issues_of(r.mnemonic)
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(mnemonic: &'static str, unit: Unit, start: u64, cycles: u64) -> TraceEvent {
+        TraceEvent {
+            pc: 0,
+            program: 0,
+            mnemonic,
+            unit,
+            start,
+            cycles,
+            repeat: 1,
+            useful_lanes: 0,
+            total_lanes: 0,
+            src: None,
+            dst: None,
+            bytes: 0,
+        }
+    }
+
+    #[test]
+    fn breakdown_aggregates_and_sums() {
+        let t = Trace {
+            core: 0,
+            events: vec![
+                ev("vmax", Unit::Vector, 0, 17),
+                ev("vmax", Unit::Vector, 17, 17),
+                ev("mte_move", Unit::Mte, 34, 20),
+            ],
+            dropped: 0,
+        };
+        let b = Breakdown::from_traces([&t]);
+        assert_eq!(b.rows.len(), 2);
+        assert_eq!(b.total_cycles(), 54);
+        assert_eq!(b.unit_cycles(Unit::Vector), 34);
+        assert_eq!(b.unit_cycles(Unit::Mte), 20);
+        let vmax = b.rows.iter().find(|r| r.mnemonic == "vmax").unwrap();
+        assert_eq!(vmax.issues, 2);
+        let rendered = b.render();
+        assert!(rendered.contains("vmax"));
+        assert!(rendered.contains("total cycles: 54"));
+    }
+
+    #[test]
+    fn verify_against_counters() {
+        let t = Trace {
+            core: 0,
+            events: vec![ev("vadd", Unit::Vector, 0, 10)],
+            dropped: 0,
+        };
+        let mut c = HwCounters::default();
+        c.record("vadd", Unit::Vector, 10);
+        assert_eq!(Breakdown::from_traces([&t]).verify_against(&c), Ok(()));
+        c.record("vadd", Unit::Vector, 1);
+        assert!(Breakdown::from_traces([&t]).verify_against(&c).is_err());
+    }
+
+    #[test]
+    fn chrome_json_contains_events_and_metadata() {
+        let t = Trace {
+            core: 3,
+            events: vec![ev("im2col", Unit::Scu, 5, 36)],
+            dropped: 0,
+        };
+        let json = chrome_trace_json(&[t]);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"im2col\""));
+        assert!(json.contains("\"ts\":5"));
+        assert!(json.contains("\"dur\":36"));
+        assert!(json.contains("AI Core 3"));
+    }
+
+    #[test]
+    fn cap_drops_but_counts() {
+        let cfg = TraceConfig::capped(1);
+        let mut t = Trace::default();
+        t.push(&cfg, ev("a", Unit::Mte, 0, 1));
+        t.push(&cfg, ev("b", Unit::Mte, 1, 1));
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.dropped, 1);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+}

@@ -7,8 +7,12 @@ use dv_sim::{Chip, CostModel};
 
 fn doubler(in_off: usize, out_off: usize) -> Program {
     let mut p = Program::new();
-    p.push(Instr::Move(DataMove::new(Addr::gm(in_off), Addr::ub(0), 256)))
-        .unwrap();
+    p.push(Instr::Move(DataMove::new(
+        Addr::gm(in_off),
+        Addr::ub(0),
+        256,
+    )))
+    .unwrap();
     p.push(Instr::Vector(VectorInstr::unit_stride(
         VectorOp::Add,
         Addr::ub(256),
@@ -18,8 +22,12 @@ fn doubler(in_off: usize, out_off: usize) -> Program {
         1,
     )))
     .unwrap();
-    p.push(Instr::Move(DataMove::new(Addr::ub(256), Addr::gm(out_off), 256)))
-        .unwrap();
+    p.push(Instr::Move(DataMove::new(
+        Addr::ub(256),
+        Addr::gm(out_off),
+        256,
+    )))
+    .unwrap();
     p
 }
 
@@ -86,8 +94,12 @@ fn same_program_may_write_overlapping_ranges() {
     // One program rewriting its own output region (e.g. banded halo
     // flushes) is legal; only cross-program overlap is a bug.
     let mut p = doubler(0, 2048);
-    p.push(Instr::Move(DataMove::new(Addr::ub(256), Addr::gm(2048), 256)))
-        .unwrap();
+    p.push(Instr::Move(DataMove::new(
+        Addr::ub(256),
+        Addr::gm(2048),
+        256,
+    )))
+    .unwrap();
     let mut gm = vec![0u8; 4096];
     let chip = Chip::new(1, CostModel::ascend910_like());
     assert!(chip.run(&mut gm, &[p]).is_ok());

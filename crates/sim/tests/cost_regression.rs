@@ -31,7 +31,10 @@ fn vector_cycles_are_issue_plus_repeats() {
             Mask::FULL,
             repeat,
         )));
-        assert_eq!(cycles, c.issue_overhead + repeat as u64 * c.vector_per_repeat);
+        assert_eq!(
+            cycles,
+            c.issue_overhead + repeat as u64 * c.vector_per_repeat
+        );
     }
 }
 
@@ -74,7 +77,10 @@ fn im2col_cycles_scale_with_fractals() {
             repeat,
             mode: RepeatMode::Mode1,
         }));
-        assert_eq!(cycles, c.issue_overhead + repeat as u64 * c.im2col_per_fractal);
+        assert_eq!(
+            cycles,
+            c.issue_overhead + repeat as u64 * c.im2col_per_fractal
+        );
     }
 }
 
@@ -92,7 +98,10 @@ fn col2im_cycles_scale_with_fractals() {
             c1: 0,
             repeat,
         }));
-        assert_eq!(cycles, c.issue_overhead + repeat as u64 * c.col2im_per_fractal);
+        assert_eq!(
+            cycles,
+            c.issue_overhead + repeat as u64 * c.col2im_per_fractal
+        );
     }
 }
 

@@ -4,8 +4,8 @@
 
 use dv_fp16::F16;
 use dv_isa::{
-    Addr, BufferId, Col2Im, CubeMatmul, DataMove, Im2Col, Im2ColGeometry, Instr, Mask,
-    RepeatMode, VectorInstr, VectorOp, VECTOR_LANES,
+    Addr, BufferId, Col2Im, CubeMatmul, DataMove, Im2Col, Im2ColGeometry, Instr, Mask, RepeatMode,
+    VectorInstr, VectorOp, VECTOR_LANES,
 };
 use dv_sim::{AiCore, CostModel};
 use dv_tensor::{im2col_fractal, Nc1hwc0, PoolParams, C0, FRACTAL_BYTES, FRACTAL_ROWS};
@@ -19,7 +19,9 @@ fn f16s(len: usize, seed: u64) -> Vec<F16> {
     let mut s = seed | 1;
     (0..len)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             F16::from_f32(((s >> 34) % 65) as f32 * 0.5 - 16.0)
         })
         .collect()

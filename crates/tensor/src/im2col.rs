@@ -111,8 +111,7 @@ impl PatchTensor {
                 && ow < self.ow
                 && c0 < C0
         );
-        (((((n * self.c1 + c1) * self.kh + kh) * self.kw + kw) * self.oh + oh) * self.ow + ow)
-            * C0
+        (((((n * self.c1 + c1) * self.kh + kh) * self.kw + kw) * self.oh + oh) * self.ow + ow) * C0
             + c0
     }
 
@@ -298,8 +297,8 @@ mod tests {
     #[test]
     fn figure_2_overlap_sum() {
         let params = PoolParams::new((3, 5), (1, 3));
-        let input = Nchw::from_fn(1, 1, 3, 8, |_, _, h, w| F16::from_f32((h * 8 + w) as f32))
-            .to_nc1hwc0();
+        let input =
+            Nchw::from_fn(1, 1, 3, 8, |_, _, h, w| F16::from_f32((h * 8 + w) as f32)).to_nc1hwc0();
         let patches = im2col_fractal(&input, &params).unwrap();
         assert_eq!((patches.oh, patches.ow), (1, 2));
         // Columns 3 and 4 are covered by both patches.
@@ -327,9 +326,10 @@ mod tests {
     #[test]
     fn figure_5_no_overlap_identity() {
         let params = PoolParams::new((2, 2), (2, 2));
-        let input =
-            Nchw::from_fn(1, 16, 8, 8, |_, c, h, w| F16::from_f32((c + h * 8 + w) as f32))
-                .to_nc1hwc0();
+        let input = Nchw::from_fn(1, 16, 8, 8, |_, c, h, w| {
+            F16::from_f32((c + h * 8 + w) as f32)
+        })
+        .to_nc1hwc0();
         let patches = im2col_fractal(&input, &params).unwrap();
         assert_eq!((patches.oh, patches.ow), (4, 4));
         let back = col2im_fractal(&patches, &params, 8, 8).unwrap();

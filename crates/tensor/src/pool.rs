@@ -152,10 +152,7 @@ mod tests {
     fn kernel_offsets_row_major() {
         let p = PoolParams::new((2, 3), (1, 1));
         let offs: Vec<_> = p.kernel_offsets().collect();
-        assert_eq!(
-            offs,
-            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
-        );
+        assert_eq!(offs, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
         assert_eq!(p.patch_len(), 6);
     }
 
@@ -165,5 +162,73 @@ mod tests {
         assert!(p.validate(4, 10).is_err());
         assert!(p.validate(10, 4).is_err());
         assert!(p.validate(5, 5).is_ok());
+    }
+
+    #[test]
+    fn kernel_larger_than_padded_input_is_rejected_not_underflowed() {
+        // Without the `padded < kernel` guard, `(padded - kernel)` would
+        // wrap and produce an astronomically large output extent.
+        let p = PoolParams::new((5, 5), (1, 1));
+        assert_eq!(
+            p.out_dims(4, 4),
+            Err(ShapeError::KernelLargerThanInput {
+                padded: 4,
+                kernel: 5
+            })
+        );
+        // Padding narrows the gap but still leaves the input one short:
+        // 2 + 1 + 1 = 4 < 5.
+        let padded = PoolParams::with_padding((5, 5), (1, 1), Padding::uniform(1));
+        assert_eq!(
+            padded.out_dims(2, 2),
+            Err(ShapeError::KernelLargerThanInput {
+                padded: 4,
+                kernel: 5
+            })
+        );
+        // One more row/column of input makes the geometry valid.
+        assert_eq!(padded.out_dims(3, 3), Ok((1, 1)));
+    }
+
+    #[test]
+    fn zero_stride_is_rejected_per_dimension() {
+        assert_eq!(
+            PoolParams::new((3, 3), (0, 1)).out_dims(8, 8),
+            Err(ShapeError::ZeroStride)
+        );
+        assert_eq!(
+            PoolParams::new((3, 3), (1, 0)).out_dims(8, 8),
+            Err(ShapeError::ZeroStride)
+        );
+        assert_eq!(
+            PoolParams::new((3, 3), (0, 0)).validate(8, 8),
+            Err(ShapeError::ZeroStride)
+        );
+    }
+
+    #[test]
+    fn zero_kernel_and_oversized_padding_are_rejected() {
+        assert_eq!(
+            PoolParams::new((0, 3), (1, 1)).out_dims(8, 8),
+            Err(ShapeError::ZeroKernel)
+        );
+        // Padding >= kernel would manufacture all-zero patches.
+        let p = PoolParams::with_padding(
+            (2, 2),
+            (1, 1),
+            Padding {
+                top: 2,
+                bottom: 0,
+                left: 0,
+                right: 0,
+            },
+        );
+        assert_eq!(
+            p.out_dims(8, 8),
+            Err(ShapeError::PaddingTooLarge {
+                padding: 2,
+                kernel: 2
+            })
+        );
     }
 }

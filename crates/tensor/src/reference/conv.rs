@@ -48,10 +48,7 @@ pub fn conv2d_direct(
                             for kwi in 0..params.kw {
                                 let h = (ohi * params.sh + khi) as isize - pt;
                                 let w = (owi * params.sw + kwi) as isize - pl;
-                                if h < 0
-                                    || w < 0
-                                    || h as usize >= input.h
-                                    || w as usize >= input.w
+                                if h < 0 || w < 0 || h as usize >= input.h || w as usize >= input.w
                                 {
                                     continue; // zero padding contributes 0
                                 }
@@ -119,8 +116,7 @@ pub fn conv2d_via_im2col(
                 for khi in 0..params.kh {
                     for kwi in 0..params.kw {
                         for c0 in 0..C0 {
-                            out_in[row * k_len + col] =
-                                patches.get(0, c1, khi, kwi, ohi, owi, c0);
+                            out_in[row * k_len + col] = patches.get(0, c1, khi, kwi, ohi, owi, c0);
                             col += 1;
                         }
                     }
@@ -288,8 +284,14 @@ mod tests {
     #[test]
     fn matmul_small_known() {
         // [1 2; 3 4] x [5 6; 7 8] = [19 22; 43 50]
-        let a: Vec<F16> = [1.0, 2.0, 3.0, 4.0].iter().map(|&x| F16::from_f32(x)).collect();
-        let b: Vec<F16> = [5.0, 6.0, 7.0, 8.0].iter().map(|&x| F16::from_f32(x)).collect();
+        let a: Vec<F16> = [1.0, 2.0, 3.0, 4.0]
+            .iter()
+            .map(|&x| F16::from_f32(x))
+            .collect();
+        let b: Vec<F16> = [5.0, 6.0, 7.0, 8.0]
+            .iter()
+            .map(|&x| F16::from_f32(x))
+            .collect();
         let c = matmul_f32acc(&a, &b, 2, 2, 2);
         let vals: Vec<f32> = c.iter().map(|x| x.to_f32()).collect();
         assert_eq!(vals, vec![19.0, 22.0, 43.0, 50.0]);
@@ -299,7 +301,9 @@ mod tests {
     fn im2col_conv_equals_direct_conv() {
         // multi-channel, multi-kernel, overlapping stride
         let input = Nchw::from_fn(1, 5, 6, 7, |_, c, h, w| det(1, c * 100 + h * 10 + w));
-        let kernels = Nchw::from_fn(3, 5, 3, 3, |m, c, h, w| det(2, m * 1000 + c * 100 + h * 10 + w));
+        let kernels = Nchw::from_fn(3, 5, 3, 3, |m, c, h, w| {
+            det(2, m * 1000 + c * 100 + h * 10 + w)
+        });
         let params = PoolParams::new((3, 3), (2, 2));
         let direct = conv2d_direct(&input, &kernels, &params).unwrap();
         let via = conv2d_via_im2col(&input, &kernels, &params).unwrap();
@@ -310,7 +314,9 @@ mod tests {
     fn im2col_conv_equals_direct_conv_with_padding() {
         use crate::shape::Padding;
         let input = Nchw::from_fn(1, 3, 5, 5, |_, c, h, w| det(3, c * 100 + h * 10 + w));
-        let kernels = Nchw::from_fn(2, 3, 3, 3, |m, c, h, w| det(4, m * 1000 + c * 100 + h * 10 + w));
+        let kernels = Nchw::from_fn(2, 3, 3, 3, |m, c, h, w| {
+            det(4, m * 1000 + c * 100 + h * 10 + w)
+        });
         let params = PoolParams::with_padding((3, 3), (1, 1), Padding::uniform(1));
         let direct = conv2d_direct(&input, &kernels, &params).unwrap();
         let via = conv2d_via_im2col(&input, &kernels, &params).unwrap();
@@ -333,8 +339,7 @@ mod tests {
                 for w in 0..4 {
                     let mut acc = 0.0f32;
                     for mi in 0..m {
-                        acc += grads.get(0, mi, h, w).to_f32()
-                            * kernels.get(mi, ci, 0, 0).to_f32();
+                        acc += grads.get(0, mi, h, w).to_f32() * kernels.get(mi, ci, 0, 0).to_f32();
                     }
                     assert_eq!(dx.get(0, ci, h, w), F16::from_f32(acc), "({ci},{h},{w})");
                 }

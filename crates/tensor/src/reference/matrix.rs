@@ -39,8 +39,7 @@ pub fn im2col_matrix(
                     for kwi in 0..params.kw {
                         let h = (ohi * params.sh + khi) as isize - pt;
                         let w = (owi * params.sw + kwi) as isize - pl;
-                        if h >= 0 && w >= 0 && (h as usize) < input.h && (w as usize) < input.w
-                        {
+                        if h >= 0 && w >= 0 && (h as usize) < input.h && (w as usize) < input.w {
                             out[row * cols + col] = input.get(0, c, h as usize, w as usize);
                         }
                         col += 1;
@@ -88,7 +87,13 @@ pub fn col2im_matrix(
                         continue;
                     }
                     let cur = out.get(0, ci, h as usize, w as usize);
-                    out.set(0, ci, h as usize, w as usize, cur + matrix[row * cols + col]);
+                    out.set(
+                        0,
+                        ci,
+                        h as usize,
+                        w as usize,
+                        cur + matrix[row * cols + col],
+                    );
                 }
             }
         }
@@ -132,7 +137,9 @@ mod tests {
     /// into both rows, and col2im doubles them on the way back.
     #[test]
     fn figure_2_exact_numbers() {
-        let img = Nchw::from_fn(1, 1, 3, 5, |_, _, h, w| F16::from_f32((h * 5 + w + 1) as f32));
+        let img = Nchw::from_fn(1, 1, 3, 5, |_, _, h, w| {
+            F16::from_f32((h * 5 + w + 1) as f32)
+        });
         let params = PoolParams::new((3, 3), (1, 2));
         let (m, rows, cols) = im2col_matrix(&img, &params).unwrap();
         assert_eq!((rows, cols), (2, 9));

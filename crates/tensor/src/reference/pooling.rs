@@ -332,15 +332,9 @@ mod tests {
 
     #[test]
     fn argmax_mask_ties_mark_all() {
-        let input = Nchw::from_vec(
-            1,
-            1,
-            1,
-            2,
-            vec![F16::from_f32(7.0), F16::from_f32(7.0)],
-        )
-        .unwrap()
-        .to_nc1hwc0();
+        let input = Nchw::from_vec(1, 1, 1, 2, vec![F16::from_f32(7.0), F16::from_f32(7.0)])
+            .unwrap()
+            .to_nc1hwc0();
         let params = PoolParams::new((1, 2), (1, 1));
         let mask = maxpool_argmax_mask(&input, &params).unwrap();
         assert_eq!(mask.get(0, 0, 0, 0, 0, 0, 0), F16::ONE);
@@ -408,8 +402,10 @@ mod tests {
         // in total, so the total mass is conserved (exact in f16 for
         // power-of-two kernels).
         let params = PoolParams::new((2, 2), (2, 2));
-        let grad = Nchw::from_fn(1, 16, 2, 2, |_, _, h, w| F16::from_f32((h * 2 + w + 1) as f32))
-            .to_nc1hwc0();
+        let grad = Nchw::from_fn(1, 16, 2, 2, |_, _, h, w| {
+            F16::from_f32((h * 2 + w + 1) as f32)
+        })
+        .to_nc1hwc0();
         let dx = avgpool_backward(&grad, &params, 4, 4).unwrap();
         let total: f32 = dx.data().iter().map(|x| x.to_f32()).sum();
         let grad_total: f32 = grad.data().iter().map(|x| x.to_f32()).sum();

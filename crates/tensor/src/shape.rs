@@ -102,7 +102,10 @@ impl fmt::Display for ShapeError {
                 "padding {padding} must be smaller than kernel extent {kernel}"
             ),
             ShapeError::DataLength { expected, got } => {
-                write!(f, "data length {got} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {got} does not match shape volume {expected}"
+                )
             }
             ShapeError::Mismatch(msg) => write!(f, "shape mismatch: {msg}"),
         }
@@ -134,7 +137,10 @@ pub fn out_extent(
             kernel,
         });
     }
-    let padded = input + pad_lo + pad_hi;
+    let padded = input
+        .checked_add(pad_lo)
+        .and_then(|x| x.checked_add(pad_hi))
+        .ok_or_else(|| ShapeError::Mismatch("padded input extent overflows usize".into()))?;
     if padded < kernel {
         return Err(ShapeError::KernelLargerThanInput { padded, kernel });
     }
@@ -184,6 +190,13 @@ mod tests {
                 kernel: 3
             })
         );
+    }
+
+    #[test]
+    fn padded_extent_overflow_is_an_error_not_a_panic() {
+        // `usize::MAX + 2` would wrap; must surface as a ShapeError.
+        let err = out_extent(usize::MAX, 1, 1, 2, 1).unwrap_err();
+        assert!(err.to_string().contains("overflows"));
     }
 
     #[test]

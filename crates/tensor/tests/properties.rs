@@ -10,8 +10,15 @@ use proptest::prelude::*;
 /// Strategy: a small pooling geometry plus an input extent that admits at
 /// least one patch.
 fn geometry() -> impl Strategy<Value = (PoolParams, usize, usize)> {
-    (1usize..=3, 1usize..=3, 1usize..=3, 1usize..=3, 0usize..=2, 0usize..=2).prop_flat_map(
-        |(kh, kw, sh, sw, pv, ph)| {
+    (
+        1usize..=3,
+        1usize..=3,
+        1usize..=3,
+        1usize..=3,
+        0usize..=2,
+        0usize..=2,
+    )
+        .prop_flat_map(|(kh, kw, sh, sw, pv, ph)| {
             let pad = Padding {
                 top: pv.min(kh.saturating_sub(1)),
                 bottom: pv.min(kh.saturating_sub(1)),
@@ -26,8 +33,7 @@ fn geometry() -> impl Strategy<Value = (PoolParams, usize, usize)> {
                 min_h.max(kh)..=min_h.max(kh) + 12,
                 min_w.max(kw)..=min_w.max(kw) + 12,
             )
-        },
-    )
+        })
 }
 
 /// Small-integer tensors: every f16 partial sum over them is exact, so
@@ -35,7 +41,9 @@ fn geometry() -> impl Strategy<Value = (PoolParams, usize, usize)> {
 fn int_tensor(c1: usize, h: usize, w: usize, seed: u64) -> Nc1hwc0 {
     let mut s = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(1);
     Nc1hwc0::from_fn(1, c1, h, w, |_, _, _, _, _| {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         F16::from_f32(((s >> 33) % 17) as f32 - 8.0)
     })
 }

@@ -66,7 +66,9 @@ fn main() {
         .expect("pool1");
     assert_eq!(
         p1_out.data(),
-        reference::maxpool_forward(&pool_in, &pool_p).unwrap().data()
+        reference::maxpool_forward(&pool_in, &pool_p)
+            .unwrap()
+            .data()
     );
     total_cycles += run.cycles;
     println!(

@@ -1,0 +1,49 @@
+//! Profile a pooling run: record an instruction-level trace, export it
+//! for Perfetto/chrome://tracing, and print the cycle breakdown —
+//! the workflow described in README § "Profiling a run".
+//!
+//! ```sh
+//! cargo run --release --example profile_run
+//! ```
+
+use davinci_pooling::prelude::*;
+use davinci_pooling::sim::TraceConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Fig. 7's middle InceptionV3 shape: 71x71, 192 channels, K3S2.
+    let input = Nchw::from_fn(1, 192, 71, 71, |_, c, h, w| {
+        F16::from_f32(((c + 3 * h + 7 * w) % 11) as f32)
+    })
+    .to_nc1hwc0();
+
+    let engine = PoolingEngine::ascend910().with_trace(TraceConfig::ON);
+    let (_, run) = engine.maxpool_forward(&input, PoolParams::K3S2, ForwardImpl::Im2col)?;
+
+    let path = "pool.trace.json";
+    std::fs::write(path, run.chrome_trace_json())?;
+    let events: usize = run.traces.iter().map(|t| t.events.len()).sum();
+    println!(
+        "wrote {path}: {events} instructions across {} traced cores",
+        run.traces.len()
+    );
+    println!("open it in chrome://tracing or https://ui.perfetto.dev\n");
+
+    println!("{}", run.breakdown().render());
+
+    println!("buffer high-water marks:");
+    for (buffer, peak) in run.peaks.iter() {
+        if peak > 0 {
+            println!("  {buffer:<4} {peak:>9} bytes");
+        }
+    }
+
+    // The invariant the trace rests on: counters and trace agree.
+    run.breakdown()
+        .verify_against(&run.total)
+        .map_err(|e| format!("trace/counter mismatch: {e}"))?;
+    println!(
+        "\ntrace durations sum to the counter total: {} cycles",
+        run.total.cycles
+    );
+    Ok(())
+}

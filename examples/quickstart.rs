@@ -18,7 +18,10 @@ fn main() {
     let engine = PoolingEngine::ascend910();
     let params = PoolParams::K3S2; // kernel (3,3), stride (2,2) — the common CNN config
 
-    println!("MaxPool {}x{} x{} channels, kernel (3,3), stride (2,2)\n", 64, 64, 64);
+    println!(
+        "MaxPool {}x{} x{} channels, kernel (3,3), stride (2,2)\n",
+        64, 64, 64
+    );
 
     let (out_std, run_std) = engine
         .maxpool_forward(&input, params, ForwardImpl::Standard)
@@ -32,10 +35,19 @@ fn main() {
         out_im2col.data(),
         "both implementations must agree bit-exactly"
     );
-    println!("output: {}x{} (bit-identical between implementations)", out_std.h, out_std.w);
+    println!(
+        "output: {}x{} (bit-identical between implementations)",
+        out_std.h, out_std.w
+    );
     println!();
-    println!("{:<28} {:>12} {:>10} {:>12}", "implementation", "cycles", "vmax", "vector util");
-    for (name, run) in [("Maxpool (standard)", &run_std), ("Maxpool with Im2col", &run_im2col)] {
+    println!(
+        "{:<28} {:>12} {:>10} {:>12}",
+        "implementation", "cycles", "vmax", "vector util"
+    );
+    for (name, run) in [
+        ("Maxpool (standard)", &run_std),
+        ("Maxpool with Im2col", &run_im2col),
+    ] {
         println!(
             "{:<28} {:>12} {:>10} {:>11.1}%",
             name,

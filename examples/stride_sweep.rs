@@ -24,7 +24,10 @@ fn main() {
             "\nstride ({stride},{stride}) — im2col duplication {:.2}x — input {hw}x{hw}:",
             dup_n as f64 / dup_d as f64
         );
-        println!("  {:<26} {:>12} {:>13}", "implementation", "cycles", "vector util");
+        println!(
+            "  {:<26} {:>12} {:>13}",
+            "implementation", "cycles", "vector util"
+        );
         let mut reference: Option<Vec<F16>> = None;
         for impl_ in ForwardImpl::ALL {
             let (out, run) = engine

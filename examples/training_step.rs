@@ -52,10 +52,17 @@ fn main() {
 
     // ---- report ----------------------------------------------------
     println!("training step through MaxPool {ih}x{iw}x{c}, K(3,3)/S(2,2):\n");
-    println!("{:<34} {:>12} {:>12} {:>8}", "stage", "baseline", "accelerated", "speedup");
+    println!(
+        "{:<34} {:>12} {:>12} {:>8}",
+        "stage", "baseline", "accelerated", "speedup"
+    );
     for (stage, base, acc) in [
         ("forward + argmax mask", fwd_base.cycles, fwd_acc.cycles),
-        ("backward (mask x grad + merge)", bwd_base.cycles, bwd_acc.cycles),
+        (
+            "backward (mask x grad + merge)",
+            bwd_base.cycles,
+            bwd_acc.cycles,
+        ),
     ] {
         println!(
             "{:<34} {:>12} {:>12} {:>7.2}x",

@@ -12,7 +12,13 @@ fn fig7_tables_reproduce_the_paper_shape() {
     let parse = |t: &dv_bench::Table| -> Vec<f64> {
         t.rows
             .iter()
-            .map(|r| r.last().unwrap().trim_end_matches('x').parse::<f64>().unwrap())
+            .map(|r| {
+                r.last()
+                    .unwrap()
+                    .trim_end_matches('x')
+                    .parse::<f64>()
+                    .unwrap()
+            })
             .collect()
     };
     let a = experiments::fig7a();
@@ -30,14 +36,27 @@ fn fig7_tables_reproduce_the_paper_shape() {
         );
     }
     // ordering at the largest input (paper: 3.2x < 5x < 5.8x)
-    assert!(sa[0] < sb[0], "forward < forward+argmax ({} vs {})", sa[0], sb[0]);
-    assert!(sb[0] < sc[0], "forward+argmax < backward ({} vs {})", sb[0], sc[0]);
+    assert!(
+        sa[0] < sb[0],
+        "forward < forward+argmax ({} vs {})",
+        sa[0],
+        sb[0]
+    );
+    assert!(
+        sb[0] < sc[0],
+        "forward+argmax < backward ({} vs {})",
+        sb[0],
+        sc[0]
+    );
 }
 
 #[test]
 fn fig8_crossover_matches_the_paper() {
     let cycles_of = |t: &dv_bench::Table, col: usize| -> Vec<u64> {
-        t.rows.iter().map(|r| r[col].parse::<u64>().unwrap()).collect()
+        t.rows
+            .iter()
+            .map(|r| r[col].parse::<u64>().unwrap())
+            .collect()
     };
     // Fig. 8a (stride 1): direct Maxpool (col 1) beats Im2col (col 2)
     // at every size.
@@ -59,11 +78,31 @@ fn fig8_crossover_matches_the_paper() {
         if hws[i] < 16 {
             continue; // tiny sizes are issue-overhead noise in the paper too
         }
-        assert!(im2[i] < std2[i], "fig8b hw={}: im2col must beat standard", hws[i]);
-        assert!(im2[i] <= exp2[i], "fig8b hw={}: im2col <= expansion", hws[i]);
-        assert!(exp2[i] < std2[i], "fig8b hw={}: expansion beats standard", hws[i]);
-        assert!(im2[i] < xy2[i], "fig8b hw={}: im2col beats X-Y split", hws[i]);
-        assert!(xy2[i] < std2[i], "fig8b hw={}: X-Y split beats standard", hws[i]);
+        assert!(
+            im2[i] < std2[i],
+            "fig8b hw={}: im2col must beat standard",
+            hws[i]
+        );
+        assert!(
+            im2[i] <= exp2[i],
+            "fig8b hw={}: im2col <= expansion",
+            hws[i]
+        );
+        assert!(
+            exp2[i] < std2[i],
+            "fig8b hw={}: expansion beats standard",
+            hws[i]
+        );
+        assert!(
+            im2[i] < xy2[i],
+            "fig8b hw={}: im2col beats X-Y split",
+            hws[i]
+        );
+        assert!(
+            xy2[i] < std2[i],
+            "fig8b hw={}: X-Y split beats standard",
+            hws[i]
+        );
     }
     // Fig. 8c (stride 3, no duplication): Im2col wins.
     let c = experiments::fig8(3);
@@ -74,7 +113,11 @@ fn fig8_crossover_matches_the_paper() {
         if hws[i] < 16 {
             continue;
         }
-        assert!(im3[i] < std3[i], "fig8c hw={}: im2col must beat standard", hws[i]);
+        assert!(
+            im3[i] < std3[i],
+            "fig8c hw={}: im2col must beat standard",
+            hws[i]
+        );
     }
 }
 
@@ -145,7 +188,10 @@ fn fusion_beats_unfused_pipeline() {
     let t = experiments::fusion();
     let unfused: u64 = t.rows[0][3].parse().unwrap();
     let fused: u64 = t.rows[1][3].parse().unwrap();
-    assert!(fused < unfused, "fused ({fused}) must beat unfused ({unfused})");
+    assert!(
+        fused < unfused,
+        "fused ({fused}) must beat unfused ({unfused})"
+    );
     let ulp: u32 = t.rows[1][5].parse().unwrap();
     assert!(ulp <= 4);
 }

@@ -1,0 +1,228 @@
+//! End-to-end checks of the instruction-level observability layer.
+//!
+//! The invariant the trace recorder promises: the hardware counters and
+//! the trace describe the *same* execution, so the sum of per-instruction
+//! trace durations is exactly `HwCounters::cycles` — no double charging,
+//! no missing instructions. Verified here on a hand-built Fig. 6-style
+//! Col2Im program and on full pooling engine runs, plus a round-trip of
+//! the Chrome trace export through the JSON parser.
+
+use davinci_pooling::prelude::*;
+use davinci_pooling::sim::{chrome_trace_json, AiCore, Breakdown, TraceConfig};
+use davinci_pooling::tensor::reference;
+use dv_isa::{Addr, BufferId, Col2Im, DataMove, Im2ColGeometry, Instr, Program};
+
+const C0: usize = 16;
+
+fn det(seed: usize, i: usize) -> F16 {
+    F16::from_f32(((seed * 31 + i * 7) % 13) as f32 * 0.25 - 1.5)
+}
+
+/// Fig. 6 as a program: zero the output tile, DMA the patch fractal into
+/// the UB, scatter-sum it back with Col2Im. The counters must equal the
+/// per-instruction trace sums exactly.
+#[test]
+fn counters_equal_trace_sums_for_col2im_program() {
+    let mut core = AiCore::new(CostModel::ascend910_like(), 1 << 20);
+    core.set_trace(TraceConfig::ON);
+
+    // One 16-patch fractal in GM: patch p's row holds the value p+1.
+    let mut frac = Vec::with_capacity(16 * C0);
+    for p in 0..16 {
+        for _ in 0..C0 {
+            frac.push(F16::from_f32((p + 1) as f32));
+        }
+    }
+    core.load_gm(0, &frac).unwrap();
+
+    let params = PoolParams::new((2, 2), (2, 2));
+    let geom = Im2ColGeometry::new(8, 8, 1, params).unwrap();
+    let mut p = Program::new();
+    // Output tile: 8*8*C0 f16 elements at UB+8192, zero-initialised.
+    dv_akg::zero_region(&mut p, Addr::ub(8192), 8 * 8 * C0).unwrap();
+    // Fractal: GM -> UB.
+    p.push(Instr::Move(DataMove::new(
+        Addr::gm(0),
+        Addr::ub(0),
+        16 * C0 * 2,
+    )))
+    .unwrap();
+    // Scatter-sum (Fig. 6, Section III-D).
+    p.push(Instr::Col2Im(Col2Im {
+        geom,
+        src: Addr::ub(0),
+        dst: Addr::ub(8192),
+        first_patch: 0,
+        k_off: (0, 0),
+        c1: 0,
+        repeat: 1,
+    }))
+    .unwrap();
+
+    core.run(&p).unwrap();
+
+    // Functional result: patch p landed at (2*(p/4), 2*(p%4)).
+    for patch in 0..16 {
+        let (h, w) = (2 * (patch / 4), 2 * (patch % 4));
+        let off = 8192 + (h * 8 + w) * C0 * 2;
+        assert_eq!(
+            core.buffers().read_f16(BufferId::Ub, off).unwrap().to_f32(),
+            (patch + 1) as f32
+        );
+    }
+
+    // Observability result: one event per executed instruction, durations
+    // summing to the counter total, agreeing per unit and per mnemonic.
+    let trace = core.trace();
+    assert_eq!(trace.events.len(), p.len());
+    assert_eq!(trace.dropped, 0);
+    let manual_sum: u64 = trace.events.iter().map(|e| e.cycles).sum();
+    assert_eq!(manual_sum, core.counters().cycles);
+    assert_eq!(trace.total_cycles(), core.counters().cycles);
+    Breakdown::from_traces([trace])
+        .verify_against(core.counters())
+        .expect("breakdown agrees with counters");
+
+    // Events are contiguous on the single-issue core: each instruction
+    // starts where the previous one ended.
+    let mut cursor = 0;
+    for e in &trace.events {
+        assert_eq!(e.start, cursor, "{} issued at the wrong cycle", e.mnemonic);
+        cursor += e.cycles;
+    }
+    let col2im = trace.events.last().unwrap();
+    assert_eq!(col2im.mnemonic, "col2im");
+    assert_eq!(col2im.src, Some(BufferId::Ub));
+    assert_eq!(col2im.dst, Some(BufferId::Ub));
+}
+
+/// The invariant holds for a full Fig. 7-style engine run across every
+/// core of the chip, for both pooling implementations.
+#[test]
+fn counters_equal_trace_sums_for_engine_runs() {
+    let input =
+        Nchw::from_fn(1, 64, 35, 35, |_, c, h, w| det(5, c * 1225 + h * 35 + w)).to_nc1hwc0();
+    let engine = PoolingEngine::ascend910().with_trace(TraceConfig::ON);
+    for impl_ in [ForwardImpl::Standard, ForwardImpl::Im2col] {
+        let (_, run) = engine
+            .maxpool_forward(&input, PoolParams::K3S2, impl_)
+            .expect("forward");
+        assert!(!run.traces.is_empty(), "{impl_:?}: tracing was enabled");
+        let sum: u64 = run
+            .traces
+            .iter()
+            .flat_map(|t| t.events.iter())
+            .map(|e| e.cycles)
+            .sum();
+        assert_eq!(
+            sum, run.total.cycles,
+            "{impl_:?}: trace durations must sum to the counter total"
+        );
+        run.breakdown()
+            .verify_against(&run.total)
+            .expect("breakdown agrees with merged counters");
+    }
+}
+
+/// `maxpool_backward` with tracing produces Chrome trace-event JSON that
+/// parses and carries the structure Perfetto needs: process/thread
+/// metadata and complete (`X`) events with timestamps and durations.
+#[test]
+fn maxpool_backward_chrome_trace_parses() {
+    let input =
+        Nchw::from_fn(1, 32, 17, 17, |_, c, h, w| det(9, c * 289 + h * 17 + w)).to_nc1hwc0();
+    let params = PoolParams::K3S2;
+    let engine = PoolingEngine::ascend910().with_trace(TraceConfig::ON);
+    let (pooled, mask, _) = engine
+        .maxpool_forward_with_argmax(&input, params, ForwardImpl::Im2col)
+        .expect("forward");
+    let grads = Nc1hwc0::from_fn(1, input.c1, pooled.h, pooled.w, |_, c1, h, w, c0| {
+        F16::from_f32(((c1 + h * 2 + w * 3 + c0) % 5) as f32)
+    });
+    let (dx, run) = engine
+        .maxpool_backward(&mask, &grads, params, input.h, input.w, MergeImpl::Col2Im)
+        .expect("backward");
+    let want = reference::maxpool_backward(&mask, &grads, &params, input.h, input.w).unwrap();
+    assert_eq!(dx.data(), want.data(), "tracing must not change results");
+
+    let json = run.chrome_trace_json();
+    assert_eq!(json, chrome_trace_json(&run.traces));
+    let doc = dv_bench::json::parse(&json).expect("chrome trace JSON parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut complete = 0u64;
+    let mut col2im_events = 0u64;
+    let mut saw_process_meta = false;
+    for e in events {
+        match e.get("ph").and_then(|v| v.as_str()) {
+            Some("X") => {
+                complete += 1;
+                assert!(e.get("ts").and_then(|v| v.as_u64()).is_some());
+                assert!(e.get("dur").and_then(|v| v.as_u64()).is_some());
+                assert!(e.get("pid").and_then(|v| v.as_u64()).is_some());
+                assert!(e.get("tid").and_then(|v| v.as_u64()).is_some());
+                if e.get("name").and_then(|v| v.as_str()) == Some("col2im") {
+                    col2im_events += 1;
+                }
+            }
+            Some("M") => {
+                if e.get("name").and_then(|v| v.as_str()) == Some("process_name") {
+                    saw_process_meta = true;
+                }
+            }
+            ph => panic!("unexpected event phase {ph:?}"),
+        }
+    }
+    let traced: u64 = run.traces.iter().map(|t| t.events.len() as u64).sum();
+    assert_eq!(complete, traced, "one X event per traced instruction");
+    assert!(col2im_events > 0, "backward pass used Col2Im");
+    assert!(saw_process_meta, "per-core process_name metadata present");
+
+    // The rendered breakdown is the human-readable view of the same data.
+    let report = run.breakdown().render();
+    assert!(report.contains("col2im"));
+    assert!(report.contains(&format!("total cycles: {}", run.total.cycles)));
+}
+
+/// Tracing must not perturb the simulation: identical cycle counts and
+/// identical outputs with tracing on and off, and the capped config keeps
+/// cycle totals exact while bounding memory.
+#[test]
+fn tracing_is_observationally_transparent() {
+    let input =
+        Nchw::from_fn(1, 16, 21, 21, |_, c, h, w| det(7, c * 441 + h * 21 + w)).to_nc1hwc0();
+    let params = PoolParams::K3S2;
+
+    let quiet = PoolingEngine::ascend910();
+    let traced = PoolingEngine::ascend910().with_trace(TraceConfig::ON);
+    let capped = PoolingEngine::ascend910().with_trace(TraceConfig::capped(4));
+
+    let (out_q, run_q) = quiet
+        .maxpool_forward(&input, params, ForwardImpl::Im2col)
+        .unwrap();
+    let (out_t, run_t) = traced
+        .maxpool_forward(&input, params, ForwardImpl::Im2col)
+        .unwrap();
+    let (out_c, run_c) = capped
+        .maxpool_forward(&input, params, ForwardImpl::Im2col)
+        .unwrap();
+
+    assert_eq!(out_q.data(), out_t.data());
+    assert_eq!(out_q.data(), out_c.data());
+    assert_eq!(run_q.total.cycles, run_t.total.cycles);
+    assert_eq!(run_q.total.cycles, run_c.total.cycles);
+    assert!(run_q.traces.is_empty(), "no traces kept when disabled");
+
+    for t in &run_c.traces {
+        assert!(t.events.len() <= 4, "cap respected");
+        assert!(t.dropped > 0, "overflow recorded, not lost silently");
+    }
+
+    // Peaks are tracked regardless of tracing.
+    assert_eq!(run_q.peaks, run_t.peaks);
+    assert!(run_q.peaks.of(dv_isa::BufferId::Ub) > 0);
+}

@@ -14,7 +14,9 @@ fn det(seed: usize, i: usize) -> F16 {
 fn conv_then_pool_then_backward() {
     // --- layer 1: convolution on the Cube Unit ---------------------
     let image = Nchw::from_fn(1, 16, 21, 21, |_, c, h, w| det(1, c * 441 + h * 21 + w));
-    let kernels = Nchw::from_fn(32, 16, 3, 3, |m, c, h, w| det(2, m * 144 + c * 9 + h * 3 + w));
+    let kernels = Nchw::from_fn(32, 16, 3, 3, |m, c, h, w| {
+        det(2, m * 144 + c * 9 + h * 3 + w)
+    });
     let conv_params = PoolParams::new((3, 3), (1, 1));
 
     let (feature, conv_run) =
@@ -41,7 +43,14 @@ fn conv_then_pool_then_backward() {
         F16::from_f32(((c1 + h * 2 + w * 3 + c0) % 5) as f32)
     });
     let (dx, bwd_run) = engine
-        .maxpool_backward(&mask, &grads, pool_params, pool_in.h, pool_in.w, MergeImpl::Col2Im)
+        .maxpool_backward(
+            &mask,
+            &grads,
+            pool_params,
+            pool_in.h,
+            pool_in.w,
+            MergeImpl::Col2Im,
+        )
         .expect("pool backward");
     let want_dx =
         reference::maxpool_backward(&want_mask, &grads, &pool_params, pool_in.h, pool_in.w)
@@ -54,8 +63,8 @@ fn conv_then_pool_then_backward() {
 fn both_paths_agree_end_to_end() {
     // Baseline and accelerated paths must agree on every intermediate
     // tensor of the forward+backward pipeline.
-    let input = Nchw::from_fn(1, 48, 25, 25, |_, c, h, w| det(3, c * 625 + h * 25 + w))
-        .to_nc1hwc0();
+    let input =
+        Nchw::from_fn(1, 48, 25, 25, |_, c, h, w| det(3, c * 625 + h * 25 + w)).to_nc1hwc0();
     let params = PoolParams::K3S2;
     let engine = PoolingEngine::ascend910();
 
@@ -84,8 +93,8 @@ fn both_paths_agree_end_to_end() {
 
 #[test]
 fn avgpool_training_pipeline() {
-    let input = Nchw::from_fn(1, 32, 19, 19, |_, c, h, w| det(5, c * 361 + h * 19 + w))
-        .to_nc1hwc0();
+    let input =
+        Nchw::from_fn(1, 32, 19, 19, |_, c, h, w| det(5, c * 361 + h * 19 + w)).to_nc1hwc0();
     let params = PoolParams::K3S2;
     let engine = PoolingEngine::ascend910();
 

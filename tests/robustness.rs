@@ -74,18 +74,16 @@ fn decode_errors_render_helpfully() {
 
 fn special_input() -> Nc1hwc0 {
     // a tensor salted with NaN, +-inf, -0.0 and subnormals
-    Nc1hwc0::from_fn(1, 1, 9, 9, |_, _, h, w, c0| {
-        match (h * 9 + w + c0) % 9 {
-            0 => F16::NAN,
-            1 => F16::INFINITY,
-            2 => F16::NEG_INFINITY,
-            3 => F16::NEG_ZERO,
-            4 => F16::MIN_POSITIVE_SUBNORMAL,
-            5 => F16::MAX,
-            6 => F16::MIN,
-            7 => F16::from_f32(1.5),
-            _ => F16::from_f32(-2.25),
-        }
+    Nc1hwc0::from_fn(1, 1, 9, 9, |_, _, h, w, c0| match (h * 9 + w + c0) % 9 {
+        0 => F16::NAN,
+        1 => F16::INFINITY,
+        2 => F16::NEG_INFINITY,
+        3 => F16::NEG_ZERO,
+        4 => F16::MIN_POSITIVE_SUBNORMAL,
+        5 => F16::MAX,
+        6 => F16::MIN,
+        7 => F16::from_f32(1.5),
+        _ => F16::from_f32(-2.25),
     })
 }
 
