@@ -4,11 +4,25 @@
 //! that keeps outputs bit-exact but quietly doubles the simulated cycles
 //! of the accelerated kernels has destroyed the artifact without failing
 //! a single functional test. This module replays the paper's Fig. 7 and
-//! Fig. 8 workloads, writes the measured cycles and speedups to
-//! `BENCH_pooling.json`, and compares them against the committed baseline
-//! in `crates/bench/baselines/pooling.json`: any tracked metric more than
+//! Fig. 8 workloads plus the remaining Table I rows, writes the measured
+//! cycles, speedups, and buffer-occupancy peaks to `BENCH_pooling.json`,
+//! and compares them against the committed baseline in
+//! `crates/bench/baselines/pooling.json`: any tracked metric more than
 //! [`TOLERANCE`] worse than the baseline fails the gate (the simulator is
 //! deterministic, so honest changes show up as exact deltas).
+//!
+//! Every metric carries **both issue models**. The headline columns are
+//! the dual-pipe makespans; the `*_single` columns are the legacy serial
+//! timing — derived from the same run via
+//! [`HwCounters::busy_cycles`](dv_sim::HwCounters::busy_cycles) plus the
+//! per-core dispatch overhead, which reproduces the single-issue model
+//! cycle-for-cycle because per-instruction charges are identical in both
+//! models (the `single_issue_derivation_matches_real_runs` test in
+//! `tests/perf_gate.rs` pins this against actual
+//! `CostModel::single_issue()` executions). Buffer peaks (`ub_peak`,
+//! `l1_peak`) come from [`ChipRun::peaks`], so a lowering change that
+//! silently grows scratchpad footprints fails the gate alongside cycle
+//! regressions.
 //!
 //! When a cost-model or lowering change moves cycles *intentionally*,
 //! regenerate the baseline with
@@ -17,8 +31,11 @@
 
 use crate::inputs::{feature_map, gradients, plane};
 use crate::json;
-use dv_core::{fig7_workloads, tiling_threshold, ForwardImpl, MergeImpl, PoolingEngine};
-use dv_sim::{Chip, CostModel};
+use dv_core::{
+    fig7_workloads, table1_workloads, tiling_threshold, ForwardImpl, MergeImpl, PoolingEngine,
+};
+use dv_isa::BufferId;
+use dv_sim::{Chip, ChipRun, CostModel};
 use dv_tensor::{reference, PoolParams};
 use std::fmt::Write as _;
 
@@ -30,31 +47,77 @@ pub const TOLERANCE: f64 = 0.05;
 pub const COMMITTED_BASELINE: &str = include_str!("../baselines/pooling.json");
 
 /// One tracked workload: cycles for the baseline implementation and for
-/// the paper's accelerated implementation.
+/// the paper's accelerated implementation, under both issue models, plus
+/// scratchpad occupancy ceilings.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Metric {
     /// Stable identifier, e.g. `fig7a/147x147x64` or `fig8s2/24x24`.
     pub key: String,
-    /// Cycles of the standard (non-accelerated) implementation.
+    /// Dual-pipe cycles of the standard (non-accelerated) implementation.
     pub standard_cycles: u64,
-    /// Cycles of the Im2col/Col2Im-accelerated implementation.
+    /// Dual-pipe cycles of the Im2col/Col2Im-accelerated implementation.
     pub accelerated_cycles: u64,
+    /// Single-issue (legacy serial) cycles of the standard implementation.
+    pub standard_cycles_single: u64,
+    /// Single-issue cycles of the accelerated implementation.
+    pub accelerated_cycles_single: u64,
+    /// Peak Unified Buffer occupancy in bytes (max over both
+    /// implementations).
+    pub ub_peak: u64,
+    /// Peak L1 buffer occupancy in bytes (max over both implementations).
+    pub l1_peak: u64,
 }
 
 impl Metric {
-    /// Speedup of the accelerated implementation (standard / accelerated).
+    /// Dual-pipe speedup of the accelerated implementation
+    /// (standard / accelerated).
     pub fn speedup(&self) -> f64 {
         self.standard_cycles as f64 / self.accelerated_cycles as f64
+    }
+
+    /// Single-issue speedup — the PR 1 headline numbers.
+    pub fn speedup_single(&self) -> f64 {
+        self.standard_cycles_single as f64 / self.accelerated_cycles_single as f64
+    }
+}
+
+/// The serial (single-issue) chip cycles of a run that may have executed
+/// under the dual-pipe model: per core, the unit-busy total plus whatever
+/// dispatch overhead the chip charged on top of the core's makespan; the
+/// chip-level count is the max over cores, mirroring [`ChipRun::cycles`].
+/// Exact because per-instruction charges do not depend on the issue
+/// model.
+pub fn single_issue_cycles(run: &ChipRun) -> u64 {
+    run.per_core
+        .iter()
+        .zip(&run.core_cycles)
+        .map(|(c, total)| c.busy_cycles() + (total - c.cycles))
+        .max()
+        .unwrap_or(0)
+}
+
+fn metric(key: String, std: &ChipRun, acc: &ChipRun) -> Metric {
+    Metric {
+        key,
+        standard_cycles: std.cycles,
+        accelerated_cycles: acc.cycles,
+        standard_cycles_single: single_issue_cycles(std),
+        accelerated_cycles_single: single_issue_cycles(acc),
+        ub_peak: std.peaks.of(BufferId::Ub).max(acc.peaks.of(BufferId::Ub)) as u64,
+        l1_peak: std.peaks.of(BufferId::L1).max(acc.peaks.of(BufferId::L1)) as u64,
     }
 }
 
 /// Replay every tracked workload and measure it.
 ///
 /// Covers all Fig. 7 shapes (forward, forward+argmax, backward — the
-/// three bold InceptionV3 rows of Table I on the 32-core chip) and the
+/// three bold InceptionV3 rows of Table I on the 32-core chip), the
 /// Fig. 8 stride study (strides 1–3 on one core at fixed sizes below the
-/// tiling threshold). Inputs reuse the experiment seeds, so cycle counts
-/// match the corresponding `experiments::*` tables exactly.
+/// tiling threshold), and the ten remaining Table I rows (forward only,
+/// both implementations), so every published workload's cycle counts and
+/// buffer ceilings are under regression tracking. Inputs reuse the
+/// experiment seeds, so cycle counts match the corresponding
+/// `experiments::*` tables exactly.
 pub fn collect() -> Vec<Metric> {
     let mut out = Vec::new();
     let eng = PoolingEngine::ascend910();
@@ -71,11 +134,7 @@ pub fn collect() -> Vec<Metric> {
             .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
             .expect("fig7a im2col");
         assert_eq!(o_s.data(), o_a.data(), "fig7a implementations disagree");
-        out.push(Metric {
-            key: format!("fig7a/{shape}"),
-            standard_cycles: std.cycles,
-            accelerated_cycles: acc.cycles,
-        });
+        out.push(metric(format!("fig7a/{shape}"), &std, &acc));
 
         // Fig. 7b — forward with the argmax mask.
         let input = feature_map(1, w.c, w.h, w.w, 72);
@@ -87,11 +146,7 @@ pub fn collect() -> Vec<Metric> {
             .expect("fig7b im2col");
         assert_eq!(o_s.data(), o_a.data(), "fig7b implementations disagree");
         assert_eq!(m_s.data(), m_a.data(), "fig7b masks disagree");
-        out.push(Metric {
-            key: format!("fig7b/{shape}"),
-            standard_cycles: std.cycles,
-            accelerated_cycles: acc.cycles,
-        });
+        out.push(metric(format!("fig7b/{shape}"), &std, &acc));
 
         // Fig. 7c — backward.
         let input = feature_map(1, w.c, w.h, w.w, 73);
@@ -105,11 +160,7 @@ pub fn collect() -> Vec<Metric> {
             .maxpool_backward(&mask, &grads, w.params, w.h, w.w, MergeImpl::Col2Im)
             .expect("fig7c col2im");
         assert_eq!(dx_s.data(), dx_a.data(), "fig7c merges disagree");
-        out.push(Metric {
-            key: format!("fig7c/{shape}"),
-            standard_cycles: std.cycles,
-            accelerated_cycles: acc.cycles,
-        });
+        out.push(metric(format!("fig7c/{shape}"), &std, &acc));
     }
 
     // Fig. 8 — the stride study, one AI core, K(3,3).
@@ -133,29 +184,63 @@ pub fn collect() -> Vec<Metric> {
                 .maxpool_forward(&input, params, ForwardImpl::Im2col)
                 .expect("fig8 im2col");
             assert_eq!(o_s.data(), o_a.data(), "fig8 implementations disagree");
-            out.push(Metric {
-                key: format!("fig8s{stride}/{hw}x{hw}"),
-                standard_cycles: std.cycles,
-                accelerated_cycles: acc.cycles,
-            });
+            out.push(metric(format!("fig8s{stride}/{hw}x{hw}"), &std, &acc));
         }
+    }
+
+    // The ten Table I rows Fig. 7 does not evaluate — forward pass only,
+    // both implementations, so every published workload has its cycles
+    // and buffer ceilings under regression tracking.
+    for w in table1_workloads()
+        .into_iter()
+        .filter(|w| !w.evaluated_in_fig7)
+    {
+        let shape = format!("{}x{}x{}", w.h, w.w, w.c);
+        let input = feature_map(1, w.c, w.h, w.w, 75);
+        let (o_s, std) = eng
+            .maxpool_forward(&input, w.params, ForwardImpl::Standard)
+            .expect("table1 standard");
+        let (o_a, acc) = eng
+            .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("table1 im2col");
+        assert_eq!(o_s.data(), o_a.data(), "table1 implementations disagree");
+        out.push(metric(
+            format!("table1/{}-{}/{shape}", w.cnn, w.input_idx),
+            &std,
+            &acc,
+        ));
     }
 
     out
 }
 
 /// Render metrics as the `BENCH_pooling.json` document. When `baseline`
-/// is given, each metric additionally carries its cycle ratio vs the
-/// baseline (1.0 = unchanged, >1.0 = slower).
+/// is given, each metric additionally carries its dual-pipe cycle ratio
+/// vs the baseline (1.0 = unchanged, >1.0 = slower).
 pub fn to_json(metrics: &[Metric], baseline: Option<&[Metric]>) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"pooling\",\n");
     let _ = writeln!(out, "  \"tolerance\": {TOLERANCE},");
+    let _ = writeln!(
+        out,
+        "  \"issue_models\": [\"dual_pipe\", \"single_issue\"],"
+    );
     out.push_str("  \"metrics\": [\n");
     for (i, m) in metrics.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"key\": \"{}\", \"standard_cycles\": {}, \"accelerated_cycles\": {}, \"speedup\": {:.4}",
-            m.key, m.standard_cycles, m.accelerated_cycles, m.speedup()
+            "    {{\"key\": \"{}\", \"standard_cycles\": {}, \"accelerated_cycles\": {}, \
+             \"speedup\": {:.4}, \"standard_cycles_single\": {}, \
+             \"accelerated_cycles_single\": {}, \"speedup_single\": {:.4}, \
+             \"ub_peak\": {}, \"l1_peak\": {}",
+            m.key,
+            m.standard_cycles,
+            m.accelerated_cycles,
+            m.speedup(),
+            m.standard_cycles_single,
+            m.accelerated_cycles_single,
+            m.speedup_single(),
+            m.ub_peak,
+            m.l1_peak
         );
         if let Some(base) = baseline {
             if let Some(b) = base.iter().find(|b| b.key == m.key) {
@@ -184,32 +269,35 @@ pub fn parse_metrics(doc: &str) -> Result<Vec<Metric>, String> {
         .get("metrics")
         .and_then(|m| m.as_arr())
         .ok_or("missing \"metrics\" array")?;
+    let field = |m: &json::Value, name: &'static str| {
+        m.get(name)
+            .and_then(|c| c.as_u64())
+            .ok_or(format!("metric missing \"{name}\""))
+    };
     arr.iter()
         .map(|m| {
             Ok(Metric {
                 key: m
                     .get("key")
                     .and_then(|k| k.as_str())
-                    .ok_or("metric missing \"key\"")?
+                    .ok_or("metric missing \"key\"".to_string())?
                     .to_string(),
-                standard_cycles: m
-                    .get("standard_cycles")
-                    .and_then(|c| c.as_u64())
-                    .ok_or("metric missing \"standard_cycles\"")?,
-                accelerated_cycles: m
-                    .get("accelerated_cycles")
-                    .and_then(|c| c.as_u64())
-                    .ok_or("metric missing \"accelerated_cycles\"")?,
+                standard_cycles: field(m, "standard_cycles")?,
+                accelerated_cycles: field(m, "accelerated_cycles")?,
+                standard_cycles_single: field(m, "standard_cycles_single")?,
+                accelerated_cycles_single: field(m, "accelerated_cycles_single")?,
+                ub_peak: field(m, "ub_peak")?,
+                l1_peak: field(m, "l1_peak")?,
             })
         })
-        .collect::<Result<Vec<_>, &str>>()
-        .map_err(|e| e.to_string())
+        .collect::<Result<Vec<_>, String>>()
 }
 
 /// Compare current metrics against a baseline. Returns the list of
 /// regressions — a baseline metric that disappeared, or one whose cycle
-/// count (either implementation) grew by more than `tolerance`. An empty
-/// list means the gate passes; improvements and new metrics pass.
+/// count (either implementation, either issue model) or buffer peak grew
+/// by more than `tolerance`. An empty list means the gate passes;
+/// improvements and new metrics pass.
 pub fn compare(current: &[Metric], baseline: &[Metric], tolerance: f64) -> Vec<String> {
     let mut regressions = Vec::new();
     for b in baseline {
@@ -220,11 +308,25 @@ pub fn compare(current: &[Metric], baseline: &[Metric], tolerance: f64) -> Vec<S
         for (what, now, base) in [
             ("standard", c.standard_cycles, b.standard_cycles),
             ("accelerated", c.accelerated_cycles, b.accelerated_cycles),
+            (
+                "standard single-issue",
+                c.standard_cycles_single,
+                b.standard_cycles_single,
+            ),
+            (
+                "accelerated single-issue",
+                c.accelerated_cycles_single,
+                b.accelerated_cycles_single,
+            ),
+            ("UB peak", c.ub_peak, b.ub_peak),
+            ("L1 peak", c.l1_peak, b.l1_peak),
         ] {
-            let ratio = now as f64 / base as f64;
-            if ratio > 1.0 + tolerance {
+            // A metric absent from the baseline (0) that appears now is a
+            // new ceiling, not a regression of an old one.
+            let ratio = now as f64 / base.max(1) as f64;
+            if base > 0 && ratio > 1.0 + tolerance {
                 regressions.push(format!(
-                    "{} ({what}): {now} cycles vs baseline {base} ({:+.1}%)",
+                    "{} ({what}): {now} vs baseline {base} ({:+.1}%)",
                     b.key,
                     (ratio - 1.0) * 100.0
                 ));
@@ -258,6 +360,10 @@ mod tests {
             key: key.into(),
             standard_cycles: s,
             accelerated_cycles: a,
+            standard_cycles_single: s + s / 2,
+            accelerated_cycles_single: a + a / 2,
+            ub_peak: 4096,
+            l1_peak: 0,
         }
     }
 
@@ -266,6 +372,8 @@ mod tests {
         let ms = vec![m("fig7a/1x1x16", 1000, 250), m("fig8s2/16x16", 77, 33)];
         let doc = to_json(&ms, None);
         assert_eq!(parse_metrics(&doc).unwrap(), ms);
+        assert!(doc.contains("\"speedup_single\""));
+        assert!(doc.contains("\"ub_peak\": 4096"));
         // with-baseline rendering stays parseable
         let doc2 = to_json(&ms, Some(&ms));
         assert!(doc2.contains("\"vs_baseline_standard\": 1.0000"));
@@ -278,8 +386,10 @@ mod tests {
         // within tolerance + improvement + new metric → pass
         let ok = vec![m("a", 1040, 100), m("b", 900, 90), m("c", 5, 5)];
         assert!(compare(&ok, &base, TOLERANCE).is_empty());
-        // 6% regression on the accelerated column → fail
-        let slow = vec![m("a", 1000, 106), m("b", 1000, 100)];
+        // 6% regression on the accelerated dual-pipe column only → fail
+        let mut slow = vec![m("a", 1000, 106), m("b", 1000, 100)];
+        slow[0].standard_cycles_single = 1500;
+        slow[0].accelerated_cycles_single = 150;
         let regs = compare(&slow, &base, TOLERANCE);
         assert_eq!(regs.len(), 1);
         assert!(regs[0].contains("a (accelerated)"));
@@ -289,14 +399,49 @@ mod tests {
     }
 
     #[test]
+    fn compare_flags_single_issue_and_peak_regressions() {
+        let base = vec![m("a", 1000, 100)];
+        // regression only in the single-issue column
+        let mut single_slow = vec![m("a", 1000, 100)];
+        single_slow[0].accelerated_cycles_single = 200;
+        let regs = compare(&single_slow, &base, TOLERANCE);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("accelerated single-issue"));
+        // UB footprint grew 2x → fail even though cycles are unchanged
+        let mut fat = vec![m("a", 1000, 100)];
+        fat[0].ub_peak = 8192;
+        let regs = compare(&fat, &base, TOLERANCE);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("UB peak"));
+        // L1 peak 0 in baseline: a new non-zero peak is not flagged
+        // (nothing to regress against), growth from non-zero is.
+        let mut l1 = vec![m("a", 1000, 100)];
+        l1[0].l1_peak = 123;
+        assert!(compare(&l1, &base, TOLERANCE).is_empty());
+    }
+
+    #[test]
     fn committed_baseline_parses_and_covers_all_figures() {
         let base = parse_metrics(COMMITTED_BASELINE).expect("baseline must parse");
         for prefix in [
-            "fig7a/", "fig7b/", "fig7c/", "fig8s1/", "fig8s2/", "fig8s3/",
+            "fig7a/", "fig7b/", "fig7c/", "fig8s1/", "fig8s2/", "fig8s3/", "table1/",
         ] {
             assert!(
                 base.iter().any(|m| m.key.starts_with(prefix)),
                 "baseline missing {prefix} metrics"
+            );
+        }
+        // Every Table I row outside Fig. 7 is tracked (10 of 13).
+        assert_eq!(
+            base.iter().filter(|m| m.key.starts_with("table1/")).count(),
+            10
+        );
+        for m in &base {
+            assert!(m.ub_peak > 0, "{}: UB peak must be tracked", m.key);
+            assert!(
+                m.accelerated_cycles <= m.accelerated_cycles_single,
+                "{}: dual-pipe cannot be slower than serial",
+                m.key
             );
         }
     }

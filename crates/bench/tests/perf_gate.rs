@@ -1,8 +1,20 @@
-//! The enforcing performance-regression gate: replays the Fig. 7 and
-//! Fig. 8 workloads, writes `BENCH_pooling.json` at the workspace root,
-//! and fails if any tracked cycle count regressed more than the
-//! tolerance against the committed baseline
+//! The enforcing performance-regression gate: replays the Fig. 7,
+//! Fig. 8, and Table I workloads, writes `BENCH_pooling.json` at the
+//! workspace root, and fails if any tracked cycle count, issue-model
+//! column, or buffer-occupancy peak regressed more than the tolerance
+//! against the committed baseline
 //! (`crates/bench/baselines/pooling.json`).
+//!
+//! On top of the tolerance gate, three exact invariants are pinned here:
+//!
+//! * the single-issue columns of every Fig. 7 / Fig. 8 metric equal the
+//!   PR 1 baseline cycle-for-cycle (hardcoded below — regenerating the
+//!   baseline must never move them, because per-instruction charges are
+//!   issue-model-independent);
+//! * dual-pipe mode strictly lowers the accelerated (im2col) cycle count
+//!   of every Fig. 7 workload, and never exceeds single-issue anywhere;
+//! * direct pooling still beats im2col at stride (1, 1) — the Fig. 8
+//!   crossover — in both issue models.
 //!
 //! If this test fails after an *intentional* cost-model or lowering
 //! change, regenerate the baseline with
@@ -10,6 +22,29 @@
 
 use dv_bench::gate;
 use std::path::Path;
+
+/// The PR 1 cycle counts (single-issue model), verbatim from the
+/// baseline committed before the dual-pipe scheduler landed:
+/// (key, standard_cycles, accelerated_cycles).
+const PR1_BASELINE: &[(&str, u64, u64)] = &[
+    ("fig7a/147x147x64", 332120, 97836),
+    ("fig7b/147x147x64", 686895, 159629),
+    ("fig7c/147x147x64", 905310, 151677),
+    ("fig7a/71x71x192", 76373, 22673),
+    ("fig7b/71x71x192", 157893, 37504),
+    ("fig7c/71x71x192", 208325, 35192),
+    ("fig7a/35x35x288", 18152, 5714),
+    ("fig7b/35x35x288", 37370, 8945),
+    ("fig7c/35x35x288", 49379, 8726),
+    ("fig8s1/16x16", 2201, 3452),
+    ("fig8s1/24x24", 5011, 7660),
+    ("fig8s2/16x16", 3233, 1505),
+    ("fig8s2/24x24", 7738, 2697),
+    ("fig8s2/32x32", 14231, 4649),
+    ("fig8s3/16x16", 1838, 1081),
+    ("fig8s3/24x24", 4408, 1840),
+    ("fig8s3/32x32", 6965, 2924),
+];
 
 #[test]
 fn perf_gate_no_regressions_vs_committed_baseline() {
@@ -33,7 +68,46 @@ fn perf_gate_no_regressions_vs_committed_baseline() {
             );
             for m in &metrics {
                 assert!(m.speedup() > 0.0, "{}: degenerate speedup", m.key);
+                assert!(
+                    m.standard_cycles <= m.standard_cycles_single
+                        && m.accelerated_cycles <= m.accelerated_cycles_single,
+                    "{}: the dual-pipe makespan can never exceed the serial sum",
+                    m.key
+                );
+                if m.key.starts_with("fig7") {
+                    assert!(
+                        m.accelerated_cycles < m.accelerated_cycles_single,
+                        "{}: dual-pipe must strictly accelerate the im2col pipeline \
+                         ({} vs {})",
+                        m.key,
+                        m.accelerated_cycles,
+                        m.accelerated_cycles_single
+                    );
+                }
+                if m.key.starts_with("fig8s1/") {
+                    assert!(
+                        m.speedup() < 1.0 && m.speedup_single() < 1.0,
+                        "{}: direct pooling must still win at stride (1,1) \
+                         in both issue models",
+                        m.key
+                    );
+                }
             }
+
+            // Legacy invariant: the single-issue columns are the PR 1
+            // numbers, exactly.
+            for &(key, std_cycles, acc_cycles) in PR1_BASELINE {
+                let m = metrics
+                    .iter()
+                    .find(|m| m.key == key)
+                    .unwrap_or_else(|| panic!("{key}: PR 1 metric disappeared"));
+                assert_eq!(
+                    (m.standard_cycles_single, m.accelerated_cycles_single),
+                    (std_cycles, acc_cycles),
+                    "{key}: single-issue columns must reproduce PR 1 cycle-for-cycle"
+                );
+            }
+
             let parsed = dv_bench::json::parse(&doc).unwrap();
             assert!(
                 parsed
@@ -50,5 +124,53 @@ fn perf_gate_no_regressions_vs_committed_baseline() {
              (if intentional, regenerate with `cargo run --release -p dv-bench --bin repro -- gate`)",
             regressions.join("\n  ")
         ),
+    }
+}
+
+/// The `*_single` columns in the gate are *derived* from dual-pipe runs
+/// (`busy_cycles` + dispatch). Pin the derivation against real
+/// `CostModel::single_issue()` executions on one Fig. 7 shape: the legacy
+/// path must land on the PR 1 numbers, and the derivation must agree with
+/// it exactly.
+#[test]
+fn single_issue_derivation_matches_real_runs() {
+    use dv_bench::inputs::feature_map;
+    use dv_core::{ForwardImpl, PoolingEngine};
+    use dv_sim::{Chip, CostModel};
+    use dv_tensor::PoolParams;
+
+    let input = feature_map(1, 288, 35, 35, 71);
+    let dual = PoolingEngine::ascend910();
+    let single = PoolingEngine::new(Chip::new(32, CostModel::single_issue()));
+
+    for (impl_, pr1_cycles) in [
+        (ForwardImpl::Standard, 18152u64),
+        (ForwardImpl::Im2col, 5714u64),
+    ] {
+        let (out_d, run_d) = dual
+            .maxpool_forward(&input, PoolParams::K3S2, impl_)
+            .expect("dual-pipe forward");
+        let (out_s, run_s) = single
+            .maxpool_forward(&input, PoolParams::K3S2, impl_)
+            .expect("single-issue forward");
+        assert_eq!(
+            out_d.data(),
+            out_s.data(),
+            "{impl_:?}: issue model must not change results"
+        );
+        assert_eq!(
+            run_s.cycles, pr1_cycles,
+            "{impl_:?}: legacy mode must reproduce the PR 1 cycle count"
+        );
+        assert_eq!(
+            gate::single_issue_cycles(&run_d),
+            run_s.cycles,
+            "{impl_:?}: derived serial cycles must equal a real serial run"
+        );
+        assert_eq!(
+            run_s.total.stall_cycles, 0,
+            "{impl_:?}: the serial machine never stalls"
+        );
+        assert_eq!(run_d.peaks, run_s.peaks, "{impl_:?}: peaks are timing-free");
     }
 }

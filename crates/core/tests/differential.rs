@@ -1,0 +1,253 @@
+//! Differential property tests across the two issue models.
+//!
+//! The dual-pipe scheduler reorders *timing*, never *execution*: results
+//! must be bit-identical to the legacy single-issue machine and to the
+//! golden references (`dv_tensor::reference` for single operators,
+//! `dv_nn::reference_forward` for whole models), on random geometries
+//! covering kernel/stride/padding, max/avg, and forward/backward.
+//! Alongside the bit-match, every case checks the timing contract: the
+//! dual-pipe makespan never exceeds the serial sum, and the serial
+//! machine never books a stall.
+
+use dv_core::{ForwardImpl, MergeImpl, PoolingEngine};
+use dv_fp16::F16;
+use dv_nn::{reference_forward, Layer, Sequential};
+use dv_sim::{Chip, ChipRun, CostModel};
+use dv_tensor::reference;
+use dv_tensor::{Nc1hwc0, Nchw, Padding, PoolParams};
+use proptest::prelude::*;
+use proptest::sample::select;
+
+/// Which pooling operator a case exercises.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Op {
+    Max,
+    Avg,
+}
+
+/// The two issue models under test, dual-pipe first.
+fn engines() -> [(&'static str, PoolingEngine); 2] {
+    [
+        (
+            "dual_pipe",
+            PoolingEngine::new(Chip::new(2, CostModel::ascend910_like())),
+        ),
+        (
+            "single_issue",
+            PoolingEngine::new(Chip::new(2, CostModel::single_issue())),
+        ),
+    ]
+}
+
+/// Timing contract shared by every differential case: `runs[0]` is the
+/// dual-pipe run, `runs[1]` the single-issue run of the same program.
+fn check_timing(what: &str, runs: &[ChipRun; 2]) -> Result<(), TestCaseError> {
+    let (dual, single) = (&runs[0], &runs[1]);
+    prop_assert!(
+        dual.cycles <= single.cycles,
+        "{}: dual-pipe makespan {} exceeds serial {}",
+        what,
+        dual.cycles,
+        single.cycles
+    );
+    prop_assert_eq!(
+        single.total.stall_cycles,
+        0,
+        "{}: the serial machine never stalls",
+        what
+    );
+    prop_assert_eq!(
+        dual.total.busy_cycles(),
+        single.total.busy_cycles(),
+        "{}: per-instruction charges are issue-model-independent",
+        what
+    );
+    Ok(())
+}
+
+/// Random kernel/stride/padding geometry plus an input size that keeps
+/// `out_dims` valid (padding stays below the kernel extent).
+fn geometry() -> impl Strategy<Value = (PoolParams, usize, usize)> {
+    (
+        2usize..=3,
+        2usize..=3,
+        1usize..=3,
+        1usize..=3,
+        0usize..=1,
+        0usize..=1,
+        0usize..=1,
+        0usize..=1,
+    )
+        .prop_flat_map(|(kh, kw, sh, sw, top, bottom, left, right)| {
+            let padding = Padding {
+                top,
+                bottom,
+                left,
+                right,
+            };
+            (
+                Just(PoolParams::with_padding((kh, kw), (sh, sw), padding)),
+                kh + 4..kh + 14,
+                kw + 4..kw + 14,
+            )
+        })
+}
+
+fn input(c1: usize, h: usize, w: usize, seed: u64) -> Nc1hwc0 {
+    let mut s = seed | 1;
+    Nc1hwc0::from_fn(1, c1, h, w, |_, _, _, _, _| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(99);
+        F16::from_f32(((s >> 40) % 33) as f32 - 16.0)
+    })
+}
+
+/// Integer-valued gradients so every summation order is exact in fp16.
+fn grads(oh: usize, ow: usize, seed: u64) -> Nc1hwc0 {
+    let mut s = seed ^ 0xD1FF;
+    Nc1hwc0::from_fn(1, 1, oh, ow, |_, _, _, _, _| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(17);
+        F16::from_f32(((s >> 41) % 8) as f32)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Forward im2col lowering: both issue models bit-match the tensor
+    /// reference (and therefore each other) for max and avg pooling on
+    /// random padded geometries.
+    #[test]
+    fn forward_bitmatches_reference_in_both_issue_models(
+        (params, ih, iw) in geometry(),
+        c1 in 1usize..=2,
+        op in select(vec![Op::Max, Op::Avg]),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(params.out_dims(ih, iw).is_ok());
+        let x = input(c1, ih, iw, seed);
+        let want = match op {
+            Op::Max => reference::maxpool_forward(&x, &params).unwrap(),
+            Op::Avg => reference::avgpool_forward(&x, &params).unwrap(),
+        };
+        let mut runs = Vec::new();
+        for (model, eng) in engines() {
+            let (got, run) = match op {
+                Op::Max => eng.maxpool_forward(&x, params, ForwardImpl::Im2col),
+                Op::Avg => eng.avgpool_forward(&x, params, ForwardImpl::Im2col),
+            }
+            .unwrap();
+            prop_assert_eq!(
+                got.data(),
+                want.data(),
+                "{} {:?} fwd {:?} {}x{}",
+                model,
+                op,
+                params,
+                ih,
+                iw
+            );
+            runs.push(run);
+        }
+        check_timing("forward", &[runs.remove(0), runs.remove(0)])?;
+    }
+
+    /// Backward col2im merge: both issue models bit-match the tensor
+    /// reference for max (through the argmax mask) and avg pooling.
+    #[test]
+    fn backward_bitmatches_reference_in_both_issue_models(
+        (params, ih, iw) in geometry(),
+        op in select(vec![Op::Max, Op::Avg]),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(params.out_dims(ih, iw).is_ok());
+        let x = input(1, ih, iw, seed);
+        let (oh, ow) = params.out_dims(ih, iw).unwrap();
+        let dy = grads(oh, ow, seed);
+        let mask = reference::maxpool_argmax_mask(&x, &params).unwrap();
+        let want = match op {
+            Op::Max => reference::maxpool_backward(&mask, &dy, &params, ih, iw).unwrap(),
+            Op::Avg => reference::avgpool_backward(&dy, &params, ih, iw).unwrap(),
+        };
+        let mut runs = Vec::new();
+        for (model, eng) in engines() {
+            let (got, run) = match op {
+                Op::Max => eng.maxpool_backward(&mask, &dy, params, ih, iw, MergeImpl::Col2Im),
+                Op::Avg => eng.avgpool_backward(&dy, params, ih, iw, MergeImpl::Col2Im),
+            }
+            .unwrap();
+            prop_assert_eq!(
+                got.data(),
+                want.data(),
+                "{} {:?} bwd {:?} {}x{}",
+                model,
+                op,
+                params,
+                ih,
+                iw
+            );
+            runs.push(run);
+        }
+        check_timing("backward", &[runs.remove(0), runs.remove(0)])?;
+    }
+
+    /// Every forward lowering (not just im2col) is issue-model-invariant:
+    /// dual-pipe and single-issue runs of the same lowering produce
+    /// bit-identical outputs. Unpadded geometry, because the Standard
+    /// lowering rejects padding.
+    #[test]
+    fn all_lowerings_are_issue_model_invariant(
+        (params, ih, iw) in geometry(),
+        seed in any::<u64>(),
+    ) {
+        let params = PoolParams::new((params.kh, params.kw), (params.sh, params.sw));
+        let x = input(1, ih, iw, seed);
+        let [(_, dual), (_, single)] = engines();
+        for impl_ in ForwardImpl::ALL {
+            let (out_d, run_d) = dual.maxpool_forward(&x, params, impl_).unwrap();
+            let (out_s, run_s) = single.maxpool_forward(&x, params, impl_).unwrap();
+            prop_assert_eq!(
+                out_d.data(),
+                out_s.data(),
+                "{:?}: issue model changed results",
+                impl_
+            );
+            check_timing("lowering", &[run_d, run_s])?;
+        }
+    }
+
+    /// Whole-model oracle: a small max+avg network simulated under either
+    /// issue model bit-matches `dv_nn::reference_forward`.
+    #[test]
+    fn model_forward_bitmatches_nn_reference_in_both_issue_models(
+        (params, ih, iw) in geometry(),
+        c in 1usize..=3,
+        seed in any::<u64>(),
+    ) {
+        let (ih, iw) = (ih + 4, iw + 4);
+        prop_assume!(params.out_dims(ih, iw).is_ok());
+        let (oh, ow) = params.out_dims(ih, iw).unwrap();
+        prop_assume!(PoolParams::K2S2.out_dims(oh, ow).is_ok());
+        let mut s = seed | 1;
+        let x = Nchw::from_fn(1, c, ih, iw, |_, _, _, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(23);
+            F16::from_f32(((s >> 40) % 33) as f32 - 16.0)
+        });
+        let mut outs = Vec::new();
+        for (model_name, eng) in engines() {
+            let model = Sequential::new(eng)
+                .layer(Layer::maxpool2d(params, ForwardImpl::Im2col))
+                .layer(Layer::avgpool2d(PoolParams::K2S2, ForwardImpl::Im2col));
+            let (got, run) = model.forward(&x).unwrap();
+            let want = reference_forward(&model, &x).unwrap();
+            prop_assert_eq!(
+                &got,
+                &want,
+                "{}: simulated model diverged from the nn reference",
+                model_name
+            );
+            prop_assert!(run.total_cycles() > 0);
+            outs.push(got);
+        }
+        prop_assert_eq!(&outs[0], &outs[1], "issue models disagree on the model output");
+    }
+}

@@ -464,6 +464,36 @@ pub mod collection {
     }
 }
 
+/// Value-selection strategies (`prop::sample::select`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy choosing uniformly from a fixed list of values — built by
+    /// [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// `select(values)`: draw one of the given values uniformly. Panics
+    /// on an empty list, mirroring upstream.
+    pub fn select<T: Clone>(options: impl Into<Vec<T>>) -> Select<T> {
+        let options = options.into();
+        assert!(
+            !options.is_empty(),
+            "sample::select needs at least one value"
+        );
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> Option<T> {
+            let i = rng.range_u64(0, self.options.len() as u64 - 1) as usize;
+            Some(self.options[i].clone())
+        }
+    }
+}
+
 thread_local! {
     /// Values drawn for the case currently executing, rendered with
     /// `Debug` by the harness so failures are diagnosable without
@@ -665,6 +695,19 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn select_draws_only_listed_values() {
+        let mut rng = crate::TestRng::from_name("select");
+        let s = crate::sample::select(vec![2usize, 3, 5]);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v = s.generate(&mut rng).unwrap();
+            let i = [2, 3, 5].iter().position(|&x| x == v).expect("listed");
+            seen[i] = true;
+        }
+        assert_eq!(seen, [true; 3], "all options eventually drawn");
     }
 
     #[test]

@@ -1,12 +1,141 @@
 //! One AI Core: buffers + counters + cost model, executing programs.
+//!
+//! Two issue models are supported (selected by
+//! [`CostModel::issue_model`](crate::cost::CostModel)):
+//!
+//! * **single-issue** — the legacy serial machine: each instruction
+//!   issues when the previous one retires, so `HwCounters::cycles` is the
+//!   sum of per-instruction charges by construction;
+//! * **dual-pipe** — instructions dispatch in program order onto two
+//!   in-order pipes (MTE/SCU on one, Vector/Cube on the other), each
+//!   pipe executing its stream back-to-back. Cross-pipe ordering is
+//!   enforced only where it must be: a per-buffer byte-range scoreboard
+//!   makes a consumer wait for the retirement of any in-flight producer
+//!   whose span overlaps (RAW), and a writer wait for overlapping
+//!   in-flight readers/writers (WAR/WAW). `HwCounters::cycles` is then
+//!   the *makespan* over both pipes — never larger than the serial sum,
+//!   and strictly smaller whenever independent MTE and Vector work
+//!   overlaps (the paper's `Im2Col` pipeline is built on exactly that).
+//!
+//! Functional execution always happens in program order, so the two
+//! models produce bit-identical buffer contents — only the timing
+//! differs. A program boundary is a full barrier: both pipes join before
+//! the next program begins.
 
 use crate::buffers::{BufferSet, SimError};
-use crate::cost::{Capacities, CostModel};
+use crate::cost::{Capacities, CostModel, IssueModel};
 use crate::counters::HwCounters;
-use crate::exec::execute_info;
+use crate::exec::{execute_info, ExecInfo, MemSpan};
 use crate::trace::{Trace, TraceConfig, TraceEvent};
 use dv_fp16::F16;
-use dv_isa::{BufferId, Program};
+use dv_isa::{BufferId, Program, Unit};
+
+/// Which issue pipe a unit's instructions dispatch to: MTE and SCU share
+/// the load/store pipe, Vector and Cube share the compute pipe.
+fn pipe_of(unit: Unit) -> usize {
+    match unit {
+        Unit::Mte | Unit::Scu => 0,
+        Unit::Vector | Unit::Cube => 1,
+    }
+}
+
+/// One in-flight access the scoreboard still tracks.
+struct BoardEntry {
+    span: MemSpan,
+    write: bool,
+    /// Cycle at which the access retires.
+    finish: u64,
+    /// Global instruction sequence number (trace-event index when tracing
+    /// has been on since the last counter reset).
+    seq: usize,
+}
+
+/// Execute every instruction of `program`, charging `counters` under the
+/// configured issue model, and report each instruction's timing to
+/// `sink(pc, info, start, stall, raw_dep)`.
+fn run_program(
+    bufs: &mut BufferSet,
+    cost: &CostModel,
+    counters: &mut HwCounters,
+    issued: &mut usize,
+    program: &Program,
+    mut sink: impl FnMut(usize, &ExecInfo, u64, u64, Option<usize>),
+) -> Result<(), SimError> {
+    match cost.issue_model {
+        IssueModel::SingleIssue => {
+            for (pc, instr) in program.instrs().iter().enumerate() {
+                let start = counters.cycles;
+                let info = execute_info(instr, bufs, cost)?;
+                info.apply(counters);
+                sink(pc, &info, start, 0, None);
+                *issued += 1;
+            }
+        }
+        IssueModel::DualPipe => {
+            // Both pipes join at program boundaries: start from the
+            // core's current makespan.
+            let base = counters.cycles;
+            let mut pipe_free = [base; 2];
+            let mut board: Vec<BoardEntry> = Vec::new();
+            for (pc, instr) in program.instrs().iter().enumerate() {
+                // Functional execution stays in program order — results
+                // are bit-identical to the single-issue model.
+                let info = execute_info(instr, bufs, cost)?;
+
+                // Retired entries can never lift a future issue above its
+                // pipe-ready cycle; drop them to keep the scan short.
+                let horizon = pipe_free[0].min(pipe_free[1]);
+                board.retain(|e| e.finish > horizon);
+
+                // Hazard scan: RAW against in-flight writers, WAW/WAR
+                // against in-flight writers/readers.
+                let mut ready = base;
+                let mut dep: Option<(usize, u64)> = None;
+                for e in &board {
+                    let raw = e.write && info.reads.iter().flatten().any(|r| r.overlaps(&e.span));
+                    let war_waw = info.write.is_some_and(|w| w.overlaps(&e.span));
+                    if raw || war_waw {
+                        ready = ready.max(e.finish);
+                    }
+                    if raw && dep.is_none_or(|(_, f)| e.finish > f) {
+                        dep = Some((e.seq, e.finish));
+                    }
+                }
+
+                let pipe = pipe_of(info.unit);
+                let start = pipe_free[pipe].max(ready);
+                let stall = start - pipe_free[pipe];
+                let finish = start + info.cycles;
+                pipe_free[pipe] = finish;
+
+                info.apply_busy(counters);
+                counters.stall_cycles += stall;
+                counters.cycles = counters.cycles.max(finish);
+
+                for r in info.reads.iter().flatten() {
+                    board.push(BoardEntry {
+                        span: *r,
+                        write: false,
+                        finish,
+                        seq: *issued,
+                    });
+                }
+                if let Some(w) = info.write {
+                    board.push(BoardEntry {
+                        span: w,
+                        write: true,
+                        finish,
+                        seq: *issued,
+                    });
+                }
+
+                sink(pc, &info, start, stall, dep.map(|(seq, _)| seq));
+                *issued += 1;
+            }
+        }
+    }
+    Ok(())
+}
 
 /// A single simulated AI Core with a private global-memory image.
 ///
@@ -21,6 +150,9 @@ pub struct AiCore {
     trace_cfg: TraceConfig,
     trace: Trace,
     programs_run: usize,
+    /// Instructions executed since the last counter reset — the sequence
+    /// space `TraceEvent::dep` indexes into.
+    issued: usize,
 }
 
 impl AiCore {
@@ -40,6 +172,7 @@ impl AiCore {
             trace_cfg: TraceConfig::OFF,
             trace: Trace::default(),
             programs_run: 0,
+            issued: 0,
         }
     }
 
@@ -74,30 +207,45 @@ impl AiCore {
     /// events, if tracing is enabled).
     pub fn run(&mut self, program: &Program) -> Result<(), SimError> {
         let program_idx = self.programs_run;
-        for (pc, instr) in program.instrs().iter().enumerate() {
-            let start = self.counters.cycles;
-            let info = execute_info(instr, &mut self.bufs, &self.cost)?;
-            info.apply(&mut self.counters);
-            if self.trace_cfg.enabled {
-                self.trace.push(
-                    &self.trace_cfg,
-                    TraceEvent {
-                        pc,
-                        program: program_idx,
-                        mnemonic: info.mnemonic,
-                        unit: info.unit,
-                        start,
-                        cycles: info.cycles,
-                        repeat: info.repeat,
-                        useful_lanes: info.useful_lanes,
-                        total_lanes: info.total_lanes,
-                        src: info.src,
-                        dst: info.dst,
-                        bytes: info.bytes(),
-                    },
-                );
-            }
-        }
+        let AiCore {
+            bufs,
+            counters,
+            cost,
+            trace_cfg,
+            trace,
+            issued,
+            ..
+        } = self;
+        run_program(
+            bufs,
+            cost,
+            counters,
+            issued,
+            program,
+            |pc, info, start, stall, dep| {
+                if trace_cfg.enabled {
+                    trace.push(
+                        trace_cfg,
+                        TraceEvent {
+                            pc,
+                            program: program_idx,
+                            mnemonic: info.mnemonic,
+                            unit: info.unit,
+                            start,
+                            cycles: info.cycles,
+                            stall,
+                            dep,
+                            repeat: info.repeat,
+                            useful_lanes: info.useful_lanes,
+                            total_lanes: info.total_lanes,
+                            src: info.src,
+                            dst: info.dst,
+                            bytes: info.bytes(),
+                        },
+                    );
+                }
+            },
+        )?;
         self.programs_run += 1;
         Ok(())
     }
@@ -110,14 +258,26 @@ impl AiCore {
         &mut self,
         program: &Program,
     ) -> Result<Vec<(usize, &'static str, u64)>, SimError> {
-        let mut trace = Vec::with_capacity(program.len());
-        for (pc, instr) in program.instrs().iter().enumerate() {
-            let info = execute_info(instr, &mut self.bufs, &self.cost)?;
-            info.apply(&mut self.counters);
-            trace.push((pc, info.mnemonic, info.cycles));
-        }
+        let mut out = Vec::with_capacity(program.len());
+        let AiCore {
+            bufs,
+            counters,
+            cost,
+            issued,
+            ..
+        } = self;
+        run_program(
+            bufs,
+            cost,
+            counters,
+            issued,
+            program,
+            |pc, info, _, _, _| {
+                out.push((pc, info.mnemonic, info.cycles));
+            },
+        )?;
         self.programs_run += 1;
-        Ok(trace)
+        Ok(out)
     }
 
     /// The hardware counters accumulated so far.
@@ -130,6 +290,7 @@ impl AiCore {
         self.counters = HwCounters::default();
         self.trace = Trace::default();
         self.programs_run = 0;
+        self.issued = 0;
     }
 
     /// The cost model in effect.
@@ -222,8 +383,12 @@ mod tests {
         assert_eq!(trace.len(), 2);
         assert_eq!(trace[0].1, "mte_move");
         assert_eq!(trace[1], (1, "vrelu", core.cost().issue_overhead + 1));
+        // The vrelu reads what the move wrote (RAW), so even under the
+        // dual-pipe model this chain fully serialises: makespan == sum,
+        // and the vector pipe's wait for the move is booked as stall.
         let total: u64 = trace.iter().map(|(_, _, c)| c).sum();
         assert_eq!(total, core.counters().cycles);
+        assert_eq!(core.counters().stall_cycles, trace[0].2);
     }
 
     #[test]
@@ -268,5 +433,185 @@ mod tests {
         )))
         .unwrap(); // larger than L1
         assert!(core.run(&p).is_err());
+    }
+
+    /// A move and a vector op on disjoint UB ranges: under dual-pipe they
+    /// overlap (makespan < sum, zero stalls); under single-issue they
+    /// serialise.
+    fn independent_pair() -> Program {
+        let mut p = Program::new();
+        // Vector pipe: initialise UB[4096..4608).
+        p.push(Instr::Vector(VectorInstr::unit_stride(
+            VectorOp::Dup(F16::ZERO),
+            Addr::ub(4096),
+            Addr::ub(4096),
+            Addr::ub(4096),
+            Mask::FULL,
+            2,
+        )))
+        .unwrap();
+        // MTE pipe: independent load into UB[0..2048).
+        p.push(Instr::Move(DataMove::new(Addr::gm(0), Addr::ub(0), 2048)))
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn dual_pipe_overlaps_independent_work() {
+        let p = independent_pair();
+        let mut dual = AiCore::new(CostModel::ascend910_like(), 4096);
+        dual.run(&p).unwrap();
+        let mut single = AiCore::new(CostModel::single_issue(), 4096);
+        single.run(&p).unwrap();
+
+        // Identical work, identical busy cycles — but the dual-pipe
+        // makespan is the max of the two charges, not the sum.
+        assert_eq!(dual.counters().busy_cycles(), single.counters().cycles);
+        let cost = CostModel::ascend910_like();
+        let vdup = cost.issue_overhead + 2 * cost.vector_per_repeat;
+        let mv = cost.issue_overhead + cost.move_cycles(2048);
+        assert_eq!(single.counters().cycles, vdup + mv);
+        assert_eq!(dual.counters().cycles, vdup.max(mv));
+        assert_eq!(dual.counters().stall_cycles, 0);
+    }
+
+    #[test]
+    fn dual_pipe_stalls_on_raw_hazard() {
+        // move writes UB[0..256), vadd reads it: the vector pipe must
+        // wait for the move to retire, and the wait is booked as stall.
+        let mut p = Program::new();
+        p.push(Instr::Move(DataMove::new(Addr::gm(0), Addr::ub(0), 256)))
+            .unwrap();
+        p.push(Instr::Vector(VectorInstr::unit_stride(
+            VectorOp::Add,
+            Addr::ub(256),
+            Addr::ub(0),
+            Addr::ub(0),
+            Mask::FULL,
+            1,
+        )))
+        .unwrap();
+        let mut core = AiCore::new(CostModel::ascend910_like(), 4096);
+        core.set_trace(TraceConfig::ON);
+        core.run(&p).unwrap();
+
+        let cost = core.cost();
+        let mv = cost.issue_overhead + cost.move_cycles(256);
+        let vadd = cost.issue_overhead + cost.vector_per_repeat;
+        assert_eq!(core.counters().cycles, mv + vadd, "RAW chain serialises");
+        assert_eq!(core.counters().stall_cycles, mv);
+        let ev = &core.trace().events;
+        assert_eq!(ev[1].start, mv, "vadd issues when the move retires");
+        assert_eq!(ev[1].stall, mv);
+        assert_eq!(
+            ev[1].dep,
+            Some(0),
+            "RAW producer recorded for the flow arrow"
+        );
+        assert_eq!(ev[0].stall, 0);
+        assert_eq!(ev[0].dep, None);
+    }
+
+    #[test]
+    fn dual_pipe_enforces_war_hazard() {
+        // vadd reads UB[0..256); the following move overwrites the same
+        // range and must wait for the read to retire (WAR), despite
+        // running on the other pipe.
+        let mut core = AiCore::new(CostModel::ascend910_like(), 4096);
+        core.load_gm(0, &[F16::ONE; 128]).unwrap();
+        let mut p = Program::new();
+        p.push(Instr::Vector(VectorInstr::unit_stride(
+            VectorOp::Add,
+            Addr::ub(256),
+            Addr::ub(0),
+            Addr::ub(0),
+            Mask::FULL,
+            1,
+        )))
+        .unwrap();
+        p.push(Instr::Move(DataMove::new(Addr::gm(0), Addr::ub(0), 256)))
+            .unwrap();
+        core.set_trace(TraceConfig::ON);
+        core.run(&p).unwrap();
+        let cost = core.cost();
+        let vadd = cost.issue_overhead + cost.vector_per_repeat;
+        let ev = &core.trace().events;
+        assert_eq!(ev[1].start, vadd, "move waits out the overlapping read");
+        assert_eq!(ev[1].stall, vadd);
+        assert_eq!(ev[1].dep, None, "WAR is ordering, not a dataflow edge");
+    }
+
+    #[test]
+    fn dual_pipe_programs_are_barriers() {
+        // The same two independent instructions, but split across two
+        // programs: the barrier forbids cross-program overlap.
+        let pair = independent_pair();
+        let mut split_a = Program::new();
+        split_a.push(pair.instrs()[0].clone()).unwrap();
+        let mut split_b = Program::new();
+        split_b.push(pair.instrs()[1].clone()).unwrap();
+
+        let mut fused = AiCore::new(CostModel::ascend910_like(), 4096);
+        fused.run(&pair).unwrap();
+        let mut split = AiCore::new(CostModel::ascend910_like(), 4096);
+        split.run(&split_a).unwrap();
+        split.run(&split_b).unwrap();
+        assert!(fused.counters().cycles < split.counters().cycles);
+        assert_eq!(
+            split.counters().cycles,
+            split.counters().busy_cycles(),
+            "one instruction per program degenerates to serial timing"
+        );
+    }
+
+    #[test]
+    fn dual_pipe_never_exceeds_single_issue() {
+        // Property on a mixed program: makespan <= serial sum, and both
+        // models produce identical buffer contents.
+        let data: Vec<F16> = (0..512).map(|i| F16::from_f32((i % 37) as f32)).collect();
+        let mut p = Program::new();
+        p.push(Instr::Move(DataMove::new(Addr::gm(0), Addr::ub(0), 1024)))
+            .unwrap();
+        p.push(Instr::Vector(VectorInstr::unit_stride(
+            VectorOp::Dup(F16::NEG_INFINITY),
+            Addr::ub(2048),
+            Addr::ub(2048),
+            Addr::ub(2048),
+            Mask::FULL,
+            4,
+        )))
+        .unwrap();
+        p.push(Instr::Vector(VectorInstr::unit_stride(
+            VectorOp::Max,
+            Addr::ub(2048),
+            Addr::ub(0),
+            Addr::ub(2048),
+            Mask::FULL,
+            4,
+        )))
+        .unwrap();
+        p.push(Instr::Move(DataMove::new(
+            Addr::ub(2048),
+            Addr::gm(4096),
+            1024,
+        )))
+        .unwrap();
+
+        let mut dual = AiCore::new(CostModel::ascend910_like(), 8192);
+        dual.load_gm(0, &data).unwrap();
+        dual.run(&p).unwrap();
+        let mut single = AiCore::new(CostModel::single_issue(), 8192);
+        single.load_gm(0, &data).unwrap();
+        single.run(&p).unwrap();
+
+        assert_eq!(
+            dual.read_gm(4096, 512).unwrap(),
+            single.read_gm(4096, 512).unwrap(),
+            "issue model must never change results"
+        );
+        assert!(dual.counters().cycles <= single.counters().cycles);
+        assert!(dual.counters().cycles < single.counters().cycles);
+        assert_eq!(dual.counters().busy_cycles(), single.counters().cycles);
+        assert_eq!(dual.counters().issues, single.counters().issues);
     }
 }

@@ -18,6 +18,29 @@
 //!    paying it again, so "a single instruction should operate over an
 //!    entire tensor (or tile)".
 
+/// How an AI Core dispatches instructions to its functional units.
+///
+/// The real DaVinci core decodes in order but hands instructions to
+/// per-unit issue queues, so an MTE/SCU load can run while the Vector
+/// Unit computes on previously-loaded data — exactly the overlap the
+/// paper's `Im2Col` pipeline exploits. The simulator models both the
+/// idealised serial machine (every instruction waits for the previous
+/// one) and the two-queue machine with a hazard scoreboard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IssueModel {
+    /// Strictly serial: each instruction issues when the previous one
+    /// retires. This is the PR 1 model; cycle totals equal the sum of
+    /// per-instruction charges by construction.
+    SingleIssue,
+    /// Two in-order pipes — MTE/SCU (`mte_move`, `im2col`) on one,
+    /// Vector/Cube (`vmax`, `vadd`, `col2im`, `cube_mmad`) on the other —
+    /// synchronised only by a per-buffer byte-range scoreboard enforcing
+    /// RAW/WAR/WAW hazards. Cycle totals are the makespan, which is never
+    /// larger than the single-issue sum.
+    #[default]
+    DualPipe,
+}
+
 /// Cycle charges for each simulated mechanism.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CostModel {
@@ -42,6 +65,10 @@ pub struct CostModel {
     /// Per-tile dispatch overhead the chip charges when handing a program
     /// to a core (block scheduling, parameter registers).
     pub core_dispatch: u64,
+    /// How instructions issue to the functional units (dual-pipe by
+    /// default; [`IssueModel::SingleIssue`] reproduces the legacy serial
+    /// timing exactly).
+    pub issue_model: IssueModel,
 }
 
 impl CostModel {
@@ -62,6 +89,18 @@ impl CostModel {
             move_bytes_per_cycle: 32,
             cube_per_fractal_pair: 1,
             core_dispatch: 64,
+            issue_model: IssueModel::DualPipe,
+        }
+    }
+
+    /// The legacy serial machine: identical charges, but every
+    /// instruction waits for the previous one to retire. Reproduces the
+    /// PR 1 cycle counts (and the pre-dual-pipe committed baselines)
+    /// exactly.
+    pub const fn single_issue() -> CostModel {
+        CostModel {
+            issue_model: IssueModel::SingleIssue,
+            ..CostModel::ascend910_like()
         }
     }
 
@@ -143,6 +182,22 @@ mod tests {
         assert_eq!(z.issue_overhead, 0);
         assert_eq!(z.vector_per_repeat, a.vector_per_repeat);
         assert_eq!(z.move_bytes_per_cycle, a.move_bytes_per_cycle);
+    }
+
+    #[test]
+    fn single_issue_model_differs_only_in_issue_model() {
+        let dual = CostModel::ascend910_like();
+        let single = CostModel::single_issue();
+        assert_eq!(dual.issue_model, IssueModel::DualPipe);
+        assert_eq!(single.issue_model, IssueModel::SingleIssue);
+        assert_eq!(
+            CostModel {
+                issue_model: IssueModel::DualPipe,
+                ..single
+            },
+            dual,
+            "charges must be identical between the two issue models"
+        );
     }
 
     #[test]

@@ -14,8 +14,14 @@ pub use dv_isa::Unit;
 /// Cycle and event counters for one program execution.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HwCounters {
-    /// Total cycles charged.
+    /// Wall-clock cycles: under the single-issue model this equals
+    /// [`HwCounters::busy_cycles`] (every instruction serialises); under
+    /// the dual-pipe model it is the makespan over both pipes, which is
+    /// never larger.
     pub cycles: u64,
+    /// Cycles an issue pipe sat idle waiting on a scoreboard hazard
+    /// (always 0 under the single-issue model).
+    pub stall_cycles: u64,
     /// Cycles attributed to each unit (issue overhead included).
     pub unit_cycles: BTreeMap<Unit, u64>,
     /// Instruction issues per mnemonic.
@@ -34,10 +40,25 @@ pub struct HwCounters {
 
 impl HwCounters {
     /// Record an instruction: its mnemonic, unit, and cycle charge.
+    /// Advances the wall clock by the full charge — single-issue timing.
     pub fn record(&mut self, mnemonic: &'static str, unit: Unit, cycles: u64) {
         self.cycles += cycles;
+        self.record_busy(mnemonic, unit, cycles);
+    }
+
+    /// Record an instruction's work without advancing the wall clock —
+    /// the dual-pipe scheduler charges unit busy time here and sets
+    /// [`HwCounters::cycles`] from the pipe makespan itself.
+    pub fn record_busy(&mut self, mnemonic: &'static str, unit: Unit, cycles: u64) {
         *self.unit_cycles.entry(unit).or_default() += cycles;
         *self.issues.entry(mnemonic).or_default() += 1;
+    }
+
+    /// Total unit-busy cycles — the sum of per-instruction charges. In
+    /// single-issue mode this equals [`HwCounters::cycles`]; in dual-pipe
+    /// mode it is what the per-instruction trace durations sum to.
+    pub fn busy_cycles(&self) -> u64 {
+        self.unit_cycles.values().sum()
     }
 
     /// Record vector-lane activity.
@@ -75,6 +96,7 @@ impl HwCounters {
     /// operator runs as several tiled programs on one core).
     pub fn merge(&mut self, other: &HwCounters) {
         self.cycles += other.cycles;
+        self.stall_cycles += other.stall_cycles;
         for (u, c) in &other.unit_cycles {
             *self.unit_cycles.entry(*u).or_default() += c;
         }
@@ -104,6 +126,25 @@ mod tests {
         assert_eq!(c.cycles_of(Unit::Vector), 15);
         assert_eq!(c.cycles_of(Unit::Scu), 7);
         assert_eq!(c.total_issues(), 3);
+        assert_eq!(c.busy_cycles(), c.cycles);
+    }
+
+    #[test]
+    fn record_busy_leaves_wall_clock_alone() {
+        let mut c = HwCounters::default();
+        c.record_busy("im2col", Unit::Scu, 40);
+        c.record_busy("vmax", Unit::Vector, 17);
+        assert_eq!(c.cycles, 0, "busy recording must not advance the clock");
+        assert_eq!(c.busy_cycles(), 57);
+        assert_eq!(c.issues_of("im2col"), 1);
+        c.cycles = 40; // scheduler sets the makespan
+        c.stall_cycles = 3;
+        let mut merged = HwCounters::default();
+        merged.merge(&c);
+        merged.merge(&c);
+        assert_eq!(merged.cycles, 80);
+        assert_eq!(merged.stall_cycles, 6);
+        assert_eq!(merged.busy_cycles(), 114);
     }
 
     #[test]

@@ -5,15 +5,51 @@ use crate::cost::CostModel;
 use crate::counters::{HwCounters, Unit};
 use dv_fp16::F16;
 use dv_isa::{
-    BufferId, Col2Im, CubeMatmul, DataMove, Im2Col, Instr, VectorInstr, VectorOp, VECTOR_LANES,
+    Addr, BufferId, Col2Im, CubeMatmul, DataMove, Im2Col, Instr, VectorInstr, VectorOp,
+    VECTOR_BYTES, VECTOR_LANES,
 };
 use dv_tensor::{C0, FRACTAL_BYTES, FRACTAL_ROWS};
+
+/// A contiguous byte range in one buffer — the unit of hazard tracking
+/// for the dual-pipe scoreboard. Spans are conservative bounding boxes:
+/// a strided vector operand reports the whole `[base, last + 256)`
+/// window it sweeps, never less than what the instruction touches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct MemSpan {
+    pub buffer: BufferId,
+    /// First byte touched.
+    pub start: usize,
+    /// One past the last byte touched.
+    pub end: usize,
+}
+
+impl MemSpan {
+    fn new(addr: Addr, bytes: usize) -> MemSpan {
+        MemSpan {
+            buffer: addr.buffer,
+            start: addr.offset,
+            end: addr.offset + bytes,
+        }
+    }
+
+    /// Do two spans overlap (same buffer, intersecting byte ranges)?
+    pub fn overlaps(&self, other: &MemSpan) -> bool {
+        self.buffer == other.buffer && self.start < other.end && other.start < self.end
+    }
+}
+
+/// A strided operand's bounding box: `repeat` blocks of `block` bytes,
+/// each `stride` bytes after the previous.
+fn strided_span(addr: Addr, block: usize, stride: usize, repeat: usize) -> MemSpan {
+    MemSpan::new(addr, repeat.saturating_sub(1) * stride + block)
+}
 
 /// Everything the simulator learns from executing one instruction: the
 /// counter charges *and* the metadata the trace recorder stores. Every
 /// executor returns one of these and the charges are applied at a single
-/// site ([`ExecInfo::apply`]), so hardware-counter totals equal the sum
-/// over trace events by construction.
+/// site ([`ExecInfo::apply`] / the dual-pipe scheduler), so
+/// hardware-counter totals stay consistent with the trace by
+/// construction.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct ExecInfo {
     pub mnemonic: &'static str,
@@ -29,6 +65,12 @@ pub(crate) struct ExecInfo {
     pub dst: Option<BufferId>,
     pub gm_bytes: u64,
     pub scratch_bytes: u64,
+    /// Byte ranges the instruction read (RAW hazard sources). Up to
+    /// three: two vector sources, or a Cube a/b/c-accumulate triple, or a
+    /// Col2Im src + destination-plane read (it is a read-modify-write).
+    pub reads: [Option<MemSpan>; 3],
+    /// Byte range the instruction wrote (RAW producer, WAW/WAR target).
+    pub write: Option<MemSpan>,
 }
 
 impl ExecInfo {
@@ -37,9 +79,21 @@ impl ExecInfo {
         self.gm_bytes + self.scratch_bytes
     }
 
-    /// Charge this instruction into the hardware counters.
+    /// Charge this instruction into the hardware counters, advancing the
+    /// wall clock by its full cycle charge (single-issue timing).
     pub fn apply(&self, counters: &mut HwCounters) {
         counters.record(self.mnemonic, self.unit, self.cycles);
+        self.apply_traffic(counters);
+    }
+
+    /// Charge this instruction's busy time and traffic without advancing
+    /// the wall clock — the dual-pipe scheduler sets the makespan itself.
+    pub fn apply_busy(&self, counters: &mut HwCounters) {
+        counters.record_busy(self.mnemonic, self.unit, self.cycles);
+        self.apply_traffic(counters);
+    }
+
+    fn apply_traffic(&self, counters: &mut HwCounters) {
         if self.total_lanes > 0 {
             counters.record_lanes(self.useful_lanes, self.total_lanes);
         }
@@ -125,6 +179,7 @@ fn exec_vector(
             bufs.write_f16(v.dst.buffer, dst_base + off, out)?;
         }
     }
+    let rep = v.repeat as usize;
     Ok(ExecInfo {
         mnemonic,
         unit: Unit::Vector,
@@ -136,13 +191,26 @@ fn exec_vector(
         dst: Some(v.dst.buffer),
         gm_bytes: 0,
         scratch_bytes: 0,
+        reads: [
+            v.op.has_src0()
+                .then(|| strided_span(v.src0, VECTOR_BYTES, v.src0_stride, rep)),
+            v.op.has_src1()
+                .then(|| strided_span(v.src1, VECTOR_BYTES, v.src1_stride, rep)),
+            None,
+        ],
+        write: Some(strided_span(v.dst, VECTOR_BYTES, v.dst_stride, rep)),
     })
 }
 
 fn exec_im2col(i: &Im2Col, bufs: &mut BufferSet, cost: &CostModel) -> Result<ExecInfo, SimError> {
     let geom = &i.geom;
     let iw = geom.iw;
+    // Conservative read span: the whole range of source c1 planes the
+    // repeats gather from (mode 0 walks c1 forward; mode 1 stays put).
+    let (mut c1_min, mut c1_max) = (usize::MAX, 0usize);
     for (frac_idx, (c1, xk, yk, first_patch)) in i.repeat_positions().into_iter().enumerate() {
+        c1_min = c1_min.min(c1);
+        c1_max = c1_max.max(c1);
         let plane_base = i.src.offset + c1 * geom.src_plane_bytes();
         let frac_base = i.dst.offset + frac_idx * FRACTAL_BYTES;
         for row in 0..FRACTAL_ROWS {
@@ -162,6 +230,11 @@ fn exec_im2col(i: &Im2Col, bufs: &mut BufferSet, cost: &CostModel) -> Result<Exe
             }
         }
     }
+    let read = MemSpan {
+        buffer: i.src.buffer,
+        start: i.src.offset + c1_min * geom.src_plane_bytes(),
+        end: i.src.offset + (c1_max + 1) * geom.src_plane_bytes(),
+    };
     Ok(ExecInfo {
         mnemonic: "im2col",
         unit: Unit::Scu,
@@ -173,6 +246,8 @@ fn exec_im2col(i: &Im2Col, bufs: &mut BufferSet, cost: &CostModel) -> Result<Exe
         dst: Some(i.dst.buffer),
         gm_bytes: 0,
         scratch_bytes: i.repeat as u64 * FRACTAL_BYTES as u64,
+        reads: [Some(read), None, None],
+        write: Some(MemSpan::new(i.dst, i.repeat as usize * FRACTAL_BYTES)),
     })
 }
 
@@ -201,6 +276,13 @@ fn exec_col2im(c: &Col2Im, bufs: &mut BufferSet, cost: &CostModel) -> Result<Exe
     }
     // Architecturally Col2Im "acts as a vector instruction" (Section
     // III-D), so its cycles are attributed to the Vector Unit.
+    let src_span = MemSpan::new(c.src, c.repeat as usize * FRACTAL_BYTES);
+    // The scatter-add reads *and* writes the destination c1 plane.
+    let dst_plane = MemSpan {
+        buffer: c.dst.buffer,
+        start: plane_base,
+        end: plane_base + geom.src_plane_bytes(),
+    };
     Ok(ExecInfo {
         mnemonic: "col2im",
         unit: Unit::Vector,
@@ -212,6 +294,8 @@ fn exec_col2im(c: &Col2Im, bufs: &mut BufferSet, cost: &CostModel) -> Result<Exe
         dst: Some(c.dst.buffer),
         gm_bytes: 0,
         scratch_bytes: 2 * c.repeat as u64 * FRACTAL_BYTES as u64, // RMW
+        reads: [Some(src_span), Some(dst_plane), None],
+        write: Some(dst_plane),
     })
 }
 
@@ -241,6 +325,12 @@ fn exec_move(m: &DataMove, bufs: &mut BufferSet, cost: &CostModel) -> Result<Exe
         )?;
     }
     let touches_gm = m.src.buffer == BufferId::Gm || m.dst.buffer == BufferId::Gm;
+    // The L0C drain halves the byte count on the f32 -> f16 conversion.
+    let dst_bytes = if m.src.buffer == BufferId::L0C {
+        m.bytes / 2
+    } else {
+        m.bytes
+    };
     Ok(ExecInfo {
         mnemonic: "mte_move",
         unit: Unit::Mte,
@@ -252,6 +342,8 @@ fn exec_move(m: &DataMove, bufs: &mut BufferSet, cost: &CostModel) -> Result<Exe
         dst: Some(m.dst.buffer),
         gm_bytes: if touches_gm { m.bytes as u64 } else { 0 },
         scratch_bytes: if touches_gm { 0 } else { m.bytes as u64 },
+        reads: [Some(MemSpan::new(m.src, m.bytes)), None, None],
+        write: Some(MemSpan::new(m.dst, dst_bytes)),
     })
 }
 
@@ -292,6 +384,9 @@ fn exec_cube(c: &CubeMatmul, bufs: &mut BufferSet, cost: &CostModel) -> Result<E
             )?;
         }
     }
+    let a_span = MemSpan::new(c.a, mf * kf * E * E * 2);
+    let b_span = MemSpan::new(c.b, kf * nf * E * E * 2);
+    let c_span = MemSpan::new(c.c, mf * nf * E * E * 4); // f32 accumulators
     Ok(ExecInfo {
         mnemonic: "cube_mmad",
         unit: Unit::Cube,
@@ -303,6 +398,8 @@ fn exec_cube(c: &CubeMatmul, bufs: &mut BufferSet, cost: &CostModel) -> Result<E
         dst: Some(c.c.buffer),
         gm_bytes: 0,
         scratch_bytes: 0,
+        reads: [Some(a_span), Some(b_span), c.accumulate.then_some(c_span)],
+        write: Some(c_span),
     })
 }
 

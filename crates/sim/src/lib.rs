@@ -35,6 +35,6 @@ pub mod trace;
 pub use crate::core::AiCore;
 pub use buffers::{BufferPeaks, BufferSet, SimError};
 pub use chip::{Chip, ChipRun};
-pub use cost::{Capacities, CostModel};
+pub use cost::{Capacities, CostModel, IssueModel};
 pub use counters::{HwCounters, Unit};
 pub use trace::{chrome_trace_json, Breakdown, BreakdownRow, Trace, TraceConfig, TraceEvent};

@@ -9,12 +9,16 @@
 //!
 //! * [`chrome_trace_json`] — export to the Chrome trace-event format,
 //!   loadable in `chrome://tracing` or <https://ui.perfetto.dev> (one
-//!   process per AI Core, one thread row per functional unit);
-//! * [`Breakdown`] — a per-(unit, mnemonic) cycle/issue/lane/byte
+//!   process per AI Core, one thread row per functional unit, and a flow
+//!   arrow from each producer to the consumer it stalled — the paper's
+//!   Fig. 4 pipeline view);
+//! * [`Breakdown`] — a per-(unit, mnemonic) cycle/issue/stall/lane/byte
 //!   aggregation, rendered as an aligned text report.
 //!
 //! Invariant (asserted by the end-to-end tests): the sum of all traced
-//! durations equals [`HwCounters::cycles`] for the same execution.
+//! durations equals [`HwCounters::busy_cycles`] for the same execution —
+//! and equals [`HwCounters::cycles`] under the single-issue model, where
+//! nothing overlaps.
 
 use crate::counters::{HwCounters, Unit};
 use dv_isa::BufferId;
@@ -70,6 +74,13 @@ pub struct TraceEvent {
     pub start: u64,
     /// Cycles charged (issue overhead + iteration cost).
     pub cycles: u64,
+    /// Cycles the instruction waited on its issue pipe for a scoreboard
+    /// hazard to clear (always 0 under the single-issue model).
+    pub stall: u64,
+    /// Trace-event index of the latest-retiring in-flight producer this
+    /// instruction read from (RAW), when the scoreboard still tracked
+    /// one — the source of the Chrome-trace flow arrow.
+    pub dep: Option<usize>,
     /// Hardware repeat count (1 for non-repeating instructions).
     pub repeat: u32,
     /// Enabled vector lanes summed over repeats (0 for non-vector).
@@ -142,10 +153,15 @@ fn unit_tid(unit: Unit) -> usize {
 /// <https://ui.perfetto.dev>: each AI Core appears as a process, each
 /// functional unit as a thread row, each instruction as a complete (`X`)
 /// event whose duration is its simulated cycle count (1 cycle = 1 µs of
-/// trace time).
+/// trace time). Cross-unit RAW dependencies (recorded by the dual-pipe
+/// scoreboard in [`TraceEvent::dep`]) additionally emit flow (`s`/`f`)
+/// arrows from the producer's retirement to the consumer's issue — e.g.
+/// from an `mte_move` load to the `vmax` that computes on it, the
+/// pipeline picture of the paper's Fig. 4.
 pub fn chrome_trace_json(traces: &[Trace]) -> String {
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
     let mut first = true;
+    let mut flow_id = 0usize;
     let mut push = |out: &mut String, ev: String| {
         if !std::mem::take(&mut first) {
             out.push(',');
@@ -178,6 +194,9 @@ pub fn chrome_trace_json(traces: &[Trace]) -> String {
                 "\"pc\":{},\"program\":{},\"repeat\":{},\"bytes\":{}",
                 e.pc, e.program, e.repeat, e.bytes
             );
+            if e.stall > 0 {
+                let _ = write!(args, ",\"stall\":{}", e.stall);
+            }
             if e.total_lanes > 0 {
                 let _ = write!(
                     args,
@@ -205,6 +224,41 @@ pub fn chrome_trace_json(traces: &[Trace]) -> String {
                 ),
             );
         }
+        // Flow arrows for cross-unit RAW dependencies: from the producer's
+        // retirement on its unit row to the consumer's issue on its own.
+        // Same-unit dependencies are implicit in the row's ordering, so
+        // arrows are reserved for the inter-pipe handoffs (move -> vector
+        // op) that the dual-pipe model exists to expose.
+        for e in &t.events {
+            let Some(seq) = e.dep else { continue };
+            let Some(p) = t.events.get(seq) else { continue };
+            if p.unit == e.unit {
+                continue;
+            }
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"s\",\"pid\":{},\"tid\":{},\"name\":\"dep\",\
+                     \"cat\":\"flow\",\"id\":{},\"ts\":{}}}",
+                    t.core,
+                    unit_tid(p.unit),
+                    flow_id,
+                    p.start + p.cycles
+                ),
+            );
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":{},\"tid\":{},\"name\":\"dep\",\
+                     \"cat\":\"flow\",\"id\":{},\"ts\":{}}}",
+                    t.core,
+                    unit_tid(e.unit),
+                    flow_id,
+                    e.start
+                ),
+            );
+            flow_id += 1;
+        }
     }
     out.push_str("]}");
     out
@@ -221,6 +275,8 @@ pub struct BreakdownRow {
     pub issues: u64,
     /// Total cycles charged.
     pub cycles: u64,
+    /// Total cycles stalled on scoreboard hazards before issue.
+    pub stalls: u64,
     /// Total hardware repeats.
     pub repeats: u64,
     /// Enabled vector lanes (0 for non-vector rows).
@@ -257,6 +313,7 @@ impl Breakdown {
                     mnemonic: e.mnemonic,
                     issues: 0,
                     cycles: 0,
+                    stalls: 0,
                     repeats: 0,
                     useful_lanes: 0,
                     total_lanes: 0,
@@ -264,6 +321,7 @@ impl Breakdown {
                 });
                 row.issues += 1;
                 row.cycles += e.cycles;
+                row.stalls += e.stall;
                 row.repeats += e.repeat as u64;
                 row.useful_lanes += e.useful_lanes;
                 row.total_lanes += e.total_lanes;
@@ -278,6 +336,11 @@ impl Breakdown {
     /// Total cycles across all rows.
     pub fn total_cycles(&self) -> u64 {
         self.rows.iter().map(|r| r.cycles).sum()
+    }
+
+    /// Total stall cycles across all rows.
+    pub fn total_stalls(&self) -> u64 {
+        self.rows.iter().map(|r| r.stalls).sum()
     }
 
     /// Cycles attributed to one unit.
@@ -297,8 +360,8 @@ impl Breakdown {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<8} {:<12} {:>10} {:>12} {:>8} {:>12} {:>7} {:>6}",
-            "unit", "mnemonic", "issues", "cycles", "cyc%", "bytes", "repeat", "lane%"
+            "{:<8} {:<12} {:>10} {:>12} {:>8} {:>8} {:>12} {:>7} {:>6}",
+            "unit", "mnemonic", "issues", "cycles", "cyc%", "stall%", "bytes", "repeat", "lane%"
         );
         for r in &rows {
             let lane = r
@@ -307,30 +370,46 @@ impl Breakdown {
                 .unwrap_or_else(|| "-".to_string());
             let _ = writeln!(
                 out,
-                "{:<8} {:<12} {:>10} {:>12} {:>7.1}% {:>12} {:>7} {:>6}",
+                "{:<8} {:<12} {:>10} {:>12} {:>7.1}% {:>7.1}% {:>12} {:>7} {:>6}",
                 r.unit.name(),
                 r.mnemonic,
                 r.issues,
                 r.cycles,
                 100.0 * r.cycles as f64 / total as f64,
+                100.0 * r.stalls as f64 / total as f64,
                 r.bytes,
                 r.repeats,
                 lane
             );
         }
-        let _ = writeln!(out, "total cycles: {}", self.total_cycles());
+        let _ = writeln!(
+            out,
+            "total cycles: {} (stalled: {})",
+            self.total_cycles(),
+            self.total_stalls()
+        );
         out
     }
 
     /// Cross-check against hardware counters: every mnemonic's issue
     /// count and every unit's cycle total must match. Returns the first
-    /// discrepancy found.
+    /// discrepancy found. Durations are compared against
+    /// [`HwCounters::busy_cycles`]: under the dual-pipe model the wall
+    /// clock is a makespan, but per-instruction charges still sum to the
+    /// unit-busy total in both issue models.
     pub fn verify_against(&self, counters: &HwCounters) -> Result<(), String> {
-        if self.total_cycles() != counters.cycles {
+        if self.total_cycles() != counters.busy_cycles() {
             return Err(format!(
-                "trace cycles {} != counter cycles {}",
+                "trace cycles {} != counter busy cycles {}",
                 self.total_cycles(),
-                counters.cycles
+                counters.busy_cycles()
+            ));
+        }
+        if self.total_stalls() != counters.stall_cycles {
+            return Err(format!(
+                "trace stalls {} != counter stall cycles {}",
+                self.total_stalls(),
+                counters.stall_cycles
             ));
         }
         for unit in Unit::ALL {
@@ -369,6 +448,8 @@ mod tests {
             unit,
             start,
             cycles,
+            stall: 0,
+            dep: None,
             repeat: 1,
             useful_lanes: 0,
             total_lanes: 0,
@@ -429,6 +510,56 @@ mod tests {
         assert!(json.contains("\"ts\":5"));
         assert!(json.contains("\"dur\":36"));
         assert!(json.contains("AI Core 3"));
+    }
+
+    #[test]
+    fn chrome_json_emits_flow_arrows_for_cross_unit_deps() {
+        let producer = ev("mte_move", Unit::Mte, 0, 20);
+        let mut consumer = ev("vmax", Unit::Vector, 20, 17);
+        consumer.stall = 20;
+        consumer.dep = Some(0);
+        // Same-unit dependency: implicit in row order, no arrow.
+        let mut chained = ev("vadd", Unit::Vector, 37, 17);
+        chained.dep = Some(1);
+        let t = Trace {
+            core: 0,
+            events: vec![producer, consumer, chained],
+            dropped: 0,
+        };
+        let json = chrome_trace_json(&[t]);
+        assert!(json.contains("\"stall\":20"));
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 1);
+        // Arrow leaves the move at its retirement and lands on the vmax
+        // at its issue cycle.
+        assert!(json.contains(
+            "\"ph\":\"s\",\"pid\":0,\"tid\":2,\"name\":\"dep\",\"cat\":\"flow\",\"id\":0,\"ts\":20"
+        ));
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":0,\"name\":\"dep\",\"cat\":\"flow\",\"id\":0,\"ts\":20"));
+    }
+
+    #[test]
+    fn breakdown_tracks_stalls_and_render_shows_them() {
+        let mut a = ev("vmax", Unit::Vector, 0, 10);
+        a.stall = 4;
+        let b = ev("vmax", Unit::Vector, 10, 10);
+        let t = Trace {
+            core: 0,
+            events: vec![a, b],
+            dropped: 0,
+        };
+        let bd = Breakdown::from_traces([&t]);
+        assert_eq!(bd.total_stalls(), 4);
+        let rendered = bd.render();
+        assert!(rendered.contains("stall%"));
+        assert!(rendered.contains("(stalled: 4)"));
+
+        let mut c = HwCounters::default();
+        c.record("vmax", Unit::Vector, 10);
+        c.record("vmax", Unit::Vector, 10);
+        assert!(bd.verify_against(&c).is_err(), "stall mismatch detected");
+        c.stall_cycles = 4;
+        assert_eq!(bd.verify_against(&c), Ok(()));
     }
 
     #[test]

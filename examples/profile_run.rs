@@ -42,8 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .verify_against(&run.total)
         .map_err(|e| format!("trace/counter mismatch: {e}"))?;
     println!(
-        "\ntrace durations sum to the counter total: {} cycles",
-        run.total.cycles
+        "\ntrace durations sum to the busy-cycle total: {} cycles \
+         (dual-pipe makespan: {}, stalled: {})",
+        run.total.busy_cycles(),
+        run.total.cycles,
+        run.total.stall_cycles
     );
     Ok(())
 }

@@ -2,13 +2,15 @@
 //!
 //! The invariant the trace recorder promises: the hardware counters and
 //! the trace describe the *same* execution, so the sum of per-instruction
-//! trace durations is exactly `HwCounters::cycles` — no double charging,
-//! no missing instructions. Verified here on a hand-built Fig. 6-style
-//! Col2Im program and on full pooling engine runs, plus a round-trip of
-//! the Chrome trace export through the JSON parser.
+//! trace durations is exactly `HwCounters::busy_cycles()` — no double
+//! charging, no missing instructions — and, under the legacy single-issue
+//! model, that sum *is* the wall clock. Verified here on a hand-built
+//! Fig. 6-style Col2Im program and on full pooling engine runs, plus a
+//! round-trip of the Chrome trace export through the JSON parser and
+//! determinism checks across reruns, chip clones, and both issue models.
 
 use davinci_pooling::prelude::*;
-use davinci_pooling::sim::{chrome_trace_json, AiCore, Breakdown, TraceConfig};
+use davinci_pooling::sim::{chrome_trace_json, AiCore, Breakdown, Chip, TraceConfig};
 use davinci_pooling::tensor::reference;
 use dv_isa::{Addr, BufferId, Col2Im, DataMove, Im2ColGeometry, Instr, Program};
 
@@ -18,23 +20,9 @@ fn det(seed: usize, i: usize) -> F16 {
     F16::from_f32(((seed * 31 + i * 7) % 13) as f32 * 0.25 - 1.5)
 }
 
-/// Fig. 6 as a program: zero the output tile, DMA the patch fractal into
-/// the UB, scatter-sum it back with Col2Im. The counters must equal the
-/// per-instruction trace sums exactly.
-#[test]
-fn counters_equal_trace_sums_for_col2im_program() {
-    let mut core = AiCore::new(CostModel::ascend910_like(), 1 << 20);
-    core.set_trace(TraceConfig::ON);
-
-    // One 16-patch fractal in GM: patch p's row holds the value p+1.
-    let mut frac = Vec::with_capacity(16 * C0);
-    for p in 0..16 {
-        for _ in 0..C0 {
-            frac.push(F16::from_f32((p + 1) as f32));
-        }
-    }
-    core.load_gm(0, &frac).unwrap();
-
+/// Build the Fig. 6 Col2Im program: zero the output tile, DMA the patch
+/// fractal into the UB, scatter-sum it back with Col2Im.
+fn col2im_program() -> Program {
     let params = PoolParams::new((2, 2), (2, 2));
     let geom = Im2ColGeometry::new(8, 8, 1, params).unwrap();
     let mut p = Program::new();
@@ -58,9 +46,21 @@ fn counters_equal_trace_sums_for_col2im_program() {
         repeat: 1,
     }))
     .unwrap();
+    p
+}
 
-    core.run(&p).unwrap();
+/// One 16-patch fractal in GM: patch p's row holds the value p+1.
+fn col2im_fractal() -> Vec<F16> {
+    let mut frac = Vec::with_capacity(16 * C0);
+    for p in 0..16 {
+        for _ in 0..C0 {
+            frac.push(F16::from_f32((p + 1) as f32));
+        }
+    }
+    frac
+}
 
+fn check_col2im_result(core: &AiCore) {
     // Functional result: patch p landed at (2*(p/4), 2*(p%4)).
     for patch in 0..16 {
         let (h, w) = (2 * (patch / 4), 2 * (patch % 4));
@@ -70,6 +70,20 @@ fn counters_equal_trace_sums_for_col2im_program() {
             (patch + 1) as f32
         );
     }
+}
+
+/// The single-pipe invariant: with the legacy model selected the
+/// scheduler reproduces the PR 1 serial timing exactly — the counters
+/// equal the per-instruction trace sums, events are contiguous, and no
+/// stall cycles appear.
+#[test]
+fn counters_equal_trace_sums_for_col2im_program() {
+    let mut core = AiCore::new(CostModel::single_issue(), 1 << 20);
+    core.set_trace(TraceConfig::ON);
+    core.load_gm(0, &col2im_fractal()).unwrap();
+    let p = col2im_program();
+    core.run(&p).unwrap();
+    check_col2im_result(&core);
 
     // Observability result: one event per executed instruction, durations
     // summing to the counter total, agreeing per unit and per mnemonic.
@@ -79,15 +93,18 @@ fn counters_equal_trace_sums_for_col2im_program() {
     let manual_sum: u64 = trace.events.iter().map(|e| e.cycles).sum();
     assert_eq!(manual_sum, core.counters().cycles);
     assert_eq!(trace.total_cycles(), core.counters().cycles);
+    assert_eq!(core.counters().busy_cycles(), core.counters().cycles);
+    assert_eq!(core.counters().stall_cycles, 0);
     Breakdown::from_traces([trace])
         .verify_against(core.counters())
         .expect("breakdown agrees with counters");
 
     // Events are contiguous on the single-issue core: each instruction
-    // starts where the previous one ended.
+    // starts where the previous one ended, with no stalls booked.
     let mut cursor = 0;
     for e in &trace.events {
         assert_eq!(e.start, cursor, "{} issued at the wrong cycle", e.mnemonic);
+        assert_eq!(e.stall, 0);
         cursor += e.cycles;
     }
     let col2im = trace.events.last().unwrap();
@@ -96,31 +113,78 @@ fn counters_equal_trace_sums_for_col2im_program() {
     assert_eq!(col2im.dst, Some(BufferId::Ub));
 }
 
+/// The same program under the dual-pipe model: bit-identical results, a
+/// wall clock no larger than the serial sum, and trace durations that
+/// still sum to the unit-busy total. The vdup zero-fill (Vector) and the
+/// GM->UB fractal load (MTE) touch disjoint UB ranges, so the two pipes
+/// overlap them and the makespan strictly beats the serial sum.
+#[test]
+fn dual_pipe_overlaps_col2im_program() {
+    let mut core = AiCore::new(CostModel::ascend910_like(), 1 << 20);
+    core.set_trace(TraceConfig::ON);
+    core.load_gm(0, &col2im_fractal()).unwrap();
+    let p = col2im_program();
+    core.run(&p).unwrap();
+    check_col2im_result(&core);
+
+    let trace = core.trace();
+    assert_eq!(trace.events.len(), p.len());
+    assert_eq!(trace.total_cycles(), core.counters().busy_cycles());
+    assert!(
+        core.counters().cycles < core.counters().busy_cycles(),
+        "independent MTE and Vector work must overlap"
+    );
+    Breakdown::from_traces([trace])
+        .verify_against(core.counters())
+        .expect("breakdown agrees with counters");
+
+    // The fractal load issues at cycle 0 in parallel with the zero-fill,
+    // and the col2im that consumes both records its RAW producer.
+    let mv = trace
+        .events
+        .iter()
+        .find(|e| e.mnemonic == "mte_move")
+        .unwrap();
+    assert_eq!(mv.start, 0, "load overlaps the zero-fill");
+    let col2im = trace.events.last().unwrap();
+    assert_eq!(col2im.mnemonic, "col2im");
+    assert!(
+        col2im.dep.is_some(),
+        "col2im depends on in-flight producers"
+    );
+}
+
 /// The invariant holds for a full Fig. 7-style engine run across every
-/// core of the chip, for both pooling implementations.
+/// core of the chip, for both pooling implementations and both issue
+/// models: trace durations sum to the unit-busy total (which is the wall
+/// clock itself under single-issue).
 #[test]
 fn counters_equal_trace_sums_for_engine_runs() {
     let input =
         Nchw::from_fn(1, 64, 35, 35, |_, c, h, w| det(5, c * 1225 + h * 35 + w)).to_nc1hwc0();
-    let engine = PoolingEngine::ascend910().with_trace(TraceConfig::ON);
-    for impl_ in [ForwardImpl::Standard, ForwardImpl::Im2col] {
-        let (_, run) = engine
-            .maxpool_forward(&input, PoolParams::K3S2, impl_)
-            .expect("forward");
-        assert!(!run.traces.is_empty(), "{impl_:?}: tracing was enabled");
-        let sum: u64 = run
-            .traces
-            .iter()
-            .flat_map(|t| t.events.iter())
-            .map(|e| e.cycles)
-            .sum();
-        assert_eq!(
-            sum, run.total.cycles,
-            "{impl_:?}: trace durations must sum to the counter total"
-        );
-        run.breakdown()
-            .verify_against(&run.total)
-            .expect("breakdown agrees with merged counters");
+    for cost in [CostModel::ascend910_like(), CostModel::single_issue()] {
+        let engine = PoolingEngine::new(Chip::new(32, cost)).with_trace(TraceConfig::ON);
+        for impl_ in [ForwardImpl::Standard, ForwardImpl::Im2col] {
+            let (_, run) = engine
+                .maxpool_forward(&input, PoolParams::K3S2, impl_)
+                .expect("forward");
+            assert!(!run.traces.is_empty(), "{impl_:?}: tracing was enabled");
+            let sum: u64 = run
+                .traces
+                .iter()
+                .flat_map(|t| t.events.iter())
+                .map(|e| e.cycles)
+                .sum();
+            assert_eq!(
+                sum,
+                run.total.busy_cycles(),
+                "{impl_:?}/{:?}: trace durations must sum to the busy total",
+                cost.issue_model
+            );
+            run.breakdown()
+                .verify_against(&run.total)
+                .expect("breakdown agrees with merged counters");
+        }
     }
 }
 
@@ -156,6 +220,8 @@ fn maxpool_backward_chrome_trace_parses() {
 
     let mut complete = 0u64;
     let mut col2im_events = 0u64;
+    let mut flow_starts = 0u64;
+    let mut flow_ends = 0u64;
     let mut saw_process_meta = false;
     for e in events {
         match e.get("ph").and_then(|v| v.as_str()) {
@@ -174,6 +240,18 @@ fn maxpool_backward_chrome_trace_parses() {
                     saw_process_meta = true;
                 }
             }
+            // Flow arrows: producer retirement ("s") paired with consumer
+            // issue ("f") by id — the Fig. 4 pipeline handoffs.
+            Some("s") | Some("f") => {
+                assert_eq!(e.get("cat").and_then(|v| v.as_str()), Some("flow"));
+                assert!(e.get("id").and_then(|v| v.as_u64()).is_some());
+                assert!(e.get("ts").and_then(|v| v.as_u64()).is_some());
+                if e.get("ph").and_then(|v| v.as_str()) == Some("s") {
+                    flow_starts += 1;
+                } else {
+                    flow_ends += 1;
+                }
+            }
             ph => panic!("unexpected event phase {ph:?}"),
         }
     }
@@ -181,11 +259,21 @@ fn maxpool_backward_chrome_trace_parses() {
     assert_eq!(complete, traced, "one X event per traced instruction");
     assert!(col2im_events > 0, "backward pass used Col2Im");
     assert!(saw_process_meta, "per-core process_name metadata present");
+    assert!(
+        flow_starts > 0,
+        "dual-pipe run must carry cross-unit flow arrows"
+    );
+    assert_eq!(flow_starts, flow_ends, "every arrow has both endpoints");
 
     // The rendered breakdown is the human-readable view of the same data.
     let report = run.breakdown().render();
     assert!(report.contains("col2im"));
-    assert!(report.contains(&format!("total cycles: {}", run.total.cycles)));
+    assert!(report.contains("stall%"));
+    assert!(report.contains(&format!(
+        "total cycles: {} (stalled: {})",
+        run.total.busy_cycles(),
+        run.total.stall_cycles
+    )));
 }
 
 /// Tracing must not perturb the simulation: identical cycle counts and
@@ -225,4 +313,50 @@ fn tracing_is_observationally_transparent() {
     // Peaks are tracked regardless of tracing.
     assert_eq!(run_q.peaks, run_t.peaks);
     assert!(run_q.peaks.of(dv_isa::BufferId::Ub) > 0);
+}
+
+/// The simulator is deterministic in both issue models: running the same
+/// workload twice — on the same engine, and on a `Chip` clone — yields
+/// identical traces (starts, stalls, deps included), identical counters,
+/// and identical stall totals.
+#[test]
+fn runs_are_deterministic_across_reruns_and_chip_clones() {
+    let input =
+        Nchw::from_fn(1, 32, 21, 21, |_, c, h, w| det(11, c * 441 + h * 21 + w)).to_nc1hwc0();
+    let params = PoolParams::K3S2;
+
+    for cost in [CostModel::ascend910_like(), CostModel::single_issue()] {
+        let engine = PoolingEngine::new(Chip::new(4, cost)).with_trace(TraceConfig::ON);
+        let cloned = PoolingEngine::new(engine.chip.clone()).with_trace(TraceConfig::ON);
+
+        let (out_a, run_a) = engine
+            .maxpool_forward(&input, params, ForwardImpl::Im2col)
+            .unwrap();
+        let (out_b, run_b) = engine
+            .maxpool_forward(&input, params, ForwardImpl::Im2col)
+            .unwrap();
+        let (out_c, run_c) = cloned
+            .maxpool_forward(&input, params, ForwardImpl::Im2col)
+            .unwrap();
+
+        for (label, out, run) in [("rerun", &out_b, &run_b), ("clone", &out_c, &run_c)] {
+            let model = cost.issue_model;
+            assert_eq!(out_a.data(), out.data(), "{model:?}/{label}: outputs");
+            assert_eq!(run_a.total, run.total, "{model:?}/{label}: counters");
+            assert_eq!(run_a.cycles, run.cycles, "{model:?}/{label}: cycles");
+            assert_eq!(
+                run_a.total.stall_cycles, run.total.stall_cycles,
+                "{model:?}/{label}: stall cycles"
+            );
+            assert_eq!(
+                run_a.traces.len(),
+                run.traces.len(),
+                "{model:?}/{label}: trace count"
+            );
+            for (ta, tb) in run_a.traces.iter().zip(&run.traces) {
+                assert_eq!(ta.core, tb.core, "{model:?}/{label}: core ids");
+                assert_eq!(ta.events, tb.events, "{model:?}/{label}: trace events");
+            }
+        }
+    }
 }
