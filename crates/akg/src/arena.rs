@@ -76,6 +76,46 @@ impl UbArena {
     pub fn remaining(&self) -> usize {
         self.capacity - self.next
     }
+
+    /// Allocate a band-cycled region: one slot when `double` is false, a
+    /// ping-pong (A/B) pair when it is true. Double-buffering lets the
+    /// MTE load of band `i + 1` target the slot the Vector pipe is *not*
+    /// reading, so the dual-pipe scoreboard sees no WAR hazard between
+    /// consecutive bands.
+    pub fn alloc_band(&mut self, bytes: usize, double: bool) -> Result<BandSlots, UbOverflow> {
+        let a = self.alloc(bytes)?;
+        let b = if double {
+            Some(self.alloc(bytes)?)
+        } else {
+            None
+        };
+        Ok(BandSlots { a, b })
+    }
+}
+
+/// The slot offsets of a band-cycled region (see [`UbArena::alloc_band`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BandSlots {
+    /// Offset of slot A (bands 0, 2, 4, … — and every band when single).
+    pub a: usize,
+    /// Offset of slot B (bands 1, 3, 5, …), present when double-buffered.
+    pub b: Option<usize>,
+}
+
+impl BandSlots {
+    /// The slot offset serving band `band`: parity picks A or B; a
+    /// single-buffered region always answers A.
+    pub fn of(&self, band: usize) -> usize {
+        match self.b {
+            Some(b) if band % 2 == 1 => b,
+            _ => self.a,
+        }
+    }
+
+    /// Whether the region really has two slots.
+    pub fn is_double(&self) -> bool {
+        self.b.is_some()
+    }
 }
 
 /// Bump allocator over global memory — unbounded, used to lay out the
@@ -134,6 +174,31 @@ mod tests {
         assert_eq!(a.alloc(32).unwrap(), 32);
         assert_eq!(a.remaining(), 0);
         assert!(a.alloc(1).is_err());
+    }
+
+    #[test]
+    fn band_slots_alternate_by_parity() {
+        let mut a = UbArena::new(1024);
+        let single = a.alloc_band(100, false).unwrap();
+        assert!(!single.is_double());
+        assert_eq!(single.of(0), single.of(1));
+        let double = a.alloc_band(100, true).unwrap();
+        assert!(double.is_double());
+        assert_eq!(double.of(0), double.of(2));
+        assert_eq!(double.of(1), double.of(3));
+        assert_ne!(double.of(0), double.of(1));
+        // Pair costs two aligned slots: A at 128, B at 256, 100 bytes each.
+        assert_eq!(double.a, 128);
+        assert_eq!(double.b, Some(256));
+        assert_eq!(a.used(), 356);
+    }
+
+    #[test]
+    fn band_slots_overflow_detected() {
+        let mut a = UbArena::new(150);
+        assert!(a.alloc_band(100, false).is_ok());
+        let mut a = UbArena::new(150);
+        assert!(a.alloc_band(100, true).is_err());
     }
 
     #[test]

@@ -10,22 +10,55 @@
 use core::fmt;
 use dv_tensor::PoolParams;
 
-/// Tiling failure: even a single output row exceeds the capacity.
+/// Band tiling failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct TilingError {
-    /// Footprint in bytes of the smallest possible band.
-    pub min_footprint: usize,
-    /// The capacity it must fit into.
-    pub capacity: usize,
+pub enum TilingError {
+    /// Even a single output row exceeds the capacity.
+    Capacity {
+        /// Footprint in bytes of the smallest possible band.
+        min_footprint: usize,
+        /// The capacity it must fit into.
+        capacity: usize,
+    },
+    /// Degenerate request: zero output rows, a zero band height, or a
+    /// band taller than the output extent.
+    Degenerate {
+        /// Output rows of the plane being tiled.
+        oh: usize,
+        /// Requested band height (0 when no band was derived yet).
+        boh: usize,
+    },
+    /// Vertical (`Pt`/`Pb`) padding combined with more than one band:
+    /// the per-band geometry would need padding rows synthesised in the
+    /// middle of the plane, which no lowering here supports.
+    PaddedMultiBand {
+        /// Output rows of the plane being tiled.
+        oh: usize,
+        /// Requested band height.
+        boh: usize,
+    },
 }
 
 impl fmt::Display for TilingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "cannot tile: one output row needs {} bytes but capacity is {}",
-            self.min_footprint, self.capacity
-        )
+        match self {
+            TilingError::Capacity {
+                min_footprint,
+                capacity,
+            } => write!(
+                f,
+                "cannot tile: one output row needs {min_footprint} bytes but capacity is {capacity}"
+            ),
+            TilingError::Degenerate { oh, boh } => write!(
+                f,
+                "degenerate band tiling: {boh}-row bands over {oh} output rows"
+            ),
+            TilingError::PaddedMultiBand { oh, boh } => write!(
+                f,
+                "vertical padding requires a single band, but {boh}-row bands \
+                 split {oh} output rows"
+            ),
+        }
     }
 }
 
@@ -57,15 +90,19 @@ pub fn band_input_rows(params: &PoolParams, boh: usize) -> usize {
 }
 
 /// Largest band height (in output rows) whose footprint fits `capacity`.
-/// `footprint(boh)` must be monotonically non-decreasing. Returns an error
-/// if even one row does not fit.
+/// `footprint(boh)` must be monotonically non-decreasing. Errors if even
+/// one row does not fit, or if `oh == 0` (there is no band to size —
+/// previously this silently returned a band taller than the plane).
 pub fn max_row_band(
     oh: usize,
     capacity: usize,
     footprint: impl Fn(usize) -> usize,
 ) -> Result<usize, TilingError> {
+    if oh == 0 {
+        return Err(TilingError::Degenerate { oh, boh: 0 });
+    }
     if footprint(1) > capacity {
-        return Err(TilingError {
+        return Err(TilingError::Capacity {
             min_footprint: footprint(1),
             capacity,
         });
@@ -84,12 +121,36 @@ pub fn max_row_band(
 }
 
 /// Split `oh` output rows into bands of at most `boh` rows, computing each
-/// band's input-row window for the given pooling geometry. Vertical
-/// padding is only supported when no splitting happens (one band);
-/// multi-band lowering with `Pt`/`Pb` padding would need per-band
-/// geometries and is rejected by the kernel builders upstream.
-pub fn row_bands(params: &PoolParams, oh: usize, boh: usize) -> Vec<Band> {
-    assert!(boh >= 1);
+/// band's input-row window for the given pooling geometry over an input
+/// of `ih` rows.
+///
+/// The input windows are normalised against the real extent so every
+/// caller sees the same geometry the DMA layer must honour:
+///
+/// * a **single band** covers the whole input: its `ih_len` is widened to
+///   `ih`, which both absorbs vertical padding (where the formula window
+///   exceeds the plane) and picks up trailing rows no output row reads
+///   (where the stride leaves a remainder) — previously every caller
+///   re-implemented this clamp by hand;
+/// * **multiple bands** are clamped so `ih0 + ih_len <= ih` (defensive:
+///   exact for every unpadded geometry, but a guarantee the emitters may
+///   rely on when sizing DMAs).
+///
+/// Degenerate requests (`oh == 0`, `boh == 0`, `boh > oh`) and vertical
+/// (`Pt`/`Pb`) padding that would split into more than one band return
+/// typed errors instead of producing out-of-range windows.
+pub fn row_bands(
+    params: &PoolParams,
+    oh: usize,
+    boh: usize,
+    ih: usize,
+) -> Result<Vec<Band>, TilingError> {
+    if oh == 0 || boh == 0 || boh > oh {
+        return Err(TilingError::Degenerate { oh, boh });
+    }
+    if oh.div_ceil(boh) > 1 && (params.padding.top > 0 || params.padding.bottom > 0) {
+        return Err(TilingError::PaddedMultiBand { oh, boh });
+    }
     let mut bands = Vec::with_capacity(oh.div_ceil(boh));
     let mut oh0 = 0;
     while oh0 < oh {
@@ -104,7 +165,14 @@ pub fn row_bands(params: &PoolParams, oh: usize, boh: usize) -> Vec<Band> {
         });
         oh0 = oh1;
     }
-    bands
+    if bands.len() == 1 {
+        bands[0].ih_len = ih;
+    } else {
+        for b in &mut bands {
+            b.ih_len = b.ih_len.min(ih - b.ih0);
+        }
+    }
+    Ok(bands)
 }
 
 /// The largest square input extent `H = W` for which `footprint(hw)` fits
@@ -155,13 +223,45 @@ mod tests {
     #[test]
     fn max_row_band_single_row_too_big() {
         let err = max_row_band(50, 10, |boh| boh * 100).unwrap_err();
-        assert_eq!(err.min_footprint, 100);
-        assert_eq!(err.capacity, 10);
+        assert_eq!(
+            err,
+            TilingError::Capacity {
+                min_footprint: 100,
+                capacity: 10
+            }
+        );
+    }
+
+    #[test]
+    fn max_row_band_rejects_empty_extent() {
+        // Previously oh = 0 skipped the search and returned Ok(1): a band
+        // taller than the plane it is supposed to tile.
+        let err = max_row_band(0, 1000, |boh| boh * 100).unwrap_err();
+        assert_eq!(err, TilingError::Degenerate { oh: 0, boh: 0 });
+    }
+
+    #[test]
+    fn row_bands_reject_degenerate_requests() {
+        for (oh, boh) in [(0, 1), (5, 0), (5, 6)] {
+            let err = row_bands(&K3S2, oh, boh, 147).unwrap_err();
+            assert_eq!(err, TilingError::Degenerate { oh, boh });
+        }
+    }
+
+    #[test]
+    fn row_bands_reject_padded_multi_band() {
+        let padded = PoolParams::with_padding((3, 3), (2, 2), dv_tensor::Padding::uniform(1));
+        let err = row_bands(&padded, 8, 4, 15).unwrap_err();
+        assert_eq!(err, TilingError::PaddedMultiBand { oh: 8, boh: 4 });
+        // A single padded band is fine and covers the whole input.
+        let bands = row_bands(&padded, 8, 8, 15).unwrap();
+        assert_eq!(bands.len(), 1);
+        assert_eq!(bands[0].ih_len, 15);
     }
 
     #[test]
     fn row_bands_cover_exactly() {
-        let bands = row_bands(&K3S2, 73, 10);
+        let bands = row_bands(&K3S2, 73, 10, 147).unwrap();
         assert_eq!(bands.len(), 8);
         assert_eq!(
             bands[0],
@@ -185,15 +285,36 @@ mod tests {
     }
 
     #[test]
-    fn row_bands_single_band() {
-        let bands = row_bands(&K3S2, 17, 17);
+    fn row_bands_single_band_widens_to_input_extent() {
+        // Formula window is 35 rows; the plane has 36 (one trailing row
+        // no output reads). A single band must cover all of it.
+        let bands = row_bands(&K3S2, 17, 17, 36).unwrap();
         assert_eq!(bands.len(), 1);
+        assert_eq!(bands[0].ih_len, 36);
+        // Exact geometry: window == extent.
+        let bands = row_bands(&K3S2, 17, 17, 35).unwrap();
         assert_eq!(bands[0].ih_len, 35);
     }
 
     #[test]
+    fn row_bands_clamp_to_input_extent() {
+        // K3S3 over 16 input rows: oh = 5, formula window of the last
+        // band would end at 15 — already inside the plane — but a
+        // too-small `ih` must clamp every band.
+        let k3s3 = PoolParams::new((3, 3), (3, 3));
+        let bands = row_bands(&k3s3, 5, 2, 16).unwrap();
+        assert_eq!(bands.len(), 3);
+        for b in &bands {
+            assert!(b.ih0 + b.ih_len <= 16, "band {b:?} overruns the input");
+        }
+        // Last band: output rows [4, 5), input rows [12, 15).
+        assert_eq!(bands[2].ih0, 12);
+        assert_eq!(bands[2].ih_len, 3);
+    }
+
+    #[test]
     fn bands_overlap_in_input_when_stride_lt_kernel() {
-        let bands = row_bands(&K3S2, 4, 2);
+        let bands = row_bands(&K3S2, 4, 2, 9).unwrap();
         // band 0 reads rows [0, 5), band 1 reads [4, 9): one-row halo
         assert_eq!(bands[0].ih0 + bands[0].ih_len, 5);
         assert_eq!(bands[1].ih0, 4);

@@ -61,11 +61,23 @@ pub struct Metric {
     pub standard_cycles_single: u64,
     /// Single-issue cycles of the accelerated implementation.
     pub accelerated_cycles_single: u64,
+    /// Dual-pipe cycles of the standard implementation with
+    /// double-buffered row-band prefetch (equals `standard_cycles` when
+    /// the workload fits a single band).
+    pub standard_cycles_db: u64,
+    /// Dual-pipe cycles of the accelerated implementation with
+    /// double-buffered row-band prefetch.
+    pub accelerated_cycles_db: u64,
     /// Peak Unified Buffer occupancy in bytes (max over both
     /// implementations).
     pub ub_peak: u64,
     /// Peak L1 buffer occupancy in bytes (max over both implementations).
     pub l1_peak: u64,
+    /// Peak UB occupancy of the double-buffered runs — bounded by twice
+    /// the single-buffered band footprint.
+    pub ub_peak_db: u64,
+    /// Peak L1 occupancy of the double-buffered runs.
+    pub l1_peak_db: u64,
 }
 
 impl Metric {
@@ -78,6 +90,11 @@ impl Metric {
     /// Single-issue speedup — the PR 1 headline numbers.
     pub fn speedup_single(&self) -> f64 {
         self.standard_cycles_single as f64 / self.accelerated_cycles_single as f64
+    }
+
+    /// Dual-pipe speedup with double-buffered row-band prefetch.
+    pub fn speedup_db(&self) -> f64 {
+        self.standard_cycles_db as f64 / self.accelerated_cycles_db as f64
     }
 }
 
@@ -96,16 +113,39 @@ pub fn single_issue_cycles(run: &ChipRun) -> u64 {
         .unwrap_or(0)
 }
 
-fn metric(key: String, std: &ChipRun, acc: &ChipRun) -> Metric {
-    Metric {
+fn metric(key: String, std: &ChipRun, acc: &ChipRun, std_db: &ChipRun, acc_db: &ChipRun) -> Metric {
+    let m = Metric {
         key,
         standard_cycles: std.cycles,
         accelerated_cycles: acc.cycles,
         standard_cycles_single: single_issue_cycles(std),
         accelerated_cycles_single: single_issue_cycles(acc),
+        standard_cycles_db: std_db.cycles,
+        accelerated_cycles_db: acc_db.cycles,
         ub_peak: std.peaks.of(BufferId::Ub).max(acc.peaks.of(BufferId::Ub)) as u64,
         l1_peak: std.peaks.of(BufferId::L1).max(acc.peaks.of(BufferId::L1)) as u64,
-    }
+        ub_peak_db: std_db
+            .peaks
+            .of(BufferId::Ub)
+            .max(acc_db.peaks.of(BufferId::Ub)) as u64,
+        l1_peak_db: std_db
+            .peaks
+            .of(BufferId::L1)
+            .max(acc_db.peaks.of(BufferId::L1)) as u64,
+    };
+    // The ping-pong layout may double the band-cycled regions but never
+    // more: the planner sizes bands so 2x the footprint fits.
+    assert!(
+        m.ub_peak_db <= 2 * m.ub_peak && m.l1_peak_db <= 2 * m.l1_peak.max(1),
+        "{}: double-buffered peaks exceed the 2x band-footprint budget \
+         (UB {} vs {}, L1 {} vs {})",
+        m.key,
+        m.ub_peak_db,
+        m.ub_peak,
+        m.l1_peak_db,
+        m.l1_peak
+    );
+    m
 }
 
 /// Replay every tracked workload and measure it.
@@ -120,7 +160,11 @@ fn metric(key: String, std: &ChipRun, acc: &ChipRun) -> Metric {
 /// `experiments::*` tables exactly.
 pub fn collect() -> Vec<Metric> {
     let mut out = Vec::new();
-    let eng = PoolingEngine::ascend910();
+    // Headline columns run single-buffered (the PR 1-comparable
+    // schedule); the `*_db` columns rerun the same workloads with
+    // double-buffered row-band prefetch and must be bit-identical.
+    let eng = PoolingEngine::ascend910().with_double_buffering(false);
+    let eng_db = PoolingEngine::ascend910();
 
     for w in fig7_workloads() {
         let shape = format!("{}x{}x{}", w.h, w.w, w.c);
@@ -133,8 +177,22 @@ pub fn collect() -> Vec<Metric> {
         let (o_a, acc) = eng
             .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
             .expect("fig7a im2col");
+        let (o_sd, std_db) = eng_db
+            .maxpool_forward(&input, w.params, ForwardImpl::Standard)
+            .expect("fig7a standard db");
+        let (o_ad, acc_db) = eng_db
+            .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("fig7a im2col db");
         assert_eq!(o_s.data(), o_a.data(), "fig7a implementations disagree");
-        out.push(metric(format!("fig7a/{shape}"), &std, &acc));
+        assert_eq!(o_s.data(), o_sd.data(), "fig7a db changed standard output");
+        assert_eq!(o_a.data(), o_ad.data(), "fig7a db changed im2col output");
+        out.push(metric(
+            format!("fig7a/{shape}"),
+            &std,
+            &acc,
+            &std_db,
+            &acc_db,
+        ));
 
         // Fig. 7b — forward with the argmax mask.
         let input = feature_map(1, w.c, w.h, w.w, 72);
@@ -144,9 +202,31 @@ pub fn collect() -> Vec<Metric> {
         let (o_a, m_a, acc) = eng
             .maxpool_forward_with_argmax(&input, w.params, ForwardImpl::Im2col)
             .expect("fig7b im2col");
+        let (o_sd, m_sd, std_db) = eng_db
+            .maxpool_forward_with_argmax(&input, w.params, ForwardImpl::Standard)
+            .expect("fig7b standard db");
+        let (o_ad, m_ad, acc_db) = eng_db
+            .maxpool_forward_with_argmax(&input, w.params, ForwardImpl::Im2col)
+            .expect("fig7b im2col db");
         assert_eq!(o_s.data(), o_a.data(), "fig7b implementations disagree");
         assert_eq!(m_s.data(), m_a.data(), "fig7b masks disagree");
-        out.push(metric(format!("fig7b/{shape}"), &std, &acc));
+        assert_eq!(
+            (o_sd.data(), m_sd.data()),
+            (o_s.data(), m_s.data()),
+            "fig7b db changed standard output"
+        );
+        assert_eq!(
+            (o_ad.data(), m_ad.data()),
+            (o_a.data(), m_a.data()),
+            "fig7b db changed im2col output"
+        );
+        out.push(metric(
+            format!("fig7b/{shape}"),
+            &std,
+            &acc,
+            &std_db,
+            &acc_db,
+        ));
 
         // Fig. 7c — backward.
         let input = feature_map(1, w.c, w.h, w.w, 73);
@@ -159,14 +239,30 @@ pub fn collect() -> Vec<Metric> {
         let (dx_a, acc) = eng
             .maxpool_backward(&mask, &grads, w.params, w.h, w.w, MergeImpl::Col2Im)
             .expect("fig7c col2im");
+        let (dx_sd, std_db) = eng_db
+            .maxpool_backward(&mask, &grads, w.params, w.h, w.w, MergeImpl::VAdd)
+            .expect("fig7c vadd db");
+        let (dx_ad, acc_db) = eng_db
+            .maxpool_backward(&mask, &grads, w.params, w.h, w.w, MergeImpl::Col2Im)
+            .expect("fig7c col2im db");
         assert_eq!(dx_s.data(), dx_a.data(), "fig7c merges disagree");
-        out.push(metric(format!("fig7c/{shape}"), &std, &acc));
+        assert_eq!(dx_s.data(), dx_sd.data(), "fig7c db changed vadd output");
+        assert_eq!(dx_a.data(), dx_ad.data(), "fig7c db changed col2im output");
+        out.push(metric(
+            format!("fig7c/{shape}"),
+            &std,
+            &acc,
+            &std_db,
+            &acc_db,
+        ));
     }
 
     // Fig. 8 — the stride study, one AI core, K(3,3).
     for stride in 1usize..=3 {
         let params = PoolParams::new((3, 3), (stride, stride));
-        let eng1 = PoolingEngine::new(Chip::new(1, CostModel::ascend910_like()));
+        let eng1 = PoolingEngine::new(Chip::new(1, CostModel::ascend910_like()))
+            .with_double_buffering(false);
+        let eng1_db = PoolingEngine::new(Chip::new(1, CostModel::ascend910_like()));
         let threshold = [ForwardImpl::Standard, ForwardImpl::Im2col]
             .iter()
             .map(|i| tiling_threshold(&params, *i, eng1.chip.caps))
@@ -183,8 +279,22 @@ pub fn collect() -> Vec<Metric> {
             let (o_a, acc) = eng1
                 .maxpool_forward(&input, params, ForwardImpl::Im2col)
                 .expect("fig8 im2col");
+            let (o_sd, std_db) = eng1_db
+                .maxpool_forward(&input, params, ForwardImpl::Standard)
+                .expect("fig8 standard db");
+            let (o_ad, acc_db) = eng1_db
+                .maxpool_forward(&input, params, ForwardImpl::Im2col)
+                .expect("fig8 im2col db");
             assert_eq!(o_s.data(), o_a.data(), "fig8 implementations disagree");
-            out.push(metric(format!("fig8s{stride}/{hw}x{hw}"), &std, &acc));
+            assert_eq!(o_s.data(), o_sd.data(), "fig8 db changed standard output");
+            assert_eq!(o_a.data(), o_ad.data(), "fig8 db changed im2col output");
+            out.push(metric(
+                format!("fig8s{stride}/{hw}x{hw}"),
+                &std,
+                &acc,
+                &std_db,
+                &acc_db,
+            ));
         }
     }
 
@@ -203,11 +313,21 @@ pub fn collect() -> Vec<Metric> {
         let (o_a, acc) = eng
             .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
             .expect("table1 im2col");
+        let (o_sd, std_db) = eng_db
+            .maxpool_forward(&input, w.params, ForwardImpl::Standard)
+            .expect("table1 standard db");
+        let (o_ad, acc_db) = eng_db
+            .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("table1 im2col db");
         assert_eq!(o_s.data(), o_a.data(), "table1 implementations disagree");
+        assert_eq!(o_s.data(), o_sd.data(), "table1 db changed standard output");
+        assert_eq!(o_a.data(), o_ad.data(), "table1 db changed im2col output");
         out.push(metric(
             format!("table1/{}-{}/{shape}", w.cnn, w.input_idx),
             &std,
             &acc,
+            &std_db,
+            &acc_db,
         ));
     }
 
@@ -231,7 +351,9 @@ pub fn to_json(metrics: &[Metric], baseline: Option<&[Metric]>) -> String {
             "    {{\"key\": \"{}\", \"standard_cycles\": {}, \"accelerated_cycles\": {}, \
              \"speedup\": {:.4}, \"standard_cycles_single\": {}, \
              \"accelerated_cycles_single\": {}, \"speedup_single\": {:.4}, \
-             \"ub_peak\": {}, \"l1_peak\": {}",
+             \"standard_cycles_db\": {}, \"accelerated_cycles_db\": {}, \
+             \"speedup_db\": {:.4}, \"ub_peak\": {}, \"l1_peak\": {}, \
+             \"ub_peak_db\": {}, \"l1_peak_db\": {}",
             m.key,
             m.standard_cycles,
             m.accelerated_cycles,
@@ -239,8 +361,13 @@ pub fn to_json(metrics: &[Metric], baseline: Option<&[Metric]>) -> String {
             m.standard_cycles_single,
             m.accelerated_cycles_single,
             m.speedup_single(),
+            m.standard_cycles_db,
+            m.accelerated_cycles_db,
+            m.speedup_db(),
             m.ub_peak,
-            m.l1_peak
+            m.l1_peak,
+            m.ub_peak_db,
+            m.l1_peak_db
         );
         if let Some(base) = baseline {
             if let Some(b) = base.iter().find(|b| b.key == m.key) {
@@ -286,8 +413,12 @@ pub fn parse_metrics(doc: &str) -> Result<Vec<Metric>, String> {
                 accelerated_cycles: field(m, "accelerated_cycles")?,
                 standard_cycles_single: field(m, "standard_cycles_single")?,
                 accelerated_cycles_single: field(m, "accelerated_cycles_single")?,
+                standard_cycles_db: field(m, "standard_cycles_db")?,
+                accelerated_cycles_db: field(m, "accelerated_cycles_db")?,
                 ub_peak: field(m, "ub_peak")?,
                 l1_peak: field(m, "l1_peak")?,
+                ub_peak_db: field(m, "ub_peak_db")?,
+                l1_peak_db: field(m, "l1_peak_db")?,
             })
         })
         .collect::<Result<Vec<_>, String>>()
@@ -318,8 +449,20 @@ pub fn compare(current: &[Metric], baseline: &[Metric], tolerance: f64) -> Vec<S
                 c.accelerated_cycles_single,
                 b.accelerated_cycles_single,
             ),
+            (
+                "standard double-buffered",
+                c.standard_cycles_db,
+                b.standard_cycles_db,
+            ),
+            (
+                "accelerated double-buffered",
+                c.accelerated_cycles_db,
+                b.accelerated_cycles_db,
+            ),
             ("UB peak", c.ub_peak, b.ub_peak),
             ("L1 peak", c.l1_peak, b.l1_peak),
+            ("UB peak double-buffered", c.ub_peak_db, b.ub_peak_db),
+            ("L1 peak double-buffered", c.l1_peak_db, b.l1_peak_db),
         ] {
             // A metric absent from the baseline (0) that appears now is a
             // new ceiling, not a regression of an old one.
@@ -362,8 +505,12 @@ mod tests {
             accelerated_cycles: a,
             standard_cycles_single: s + s / 2,
             accelerated_cycles_single: a + a / 2,
+            standard_cycles_db: s.saturating_sub(s / 10),
+            accelerated_cycles_db: a.saturating_sub(a / 10),
             ub_peak: 4096,
             l1_peak: 0,
+            ub_peak_db: 8192,
+            l1_peak_db: 0,
         }
     }
 
@@ -390,6 +537,7 @@ mod tests {
         let mut slow = vec![m("a", 1000, 106), m("b", 1000, 100)];
         slow[0].standard_cycles_single = 1500;
         slow[0].accelerated_cycles_single = 150;
+        slow[0].accelerated_cycles_db = 90;
         let regs = compare(&slow, &base, TOLERANCE);
         assert_eq!(regs.len(), 1);
         assert!(regs[0].contains("a (accelerated)"));

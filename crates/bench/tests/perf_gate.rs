@@ -8,9 +8,10 @@
 //! On top of the tolerance gate, three exact invariants are pinned here:
 //!
 //! * the single-issue columns of every Fig. 7 / Fig. 8 metric equal the
-//!   PR 1 baseline cycle-for-cycle (hardcoded below — regenerating the
+//!   pinned baseline cycle-for-cycle (hardcoded below — regenerating the
 //!   baseline must never move them, because per-instruction charges are
-//!   issue-model-independent);
+//!   issue-model-independent; only an intentional *lowering* change may
+//!   re-pin a row, with justification);
 //! * dual-pipe mode strictly lowers the accelerated (im2col) cycle count
 //!   of every Fig. 7 workload, and never exceeds single-issue anywhere;
 //! * direct pooling still beats im2col at stride (1, 1) — the Fig. 8
@@ -26,13 +27,19 @@ use std::path::Path;
 /// The PR 1 cycle counts (single-issue model), verbatim from the
 /// baseline committed before the dual-pipe scheduler landed:
 /// (key, standard_cycles, accelerated_cycles).
+///
+/// Exception: the two *multi-band* backward rows (fig7c at 147 and 71)
+/// were re-pinned when banded backward was made bit-exact — each band
+/// now re-loads and re-merges the overlap patches instead of carrying
+/// partial sums, which legitimately grows the instruction stream. The
+/// single-band rows are still the PR 1 numbers cycle-for-cycle.
 const PR1_BASELINE: &[(&str, u64, u64)] = &[
     ("fig7a/147x147x64", 332120, 97836),
     ("fig7b/147x147x64", 686895, 159629),
-    ("fig7c/147x147x64", 905310, 151677),
+    ("fig7c/147x147x64", 1050334, 173041),
     ("fig7a/71x71x192", 76373, 22673),
     ("fig7b/71x71x192", 157893, 37504),
-    ("fig7c/71x71x192", 208325, 35192),
+    ("fig7c/71x71x192", 219928, 36985),
     ("fig7a/35x35x288", 18152, 5714),
     ("fig7b/35x35x288", 37370, 8945),
     ("fig7c/35x35x288", 49379, 8726),
@@ -86,9 +93,31 @@ fn perf_gate_no_regressions_vs_committed_baseline() {
                 }
                 if m.key.starts_with("fig8s1/") {
                     assert!(
-                        m.speedup() < 1.0 && m.speedup_single() < 1.0,
+                        m.speedup() < 1.0 && m.speedup_single() < 1.0 && m.speedup_db() < 1.0,
                         "{}: direct pooling must still win at stride (1,1) \
-                         in both issue models",
+                         in every issue model",
+                        m.key
+                    );
+                }
+                // Double-buffering may never exceed the 2x band-footprint
+                // budget the halved capacity query promises.
+                assert!(
+                    m.ub_peak_db <= 2 * m.ub_peak && m.l1_peak_db <= 2 * m.l1_peak.max(1),
+                    "{}: double-buffered peaks ({}, {}) exceed the 2x budget of ({}, {})",
+                    m.key,
+                    m.ub_peak_db,
+                    m.l1_peak_db,
+                    m.ub_peak,
+                    m.l1_peak
+                );
+                // Every Fig. 8 gate workload sits below its tiling
+                // threshold — a single band, so double-buffering has
+                // nothing to prefetch and must leave the schedule alone.
+                if m.key.starts_with("fig8") {
+                    assert_eq!(
+                        (m.standard_cycles_db, m.accelerated_cycles_db),
+                        (m.standard_cycles, m.accelerated_cycles),
+                        "{}: single-band workloads must be unaffected by double-buffering",
                         m.key
                     );
                 }
@@ -172,5 +201,115 @@ fn single_issue_derivation_matches_real_runs() {
             "{impl_:?}: the serial machine never stalls"
         );
         assert_eq!(run_d.peaks, run_s.peaks, "{impl_:?}: peaks are timing-free");
+    }
+}
+
+/// Double-buffered row-band prefetch must strictly lower the dual-pipe
+/// makespan on every multi-band Fig. 8 workload whose Vector pipe is the
+/// bottleneck (standard, expansion, X-Y split), and must leave the
+/// SCU-bound im2col schedule untouched — while staying bit-identical to
+/// the single-buffered and serial models in all cases.
+#[test]
+fn double_buffering_strictly_wins_on_multiband_fig8_workloads() {
+    use dv_bench::inputs::plane;
+    use dv_core::{ForwardImpl, PoolingEngine};
+    use dv_sim::{Chip, CostModel};
+    use dv_tensor::PoolParams;
+
+    // 96x96 sits past the tiling threshold of every implementation for
+    // K(3,3) at strides 1..3, so each run below splits into row bands.
+    let cases: &[(usize, ForwardImpl)] = &[
+        (1, ForwardImpl::Standard),
+        (2, ForwardImpl::Standard),
+        (3, ForwardImpl::Standard),
+        (2, ForwardImpl::Expansion),
+        (2, ForwardImpl::XYSplit),
+        (1, ForwardImpl::Im2col),
+        (2, ForwardImpl::Im2col),
+        (3, ForwardImpl::Im2col),
+    ];
+    for &(stride, impl_) in cases {
+        let params = PoolParams::new((3, 3), (stride, stride));
+        let input = plane(1, 96, 96, 80 + stride as u32);
+        let db = PoolingEngine::new(Chip::new(1, CostModel::ascend910_like()));
+        let plain = db.clone().with_double_buffering(false);
+        let serial = PoolingEngine::new(Chip::new(1, CostModel::single_issue()));
+        let (o_db, r_db) = db.maxpool_forward(&input, params, impl_).expect("db");
+        let (o_pl, r_pl) = plain.maxpool_forward(&input, params, impl_).expect("plain");
+        let (o_se, _) = serial
+            .maxpool_forward(&input, params, impl_)
+            .expect("serial");
+        assert_eq!(
+            o_db.data(),
+            o_pl.data(),
+            "s{stride} {impl_:?}: double-buffering changed the result"
+        );
+        assert_eq!(
+            o_db.data(),
+            o_se.data(),
+            "s{stride} {impl_:?}: issue model changed the result"
+        );
+        if impl_ == ForwardImpl::Im2col {
+            assert_eq!(
+                r_db.cycles, r_pl.cycles,
+                "s{stride} {impl_:?}: the SCU-bound im2col lowering must \
+                 decline prefetch and keep the reference schedule"
+            );
+        } else {
+            assert!(
+                r_db.cycles < r_pl.cycles,
+                "s{stride} {impl_:?}: prefetch must strictly lower the \
+                 dual-pipe makespan ({} vs {})",
+                r_db.cycles,
+                r_pl.cycles
+            );
+        }
+    }
+}
+
+/// On the multi-band Fig. 7 shape, prefetch must strictly pay off for
+/// the Col2Im merge (real MTE time to hide), must be declined by the
+/// Vector-bound VAdd merge (halved bands double the overlap tax), and
+/// the gradients must stay bit-identical across buffering modes.
+#[test]
+fn double_buffering_strictly_wins_on_multiband_backward() {
+    use dv_bench::inputs::{feature_map, gradients};
+    use dv_core::{MergeImpl, PoolingEngine};
+    use dv_tensor::reference;
+
+    let w = dv_core::fig7_workloads()[0]; // 147x147x64 — multi-band
+    let input = feature_map(1, w.c, w.h, w.w, 73);
+    let mask = reference::maxpool_argmax_mask(&input, &w.params).expect("mask");
+    let (oh, ow) = w.out_dims();
+    let grads = gradients(1, input.c1, oh, ow, 74);
+    let db = PoolingEngine::ascend910();
+    let plain = db.clone().with_double_buffering(false);
+    for merge in [MergeImpl::VAdd, MergeImpl::Col2Im] {
+        let (dx_db, r_db) = db
+            .maxpool_backward(&mask, &grads, w.params, w.h, w.w, merge)
+            .expect("db backward");
+        let (dx_pl, r_pl) = plain
+            .maxpool_backward(&mask, &grads, w.params, w.h, w.w, merge)
+            .expect("plain backward");
+        assert_eq!(
+            dx_db.data(),
+            dx_pl.data(),
+            "{merge:?}: double-buffering changed the gradient"
+        );
+        if merge == MergeImpl::VAdd {
+            assert_eq!(
+                r_db.cycles, r_pl.cycles,
+                "VAdd: the Vector-bound merge must decline prefetch and \
+                 keep the reference schedule"
+            );
+        } else {
+            assert!(
+                r_db.cycles < r_pl.cycles,
+                "{merge:?}: prefetch must strictly lower the dual-pipe \
+                 makespan ({} vs {})",
+                r_db.cycles,
+                r_pl.cycles
+            );
+        }
     }
 }

@@ -167,11 +167,11 @@ pub fn build_conv2d(
     dma(&mut p, Addr::gm(gm_weights), Addr::l1(0), pl.weight_bytes)?;
     let l1_in = pl.weight_bytes.next_multiple_of(32);
 
-    let mut bands = dv_akg::row_bands(params, pl.oh, pl.boh);
-    if bands.len() == 1 {
-        bands[0].ih_len = ih; // covers vertical padding (plan enforces
-                              // single-band for it) and trailing rows
-    }
+    // `row_bands` widens a single band to the full input extent (covers
+    // vertical padding — the plan enforces single-band for it — and
+    // trailing rows) and clamps multi-band extents.
+    let bands = dv_akg::row_bands(params, pl.oh, pl.boh, ih)
+        .map_err(|e| ConvError::Unsupported(format!("band tiling failed: {e}")))?;
     let full_plane_bytes = ih * iw * C0 * 2;
 
     for band in &bands {

@@ -30,11 +30,13 @@ pub fn build_avgpool_forward(
     gm_out: usize,
     caps: Capacities,
 ) -> Result<Vec<Program>, LowerError> {
-    build_avgpool_forward_parallel(prob, impl_, gm_in, gm_out, caps, 1)
+    build_avgpool_forward_parallel(prob, impl_, gm_in, gm_out, caps, 1, true)
 }
 
 /// Like [`build_avgpool_forward`] with band-level parallel splitting over
-/// up to `parallel` programs.
+/// up to `parallel` programs and double-buffering control (see
+/// [`crate::maxpool::build_forward_parallel`]).
+#[allow(clippy::too_many_arguments)]
 pub fn build_avgpool_forward_parallel(
     prob: &PoolProblem,
     impl_: ForwardImpl,
@@ -42,6 +44,7 @@ pub fn build_avgpool_forward_parallel(
     gm_out: usize,
     caps: Capacities,
     parallel: usize,
+    double: bool,
 ) -> Result<Vec<Program>, LowerError> {
     if impl_ == ForwardImpl::XYSplit {
         // The split reduction re-associates the f16 sum and would not be
@@ -61,18 +64,21 @@ pub fn build_avgpool_forward_parallel(
         gm_out,
         caps,
         parallel,
+        double,
     )
 }
 
 /// Build AvgPool backward programs: the multiply step collapses to a
 /// `vmuls` of the gradients (uniform mask), followed by the same merge —
-/// scattered `vadd` or `Col2Im`.
+/// scattered `vadd` or `Col2Im`. `double` is forwarded to
+/// [`build_backward`].
 pub fn build_avgpool_backward(
     prob: &PoolProblem,
     merge: MergeImpl,
     gm_grad: usize,
     gm_dx: usize,
     caps: Capacities,
+    double: bool,
 ) -> Result<Vec<Program>, LowerError> {
     build_backward(
         prob,
@@ -83,5 +89,6 @@ pub fn build_avgpool_backward(
         gm_grad,
         gm_dx,
         caps,
+        double,
     )
 }

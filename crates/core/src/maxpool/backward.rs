@@ -13,17 +13,21 @@
 //!   issues per tile, each merging a whole plane fractal-by-fractal with
 //!   the hardware repeat.
 //!
-//! Tiling: bands of output rows. Because patches of adjacent bands
-//! overlap on `Kh - Sh` input rows, the lowering keeps that halo resident
-//! in the UB between bands: finalized rows are DMA-ed out, the halo is
-//! shifted to the front of the `dx` region with a vector copy, and the
-//! rest is re-zeroed (Col2Im requires a zero-initialised target,
-//! Section III-D).
+//! Tiling: bands of output rows, each finalizing a disjoint range of
+//! `dx` rows. Because patches of adjacent bands overlap on `Kh - Sh`
+//! input rows when `Sh < Kh`, a band loads (and re-multiplies) *every*
+//! patch that touches its finalized rows — including the few overlap
+//! patches the previous band already processed — and merges them all,
+//! `Kh`-major, into a zero-initialised private window (Col2Im requires a
+//! zero target, Section III-D). Contributions that land outside the
+//! finalized range are scratch and are simply not DMA-ed out. Recomputing
+//! the overlap instead of carrying partial sums between bands keeps every
+//! `dx` pixel's accumulation entirely within one band, in exactly the
+//! unsplit kernel's order — so band splitting is bit-exact even though
+//! f16 addition does not associate.
 
 use crate::problem::{LowerError, MergeImpl, PoolProblem};
-use dv_akg::{
-    band_input_rows, dma, elementwise, max_row_band, row_bands, zero_region, Band, UbArena,
-};
+use dv_akg::{band_input_rows, dma, elementwise, max_row_band, row_bands, zero_region, UbArena};
 use dv_fp16::F16;
 use dv_isa::{
     Addr, Col2Im, Im2ColGeometry, Instr, Mask, Program, VectorInstr, VectorOp, MAX_REPEAT,
@@ -51,10 +55,64 @@ pub enum BackwardSource {
     },
 }
 
+/// One backward band resolved to what it loads, merges, and flushes.
+///
+/// `[r0, r1)` are the `dx` rows this band finalizes (disjoint across
+/// bands, covering `[0, Ih)`); `[o_lo, o_hi)` are the gradient rows of
+/// *every* patch touching those rows, including overlap patches the
+/// previous band already processed; the scratch window starts at input
+/// row `w_lo = o_lo * Sh` and spans `w_rows` rows — wide enough for all
+/// loaded patches plus any gap/trailing zero rows the finalize flushes.
+#[derive(Clone, Copy, Debug)]
+struct BandSpan {
+    o_lo: usize,
+    o_hi: usize,
+    w_lo: usize,
+    w_rows: usize,
+    r0: usize,
+    r1: usize,
+}
+
+impl BandSpan {
+    fn new(prob: &PoolProblem, oh0: usize, oh1: usize, last: bool) -> Self {
+        let (kh, sh) = (prob.params.kh, prob.params.sh);
+        let r0 = oh0 * sh;
+        let r1 = if last { prob.ih } else { oh1 * sh };
+        // Smallest o with o*Sh + Kh > r0: the first patch reaching r0.
+        let o_lo = (r0 + 1).saturating_sub(kh).div_ceil(sh);
+        let w_lo = o_lo * sh;
+        let w_hi = if last {
+            prob.ih
+        } else {
+            r1.max((oh1 - 1) * sh + kh)
+        };
+        BandSpan {
+            o_lo,
+            o_hi: oh1,
+            w_lo,
+            w_rows: w_hi - w_lo,
+            r0,
+            r1,
+        }
+    }
+
+    /// Gradient rows (patch rows) the band loads and merges.
+    fn o_len(&self) -> usize {
+        self.o_hi - self.o_lo
+    }
+}
+
 /// Build backward pooling programs, one per `(n, c1)` plane.
 ///
 /// `gm_grad` is the incoming-gradient tensor `(N, C1, Oh, Ow, C0)`;
 /// `gm_dx` receives the input-shaped gradient `(N, C1, Ih, Iw, C0)`.
+///
+/// `double` requests ping-pong slots for the per-band gradient and
+/// mask-gradient regions so band `i + 1`'s DMAs overlap band `i`'s
+/// multiply/merge under the dual-pipe model; the `dx` window stays
+/// single-resident (per-band scratch — overlap contributions are
+/// recomputed, never carried between bands). Results are bit-identical
+/// either way.
 pub fn build_backward(
     prob: &PoolProblem,
     merge: MergeImpl,
@@ -62,50 +120,58 @@ pub fn build_backward(
     gm_grad: usize,
     gm_dx: usize,
     caps: Capacities,
+    double: bool,
 ) -> Result<Vec<Program>, LowerError> {
     let params = prob.params;
     let (oh, ow) = prob.out_dims();
     let planes = params.kh * params.kw;
 
-    // Footprint: gradient band + Kh*Kw mask-gradient planes + the dx
-    // window including the inter-band halo slack.
-    let footprint = |boh: usize| {
-        let padded = PoolProblem::padded_plane_bytes(boh * ow);
-        let dx_rows = band_input_rows(&params, boh) + params.sh;
-        padded + planes * padded + dx_rows * prob.iw * ROW
-    };
-    let boh = max_row_band(oh, caps.ub, footprint)?;
-    let mut bands = row_bands(&params, oh, boh);
-    if bands.len() == 1 {
-        // Single band: hold the whole image (covers vertical padding and
-        // trailing rows no patch touches).
-        bands[0].ih_len = prob.ih;
-    } else if params.padding.top > 0 || params.padding.bottom > 0 {
-        return Err(LowerError::Unsupported(
-            "vertical padding requires the plane to fit in a single band".into(),
-        ));
-    }
+    // Patches of the previous band that can reach into a band's
+    // finalized rows and must be re-loaded: at most (Kh-1)/Sh rows.
+    let overlap = (params.kh - 1) / params.sh;
 
-    // The dx window must hold every band's rows AND everything its
-    // finalize DMA flushes: for the last band that is everything up to
-    // Ih (rows past the last patch stay zero); for inner bands it is
-    // `boh * Sh` rows, which exceeds the touched `ih_len` rows when
-    // Sh > Kh (the gap rows between patches, flushed as zeros).
-    let alloc_rows = bands
+    // Footprint: `copies` gradient bands + Kh*Kw mask-gradient plane
+    // sets (both sized for the band *plus* its overlap patches) + the dx
+    // scratch window (shared across bands, never doubled).
+    let footprint = |copies: usize, boh: usize| {
+        let padded = PoolProblem::padded_plane_bytes((boh + overlap) * ow);
+        let dx_rows = band_input_rows(&params, boh + overlap) + params.sh;
+        copies * (padded + planes * padded) + dx_rows * prob.iw * ROW
+    };
+    // The VAdd merge is overwhelmingly Vector-bound — the gradient and
+    // mask loads the prefetch would hide are a sliver of the makespan,
+    // while halving the band height doubles the per-band overlap
+    // re-expansion tax. Measured on the Fig. 7 sweep the tax always wins,
+    // so prefetch declines (the Col2Im merge profits and keeps it).
+    let double = double && merge != MergeImpl::VAdd;
+
+    let mut boh = max_row_band(oh, caps.ub, |b| footprint(1, b))?;
+    let mut db = false;
+    if double && boh < oh {
+        // Second capacity query at the halved budget; if doubling does
+        // not fit even one-row bands, stay single-buffered.
+        if let Ok(b) = max_row_band(oh, caps.ub, |b| footprint(2, b)) {
+            boh = b;
+            db = true;
+        }
+    }
+    // `row_bands` validates the split (and rejects padded multi-band
+    // requests); the spans below re-derive each band's gradient and
+    // window extents including the overlap patches.
+    let bands = row_bands(&params, oh, boh, prob.ih)?;
+    if bands.len() == 1 {
+        db = false;
+    }
+    let spans: Vec<BandSpan> = bands
         .iter()
         .enumerate()
-        .map(|(i, b)| {
-            if i + 1 == bands.len() {
-                prob.ih - b.ih0
-            } else {
-                b.ih_len.max(bands[i + 1].ih0 - b.ih0)
-            }
-        })
-        .max()
-        .unwrap();
+        .map(|(i, b)| BandSpan::new(prob, b.oh0, b.oh1, i + 1 == bands.len()))
+        .collect();
 
-    let boh_max = bands[0].oh_len();
+    let alloc_rows = spans.iter().map(|s| s.w_rows).max().unwrap();
+    let boh_max = spans.iter().map(|s| s.o_len()).max().unwrap();
     let padded = PoolProblem::padded_plane_bytes(boh_max * ow);
+    let full_plane = spans.len() == 1;
 
     let mut programs = Vec::with_capacity(prob.n * prob.c1);
     for (n, c1) in prob.planes() {
@@ -113,110 +179,136 @@ pub fn build_backward(
         let dx_base = gm_dx + prob.in_plane_offset(n, c1);
 
         let mut ub = UbArena::new(caps.ub);
-        let ub_grad = Addr::ub(ub.alloc(padded)?);
-        let ub_mg = Addr::ub(ub.alloc(planes * padded)?);
+        let grad_slots = ub.alloc_band(padded, db)?;
+        let mg_slots = ub.alloc_band(planes * padded, db)?;
         let ub_dx = Addr::ub(ub.alloc(alloc_rows * prob.iw * ROW)?);
 
-        let mut p = Program::new();
-        let mut prev: Option<Band> = None;
-        for (bi, band) in bands.iter().enumerate() {
-            let last = bi + 1 == bands.len();
-            emit_backward_band(
-                &mut p,
+        let load = |p: &mut Program, span: &BandSpan, slot: usize| {
+            emit_backward_load(
+                p,
+                prob,
+                source,
+                grad_base,
+                span,
+                padded,
+                (n, c1),
+                Addr::ub(grad_slots.of(slot)),
+                Addr::ub(mg_slots.of(slot)),
+            )
+        };
+        let compute = |p: &mut Program, bi: usize, span: &BandSpan| {
+            emit_backward_compute(
+                p,
                 prob,
                 merge,
                 source,
-                grad_base,
                 dx_base,
-                band,
-                prev.as_ref(),
-                last,
+                span,
+                full_plane,
                 alloc_rows,
                 padded,
-                (n, c1),
-                ub_grad,
-                ub_mg,
+                Addr::ub(grad_slots.of(bi)),
+                Addr::ub(mg_slots.of(bi)),
                 ub_dx,
-            )?;
-            prev = Some(*band);
+            )
+        };
+
+        let mut p = Program::new();
+        if db {
+            // Software pipeline: band i+1's gradient and mask DMAs go to
+            // the alternate slots before band i's multiply/merge.
+            load(&mut p, &spans[0], 0)?;
+            for (bi, span) in spans.iter().enumerate() {
+                if let Some(next) = spans.get(bi + 1) {
+                    load(&mut p, next, bi + 1)?;
+                }
+                compute(&mut p, bi, span)?;
+            }
+        } else {
+            for (bi, span) in spans.iter().enumerate() {
+                load(&mut p, span, 0)?;
+                compute(&mut p, bi, span)?;
+            }
         }
         programs.push(p);
     }
     Ok(programs)
 }
 
+/// The pipe-0 (MTE) stage of one band: the gradient-band DMA and, for
+/// MaxPool, the Kh*Kw argmax-mask plane DMAs into the band's slots.
 #[allow(clippy::too_many_arguments)]
-fn emit_backward_band(
+fn emit_backward_load(
+    p: &mut Program,
+    prob: &PoolProblem,
+    source: BackwardSource,
+    grad_base: usize,
+    span: &BandSpan,
+    padded: usize,
+    (n, c1): (usize, usize),
+    ub_grad: Addr,
+    ub_mg: Addr,
+) -> Result<(), LowerError> {
+    let params = prob.params;
+    let (_, ow) = prob.out_dims();
+    let boh = span.o_len();
+
+    dma(
+        p,
+        Addr::gm(grad_base + span.o_lo * ow * ROW),
+        ub_grad,
+        boh * ow * ROW,
+    )?;
+    if let BackwardSource::MaxMask { gm_mask } = source {
+        for kh in 0..params.kh {
+            for kw in 0..params.kw {
+                let idx = kh * params.kw + kw;
+                let mplane = ub_mg.add(idx * padded);
+                let plane_gm =
+                    gm_mask + prob.mask_plane_offset(n, c1, kh, kw) + span.o_lo * ow * ROW;
+                dma(p, Addr::gm(plane_gm), mplane, boh * ow * ROW)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The compute stage of one band: dx-window zeroing, the multiply step,
+/// the merge, and the finalize DMA.
+#[allow(clippy::too_many_arguments)]
+fn emit_backward_compute(
     p: &mut Program,
     prob: &PoolProblem,
     merge: MergeImpl,
     source: BackwardSource,
-    grad_base: usize,
     dx_base: usize,
-    band: &Band,
-    prev: Option<&Band>,
-    last: bool,
+    span: &BandSpan,
+    full_plane: bool,
     alloc_rows: usize,
     padded: usize,
-    (n, c1): (usize, usize),
     ub_grad: Addr,
     ub_mg: Addr,
     ub_dx: Addr,
 ) -> Result<(), LowerError> {
     let params = prob.params;
-    let (oh_total, ow) = prob.out_dims();
-    let boh = band.oh_len();
+    let (_, ow) = prob.out_dims();
+    let boh = span.o_len();
     let planes = params.kh * params.kw;
     let valid = boh * ow * C0;
     let row_bytes = prob.iw * ROW;
 
-    // --- dx window preparation: shift the halo, zero the rest.
-    match prev {
-        None => zero_region(p, ub_dx, alloc_rows * prob.iw * C0)?,
-        Some(prev) => {
-            let shift_rows = band.ih0 - prev.ih0;
-            let halo_rows = (prev.ih0 + prev.ih_len).saturating_sub(band.ih0);
-            if halo_rows > 0 {
-                // Forward-overlapping copy (dst < src): the Vector Unit
-                // processes lanes and repeats in ascending order, so this
-                // is a well-defined left shift.
-                elementwise(
-                    p,
-                    VectorOp::Copy,
-                    ub_dx,
-                    ub_dx.add(shift_rows * row_bytes),
-                    Addr::ub(0),
-                    halo_rows * prob.iw * C0,
-                )?;
-            }
-            zero_region(
-                p,
-                ub_dx.add(halo_rows * row_bytes),
-                (alloc_rows - halo_rows) * prob.iw * C0,
-            )?;
-        }
-    }
+    // --- dx window preparation: Col2Im accumulates, so the whole
+    // scratch window starts from zero every band (no state is carried —
+    // contributions of overlap patches are recomputed instead).
+    zero_region(p, ub_dx, alloc_rows * prob.iw * C0)?;
 
-    // --- load the gradient band.
-    dma(
-        p,
-        Addr::gm(grad_base + band.oh0 * ow * ROW),
-        ub_grad,
-        boh * ow * ROW,
-    )?;
-
-    // --- multiply step (Listing 3).
+    // --- multiply step (Listing 3); the gradient band and mask planes
+    // were staged by the load stage.
     match source {
-        BackwardSource::MaxMask { gm_mask } => {
-            for kh in 0..params.kh {
-                for kw in 0..params.kw {
-                    let idx = kh * params.kw + kw;
-                    let mplane = ub_mg.add(idx * padded);
-                    let plane_gm =
-                        gm_mask + prob.mask_plane_offset(n, c1, kh, kw) + band.oh0 * ow * ROW;
-                    dma(p, Addr::gm(plane_gm), mplane, boh * ow * ROW)?;
-                    elementwise(p, VectorOp::Mul, mplane, mplane, ub_grad, valid)?;
-                }
+        BackwardSource::MaxMask { .. } => {
+            for idx in 0..planes {
+                let mplane = ub_mg.add(idx * padded);
+                elementwise(p, VectorOp::Mul, mplane, mplane, ub_grad, valid)?;
             }
         }
         BackwardSource::AvgUniform { scale } => {
@@ -234,8 +326,12 @@ fn emit_backward_band(
         }
     }
 
-    // --- band geometry for the merge.
-    let band_params = if band.oh0 == 0 && band.oh1 == oh_total {
+    // --- band geometry for the merge, over the scratch window. A full
+    // plane keeps the original (possibly padded) geometry; multi-band
+    // splits are always vertically unpadded (`row_bands` rejects the
+    // rest), so only the horizontal padding survives. Either way the
+    // window yields exactly the band's patch grid.
+    let band_params = if full_plane {
         params
     } else {
         PoolParams::with_padding(
@@ -250,7 +346,7 @@ fn emit_backward_band(
         )
     };
     let geom =
-        Im2ColGeometry::new(band.ih_len, prob.iw, 1, band_params).map_err(LowerError::Isa)?;
+        Im2ColGeometry::new(span.w_rows, prob.iw, 1, band_params).map_err(LowerError::Isa)?;
     debug_assert_eq!(geom.out_dims(), (boh, ow));
 
     // --- merge step.
@@ -305,14 +401,14 @@ fn emit_backward_band(
         }
     }
 
-    // --- finalize: rows no later band will touch go back to GM.
-    let end_abs = if last { prob.ih } else { band.oh1 * params.sh };
-    let rows_out = end_abs - band.ih0;
+    // --- finalize: only the band's own rows go back to GM; scratch
+    // contributions outside `[r0, r1)` (partial sums another band owns)
+    // are discarded with the window.
     dma(
         p,
-        ub_dx,
-        Addr::gm(dx_base + band.ih0 * row_bytes),
-        rows_out * row_bytes,
+        ub_dx.add((span.r0 - span.w_lo) * row_bytes),
+        Addr::gm(dx_base + span.r0 * row_bytes),
+        (span.r1 - span.r0) * row_bytes,
     )?;
     Ok(())
 }

@@ -7,7 +7,7 @@
 use crate::problem::{ForwardImpl, LowerError, PoolProblem};
 use dv_akg::{
     band_input_rows, dma, elementwise, fill_region, max_row_band, row_bands, strided_accumulate,
-    Band, UbArena,
+    Band, BandSlots, UbArena,
 };
 use dv_fp16::F16;
 use dv_isa::{
@@ -61,7 +61,7 @@ pub fn build_forward(
     gm_out: usize,
     caps: Capacities,
 ) -> Result<Vec<Program>, LowerError> {
-    build_forward_inner(prob, impl_, reduction, gm_in, gm_out, None, caps, 1)
+    build_forward_inner(prob, impl_, reduction, gm_in, gm_out, None, caps, 1, true)
 }
 
 /// Like [`build_forward`], but split each plane's row bands over up to
@@ -70,6 +70,12 @@ pub fn build_forward(
 /// output", Section VII). Forward bands write disjoint output rows, so
 /// they partition freely; backward keeps one program per plane because
 /// adjacent bands share a halo.
+///
+/// `double` requests double-buffered (ping-pong) band slots: when band
+/// splitting is active and 2x the band footprint fits the scratchpads,
+/// the load of band `i + 1` is issued before the reduction of band `i`
+/// so the dual-pipe model overlaps MTE with Vector work. Results are
+/// bit-identical either way (execution is program-order).
 #[allow(clippy::too_many_arguments)]
 pub fn build_forward_parallel(
     prob: &PoolProblem,
@@ -79,8 +85,11 @@ pub fn build_forward_parallel(
     gm_out: usize,
     caps: Capacities,
     parallel: usize,
+    double: bool,
 ) -> Result<Vec<Program>, LowerError> {
-    build_forward_inner(prob, impl_, reduction, gm_in, gm_out, None, caps, parallel)
+    build_forward_inner(
+        prob, impl_, reduction, gm_in, gm_out, None, caps, parallel, double,
+    )
 }
 
 /// Build forward pooling that additionally stores the argmax mask (in the
@@ -109,11 +118,12 @@ pub fn build_forward_with_argmax(
         Some(gm_mask),
         caps,
         1,
+        true,
     )
 }
 
 /// Like [`build_forward_with_argmax`] with band-level parallel splitting
-/// (see [`build_forward_parallel`]).
+/// and double-buffering control (see [`build_forward_parallel`]).
 #[allow(clippy::too_many_arguments)]
 pub fn build_forward_with_argmax_parallel(
     prob: &PoolProblem,
@@ -123,6 +133,7 @@ pub fn build_forward_with_argmax_parallel(
     gm_mask: usize,
     caps: Capacities,
     parallel: usize,
+    double: bool,
 ) -> Result<Vec<Program>, LowerError> {
     if !matches!(impl_, ForwardImpl::Standard | ForwardImpl::Im2col) {
         return Err(LowerError::Unsupported(format!(
@@ -138,6 +149,7 @@ pub fn build_forward_with_argmax_parallel(
         Some(gm_mask),
         caps,
         parallel,
+        double,
     )
 }
 
@@ -151,6 +163,7 @@ fn build_forward_inner(
     gm_mask: Option<usize>,
     caps: Capacities,
     parallel: usize,
+    double: bool,
 ) -> Result<Vec<Program>, LowerError> {
     let params = prob.params;
     // Padding support: the Im2Col instruction realises padding for free;
@@ -163,7 +176,7 @@ fn build_forward_inner(
     }
 
     let (oh, _ow) = prob.out_dims();
-    let mut boh = plan_band(prob, impl_, gm_mask.is_some(), caps)?;
+    let (mut boh, mut db) = plan_band(prob, impl_, gm_mask.is_some(), caps, double)?;
     // When the chip has more cores than (N, C1) planes, shrink bands so
     // each plane yields enough independent bands to occupy its share of
     // cores (the scheduler trades tile size for parallelism).
@@ -172,21 +185,13 @@ fn build_forward_inner(
     if desired_groups > 1 {
         boh = boh.min(oh.div_ceil(desired_groups)).max(1);
     }
-    if impl_ == ForwardImpl::Im2col
-        && boh < oh
-        && (params.padding.top > 0 || params.padding.bottom > 0)
-    {
-        return Err(LowerError::Unsupported(
-            "vertical padding requires the plane to fit in a single band".into(),
-        ));
-    }
 
-    let mut bands = row_bands(&params, oh, boh);
+    // `row_bands` widens a single band to the full input extent, clamps
+    // multi-band extents, and rejects padded multi-band requests with a
+    // typed error.
+    let bands = row_bands(&params, oh, boh, prob.ih)?;
     if bands.len() == 1 {
-        // Single band: hold the whole image. Required for vertical
-        // padding (where the band-rows formula overshoots the image) and
-        // harmless otherwise.
-        bands[0].ih_len = prob.ih;
+        db = false;
     }
 
     // Distribute this plane count's bands over `parallel` programs:
@@ -200,45 +205,228 @@ fn build_forward_inner(
         let in_base = gm_in + prob.in_plane_offset(n, c1);
         let out_base = gm_out + prob.out_plane_offset(n, c1);
         for group in bands.chunks(bands.len().div_ceil(groups_per_plane)) {
+            // Ping-pong slots only pay off when this program cycles
+            // through at least two bands; a single-band group keeps the
+            // single-slot layout (and its exact instruction stream).
+            let layout = ForwardLayout::plan(
+                prob,
+                impl_,
+                gm_mask.is_some(),
+                boh,
+                caps,
+                db && group.len() > 1,
+            )?;
             let mut p = Program::new();
-            for band in group {
-                match impl_ {
-                    ForwardImpl::Standard => emit_standard_band(
+            if layout.is_double() {
+                // Software pipeline: stage band i+1 into the alternate
+                // slot before reducing band i, so the MTE/SCU pipe runs
+                // ahead of the Vector pipe instead of WAR-stalling on it.
+                emit_load(&mut p, prob, impl_, in_base, &layout, &group[0], 0)?;
+                for (i, band) in group.iter().enumerate() {
+                    if let Some(next) = group.get(i + 1) {
+                        emit_load(&mut p, prob, impl_, in_base, &layout, next, i + 1)?;
+                    }
+                    emit_compute(
                         &mut p,
                         prob,
+                        impl_,
                         reduction,
-                        in_base,
                         out_base,
+                        &layout,
                         band,
-                        boh,
+                        i,
                         gm_mask,
                         (n, c1),
-                        caps,
-                    )?,
-                    ForwardImpl::Im2col => emit_im2col_band(
+                    )?;
+                }
+            } else {
+                for band in group {
+                    emit_load(&mut p, prob, impl_, in_base, &layout, band, 0)?;
+                    emit_compute(
                         &mut p,
                         prob,
+                        impl_,
                         reduction,
-                        in_base,
                         out_base,
+                        &layout,
                         band,
-                        boh,
+                        0,
                         gm_mask,
                         (n, c1),
-                        caps,
-                    )?,
-                    ForwardImpl::Expansion => emit_expansion_band(
-                        &mut p, prob, reduction, in_base, out_base, band, boh, caps,
-                    )?,
-                    ForwardImpl::XYSplit => emit_xysplit_band(
-                        &mut p, prob, reduction, in_base, out_base, band, boh, caps,
-                    )?,
+                    )?;
                 }
             }
             programs.push(p);
         }
     }
     Ok(programs)
+}
+
+/// Per-program placement of the band-cycled UB (and, for Im2col, L1)
+/// regions. Planned once per band group so ping-pong (A/B) slots persist
+/// across the bands the program cycles through. With `double = false`
+/// every region has one slot at the same offset a per-band layout would
+/// produce, so the single-buffered instruction stream is unchanged.
+struct ForwardLayout {
+    /// Staged raw input rows (Standard / Expansion / XYSplit).
+    ub_in: Option<BandSlots>,
+    /// Column planes (Im2col / Expansion).
+    ub_cols: Option<BandSlots>,
+    /// X-Y split intermediate.
+    ub_tmp: Option<BandSlots>,
+    /// Output accumulator.
+    ub_out: BandSlots,
+    /// Argmax mask planes.
+    ub_mask: Option<BandSlots>,
+    /// L1 staging of the raw input band (Im2col only; slot A at 0).
+    l1_in: BandSlots,
+    /// Fractal-padded plane bytes at the planned band height.
+    padded: usize,
+}
+
+impl ForwardLayout {
+    fn plan(
+        prob: &PoolProblem,
+        impl_: ForwardImpl,
+        with_mask: bool,
+        boh_max: usize,
+        caps: Capacities,
+        double: bool,
+    ) -> Result<ForwardLayout, LowerError> {
+        let params = &prob.params;
+        let (_, ow) = prob.out_dims();
+        let planes = params.kh * params.kw;
+        let padded = PoolProblem::padded_plane_bytes(boh_max * ow);
+        let in_bytes = band_input_rows(params, boh_max) * prob.iw * ROW;
+        let out_bytes = boh_max * ow * ROW;
+        let mut ub = UbArena::new(caps.ub);
+        let mut l1_in = BandSlots { a: 0, b: None };
+        let mask = |ub: &mut UbArena| -> Result<Option<BandSlots>, LowerError> {
+            Ok(if with_mask {
+                Some(ub.alloc_band(planes * padded, double)?)
+            } else {
+                None
+            })
+        };
+        let (ub_in, ub_cols, ub_tmp, ub_out, ub_mask) = match impl_ {
+            ForwardImpl::Standard => {
+                let i = ub.alloc_band(in_bytes, double)?;
+                let o = ub.alloc_band(out_bytes, double)?;
+                let m = mask(&mut ub)?;
+                (Some(i), None, None, o, m)
+            }
+            ForwardImpl::Im2col => {
+                let c = ub.alloc_band(planes * padded, double)?;
+                let o = ub.alloc_band(padded, double)?;
+                let m = mask(&mut ub)?;
+                if double {
+                    // `in_bytes` is a whole number of 32-byte rows, so
+                    // slot B starts aligned; plan_band checked 2x fits.
+                    debug_assert!(2 * in_bytes <= caps.l1);
+                    l1_in.b = Some(in_bytes);
+                }
+                (None, Some(c), None, o, m)
+            }
+            ForwardImpl::Expansion => {
+                let i = ub.alloc_band(in_bytes, double)?;
+                let c = ub.alloc_band(planes * padded, double)?;
+                let o = ub.alloc_band(padded, double)?;
+                (Some(i), Some(c), None, o, None)
+            }
+            ForwardImpl::XYSplit => {
+                let i = ub.alloc_band(in_bytes, double)?;
+                let t = ub.alloc_band(band_input_rows(params, boh_max) * ow * ROW, double)?;
+                let o = ub.alloc_band(out_bytes, double)?;
+                (Some(i), None, Some(t), o, None)
+            }
+        };
+        Ok(ForwardLayout {
+            ub_in,
+            ub_cols,
+            ub_tmp,
+            ub_out,
+            ub_mask,
+            l1_in,
+            padded,
+        })
+    }
+
+    fn is_double(&self) -> bool {
+        self.ub_out.is_double()
+    }
+}
+
+/// Emit the pipe-0 (MTE/SCU) stage of one band: everything that fills
+/// the band's input slot and nothing that reads it.
+fn emit_load(
+    p: &mut Program,
+    prob: &PoolProblem,
+    impl_: ForwardImpl,
+    in_base: usize,
+    layout: &ForwardLayout,
+    band: &Band,
+    slot: usize,
+) -> Result<(), LowerError> {
+    match impl_ {
+        ForwardImpl::Im2col => emit_im2col_load(p, prob, in_base, layout, band, slot),
+        _ => {
+            let ub_in = Addr::ub(layout.ub_in.expect("staged-input layout").of(slot));
+            dma(
+                p,
+                Addr::gm(in_base + band.ih0 * prob.iw * ROW),
+                ub_in,
+                band.ih_len * prob.iw * ROW,
+            )?;
+            Ok(())
+        }
+    }
+}
+
+/// Emit the compute stage of one band: the reduction (and any argmax
+/// compares) out of the band's slot, plus the result store.
+#[allow(clippy::too_many_arguments)]
+fn emit_compute(
+    p: &mut Program,
+    prob: &PoolProblem,
+    impl_: ForwardImpl,
+    reduction: Reduction,
+    out_base: usize,
+    layout: &ForwardLayout,
+    band: &Band,
+    slot: usize,
+    gm_mask: Option<usize>,
+    (n, c1): (usize, usize),
+) -> Result<(), LowerError> {
+    match impl_ {
+        ForwardImpl::Standard => emit_standard_compute(
+            p,
+            prob,
+            reduction,
+            out_base,
+            layout,
+            band,
+            slot,
+            gm_mask,
+            (n, c1),
+        ),
+        ForwardImpl::Im2col => emit_im2col_compute(
+            p,
+            prob,
+            reduction,
+            out_base,
+            layout,
+            band,
+            slot,
+            gm_mask,
+            (n, c1),
+        ),
+        ForwardImpl::Expansion => {
+            emit_expansion_compute(p, prob, reduction, out_base, layout, band, slot)
+        }
+        ForwardImpl::XYSplit => {
+            emit_xysplit_compute(p, prob, reduction, out_base, layout, band, slot)
+        }
+    }
 }
 
 /// Unified-Buffer footprint of one band for each implementation, in
@@ -266,21 +454,48 @@ fn ub_footprint(prob: &PoolProblem, impl_: ForwardImpl, with_mask: bool, boh: us
 
 /// Choose the band height: the largest that fits the UB (and, for
 /// Im2col, stages its input rows in L1).
+///
+/// When `double` is requested and the plane does not fit in one band,
+/// the capacity query runs again against the halved budget (2x the band
+/// footprint must fit) to size ping-pong slots; if even a one-row band
+/// cannot be doubled, the plan falls back to single buffering. Returns
+/// `(boh, double_buffered)`.
 fn plan_band(
     prob: &PoolProblem,
     impl_: ForwardImpl,
     with_mask: bool,
     caps: Capacities,
-) -> Result<usize, LowerError> {
+    double: bool,
+) -> Result<(usize, bool), LowerError> {
     let (oh, _) = prob.out_dims();
-    let mut boh = max_row_band(oh, caps.ub, |b| ub_footprint(prob, impl_, with_mask, b))?;
-    if impl_ == ForwardImpl::Im2col {
-        let l1_band = max_row_band(oh, caps.l1, |b| {
-            band_input_rows(&prob.params, b) * prob.iw * ROW
+    let fit = |copies: usize| -> Result<usize, dv_akg::TilingError> {
+        let mut boh = max_row_band(oh, caps.ub, |b| {
+            copies * ub_footprint(prob, impl_, with_mask, b)
         })?;
-        boh = boh.min(l1_band);
+        if impl_ == ForwardImpl::Im2col {
+            let l1_band = max_row_band(oh, caps.l1, |b| {
+                copies * band_input_rows(&prob.params, b) * prob.iw * ROW
+            })?;
+            boh = boh.min(l1_band);
+        }
+        Ok(boh)
+    };
+    let boh = fit(1)?;
+    // The Im2col lowering keeps the MTE/SCU pipe saturated by design —
+    // the expansion work the prefetch would overlap shares a pipe with
+    // the prefetch itself, and the only cross-pipe slack is the small
+    // Vector reduce tail. Halving the band height to fit two slots costs
+    // more in halo re-expansion and per-band issue overhead than that
+    // tail is worth (measured on the Fig. 8 sweep), so prefetch declines.
+    let double = double && impl_ != ForwardImpl::Im2col;
+    if !double || boh >= oh {
+        // No band cycling: nothing to overlap.
+        return Ok((boh, false));
     }
-    Ok(boh)
+    match fit(2) {
+        Ok(db_boh) => Ok((db_boh, true)),
+        Err(_) => Ok((boh, false)),
+    }
 }
 
 /// The Fig. 8 *tiling threshold*: the largest square input `H = W` one
@@ -309,40 +524,28 @@ pub fn tiling_threshold(params: &PoolParams, impl_: ForwardImpl, caps: Capacitie
 // ---------------------------------------------------------------------
 
 #[allow(clippy::too_many_arguments)]
-fn emit_standard_band(
+fn emit_standard_compute(
     p: &mut Program,
     prob: &PoolProblem,
     reduction: Reduction,
-    in_base: usize,
     out_base: usize,
+    layout: &ForwardLayout,
     band: &Band,
-    boh_max: usize,
+    slot: usize,
     gm_mask: Option<usize>,
     (n, c1): (usize, usize),
-    caps: Capacities,
 ) -> Result<(), LowerError> {
     let params = &prob.params;
-    let (oh_total, ow) = prob.out_dims();
+    let (_, ow) = prob.out_dims();
     let boh = band.oh_len();
-    let planes = params.kh * params.kw;
-    let padded = PoolProblem::padded_plane_bytes(boh_max * ow);
+    let padded = layout.padded;
 
-    let mut ub = UbArena::new(caps.ub);
-    let ub_in = Addr::ub(ub.alloc(band_input_rows(params, boh_max) * prob.iw * ROW)?);
-    let ub_out = Addr::ub(ub.alloc(boh_max * ow * ROW)?);
-    let ub_mask = if gm_mask.is_some() {
-        Some(Addr::ub(ub.alloc(planes * padded)?))
-    } else {
-        None
-    };
+    let ub_in = Addr::ub(layout.ub_in.expect("standard layout").of(slot));
+    let ub_out = Addr::ub(layout.ub_out.of(slot));
+    let ub_mask = layout.ub_mask.map(|s| Addr::ub(s.of(slot)));
 
-    // Load the input band and initialise the output accumulator.
-    dma(
-        p,
-        Addr::gm(in_base + band.ih0 * prob.iw * ROW),
-        ub_in,
-        band.ih_len * prob.iw * ROW,
-    )?;
+    // Initialise the output accumulator (the band was staged by the
+    // load stage, possibly into the alternate slot).
     fill_region(p, ub_out, reduction.init(), boh * ow * C0)?;
 
     if params.sw == 1 {
@@ -445,7 +648,6 @@ fn emit_standard_band(
         }
     }
 
-    let _ = oh_total;
     dma(
         p,
         ub_out,
@@ -488,37 +690,28 @@ fn emit_im2col_plane(
     Ok(())
 }
 
-#[allow(clippy::too_many_arguments)]
-fn emit_im2col_band(
+/// The Im2col load stage: stage the band in its L1 slot and issue the
+/// SCU loads into the band's column-plane slot. All of it runs on pipe
+/// 0 (MTE + SCU), so under double buffering it overlaps the previous
+/// band's Vector reduction.
+fn emit_im2col_load(
     p: &mut Program,
     prob: &PoolProblem,
-    reduction: Reduction,
     in_base: usize,
-    out_base: usize,
+    layout: &ForwardLayout,
     band: &Band,
-    boh_max: usize,
-    gm_mask: Option<usize>,
-    (n, c1): (usize, usize),
-    caps: Capacities,
+    slot: usize,
 ) -> Result<(), LowerError> {
     let params = prob.params;
     let (oh_total, ow) = prob.out_dims();
     let boh = band.oh_len();
-    let planes = params.kh * params.kw;
-    let padded = PoolProblem::padded_plane_bytes(boh_max * ow);
+    let padded = layout.padded;
     let bf = PoolProblem::fractals_for(boh * ow);
-
-    let mut ub = UbArena::new(caps.ub);
-    let ub_cols = Addr::ub(ub.alloc(planes * padded)?);
-    let ub_out = Addr::ub(ub.alloc(padded)?);
-    let ub_mask = if gm_mask.is_some() {
-        Some(Addr::ub(ub.alloc(planes * padded)?))
-    } else {
-        None
-    };
+    let ub_cols = Addr::ub(layout.ub_cols.expect("im2col layout").of(slot));
+    let l1_in = Addr::l1(layout.l1_in.of(slot));
 
     // Band geometry: multi-band lowering requires no vertical padding
-    // (enforced by the caller), so dropping top/bottom is exact.
+    // (enforced by `row_bands`), so dropping top/bottom is exact.
     let band_params = if band.oh0 == 0 && band.oh1 == oh_total {
         params
     } else {
@@ -537,19 +730,43 @@ fn emit_im2col_band(
         Im2ColGeometry::new(band.ih_len, prob.iw, 1, band_params).map_err(LowerError::Isa)?;
     debug_assert_eq!(geom.out_dims(), (boh, ow));
 
-    // Stage the input band in L1 and issue the SCU loads.
     dma(
         p,
         Addr::gm(in_base + band.ih0 * prob.iw * ROW),
-        Addr::l1(0),
+        l1_in,
         band.ih_len * prob.iw * ROW,
     )?;
     for kh in 0..params.kh {
         for kw in 0..params.kw {
             let plane = ub_cols.add((kh * params.kw + kw) * padded);
-            emit_im2col_plane(p, geom, (kh, kw), Addr::l1(0), plane, bf)?;
+            emit_im2col_plane(p, geom, (kh, kw), l1_in, plane, bf)?;
         }
     }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_im2col_compute(
+    p: &mut Program,
+    prob: &PoolProblem,
+    reduction: Reduction,
+    out_base: usize,
+    layout: &ForwardLayout,
+    band: &Band,
+    slot: usize,
+    gm_mask: Option<usize>,
+    (n, c1): (usize, usize),
+) -> Result<(), LowerError> {
+    let params = prob.params;
+    let (_, ow) = prob.out_dims();
+    let boh = band.oh_len();
+    let planes = params.kh * params.kw;
+    let padded = layout.padded;
+    let bf = PoolProblem::fractals_for(boh * ow);
+
+    let ub_cols = Addr::ub(layout.ub_cols.expect("im2col layout").of(slot));
+    let ub_out = Addr::ub(layout.ub_out.of(slot));
+    let ub_mask = layout.ub_mask.map(|s| Addr::ub(s.of(slot)));
 
     // Saturated reduction: Kh*Kw elementwise issues over the whole band.
     fill_region(p, ub_out, reduction.init(), bf * FRACTAL_ROWS * C0)?;
@@ -619,34 +836,25 @@ fn emit_im2col_band(
 // ---------------------------------------------------------------------
 
 #[allow(clippy::too_many_arguments)]
-fn emit_expansion_band(
+fn emit_expansion_compute(
     p: &mut Program,
     prob: &PoolProblem,
     reduction: Reduction,
-    in_base: usize,
     out_base: usize,
+    layout: &ForwardLayout,
     band: &Band,
-    boh_max: usize,
-    caps: Capacities,
+    slot: usize,
 ) -> Result<(), LowerError> {
     let params = &prob.params;
     let (_, ow) = prob.out_dims();
     let boh = band.oh_len();
     let planes = params.kh * params.kw;
-    let padded = PoolProblem::padded_plane_bytes(boh_max * ow);
+    let padded = layout.padded;
     let bf = PoolProblem::fractals_for(boh * ow);
 
-    let mut ub = UbArena::new(caps.ub);
-    let ub_in = Addr::ub(ub.alloc(band_input_rows(params, boh_max) * prob.iw * ROW)?);
-    let ub_cols = Addr::ub(ub.alloc(planes * padded)?);
-    let ub_out = Addr::ub(ub.alloc(padded)?);
-
-    dma(
-        p,
-        Addr::gm(in_base + band.ih0 * prob.iw * ROW),
-        ub_in,
-        band.ih_len * prob.iw * ROW,
-    )?;
+    let ub_in = Addr::ub(layout.ub_in.expect("expansion layout").of(slot));
+    let ub_cols = Addr::ub(layout.ub_cols.expect("expansion layout").of(slot));
+    let ub_out = Addr::ub(layout.ub_out.of(slot));
 
     // The expansion itself: copy each (kh, kw) selection into its dense
     // plane. With Sw = 1 the source is contiguous and the copy saturates;
@@ -721,33 +929,22 @@ fn emit_expansion_band(
 // and thus the in-place approach is not possible").
 // ---------------------------------------------------------------------
 
-#[allow(clippy::too_many_arguments)]
-fn emit_xysplit_band(
+fn emit_xysplit_compute(
     p: &mut Program,
     prob: &PoolProblem,
     reduction: Reduction,
-    in_base: usize,
     out_base: usize,
+    layout: &ForwardLayout,
     band: &Band,
-    boh_max: usize,
-    caps: Capacities,
+    slot: usize,
 ) -> Result<(), LowerError> {
     let params = &prob.params;
     let (_, ow) = prob.out_dims();
     let boh = band.oh_len();
 
-    let mut ub = UbArena::new(caps.ub);
-    let max_rows = band_input_rows(params, boh_max);
-    let ub_in = Addr::ub(ub.alloc(max_rows * prob.iw * ROW)?);
-    let ub_tmp = Addr::ub(ub.alloc(max_rows * ow * ROW)?);
-    let ub_out = Addr::ub(ub.alloc(boh_max * ow * ROW)?);
-
-    dma(
-        p,
-        Addr::gm(in_base + band.ih0 * prob.iw * ROW),
-        ub_in,
-        band.ih_len * prob.iw * ROW,
-    )?;
+    let ub_in = Addr::ub(layout.ub_in.expect("xysplit layout").of(slot));
+    let ub_tmp = Addr::ub(layout.ub_tmp.expect("xysplit layout").of(slot));
+    let ub_out = Addr::ub(layout.ub_out.of(slot));
 
     // Step 1: reduce along the patch width into tmp[ih, ow, c0].
     fill_region(p, ub_tmp, reduction.init(), band.ih_len * ow * C0)?;

@@ -63,6 +63,14 @@ pub struct PoolingEngine {
     /// the paper's per-plane schedule; the multi-core scaling experiment
     /// turns it on. Backward never splits (adjacent bands share a halo).
     pub split_bands: bool,
+    /// Double-buffer row bands (on by default): when a plane is split
+    /// into bands and twice the band footprint fits the scratchpads, the
+    /// lowering gives the band-cycled regions ping-pong (A/B) slots and
+    /// issues band `i + 1`'s loads before band `i`'s reduction, letting
+    /// the dual-pipe issue model overlap MTE/SCU work with Vector work
+    /// instead of WAR-stalling on slot reuse. Results are bit-identical
+    /// either way — only the schedule changes.
+    pub double_buffer: bool,
 }
 
 impl PoolingEngine {
@@ -71,6 +79,7 @@ impl PoolingEngine {
         PoolingEngine {
             chip: Chip::ascend910(),
             split_bands: false,
+            double_buffer: true,
         }
     }
 
@@ -79,12 +88,20 @@ impl PoolingEngine {
         PoolingEngine {
             chip,
             split_bands: false,
+            double_buffer: true,
         }
     }
 
     /// Enable or disable forward band splitting across idle cores.
     pub fn with_band_splitting(mut self, on: bool) -> PoolingEngine {
         self.split_bands = on;
+        self
+    }
+
+    /// Enable or disable double-buffered (ping-pong) row-band prefetch
+    /// (see [`PoolingEngine::double_buffer`]).
+    pub fn with_double_buffering(mut self, on: bool) -> PoolingEngine {
+        self.double_buffer = on;
         self
     }
 
@@ -129,6 +146,7 @@ impl PoolingEngine {
             gm_out,
             self.chip.caps,
             self.parallel(),
+            self.double_buffer,
         )?;
         let mut image = vec![0u8; gm.size()];
         write_tensor(&mut image, gm_in, input.data());
@@ -157,6 +175,7 @@ impl PoolingEngine {
             gm_mask,
             self.chip.caps,
             self.parallel(),
+            self.double_buffer,
         )?;
         let mut image = vec![0u8; gm.size()];
         write_tensor(&mut image, gm_in, input.data());
@@ -200,6 +219,7 @@ impl PoolingEngine {
             gm_grad,
             gm_dx,
             self.chip.caps,
+            self.double_buffer,
         )?;
         let mut image = vec![0u8; gm.size()];
         write_tensor(&mut image, gm_mask, mask.data());
@@ -275,6 +295,7 @@ impl PoolingEngine {
             gm_out,
             self.chip.caps,
             self.parallel(),
+            self.double_buffer,
         )?;
         let mut image = vec![0u8; gm.size()];
         write_tensor(&mut image, gm_in, input.data());
@@ -306,7 +327,14 @@ impl PoolingEngine {
         let mut gm = GmArena::new();
         let gm_grad = gm.alloc(prob.out_bytes());
         let gm_dx = gm.alloc(prob.in_bytes());
-        let programs = build_avgpool_backward(&prob, merge, gm_grad, gm_dx, self.chip.caps)?;
+        let programs = build_avgpool_backward(
+            &prob,
+            merge,
+            gm_grad,
+            gm_dx,
+            self.chip.caps,
+            self.double_buffer,
+        )?;
         let mut image = vec![0u8; gm.size()];
         write_tensor(&mut image, gm_grad, gradients.data());
         let run = self.chip.run(&mut image, &programs)?;

@@ -20,7 +20,7 @@ fn tiny_engine() -> PoolingEngine {
         l0a: 4 * 1024,
         l0b: 4 * 1024,
         l0c: 8 * 1024,
-        ub: 16 * 1024,
+        ub: 32 * 1024,
     };
     PoolingEngine::new(chip)
 }

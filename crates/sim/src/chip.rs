@@ -18,6 +18,7 @@ use crate::buffers::{BufferPeaks, SimError};
 use crate::core::AiCore;
 use crate::cost::{Capacities, CostModel};
 use crate::counters::HwCounters;
+use crate::lifetimes::BufferLifetimes;
 use crate::trace::{Trace, TraceConfig};
 use dv_isa::{BufferId, Instr, Program};
 
@@ -53,13 +54,19 @@ pub struct ChipRun {
     pub traces: Vec<Trace>,
     /// Scratchpad occupancy high-water marks, max over all cores.
     pub peaks: BufferPeaks,
+    /// Per-core buffer live ranges (empty unless tracing was enabled —
+    /// lifetime recording is gated with the trace). Index parallel to
+    /// `traces`; `BufferLifetimes::core` holds the physical core id.
+    pub lifetimes: Vec<BufferLifetimes>,
 }
 
 impl ChipRun {
     /// Export this run's traces as Chrome trace-event JSON (empty trace
-    /// list when tracing was off — the JSON is still valid).
+    /// list when tracing was off — the JSON is still valid). Buffer live
+    /// ranges are included as async "live-range" slices per scratchpad
+    /// row.
     pub fn chrome_trace_json(&self) -> String {
-        crate::trace::chrome_trace_json(&self.traces)
+        crate::trace::chrome_trace_json_with_lifetimes(&self.traces, &self.lifetimes)
     }
 
     /// Per-(unit, mnemonic) cycle breakdown aggregated over all cores.
@@ -114,6 +121,7 @@ impl Chip {
             cycles: u64,
             writes: Vec<(usize, Vec<u8>)>,
             trace: Trace,
+            lifetimes: BufferLifetimes,
             peaks: BufferPeaks,
         }
 
@@ -150,11 +158,14 @@ impl Chip {
                         let peaks = *core.buffers().peaks();
                         let mut trace = core.take_trace();
                         trace.core = core_id;
+                        let mut lifetimes = core.take_lifetimes();
+                        lifetimes.core = core_id;
                         Ok(Some(CoreResult {
                             counters,
                             cycles,
                             writes,
                             trace,
+                            lifetimes,
                             peaks,
                         }))
                     })
@@ -169,6 +180,7 @@ impl Chip {
         let mut per_core = Vec::new();
         let mut core_cycles = Vec::new();
         let mut traces = Vec::new();
+        let mut lifetimes = Vec::new();
         let mut total = HwCounters::default();
         let mut peaks = BufferPeaks::default();
         let mut max_cycles = 0u64;
@@ -183,6 +195,7 @@ impl Chip {
             per_core.push(r.counters);
             if self.trace.enabled {
                 traces.push(r.trace);
+                lifetimes.push(r.lifetimes);
             }
         }
         Ok(ChipRun {
@@ -192,6 +205,7 @@ impl Chip {
             total,
             traces,
             peaks,
+            lifetimes,
         })
     }
 }
@@ -351,12 +365,21 @@ mod tests {
         assert!(json.contains("\"traceEvents\""));
         assert!(json.contains("\"name\":\"vadd\""));
 
+        // Live ranges ride along with the trace: each core saw its UB
+        // staging region live, and the export carries async slices.
+        assert_eq!(run.lifetimes.len(), run.traces.len());
+        for lt in &run.lifetimes {
+            assert!(lt.of(BufferId::Ub).count() > 0);
+        }
+        assert!(json.contains("\"cat\":\"live-range\""));
+
         // Untraced runs record nothing but count identically.
         let mut gm2 = gm_with(&vals, 4096);
         let untraced = Chip::new(2, CostModel::ascend910_like())
             .run(&mut gm2, &programs)
             .unwrap();
         assert!(untraced.traces.is_empty());
+        assert!(untraced.lifetimes.is_empty());
         assert_eq!(untraced.total, run.total);
     }
 

@@ -26,13 +26,15 @@ use crate::buffers::{BufferSet, SimError};
 use crate::cost::{Capacities, CostModel, IssueModel};
 use crate::counters::HwCounters;
 use crate::exec::{execute_info, ExecInfo, MemSpan};
+use crate::lifetimes::{BufferLifetimes, LifetimeRecorder};
 use crate::trace::{Trace, TraceConfig, TraceEvent};
 use dv_fp16::F16;
 use dv_isa::{BufferId, Program, Unit};
 
 /// Which issue pipe a unit's instructions dispatch to: MTE and SCU share
-/// the load/store pipe, Vector and Cube share the compute pipe.
-fn pipe_of(unit: Unit) -> usize {
+/// the load/store pipe (0), Vector and Cube share the compute pipe (1).
+/// Indexes [`HwCounters::pipe_stalls`].
+pub fn pipe_of(unit: Unit) -> usize {
     match unit {
         Unit::Mte | Unit::Scu => 0,
         Unit::Vector | Unit::Cube => 1,
@@ -109,7 +111,12 @@ fn run_program(
                 pipe_free[pipe] = finish;
 
                 info.apply_busy(counters);
+                // One wait per instruction, booked against its own pipe:
+                // even when an instruction hits both a RAW and a WAR/WAW
+                // hazard, `ready` is a single max over the board, so the
+                // stall can never be double-counted.
                 counters.stall_cycles += stall;
+                counters.pipe_stalls[pipe] += stall;
                 counters.cycles = counters.cycles.max(finish);
 
                 for r in info.reads.iter().flatten() {
@@ -149,6 +156,7 @@ pub struct AiCore {
     cost: CostModel,
     trace_cfg: TraceConfig,
     trace: Trace,
+    lifetimes: LifetimeRecorder,
     programs_run: usize,
     /// Instructions executed since the last counter reset — the sequence
     /// space `TraceEvent::dep` indexes into.
@@ -171,6 +179,7 @@ impl AiCore {
             cost,
             trace_cfg: TraceConfig::OFF,
             trace: Trace::default(),
+            lifetimes: LifetimeRecorder::default(),
             programs_run: 0,
             issued: 0,
         }
@@ -193,6 +202,12 @@ impl AiCore {
         std::mem::take(&mut self.trace)
     }
 
+    /// Drain the buffer live ranges recorded so far (empty unless tracing
+    /// was enabled — lifetime recording is gated with the trace).
+    pub fn take_lifetimes(&mut self) -> BufferLifetimes {
+        self.lifetimes.take()
+    }
+
     /// Load f16 data into global memory at a byte offset.
     pub fn load_gm(&mut self, offset: usize, data: &[F16]) -> Result<(), SimError> {
         self.bufs.load_f16_slice(BufferId::Gm, offset, data)
@@ -213,6 +228,7 @@ impl AiCore {
             cost,
             trace_cfg,
             trace,
+            lifetimes,
             issued,
             ..
         } = self;
@@ -224,6 +240,7 @@ impl AiCore {
             program,
             |pc, info, start, stall, dep| {
                 if trace_cfg.enabled {
+                    lifetimes.record(info, start, start + info.cycles);
                     trace.push(
                         trace_cfg,
                         TraceEvent {
@@ -289,6 +306,7 @@ impl AiCore {
     pub fn reset_counters(&mut self) {
         self.counters = HwCounters::default();
         self.trace = Trace::default();
+        self.lifetimes = LifetimeRecorder::default();
         self.programs_run = 0;
         self.issued = 0;
     }

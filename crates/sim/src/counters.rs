@@ -22,6 +22,12 @@ pub struct HwCounters {
     /// Cycles an issue pipe sat idle waiting on a scoreboard hazard
     /// (always 0 under the single-issue model).
     pub stall_cycles: u64,
+    /// Stall cycles attributed to each issue pipe (index 0 = MTE/SCU,
+    /// index 1 = Vector/Cube — see [`crate::pipe_of`]). Invariant:
+    /// `pipe_stalls[0] + pipe_stalls[1] == stall_cycles`, because every
+    /// instruction's wait is booked against exactly one pipe even when it
+    /// hits several hazards at once.
+    pub pipe_stalls: [u64; 2],
     /// Cycles attributed to each unit (issue overhead included).
     pub unit_cycles: BTreeMap<Unit, u64>,
     /// Instruction issues per mnemonic.
@@ -97,6 +103,8 @@ impl HwCounters {
     pub fn merge(&mut self, other: &HwCounters) {
         self.cycles += other.cycles;
         self.stall_cycles += other.stall_cycles;
+        self.pipe_stalls[0] += other.pipe_stalls[0];
+        self.pipe_stalls[1] += other.pipe_stalls[1];
         for (u, c) in &other.unit_cycles {
             *self.unit_cycles.entry(*u).or_default() += c;
         }

@@ -30,11 +30,16 @@ pub mod core;
 pub mod cost;
 pub mod counters;
 pub mod exec;
+pub mod lifetimes;
 pub mod trace;
 
-pub use crate::core::AiCore;
+pub use crate::core::{pipe_of, AiCore};
 pub use buffers::{BufferPeaks, BufferSet, SimError};
 pub use chip::{Chip, ChipRun};
 pub use cost::{Capacities, CostModel, IssueModel};
 pub use counters::{HwCounters, Unit};
-pub use trace::{chrome_trace_json, Breakdown, BreakdownRow, Trace, TraceConfig, TraceEvent};
+pub use lifetimes::{BufferLifetimes, LiveRange};
+pub use trace::{
+    chrome_trace_json, chrome_trace_json_with_lifetimes, Breakdown, BreakdownRow, Trace,
+    TraceConfig, TraceEvent,
+};

@@ -21,6 +21,7 @@
 //! nothing overlaps.
 
 use crate::counters::{HwCounters, Unit};
+use crate::lifetimes::BufferLifetimes;
 use dv_isa::BufferId;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -147,6 +148,19 @@ fn unit_tid(unit: Unit) -> usize {
     }
 }
 
+/// Thread row hosting a buffer's live-range slices (instruction rows use
+/// the unit tids 0–3).
+fn buffer_tid(buffer: BufferId) -> usize {
+    10 + match buffer {
+        BufferId::Gm => 0,
+        BufferId::L1 => 1,
+        BufferId::L0A => 2,
+        BufferId::L0B => 3,
+        BufferId::L0C => 4,
+        BufferId::Ub => 5,
+    }
+}
+
 /// Export traces (one per core) as Chrome trace-event JSON.
 ///
 /// Open the resulting file in `chrome://tracing` or
@@ -159,6 +173,16 @@ fn unit_tid(unit: Unit) -> usize {
 /// from an `mte_move` load to the `vmax` that computes on it, the
 /// pipeline picture of the paper's Fig. 4.
 pub fn chrome_trace_json(traces: &[Trace]) -> String {
+    chrome_trace_json_with_lifetimes(traces, &[])
+}
+
+/// [`chrome_trace_json`] plus buffer live ranges: each
+/// [`crate::lifetimes::LiveRange`] becomes an async (`b`/`e`) slice pair
+/// with category `live-range` on a per-buffer thread row of its core's
+/// process. A double-buffered kernel shows two interleaved slice chains
+/// per region (slot A and slot B overlapping in time); a single-buffered
+/// one shows back-to-back reuse of one offset.
+pub fn chrome_trace_json_with_lifetimes(traces: &[Trace], lifetimes: &[BufferLifetimes]) -> String {
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
     let mut first = true;
     let mut flow_id = 0usize;
@@ -258,6 +282,49 @@ pub fn chrome_trace_json(traces: &[Trace]) -> String {
                 ),
             );
             flow_id += 1;
+        }
+    }
+    // Buffer live ranges: async slice pairs on one thread row per
+    // buffer, under the owning core's process.
+    let mut range_id = 0usize;
+    for lt in lifetimes {
+        let mut named = [false; 6];
+        for r in &lt.ranges {
+            let tid = buffer_tid(r.buffer);
+            if !std::mem::replace(&mut named[tid - 10], true) {
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"ph\":\"M\",\"pid\":{},\"tid\":{},\"name\":\"thread_name\",\
+                         \"args\":{{\"name\":\"{} live ranges\"}}}}",
+                        lt.core, tid, r.buffer
+                    ),
+                );
+            }
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"b\",\"cat\":\"live-range\",\"id\":{},\"pid\":{},\"tid\":{},\
+                     \"name\":\"{} [{}..{})\",\"ts\":{},\"args\":{{\"bytes\":{}}}}}",
+                    range_id,
+                    lt.core,
+                    tid,
+                    r.buffer,
+                    r.start,
+                    r.end,
+                    r.first_write,
+                    r.bytes()
+                ),
+            );
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"e\",\"cat\":\"live-range\",\"id\":{},\"pid\":{},\"tid\":{},\
+                     \"name\":\"{} [{}..{})\",\"ts\":{}}}",
+                    range_id, lt.core, tid, r.buffer, r.start, r.end, r.last_use
+                ),
+            );
+            range_id += 1;
         }
     }
     out.push_str("]}");
@@ -536,6 +603,45 @@ mod tests {
             "\"ph\":\"s\",\"pid\":0,\"tid\":2,\"name\":\"dep\",\"cat\":\"flow\",\"id\":0,\"ts\":20"
         ));
         assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":0,\"name\":\"dep\",\"cat\":\"flow\",\"id\":0,\"ts\":20"));
+    }
+
+    #[test]
+    fn chrome_json_emits_live_range_slices() {
+        use crate::lifetimes::LiveRange;
+        let lt = BufferLifetimes {
+            core: 1,
+            ranges: vec![
+                LiveRange {
+                    buffer: BufferId::Ub,
+                    start: 0,
+                    end: 256,
+                    first_write: 5,
+                    last_use: 40,
+                },
+                LiveRange {
+                    buffer: BufferId::Ub,
+                    start: 256,
+                    end: 512,
+                    first_write: 20,
+                    last_use: 60,
+                },
+            ],
+        };
+        let json = chrome_trace_json_with_lifetimes(&[], &[lt]);
+        // One thread-name row for the UB, one b/e pair per range.
+        assert_eq!(json.matches("\"name\":\"UB live ranges\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"b\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"e\"").count(), 2);
+        assert!(json.contains(
+            "{\"ph\":\"b\",\"cat\":\"live-range\",\"id\":0,\"pid\":1,\"tid\":15,\
+             \"name\":\"UB [0..256)\",\"ts\":5,\"args\":{\"bytes\":256}}"
+        ));
+        assert!(json.contains(
+            "{\"ph\":\"e\",\"cat\":\"live-range\",\"id\":1,\"pid\":1,\"tid\":15,\
+             \"name\":\"UB [256..512)\",\"ts\":60}"
+        ));
+        // Plain export of the same traces carries no live-range events.
+        assert!(!chrome_trace_json(&[]).contains("live-range"));
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! determinism checks across reruns, chip clones, and both issue models.
 
 use davinci_pooling::prelude::*;
-use davinci_pooling::sim::{chrome_trace_json, AiCore, Breakdown, Chip, TraceConfig};
+use davinci_pooling::sim::{
+    chrome_trace_json_with_lifetimes, pipe_of, AiCore, Breakdown, Chip, TraceConfig, Unit,
+};
 use davinci_pooling::tensor::reference;
 use dv_isa::{Addr, BufferId, Col2Im, DataMove, Im2ColGeometry, Instr, Program};
 
@@ -210,7 +212,10 @@ fn maxpool_backward_chrome_trace_parses() {
     assert_eq!(dx.data(), want.data(), "tracing must not change results");
 
     let json = run.chrome_trace_json();
-    assert_eq!(json, chrome_trace_json(&run.traces));
+    assert_eq!(
+        json,
+        chrome_trace_json_with_lifetimes(&run.traces, &run.lifetimes)
+    );
     let doc = dv_bench::json::parse(&json).expect("chrome trace JSON parses");
     let events = doc
         .get("traceEvents")
@@ -222,6 +227,8 @@ fn maxpool_backward_chrome_trace_parses() {
     let mut col2im_events = 0u64;
     let mut flow_starts = 0u64;
     let mut flow_ends = 0u64;
+    let mut range_begins = 0u64;
+    let mut range_ends = 0u64;
     let mut saw_process_meta = false;
     for e in events {
         match e.get("ph").and_then(|v| v.as_str()) {
@@ -238,6 +245,18 @@ fn maxpool_backward_chrome_trace_parses() {
             Some("M") => {
                 if e.get("name").and_then(|v| v.as_str()) == Some("process_name") {
                     saw_process_meta = true;
+                }
+            }
+            // Buffer live ranges: async begin/end pairs on the
+            // per-buffer thread rows, from the lifetime analysis.
+            Some("b") | Some("e") => {
+                assert_eq!(e.get("cat").and_then(|v| v.as_str()), Some("live-range"));
+                assert!(e.get("id").and_then(|v| v.as_u64()).is_some());
+                assert!(e.get("ts").and_then(|v| v.as_u64()).is_some());
+                if e.get("ph").and_then(|v| v.as_str()) == Some("b") {
+                    range_begins += 1;
+                } else {
+                    range_ends += 1;
                 }
             }
             // Flow arrows: producer retirement ("s") paired with consumer
@@ -264,6 +283,10 @@ fn maxpool_backward_chrome_trace_parses() {
         "dual-pipe run must carry cross-unit flow arrows"
     );
     assert_eq!(flow_starts, flow_ends, "every arrow has both endpoints");
+    let ranges: u64 = run.lifetimes.iter().map(|l| l.ranges.len() as u64).sum();
+    assert!(ranges > 0, "traced run must record buffer live ranges");
+    assert_eq!(range_begins, ranges, "one async begin per live range");
+    assert_eq!(range_begins, range_ends, "every live range closes");
 
     // The rendered breakdown is the human-readable view of the same data.
     let report = run.breakdown().render();
@@ -274,6 +297,60 @@ fn maxpool_backward_chrome_trace_parses() {
         run.total.busy_cycles(),
         run.total.stall_cycles
     )));
+}
+
+/// The dual-pipe stall accounting never double-books: each instruction's
+/// hazard wait lands on exactly one pipe, so per core and per pipe
+/// `busy + stall <= makespan`, the two pipe-stall counters sum to
+/// `stall_cycles`, and that total equals the sum of the per-event stall
+/// tags in the trace.
+#[test]
+fn pipe_stall_accounting_never_double_books() {
+    // A multi-band double-buffered run on one core: plenty of cross-pipe
+    // hazards, and the makespan bound is per-core exact.
+    let input =
+        Nchw::from_fn(1, 16, 96, 96, |_, c, h, w| det(13, c * 9216 + h * 96 + w)).to_nc1hwc0();
+    let engine =
+        PoolingEngine::new(Chip::new(1, CostModel::ascend910_like())).with_trace(TraceConfig::ON);
+    let pipe_units: [&[Unit]; 2] = [&[Unit::Mte, Unit::Scu], &[Unit::Vector, Unit::Cube]];
+    for impl_ in [ForwardImpl::Standard, ForwardImpl::Im2col] {
+        let (_, run) = engine
+            .maxpool_forward(&input, PoolParams::K3S2, impl_)
+            .expect("forward");
+        assert!(
+            run.total.stall_cycles > 0,
+            "{impl_:?}: a banded dual-pipe run hits hazards"
+        );
+        for (i, c) in run.per_core.iter().enumerate() {
+            let makespan = run.core_cycles[i];
+            for (pipe, units) in pipe_units.iter().enumerate() {
+                let busy: u64 = units.iter().map(|u| c.cycles_of(*u)).sum();
+                assert!(
+                    pipe_units[pipe].iter().all(|u| pipe_of(*u) == pipe),
+                    "pipe map drifted"
+                );
+                assert!(
+                    busy + c.pipe_stalls[pipe] <= makespan,
+                    "{impl_:?} core {i} pipe {pipe}: busy {busy} + stall {} \
+                     exceeds the makespan {makespan}",
+                    c.pipe_stalls[pipe]
+                );
+            }
+            assert_eq!(
+                c.pipe_stalls.iter().sum::<u64>(),
+                c.stall_cycles,
+                "{impl_:?} core {i}: per-pipe stalls must sum to the total"
+            );
+        }
+        for t in &run.traces {
+            let tags: u64 = t.events.iter().map(|e| e.stall).sum();
+            assert_eq!(
+                tags, run.per_core[t.core].stall_cycles,
+                "{impl_:?} core {}: trace stall tags must sum to the counter",
+                t.core
+            );
+        }
+    }
 }
 
 /// Tracing must not perturb the simulation: identical cycle counts and
