@@ -22,4 +22,7 @@ pub use arena::{BandSlots, GmArena, UbArena, UbOverflow};
 pub use emit::{
     dma, elementwise, expect_vector, fill_region, strided_accumulate, zero_region, EmitError,
 };
-pub use tiling::{band_input_rows, max_row_band, row_bands, tiling_threshold, Band, TilingError};
+pub use tiling::{
+    band_input_rows, max_row_band, max_row_band_batched, row_bands, row_bands_batched,
+    tiling_threshold, Band, TilingError,
+};

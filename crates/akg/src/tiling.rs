@@ -37,6 +37,40 @@ pub enum TilingError {
         /// Requested band height.
         boh: usize,
     },
+    /// A batch-folded (N-plane Mode0 repeat-chain) plan failed. The cause
+    /// tells the engine whether to fall back to the per-plane schedule
+    /// (`Capacity`: N planes simply do not fit one band) or to reject the
+    /// request outright (`PaddedMultiBand`: padded geometry cannot be
+    /// banded at all, batched or not).
+    Batched {
+        /// The batch size the fold attempted to cover.
+        n: usize,
+        /// The underlying single-plan failure.
+        cause: Box<TilingError>,
+    },
+}
+
+impl TilingError {
+    /// Wrap this error as the cause of a failed batch-folded plan over
+    /// `n` planes. Already-batched errors are returned unchanged so
+    /// nested planning layers never double-wrap.
+    pub fn batched(self, n: usize) -> TilingError {
+        match self {
+            TilingError::Batched { .. } => self,
+            cause => TilingError::Batched {
+                n,
+                cause: Box::new(cause),
+            },
+        }
+    }
+
+    /// The root cause of a (possibly batched) tiling failure.
+    pub fn root_cause(&self) -> &TilingError {
+        match self {
+            TilingError::Batched { cause, .. } => cause.root_cause(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for TilingError {
@@ -58,6 +92,9 @@ impl fmt::Display for TilingError {
                 "vertical padding requires a single band, but {boh}-row bands \
                  split {oh} output rows"
             ),
+            TilingError::Batched { n, cause } => {
+                write!(f, "batch-folded plan over N={n} planes failed: {cause}")
+            }
         }
     }
 }
@@ -173,6 +210,36 @@ pub fn row_bands(
         }
     }
     Ok(bands)
+}
+
+/// Batch-aware variant of [`max_row_band`]: sizes one band that must hold
+/// `n` folded planes at once. `footprint(boh)` receives the band height
+/// and must already account for the N-plane residency (the caller knows
+/// its own layout); this wrapper only types the failure as
+/// [`TilingError::Batched`] so the engine can distinguish "N planes blew
+/// the budget — fall back to per-plane" from a geometry that could never
+/// be tiled.
+pub fn max_row_band_batched(
+    n: usize,
+    oh: usize,
+    capacity: usize,
+    footprint: impl Fn(usize) -> usize,
+) -> Result<usize, TilingError> {
+    max_row_band(oh, capacity, footprint).map_err(|e| e.batched(n))
+}
+
+/// Batch-aware variant of [`row_bands`]: the band schedule a fold over
+/// `n` planes shares (every plane of the batch walks identical bands, so
+/// the geometry is the single-plane one). Failures are wrapped as
+/// [`TilingError::Batched`].
+pub fn row_bands_batched(
+    n: usize,
+    params: &PoolParams,
+    oh: usize,
+    boh: usize,
+    ih: usize,
+) -> Result<Vec<Band>, TilingError> {
+    row_bands(params, oh, boh, ih).map_err(|e| e.batched(n))
 }
 
 /// The largest square input extent `H = W` for which `footprint(hw)` fits
@@ -318,6 +385,50 @@ mod tests {
         // band 0 reads rows [0, 5), band 1 reads [4, 9): one-row halo
         assert_eq!(bands[0].ih0 + bands[0].ih_len, 5);
         assert_eq!(bands[1].ih0, 4);
+    }
+
+    #[test]
+    fn batched_wrappers_type_failures() {
+        // Capacity failure: 4 planes of 100 bytes/row against 150 bytes.
+        let err = max_row_band_batched(4, 50, 150, |boh| 4 * boh * 100).unwrap_err();
+        assert_eq!(
+            err,
+            TilingError::Batched {
+                n: 4,
+                cause: Box::new(TilingError::Capacity {
+                    min_footprint: 400,
+                    capacity: 150
+                })
+            }
+        );
+        assert_eq!(
+            err.root_cause(),
+            &TilingError::Capacity {
+                min_footprint: 400,
+                capacity: 150
+            }
+        );
+        // Padded multi-band failure keeps its typed cause.
+        let padded = PoolParams::with_padding((3, 3), (2, 2), dv_tensor::Padding::uniform(1));
+        let err = row_bands_batched(4, &padded, 8, 4, 15).unwrap_err();
+        assert_eq!(err.root_cause(), &TilingError::PaddedMultiBand { oh: 8, boh: 4 });
+        // Success passes through untouched.
+        let bands = row_bands_batched(4, &K3S2, 73, 10, 147).unwrap();
+        assert_eq!(bands, row_bands(&K3S2, 73, 10, 147).unwrap());
+        assert_eq!(max_row_band_batched(4, 50, 4000, |boh| 4 * boh * 100).unwrap(), 10);
+    }
+
+    #[test]
+    fn batched_wrapping_is_idempotent() {
+        let inner = TilingError::Degenerate { oh: 0, boh: 0 };
+        let once = inner.clone().batched(4);
+        let twice = once.clone().batched(8);
+        assert_eq!(once, twice, "already-batched errors must not re-wrap");
+        assert_eq!(once.root_cause(), &inner);
+        // Display mentions both the batch and the cause.
+        let msg = once.to_string();
+        assert!(msg.contains("N=4"), "{msg}");
+        assert!(msg.contains("degenerate"), "{msg}");
     }
 
     #[test]

@@ -257,6 +257,69 @@ pub fn collect() -> Vec<Metric> {
         ));
     }
 
+    // Batched N=4 Fig. 7 forward rows: the Mode-0 batch fold against the
+    // per-plane schedule, on one AI core with the UB clamped to 64 KiB —
+    // the capacity regime where lowering the batch through the SCU pays
+    // off on all three shapes. The `standard` columns carry the
+    // per-plane (batching-off) schedule, the `accelerated` columns the
+    // batched fold; both run the im2col implementation, so the row
+    // isolates exactly what the fold buys.
+    let mut chip = Chip::new(1, CostModel::ascend910_like());
+    chip.caps.ub = 64 * 1024;
+    let bat = PoolingEngine::new(chip.clone()).with_double_buffering(false);
+    let per = bat.clone().with_batching(false);
+    let bat_db = PoolingEngine::new(chip);
+    let per_db = bat_db.clone().with_batching(false);
+    for w in fig7_workloads() {
+        let shape = format!("{}x{}x{}", w.h, w.w, w.c);
+        let input = feature_map(4, w.c, w.h, w.w, 76);
+        let (o_p, std) = per
+            .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("fig7n4 per-plane");
+        let (o_b, acc) = bat
+            .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("fig7n4 batched");
+        let (o_pd, std_db) = per_db
+            .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("fig7n4 per-plane db");
+        let (o_bd, acc_db) = bat_db
+            .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("fig7n4 batched db");
+        assert_eq!(o_p.data(), o_b.data(), "fig7n4 fold changed the output");
+        assert_eq!(o_p.data(), o_pd.data(), "fig7n4 db changed per-plane");
+        assert_eq!(o_b.data(), o_bd.data(), "fig7n4 db changed batched");
+        // The fold's whole claim: strictly fewer Im2Col issues than N
+        // per-plane passes, at no dual-pipe cycle cost. Cycles are held
+        // on the double-buffered schedules (the engine default): those
+        // give the fold its L1 band ping-pong, without which the single
+        // L1 region serialises next-band staging against the current
+        // band's Im2Cols and the single-program-per-c1 fold cannot hide
+        // band boundaries the way 4-programs-per-c1 per-plane can.
+        let (ib, ip) = (
+            acc.total.issues_of("im2col"),
+            std.total.issues_of("im2col"),
+        );
+        assert!(
+            ib < ip,
+            "fig7n4/{shape}: batched fold must issue strictly fewer Im2Cols \
+             ({ib} vs {ip} per-plane)"
+        );
+        assert!(
+            acc_db.cycles <= std_db.cycles,
+            "fig7n4/{shape}: batched fold may not cost dual-pipe cycles \
+             ({} vs {})",
+            acc_db.cycles,
+            std_db.cycles
+        );
+        out.push(metric(
+            format!("fig7n4/{shape}"),
+            &std,
+            &acc,
+            &std_db,
+            &acc_db,
+        ));
+    }
+
     // Fig. 8 — the stride study, one AI core, K(3,3).
     for stride in 1usize..=3 {
         let params = PoolParams::new((3, 3), (stride, stride));
@@ -572,7 +635,7 @@ mod tests {
     fn committed_baseline_parses_and_covers_all_figures() {
         let base = parse_metrics(COMMITTED_BASELINE).expect("baseline must parse");
         for prefix in [
-            "fig7a/", "fig7b/", "fig7c/", "fig8s1/", "fig8s2/", "fig8s3/", "table1/",
+            "fig7a/", "fig7b/", "fig7c/", "fig7n4/", "fig8s1/", "fig8s2/", "fig8s3/", "table1/",
         ] {
             assert!(
                 base.iter().any(|m| m.key.starts_with(prefix)),

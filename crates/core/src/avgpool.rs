@@ -9,7 +9,9 @@
 //! MaxPool lowerings with a [`Reduction::Sum`] reduction and a uniform
 //! backward source.
 
-use crate::maxpool::{build_backward, BackwardSource, Reduction};
+use crate::maxpool::{
+    build_backward, build_backward_batched, build_forward_batched, BackwardSource, Reduction,
+};
 use crate::problem::{ForwardImpl, LowerError, MergeImpl, PoolProblem};
 use dv_fp16::F16;
 use dv_isa::Program;
@@ -68,6 +70,30 @@ pub fn build_avgpool_forward_parallel(
     )
 }
 
+/// Batch-folded AvgPool forward: one program per `c1` slice covering all
+/// `N` planes through Mode-0 `Im2Col` repeat chains (see
+/// [`crate::maxpool::build_forward_batched`]). Im2col-only by
+/// construction — the fold *is* the Mode-0 chain.
+pub fn build_avgpool_forward_batched(
+    prob: &PoolProblem,
+    gm_in: usize,
+    gm_out: usize,
+    caps: Capacities,
+    double: bool,
+) -> Result<Vec<Program>, LowerError> {
+    build_forward_batched(
+        prob,
+        Reduction::Sum {
+            scale: avg_scale(prob),
+        },
+        gm_in,
+        gm_out,
+        None,
+        caps,
+        double,
+    )
+}
+
 /// Build AvgPool backward programs: the multiply step collapses to a
 /// `vmuls` of the gradients (uniform mask), followed by the same merge —
 /// scattered `vadd` or `Col2Im`. `double` is forwarded to
@@ -81,6 +107,29 @@ pub fn build_avgpool_backward(
     double: bool,
 ) -> Result<Vec<Program>, LowerError> {
     build_backward(
+        prob,
+        merge,
+        BackwardSource::AvgUniform {
+            scale: avg_scale(prob),
+        },
+        gm_grad,
+        gm_dx,
+        caps,
+        double,
+    )
+}
+
+/// Per-`c1`-consolidated AvgPool backward (see
+/// [`crate::maxpool::build_backward_batched`]).
+pub fn build_avgpool_backward_batched(
+    prob: &PoolProblem,
+    merge: MergeImpl,
+    gm_grad: usize,
+    gm_dx: usize,
+    caps: Capacities,
+    double: bool,
+) -> Result<Vec<Program>, LowerError> {
+    build_backward_batched(
         prob,
         merge,
         BackwardSource::AvgUniform {

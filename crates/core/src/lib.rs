@@ -35,7 +35,7 @@ pub mod problem;
 pub mod runner;
 pub mod workloads;
 
-pub use maxpool::tiling_threshold;
+pub use maxpool::{build_forward_batched, tiling_threshold};
 pub use problem::{ForwardImpl, LowerError, MergeImpl, PoolProblem};
 pub use runner::{PoolRun, PoolingEngine, RunError};
 pub use workloads::{fig7_workloads, table1_workloads, CnnWorkload};

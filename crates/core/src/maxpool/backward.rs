@@ -122,6 +122,39 @@ pub fn build_backward(
     caps: Capacities,
     double: bool,
 ) -> Result<Vec<Program>, LowerError> {
+    build_backward_inner(prob, merge, source, gm_grad, gm_dx, caps, double, false)
+}
+
+/// Like [`build_backward`], but consolidated per `c1`: one [`Program`]
+/// covers all `N` batch planes of a `c1` slice (the UB band slots are
+/// allocated once and reused plane after plane), so the chip dispatches
+/// `C1` programs instead of `N * C1`. There is no `Im2Col` in the
+/// backward pass to chain, so the fold here is purely program-level —
+/// the per-plane instruction streams are emitted back to back and the
+/// results stay bit-identical by construction.
+pub fn build_backward_batched(
+    prob: &PoolProblem,
+    merge: MergeImpl,
+    source: BackwardSource,
+    gm_grad: usize,
+    gm_dx: usize,
+    caps: Capacities,
+    double: bool,
+) -> Result<Vec<Program>, LowerError> {
+    build_backward_inner(prob, merge, source, gm_grad, gm_dx, caps, double, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_backward_inner(
+    prob: &PoolProblem,
+    merge: MergeImpl,
+    source: BackwardSource,
+    gm_grad: usize,
+    gm_dx: usize,
+    caps: Capacities,
+    double: bool,
+    fold: bool,
+) -> Result<Vec<Program>, LowerError> {
     let params = prob.params;
     let (oh, ow) = prob.out_dims();
     let planes = params.kh * params.kw;
@@ -173,61 +206,73 @@ pub fn build_backward(
     let padded = PoolProblem::padded_plane_bytes(boh_max * ow);
     let full_plane = spans.len() == 1;
 
-    let mut programs = Vec::with_capacity(prob.n * prob.c1);
-    for (n, c1) in prob.planes() {
-        let grad_base = gm_grad + prob.out_plane_offset(n, c1);
-        let dx_base = gm_dx + prob.in_plane_offset(n, c1);
+    // Program grouping: per (n, c1) plane normally; per c1 slice (all N
+    // planes back to back, reusing one UB layout) when folding.
+    let groups: Vec<Vec<(usize, usize)>> = if fold {
+        (0..prob.c1)
+            .map(|c1| (0..prob.n).map(|n| (n, c1)).collect())
+            .collect()
+    } else {
+        prob.planes().map(|nc| vec![nc]).collect()
+    };
 
+    let mut programs = Vec::with_capacity(groups.len());
+    for group in groups {
         let mut ub = UbArena::new(caps.ub);
         let grad_slots = ub.alloc_band(padded, db)?;
         let mg_slots = ub.alloc_band(planes * padded, db)?;
         let ub_dx = Addr::ub(ub.alloc(alloc_rows * prob.iw * ROW)?);
 
-        let load = |p: &mut Program, span: &BandSpan, slot: usize| {
-            emit_backward_load(
-                p,
-                prob,
-                source,
-                grad_base,
-                span,
-                padded,
-                (n, c1),
-                Addr::ub(grad_slots.of(slot)),
-                Addr::ub(mg_slots.of(slot)),
-            )
-        };
-        let compute = |p: &mut Program, bi: usize, span: &BandSpan| {
-            emit_backward_compute(
-                p,
-                prob,
-                merge,
-                source,
-                dx_base,
-                span,
-                full_plane,
-                alloc_rows,
-                padded,
-                Addr::ub(grad_slots.of(bi)),
-                Addr::ub(mg_slots.of(bi)),
-                ub_dx,
-            )
-        };
-
         let mut p = Program::new();
-        if db {
-            // Software pipeline: band i+1's gradient and mask DMAs go to
-            // the alternate slots before band i's multiply/merge.
-            load(&mut p, &spans[0], 0)?;
-            for (bi, span) in spans.iter().enumerate() {
-                if let Some(next) = spans.get(bi + 1) {
-                    load(&mut p, next, bi + 1)?;
+        for (n, c1) in group {
+            let grad_base = gm_grad + prob.out_plane_offset(n, c1);
+            let dx_base = gm_dx + prob.in_plane_offset(n, c1);
+
+            let load = |p: &mut Program, span: &BandSpan, slot: usize| {
+                emit_backward_load(
+                    p,
+                    prob,
+                    source,
+                    grad_base,
+                    span,
+                    padded,
+                    (n, c1),
+                    Addr::ub(grad_slots.of(slot)),
+                    Addr::ub(mg_slots.of(slot)),
+                )
+            };
+            let compute = |p: &mut Program, bi: usize, span: &BandSpan| {
+                emit_backward_compute(
+                    p,
+                    prob,
+                    merge,
+                    source,
+                    dx_base,
+                    span,
+                    full_plane,
+                    alloc_rows,
+                    padded,
+                    Addr::ub(grad_slots.of(bi)),
+                    Addr::ub(mg_slots.of(bi)),
+                    ub_dx,
+                )
+            };
+
+            if db {
+                // Software pipeline: band i+1's gradient and mask DMAs go
+                // to the alternate slots before band i's multiply/merge.
+                load(&mut p, &spans[0], 0)?;
+                for (bi, span) in spans.iter().enumerate() {
+                    if let Some(next) = spans.get(bi + 1) {
+                        load(&mut p, next, bi + 1)?;
+                    }
+                    compute(&mut p, bi, span)?;
                 }
-                compute(&mut p, bi, span)?;
-            }
-        } else {
-            for (bi, span) in spans.iter().enumerate() {
-                load(&mut p, span, 0)?;
-                compute(&mut p, bi, span)?;
+            } else {
+                for (bi, span) in spans.iter().enumerate() {
+                    load(&mut p, span, 0)?;
+                    compute(&mut p, bi, span)?;
+                }
             }
         }
         programs.push(p);

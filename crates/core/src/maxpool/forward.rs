@@ -32,14 +32,14 @@ pub enum Reduction {
 }
 
 impl Reduction {
-    fn op(self) -> VectorOp {
+    pub(crate) fn op(self) -> VectorOp {
         match self {
             Reduction::Max => VectorOp::Max,
             Reduction::Sum { .. } => VectorOp::Add,
         }
     }
 
-    fn init(self) -> F16 {
+    pub(crate) fn init(self) -> F16 {
         match self {
             Reduction::Max => F16::NEG_INFINITY,
             Reduction::Sum { .. } => F16::ZERO,
@@ -431,7 +431,12 @@ fn emit_compute(
 
 /// Unified-Buffer footprint of one band for each implementation, in
 /// bytes. `boh` = output rows in the band.
-fn ub_footprint(prob: &PoolProblem, impl_: ForwardImpl, with_mask: bool, boh: usize) -> usize {
+pub(crate) fn ub_footprint(
+    prob: &PoolProblem,
+    impl_: ForwardImpl,
+    with_mask: bool,
+    boh: usize,
+) -> usize {
     let params = &prob.params;
     let (_, ow) = prob.out_dims();
     let in_band = band_input_rows(params, boh) * prob.iw * ROW;
@@ -460,7 +465,7 @@ fn ub_footprint(prob: &PoolProblem, impl_: ForwardImpl, with_mask: bool, boh: us
 /// footprint must fit) to size ping-pong slots; if even a one-row band
 /// cannot be doubled, the plan falls back to single buffering. Returns
 /// `(boh, double_buffered)`.
-fn plan_band(
+pub(crate) fn plan_band(
     prob: &PoolProblem,
     impl_: ForwardImpl,
     with_mask: bool,

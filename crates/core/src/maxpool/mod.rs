@@ -2,9 +2,11 @@
 //! mask, and backward (two merge implementations).
 
 pub mod backward;
+pub mod batched;
 pub mod forward;
 
-pub use backward::{build_backward, BackwardSource};
+pub use backward::{build_backward, build_backward_batched, BackwardSource};
+pub use batched::build_forward_batched;
 pub use forward::{
     build_forward, build_forward_parallel, build_forward_with_argmax,
     build_forward_with_argmax_parallel, tiling_threshold, Reduction,

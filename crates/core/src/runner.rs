@@ -7,11 +7,15 @@
 //! references, and the cycle counts are what the benchmark harness plots
 //! against the paper's figures.
 
-use crate::avgpool::{build_avgpool_backward, build_avgpool_forward_parallel};
-use crate::maxpool::{
-    build_backward, build_forward_parallel, build_forward_with_argmax_parallel, BackwardSource,
-    Reduction,
+use crate::avgpool::{
+    build_avgpool_backward, build_avgpool_backward_batched, build_avgpool_forward_parallel,
 };
+use crate::maxpool::batched::per_plane_im2col_issues;
+use crate::maxpool::{
+    build_backward, build_backward_batched, build_forward_batched, build_forward_parallel,
+    build_forward_with_argmax_parallel, BackwardSource, Reduction,
+};
+use dv_isa::Program;
 use crate::problem::{ForwardImpl, LowerError, MergeImpl, PoolProblem};
 use core::fmt;
 use dv_akg::GmArena;
@@ -71,16 +75,21 @@ pub struct PoolingEngine {
     /// instead of WAR-stalling on slot reuse. Results are bit-identical
     /// either way — only the schedule changes.
     pub double_buffer: bool,
+    /// Fold the batch dimension through the SCU (on by default): when a
+    /// run has `N > 1` and folding cannot hurt multi-core occupancy, the
+    /// Im2col forward lowers all `N` planes of a `c1` slice through one
+    /// Mode-0 `Im2Col` repeat-chain program, and the backward pass
+    /// consolidates its `N` per-plane streams into one program per `c1`.
+    /// The engine falls back to the per-plane schedule whenever the fold
+    /// does not fit the scratchpads or would issue more `Im2Col`s than
+    /// it saves. Results are bit-identical either way.
+    pub batching: bool,
 }
 
 impl PoolingEngine {
     /// An engine over an Ascend-910-like chip (32 cores).
     pub fn ascend910() -> PoolingEngine {
-        PoolingEngine {
-            chip: Chip::ascend910(),
-            split_bands: false,
-            double_buffer: true,
-        }
+        PoolingEngine::new(Chip::ascend910())
     }
 
     /// An engine over a custom chip.
@@ -89,6 +98,7 @@ impl PoolingEngine {
             chip,
             split_bands: false,
             double_buffer: true,
+            batching: true,
         }
     }
 
@@ -114,11 +124,91 @@ impl PoolingEngine {
         self
     }
 
+    /// Enable or disable batch folding (see [`PoolingEngine::batching`]).
+    pub fn with_batching(mut self, on: bool) -> PoolingEngine {
+        self.batching = on;
+        self
+    }
+
     fn parallel(&self) -> usize {
         if self.split_bands {
             self.chip.cores
         } else {
             1
+        }
+    }
+
+    /// Whether this run folds the batch dimension: only with `N > 1`,
+    /// never alongside band splitting (which already re-partitions the
+    /// work), and only when dropping from `N * C1` to `C1` programs
+    /// cannot reduce multi-core occupancy.
+    fn fold_batches(&self, prob: &PoolProblem) -> bool {
+        self.batching
+            && prob.n > 1
+            && self.parallel() == 1
+            && (self.chip.cores == 1 || prob.c1 >= self.chip.cores)
+    }
+
+    /// Forward Im2col with batch folding: build the Mode-0 fold, keep it
+    /// only if it issues strictly fewer `Im2Col`s than the per-plane
+    /// schedule would, and otherwise fall back. When the fold itself
+    /// fails to plan, the per-plane schedule is tried; if that also
+    /// fails, the *batched* (typed) error is reported — it carries the
+    /// per-plane cause.
+    fn batched_forward_or_fallback(
+        &self,
+        prob: &PoolProblem,
+        reduction: Reduction,
+        gm_in: usize,
+        gm_out: usize,
+        gm_mask: Option<usize>,
+    ) -> Result<Vec<Program>, LowerError> {
+        let per_plane = || -> Result<Vec<Program>, LowerError> {
+            match gm_mask {
+                Some(m) => build_forward_with_argmax_parallel(
+                    prob,
+                    ForwardImpl::Im2col,
+                    gm_in,
+                    gm_out,
+                    m,
+                    self.chip.caps,
+                    self.parallel(),
+                    self.double_buffer,
+                ),
+                None => build_forward_parallel(
+                    prob,
+                    ForwardImpl::Im2col,
+                    reduction,
+                    gm_in,
+                    gm_out,
+                    self.chip.caps,
+                    self.parallel(),
+                    self.double_buffer,
+                ),
+            }
+        };
+        match build_forward_batched(
+            prob,
+            reduction,
+            gm_in,
+            gm_out,
+            gm_mask,
+            self.chip.caps,
+            self.double_buffer,
+        ) {
+            Ok(folded) => {
+                let folded_issues: usize = folded.iter().map(|p| p.issue_count("im2col")).sum();
+                let per_plane_issues =
+                    per_plane_im2col_issues(prob, gm_mask.is_some(), self.chip.caps)
+                        .map(|per_c1| per_c1 * prob.c1)
+                        .unwrap_or(usize::MAX);
+                if folded_issues < per_plane_issues {
+                    Ok(folded)
+                } else {
+                    per_plane()
+                }
+            }
+            Err(batched_err) => per_plane().map_err(|_| batched_err),
         }
     }
 
@@ -138,16 +228,20 @@ impl PoolingEngine {
         let mut gm = GmArena::new();
         let gm_in = gm.alloc(prob.in_bytes());
         let gm_out = gm.alloc(prob.out_bytes());
-        let programs = build_forward_parallel(
-            &prob,
-            impl_,
-            Reduction::Max,
-            gm_in,
-            gm_out,
-            self.chip.caps,
-            self.parallel(),
-            self.double_buffer,
-        )?;
+        let programs = if impl_ == ForwardImpl::Im2col && self.fold_batches(&prob) {
+            self.batched_forward_or_fallback(&prob, Reduction::Max, gm_in, gm_out, None)?
+        } else {
+            build_forward_parallel(
+                &prob,
+                impl_,
+                Reduction::Max,
+                gm_in,
+                gm_out,
+                self.chip.caps,
+                self.parallel(),
+                self.double_buffer,
+            )?
+        };
         let mut image = vec![0u8; gm.size()];
         write_tensor(&mut image, gm_in, input.data());
         let run = self.chip.run(&mut image, &programs)?;
@@ -167,16 +261,20 @@ impl PoolingEngine {
         let gm_in = gm.alloc(prob.in_bytes());
         let gm_out = gm.alloc(prob.out_bytes());
         let gm_mask = gm.alloc(prob.mask_bytes());
-        let programs = build_forward_with_argmax_parallel(
-            &prob,
-            impl_,
-            gm_in,
-            gm_out,
-            gm_mask,
-            self.chip.caps,
-            self.parallel(),
-            self.double_buffer,
-        )?;
+        let programs = if impl_ == ForwardImpl::Im2col && self.fold_batches(&prob) {
+            self.batched_forward_or_fallback(&prob, Reduction::Max, gm_in, gm_out, Some(gm_mask))?
+        } else {
+            build_forward_with_argmax_parallel(
+                &prob,
+                impl_,
+                gm_in,
+                gm_out,
+                gm_mask,
+                self.chip.caps,
+                self.parallel(),
+                self.double_buffer,
+            )?
+        };
         let mut image = vec![0u8; gm.size()];
         write_tensor(&mut image, gm_in, input.data());
         let run = self.chip.run(&mut image, &programs)?;
@@ -212,15 +310,27 @@ impl PoolingEngine {
         let gm_mask = gm.alloc(prob.mask_bytes());
         let gm_grad = gm.alloc(prob.out_bytes());
         let gm_dx = gm.alloc(prob.in_bytes());
-        let programs = build_backward(
-            &prob,
-            merge,
-            BackwardSource::MaxMask { gm_mask },
-            gm_grad,
-            gm_dx,
-            self.chip.caps,
-            self.double_buffer,
-        )?;
+        let programs = if self.fold_batches(&prob) {
+            build_backward_batched(
+                &prob,
+                merge,
+                BackwardSource::MaxMask { gm_mask },
+                gm_grad,
+                gm_dx,
+                self.chip.caps,
+                self.double_buffer,
+            )?
+        } else {
+            build_backward(
+                &prob,
+                merge,
+                BackwardSource::MaxMask { gm_mask },
+                gm_grad,
+                gm_dx,
+                self.chip.caps,
+                self.double_buffer,
+            )?
+        };
         let mut image = vec![0u8; gm.size()];
         write_tensor(&mut image, gm_mask, mask.data());
         write_tensor(&mut image, gm_grad, gradients.data());
@@ -288,15 +398,20 @@ impl PoolingEngine {
         let mut gm = GmArena::new();
         let gm_in = gm.alloc(prob.in_bytes());
         let gm_out = gm.alloc(prob.out_bytes());
-        let programs = build_avgpool_forward_parallel(
-            &prob,
-            impl_,
-            gm_in,
-            gm_out,
-            self.chip.caps,
-            self.parallel(),
-            self.double_buffer,
-        )?;
+        let programs = if impl_ == ForwardImpl::Im2col && self.fold_batches(&prob) {
+            let scale = crate::avgpool::avg_scale(&prob);
+            self.batched_forward_or_fallback(&prob, Reduction::Sum { scale }, gm_in, gm_out, None)?
+        } else {
+            build_avgpool_forward_parallel(
+                &prob,
+                impl_,
+                gm_in,
+                gm_out,
+                self.chip.caps,
+                self.parallel(),
+                self.double_buffer,
+            )?
+        };
         let mut image = vec![0u8; gm.size()];
         write_tensor(&mut image, gm_in, input.data());
         let run = self.chip.run(&mut image, &programs)?;
@@ -327,14 +442,25 @@ impl PoolingEngine {
         let mut gm = GmArena::new();
         let gm_grad = gm.alloc(prob.out_bytes());
         let gm_dx = gm.alloc(prob.in_bytes());
-        let programs = build_avgpool_backward(
-            &prob,
-            merge,
-            gm_grad,
-            gm_dx,
-            self.chip.caps,
-            self.double_buffer,
-        )?;
+        let programs = if self.fold_batches(&prob) {
+            build_avgpool_backward_batched(
+                &prob,
+                merge,
+                gm_grad,
+                gm_dx,
+                self.chip.caps,
+                self.double_buffer,
+            )?
+        } else {
+            build_avgpool_backward(
+                &prob,
+                merge,
+                gm_grad,
+                gm_dx,
+                self.chip.caps,
+                self.double_buffer,
+            )?
+        };
         let mut image = vec![0u8; gm.size()];
         write_tensor(&mut image, gm_grad, gradients.data());
         let run = self.chip.run(&mut image, &programs)?;

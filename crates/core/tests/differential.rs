@@ -93,21 +93,51 @@ fn geometry() -> impl Strategy<Value = (PoolParams, usize, usize)> {
         })
 }
 
-fn input(c1: usize, h: usize, w: usize, seed: u64) -> Nc1hwc0 {
+fn batch_input(n: usize, c1: usize, h: usize, w: usize, seed: u64) -> Nc1hwc0 {
     let mut s = seed | 1;
-    Nc1hwc0::from_fn(1, c1, h, w, |_, _, _, _, _| {
+    Nc1hwc0::from_fn(n, c1, h, w, |_, _, _, _, _| {
         s = s.wrapping_mul(6364136223846793005).wrapping_add(99);
         F16::from_f32(((s >> 40) % 33) as f32 - 16.0)
     })
 }
 
+fn input(c1: usize, h: usize, w: usize, seed: u64) -> Nc1hwc0 {
+    batch_input(1, c1, h, w, seed)
+}
+
 /// Integer-valued gradients so every summation order is exact in fp16.
-fn grads(oh: usize, ow: usize, seed: u64) -> Nc1hwc0 {
+fn batch_grads(n: usize, c1: usize, oh: usize, ow: usize, seed: u64) -> Nc1hwc0 {
     let mut s = seed ^ 0xD1FF;
-    Nc1hwc0::from_fn(1, 1, oh, ow, |_, _, _, _, _| {
+    Nc1hwc0::from_fn(n, c1, oh, ow, |_, _, _, _, _| {
         s = s.wrapping_mul(6364136223846793005).wrapping_add(17);
         F16::from_f32(((s >> 41) % 8) as f32)
     })
+}
+
+fn grads(oh: usize, ow: usize, seed: u64) -> Nc1hwc0 {
+    batch_grads(1, 1, oh, ow, seed)
+}
+
+/// Single-core engine pairs (batch folding engages on one core), both
+/// issue models, with the UB optionally shrunk to force the fold into
+/// its capacity-fallback path.
+fn batch_engines(db: bool, tiny_ub: bool) -> Vec<(&'static str, PoolingEngine)> {
+    [
+        ("dual_pipe", CostModel::ascend910_like()),
+        ("single_issue", CostModel::single_issue()),
+    ]
+    .into_iter()
+    .map(|(name, cost)| {
+        let mut chip = Chip::new(1, cost);
+        if tiny_ub {
+            chip.caps = Capacities {
+                ub: 16384,
+                ..Capacities::ASCEND910
+            };
+        }
+        (name, PoolingEngine::new(chip).with_double_buffering(db))
+    })
+    .collect()
 }
 
 proptest! {
@@ -298,6 +328,127 @@ proptest! {
                 runs.push(run);
             }
             check_timing("banded backward", &[runs.remove(0), runs.remove(0)])?;
+        }
+    }
+
+    /// Batch folding is purely a scheduling decision: for `N > 1` the
+    /// Mode-0 Im2Col fold (engine default) must produce bit-identical
+    /// outputs to the per-plane schedule (`with_batching(false)`) and to
+    /// the golden reference — across random padded geometries, max and
+    /// avg, both issue models, double-buffering on/off, and with the UB
+    /// shrunk so the fold exercises its capacity-fallback path. When the
+    /// fold engages it must never issue *more* `Im2Col`s than per-plane.
+    #[test]
+    fn batched_forward_is_bit_identical_to_per_plane(
+        (params, ih, iw) in geometry(),
+        n in 2usize..=4,
+        c1 in 1usize..=2,
+        op in select(vec![Op::Max, Op::Avg]),
+        db in any::<bool>(),
+        tiny_ub in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(params.out_dims(ih, iw).is_ok());
+        let x = batch_input(n, c1, ih, iw, seed);
+        let want = match op {
+            Op::Max => reference::maxpool_forward(&x, &params).unwrap(),
+            Op::Avg => reference::avgpool_forward(&x, &params).unwrap(),
+        };
+        for (model, folded) in batch_engines(db, tiny_ub) {
+            let per_plane = folded.clone().with_batching(false);
+            let run = |eng: &PoolingEngine| match op {
+                Op::Max => eng.maxpool_forward(&x, params, ForwardImpl::Im2col),
+                Op::Avg => eng.avgpool_forward(&x, params, ForwardImpl::Im2col),
+            };
+            match (run(&folded), run(&per_plane)) {
+                (Ok((got_b, run_b)), Ok((got_p, run_p))) => {
+                    prop_assert_eq!(
+                        got_b.data(), got_p.data(),
+                        "{} {:?} fold diverged from per-plane (db={} tiny={}) {:?} N={} {}x{}",
+                        model, op, db, tiny_ub, params, n, ih, iw
+                    );
+                    prop_assert_eq!(
+                        got_b.data(), want.data(),
+                        "{} {:?} fold diverged from reference", model, op
+                    );
+                    prop_assert!(
+                        run_b.total.issues_of("im2col") <= run_p.total.issues_of("im2col"),
+                        "{} {:?}: fold issued more im2cols ({} > {})",
+                        model, op,
+                        run_b.total.issues_of("im2col"), run_p.total.issues_of("im2col")
+                    );
+                }
+                // The fold can rescue shapes the per-plane plan rejects
+                // (N accumulators can be smaller than Kh*Kw+1 planes);
+                // the reverse must never happen.
+                (Ok((got_b, _)), Err(_)) => {
+                    prop_assert_eq!(got_b.data(), want.data());
+                }
+                (Err(_), Err(_)) => {} // e.g. padded multi-band on the tiny UB
+                (Err(e), Ok(_)) => prop_assert!(
+                    false,
+                    "{}: fold errored where per-plane succeeds: {} (db={} tiny={})",
+                    model, e, db, tiny_ub
+                ),
+            }
+        }
+    }
+
+    /// The argmax-mask fold and both backward consolidations are
+    /// bit-identical to the per-plane schedule and the reference for
+    /// `N > 1`, in both issue models, double-buffering on/off.
+    #[test]
+    fn batched_argmax_and_backward_match_per_plane(
+        (params, ih, iw) in geometry(),
+        n in 2usize..=4,
+        op in select(vec![Op::Max, Op::Avg]),
+        db in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(params.out_dims(ih, iw).is_ok());
+        let x = batch_input(n, 1, ih, iw, seed);
+        let (oh, ow) = params.out_dims(ih, iw).unwrap();
+        let dy = batch_grads(n, 1, oh, ow, seed);
+        let mask = reference::maxpool_argmax_mask(&x, &params).unwrap();
+        for (model, folded) in batch_engines(db, false) {
+            let per_plane = folded.clone().with_batching(false);
+
+            if op == Op::Max {
+                let (out_b, mask_b, _) = folded
+                    .maxpool_forward_with_argmax(&x, params, ForwardImpl::Im2col)
+                    .unwrap();
+                let (out_p, mask_p, _) = per_plane
+                    .maxpool_forward_with_argmax(&x, params, ForwardImpl::Im2col)
+                    .unwrap();
+                prop_assert_eq!(
+                    out_b.data(), out_p.data(),
+                    "{} argmax fold output diverged (db={}) {:?} N={}", model, db, params, n
+                );
+                prop_assert_eq!(
+                    mask_b.data(), mask_p.data(),
+                    "{} argmax fold mask diverged (db={}) {:?} N={}", model, db, params, n
+                );
+                prop_assert_eq!(mask_b.data(), mask.data(), "{} mask vs reference", model);
+            }
+
+            let want = match op {
+                Op::Max => reference::maxpool_backward(&mask, &dy, &params, ih, iw).unwrap(),
+                Op::Avg => reference::avgpool_backward(&dy, &params, ih, iw).unwrap(),
+            };
+            for merge in [MergeImpl::VAdd, MergeImpl::Col2Im] {
+                let run = |eng: &PoolingEngine| match op {
+                    Op::Max => eng.maxpool_backward(&mask, &dy, params, ih, iw, merge),
+                    Op::Avg => eng.avgpool_backward(&dy, params, ih, iw, merge),
+                };
+                let (dx_b, _) = run(&folded).unwrap();
+                let (dx_p, _) = run(&per_plane).unwrap();
+                prop_assert_eq!(
+                    dx_b.data(), dx_p.data(),
+                    "{} {:?} bwd consolidation diverged {:?} (db={}) N={}",
+                    model, op, merge, db, n
+                );
+                prop_assert_eq!(dx_b.data(), want.data(), "{} {:?} bwd vs reference", model, op);
+            }
         }
     }
 

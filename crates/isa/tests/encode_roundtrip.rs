@@ -6,7 +6,7 @@ use dv_isa::{
     Addr, BufferId, Col2Im, CubeMatmul, DataMove, Im2Col, Im2ColGeometry, Instr, Mask, Program,
     RepeatMode, VectorInstr, VectorOp,
 };
-use dv_tensor::PoolParams;
+use dv_tensor::{PoolParams, FRACTAL_ROWS};
 use proptest::prelude::*;
 
 fn arb_vector() -> impl Strategy<Value = Instr> {
@@ -48,41 +48,59 @@ fn arb_vector() -> impl Strategy<Value = Instr> {
 
 fn arb_scu() -> impl Strategy<Value = Instr> {
     (
-        1usize..=3,
-        1usize..=3,
-        1usize..=3,
-        1usize..=3,
-        6usize..=16,
-        6usize..=16,
-        1usize..=2,
-        any::<bool>(),
+        (1usize..=3, 1usize..=3, 1usize..=3, 1usize..=3),
+        (6usize..=20, 6usize..=20, 1usize..=4),
+        (any::<u16>(), any::<u16>(), any::<u16>(), any::<u16>()),
+        0u8..=2, // 0 = col2im, 1 = im2col mode 1, 2 = im2col mode 0
     )
         .prop_filter_map(
             "valid geometry",
-            |(kh, kw, sh, sw, ih, iw, c1_len, col2im)| {
+            |((kh, kw, sh, sw), (ih, iw, c1_len), (r0, r1, r2, r3), kind)| {
                 let params = PoolParams::new((kh, kw), (sh, sw));
                 let geom = Im2ColGeometry::new(ih, iw, c1_len, params).ok()?;
-                if col2im {
-                    Some(Instr::Col2Im(Col2Im {
+                // Random in-bounds position; repeat spans the whole legal
+                // range, so multi-repeat Mode-0 chains (the batched-fold
+                // instruction shape) round-trip too.
+                let c1 = r0 as usize % c1_len;
+                let k_off = ((r1 as usize / kw) % kh, r1 as usize % kw);
+                let first_patch = r2 as usize % geom.patch_count();
+                let mode1_avail = (geom.patch_count() - first_patch)
+                    .div_ceil(FRACTAL_ROWS)
+                    .min(255);
+                match kind {
+                    0 => Some(Instr::Col2Im(Col2Im {
                         geom,
                         src: Addr::ub(0),
                         dst: Addr::ub(8192),
-                        first_patch: 0,
-                        k_off: (kh - 1, 0),
-                        c1: c1_len - 1,
-                        repeat: 1,
-                    }))
-                } else {
-                    Some(Instr::Im2Col(Im2Col {
+                        first_patch,
+                        k_off,
+                        c1,
+                        repeat: (1 + r3 as usize % mode1_avail) as u16,
+                    })),
+                    1 => Some(Instr::Im2Col(Im2Col {
                         geom,
                         src: Addr::l1(0),
                         dst: Addr::ub(0),
-                        first_patch: 0,
-                        k_off: (0, kw - 1),
-                        c1: 0,
-                        repeat: 1,
+                        first_patch,
+                        k_off,
+                        c1,
+                        repeat: (1 + r3 as usize % mode1_avail) as u16,
                         mode: RepeatMode::Mode1,
-                    }))
+                    })),
+                    _ => {
+                        let start = c1 * kh * kw + k_off.0 * kw + k_off.1;
+                        let avail = (c1_len * kh * kw - start).min(255);
+                        Some(Instr::Im2Col(Im2Col {
+                            geom,
+                            src: Addr::l1(0),
+                            dst: Addr::ub(0),
+                            first_patch,
+                            k_off,
+                            c1,
+                            repeat: (1 + r3 as usize % avail) as u16,
+                            mode: RepeatMode::Mode0,
+                        }))
+                    }
                 }
             },
         )

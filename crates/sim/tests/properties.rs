@@ -349,3 +349,132 @@ fn fractal_constants_hold() {
     assert_eq!(FRACTAL_BYTES, 512);
     assert_eq!(FRACTAL_ROWS * C0 * 2, FRACTAL_BYTES);
 }
+
+/// One Mode-0 chain at repeat = 252 (just under the 255 limit) walking 28
+/// source planes — the instruction shape the batched N>1 fold emits, with
+/// the batch staged as consecutive `c1` planes. Every produced fractal
+/// must equal the golden im2col of the plane the odometer says it came
+/// from.
+#[test]
+fn long_mode0_chain_over_many_planes_matches_reference() {
+    let params = PoolParams::K3S2;
+    let (ih, iw, planes) = (10usize, 10, 28);
+    let geom = Im2ColGeometry::new(ih, iw, planes, params).unwrap();
+    let (oh, ow) = geom.out_dims();
+    assert_eq!(oh * ow, FRACTAL_ROWS, "one fractal per (c1, xk, yk)");
+    let kk = params.kh * params.kw;
+    let repeat = planes * kk;
+    assert_eq!(repeat, 252);
+
+    // N=28 planes contiguous in L1 at src_plane_bytes stride — exactly
+    // how the batched lowering stages a batch.
+    let input = Nc1hwc0::from_fn(planes, 1, ih, iw, |n, _, h, w, c0| {
+        F16::from_f32(((n * 41 + h * 13 + w * 5 + c0) % 127) as f32 - 63.0)
+    });
+    let mut core = core();
+    core.buffers_mut()
+        .load_f16_slice(BufferId::L1, 0, input.data())
+        .unwrap();
+
+    let mut p = dv_isa::Program::new();
+    p.push(Instr::Im2Col(Im2Col {
+        geom,
+        src: Addr::l1(0),
+        dst: Addr::ub(0),
+        first_patch: 0,
+        k_off: (0, 0),
+        c1: 0,
+        repeat: repeat as u16,
+        mode: RepeatMode::Mode0,
+    }))
+    .unwrap();
+    core.run(&p).unwrap();
+
+    let golden = im2col_fractal(&input, &params).unwrap();
+    for frac in 0..repeat {
+        let (c1, rem) = (frac / kk, frac % kk);
+        let (xk, yk) = (rem / params.kw, rem % params.kw);
+        for patch in 0..oh * ow {
+            for c0 in 0..C0 {
+                let got = core
+                    .buffers()
+                    .read_f16(BufferId::Ub, frac * FRACTAL_BYTES + (patch * C0 + c0) * 2)
+                    .unwrap();
+                let want = golden.get(c1, 0, xk, yk, patch / ow, patch % ow, c0);
+                assert_eq!(got, want, "fractal {frac} (c1={c1} k=({xk},{yk})) patch {patch}");
+            }
+        }
+    }
+    // One issue, charged per produced fractal — the instruction-count win
+    // the fold banks on.
+    let ctr = core.counters();
+    assert_eq!(ctr.issues_of("im2col"), 1);
+    assert_eq!(
+        ctr.cycles,
+        CostModel::ascend910_like().issue_overhead
+            + repeat as u64 * CostModel::ascend910_like().im2col_per_fractal
+    );
+}
+
+/// A Mode-0 chain resumed mid-walk (nonzero `c1` and kernel offset, a
+/// tail fractal past the patch grid): the split-at-255 continuation case.
+/// Real patch rows must match the golden im2col; rows past the grid must
+/// be zero-filled.
+#[test]
+fn mode0_chain_resumed_mid_walk_with_tail_fractal() {
+    let params = PoolParams::K3S2;
+    let (ih, iw, planes) = (11usize, 11, 4);
+    let geom = Im2ColGeometry::new(ih, iw, planes, params).unwrap();
+    let (oh, ow) = geom.out_dims();
+    assert_eq!(oh * ow, 25, "25 patches: second fractal has a 9-row tail");
+    let kk = params.kh * params.kw;
+
+    let input = Nc1hwc0::from_fn(planes, 1, ih, iw, |n, _, h, w, c0| {
+        F16::from_f32(((n * 17 + h * 7 + w * 3 + c0) % 97) as f32 * 0.25)
+    });
+    let mut core = core();
+    core.buffers_mut()
+        .load_f16_slice(BufferId::L1, 0, input.data())
+        .unwrap();
+
+    // Resume exactly where a 255-capped chunk would have stopped: flat
+    // position 14 = (c1=1, xk=1, yk=2), second fractal (first_patch=16).
+    let (start_c1, start_k) = (1usize, (1usize, 2));
+    let start_flat = start_c1 * kk + start_k.0 * params.kw + start_k.1;
+    let repeat = planes * kk - start_flat;
+    let mut p = dv_isa::Program::new();
+    p.push(Instr::Im2Col(Im2Col {
+        geom,
+        src: Addr::l1(0),
+        dst: Addr::ub(0),
+        first_patch: 16,
+        k_off: start_k,
+        c1: start_c1,
+        repeat: repeat as u16,
+        mode: RepeatMode::Mode0,
+    }))
+    .unwrap();
+    core.run(&p).unwrap();
+
+    let golden = im2col_fractal(&input, &params).unwrap();
+    for frac in 0..repeat {
+        let flat = start_flat + frac;
+        let (c1, rem) = (flat / kk, flat % kk);
+        let (xk, yk) = (rem / params.kw, rem % params.kw);
+        for row in 0..FRACTAL_ROWS {
+            let patch = 16 + row;
+            for c0 in 0..C0 {
+                let got = core
+                    .buffers()
+                    .read_f16(BufferId::Ub, frac * FRACTAL_BYTES + (row * C0 + c0) * 2)
+                    .unwrap();
+                let want = if patch < oh * ow {
+                    golden.get(c1, 0, xk, yk, patch / ow, patch % ow, c0)
+                } else {
+                    F16::ZERO // past-the-grid slots zero-fill
+                };
+                assert_eq!(got, want, "fractal {frac} row {row} c0 {c0}");
+            }
+        }
+    }
+}

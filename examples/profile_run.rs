@@ -3,20 +3,54 @@
 //! the workflow described in README § "Profiling a run".
 //!
 //! ```sh
-//! cargo run --release --example profile_run
+//! cargo run --release --example profile_run            # N = 1, per-plane
+//! cargo run --release --example profile_run -- --batch 4
 //! ```
+//!
+//! With `--batch N` (N > 1) the engine's batch fold kicks in: compare
+//! the `im2col` issue count in the breakdown against an N = 1 run
+//! scaled by N to see the Mode-0 repeat chains amortise issue overhead
+//! across the batch.
 
 use davinci_pooling::prelude::*;
 use davinci_pooling::sim::TraceConfig;
 
+fn parse_batch() -> Result<usize, String> {
+    let mut args = std::env::args().skip(1);
+    let mut batch = 1usize;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--batch" => {
+                let v = args.next().ok_or("--batch needs a value")?;
+                batch = v
+                    .parse()
+                    .map_err(|_| format!("invalid --batch value: {v}"))?;
+                if batch == 0 {
+                    return Err("--batch must be >= 1".into());
+                }
+            }
+            other => return Err(format!("unknown argument: {other} (try --batch N)")),
+        }
+    }
+    Ok(batch)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let batch = parse_batch()?;
     // Fig. 7's middle InceptionV3 shape: 71x71, 192 channels, K3S2.
-    let input = Nchw::from_fn(1, 192, 71, 71, |_, c, h, w| {
-        F16::from_f32(((c + 3 * h + 7 * w) % 11) as f32)
+    let input = Nchw::from_fn(batch, 192, 71, 71, |n, c, h, w| {
+        F16::from_f32(((n + c + 3 * h + 7 * w) % 11) as f32)
     })
     .to_nc1hwc0();
 
-    let engine = PoolingEngine::ascend910().with_trace(TraceConfig::ON);
+    // Profile one AI core under a 64 KiB UB budget (the perf gate's
+    // batched configuration): the plane band-splits, so the trace shows
+    // the double-buffered software pipelines — and with --batch N the
+    // Mode-0 batch fold engages (on the full 32-core chip it declines,
+    // preferring one plane per core).
+    let mut chip = Chip::new(1, CostModel::ascend910_like());
+    chip.caps.ub = 64 * 1024;
+    let engine = PoolingEngine::new(chip).with_trace(TraceConfig::ON);
     let (_, run) = engine.maxpool_forward(&input, PoolParams::K3S2, ForwardImpl::Im2col)?;
 
     let path = "pool.trace.json";
