@@ -18,7 +18,7 @@ pub mod arena;
 pub mod emit;
 pub mod tiling;
 
-pub use arena::{BandSlots, GmArena, UbArena, UbOverflow};
+pub use arena::{BandMode, BandSlots, GmArena, UbArena, UbOverflow};
 pub use emit::{
     dma, elementwise, expect_vector, fill_region, strided_accumulate, zero_region, EmitError,
 };

@@ -411,11 +411,17 @@ mod tests {
         // Padded multi-band failure keeps its typed cause.
         let padded = PoolParams::with_padding((3, 3), (2, 2), dv_tensor::Padding::uniform(1));
         let err = row_bands_batched(4, &padded, 8, 4, 15).unwrap_err();
-        assert_eq!(err.root_cause(), &TilingError::PaddedMultiBand { oh: 8, boh: 4 });
+        assert_eq!(
+            err.root_cause(),
+            &TilingError::PaddedMultiBand { oh: 8, boh: 4 }
+        );
         // Success passes through untouched.
         let bands = row_bands_batched(4, &K3S2, 73, 10, 147).unwrap();
         assert_eq!(bands, row_bands(&K3S2, 73, 10, 147).unwrap());
-        assert_eq!(max_row_band_batched(4, 50, 4000, |boh| 4 * boh * 100).unwrap(), 10);
+        assert_eq!(
+            max_row_band_batched(4, 50, 4000, |boh| 4 * boh * 100).unwrap(),
+            10
+        );
     }
 
     #[test]

@@ -24,6 +24,13 @@
 //! silently grows scratchpad footprints fails the gate alongside cycle
 //! regressions.
 //!
+//! The `*_norename` columns rerun the default (double-buffered)
+//! schedule under [`CostModel::dual_pipe_no_rename`] — the scoreboard
+//! never rotates scratchpad slots and the planner falls back to the
+//! pre-renaming single/ping-pong band layouts. [`collect`] asserts on
+//! every row that the renamed makespan never exceeds this control's;
+//! the per-row `rename_gain` in the JSON is what renaming buys.
+//!
 //! When a cost-model or lowering change moves cycles *intentionally*,
 //! regenerate the baseline with
 //! `cargo run --release -p dv-bench --bin repro -- gate` and commit the
@@ -78,6 +85,14 @@ pub struct Metric {
     pub ub_peak_db: u64,
     /// Peak L1 occupancy of the double-buffered runs.
     pub l1_peak_db: u64,
+    /// Dual-pipe cycles of the standard implementation with scratchpad
+    /// renaming disabled ([`CostModel::dual_pipe_no_rename`]) but
+    /// otherwise default scheduling — the no-rename control for
+    /// `standard_cycles_db`. The gate asserts the renamed column never
+    /// exceeds this one on any row.
+    pub standard_cycles_norename: u64,
+    /// No-rename control for `accelerated_cycles_db`.
+    pub accelerated_cycles_norename: u64,
 }
 
 impl Metric {
@@ -96,6 +111,13 @@ impl Metric {
     pub fn speedup_db(&self) -> f64 {
         self.standard_cycles_db as f64 / self.accelerated_cycles_db as f64
     }
+
+    /// What scratchpad renaming buys on the accelerated implementation:
+    /// the no-rename control's cycles over the renamed cycles (1.0 =
+    /// renaming changed nothing; >1.0 = renaming is a measured win).
+    pub fn rename_gain(&self) -> f64 {
+        self.accelerated_cycles_norename as f64 / self.accelerated_cycles_db as f64
+    }
 }
 
 /// The serial (single-issue) chip cycles of a run that may have executed
@@ -113,7 +135,15 @@ pub fn single_issue_cycles(run: &ChipRun) -> u64 {
         .unwrap_or(0)
 }
 
-fn metric(key: String, std: &ChipRun, acc: &ChipRun, std_db: &ChipRun, acc_db: &ChipRun) -> Metric {
+fn metric(
+    key: String,
+    std: &ChipRun,
+    acc: &ChipRun,
+    std_db: &ChipRun,
+    acc_db: &ChipRun,
+    std_nr: &ChipRun,
+    acc_nr: &ChipRun,
+) -> Metric {
     let m = Metric {
         key,
         standard_cycles: std.cycles,
@@ -132,6 +162,8 @@ fn metric(key: String, std: &ChipRun, acc: &ChipRun, std_db: &ChipRun, acc_db: &
             .peaks
             .of(BufferId::L1)
             .max(acc_db.peaks.of(BufferId::L1)) as u64,
+        standard_cycles_norename: std_nr.cycles,
+        accelerated_cycles_norename: acc_nr.cycles,
     };
     // The ping-pong layout may double the band-cycled regions but never
     // more: the planner sizes bands so 2x the footprint fits.
@@ -144,6 +176,22 @@ fn metric(key: String, std: &ChipRun, acc: &ChipRun, std_db: &ChipRun, acc_db: &
         m.ub_peak,
         m.l1_peak_db,
         m.l1_peak
+    );
+    // Renaming's makespan contract, enforced on every tracked row: the
+    // cost-aware planner only schedules a versioned layout when its
+    // overlap model says it wins, and scoreboard renaming on an
+    // unchanged program can only relax waits — so the renamed makespan
+    // never exceeds the no-rename control's.
+    assert!(
+        m.standard_cycles_db <= m.standard_cycles_norename
+            && m.accelerated_cycles_db <= m.accelerated_cycles_norename,
+        "{}: renaming may never cost dual-pipe cycles \
+         (standard {} vs no-rename {}, accelerated {} vs no-rename {})",
+        m.key,
+        m.standard_cycles_db,
+        m.standard_cycles_norename,
+        m.accelerated_cycles_db,
+        m.accelerated_cycles_norename
     );
     m
 }
@@ -165,6 +213,13 @@ pub fn collect() -> Vec<Metric> {
     // double-buffered row-band prefetch and must be bit-identical.
     let eng = PoolingEngine::ascend910().with_double_buffering(false);
     let eng_db = PoolingEngine::ascend910();
+    // No-rename control: the same 32-core chip under
+    // `CostModel::dual_pipe_no_rename()` with default scheduling — the
+    // scoreboard never rotates slots and the planner (which derives its
+    // rotation decision from the cost model) falls back to the
+    // single/ping-pong band layouts, i.e. exactly the pre-renaming
+    // schedule. The `*_norename` columns measure what renaming buys.
+    let eng_nr = PoolingEngine::new(Chip::new(32, CostModel::dual_pipe_no_rename()));
 
     for w in fig7_workloads() {
         let shape = format!("{}x{}x{}", w.h, w.w, w.c);
@@ -183,15 +238,25 @@ pub fn collect() -> Vec<Metric> {
         let (o_ad, acc_db) = eng_db
             .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
             .expect("fig7a im2col db");
+        let (o_sn, std_nr) = eng_nr
+            .maxpool_forward(&input, w.params, ForwardImpl::Standard)
+            .expect("fig7a standard no-rename");
+        let (o_an, acc_nr) = eng_nr
+            .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("fig7a im2col no-rename");
         assert_eq!(o_s.data(), o_a.data(), "fig7a implementations disagree");
         assert_eq!(o_s.data(), o_sd.data(), "fig7a db changed standard output");
         assert_eq!(o_a.data(), o_ad.data(), "fig7a db changed im2col output");
+        assert_eq!(o_s.data(), o_sn.data(), "fig7a no-rename changed standard");
+        assert_eq!(o_a.data(), o_an.data(), "fig7a no-rename changed im2col");
         out.push(metric(
             format!("fig7a/{shape}"),
             &std,
             &acc,
             &std_db,
             &acc_db,
+            &std_nr,
+            &acc_nr,
         ));
 
         // Fig. 7b — forward with the argmax mask.
@@ -208,8 +273,24 @@ pub fn collect() -> Vec<Metric> {
         let (o_ad, m_ad, acc_db) = eng_db
             .maxpool_forward_with_argmax(&input, w.params, ForwardImpl::Im2col)
             .expect("fig7b im2col db");
+        let (o_sn, m_sn, std_nr) = eng_nr
+            .maxpool_forward_with_argmax(&input, w.params, ForwardImpl::Standard)
+            .expect("fig7b standard no-rename");
+        let (o_an, m_an, acc_nr) = eng_nr
+            .maxpool_forward_with_argmax(&input, w.params, ForwardImpl::Im2col)
+            .expect("fig7b im2col no-rename");
         assert_eq!(o_s.data(), o_a.data(), "fig7b implementations disagree");
         assert_eq!(m_s.data(), m_a.data(), "fig7b masks disagree");
+        assert_eq!(
+            (o_sn.data(), m_sn.data()),
+            (o_s.data(), m_s.data()),
+            "fig7b no-rename changed standard output"
+        );
+        assert_eq!(
+            (o_an.data(), m_an.data()),
+            (o_a.data(), m_a.data()),
+            "fig7b no-rename changed im2col output"
+        );
         assert_eq!(
             (o_sd.data(), m_sd.data()),
             (o_s.data(), m_s.data()),
@@ -226,6 +307,8 @@ pub fn collect() -> Vec<Metric> {
             &acc,
             &std_db,
             &acc_db,
+            &std_nr,
+            &acc_nr,
         ));
 
         // Fig. 7c — backward.
@@ -245,15 +328,25 @@ pub fn collect() -> Vec<Metric> {
         let (dx_ad, acc_db) = eng_db
             .maxpool_backward(&mask, &grads, w.params, w.h, w.w, MergeImpl::Col2Im)
             .expect("fig7c col2im db");
+        let (dx_sn, std_nr) = eng_nr
+            .maxpool_backward(&mask, &grads, w.params, w.h, w.w, MergeImpl::VAdd)
+            .expect("fig7c vadd no-rename");
+        let (dx_an, acc_nr) = eng_nr
+            .maxpool_backward(&mask, &grads, w.params, w.h, w.w, MergeImpl::Col2Im)
+            .expect("fig7c col2im no-rename");
         assert_eq!(dx_s.data(), dx_a.data(), "fig7c merges disagree");
         assert_eq!(dx_s.data(), dx_sd.data(), "fig7c db changed vadd output");
         assert_eq!(dx_a.data(), dx_ad.data(), "fig7c db changed col2im output");
+        assert_eq!(dx_s.data(), dx_sn.data(), "fig7c no-rename changed vadd");
+        assert_eq!(dx_a.data(), dx_an.data(), "fig7c no-rename changed col2im");
         out.push(metric(
             format!("fig7c/{shape}"),
             &std,
             &acc,
             &std_db,
             &acc_db,
+            &std_nr,
+            &acc_nr,
         ));
     }
 
@@ -266,10 +359,14 @@ pub fn collect() -> Vec<Metric> {
     // isolates exactly what the fold buys.
     let mut chip = Chip::new(1, CostModel::ascend910_like());
     chip.caps.ub = 64 * 1024;
+    let mut chip_nr = Chip::new(1, CostModel::dual_pipe_no_rename());
+    chip_nr.caps.ub = 64 * 1024;
     let bat = PoolingEngine::new(chip.clone()).with_double_buffering(false);
     let per = bat.clone().with_batching(false);
     let bat_db = PoolingEngine::new(chip);
     let per_db = bat_db.clone().with_batching(false);
+    let bat_nr = PoolingEngine::new(chip_nr);
+    let per_nr = bat_nr.clone().with_batching(false);
     for w in fig7_workloads() {
         let shape = format!("{}x{}x{}", w.h, w.w, w.c);
         let input = feature_map(4, w.c, w.h, w.w, 76);
@@ -285,9 +382,21 @@ pub fn collect() -> Vec<Metric> {
         let (o_bd, acc_db) = bat_db
             .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
             .expect("fig7n4 batched db");
+        let (o_pn, std_nr) = per_nr
+            .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("fig7n4 per-plane no-rename");
+        let (o_bn, acc_nr) = bat_nr
+            .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("fig7n4 batched no-rename");
         assert_eq!(o_p.data(), o_b.data(), "fig7n4 fold changed the output");
         assert_eq!(o_p.data(), o_pd.data(), "fig7n4 db changed per-plane");
         assert_eq!(o_b.data(), o_bd.data(), "fig7n4 db changed batched");
+        assert_eq!(
+            o_p.data(),
+            o_pn.data(),
+            "fig7n4 no-rename changed per-plane"
+        );
+        assert_eq!(o_b.data(), o_bn.data(), "fig7n4 no-rename changed batched");
         // The fold's whole claim: strictly fewer Im2Col issues than N
         // per-plane passes, at no dual-pipe cycle cost. Cycles are held
         // on the double-buffered schedules (the engine default): those
@@ -295,10 +404,7 @@ pub fn collect() -> Vec<Metric> {
         // L1 region serialises next-band staging against the current
         // band's Im2Cols and the single-program-per-c1 fold cannot hide
         // band boundaries the way 4-programs-per-c1 per-plane can.
-        let (ib, ip) = (
-            acc.total.issues_of("im2col"),
-            std.total.issues_of("im2col"),
-        );
+        let (ib, ip) = (acc.total.issues_of("im2col"), std.total.issues_of("im2col"));
         assert!(
             ib < ip,
             "fig7n4/{shape}: batched fold must issue strictly fewer Im2Cols \
@@ -317,6 +423,8 @@ pub fn collect() -> Vec<Metric> {
             &acc,
             &std_db,
             &acc_db,
+            &std_nr,
+            &acc_nr,
         ));
     }
 
@@ -326,6 +434,7 @@ pub fn collect() -> Vec<Metric> {
         let eng1 = PoolingEngine::new(Chip::new(1, CostModel::ascend910_like()))
             .with_double_buffering(false);
         let eng1_db = PoolingEngine::new(Chip::new(1, CostModel::ascend910_like()));
+        let eng1_nr = PoolingEngine::new(Chip::new(1, CostModel::dual_pipe_no_rename()));
         let threshold = [ForwardImpl::Standard, ForwardImpl::Im2col]
             .iter()
             .map(|i| tiling_threshold(&params, *i, eng1.chip.caps))
@@ -348,15 +457,25 @@ pub fn collect() -> Vec<Metric> {
             let (o_ad, acc_db) = eng1_db
                 .maxpool_forward(&input, params, ForwardImpl::Im2col)
                 .expect("fig8 im2col db");
+            let (o_sn, std_nr) = eng1_nr
+                .maxpool_forward(&input, params, ForwardImpl::Standard)
+                .expect("fig8 standard no-rename");
+            let (o_an, acc_nr) = eng1_nr
+                .maxpool_forward(&input, params, ForwardImpl::Im2col)
+                .expect("fig8 im2col no-rename");
             assert_eq!(o_s.data(), o_a.data(), "fig8 implementations disagree");
             assert_eq!(o_s.data(), o_sd.data(), "fig8 db changed standard output");
             assert_eq!(o_a.data(), o_ad.data(), "fig8 db changed im2col output");
+            assert_eq!(o_s.data(), o_sn.data(), "fig8 no-rename changed standard");
+            assert_eq!(o_a.data(), o_an.data(), "fig8 no-rename changed im2col");
             out.push(metric(
                 format!("fig8s{stride}/{hw}x{hw}"),
                 &std,
                 &acc,
                 &std_db,
                 &acc_db,
+                &std_nr,
+                &acc_nr,
             ));
         }
     }
@@ -382,15 +501,25 @@ pub fn collect() -> Vec<Metric> {
         let (o_ad, acc_db) = eng_db
             .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
             .expect("table1 im2col db");
+        let (o_sn, std_nr) = eng_nr
+            .maxpool_forward(&input, w.params, ForwardImpl::Standard)
+            .expect("table1 standard no-rename");
+        let (o_an, acc_nr) = eng_nr
+            .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("table1 im2col no-rename");
         assert_eq!(o_s.data(), o_a.data(), "table1 implementations disagree");
         assert_eq!(o_s.data(), o_sd.data(), "table1 db changed standard output");
         assert_eq!(o_a.data(), o_ad.data(), "table1 db changed im2col output");
+        assert_eq!(o_s.data(), o_sn.data(), "table1 no-rename changed standard");
+        assert_eq!(o_a.data(), o_an.data(), "table1 no-rename changed im2col");
         out.push(metric(
             format!("table1/{}-{}/{shape}", w.cnn, w.input_idx),
             &std,
             &acc,
             &std_db,
             &acc_db,
+            &std_nr,
+            &acc_nr,
         ));
     }
 
@@ -415,7 +544,9 @@ pub fn to_json(metrics: &[Metric], baseline: Option<&[Metric]>) -> String {
              \"speedup\": {:.4}, \"standard_cycles_single\": {}, \
              \"accelerated_cycles_single\": {}, \"speedup_single\": {:.4}, \
              \"standard_cycles_db\": {}, \"accelerated_cycles_db\": {}, \
-             \"speedup_db\": {:.4}, \"ub_peak\": {}, \"l1_peak\": {}, \
+             \"speedup_db\": {:.4}, \"standard_cycles_norename\": {}, \
+             \"accelerated_cycles_norename\": {}, \"rename_gain\": {:.4}, \
+             \"ub_peak\": {}, \"l1_peak\": {}, \
              \"ub_peak_db\": {}, \"l1_peak_db\": {}",
             m.key,
             m.standard_cycles,
@@ -427,6 +558,9 @@ pub fn to_json(metrics: &[Metric], baseline: Option<&[Metric]>) -> String {
             m.standard_cycles_db,
             m.accelerated_cycles_db,
             m.speedup_db(),
+            m.standard_cycles_norename,
+            m.accelerated_cycles_norename,
+            m.rename_gain(),
             m.ub_peak,
             m.l1_peak,
             m.ub_peak_db,
@@ -464,6 +598,11 @@ pub fn parse_metrics(doc: &str) -> Result<Vec<Metric>, String> {
             .and_then(|c| c.as_u64())
             .ok_or(format!("metric missing \"{name}\""))
     };
+    // Columns added after a baseline was committed parse as 0 so the
+    // gate can regenerate across a schema change; `compare` treats a
+    // zero baseline as "new ceiling", not a regression.
+    let optional =
+        |m: &json::Value, name: &'static str| m.get(name).and_then(|c| c.as_u64()).unwrap_or(0);
     arr.iter()
         .map(|m| {
             Ok(Metric {
@@ -482,6 +621,8 @@ pub fn parse_metrics(doc: &str) -> Result<Vec<Metric>, String> {
                 l1_peak: field(m, "l1_peak")?,
                 ub_peak_db: field(m, "ub_peak_db")?,
                 l1_peak_db: field(m, "l1_peak_db")?,
+                standard_cycles_norename: optional(m, "standard_cycles_norename"),
+                accelerated_cycles_norename: optional(m, "accelerated_cycles_norename"),
             })
         })
         .collect::<Result<Vec<_>, String>>()
@@ -521,6 +662,16 @@ pub fn compare(current: &[Metric], baseline: &[Metric], tolerance: f64) -> Vec<S
                 "accelerated double-buffered",
                 c.accelerated_cycles_db,
                 b.accelerated_cycles_db,
+            ),
+            (
+                "standard no-rename",
+                c.standard_cycles_norename,
+                b.standard_cycles_norename,
+            ),
+            (
+                "accelerated no-rename",
+                c.accelerated_cycles_norename,
+                b.accelerated_cycles_norename,
             ),
             ("UB peak", c.ub_peak, b.ub_peak),
             ("L1 peak", c.l1_peak, b.l1_peak),
@@ -574,6 +725,8 @@ mod tests {
             l1_peak: 0,
             ub_peak_db: 8192,
             l1_peak_db: 0,
+            standard_cycles_norename: s,
+            accelerated_cycles_norename: a,
         }
     }
 
@@ -583,7 +736,18 @@ mod tests {
         let doc = to_json(&ms, None);
         assert_eq!(parse_metrics(&doc).unwrap(), ms);
         assert!(doc.contains("\"speedup_single\""));
+        assert!(doc.contains("\"rename_gain\""));
         assert!(doc.contains("\"ub_peak\": 4096"));
+        // A pre-renaming baseline (no norename columns) still parses —
+        // the missing columns come back as 0 and compare() skips them.
+        let legacy = doc
+            .replace(", \"standard_cycles_norename\": 1000", "")
+            .replace(", \"standard_cycles_norename\": 77", "")
+            .replace(", \"accelerated_cycles_norename\": 250", "")
+            .replace(", \"accelerated_cycles_norename\": 33", "");
+        let parsed = parse_metrics(&legacy).unwrap();
+        assert_eq!(parsed[0].standard_cycles_norename, 0);
+        assert!(compare(&ms, &parsed, TOLERANCE).is_empty());
         // with-baseline rendering stays parseable
         let doc2 = to_json(&ms, Some(&ms));
         assert!(doc2.contains("\"vs_baseline_standard\": 1.0000"));
@@ -601,6 +765,7 @@ mod tests {
         slow[0].standard_cycles_single = 1500;
         slow[0].accelerated_cycles_single = 150;
         slow[0].accelerated_cycles_db = 90;
+        slow[0].accelerated_cycles_norename = 100;
         let regs = compare(&slow, &base, TOLERANCE);
         assert_eq!(regs.len(), 1);
         assert!(regs[0].contains("a (accelerated)"));
@@ -654,6 +819,26 @@ mod tests {
                 "{}: dual-pipe cannot be slower than serial",
                 m.key
             );
+            // The renaming columns are tracked on every row, and the
+            // committed numbers already honour the makespan contract.
+            assert!(
+                m.standard_cycles_norename > 0 && m.accelerated_cycles_norename > 0,
+                "{}: no-rename control must be tracked",
+                m.key
+            );
+            assert!(
+                m.standard_cycles_db <= m.standard_cycles_norename
+                    && m.accelerated_cycles_db <= m.accelerated_cycles_norename,
+                "{}: committed baseline shows renaming costing cycles",
+                m.key
+            );
         }
+        // The tentpole's measured flip: at least one tracked row where
+        // the cost-aware planner turned a formerly hardcoded decline
+        // into a strict renaming win.
+        assert!(
+            base.iter().any(|m| m.rename_gain() > 1.0),
+            "baseline records no strict renaming win on any tracked row"
+        );
     }
 }

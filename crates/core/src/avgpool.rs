@@ -13,6 +13,7 @@ use crate::maxpool::{
     build_backward, build_backward_batched, build_forward_batched, BackwardSource, Reduction,
 };
 use crate::problem::{ForwardImpl, LowerError, MergeImpl, PoolProblem};
+use crate::schedule::Schedule;
 use dv_fp16::F16;
 use dv_isa::Program;
 use dv_sim::Capacities;
@@ -32,11 +33,11 @@ pub fn build_avgpool_forward(
     gm_out: usize,
     caps: Capacities,
 ) -> Result<Vec<Program>, LowerError> {
-    build_avgpool_forward_parallel(prob, impl_, gm_in, gm_out, caps, 1, true)
+    build_avgpool_forward_parallel(prob, impl_, gm_in, gm_out, caps, 1, Schedule::default())
 }
 
 /// Like [`build_avgpool_forward`] with band-level parallel splitting over
-/// up to `parallel` programs and double-buffering control (see
+/// up to `parallel` programs and overlap-schedule control (see
 /// [`crate::maxpool::build_forward_parallel`]).
 #[allow(clippy::too_many_arguments)]
 pub fn build_avgpool_forward_parallel(
@@ -46,7 +47,7 @@ pub fn build_avgpool_forward_parallel(
     gm_out: usize,
     caps: Capacities,
     parallel: usize,
-    double: bool,
+    sched: Schedule,
 ) -> Result<Vec<Program>, LowerError> {
     if impl_ == ForwardImpl::XYSplit {
         // The split reduction re-associates the f16 sum and would not be
@@ -66,7 +67,7 @@ pub fn build_avgpool_forward_parallel(
         gm_out,
         caps,
         parallel,
-        double,
+        sched,
     )
 }
 
@@ -79,7 +80,7 @@ pub fn build_avgpool_forward_batched(
     gm_in: usize,
     gm_out: usize,
     caps: Capacities,
-    double: bool,
+    sched: Schedule,
 ) -> Result<Vec<Program>, LowerError> {
     build_forward_batched(
         prob,
@@ -90,13 +91,13 @@ pub fn build_avgpool_forward_batched(
         gm_out,
         None,
         caps,
-        double,
+        sched,
     )
 }
 
 /// Build AvgPool backward programs: the multiply step collapses to a
 /// `vmuls` of the gradients (uniform mask), followed by the same merge —
-/// scattered `vadd` or `Col2Im`. `double` is forwarded to
+/// scattered `vadd` or `Col2Im`. `sched` is forwarded to
 /// [`build_backward`].
 pub fn build_avgpool_backward(
     prob: &PoolProblem,
@@ -104,7 +105,7 @@ pub fn build_avgpool_backward(
     gm_grad: usize,
     gm_dx: usize,
     caps: Capacities,
-    double: bool,
+    sched: Schedule,
 ) -> Result<Vec<Program>, LowerError> {
     build_backward(
         prob,
@@ -115,7 +116,7 @@ pub fn build_avgpool_backward(
         gm_grad,
         gm_dx,
         caps,
-        double,
+        sched,
     )
 }
 
@@ -127,7 +128,7 @@ pub fn build_avgpool_backward_batched(
     gm_grad: usize,
     gm_dx: usize,
     caps: Capacities,
-    double: bool,
+    sched: Schedule,
 ) -> Result<Vec<Program>, LowerError> {
     build_backward_batched(
         prob,
@@ -138,6 +139,6 @@ pub fn build_avgpool_backward_batched(
         gm_grad,
         gm_dx,
         caps,
-        double,
+        sched,
     )
 }

@@ -33,9 +33,11 @@ pub mod avgpool;
 pub mod maxpool;
 pub mod problem;
 pub mod runner;
+pub mod schedule;
 pub mod workloads;
 
 pub use maxpool::{build_forward_batched, tiling_threshold};
 pub use problem::{ForwardImpl, LowerError, MergeImpl, PoolProblem};
 pub use runner::{PoolRun, PoolingEngine, RunError};
+pub use schedule::Schedule;
 pub use workloads::{fig7_workloads, table1_workloads, CnnWorkload};

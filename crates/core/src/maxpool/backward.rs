@@ -27,12 +27,15 @@
 //! f16 addition does not associate.
 
 use crate::problem::{LowerError, MergeImpl, PoolProblem};
-use dv_akg::{band_input_rows, dma, elementwise, max_row_band, row_bands, zero_region, UbArena};
+use crate::schedule::{self, Schedule};
+use dv_akg::{
+    band_input_rows, dma, elementwise, max_row_band, row_bands, zero_region, BandMode, UbArena,
+};
 use dv_fp16::F16;
 use dv_isa::{
     Addr, Col2Im, Im2ColGeometry, Instr, Mask, Program, VectorInstr, VectorOp, MAX_REPEAT,
 };
-use dv_sim::Capacities;
+use dv_sim::{Capacities, CostModel};
 use dv_tensor::{PoolParams, C0, FRACTAL_BYTES, FRACTAL_ROWS};
 
 const ROW: usize = C0 * 2;
@@ -107,12 +110,15 @@ impl BandSpan {
 /// `gm_grad` is the incoming-gradient tensor `(N, C1, Oh, Ow, C0)`;
 /// `gm_dx` receives the input-shaped gradient `(N, C1, Ih, Iw, C0)`.
 ///
-/// `double` requests ping-pong slots for the per-band gradient and
-/// mask-gradient regions so band `i + 1`'s DMAs overlap band `i`'s
-/// multiply/merge under the dual-pipe model; the `dx` window stays
-/// single-resident (per-band scratch — overlap contributions are
-/// recomputed, never carried between bands). Results are bit-identical
-/// either way.
+/// `sched` controls cross-band overlap so band `i + 1`'s DMAs overlap
+/// band `i`'s multiply/merge under the dual-pipe model: the Col2Im merge
+/// takes ping-pong slots for the per-band gradient and mask-gradient
+/// regions; the VAdd merge, whose ping-pong was measured a loss, takes a
+/// renamer-backed versioned layout when [`Schedule::rotate`] is set and
+/// the per-pipe cost predictor approves (see [`crate::schedule`]). The
+/// `dx` window stays single-resident (per-band scratch — overlap
+/// contributions are recomputed, never carried between bands). Results
+/// are bit-identical in every mode.
 pub fn build_backward(
     prob: &PoolProblem,
     merge: MergeImpl,
@@ -120,9 +126,9 @@ pub fn build_backward(
     gm_grad: usize,
     gm_dx: usize,
     caps: Capacities,
-    double: bool,
+    sched: Schedule,
 ) -> Result<Vec<Program>, LowerError> {
-    build_backward_inner(prob, merge, source, gm_grad, gm_dx, caps, double, false)
+    build_backward_inner(prob, merge, source, gm_grad, gm_dx, caps, sched, false)
 }
 
 /// Like [`build_backward`], but consolidated per `c1`: one [`Program`]
@@ -139,9 +145,9 @@ pub fn build_backward_batched(
     gm_grad: usize,
     gm_dx: usize,
     caps: Capacities,
-    double: bool,
+    sched: Schedule,
 ) -> Result<Vec<Program>, LowerError> {
-    build_backward_inner(prob, merge, source, gm_grad, gm_dx, caps, double, true)
+    build_backward_inner(prob, merge, source, gm_grad, gm_dx, caps, sched, true)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -152,7 +158,7 @@ fn build_backward_inner(
     gm_grad: usize,
     gm_dx: usize,
     caps: Capacities,
-    double: bool,
+    sched: Schedule,
     fold: bool,
 ) -> Result<Vec<Program>, LowerError> {
     let params = prob.params;
@@ -171,21 +177,40 @@ fn build_backward_inner(
         let dx_rows = band_input_rows(&params, boh + overlap) + params.sh;
         copies * (padded + planes * padded) + dx_rows * prob.iw * ROW
     };
-    // The VAdd merge is overwhelmingly Vector-bound — the gradient and
-    // mask loads the prefetch would hide are a sliver of the makespan,
-    // while halving the band height doubles the per-band overlap
-    // re-expansion tax. Measured on the Fig. 7 sweep the tax always wins,
-    // so prefetch declines (the Col2Im merge profits and keeps it).
-    let double = double && merge != MergeImpl::VAdd;
-
-    let mut boh = max_row_band(oh, caps.ub, |b| footprint(1, b))?;
-    let mut db = false;
-    if double && boh < oh {
-        // Second capacity query at the halved budget; if doubling does
-        // not fit even one-row bands, stay single-buffered.
-        if let Ok(b) = max_row_band(oh, caps.ub, |b| footprint(2, b)) {
-            boh = b;
-            db = true;
+    let boh1 = max_row_band(oh, caps.ub, |b| footprint(1, b))?;
+    let mut boh = boh1;
+    let mut mode = BandMode::Single;
+    if sched.double && boh1 < oh {
+        match merge {
+            MergeImpl::Col2Im => {
+                // Ping-pong profits here: second capacity query at the
+                // halved budget; if doubling does not fit even one-row
+                // bands, stay single-buffered.
+                if let Ok(b) = max_row_band(oh, caps.ub, |b| footprint(2, b)) {
+                    boh = b;
+                    mode = BandMode::PingPong;
+                }
+            }
+            MergeImpl::VAdd => {
+                // The VAdd merge is overwhelmingly Vector-bound — the
+                // gradient and mask loads a prefetch would hide are a
+                // sliver of the makespan, while halving the band height
+                // doubles the per-band overlap re-expansion tax. PR 3
+                // measured ping-pong a loss on the whole Fig. 7 sweep and
+                // hardcoded a decline. With slot renaming the bands keep
+                // single software addresses and only physical headroom is
+                // reserved, so the tax is smaller; overlap when the
+                // per-pipe predictor says the versioned plan wins.
+                if sched.rotate {
+                    let masked = matches!(source, BackwardSource::MaxMask { .. });
+                    if let Ok(vb) = max_row_band(oh, caps.ub, |b| 2 * footprint(1, b)) {
+                        if vadd_versioned_wins(prob, masked, &sched.cost, boh1, vb) {
+                            boh = vb;
+                            mode = BandMode::Versioned;
+                        }
+                    }
+                }
+            }
         }
     }
     // `row_bands` validates the split (and rejects padded multi-band
@@ -193,7 +218,7 @@ fn build_backward_inner(
     // window extents including the overlap patches.
     let bands = row_bands(&params, oh, boh, prob.ih)?;
     if bands.len() == 1 {
-        db = false;
+        mode = BandMode::Single;
     }
     let spans: Vec<BandSpan> = bands
         .iter()
@@ -219,9 +244,15 @@ fn build_backward_inner(
     let mut programs = Vec::with_capacity(groups.len());
     for group in groups {
         let mut ub = UbArena::new(caps.ub);
-        let grad_slots = ub.alloc_band(padded, db)?;
-        let mg_slots = ub.alloc_band(planes * padded, db)?;
+        let grad_slots = ub.alloc_band_mode(padded, mode)?;
+        let mg_slots = ub.alloc_band_mode(planes * padded, mode)?;
         let ub_dx = Addr::ub(ub.alloc(alloc_rows * prob.iw * ROW)?);
+        if mode == BandMode::Versioned {
+            // One physical version of everything above, reserved as the
+            // topmost allocation so the renamer can always rotate a
+            // band's writers past the previous band's in-flight reads.
+            ub.reserve_headroom(ub.used())?;
+        }
 
         let mut p = Program::new();
         for (n, c1) in group {
@@ -247,7 +278,6 @@ fn build_backward_inner(
                     prob,
                     merge,
                     source,
-                    dx_base,
                     span,
                     full_plane,
                     alloc_rows,
@@ -257,21 +287,46 @@ fn build_backward_inner(
                     ub_dx,
                 )
             };
+            let finalize = |p: &mut Program, span: &BandSpan| {
+                emit_backward_finalize(p, prob, dx_base, span, ub_dx)
+            };
 
-            if db {
-                // Software pipeline: band i+1's gradient and mask DMAs go
-                // to the alternate slots before band i's multiply/merge.
-                load(&mut p, &spans[0], 0)?;
-                for (bi, span) in spans.iter().enumerate() {
-                    if let Some(next) = spans.get(bi + 1) {
-                        load(&mut p, next, bi + 1)?;
+            match mode {
+                BandMode::PingPong => {
+                    // Software pipeline: band i+1's gradient and mask
+                    // DMAs go to the alternate slots before band i's
+                    // multiply/merge.
+                    load(&mut p, &spans[0], 0)?;
+                    for (bi, span) in spans.iter().enumerate() {
+                        if let Some(next) = spans.get(bi + 1) {
+                            load(&mut p, next, bi + 1)?;
+                        }
+                        compute(&mut p, bi, span)?;
+                        finalize(&mut p, span)?;
                     }
-                    compute(&mut p, bi, span)?;
                 }
-            } else {
-                for (bi, span) in spans.iter().enumerate() {
-                    load(&mut p, span, 0)?;
-                    compute(&mut p, bi, span)?;
+                BandMode::Versioned => {
+                    // Single-slot pipeline: band i+1's loads are emitted
+                    // after band i's last slot read (multiply/merge) but
+                    // before its finalize DMA, so program order stays
+                    // functionally serial while the renamer rotates the
+                    // loads past the WAR/WAW hazards and overlaps them
+                    // with the in-flight Vector work.
+                    load(&mut p, &spans[0], 0)?;
+                    for (bi, span) in spans.iter().enumerate() {
+                        compute(&mut p, bi, span)?;
+                        if let Some(next) = spans.get(bi + 1) {
+                            load(&mut p, next, 0)?;
+                        }
+                        finalize(&mut p, span)?;
+                    }
+                }
+                BandMode::Single => {
+                    for (bi, span) in spans.iter().enumerate() {
+                        load(&mut p, span, 0)?;
+                        compute(&mut p, bi, span)?;
+                        finalize(&mut p, span)?;
+                    }
                 }
             }
         }
@@ -318,15 +373,16 @@ fn emit_backward_load(
     Ok(())
 }
 
-/// The compute stage of one band: dx-window zeroing, the multiply step,
-/// the merge, and the finalize DMA.
+/// The compute stage of one band: dx-window zeroing, the multiply step
+/// and the merge. The finalize DMA is a separate stage
+/// ([`emit_backward_finalize`]) so the versioned schedule can emit the
+/// next band's loads between a band's last slot read and its flush.
 #[allow(clippy::too_many_arguments)]
 fn emit_backward_compute(
     p: &mut Program,
     prob: &PoolProblem,
     merge: MergeImpl,
     source: BackwardSource,
-    dx_base: usize,
     span: &BandSpan,
     full_plane: bool,
     alloc_rows: usize,
@@ -340,7 +396,6 @@ fn emit_backward_compute(
     let boh = span.o_len();
     let planes = params.kh * params.kw;
     let valid = boh * ow * C0;
-    let row_bytes = prob.iw * ROW;
 
     // --- dx window preparation: Col2Im accumulates, so the whole
     // scratch window starts from zero every band (no state is carried —
@@ -446,9 +501,20 @@ fn emit_backward_compute(
         }
     }
 
-    // --- finalize: only the band's own rows go back to GM; scratch
-    // contributions outside `[r0, r1)` (partial sums another band owns)
-    // are discarded with the window.
+    Ok(())
+}
+
+/// The finalize stage of one band: only the band's own rows go back to
+/// GM; scratch contributions outside `[r0, r1)` (partial sums another
+/// band owns) are discarded with the window.
+fn emit_backward_finalize(
+    p: &mut Program,
+    prob: &PoolProblem,
+    dx_base: usize,
+    span: &BandSpan,
+    ub_dx: Addr,
+) -> Result<(), LowerError> {
+    let row_bytes = prob.iw * ROW;
     dma(
         p,
         ub_dx.add((span.r0 - span.w_lo) * row_bytes),
@@ -456,4 +522,78 @@ fn emit_backward_compute(
         (span.r1 - span.r0) * row_bytes,
     )?;
     Ok(())
+}
+
+/// Stage estimate of one VAdd-merge backward band: the gradient band DMA
+/// and the mask-plane DMAs (MaxPool only) as `load`; the window zero,
+/// the multiply passes and the unrepeated 16-lane merge adds as
+/// `compute`; the dx-row DMA as `flush`. No `expand` — the backward pass
+/// has no `Im2Col`.
+fn vadd_band_cycles(
+    prob: &PoolProblem,
+    masked: bool,
+    cost: &CostModel,
+    span: &BandSpan,
+    alloc_rows: usize,
+) -> schedule::BandStages {
+    let params = prob.params;
+    let (_, ow) = prob.out_dims();
+    let boh = span.o_len();
+    let planes = (params.kh * params.kw) as u64;
+    let band_bytes = boh * ow * ROW;
+    let mut load = schedule::dma_est(cost, band_bytes);
+    if masked {
+        load += planes * schedule::dma_est(cost, band_bytes);
+    }
+    // "the vadd instructions only set 16 elements of the vector mask
+    // (vectorizing on C0) and repetition is not used": one issue per
+    // (plane, patch). An overestimate for padded geometries (padding
+    // patches are skipped), which only biases against overlapping.
+    let merge = planes * (boh * ow) as u64 * (cost.issue_overhead + cost.vector_per_repeat);
+    schedule::BandStages {
+        load,
+        expand: 0,
+        compute: schedule::vec_sat(cost, alloc_rows * prob.iw * C0)
+            + planes * schedule::vec_sat(cost, boh * ow * C0)
+            + merge,
+        flush: schedule::dma_est(cost, (span.r1 - span.r0) * prob.iw * ROW),
+    }
+}
+
+/// Decide the VAdd backward's cross-band overlap: does the versioned
+/// plan at band height `boh_versioned` (pipelined, but with its smaller
+/// bands' extra overlap-patch reloads and issue tax) beat the serial
+/// plan at `boh_serial`?
+fn vadd_versioned_wins(
+    prob: &PoolProblem,
+    masked: bool,
+    cost: &CostModel,
+    boh_serial: usize,
+    boh_versioned: usize,
+) -> bool {
+    let (oh, _) = prob.out_dims();
+    let spans_for = |boh: usize| -> Option<Vec<BandSpan>> {
+        let bands = row_bands(&prob.params, oh, boh, prob.ih).ok()?;
+        Some(
+            bands
+                .iter()
+                .enumerate()
+                .map(|(i, b)| BandSpan::new(prob, b.oh0, b.oh1, i + 1 == bands.len()))
+                .collect(),
+        )
+    };
+    let (Some(serial), Some(versioned)) = (spans_for(boh_serial), spans_for(boh_versioned)) else {
+        return false;
+    };
+    if versioned.len() < 2 {
+        return false;
+    }
+    let est = |spans: &[BandSpan]| -> Vec<schedule::BandStages> {
+        let alloc_rows = spans.iter().map(|s| s.w_rows).max().unwrap();
+        spans
+            .iter()
+            .map(|s| vadd_band_cycles(prob, masked, cost, s, alloc_rows))
+            .collect()
+    };
+    schedule::versioned_makespan(&est(&versioned)) < schedule::serial_makespan(est(&serial))
 }

@@ -34,6 +34,7 @@
 
 use crate::maxpool::forward::{plan_band, Reduction};
 use crate::problem::{ForwardImpl, LowerError, PoolProblem};
+use crate::schedule::Schedule;
 use dv_akg::{
     band_input_rows, dma, elementwise, fill_region, max_row_band_batched, row_bands,
     row_bands_batched, Band, TilingError, UbArena,
@@ -171,7 +172,17 @@ pub(crate) fn per_plane_im2col_issues(
     with_mask: bool,
     caps: Capacities,
 ) -> Result<usize, LowerError> {
-    let (boh, _) = plan_band(prob, ForwardImpl::Im2col, with_mask, caps, false)?;
+    // Instruction-count audit: band heights from the strictly serial
+    // schedule, matching what the fold is compared against in PR 1's
+    // issue-count tables (overlap modes never change issue counts of the
+    // winning plan's bands, but the serial heights are the stable datum).
+    let (boh, _) = plan_band(
+        prob,
+        ForwardImpl::Im2col,
+        with_mask,
+        caps,
+        &Schedule::serial(),
+    )?;
     let (oh, ow) = prob.out_dims();
     let bands = row_bands(&prob.params, oh, boh, prob.ih)?;
     let kk = prob.params.kh * prob.params.kw;
@@ -198,14 +209,14 @@ pub fn build_forward_batched(
     gm_out: usize,
     gm_mask: Option<usize>,
     caps: Capacities,
-    double: bool,
+    sched: Schedule,
 ) -> Result<Vec<Program>, LowerError> {
     if gm_mask.is_some() && reduction != Reduction::Max {
         return Err(LowerError::Unsupported(
             "argmax mask requires Reduction::Max".into(),
         ));
     }
-    let plan = plan_batched(prob, gm_mask.is_some(), caps, double)?;
+    let plan = plan_batched(prob, gm_mask.is_some(), caps, sched.double)?;
     let n = prob.n;
     let params = prob.params;
     let (oh, ow) = prob.out_dims();

@@ -5,9 +5,10 @@
 //! plane exceeds the Unified Buffer.
 
 use crate::problem::{ForwardImpl, LowerError, PoolProblem};
+use crate::schedule::{self, Schedule};
 use dv_akg::{
     band_input_rows, dma, elementwise, fill_region, max_row_band, row_bands, strided_accumulate,
-    Band, BandSlots, UbArena,
+    Band, BandMode, BandSlots, UbArena,
 };
 use dv_fp16::F16;
 use dv_isa::{
@@ -61,7 +62,17 @@ pub fn build_forward(
     gm_out: usize,
     caps: Capacities,
 ) -> Result<Vec<Program>, LowerError> {
-    build_forward_inner(prob, impl_, reduction, gm_in, gm_out, None, caps, 1, true)
+    build_forward_inner(
+        prob,
+        impl_,
+        reduction,
+        gm_in,
+        gm_out,
+        None,
+        caps,
+        1,
+        Schedule::default(),
+    )
 }
 
 /// Like [`build_forward`], but split each plane's row bands over up to
@@ -71,11 +82,13 @@ pub fn build_forward(
 /// they partition freely; backward keeps one program per plane because
 /// adjacent bands share a halo.
 ///
-/// `double` requests double-buffered (ping-pong) band slots: when band
-/// splitting is active and 2x the band footprint fits the scratchpads,
-/// the load of band `i + 1` is issued before the reduction of band `i`
-/// so the dual-pipe model overlaps MTE with Vector work. Results are
-/// bit-identical either way (execution is program-order).
+/// `sched` controls cross-band overlap: with [`Schedule::double`] set
+/// and band splitting active, the load of band `i + 1` is issued before
+/// the reduction of band `i` — through ping-pong (A/B) slots, or, when
+/// [`Schedule::rotate`] is set and the per-pipe cost predictor approves,
+/// through a versioned single-slot layout the dual-pipe renamer rotates
+/// (see [`crate::schedule`]). Results are bit-identical in every mode
+/// (execution is program-order).
 #[allow(clippy::too_many_arguments)]
 pub fn build_forward_parallel(
     prob: &PoolProblem,
@@ -85,10 +98,10 @@ pub fn build_forward_parallel(
     gm_out: usize,
     caps: Capacities,
     parallel: usize,
-    double: bool,
+    sched: Schedule,
 ) -> Result<Vec<Program>, LowerError> {
     build_forward_inner(
-        prob, impl_, reduction, gm_in, gm_out, None, caps, parallel, double,
+        prob, impl_, reduction, gm_in, gm_out, None, caps, parallel, sched,
     )
 }
 
@@ -118,7 +131,7 @@ pub fn build_forward_with_argmax(
         Some(gm_mask),
         caps,
         1,
-        true,
+        Schedule::default(),
     )
 }
 
@@ -133,7 +146,7 @@ pub fn build_forward_with_argmax_parallel(
     gm_mask: usize,
     caps: Capacities,
     parallel: usize,
-    double: bool,
+    sched: Schedule,
 ) -> Result<Vec<Program>, LowerError> {
     if !matches!(impl_, ForwardImpl::Standard | ForwardImpl::Im2col) {
         return Err(LowerError::Unsupported(format!(
@@ -149,7 +162,7 @@ pub fn build_forward_with_argmax_parallel(
         Some(gm_mask),
         caps,
         parallel,
-        double,
+        sched,
     )
 }
 
@@ -163,7 +176,7 @@ fn build_forward_inner(
     gm_mask: Option<usize>,
     caps: Capacities,
     parallel: usize,
-    double: bool,
+    sched: Schedule,
 ) -> Result<Vec<Program>, LowerError> {
     let params = prob.params;
     // Padding support: the Im2Col instruction realises padding for free;
@@ -176,7 +189,7 @@ fn build_forward_inner(
     }
 
     let (oh, _ow) = prob.out_dims();
-    let (mut boh, mut db) = plan_band(prob, impl_, gm_mask.is_some(), caps, double)?;
+    let (mut boh, mut mode) = plan_band(prob, impl_, gm_mask.is_some(), caps, &sched)?;
     // When the chip has more cores than (N, C1) planes, shrink bands so
     // each plane yields enough independent bands to occupy its share of
     // cores (the scheduler trades tile size for parallelism).
@@ -191,7 +204,7 @@ fn build_forward_inner(
     // typed error.
     let bands = row_bands(&params, oh, boh, prob.ih)?;
     if bands.len() == 1 {
-        db = false;
+        mode = BandMode::Single;
     }
 
     // Distribute this plane count's bands over `parallel` programs:
@@ -205,55 +218,89 @@ fn build_forward_inner(
         let in_base = gm_in + prob.in_plane_offset(n, c1);
         let out_base = gm_out + prob.out_plane_offset(n, c1);
         for group in bands.chunks(bands.len().div_ceil(groups_per_plane)) {
-            // Ping-pong slots only pay off when this program cycles
+            // Cross-band overlap only pays off when this program cycles
             // through at least two bands; a single-band group keeps the
             // single-slot layout (and its exact instruction stream).
-            let layout = ForwardLayout::plan(
-                prob,
-                impl_,
-                gm_mask.is_some(),
-                boh,
-                caps,
-                db && group.len() > 1,
-            )?;
-            let mut p = Program::new();
-            if layout.is_double() {
-                // Software pipeline: stage band i+1 into the alternate
-                // slot before reducing band i, so the MTE/SCU pipe runs
-                // ahead of the Vector pipe instead of WAR-stalling on it.
-                emit_load(&mut p, prob, impl_, in_base, &layout, &group[0], 0)?;
-                for (i, band) in group.iter().enumerate() {
-                    if let Some(next) = group.get(i + 1) {
-                        emit_load(&mut p, prob, impl_, in_base, &layout, next, i + 1)?;
-                    }
-                    emit_compute(
-                        &mut p,
-                        prob,
-                        impl_,
-                        reduction,
-                        out_base,
-                        &layout,
-                        band,
-                        i,
-                        gm_mask,
-                        (n, c1),
-                    )?;
-                }
+            let group_mode = if group.len() > 1 {
+                mode
             } else {
-                for band in group {
-                    emit_load(&mut p, prob, impl_, in_base, &layout, band, 0)?;
-                    emit_compute(
-                        &mut p,
-                        prob,
-                        impl_,
-                        reduction,
-                        out_base,
-                        &layout,
-                        band,
-                        0,
-                        gm_mask,
-                        (n, c1),
-                    )?;
+                BandMode::Single
+            };
+            let layout =
+                ForwardLayout::plan(prob, impl_, gm_mask.is_some(), boh, caps, group_mode)?;
+            let mut p = Program::new();
+            match group_mode {
+                BandMode::PingPong => {
+                    // Software pipeline: stage band i+1 into the alternate
+                    // slot before reducing band i, so the MTE/SCU pipe runs
+                    // ahead of the Vector pipe instead of WAR-stalling on it.
+                    emit_load(&mut p, prob, impl_, in_base, &layout, &group[0], 0)?;
+                    for (i, band) in group.iter().enumerate() {
+                        if let Some(next) = group.get(i + 1) {
+                            emit_load(&mut p, prob, impl_, in_base, &layout, next, i + 1)?;
+                        }
+                        emit_compute(
+                            &mut p,
+                            prob,
+                            impl_,
+                            reduction,
+                            out_base,
+                            &layout,
+                            band,
+                            i,
+                            gm_mask,
+                            (n, c1),
+                        )?;
+                    }
+                }
+                BandMode::Versioned => {
+                    // Deferred-flush pipeline over ONE slot set: reduce
+                    // band i, stage band i+1, then flush band i's output.
+                    // Band i+1's Im2Cols land while band i's reads are
+                    // still in flight only because the dual-pipe renamer
+                    // rotates them into the reserved headroom; emitting
+                    // the flush *after* the next load keeps the in-order
+                    // MTE/SCU pipe from parking on band i's RAW-bound
+                    // output DMA. Program order still reads band i's
+                    // planes before band i+1's loads overwrite them, so
+                    // results are bit-identical (only valid for Im2col —
+                    // the one lowering whose load stage is pure pipe-0
+                    // work against a disjoint L1 + cols region).
+                    debug_assert_eq!(impl_, ForwardImpl::Im2col);
+                    emit_load(&mut p, prob, impl_, in_base, &layout, &group[0], 0)?;
+                    for (i, band) in group.iter().enumerate() {
+                        emit_im2col_reduce(&mut p, prob, reduction, &layout, band, 0, gm_mask)?;
+                        if let Some(next) = group.get(i + 1) {
+                            emit_load(&mut p, prob, impl_, in_base, &layout, next, 0)?;
+                        }
+                        emit_im2col_flush(
+                            &mut p,
+                            prob,
+                            out_base,
+                            &layout,
+                            band,
+                            0,
+                            gm_mask,
+                            (n, c1),
+                        )?;
+                    }
+                }
+                BandMode::Single => {
+                    for band in group {
+                        emit_load(&mut p, prob, impl_, in_base, &layout, band, 0)?;
+                        emit_compute(
+                            &mut p,
+                            prob,
+                            impl_,
+                            reduction,
+                            out_base,
+                            &layout,
+                            band,
+                            0,
+                            gm_mask,
+                            (n, c1),
+                        )?;
+                    }
                 }
             }
             programs.push(p);
@@ -264,9 +311,12 @@ fn build_forward_inner(
 
 /// Per-program placement of the band-cycled UB (and, for Im2col, L1)
 /// regions. Planned once per band group so ping-pong (A/B) slots persist
-/// across the bands the program cycles through. With `double = false`
+/// across the bands the program cycles through. With [`BandMode::Single`]
 /// every region has one slot at the same offset a per-band layout would
-/// produce, so the single-buffered instruction stream is unchanged.
+/// produce, so the single-buffered instruction stream is unchanged; with
+/// [`BandMode::Versioned`] the slots are also single (identical
+/// addresses) but the plan reserves headroom at the top of the UB so the
+/// dual-pipe renamer can rotate the next band's writes into it.
 struct ForwardLayout {
     /// Staged raw input rows (Standard / Expansion / XYSplit).
     ub_in: Option<BandSlots>,
@@ -291,7 +341,7 @@ impl ForwardLayout {
         with_mask: bool,
         boh_max: usize,
         caps: Capacities,
-        double: bool,
+        mode: BandMode,
     ) -> Result<ForwardLayout, LowerError> {
         let params = &prob.params;
         let (_, ow) = prob.out_dims();
@@ -303,43 +353,54 @@ impl ForwardLayout {
         let mut l1_in = BandSlots { a: 0, b: None };
         let mask = |ub: &mut UbArena| -> Result<Option<BandSlots>, LowerError> {
             Ok(if with_mask {
-                Some(ub.alloc_band(planes * padded, double)?)
+                Some(ub.alloc_band_mode(planes * padded, mode)?)
             } else {
                 None
             })
         };
         let (ub_in, ub_cols, ub_tmp, ub_out, ub_mask) = match impl_ {
             ForwardImpl::Standard => {
-                let i = ub.alloc_band(in_bytes, double)?;
-                let o = ub.alloc_band(out_bytes, double)?;
+                let i = ub.alloc_band_mode(in_bytes, mode)?;
+                let o = ub.alloc_band_mode(out_bytes, mode)?;
                 let m = mask(&mut ub)?;
                 (Some(i), None, None, o, m)
             }
             ForwardImpl::Im2col => {
-                let c = ub.alloc_band(planes * padded, double)?;
-                let o = ub.alloc_band(padded, double)?;
+                let c = ub.alloc_band_mode(planes * padded, mode)?;
+                let o = ub.alloc_band_mode(padded, mode)?;
                 let m = mask(&mut ub)?;
-                if double {
+                if mode == BandMode::PingPong {
                     // `in_bytes` is a whole number of 32-byte rows, so
                     // slot B starts aligned; plan_band checked 2x fits.
                     debug_assert!(2 * in_bytes <= caps.l1);
                     l1_in.b = Some(in_bytes);
                 }
+                // A versioned layout keeps one L1 slot: the staging DMA
+                // and the Im2Cols that read it share the in-order
+                // MTE/SCU pipe, so the L1 WAR never binds past pipe
+                // availability and the renamer never needs to rotate it.
                 (None, Some(c), None, o, m)
             }
             ForwardImpl::Expansion => {
-                let i = ub.alloc_band(in_bytes, double)?;
-                let c = ub.alloc_band(planes * padded, double)?;
-                let o = ub.alloc_band(padded, double)?;
+                let i = ub.alloc_band_mode(in_bytes, mode)?;
+                let c = ub.alloc_band_mode(planes * padded, mode)?;
+                let o = ub.alloc_band_mode(padded, mode)?;
                 (Some(i), Some(c), None, o, None)
             }
             ForwardImpl::XYSplit => {
-                let i = ub.alloc_band(in_bytes, double)?;
-                let t = ub.alloc_band(band_input_rows(params, boh_max) * ow * ROW, double)?;
-                let o = ub.alloc_band(out_bytes, double)?;
+                let i = ub.alloc_band_mode(in_bytes, mode)?;
+                let t = ub.alloc_band_mode(band_input_rows(params, boh_max) * ow * ROW, mode)?;
+                let o = ub.alloc_band_mode(out_bytes, mode)?;
                 (Some(i), None, Some(t), o, None)
             }
         };
+        if mode == BandMode::Versioned {
+            // One extra version of everything band-cycled, reserved on
+            // top of every base slot so the scoreboard's high-water-mark
+            // capacity check admits the rotations (plan_band verified 2x
+            // fits). Never addressed by any instruction.
+            ub.reserve_headroom(ub.used())?;
+        }
         Ok(ForwardLayout {
             ub_in,
             ub_cols,
@@ -349,10 +410,6 @@ impl ForwardLayout {
             l1_in,
             padded,
         })
-    }
-
-    fn is_double(&self) -> bool {
-        self.ub_out.is_double()
     }
 }
 
@@ -457,49 +514,67 @@ pub(crate) fn ub_footprint(
     }
 }
 
-/// Choose the band height: the largest that fits the UB (and, for
-/// Im2col, stages its input rows in L1).
+/// Choose the band height and overlap mode: the largest band that fits
+/// the UB (and, for Im2col, stages its input rows in L1).
 ///
-/// When `double` is requested and the plane does not fit in one band,
-/// the capacity query runs again against the halved budget (2x the band
-/// footprint must fit) to size ping-pong slots; if even a one-row band
-/// cannot be doubled, the plan falls back to single buffering. Returns
-/// `(boh, double_buffered)`.
+/// When [`Schedule::double`] is set and the plane does not fit in one
+/// band, the capacity query runs again against the halved budget (2x the
+/// band footprint must fit) to size the overlapped plan; if even a
+/// one-row band cannot be doubled, the plan falls back to single
+/// buffering. The overlap mechanism is per implementation:
+///
+/// * **Im2col** keeps the MTE/SCU pipe nearly saturated by design — the
+///   expansion work shares a pipe with the prefetch itself, and ping-pong
+///   slots recover only the small Vector reduce tail (measured on the
+///   Fig. 8 sweep, PR 3 declined them outright). With
+///   [`Schedule::rotate`] the decline is no longer hardcoded: a
+///   [`BandMode::Versioned`] single-slot plan (UB budget halved for the
+///   renamer's headroom, L1 left whole) is adopted whenever the per-pipe
+///   cost predictor says its pipelined makespan beats the serial plan.
+/// * Every other implementation takes classic [`BandMode::PingPong`]
+///   slots when they fit.
 pub(crate) fn plan_band(
     prob: &PoolProblem,
     impl_: ForwardImpl,
     with_mask: bool,
     caps: Capacities,
-    double: bool,
-) -> Result<(usize, bool), LowerError> {
+    sched: &Schedule,
+) -> Result<(usize, BandMode), LowerError> {
     let (oh, _) = prob.out_dims();
-    let fit = |copies: usize| -> Result<usize, dv_akg::TilingError> {
+    let fit = |ub_copies: usize, l1_copies: usize| -> Result<usize, dv_akg::TilingError> {
         let mut boh = max_row_band(oh, caps.ub, |b| {
-            copies * ub_footprint(prob, impl_, with_mask, b)
+            ub_copies * ub_footprint(prob, impl_, with_mask, b)
         })?;
         if impl_ == ForwardImpl::Im2col {
             let l1_band = max_row_band(oh, caps.l1, |b| {
-                copies * band_input_rows(&prob.params, b) * prob.iw * ROW
+                l1_copies * band_input_rows(&prob.params, b) * prob.iw * ROW
             })?;
             boh = boh.min(l1_band);
         }
         Ok(boh)
     };
-    let boh = fit(1)?;
-    // The Im2col lowering keeps the MTE/SCU pipe saturated by design —
-    // the expansion work the prefetch would overlap shares a pipe with
-    // the prefetch itself, and the only cross-pipe slack is the small
-    // Vector reduce tail. Halving the band height to fit two slots costs
-    // more in halo re-expansion and per-band issue overhead than that
-    // tail is worth (measured on the Fig. 8 sweep), so prefetch declines.
-    let double = double && impl_ != ForwardImpl::Im2col;
-    if !double || boh >= oh {
+    let boh = fit(1, 1)?;
+    if !sched.double || boh >= oh {
         // No band cycling: nothing to overlap.
-        return Ok((boh, false));
+        return Ok((boh, BandMode::Single));
     }
-    match fit(2) {
-        Ok(db_boh) => Ok((db_boh, true)),
-        Err(_) => Ok((boh, false)),
+    if impl_ == ForwardImpl::Im2col {
+        if !sched.rotate {
+            // Without renaming, versioned slots recover nothing and
+            // ping-pong was measured a loss (see above): stay serial.
+            return Ok((boh, BandMode::Single));
+        }
+        let Ok(v_boh) = fit(2, 1) else {
+            return Ok((boh, BandMode::Single));
+        };
+        if schedule::forward_im2col_versioned_wins(prob, with_mask, &sched.cost, boh, v_boh) {
+            return Ok((v_boh, BandMode::Versioned));
+        }
+        return Ok((boh, BandMode::Single));
+    }
+    match fit(2, 2) {
+        Ok(db_boh) => Ok((db_boh, BandMode::PingPong)),
+        Err(_) => Ok((boh, BandMode::Single)),
     }
 }
 
@@ -762,6 +837,23 @@ fn emit_im2col_compute(
     gm_mask: Option<usize>,
     (n, c1): (usize, usize),
 ) -> Result<(), LowerError> {
+    emit_im2col_reduce(p, prob, reduction, layout, band, slot, gm_mask)?;
+    emit_im2col_flush(p, prob, out_base, layout, band, slot, gm_mask, (n, c1))
+}
+
+/// The Vector-pipe half of the Im2col compute stage: the fill, the
+/// saturated reduction and the argmax compares. Emitted separately from
+/// [`emit_im2col_flush`] so the versioned schedule can slide the next
+/// band's load between them.
+fn emit_im2col_reduce(
+    p: &mut Program,
+    prob: &PoolProblem,
+    reduction: Reduction,
+    layout: &ForwardLayout,
+    band: &Band,
+    slot: usize,
+    gm_mask: Option<usize>,
+) -> Result<(), LowerError> {
     let params = prob.params;
     let (_, ow) = prob.out_dims();
     let boh = band.oh_len();
@@ -800,7 +892,7 @@ fn emit_im2col_compute(
     // Argmax mask: one saturated vcmp per plane, comparing the plane
     // against the reduced maximum ("comparing each patch of the input
     // with its maximum value").
-    if let (Some(mask_base), Some(ub_mask)) = (gm_mask, ub_mask) {
+    if let (Some(_), Some(ub_mask)) = (gm_mask, ub_mask) {
         for plane_idx in 0..planes {
             let plane = ub_cols.add(plane_idx * padded);
             let mplane = ub_mask.add(plane_idx * padded);
@@ -813,6 +905,31 @@ fn emit_im2col_compute(
                 bf * FRACTAL_ROWS * C0,
             )?;
         }
+    }
+    Ok(())
+}
+
+/// The MTE half of the Im2col compute stage: the argmax-mask plane DMAs
+/// and the output-band DMA back to GM.
+#[allow(clippy::too_many_arguments)]
+fn emit_im2col_flush(
+    p: &mut Program,
+    prob: &PoolProblem,
+    out_base: usize,
+    layout: &ForwardLayout,
+    band: &Band,
+    slot: usize,
+    gm_mask: Option<usize>,
+    (n, c1): (usize, usize),
+) -> Result<(), LowerError> {
+    let params = prob.params;
+    let (_, ow) = prob.out_dims();
+    let boh = band.oh_len();
+    let padded = layout.padded;
+    let ub_out = Addr::ub(layout.ub_out.of(slot));
+    let ub_mask = layout.ub_mask.map(|s| Addr::ub(s.of(slot)));
+
+    if let (Some(mask_base), Some(ub_mask)) = (gm_mask, ub_mask) {
         for kh in 0..params.kh {
             for kw in 0..params.kw {
                 let plane_gm =

@@ -15,10 +15,11 @@ use crate::maxpool::{
     build_backward, build_backward_batched, build_forward_batched, build_forward_parallel,
     build_forward_with_argmax_parallel, BackwardSource, Reduction,
 };
-use dv_isa::Program;
 use crate::problem::{ForwardImpl, LowerError, MergeImpl, PoolProblem};
+use crate::schedule::Schedule;
 use core::fmt;
 use dv_akg::GmArena;
+use dv_isa::Program;
 use dv_sim::{Chip, ChipRun, SimError};
 use dv_tensor::{Nc1hwc0, PatchTensor, PoolParams, C0};
 
@@ -84,6 +85,13 @@ pub struct PoolingEngine {
     /// does not fit the scratchpads or would issue more `Im2Col`s than
     /// it saves. Results are bit-identical either way.
     pub batching: bool,
+    /// Override for [`Schedule::rotate`]: whether lowerings may plan
+    /// versioned (renamer-backed) band layouts. `None` (the default)
+    /// derives it from the chip's cost model — planned exactly when the
+    /// dual-pipe scheduler renames. `Some(x)` pins it regardless, which
+    /// controlled comparisons use to run the *same* program under
+    /// renaming and no-renaming cost models.
+    pub rotation_planning: Option<bool>,
 }
 
 impl PoolingEngine {
@@ -99,6 +107,7 @@ impl PoolingEngine {
             split_bands: false,
             double_buffer: true,
             batching: true,
+            rotation_planning: None,
         }
     }
 
@@ -128,6 +137,24 @@ impl PoolingEngine {
     pub fn with_batching(mut self, on: bool) -> PoolingEngine {
         self.batching = on;
         self
+    }
+
+    /// Pin whether lowerings plan versioned (renamer-backed) band
+    /// layouts (see [`PoolingEngine::rotation_planning`]).
+    pub fn with_rotation_planning(mut self, on: bool) -> PoolingEngine {
+        self.rotation_planning = Some(on);
+        self
+    }
+
+    /// The overlap schedule this engine's lowerings plan against:
+    /// `double_buffer` plus rotation planning resolved from the chip's
+    /// cost model (or the pinned override).
+    pub fn schedule(&self) -> Schedule {
+        let mut sched = Schedule::for_cost(self.chip.cost, self.double_buffer);
+        if let Some(rotate) = self.rotation_planning {
+            sched.rotate = rotate;
+        }
+        sched
     }
 
     fn parallel(&self) -> usize {
@@ -173,7 +200,7 @@ impl PoolingEngine {
                     m,
                     self.chip.caps,
                     self.parallel(),
-                    self.double_buffer,
+                    self.schedule(),
                 ),
                 None => build_forward_parallel(
                     prob,
@@ -183,7 +210,7 @@ impl PoolingEngine {
                     gm_out,
                     self.chip.caps,
                     self.parallel(),
-                    self.double_buffer,
+                    self.schedule(),
                 ),
             }
         };
@@ -194,7 +221,7 @@ impl PoolingEngine {
             gm_out,
             gm_mask,
             self.chip.caps,
-            self.double_buffer,
+            self.schedule(),
         ) {
             Ok(folded) => {
                 let folded_issues: usize = folded.iter().map(|p| p.issue_count("im2col")).sum();
@@ -239,7 +266,7 @@ impl PoolingEngine {
                 gm_out,
                 self.chip.caps,
                 self.parallel(),
-                self.double_buffer,
+                self.schedule(),
             )?
         };
         let mut image = vec![0u8; gm.size()];
@@ -272,7 +299,7 @@ impl PoolingEngine {
                 gm_mask,
                 self.chip.caps,
                 self.parallel(),
-                self.double_buffer,
+                self.schedule(),
             )?
         };
         let mut image = vec![0u8; gm.size()];
@@ -318,7 +345,7 @@ impl PoolingEngine {
                 gm_grad,
                 gm_dx,
                 self.chip.caps,
-                self.double_buffer,
+                self.schedule(),
             )?
         } else {
             build_backward(
@@ -328,7 +355,7 @@ impl PoolingEngine {
                 gm_grad,
                 gm_dx,
                 self.chip.caps,
-                self.double_buffer,
+                self.schedule(),
             )?
         };
         let mut image = vec![0u8; gm.size()];
@@ -409,7 +436,7 @@ impl PoolingEngine {
                 gm_out,
                 self.chip.caps,
                 self.parallel(),
-                self.double_buffer,
+                self.schedule(),
             )?
         };
         let mut image = vec![0u8; gm.size()];
@@ -449,7 +476,7 @@ impl PoolingEngine {
                 gm_grad,
                 gm_dx,
                 self.chip.caps,
-                self.double_buffer,
+                self.schedule(),
             )?
         } else {
             build_avgpool_backward(
@@ -458,7 +485,7 @@ impl PoolingEngine {
                 gm_grad,
                 gm_dx,
                 self.chip.caps,
-                self.double_buffer,
+                self.schedule(),
             )?
         };
         let mut image = vec![0u8; gm.size()];

@@ -1,0 +1,485 @@
+//! Cross-band overlap scheduling: how a lowering decides *whether* and
+//! *how* to overlap band `i + 1`'s loads with band `i`'s compute.
+//!
+//! PR 3 hardcoded two declines — the Im2col forward and the VAdd-merge
+//! backward never double-buffered, because on the shapes measured then
+//! the halved band height cost more than the overlap recovered. Those
+//! were measurements of the *ping-pong* mechanism, which halves every
+//! band region to fit two software-addressed slots. With buffer-slot
+//! renaming in the dual-pipe scoreboard there is a second mechanism:
+//! keep **one** slot per region, reserve physical headroom at the top of
+//! the UB plan, and let the scheduler rotate the next band's writes past
+//! the previous band's in-flight reads ([`dv_akg::BandMode::Versioned`]).
+//! Whether that pays is a per-workload question, so the declines are
+//! replaced by a closed-form per-pipe cycle predictor: estimate each
+//! band's pipe-0 (MTE/SCU) and pipe-1 (Vector) cycles from the
+//! [`CostModel`] constants, compare the serial single-slot makespan
+//! against the two-stage-pipeline makespan of the versioned plan, and
+//! overlap only when the model says it wins. The simulator's dual-pipe
+//! makespan is the ground truth the estimates approximate; the perf gate
+//! measures every decision against the no-rename control column.
+
+use crate::problem::PoolProblem;
+use dv_akg::{row_bands, Band};
+use dv_isa::{MAX_REPEAT, VECTOR_LANES};
+use dv_sim::{CostModel, IssueModel};
+use dv_tensor::{C0, FRACTAL_ROWS};
+
+const ROW: usize = C0 * 2;
+
+/// Per-workload scheduling knobs a lowering plans against, resolved by
+/// [`crate::PoolingEngine`] from its chip's cost model (or overridden
+/// for controlled comparisons).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Schedule {
+    /// Allow cross-band overlap at all (the engine's `double_buffer`
+    /// switch). Off means strictly serial single-slot bands.
+    pub double: bool,
+    /// Plan for buffer-slot renaming: lets the planner choose
+    /// [`dv_akg::BandMode::Versioned`] layouts whose overlap exists only
+    /// because the dual-pipe scheduler rotates writers past WAR/WAW
+    /// hazards. Must be false when the executing model cannot rename —
+    /// a versioned plan run without renaming is correct but recovers no
+    /// overlap (and its makespan is what the rename gate's control
+    /// column measures).
+    pub rotate: bool,
+    /// The cycle charges the overlap predictor estimates with.
+    pub cost: CostModel,
+}
+
+impl Schedule {
+    /// The schedule a given cost model implies: renaming is planned for
+    /// exactly when the model's dual-pipe scheduler performs it.
+    pub fn for_cost(cost: CostModel, double: bool) -> Schedule {
+        Schedule {
+            double,
+            rotate: cost.rename && cost.issue_model == IssueModel::DualPipe,
+            cost,
+        }
+    }
+
+    /// Strictly serial banding: no prefetch, no renaming. What
+    /// `double_buffer = false` engines and instruction-count audits use.
+    pub fn serial() -> Schedule {
+        Schedule {
+            double: false,
+            rotate: false,
+            cost: CostModel::ascend910_like(),
+        }
+    }
+
+    /// Override the rotation-planning bit (see [`Schedule::rotate`]).
+    pub fn with_rotation(mut self, on: bool) -> Schedule {
+        self.rotate = on;
+        self
+    }
+}
+
+impl Default for Schedule {
+    /// Overlap allowed, renaming as the default cost model performs it.
+    fn default() -> Schedule {
+        Schedule::for_cost(CostModel::ascend910_like(), true)
+    }
+}
+
+/// Estimated busy cycles of one band's four schedule stages. Pipe 0
+/// (MTE/SCU) runs `load`, `expand` and `flush` in program order; pipe 1
+/// (Vector) runs `compute`.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct BandStages {
+    /// Staging DMAs: the input (or gradient + mask) band loads.
+    pub load: u64,
+    /// `Im2Col` expansions the compute stage waits on (0 for backward).
+    pub expand: u64,
+    /// Vector work: fills, reductions, compares, multiplies, merges.
+    pub compute: u64,
+    /// Result DMAs back to GM (output, mask planes, dx rows).
+    pub flush: u64,
+}
+
+/// Cycles of a full-mask elementwise pass over `elems` f16 elements, as
+/// `dv_akg::emit::elementwise` chunks it: `MAX_REPEAT`-repeat issues over
+/// the 128-lane blocks plus one tail issue.
+pub(crate) fn vec_sat(cost: &CostModel, elems: usize) -> u64 {
+    let full = elems / VECTOR_LANES;
+    let tail = usize::from(!elems.is_multiple_of(VECTOR_LANES));
+    let issues = full.div_ceil(MAX_REPEAT as usize) + tail;
+    let reps = full + tail;
+    issues as u64 * cost.issue_overhead + reps as u64 * cost.vector_per_repeat
+}
+
+/// Cycles of one MTE move of `bytes` bytes, issue overhead included.
+pub(crate) fn dma_est(cost: &CostModel, bytes: usize) -> u64 {
+    cost.issue_overhead + cost.move_cycles(bytes)
+}
+
+/// Makespan of running every band's stages strictly in sequence — the
+/// single-slot schedule, where band `i + 1`'s loads wait for band `i`'s
+/// last read.
+pub(crate) fn serial_makespan(stages: impl IntoIterator<Item = BandStages>) -> u64 {
+    stages
+        .into_iter()
+        .map(|s| s.load + s.expand + s.compute + s.flush)
+        .sum()
+}
+
+/// Makespan of the versioned (deferred-flush) emission, assuming every
+/// rotation is granted — which the reserved headroom guarantees, because
+/// this schedule never runs more than one band ahead (`flush(i)` gates
+/// pipe 0 on `compute(i)`), so at most two versions of any region are
+/// ever live.
+///
+/// Emission order per band: `expand(i)+compute(i); load(i+1); flush(i)`
+/// after a prologue `load(0)`. Pipe 0 is in-order, so its stream is
+/// `load(0), expand(0), load(1), flush(0), expand(1), load(2), flush(1),
+/// …`; `compute(i)` starts once its inputs are staged (after `expand(i)`
+/// when there is one, else after `load(i)`) and pipe 1 is free;
+/// `flush(i)` waits on `compute(i)` (RAW). The only true overlap this
+/// schedule recovers is band `i + 1`'s loads (and, transitively, work
+/// behind them) against band `i`'s compute — exactly what a granted
+/// rotation buys past the WAR/WAW hazards — so modelling the order
+/// exactly is what keeps the predictor honest on pipe-0-bound workloads,
+/// where an idealised two-stage pipeline bound overpromises.
+pub(crate) fn versioned_makespan(stages: &[BandStages]) -> u64 {
+    let Some(first) = stages.first() else {
+        return 0;
+    };
+    let mut t = first.load; // pipe-0 cursor
+    let mut load_done = t; // completion of the latest band load
+    let mut r = 0u64; // pipe-1 cursor
+    for (i, s) in stages.iter().enumerate() {
+        t += s.expand;
+        let staged = if s.expand > 0 { t } else { load_done };
+        r = r.max(staged) + s.compute;
+        if let Some(next) = stages.get(i + 1) {
+            t += next.load;
+            load_done = t;
+        }
+        t = t.max(r) + s.flush;
+    }
+    t.max(r)
+}
+
+/// Finer-grained stage estimate of one Im2col-forward band. The forward
+/// compute is not a monolith: the reduction for plane `p` only waits on
+/// plane `p`'s `Im2Col` chain (RAW per plane), so on the dual-pipe
+/// machine the vector chain *trails* the expansion stream and mostly
+/// hides under it — in **both** the single-slot and the versioned plan.
+/// Modelling that trailing is what keeps the serial baseline honest;
+/// summing whole stages overstates it by roughly one compute per band.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FwdStages {
+    /// Input-band DMA into L1.
+    pub load: u64,
+    /// `Im2Col` chain of one `(kh, kw)` plane.
+    pub plane_expand: u64,
+    /// `Kh * Kw`.
+    pub planes: u64,
+    /// One full-band vector pass (the fill, one reduction, or one mask
+    /// compare — all chunk identically).
+    pub plane_vec: u64,
+    /// One argmax mask-plane DMA back to GM (0 without a mask).
+    pub mask_dma: u64,
+    /// The output-band DMA back to GM.
+    pub out_dma: u64,
+}
+
+impl FwdStages {
+    fn expand(&self) -> u64 {
+        self.planes * self.plane_expand
+    }
+
+    /// When this band's saturated reduction completes, given the pipe-1
+    /// cursor `r_prev` (previous band's last vector instruction this
+    /// chain queues behind) and the pipe-0 time its last expansion
+    /// lands. The fill runs as soon as pipe 1 frees up; reduction `p`
+    /// waits only on expansion `p` (RAW per plane), so the chain trails
+    /// the expansion stream.
+    fn reduce_end(&self, r_prev: u64, expand_end: u64) -> u64 {
+        let first_staged = expand_end - self.expand() + self.plane_expand;
+        let chain = r_prev.max(first_staged) + (1 + self.planes) * self.plane_vec;
+        // Even a fully-hidden chain still exposes the last plane's
+        // reduction past the last expansion.
+        chain.max(expand_end + self.plane_vec)
+    }
+
+    /// Walk the flush stage from pipe-0 time `p0`: each mask-plane DMA
+    /// RAW-waits only on *its* compare (which trails the reduction on
+    /// pipe 1), then the output DMA waits on the reduction. Returns the
+    /// pipe-0 and pipe-1 completion times.
+    fn flush_end(&self, p0: u64, reduce_end: u64) -> (u64, u64) {
+        let mut t = p0;
+        let mut cmp = reduce_end;
+        if self.mask_dma > 0 {
+            for _ in 0..self.planes {
+                cmp += self.plane_vec;
+                t = t.max(cmp) + self.mask_dma;
+            }
+        }
+        (t.max(reduce_end) + self.out_dma, cmp)
+    }
+}
+
+/// Makespan of the single-slot (serial) Im2col forward on the dual-pipe
+/// machine. Pipe 0 runs `load, expand, flush` per band back-to-back;
+/// the flush RAW-waits on the band's vector chain; the next band's fill
+/// WAR-waits on the output DMA (no renaming), so pipe 1 resumes only
+/// after the flush completes.
+pub(crate) fn forward_serial_makespan(stages: &[FwdStages]) -> u64 {
+    let mut t = 0u64; // pipe-0 cursor
+    let mut r = 0u64; // pipe-1 cursor
+    for s in stages {
+        t += s.load + s.expand();
+        let re = s.reduce_end(r, t);
+        (t, _) = s.flush_end(t, re);
+        // The next fill's WAR on the out region binds to this flush.
+        r = t;
+    }
+    t
+}
+
+/// Makespan of the versioned (deferred-flush) Im2col forward, assuming
+/// every rotation is granted — guaranteed by the reserved headroom,
+/// because pipe 0 never runs more than one band ahead (`flush(i)` gates
+/// it on `compute(i)`), so at most two versions of any region are live.
+///
+/// Pipe-0 stream: `load(0), expand(0), load(1), expand(1), flush(0),
+/// load(2), expand(2), flush(1), …` — band `i + 1`'s load *and*
+/// expansions issue ahead of band `i`'s RAW-bound flush, writing into
+/// rotated versions. Pipe 1 chains are unchanged; the fill's WAR on the
+/// in-flight flush is renamed away, so pipe 1 resumes at its own pace.
+pub(crate) fn forward_versioned_makespan(stages: &[FwdStages]) -> u64 {
+    let Some(first) = stages.first() else {
+        return 0;
+    };
+    let mut t = first.load + first.expand(); // pipe-0 cursor
+    let mut expand_end = t;
+    let mut r = 0u64; // pipe-1 cursor
+    for (i, s) in stages.iter().enumerate() {
+        let re = s.reduce_end(r, expand_end);
+        if let Some(next) = stages.get(i + 1) {
+            t += next.load + next.expand();
+            expand_end = t;
+        }
+        (t, r) = s.flush_end(t, re);
+    }
+    t.max(r)
+}
+
+/// Stage estimate of one Im2col-forward band at its actual height.
+pub(crate) fn forward_im2col_band(
+    prob: &PoolProblem,
+    with_mask: bool,
+    cost: &CostModel,
+    band: &Band,
+) -> FwdStages {
+    let params = &prob.params;
+    let (_, ow) = prob.out_dims();
+    let boh = band.oh_len();
+    let planes = (params.kh * params.kw) as u64;
+    let bf = PoolProblem::fractals_for(boh * ow);
+    let elems = bf * FRACTAL_ROWS * C0;
+    let band_bytes = boh * ow * ROW;
+    let plane_expand = bf.div_ceil(MAX_REPEAT as usize) as u64 * cost.issue_overhead
+        + bf as u64 * cost.im2col_per_fractal;
+    let plane_vec = vec_sat(cost, elems);
+    FwdStages {
+        load: dma_est(cost, band.ih_len * prob.iw * ROW),
+        plane_expand,
+        planes,
+        plane_vec,
+        mask_dma: if with_mask {
+            dma_est(cost, band_bytes)
+        } else {
+            0
+        },
+        out_dma: dma_est(cost, band_bytes),
+    }
+}
+
+/// Decide the Im2col forward's cross-band overlap: does the versioned
+/// plan at band height `boh_versioned` (overlapped, but with its smaller
+/// bands' re-expansion and issue tax) beat the single-slot plan at
+/// `boh_serial`?
+pub(crate) fn forward_im2col_versioned_wins(
+    prob: &PoolProblem,
+    with_mask: bool,
+    cost: &CostModel,
+    boh_serial: usize,
+    boh_versioned: usize,
+) -> bool {
+    let (oh, _) = prob.out_dims();
+    let Ok(serial_bands) = row_bands(&prob.params, oh, boh_serial, prob.ih) else {
+        return false;
+    };
+    let Ok(v_bands) = row_bands(&prob.params, oh, boh_versioned, prob.ih) else {
+        return false;
+    };
+    if v_bands.len() < 2 {
+        return false;
+    }
+    let est = |b: &Band| forward_im2col_band(prob, with_mask, cost, b);
+    let v_stages: Vec<FwdStages> = v_bands.iter().map(est).collect();
+    let s_stages: Vec<FwdStages> = serial_bands.iter().map(est).collect();
+    forward_versioned_makespan(&v_stages) < forward_serial_makespan(&s_stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_cost_gates_rotation_on_the_model() {
+        assert!(Schedule::for_cost(CostModel::ascend910_like(), true).rotate);
+        assert!(
+            !Schedule::for_cost(CostModel::dual_pipe_no_rename(), true).rotate,
+            "no-rename model must not plan versioned layouts"
+        );
+        assert!(
+            !Schedule::for_cost(CostModel::single_issue(), true).rotate,
+            "the serial machine never renames"
+        );
+        assert!(!Schedule::serial().double);
+        assert!(Schedule::serial().with_rotation(true).rotate);
+    }
+
+    fn st(load: u64, expand: u64, compute: u64, flush: u64) -> BandStages {
+        BandStages {
+            load,
+            expand,
+            compute,
+            flush,
+        }
+    }
+
+    #[test]
+    fn versioned_makespan_models_the_deferred_flush_order() {
+        // Single band: strictly serial, no overlap possible.
+        assert_eq!(versioned_makespan(&[st(10, 4, 6, 2)]), 22);
+        // Two compute-bound backward-shaped bands (no expand): band 1's
+        // load (8) hides fully under band 0's compute (100):
+        // load0=8, c0 at 8..108, load1 at 8..16, flush0 at 108..110,
+        // c1 at 108..208, flush1 at 208..210.
+        assert_eq!(
+            versioned_makespan(&[st(8, 0, 100, 2), st(8, 0, 100, 2)]),
+            210
+        );
+        // The same bands serially: 2 * 110.
+        assert_eq!(serial_makespan([st(8, 0, 100, 2), st(8, 0, 100, 2)]), 220);
+        // Pipe-0-bound forward-shaped bands: the flush RAW-waits on the
+        // compute, and the next expand sits behind the flush, so almost
+        // nothing overlaps — the model must NOT promise a pipeline here.
+        // load0=10, expand0 at 10..110, c0 at 110..115, load1 at
+        // 110..120, flush0 at 120..123 (pipe 0 was the later constraint),
+        // expand1 at 123..223, c1 at 223..228, flush1 at 228..231.
+        assert_eq!(
+            versioned_makespan(&[st(10, 100, 5, 3), st(10, 100, 5, 3)]),
+            231
+        );
+        assert_eq!(serial_makespan([st(10, 100, 5, 3), st(10, 100, 5, 3)]), 236);
+    }
+
+    #[test]
+    fn versioned_never_exceeds_serial() {
+        let cases: &[&[BandStages]] = &[
+            &[st(5, 9, 4, 1)],
+            &[st(10, 3, 7, 8), st(2, 2, 9, 1), st(4, 0, 4, 4)],
+            &[
+                st(0, 4, 6, 0),
+                st(3, 3, 1, 7),
+                st(1, 7, 2, 2),
+                st(5, 0, 0, 1),
+            ],
+        ];
+        for bands in cases {
+            assert!(versioned_makespan(bands) <= serial_makespan(bands.iter().copied()));
+        }
+    }
+
+    fn fs(
+        load: u64,
+        plane_expand: u64,
+        planes: u64,
+        plane_vec: u64,
+        mask_dma: u64,
+        out_dma: u64,
+    ) -> FwdStages {
+        FwdStages {
+            load,
+            plane_expand,
+            planes,
+            plane_vec,
+            mask_dma,
+            out_dma,
+        }
+    }
+
+    #[test]
+    fn forward_models_trail_the_reduction_under_the_expansions() {
+        // One band, no mask: load 10, two plane expansions of 5, vector
+        // passes of 3, out DMA 4. Expansions end at 20; the chain
+        // (fill + 2 reductions) trails them, finishing at 24 — the
+        // exposed cost is one pass past the last expansion plus the
+        // queued fill — and the flush lands at 28.
+        let b = fs(10, 5, 2, 3, 0, 4);
+        assert_eq!(forward_serial_makespan(&[b]), 28);
+        // Two such bands serially: band 1's chain re-queues behind the
+        // flush (fill WAR on the out DMA), ending at 52; flush at 56.
+        assert_eq!(forward_serial_makespan(&[b, b]), 56);
+        // Versioned: band 1's load + expansions issue ahead of band 0's
+        // flush (granted rotations), so pipe 0 runs 10+10+10+10 solid,
+        // flush 0 at 44, chain 1 at 44, flush 1 at 48.
+        assert_eq!(forward_versioned_makespan(&[b, b]), 48);
+    }
+
+    #[test]
+    fn forward_flush_interleaves_mask_dmas_with_compares() {
+        // Single band with a mask: expansions end at 20 (2 planes of 9
+        // after a load of 2), reduction at 23. Each mask DMA (10)
+        // RAW-waits only on its own compare (3): cmp0 at 26 gates DMA0
+        // (26..36), cmp1 at 29 is ready before DMA1 (36..46), out DMA
+        // lands at 50 — NOT reduction + all compares + all DMAs (53).
+        let b = fs(2, 9, 2, 3, 10, 4);
+        assert_eq!(forward_serial_makespan(&[b]), 50);
+    }
+
+    #[test]
+    fn forward_versioned_never_exceeds_serial() {
+        let cases: &[&[FwdStages]] = &[
+            &[fs(10, 5, 2, 3, 0, 4)],
+            &[fs(2, 9, 2, 3, 10, 4), fs(2, 9, 2, 3, 10, 4)],
+            &[
+                fs(7, 1, 9, 6, 0, 2),
+                fs(3, 2, 9, 1, 0, 9),
+                fs(4, 8, 9, 2, 0, 1),
+            ],
+            &[
+                fs(5, 3, 4, 8, 6, 2),
+                fs(5, 3, 4, 8, 6, 2),
+                fs(1, 1, 4, 9, 3, 7),
+            ],
+        ];
+        for bands in cases {
+            assert!(
+                forward_versioned_makespan(bands) <= forward_serial_makespan(bands),
+                "deferred flush must never lose on identical stage lists: {bands:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn vec_sat_counts_issue_chunks_and_tail() {
+        let cost = CostModel::ascend910_like();
+        assert_eq!(vec_sat(&cost, 0), 0);
+        // 128 elems: one issue, one repeat.
+        assert_eq!(vec_sat(&cost, 128), cost.issue_overhead + 1);
+        // 129 elems: full block + tail issue.
+        assert_eq!(vec_sat(&cost, 129), 2 * cost.issue_overhead + 2);
+        // MAX_REPEAT blocks + 1: second chunk issue.
+        let elems = (MAX_REPEAT as usize + 1) * 128;
+        assert_eq!(
+            vec_sat(&cost, elems),
+            2 * cost.issue_overhead + (MAX_REPEAT as u64 + 1)
+        );
+    }
+}

@@ -154,7 +154,16 @@ fn strict_builder_types_capacity_failures() {
         ub: 16 * 1024,
         ..Capacities::ASCEND910
     };
-    let err = build_forward_batched(&prob, Reduction::Max, 0, 4096, None, caps, true).unwrap_err();
+    let err = build_forward_batched(
+        &prob,
+        Reduction::Max,
+        0,
+        4096,
+        None,
+        caps,
+        dv_core::Schedule::default(),
+    )
+    .unwrap_err();
     match err {
         LowerError::Tiling(TilingError::Batched { n, cause }) => {
             assert_eq!(n, 8);

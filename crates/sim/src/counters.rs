@@ -42,6 +42,13 @@ pub struct HwCounters {
     /// Bytes moved between private buffers (including the Im2Col and
     /// Col2Im traffic).
     pub scratch_bytes: u64,
+    /// Writers issued early into a rotated scratchpad slot, bypassing a
+    /// WAR/WAW hazard (dual-pipe model with `CostModel::rename` only;
+    /// always 0 otherwise).
+    pub renames: u64,
+    /// Rotations refused for lack of physical headroom — the writer fell
+    /// back to the full WAR/WAW stall (never silent corruption).
+    pub rename_denied: u64,
 }
 
 impl HwCounters {
@@ -115,6 +122,8 @@ impl HwCounters {
         self.vector_total_lanes += other.vector_total_lanes;
         self.gm_bytes += other.gm_bytes;
         self.scratch_bytes += other.scratch_bytes;
+        self.renames += other.renames;
+        self.rename_denied += other.rename_denied;
     }
 }
 

@@ -38,6 +38,13 @@ pub struct LiveRange {
     pub first_write: u64,
     /// Core-local cycle at which the last overlapping access retired.
     pub last_use: u64,
+    /// Version of the span: 0 for the first write into these bytes, then
+    /// one more than the highest version the producing write killed.
+    /// Under buffer-slot renaming a rotated write opens version `n + 1`
+    /// while version `n` is still being read, so consecutive versions of
+    /// one span overlapping in time are the renamer's signature in the
+    /// trace.
+    pub version: u64,
 }
 
 impl LiveRange {
@@ -114,10 +121,13 @@ impl LifetimeRecorder {
             self.touch(&w, finish);
             return;
         }
-        // A fresh store kills whatever lived there and opens a new range.
+        // A fresh store kills whatever lived there and opens a new range
+        // one version above the highest one it displaced.
+        let mut version = 0;
         let mut i = 0;
         while i < self.active.len() {
             if spans_overlap(&self.active[i], &w) {
+                version = version.max(self.active[i].version + 1);
                 self.closed.push(self.active.swap_remove(i));
             } else {
                 i += 1;
@@ -129,6 +139,7 @@ impl LifetimeRecorder {
             end: w.end,
             first_write: start,
             last_use: finish,
+            version,
         });
     }
 
@@ -198,6 +209,31 @@ mod tests {
         assert_eq!((lt.ranges[0].first_write, lt.ranges[0].last_use), (0, 20));
         assert_eq!((lt.ranges[1].first_write, lt.ranges[1].last_use), (20, 40));
         assert_eq!(lt.peak_overlap(BufferId::Ub), 1);
+        assert_eq!(
+            (lt.ranges[0].version, lt.ranges[1].version),
+            (0, 1),
+            "an overwrite opens the next version of the span"
+        );
+    }
+
+    #[test]
+    fn renamed_writes_produce_overlapping_versions() {
+        // The renamer's trace signature: a rotated write issues at cycle
+        // 12 while the older version's last read retires at 25, so the
+        // two versions of the span overlap in time.
+        let mut rec = LifetimeRecorder::default();
+        let ub = |a, b| span(BufferId::Ub, a, b);
+        rec.record(&info([None; 3], Some(ub(0, 256))), 0, 10);
+        rec.record(&info([Some(ub(0, 256)), None, None], None), 10, 25);
+        rec.record(&info([None; 3], Some(ub(0, 256))), 12, 22);
+        let lt = rec.take();
+        assert_eq!(lt.ranges.len(), 2);
+        assert_eq!((lt.ranges[0].version, lt.ranges[1].version), (0, 1));
+        assert_eq!(
+            lt.peak_overlap(BufferId::Ub),
+            2,
+            "two live versions of one span"
+        );
     }
 
     #[test]

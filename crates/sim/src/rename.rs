@@ -1,0 +1,173 @@
+//! Buffer-slot renaming: WAR/WAW relaxation for the dual-pipe scoreboard.
+//!
+//! The dual-pipe scoreboard serialises a writer behind every in-flight
+//! reader (WAR) and writer (WAW) of an overlapping byte span — exactly
+//! like RAW. But anti- and output-dependences are *name* conflicts, not
+//! dataflow: real implicit-im2col accelerators hide them by
+//! multi-buffering the staging storage, so the next band's prefetch can
+//! land while the current band is still being consumed. This module
+//! models that as register-renaming-style versioning of scratchpad
+//! spans: a writer that would WAR/WAW-stall against accesses of an
+//! *older* version of its span instead issues immediately into a rotated
+//! physical slot, provided the scratchpad has headroom for both versions
+//! to be resident at once.
+//!
+//! The capacity check is honest: a rotation is granted only when the
+//! buffer's high-water mark (every byte the program has architecturally
+//! touched) plus all currently-rotated in-flight bytes plus the new span
+//! still fit the physical capacity. When it does not fit, the scheduler
+//! receives a typed [`RenameDenied`] and falls back to the full WAR/WAW
+//! stall — never silent corruption, never an optimistic overlap the
+//! hardware could not buffer. Functional execution is program-order
+//! either way, so results are bit-identical with renaming on or off;
+//! only issue timing changes, and only ever downward (the renamed
+//! constraint set is a subset of the non-renamed one).
+
+use dv_isa::BufferId;
+use std::fmt;
+
+/// A rotation request the slot file refused: the scratchpad cannot hold
+/// another live version of the span alongside everything already
+/// resident. The scheduler falls back to the ordinary WAR/WAW stall and
+/// books the refusal in `HwCounters::rename_denied`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RenameDenied {
+    /// The scratchpad the writer targets.
+    pub buffer: BufferId,
+    /// Bytes the rotated slot would need.
+    pub requested: usize,
+    /// Bytes already held by in-flight rotated versions of this buffer.
+    pub in_flight: usize,
+    /// The buffer's architectural high-water mark at the refusal.
+    pub used: usize,
+    /// Physical capacity of the buffer.
+    pub capacity: usize,
+}
+
+impl fmt::Display for RenameDenied {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rename denied on {}: {} used + {} rotated in flight + {} requested \
+             exceeds the {}-byte capacity",
+            self.buffer, self.used, self.in_flight, self.requested, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for RenameDenied {}
+
+/// The physical slot file: tracks how many bytes each scratchpad has
+/// lent out to in-flight rotated versions, and grants or refuses new
+/// rotations against the remaining headroom.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SlotFile {
+    /// One entry per granted rotation still in flight:
+    /// `(buffer, free_at, bytes)`. The physical slot is reclaimed once
+    /// every bypassed access of the older version has retired
+    /// (`free_at`).
+    rotated: Vec<(BufferId, u64, usize)>,
+}
+
+impl SlotFile {
+    /// Bytes of `buffer` currently lent to rotated versions that are
+    /// still in flight at cycle `now`.
+    pub fn live_bytes(&self, buffer: BufferId, now: u64) -> usize {
+        self.rotated
+            .iter()
+            .filter(|&&(b, free_at, _)| b == buffer && free_at > now)
+            .map(|&(_, _, bytes)| bytes)
+            .sum()
+    }
+
+    /// Try to grant a rotated slot of `bytes` bytes in `buffer` for a
+    /// writer issuing at cycle `now` whose bypassed WAR/WAW accesses all
+    /// retire by `free_at`. `used` is the buffer's architectural
+    /// high-water mark and `capacity` its physical size.
+    pub fn try_rotate(
+        &mut self,
+        buffer: BufferId,
+        bytes: usize,
+        now: u64,
+        free_at: u64,
+        used: usize,
+        capacity: usize,
+    ) -> Result<(), RenameDenied> {
+        // Reclaim slots whose older-version accesses have all retired.
+        self.rotated.retain(|&(_, f, _)| f > now);
+        let in_flight = self.live_bytes(buffer, now);
+        if used.saturating_add(in_flight).saturating_add(bytes) > capacity {
+            return Err(RenameDenied {
+                buffer,
+                requested: bytes,
+                in_flight,
+                used,
+                capacity,
+            });
+        }
+        self.rotated.push((buffer, free_at, bytes));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_within_headroom_and_tracks_live_bytes() {
+        let mut slots = SlotFile::default();
+        assert_eq!(
+            slots.try_rotate(BufferId::Ub, 256, 0, 100, 512, 1024),
+            Ok(())
+        );
+        assert_eq!(slots.live_bytes(BufferId::Ub, 0), 256);
+        // A second rotation while the first is in flight must count it.
+        assert_eq!(
+            slots.try_rotate(BufferId::Ub, 256, 10, 120, 512, 1024),
+            Ok(())
+        );
+        assert_eq!(slots.live_bytes(BufferId::Ub, 10), 512);
+        // Other buffers have their own headroom.
+        assert_eq!(slots.live_bytes(BufferId::L1, 10), 0);
+    }
+
+    #[test]
+    fn refuses_with_typed_error_when_capacity_is_short() {
+        let mut slots = SlotFile::default();
+        slots
+            .try_rotate(BufferId::Ub, 300, 0, 100, 400, 1024)
+            .unwrap();
+        let err = slots
+            .try_rotate(BufferId::Ub, 400, 10, 120, 400, 1024)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RenameDenied {
+                buffer: BufferId::Ub,
+                requested: 400,
+                in_flight: 300,
+                used: 400,
+                capacity: 1024,
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("rename denied on UB"), "{msg}");
+        assert!(msg.contains("400 requested"), "{msg}");
+    }
+
+    #[test]
+    fn reclaims_slots_once_bypassed_accesses_retire() {
+        let mut slots = SlotFile::default();
+        slots
+            .try_rotate(BufferId::Ub, 600, 0, 50, 200, 1024)
+            .unwrap();
+        // At cycle 60 the first rotation's older version has retired, so
+        // its bytes are free again.
+        assert_eq!(slots.live_bytes(BufferId::Ub, 60), 0);
+        assert_eq!(
+            slots.try_rotate(BufferId::Ub, 600, 60, 200, 200, 1024),
+            Ok(())
+        );
+    }
+}

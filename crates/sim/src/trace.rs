@@ -78,9 +78,11 @@ pub struct TraceEvent {
     /// Cycles the instruction waited on its issue pipe for a scoreboard
     /// hazard to clear (always 0 under the single-issue model).
     pub stall: u64,
-    /// Trace-event index of the latest-retiring in-flight producer this
-    /// instruction read from (RAW), when the scoreboard still tracked
-    /// one — the source of the Chrome-trace flow arrow.
+    /// Trace-event index of the latest program-order writer of any byte
+    /// this instruction reads (RAW) — the source of the Chrome-trace
+    /// flow arrow. Program order is issue-timing-independent, so the
+    /// recorded arrows are identical with buffer-slot renaming on or
+    /// off. `None` under the single-issue model.
     pub dep: Option<usize>,
     /// Hardware repeat count (1 for non-repeating instructions).
     pub repeat: u32,
@@ -305,7 +307,8 @@ pub fn chrome_trace_json_with_lifetimes(traces: &[Trace], lifetimes: &[BufferLif
                 &mut out,
                 format!(
                     "{{\"ph\":\"b\",\"cat\":\"live-range\",\"id\":{},\"pid\":{},\"tid\":{},\
-                     \"name\":\"{} [{}..{})\",\"ts\":{},\"args\":{{\"bytes\":{}}}}}",
+                     \"name\":\"{} [{}..{})\",\"ts\":{},\
+                     \"args\":{{\"bytes\":{},\"version\":{}}}}}",
                     range_id,
                     lt.core,
                     tid,
@@ -313,7 +316,8 @@ pub fn chrome_trace_json_with_lifetimes(traces: &[Trace], lifetimes: &[BufferLif
                     r.start,
                     r.end,
                     r.first_write,
-                    r.bytes()
+                    r.bytes(),
+                    r.version
                 ),
             );
             push(
@@ -617,6 +621,7 @@ mod tests {
                     end: 256,
                     first_write: 5,
                     last_use: 40,
+                    version: 0,
                 },
                 LiveRange {
                     buffer: BufferId::Ub,
@@ -624,6 +629,7 @@ mod tests {
                     end: 512,
                     first_write: 20,
                     last_use: 60,
+                    version: 3,
                 },
             ],
         };
@@ -634,8 +640,12 @@ mod tests {
         assert_eq!(json.matches("\"ph\":\"e\"").count(), 2);
         assert!(json.contains(
             "{\"ph\":\"b\",\"cat\":\"live-range\",\"id\":0,\"pid\":1,\"tid\":15,\
-             \"name\":\"UB [0..256)\",\"ts\":5,\"args\":{\"bytes\":256}}"
+             \"name\":\"UB [0..256)\",\"ts\":5,\"args\":{\"bytes\":256,\"version\":0}}"
         ));
+        assert!(
+            json.contains("\"args\":{\"bytes\":256,\"version\":3}"),
+            "the span's version rides along in the slice args"
+        );
         assert!(json.contains(
             "{\"ph\":\"e\",\"cat\":\"live-range\",\"id\":1,\"pid\":1,\"tid\":15,\
              \"name\":\"UB [256..512)\",\"ts\":60}"

@@ -401,7 +401,10 @@ fn long_mode0_chain_over_many_planes_matches_reference() {
                     .read_f16(BufferId::Ub, frac * FRACTAL_BYTES + (patch * C0 + c0) * 2)
                     .unwrap();
                 let want = golden.get(c1, 0, xk, yk, patch / ow, patch % ow, c0);
-                assert_eq!(got, want, "fractal {frac} (c1={c1} k=({xk},{yk})) patch {patch}");
+                assert_eq!(
+                    got, want,
+                    "fractal {frac} (c1={c1} k=({xk},{yk})) patch {patch}"
+                );
             }
         }
     }

@@ -5,40 +5,62 @@
 //! ```sh
 //! cargo run --release --example profile_run            # N = 1, per-plane
 //! cargo run --release --example profile_run -- --batch 4
+//! cargo run --release --example profile_run -- --no-rename
 //! ```
 //!
 //! With `--batch N` (N > 1) the engine's batch fold kicks in: compare
 //! the `im2col` issue count in the breakdown against an N = 1 run
 //! scaled by N to see the Mode-0 repeat chains amortise issue overhead
 //! across the batch.
+//!
+//! With `--no-rename` the chip runs under
+//! `CostModel::dual_pipe_no_rename()`: the scoreboard keeps every
+//! WAR/WAW wait instead of rotating scratchpad slots, and the planner
+//! falls back to the pre-renaming band layouts. Diff the makespan and
+//! the `renamed`/`denied` counters against a default run to see what
+//! slot renaming buys (the live-range slices in the exported trace
+//! show the overlapping buffer versions renaming creates).
 
 use davinci_pooling::prelude::*;
 use davinci_pooling::sim::TraceConfig;
 
-fn parse_batch() -> Result<usize, String> {
+struct Options {
+    batch: usize,
+    rename: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
-    let mut batch = 1usize;
+    let mut opts = Options {
+        batch: 1,
+        rename: true,
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--batch" => {
                 let v = args.next().ok_or("--batch needs a value")?;
-                batch = v
+                opts.batch = v
                     .parse()
                     .map_err(|_| format!("invalid --batch value: {v}"))?;
-                if batch == 0 {
+                if opts.batch == 0 {
                     return Err("--batch must be >= 1".into());
                 }
             }
-            other => return Err(format!("unknown argument: {other} (try --batch N)")),
+            "--no-rename" => opts.rename = false,
+            other => {
+                return Err(format!(
+                    "unknown argument: {other} (try --batch N, --no-rename)"
+                ))
+            }
         }
     }
-    Ok(batch)
+    Ok(opts)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let batch = parse_batch()?;
+    let opts = parse_args()?;
     // Fig. 7's middle InceptionV3 shape: 71x71, 192 channels, K3S2.
-    let input = Nchw::from_fn(batch, 192, 71, 71, |n, c, h, w| {
+    let input = Nchw::from_fn(opts.batch, 192, 71, 71, |n, c, h, w| {
         F16::from_f32(((n + c + 3 * h + 7 * w) % 11) as f32)
     })
     .to_nc1hwc0();
@@ -48,7 +70,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the double-buffered software pipelines — and with --batch N the
     // Mode-0 batch fold engages (on the full 32-core chip it declines,
     // preferring one plane per core).
-    let mut chip = Chip::new(1, CostModel::ascend910_like());
+    let cost = if opts.rename {
+        CostModel::ascend910_like()
+    } else {
+        CostModel::dual_pipe_no_rename()
+    };
+    let mut chip = Chip::new(1, cost);
     chip.caps.ub = 64 * 1024;
     let engine = PoolingEngine::new(chip).with_trace(TraceConfig::ON);
     let (_, run) = engine.maxpool_forward(&input, PoolParams::K3S2, ForwardImpl::Im2col)?;
@@ -81,6 +108,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         run.total.busy_cycles(),
         run.total.cycles,
         run.total.stall_cycles
+    );
+    println!(
+        "scratchpad slot renaming: {} WAR/WAW waits rotated away, \
+         {} rotations denied for capacity{}",
+        run.total.renames,
+        run.total.rename_denied,
+        if opts.rename {
+            ""
+        } else {
+            " (renaming disabled via --no-rename)"
+        }
     );
     Ok(())
 }
