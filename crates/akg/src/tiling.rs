@@ -242,6 +242,33 @@ pub fn row_bands_batched(
     row_bands(params, oh, boh, ih).map_err(|e| e.batched(n))
 }
 
+/// Split `items` into at most `groups` contiguous chunks whose lengths
+/// differ by at most one — the shard split a multi-core chip wants.
+///
+/// `slice.chunks(len.div_ceil(groups))` rounds the chunk size up and so
+/// can *under-produce* groups: 5 bands into 4 groups gives chunks of 2 →
+/// (2, 2, 1), three shards for four cores, and the chip makespan is the
+/// 2-band shard anyway. The balanced split gives (2, 1, 1, 1): the same
+/// makespan floor with every core drawing work. When there are fewer
+/// items than groups each item gets its own chunk; empty chunks are
+/// never produced.
+pub fn balanced_chunks<T>(items: &[T], groups: usize) -> Vec<&[T]> {
+    let g = groups.clamp(1, items.len().max(1));
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let base = items.len() / g;
+    let rem = items.len() % g;
+    let mut out = Vec::with_capacity(g);
+    let mut at = 0;
+    for i in 0..g {
+        let take = base + usize::from(i < rem);
+        out.push(&items[at..at + take]);
+        at += take;
+    }
+    out
+}
+
 /// The largest square input extent `H = W` for which `footprint(hw)` fits
 /// `capacity` — the Fig. 8 "tiling threshold". `footprint` must be
 /// monotone in `hw`. Probes up to `max_hw`.
@@ -435,6 +462,47 @@ mod tests {
         let msg = once.to_string();
         assert!(msg.contains("N=4"), "{msg}");
         assert!(msg.contains("degenerate"), "{msg}");
+    }
+
+    #[test]
+    fn balanced_chunks_even_out_the_remainder() {
+        let items = [0, 1, 2, 3, 4];
+        let chunks = balanced_chunks(&items, 4);
+        assert_eq!(chunks.len(), 4, "all four groups draw work");
+        let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![2, 1, 1, 1]);
+        // The naive div_ceil split under-produces groups on the same
+        // input: chunks of 2 over 5 items is only three groups.
+        assert_eq!(items.chunks(items.len().div_ceil(4)).count(), 3);
+        // Order and coverage are preserved.
+        let flat: Vec<i32> = chunks.concat();
+        assert_eq!(flat, items);
+    }
+
+    #[test]
+    fn balanced_chunks_edge_cases() {
+        let items = [1, 2, 3];
+        // More groups than items: one item per chunk, never empty chunks.
+        assert_eq!(balanced_chunks(&items, 7).len(), 3);
+        // One group: everything together.
+        assert_eq!(balanced_chunks(&items, 1), vec![&items[..]]);
+        // Zero groups is clamped to one rather than panicking.
+        assert_eq!(balanced_chunks(&items, 0), vec![&items[..]]);
+        // Empty input: no chunks.
+        assert!(balanced_chunks::<i32>(&[], 4).is_empty());
+        // Exact division: equal sizes.
+        let eight = [0u8; 8];
+        assert!(balanced_chunks(&eight, 4).iter().all(|c| c.len() == 2));
+        // Sizes always differ by at most one.
+        for n in 1..40 {
+            let v: Vec<usize> = (0..n).collect();
+            for g in 1..10 {
+                let sizes: Vec<usize> = balanced_chunks(&v, g).iter().map(|c| c.len()).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "n={n} g={g} sizes={sizes:?}");
+                assert_eq!(sizes.iter().sum::<usize>(), n);
+            }
+        }
     }
 
     #[test]

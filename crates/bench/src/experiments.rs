@@ -499,8 +499,13 @@ pub fn breakdown() -> Table {
 /// E11 — multi-core scaling: chip cycles vs core count on the largest
 /// Fig. 7 shape for both forward implementations. The paper parallelises
 /// "the outer loops … between the AI Cores available"; C1 = 4 bounds the
-/// useful parallelism for this layer.
+/// useful parallelism for this layer unless band splitting or the
+/// cost-model-driven sharder widens the partition. The last two columns
+/// run the sharded engine (the partition axis is chosen per workload)
+/// under the independent memory model and under the shared-HBM
+/// contention stage, whose booked stalls are reported in parentheses.
 pub fn scaling() -> Table {
+    use dv_sim::MemoryModel;
     let w = fig7_workloads()[0];
     let input = feature_map(1, w.c, w.h, w.w, 120);
     let mut t = Table::new(
@@ -514,11 +519,18 @@ pub fn scaling() -> Table {
             "Maxpool (+band split)",
             "Im2col (C1 only)",
             "Im2col (+band split)",
+            "Im2col (sharded)",
+            "Im2col (sharded, HBM)",
         ],
     );
     for cores in [1usize, 2, 4, 8, 16, 32] {
         let plane_only = PoolingEngine::new(Chip::new(cores, CostModel::ascend910_like()));
         let split = plane_only.clone().with_band_splitting(true);
+        let sharded = plane_only.clone().with_sharding(true);
+        let contended = PoolingEngine::new(
+            Chip::new(cores, CostModel::ascend910_like()).with_memory(MemoryModel::ascend910_hbm()),
+        )
+        .with_sharding(true);
         let (out_a, std_p) = plane_only
             .maxpool_forward(&input, w.params, ForwardImpl::Standard)
             .expect("standard");
@@ -530,18 +542,39 @@ pub fn scaling() -> Table {
             out_b.data(),
             "splitting must not change results"
         );
-        let (_, acc_p) = plane_only
+        let (out_c, acc_p) = plane_only
             .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
             .expect("im2col");
         let (_, acc_s) = split
             .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
             .expect("im2col split");
+        let (out_d, acc_sh) = sharded
+            .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("im2col sharded");
+        let (out_e, acc_ct) = contended
+            .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("im2col contended");
+        assert_eq!(
+            out_c.data(),
+            out_d.data(),
+            "sharding must not change results"
+        );
+        assert_eq!(
+            out_c.data(),
+            out_e.data(),
+            "contention must not change results"
+        );
         t.push_row(vec![
             cores.to_string(),
             std_p.cycles.to_string(),
             std_s.cycles.to_string(),
             acc_p.cycles.to_string(),
             acc_s.cycles.to_string(),
+            acc_sh.cycles.to_string(),
+            format!(
+                "{} (+{} stalls)",
+                acc_ct.cycles, acc_ct.total.contention_stalls
+            ),
         ]);
     }
     t

@@ -31,6 +31,19 @@
 //! every row that the renamed makespan never exceeds this control's;
 //! the per-row `rename_gain` in the JSON is what renaming buys.
 //!
+//! The `scaling` section tracks the chip-sharding path: every Fig. 7
+//! shape's Im2col forward under [`PoolingEngine::with_sharding`] at
+//! 1/2/8/32 cores, under both the independent memory model and the
+//! shared-HBM contention stage ([`MemoryModel::ascend910_hbm`]).
+//! [`collect_scaling`] asserts in-run that outputs are bit-identical at
+//! every core count and in both memory models, that speedup is monotone
+//! in the core count, that it stays sub-linear (no free cycles — an
+//! `n`-core run can never beat `1/n` of the serial cycles), and that
+//! contention degrades each core by at most the fair-share factor
+//! `active_cores * per_core_peak / shared_bandwidth`. The per-core-count
+//! cycle columns are then gated against the committed baseline exactly
+//! like the `metrics` rows.
+//!
 //! When a cost-model or lowering change moves cycles *intentionally*,
 //! regenerate the baseline with
 //! `cargo run --release -p dv-bench --bin repro -- gate` and commit the
@@ -42,7 +55,7 @@ use dv_core::{
     fig7_workloads, table1_workloads, tiling_threshold, ForwardImpl, MergeImpl, PoolingEngine,
 };
 use dv_isa::BufferId;
-use dv_sim::{Chip, ChipRun, CostModel};
+use dv_sim::{Chip, ChipRun, CostModel, MemoryModel};
 use dv_tensor::{reference, PoolParams};
 use std::fmt::Write as _;
 
@@ -133,6 +146,136 @@ pub fn single_issue_cycles(run: &ChipRun) -> u64 {
         .map(|(c, total)| c.busy_cycles() + (total - c.cycles))
         .max()
         .unwrap_or(0)
+}
+
+/// Core counts the scaling gate sweeps — serial (1), under-subscribed
+/// plane parallelism (2), the regime where band splitting starts paying
+/// (8), and the full chip where 32 concurrent MTE streams oversubscribe
+/// the shared HBM pipe by 4x (32 cores x 32 B/cyc vs 256 B/cyc).
+pub const SCALING_CORES: [usize; 4] = [1, 2, 8, 32];
+
+/// One scaling-gate row: a Fig. 7 shape's sharded Im2col forward at one
+/// core count, measured under both memory models.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScalingMetric {
+    /// Stable identifier, e.g. `scaling/147x147x64/c8`.
+    pub key: String,
+    /// Core count of the chip this row ran on.
+    pub cores: u64,
+    /// Dual-pipe chip cycles under [`MemoryModel::Independent`] (every
+    /// core sees its full MTE bandwidth).
+    pub cycles: u64,
+    /// Dual-pipe chip cycles with the shared-HBM contention stage
+    /// ([`MemoryModel::ascend910_hbm`]) booked on top.
+    pub cycles_contended: u64,
+    /// Contention stalls summed over all cores in the contended run.
+    pub contention_stalls: u64,
+}
+
+impl ScalingMetric {
+    /// Degradation the shared-bandwidth stage charged on this row
+    /// (1.0 = bandwidth was never the bottleneck).
+    pub fn contention_factor(&self) -> f64 {
+        self.cycles_contended as f64 / self.cycles as f64
+    }
+}
+
+/// Replay the Fig. 7 forward workloads through the sharded engine at
+/// every [`SCALING_CORES`] count and measure the scaling curve.
+///
+/// Asserts the tentpole's correctness contract in-run:
+///
+/// * outputs are **bit-identical** at every core count and under both
+///   memory models (sharding and contention are pure scheduling);
+/// * independent-model cycles are **monotone non-increasing** in the
+///   core count (more cores never hurt — the partition chooser can
+///   always keep the narrower plan);
+/// * speedup stays **sub-linear**: `cycles(n) * n >= cycles(1)` — work
+///   is conserved, cores only divide it;
+/// * contention is **bounded**: each core's stall keeps it within the
+///   fair-share factor `max(1, active * per_core_peak / shared)` of its
+///   uncontended makespan, so the shared pipe degrades but never
+///   livelocks a core.
+pub fn collect_scaling() -> Vec<ScalingMetric> {
+    let mut out = Vec::new();
+    let cost = CostModel::ascend910_like();
+    let MemoryModel::SharedBandwidth {
+        bytes_per_cycle: shared,
+    } = MemoryModel::ascend910_hbm()
+    else {
+        unreachable!("ascend910_hbm is a shared-bandwidth model");
+    };
+    for w in fig7_workloads() {
+        let shape = format!("{}x{}x{}", w.h, w.w, w.c);
+        let input = feature_map(1, w.c, w.h, w.w, 71);
+        let mut serial_cycles = 0u64;
+        let mut prev_cycles = u64::MAX;
+        let mut reference_out = None;
+        for &cores in &SCALING_CORES {
+            let eng = PoolingEngine::new(Chip::new(cores, cost)).with_sharding(true);
+            let eng_c = PoolingEngine::new(
+                Chip::new(cores, cost).with_memory(MemoryModel::ascend910_hbm()),
+            )
+            .with_sharding(true);
+            let (o, run) = eng
+                .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+                .expect("scaling im2col");
+            let (o_c, run_c) = eng_c
+                .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+                .expect("scaling im2col contended");
+            assert_eq!(
+                o.data(),
+                o_c.data(),
+                "scaling/{shape}/c{cores}: contention stage changed the output"
+            );
+            match &reference_out {
+                None => {
+                    reference_out = Some(o.data().to_vec());
+                    serial_cycles = run.cycles;
+                }
+                Some(r) => assert_eq!(
+                    o.data(),
+                    &r[..],
+                    "scaling/{shape}/c{cores}: sharding changed the output"
+                ),
+            }
+            assert!(
+                run.cycles <= prev_cycles,
+                "scaling/{shape}/c{cores}: speedup must be monotone in the \
+                 core count ({} cycles vs {} with fewer cores)",
+                run.cycles,
+                prev_cycles
+            );
+            prev_cycles = run.cycles;
+            assert!(
+                run.cycles * cores as u64 >= serial_cycles,
+                "scaling/{shape}/c{cores}: super-linear speedup is a cost-model \
+                 bug ({} x {cores} < serial {serial_cycles})",
+                run.cycles
+            );
+            // Bounded degradation: per core, the booked stall keeps the
+            // core within the fair-share factor of its uncontended
+            // makespan (+1 for the stall rounding).
+            let active = run_c.core_cycles.len() as u64;
+            let factor = ((active * cost.move_bytes_per_cycle) as f64 / shared as f64).max(1.0);
+            for (c, &cc) in run_c.per_core.iter().zip(&run_c.core_cycles) {
+                let uncontended = cc - c.contention_stalls;
+                assert!(
+                    cc as f64 <= factor * uncontended as f64 + 1.0,
+                    "scaling/{shape}/c{cores}: contention stall exceeds the \
+                     fair-share bound ({cc} vs {factor:.2} x {uncontended})"
+                );
+            }
+            out.push(ScalingMetric {
+                key: format!("scaling/{shape}/c{cores}"),
+                cores: cores as u64,
+                cycles: run.cycles,
+                cycles_contended: run_c.cycles,
+                contention_stalls: run_c.total.contention_stalls,
+            });
+        }
+    }
+    out
 }
 
 fn metric(
@@ -528,8 +671,13 @@ pub fn collect() -> Vec<Metric> {
 
 /// Render metrics as the `BENCH_pooling.json` document. When `baseline`
 /// is given, each metric additionally carries its dual-pipe cycle ratio
-/// vs the baseline (1.0 = unchanged, >1.0 = slower).
-pub fn to_json(metrics: &[Metric], baseline: Option<&[Metric]>) -> String {
+/// vs the baseline (1.0 = unchanged, >1.0 = slower). The `scaling` rows
+/// land in their own top-level section with per-core-count columns.
+pub fn to_json(
+    metrics: &[Metric],
+    scaling: &[ScalingMetric],
+    baseline: Option<&[Metric]>,
+) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"pooling\",\n");
     let _ = writeln!(out, "  \"tolerance\": {TOLERANCE},");
     let _ = writeln!(
@@ -582,6 +730,22 @@ pub fn to_json(metrics: &[Metric], baseline: Option<&[Metric]>) -> String {
             "},\n"
         });
     }
+    out.push_str("  ],\n  \"scaling\": [\n");
+    for (i, s) in scaling.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"key\": \"{}\", \"cores\": {}, \"cycles\": {}, \
+             \"cycles_contended\": {}, \"contention_stalls\": {}, \
+             \"contention_factor\": {:.4}}}",
+            s.key,
+            s.cores,
+            s.cycles,
+            s.cycles_contended,
+            s.contention_stalls,
+            s.contention_factor()
+        );
+        out.push_str(if i + 1 == scaling.len() { "\n" } else { ",\n" });
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -626,6 +790,70 @@ pub fn parse_metrics(doc: &str) -> Result<Vec<Metric>, String> {
             })
         })
         .collect::<Result<Vec<_>, String>>()
+}
+
+/// Parse the `scaling` section of a `BENCH_pooling.json`-format
+/// document. A baseline committed before the scaling gate existed has no
+/// section and parses as the empty list — [`compare_scaling`] then
+/// treats every current row as a new ceiling, mirroring how
+/// [`parse_metrics`] handles columns added after a baseline was
+/// committed.
+pub fn parse_scaling(doc: &str) -> Result<Vec<ScalingMetric>, String> {
+    let v = json::parse(doc).map_err(|e| e.to_string())?;
+    let Some(arr) = v.get("scaling").and_then(|m| m.as_arr()) else {
+        return Ok(Vec::new());
+    };
+    let field = |m: &json::Value, name: &'static str| {
+        m.get(name)
+            .and_then(|c| c.as_u64())
+            .ok_or(format!("scaling row missing \"{name}\""))
+    };
+    arr.iter()
+        .map(|m| {
+            Ok(ScalingMetric {
+                key: m
+                    .get("key")
+                    .and_then(|k| k.as_str())
+                    .ok_or("scaling row missing \"key\"".to_string())?
+                    .to_string(),
+                cores: field(m, "cores")?,
+                cycles: field(m, "cycles")?,
+                cycles_contended: field(m, "cycles_contended")?,
+                contention_stalls: field(m, "contention_stalls")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()
+}
+
+/// Compare current scaling rows against a baseline's. Flags a tracked
+/// row that disappeared, or one whose cycles (either memory model) grew
+/// by more than `tolerance`. New rows pass — they are fresh ceilings.
+pub fn compare_scaling(
+    current: &[ScalingMetric],
+    baseline: &[ScalingMetric],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for b in baseline {
+        let Some(c) = current.iter().find(|c| c.key == b.key) else {
+            regressions.push(format!("{}: tracked scaling row disappeared", b.key));
+            continue;
+        };
+        for (what, now, base) in [
+            ("independent", c.cycles, b.cycles),
+            ("contended", c.cycles_contended, b.cycles_contended),
+        ] {
+            let ratio = now as f64 / base.max(1) as f64;
+            if base > 0 && ratio > 1.0 + tolerance {
+                regressions.push(format!(
+                    "{} ({what}): {now} vs baseline {base} ({:+.1}%)",
+                    b.key,
+                    (ratio - 1.0) * 100.0
+                ));
+            }
+        }
+    }
+    regressions
 }
 
 /// Compare current metrics against a baseline. Returns the list of
@@ -699,10 +927,14 @@ pub fn compare(current: &[Metric], baseline: &[Metric], tolerance: f64) -> Vec<S
 pub fn run() -> Result<String, Vec<String>> {
     let baseline = parse_metrics(COMMITTED_BASELINE)
         .map_err(|e| vec![format!("committed baseline unreadable: {e}")])?;
+    let base_scaling = parse_scaling(COMMITTED_BASELINE)
+        .map_err(|e| vec![format!("committed baseline scaling unreadable: {e}")])?;
     let current = collect();
-    let regressions = compare(&current, &baseline, TOLERANCE);
+    let scaling = collect_scaling();
+    let mut regressions = compare(&current, &baseline, TOLERANCE);
+    regressions.extend(compare_scaling(&scaling, &base_scaling, TOLERANCE));
     if regressions.is_empty() {
-        Ok(to_json(&current, Some(&baseline)))
+        Ok(to_json(&current, &scaling, Some(&baseline)))
     } else {
         Err(regressions)
     }
@@ -730,10 +962,20 @@ mod tests {
         }
     }
 
+    fn sm(key: &str, cores: u64, cycles: u64) -> ScalingMetric {
+        ScalingMetric {
+            key: key.into(),
+            cores,
+            cycles,
+            cycles_contended: cycles + cycles / 4,
+            contention_stalls: cores * 10,
+        }
+    }
+
     #[test]
     fn json_round_trip() {
         let ms = vec![m("fig7a/1x1x16", 1000, 250), m("fig8s2/16x16", 77, 33)];
-        let doc = to_json(&ms, None);
+        let doc = to_json(&ms, &[], None);
         assert_eq!(parse_metrics(&doc).unwrap(), ms);
         assert!(doc.contains("\"speedup_single\""));
         assert!(doc.contains("\"rename_gain\""));
@@ -749,9 +991,49 @@ mod tests {
         assert_eq!(parsed[0].standard_cycles_norename, 0);
         assert!(compare(&ms, &parsed, TOLERANCE).is_empty());
         // with-baseline rendering stays parseable
-        let doc2 = to_json(&ms, Some(&ms));
+        let doc2 = to_json(&ms, &[], Some(&ms));
         assert!(doc2.contains("\"vs_baseline_standard\": 1.0000"));
         assert_eq!(parse_metrics(&doc2).unwrap(), ms);
+    }
+
+    #[test]
+    fn scaling_section_round_trips_and_tolerates_legacy_baselines() {
+        let ms = vec![m("fig7a/1x1x16", 1000, 250)];
+        let ss = vec![
+            sm("scaling/1x1x16/c1", 1, 4000),
+            sm("scaling/1x1x16/c8", 8, 600),
+        ];
+        let doc = to_json(&ms, &ss, None);
+        assert_eq!(parse_scaling(&doc).unwrap(), ss);
+        assert_eq!(parse_metrics(&doc).unwrap(), ms);
+        assert!(doc.contains("\"contention_factor\": 1.2500"));
+        // A baseline committed before the scaling gate has no section:
+        // it parses as empty and every current row is a new ceiling.
+        let legacy = to_json(&ms, &[], None);
+        let base = parse_scaling(&legacy).unwrap();
+        assert!(base.is_empty());
+        assert!(compare_scaling(&ss, &base, TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn compare_scaling_flags_only_real_regressions() {
+        let base = vec![sm("scaling/a/c1", 1, 1000), sm("scaling/a/c8", 8, 200)];
+        // within tolerance + improvement + new row → pass
+        let ok = vec![
+            sm("scaling/a/c1", 1, 1040),
+            sm("scaling/a/c8", 8, 180),
+            sm("scaling/a/c32", 32, 90),
+        ];
+        assert!(compare_scaling(&ok, &base, TOLERANCE).is_empty());
+        // 6% regression on the contended column only → fail
+        let mut slow = vec![sm("scaling/a/c1", 1, 1000), sm("scaling/a/c8", 8, 200)];
+        slow[1].cycles_contended = 265;
+        let regs = compare_scaling(&slow, &base, TOLERANCE);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("scaling/a/c8 (contended)"));
+        // disappeared row → fail
+        let gone = vec![sm("scaling/a/c1", 1, 1000)];
+        assert_eq!(compare_scaling(&gone, &base, TOLERANCE).len(), 1);
     }
 
     #[test]
@@ -839,6 +1121,37 @@ mod tests {
         assert!(
             base.iter().any(|m| m.rename_gain() > 1.0),
             "baseline records no strict renaming win on any tracked row"
+        );
+        // The scaling section is committed: every Fig. 7 shape at every
+        // swept core count, with the committed numbers already honouring
+        // monotone speedup and contended >= independent.
+        let scaling = parse_scaling(COMMITTED_BASELINE).expect("scaling parses");
+        assert_eq!(
+            scaling.len(),
+            3 * SCALING_CORES.len(),
+            "baseline must track every Fig. 7 shape at every swept core count"
+        );
+        for rows in scaling.chunks(SCALING_CORES.len()) {
+            for pair in rows.windows(2) {
+                assert!(
+                    pair[1].cycles <= pair[0].cycles,
+                    "{}: committed scaling curve is not monotone",
+                    pair[1].key
+                );
+            }
+            for s in rows {
+                assert!(
+                    s.cycles_contended >= s.cycles,
+                    "{}: contention can only add cycles",
+                    s.key
+                );
+            }
+        }
+        assert!(
+            scaling
+                .iter()
+                .any(|s| s.cores == 32 && s.contention_stalls > 0),
+            "the full chip must book contention stalls on some shape"
         );
     }
 }

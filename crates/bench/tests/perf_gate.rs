@@ -147,6 +147,26 @@ fn perf_gate_no_regressions_vs_committed_baseline() {
                     .is_some(),
                 "BENCH_pooling.json must report speedup vs the baseline"
             );
+
+            // The artifact carries the per-core-count scaling columns:
+            // every Fig. 7 shape at every swept core count, with the
+            // contended column never below the independent one. (The
+            // bit-identical / monotone / fair-share-bound asserts run
+            // inside `collect_scaling` itself; the tolerance comparison
+            // against the committed baseline ran inside `gate::run`.)
+            let scaling = gate::parse_scaling(&doc).expect("scaling section parses");
+            assert_eq!(
+                scaling.len(),
+                3 * gate::SCALING_CORES.len(),
+                "scaling section must cover all Fig. 7 shapes x core counts"
+            );
+            for s in &scaling {
+                assert!(
+                    s.cycles_contended >= s.cycles,
+                    "{}: the contention stage can only add cycles",
+                    s.key
+                );
+            }
         }
         Err(regressions) => panic!(
             "performance regressions vs the committed baseline:\n  {}\n\

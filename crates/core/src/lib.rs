@@ -39,5 +39,5 @@ pub mod workloads;
 pub use maxpool::{build_forward_batched, tiling_threshold};
 pub use problem::{ForwardImpl, LowerError, MergeImpl, PoolProblem};
 pub use runner::{PoolRun, PoolingEngine, RunError};
-pub use schedule::Schedule;
+pub use schedule::{choose_partition, PartitionAxis, Schedule};
 pub use workloads::{fig7_workloads, table1_workloads, CnnWorkload};

@@ -7,8 +7,8 @@
 use crate::problem::{ForwardImpl, LowerError, PoolProblem};
 use crate::schedule::{self, Schedule};
 use dv_akg::{
-    band_input_rows, dma, elementwise, fill_region, max_row_band, row_bands, strided_accumulate,
-    Band, BandMode, BandSlots, UbArena,
+    balanced_chunks, band_input_rows, dma, elementwise, fill_region, max_row_band, row_bands,
+    strided_accumulate, Band, BandMode, BandSlots, UbArena,
 };
 use dv_fp16::F16;
 use dv_isa::{
@@ -217,7 +217,11 @@ fn build_forward_inner(
     for (n, c1) in prob.planes() {
         let in_base = gm_in + prob.in_plane_offset(n, c1);
         let out_base = gm_out + prob.out_plane_offset(n, c1);
-        for group in bands.chunks(bands.len().div_ceil(groups_per_plane)) {
+        // Balanced split: group sizes differ by at most one, so every
+        // requested group draws work (`chunks(div_ceil)` can under-fill —
+        // 5 bands over 4 groups gave (2, 2, 1): three shards for four
+        // cores at the same 2-band makespan floor).
+        for group in balanced_chunks(&bands, groups_per_plane) {
             // Cross-band overlap only pays off when this program cycles
             // through at least two bands; a single-band group keeps the
             // single-slot layout (and its exact instruction stream).

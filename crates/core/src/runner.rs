@@ -16,11 +16,11 @@ use crate::maxpool::{
     build_forward_with_argmax_parallel, BackwardSource, Reduction,
 };
 use crate::problem::{ForwardImpl, LowerError, MergeImpl, PoolProblem};
-use crate::schedule::Schedule;
+use crate::schedule::{choose_partition, PartitionAxis, Schedule};
 use core::fmt;
 use dv_akg::GmArena;
 use dv_isa::Program;
-use dv_sim::{Chip, ChipRun, SimError};
+use dv_sim::{Chip, ChipRun, MemoryModel, SimError};
 use dv_tensor::{Nc1hwc0, PatchTensor, PoolParams, C0};
 
 /// Errors surfaced by engine runs.
@@ -85,6 +85,17 @@ pub struct PoolingEngine {
     /// does not fit the scratchpads or would issue more `Im2Col`s than
     /// it saves. Results are bit-identical either way.
     pub batching: bool,
+    /// Shard forward workloads across the chip by cost model (off by
+    /// default): when set, each Im2col forward picks its partition axis —
+    /// per-`(n, c1)` plane, batch-folded per-`c1`, or per-row-band —
+    /// from [`choose_partition`]'s multi-core makespan estimate (which
+    /// folds in the chip's shared-bandwidth contention model when one is
+    /// configured), instead of the fixed `split_bands`/`batching`
+    /// switches. Results are bit-identical on every axis; only the
+    /// program partitioning changes. Backward passes are never sharded
+    /// below plane granularity (adjacent bands share a halo and would
+    /// merge overlapping GM writes).
+    pub shard: bool,
     /// Override for [`Schedule::rotate`]: whether lowerings may plan
     /// versioned (renamer-backed) band layouts. `None` (the default)
     /// derives it from the chip's cost model — planned exactly when the
@@ -107,6 +118,7 @@ impl PoolingEngine {
             split_bands: false,
             double_buffer: true,
             batching: true,
+            shard: false,
             rotation_planning: None,
         }
     }
@@ -139,6 +151,13 @@ impl PoolingEngine {
         self
     }
 
+    /// Enable or disable cost-model sharding (see
+    /// [`PoolingEngine::shard`]).
+    pub fn with_sharding(mut self, on: bool) -> PoolingEngine {
+        self.shard = on;
+        self
+    }
+
     /// Pin whether lowerings plan versioned (renamer-backed) band
     /// layouts (see [`PoolingEngine::rotation_planning`]).
     pub fn with_rotation_planning(mut self, on: bool) -> PoolingEngine {
@@ -162,6 +181,48 @@ impl PoolingEngine {
             self.chip.cores
         } else {
             1
+        }
+    }
+
+    /// The partition axis this forward run shards over. With
+    /// [`PoolingEngine::shard`] off the mapping reproduces the legacy
+    /// switches exactly (batch fold if eligible, else band splitting if
+    /// requested, else per-plane). With it on, the Im2col forward asks
+    /// [`choose_partition`]'s multi-core makespan estimate, feeding it
+    /// the chip's shared-bandwidth model so contention-heavy splits are
+    /// priced; non-Im2col forwards have no batched lowering and keep the
+    /// legacy mapping.
+    fn forward_axis(
+        &self,
+        prob: &PoolProblem,
+        impl_: ForwardImpl,
+        with_mask: bool,
+    ) -> PartitionAxis {
+        if self.shard && impl_ == ForwardImpl::Im2col {
+            let shared = match self.chip.memory {
+                MemoryModel::Independent => None,
+                MemoryModel::SharedBandwidth { bytes_per_cycle } => Some(bytes_per_cycle),
+            };
+            let axis = choose_partition(prob, with_mask, self.chip.cores, &self.schedule(), shared);
+            if axis == PartitionAxis::PerC1 && !self.batching {
+                PartitionAxis::PerPlane
+            } else {
+                axis
+            }
+        } else if impl_ == ForwardImpl::Im2col && self.fold_batches(prob) {
+            PartitionAxis::PerC1
+        } else if self.split_bands {
+            PartitionAxis::PerRowBand
+        } else {
+            PartitionAxis::PerPlane
+        }
+    }
+
+    /// How many shares each plane's bands split into under `axis`.
+    fn axis_parallel(&self, axis: PartitionAxis) -> usize {
+        match axis {
+            PartitionAxis::PerRowBand => self.chip.cores,
+            PartitionAxis::PerPlane | PartitionAxis::PerC1 => 1,
         }
     }
 
@@ -255,19 +316,20 @@ impl PoolingEngine {
         let mut gm = GmArena::new();
         let gm_in = gm.alloc(prob.in_bytes());
         let gm_out = gm.alloc(prob.out_bytes());
-        let programs = if impl_ == ForwardImpl::Im2col && self.fold_batches(&prob) {
-            self.batched_forward_or_fallback(&prob, Reduction::Max, gm_in, gm_out, None)?
-        } else {
-            build_forward_parallel(
+        let programs = match self.forward_axis(&prob, impl_, false) {
+            PartitionAxis::PerC1 => {
+                self.batched_forward_or_fallback(&prob, Reduction::Max, gm_in, gm_out, None)?
+            }
+            axis => build_forward_parallel(
                 &prob,
                 impl_,
                 Reduction::Max,
                 gm_in,
                 gm_out,
                 self.chip.caps,
-                self.parallel(),
+                self.axis_parallel(axis),
                 self.schedule(),
-            )?
+            )?,
         };
         let mut image = vec![0u8; gm.size()];
         write_tensor(&mut image, gm_in, input.data());
@@ -288,19 +350,24 @@ impl PoolingEngine {
         let gm_in = gm.alloc(prob.in_bytes());
         let gm_out = gm.alloc(prob.out_bytes());
         let gm_mask = gm.alloc(prob.mask_bytes());
-        let programs = if impl_ == ForwardImpl::Im2col && self.fold_batches(&prob) {
-            self.batched_forward_or_fallback(&prob, Reduction::Max, gm_in, gm_out, Some(gm_mask))?
-        } else {
-            build_forward_with_argmax_parallel(
+        let programs = match self.forward_axis(&prob, impl_, true) {
+            PartitionAxis::PerC1 => self.batched_forward_or_fallback(
+                &prob,
+                Reduction::Max,
+                gm_in,
+                gm_out,
+                Some(gm_mask),
+            )?,
+            axis => build_forward_with_argmax_parallel(
                 &prob,
                 impl_,
                 gm_in,
                 gm_out,
                 gm_mask,
                 self.chip.caps,
-                self.parallel(),
+                self.axis_parallel(axis),
                 self.schedule(),
-            )?
+            )?,
         };
         let mut image = vec![0u8; gm.size()];
         write_tensor(&mut image, gm_in, input.data());
@@ -425,19 +492,26 @@ impl PoolingEngine {
         let mut gm = GmArena::new();
         let gm_in = gm.alloc(prob.in_bytes());
         let gm_out = gm.alloc(prob.out_bytes());
-        let programs = if impl_ == ForwardImpl::Im2col && self.fold_batches(&prob) {
-            let scale = crate::avgpool::avg_scale(&prob);
-            self.batched_forward_or_fallback(&prob, Reduction::Sum { scale }, gm_in, gm_out, None)?
-        } else {
-            build_avgpool_forward_parallel(
+        let programs = match self.forward_axis(&prob, impl_, false) {
+            PartitionAxis::PerC1 => {
+                let scale = crate::avgpool::avg_scale(&prob);
+                self.batched_forward_or_fallback(
+                    &prob,
+                    Reduction::Sum { scale },
+                    gm_in,
+                    gm_out,
+                    None,
+                )?
+            }
+            axis => build_avgpool_forward_parallel(
                 &prob,
                 impl_,
                 gm_in,
                 gm_out,
                 self.chip.caps,
-                self.parallel(),
+                self.axis_parallel(axis),
                 self.schedule(),
-            )?
+            )?,
         };
         let mut image = vec![0u8; gm.size()];
         write_tensor(&mut image, gm_in, input.data());

@@ -266,6 +266,131 @@ pub(crate) fn forward_versioned_makespan(stages: &[FwdStages]) -> u64 {
     t.max(r)
 }
 
+/// Which axis a sharded forward partitions the chip's work over — the
+/// three splits Section V-A admits ("the outer loops are parallelized
+/// between the AI Cores available").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionAxis {
+    /// One program per `(n, c1)` plane — the paper's per-plane schedule
+    /// and the only shape every lowering supports. Covers the
+    /// "per-batch-element" split: with `C1 = 1` each program *is* one
+    /// batch element.
+    PerPlane,
+    /// Batch fold: one program per `c1` slice carrying all `N` batch
+    /// planes through a Mode-0 `Im2Col` repeat chain. Fewer, bigger
+    /// programs — worthwhile exactly when occupancy survives the drop
+    /// from `N * C1` to `C1` programs.
+    PerC1,
+    /// Row bands: each plane's output rows split across otherwise-idle
+    /// cores, one program per band group. More, smaller programs — buys
+    /// occupancy when there are fewer planes than cores, at the price of
+    /// per-band halo reloads and issue overhead.
+    PerRowBand,
+}
+
+/// Estimated (cycles, GM bytes) of one Im2col-forward program covering a
+/// `1/groups` row-band share of one plane (`groups == 1`: the whole
+/// plane). `None` when the geometry cannot be banded that way (vertical
+/// padding, degenerate heights) — the caller must not pick that split.
+fn shard_est(
+    prob: &PoolProblem,
+    with_mask: bool,
+    cost: &CostModel,
+    groups: usize,
+) -> Option<(u64, u64)> {
+    let (oh, ow) = prob.out_dims();
+    let g = groups.clamp(1, oh);
+    let boh = oh.div_ceil(g);
+    let bands = row_bands(&prob.params, oh, boh, prob.ih).ok()?;
+    // The tallest (first) band bounds the shard makespan.
+    let s = forward_im2col_band(prob, with_mask, cost, &bands[0]);
+    let cycles = forward_serial_makespan(std::slice::from_ref(&s));
+    let band_out = bands[0].oh_len() * ow * ROW;
+    let mask_out = if with_mask {
+        prob.params.kh * prob.params.kw * band_out
+    } else {
+        0
+    };
+    let gm = bands[0].ih_len * prob.iw * ROW + band_out + mask_out;
+    Some((cycles, gm as u64))
+}
+
+/// Estimated chip makespan of `programs` identical shards of `per` =
+/// (cycles, GM bytes) each, round-robined over `cores`. Under a shared
+/// L2/HBM pipe of `shared` bytes/cycle the estimate is inflated by the
+/// analytic contention multiplier `max(1, concurrent * demand / shared)`
+/// — the uniform-streams closed form of the simulator's fluid model
+/// (`dv_sim::contention`), which is exact when all concurrent shards are
+/// identical, as they are here.
+fn chip_makespan(
+    programs: usize,
+    per: (u64, u64),
+    cores: usize,
+    cost: &CostModel,
+    shared: Option<u64>,
+) -> f64 {
+    if programs == 0 {
+        return 0.0;
+    }
+    let rounds = programs.div_ceil(cores) as f64;
+    let per_cycles = (per.0 + cost.core_dispatch).max(1) as f64;
+    let factor = match shared {
+        Some(b) => {
+            let concurrent = programs.min(cores) as f64;
+            let demand = (per.1 as f64 / per_cycles).min(cost.move_bytes_per_cycle as f64);
+            (concurrent * demand / b.max(1) as f64).max(1.0)
+        }
+        None => 1.0,
+    };
+    rounds * per_cycles * factor
+}
+
+/// Pick the partition axis for a sharded Im2col forward: estimate the
+/// chip makespan of each feasible split with the same per-band cost
+/// predictor the overlap decisions use, inflate by the shared-bandwidth
+/// contention multiplier when the chip models one, and take the cheapest.
+/// Ties prefer [`PartitionAxis::PerC1`] over [`PartitionAxis::PerPlane`]
+/// (the fold also saves `Im2Col` issues, which the makespan estimate
+/// does not see) and `PerPlane` over [`PartitionAxis::PerRowBand`] (band
+/// splits pay halo reloads the win must clear).
+pub fn choose_partition(
+    prob: &PoolProblem,
+    with_mask: bool,
+    cores: usize,
+    sched: &Schedule,
+    shared_bandwidth: Option<u64>,
+) -> PartitionAxis {
+    let cost = &sched.cost;
+    let planes = prob.n * prob.c1;
+    let Some(plane) = shard_est(prob, with_mask, cost, 1) else {
+        return PartitionAxis::PerPlane;
+    };
+    let mut best = (
+        chip_makespan(planes, plane, cores, cost, shared_bandwidth),
+        PartitionAxis::PerPlane,
+    );
+    if prob.n > 1 {
+        let folded = (
+            plane.0.saturating_mul(prob.n as u64),
+            plane.1.saturating_mul(prob.n as u64),
+        );
+        let est = chip_makespan(prob.c1, folded, cores, cost, shared_bandwidth);
+        if est <= best.0 {
+            best = (est, PartitionAxis::PerC1);
+        }
+    }
+    let groups = cores.checked_div(planes).unwrap_or(0);
+    if groups > 1 {
+        if let Some(band) = shard_est(prob, with_mask, cost, groups) {
+            let est = chip_makespan(planes * groups, band, cores, cost, shared_bandwidth);
+            if est < best.0 {
+                best = (est, PartitionAxis::PerRowBand);
+            }
+        }
+    }
+    best.1
+}
+
 /// Stage estimate of one Im2col-forward band at its actual height.
 pub(crate) fn forward_im2col_band(
     prob: &PoolProblem,
@@ -465,6 +590,74 @@ mod tests {
                 "deferred flush must never lose on identical stage lists: {bands:?}"
             );
         }
+    }
+
+    fn prob(n: usize, c1: usize, hw: usize) -> PoolProblem {
+        PoolProblem::new(n, c1, hw, hw, dv_tensor::PoolParams::K3S2).unwrap()
+    }
+
+    #[test]
+    fn choose_partition_covers_the_three_axes() {
+        let sched = Schedule::default();
+        // One big plane, 32 cores: only a band split draws the chip.
+        assert_eq!(
+            choose_partition(&prob(1, 1, 147), false, 32, &sched, None),
+            PartitionAxis::PerRowBand
+        );
+        // Plenty of c1 slices and N > 1: the batch fold keeps every core
+        // busy with fewer programs.
+        assert_eq!(
+            choose_partition(&prob(4, 64, 36), false, 32, &sched, None),
+            PartitionAxis::PerC1
+        );
+        // N > 1 but c1 < cores: folding to 4 programs would idle 28
+        // cores — the per-plane split wins.
+        assert_eq!(
+            choose_partition(&prob(8, 4, 36), false, 32, &sched, None),
+            PartitionAxis::PerPlane
+        );
+        // Single core: occupancy is moot, the fold's consolidation wins
+        // (matches the legacy fold_batches gate).
+        assert_eq!(
+            choose_partition(&prob(4, 2, 36), false, 1, &sched, None),
+            PartitionAxis::PerC1
+        );
+        // Enough planes to cover the cores: no reason to band-split.
+        assert_eq!(
+            choose_partition(&prob(1, 32, 73), false, 32, &sched, None),
+            PartitionAxis::PerPlane
+        );
+    }
+
+    #[test]
+    fn choose_partition_never_bands_padded_geometry() {
+        let padded =
+            dv_tensor::PoolParams::with_padding((3, 3), (2, 2), dv_tensor::Padding::uniform(1));
+        let p = PoolProblem::new(1, 1, 56, 56, padded).unwrap();
+        // Banding is infeasible (padding forbids multi-band planes), so
+        // even a 32-core chip must stay per-plane.
+        assert_eq!(
+            choose_partition(&p, false, 32, &Schedule::default(), None),
+            PartitionAxis::PerPlane
+        );
+    }
+
+    #[test]
+    fn scarce_shared_bandwidth_discourages_wide_splits() {
+        let sched = Schedule::default();
+        let p = prob(1, 1, 147);
+        // Independent memory: band-split across all 32 cores.
+        assert_eq!(
+            choose_partition(&p, false, 32, &sched, None),
+            PartitionAxis::PerRowBand
+        );
+        // A starved shared pipe (1 B/cycle): 32 concurrent streams pay a
+        // 32x contention multiplier plus the halo reloads, and the
+        // estimate keeps the plane whole.
+        assert_eq!(
+            choose_partition(&p, false, 32, &sched, Some(1)),
+            PartitionAxis::PerPlane
+        );
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Chip-level determinism across core counts and memory models.
+//!
+//! The sharding tentpole's contract: how work is distributed over the
+//! chip — per plane, per `c1` slice, or per row band, on 1 to 32 cores,
+//! with or without the shared-HBM contention stage — is pure scheduling.
+//! Results must be **bit-identical** everywhere, and the simulator must
+//! be deterministic run-to-run (same outputs, same cycles, same
+//! counters), because the perf gate's exact-delta reasoning depends on
+//! it. Plane-partitioned runs additionally keep their summed `total`
+//! counters invariant in the core count: the same programs execute, only
+//! their distribution over cores changes.
+
+use dv_core::{ForwardImpl, MergeImpl, PoolingEngine};
+use dv_fp16::F16;
+use dv_sim::{Chip, CostModel, MemoryModel};
+use dv_tensor::reference;
+use dv_tensor::{Nc1hwc0, PoolParams};
+
+const CORE_COUNTS: [usize; 4] = [1, 2, 8, 32];
+
+fn input(n: usize, c1: usize, h: usize, w: usize, seed: u64) -> Nc1hwc0 {
+    let mut s = seed | 1;
+    Nc1hwc0::from_fn(n, c1, h, w, |_, _, _, _, _| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(99);
+        F16::from_f32(((s >> 40) % 33) as f32 - 16.0)
+    })
+}
+
+/// Integer-valued gradients so every summation order is exact in fp16.
+fn grads(n: usize, c1: usize, oh: usize, ow: usize, seed: u64) -> Nc1hwc0 {
+    let mut s = seed ^ 0xD1FF;
+    Nc1hwc0::from_fn(n, c1, oh, ow, |_, _, _, _, _| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(17);
+        F16::from_f32(((s >> 41) % 8) as f32)
+    })
+}
+
+fn engine(cores: usize, memory: MemoryModel) -> PoolingEngine {
+    PoolingEngine::new(Chip::new(cores, CostModel::ascend910_like()).with_memory(memory))
+        .with_sharding(true)
+}
+
+/// Run all four op x direction combinations on one engine and return
+/// every output tensor's data, flattened in a fixed order.
+fn all_ops(eng: &PoolingEngine) -> Vec<Vec<F16>> {
+    let params = PoolParams::K3S2;
+    let (h, w) = (73usize, 73usize);
+    let x = input(1, 2, h, w, 11);
+    let mask = reference::maxpool_argmax_mask(&x, &params).expect("mask");
+    // K(3,3) S(2,2), no padding: 73 -> (73 - 3) / 2 + 1 = 36.
+    let (oh, ow) = ((h - 3) / 2 + 1, (w - 3) / 2 + 1);
+    let dy = grads(1, 2, oh, ow, 12);
+
+    let (o_max, _) = eng
+        .maxpool_forward(&x, params, ForwardImpl::Im2col)
+        .expect("max forward");
+    let (o_avg, _) = eng
+        .avgpool_forward(&x, params, ForwardImpl::Im2col)
+        .expect("avg forward");
+    let (dx_max, _) = eng
+        .maxpool_backward(&mask, &dy, params, h, w, MergeImpl::Col2Im)
+        .expect("max backward");
+    let (dx_avg, _) = eng
+        .avgpool_backward(&dy, params, h, w, MergeImpl::Col2Im)
+        .expect("avg backward");
+    vec![
+        o_max.data().to_vec(),
+        o_avg.data().to_vec(),
+        dx_max.data().to_vec(),
+        dx_avg.data().to_vec(),
+    ]
+}
+
+/// Outputs are bit-identical at every core count, under both memory
+/// models, for max/avg x forward/backward — sharding and contention
+/// never touch data.
+#[test]
+fn outputs_bit_identical_across_core_counts_and_memory_models() {
+    let reference = all_ops(&engine(1, MemoryModel::Independent));
+    for &cores in &CORE_COUNTS {
+        for memory in [MemoryModel::Independent, MemoryModel::ascend910_hbm()] {
+            assert_eq!(
+                all_ops(&engine(cores, memory)),
+                reference,
+                "{cores} cores / {memory:?}: output diverged from the serial run"
+            );
+        }
+    }
+}
+
+/// Back-to-back runs of the same engine are identical in outputs,
+/// makespan, per-core cycles, and summed counters — including the
+/// contention stalls booked by the shared-bandwidth stage.
+#[test]
+fn repeated_runs_are_bit_and_cycle_identical() {
+    let params = PoolParams::K3S2;
+    let x = input(1, 2, 73, 73, 21);
+    for memory in [MemoryModel::Independent, MemoryModel::ascend910_hbm()] {
+        let eng = engine(8, memory);
+        let (o1, r1) = eng
+            .maxpool_forward(&x, params, ForwardImpl::Im2col)
+            .expect("first run");
+        let (o2, r2) = eng
+            .maxpool_forward(&x, params, ForwardImpl::Im2col)
+            .expect("second run");
+        assert_eq!(o1.data(), o2.data(), "{memory:?}: outputs drifted");
+        assert_eq!(r1.cycles, r2.cycles, "{memory:?}: makespan drifted");
+        assert_eq!(
+            r1.core_cycles, r2.core_cycles,
+            "{memory:?}: per-core cycles drifted"
+        );
+        assert_eq!(r1.total, r2.total, "{memory:?}: summed counters drifted");
+    }
+}
+
+/// With sharding and band splitting off, the engine lowers the same
+/// per-plane programs regardless of chip width: the summed `total`
+/// counters are invariant in the core count, and the makespan is
+/// monotone non-increasing as cores absorb more planes.
+#[test]
+fn plane_partitioned_total_counters_invariant_in_core_count() {
+    let params = PoolParams::K3S2;
+    let x = input(1, 4, 73, 73, 31);
+    let runs: Vec<_> = CORE_COUNTS
+        .iter()
+        .map(|&cores| {
+            let eng = PoolingEngine::new(Chip::new(cores, CostModel::ascend910_like()));
+            let (o, r) = eng
+                .maxpool_forward(&x, params, ForwardImpl::Im2col)
+                .expect("forward");
+            (o.data().to_vec(), r)
+        })
+        .collect();
+    for (out, run) in &runs[1..] {
+        assert_eq!(out, &runs[0].0, "core count changed the output");
+        assert_eq!(
+            run.total, runs[0].1.total,
+            "core count changed the summed counters of identical programs"
+        );
+    }
+    for pair in runs.windows(2) {
+        assert!(
+            pair[1].1.cycles <= pair[0].1.cycles,
+            "more cores made the plane-partitioned makespan worse"
+        );
+    }
+}

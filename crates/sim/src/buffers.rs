@@ -50,6 +50,29 @@ pub enum SimError {
         /// what the access expected
         expected: &'static str,
     },
+    /// Two programs of one chip run declared overlapping GM write
+    /// ranges — a lowering bug (shards must partition the output), caught
+    /// before any core executes.
+    GmOverlap {
+        /// first program index
+        prog_a: usize,
+        /// its overlapping byte range `[start, end)`
+        range_a: (usize, usize),
+        /// second program index
+        prog_b: usize,
+        /// its overlapping byte range `[start, end)`
+        range_b: (usize, usize),
+    },
+    /// A program's *executed* GM writes (observed from the instruction
+    /// stream's `ExecInfo` endpoints) fell outside the ranges its static
+    /// scan declared — the merge-back would silently drop the bytes, so
+    /// the run fails instead.
+    UndeclaredGmWrite {
+        /// offending program index
+        program: usize,
+        /// observed write span `[start, end)` in GM bytes
+        observed: (usize, usize),
+    },
 }
 
 impl fmt::Display for SimError {
@@ -76,6 +99,23 @@ impl fmt::Display for SimError {
             SimError::WrongElementType { buffer, expected } => {
                 write!(f, "{buffer} does not hold {expected} elements")
             }
+            SimError::GmOverlap {
+                prog_a,
+                range_a,
+                prog_b,
+                range_b,
+            } => write!(
+                f,
+                "programs {prog_a} and {prog_b} write overlapping GM ranges \
+                 [{:#x},{:#x}) and [{:#x},{:#x})",
+                range_a.0, range_a.1, range_b.0, range_b.1
+            ),
+            SimError::UndeclaredGmWrite { program, observed } => write!(
+                f,
+                "program {program} wrote GM [{:#x},{:#x}) outside its declared \
+                 merge-back ranges",
+                observed.0, observed.1
+            ),
         }
     }
 }

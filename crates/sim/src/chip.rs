@@ -2,19 +2,33 @@
 //!
 //! "If multiple AI Cores are available, multiple tiles can be processed in
 //! parallel" (paper, Section V-A) — the lowering layer partitions work
-//! (typically over `C1`) into one program per tile and the chip executes
-//! them round-robin over its cores, each core running its share
-//! sequentially. The reported cycle count is the maximum over cores, plus
-//! a per-tile dispatch charge.
+//! (over `C1`, row bands, or batch elements) into one program per tile and
+//! the chip executes them round-robin over its cores, each core running
+//! its share sequentially. The reported cycle count is the maximum over
+//! cores, plus a per-tile dispatch charge and — under
+//! [`MemoryModel::SharedBandwidth`] — the extra completion time each
+//! core's MTE streams lose to L2/HBM contention (see
+//! [`crate::contention`]).
 //!
 //! Concurrency model: each core gets a private copy of the global-memory
 //! image (real cores share GM, but our kernels never communicate through
 //! GM mid-run); after all cores join, the byte ranges each program wrote
-//! to GM — recovered from its `Move`-to-GM instructions — are merged back.
-//! Overlapping writes from different cores are a lowering bug and are
-//! detected.
+//! to GM are merged back. Two safety nets guard the merge:
+//!
+//! 1. **Pre-flight disjointness.** Each program's *declared* GM output
+//!    ranges (its `Move`-to-GM instructions) are checked pairwise-disjoint
+//!    across programs with an active-end sweep — overlapping writes from
+//!    different cores are a lowering bug ([`SimError::GmOverlap`]).
+//! 2. **Execution cross-check.** The write spans each core *actually
+//!    observed* (from `ExecInfo`) are verified to fall inside the
+//!    program's declared ranges ([`SimError::UndeclaredGmWrite`]
+//!    otherwise), and the merge-back copies exactly the observed spans —
+//!    so a GM write the static scan failed to predict can never be
+//!    silently dropped.
 
 use crate::buffers::{BufferPeaks, SimError};
+use crate::contention::contention_stalls;
+pub use crate::contention::MemoryModel;
 use crate::core::AiCore;
 use crate::cost::{Capacities, CostModel};
 use crate::counters::HwCounters;
@@ -33,6 +47,9 @@ pub struct Chip {
     pub caps: Capacities,
     /// Per-instruction trace recording (off by default).
     pub trace: TraceConfig,
+    /// How concurrent cores share the path to global memory
+    /// ([`MemoryModel::Independent`] by default — the legacy behaviour).
+    pub memory: MemoryModel,
 }
 
 /// The result of a chip run.
@@ -41,7 +58,8 @@ pub struct ChipRun {
     /// Counters per physical core (index parallel to `core_cycles` and
     /// `traces`), dispatch included.
     pub per_core: Vec<HwCounters>,
-    /// Cycles per core including dispatch overhead.
+    /// Cycles per core including dispatch overhead and (under a shared
+    /// memory model) contention stalls.
     pub core_cycles: Vec<u64>,
     /// The chip-level cycle count: max over cores (cores run in
     /// parallel).
@@ -76,13 +94,15 @@ impl ChipRun {
 }
 
 impl Chip {
-    /// An Ascend-910-like chip: 32 cores, default cost model.
+    /// An Ascend-910-like chip: 32 cores, default cost model, independent
+    /// memory paths (opt into contention with [`Chip::with_memory`]).
     pub fn ascend910() -> Chip {
         Chip {
             cores: 32,
             cost: CostModel::ascend910_like(),
             caps: Capacities::ASCEND910,
             trace: TraceConfig::OFF,
+            memory: MemoryModel::Independent,
         }
     }
 
@@ -94,6 +114,7 @@ impl Chip {
             cost,
             caps: Capacities::ASCEND910,
             trace: TraceConfig::OFF,
+            memory: MemoryModel::Independent,
         }
     }
 
@@ -103,14 +124,31 @@ impl Chip {
         self
     }
 
+    /// The same chip with a different memory-hierarchy model.
+    pub fn with_memory(mut self, memory: MemoryModel) -> Chip {
+        self.memory = memory;
+        self
+    }
+
     /// Execute `programs` (one per tile) over the cores, reading and
     /// updating the global-memory image `gm` in place.
     pub fn run(&self, gm: &mut [u8], programs: &[Program]) -> Result<ChipRun, SimError> {
-        // Recover each program's GM output ranges up front, and check
-        // cross-program disjointness (a lowering invariant).
-        let out_ranges: Vec<Vec<(usize, usize)>> = programs.iter().map(gm_write_ranges).collect();
-        check_disjoint(&out_ranges)?;
+        // Recover each program's declared GM output ranges up front, and
+        // check cross-program disjointness (a lowering invariant).
+        let declared: Vec<Vec<(usize, usize)>> = programs.iter().map(gm_write_ranges).collect();
+        check_disjoint(&declared)?;
+        self.run_with_declared(gm, programs, &declared)
+    }
 
+    /// The body of [`Chip::run`] with the declared merge-back ranges made
+    /// explicit. Split out so tests can feed a declaration list that
+    /// disagrees with what execution does and watch the cross-check fire.
+    fn run_with_declared(
+        &self,
+        gm: &mut [u8],
+        programs: &[Program],
+        declared: &[Vec<(usize, usize)>],
+    ) -> Result<ChipRun, SimError> {
         // Round-robin programs onto cores.
         let groups: Vec<Vec<usize>> = (0..self.cores)
             .map(|c| (c..programs.len()).step_by(self.cores).collect::<Vec<_>>())
@@ -131,7 +169,6 @@ impl Chip {
                 .iter()
                 .enumerate()
                 .map(|(core_id, jobs)| {
-                    let out_ranges = &out_ranges;
                     s.spawn(move || -> Result<Option<CoreResult>, SimError> {
                         if jobs.is_empty() {
                             return Ok(None);
@@ -140,17 +177,29 @@ impl Chip {
                         core.set_trace(self.trace);
                         core.buffers_mut().gm_bytes_mut().copy_from_slice(gm_ref);
                         let mut dispatch = 0u64;
+                        let mut writes = Vec::new();
                         for &j in jobs {
                             core.run(&programs[j])?;
                             dispatch += self.cost.core_dispatch;
-                        }
-                        let mut writes = Vec::new();
-                        for &j in jobs {
-                            for &(off, len) in &out_ranges[j] {
-                                writes.push((
-                                    off,
-                                    core.buffers().gm_bytes()[off..off + len].to_vec(),
-                                ));
+                            // Cross-check the write spans execution
+                            // observed against the declaration, and merge
+                            // back exactly what was observed.
+                            let observed = coalesce(core.take_gm_writes());
+                            let allowed = coalesce(
+                                declared[j]
+                                    .iter()
+                                    .map(|&(off, len)| (off, off + len))
+                                    .collect(),
+                            );
+                            for &(start, end) in &observed {
+                                if !allowed.iter().any(|&(a, b)| a <= start && end <= b) {
+                                    return Err(SimError::UndeclaredGmWrite {
+                                        program: j,
+                                        observed: (start, end),
+                                    });
+                                }
+                                writes
+                                    .push((start, core.buffers().gm_bytes()[start..end].to_vec()));
                             }
                         }
                         let counters = core.counters().clone();
@@ -177,6 +226,22 @@ impl Chip {
                 .collect::<Result<Vec<_>, _>>()
         })?;
 
+        let mut active: Vec<CoreResult> = results.into_iter().flatten().collect();
+
+        // Memory-hierarchy stage: book the completion time each core's
+        // MTE streams lose to the shared L2/HBM path. Independent cores
+        // lose nothing; this is exactly the legacy behaviour.
+        let stalls: Vec<u64> = match self.memory {
+            MemoryModel::Independent => vec![0; active.len()],
+            MemoryModel::SharedBandwidth { bytes_per_cycle } => {
+                let demands: Vec<(u64, u64)> = active
+                    .iter()
+                    .map(|r| (r.cycles, r.counters.gm_bytes))
+                    .collect();
+                contention_stalls(&demands, bytes_per_cycle, self.cost.move_bytes_per_cycle)
+            }
+        };
+
         let mut per_core = Vec::new();
         let mut core_cycles = Vec::new();
         let mut traces = Vec::new();
@@ -184,14 +249,16 @@ impl Chip {
         let mut total = HwCounters::default();
         let mut peaks = BufferPeaks::default();
         let mut max_cycles = 0u64;
-        for r in results.into_iter().flatten() {
+        for (mut r, stall) in active.drain(..).zip(stalls) {
             for (off, bytes) in &r.writes {
                 gm[*off..*off + bytes.len()].copy_from_slice(bytes);
             }
-            max_cycles = max_cycles.max(r.cycles);
+            r.counters.contention_stalls = stall;
+            r.trace.contention = stall;
+            max_cycles = max_cycles.max(r.cycles + stall);
             total.merge(&r.counters);
             peaks.merge_max(&r.peaks);
-            core_cycles.push(r.cycles);
+            core_cycles.push(r.cycles + stall);
             per_core.push(r.counters);
             if self.trace.enabled {
                 traces.push(r.trace);
@@ -210,8 +277,10 @@ impl Chip {
     }
 }
 
-/// The byte ranges a program writes to global memory (its `Move`
-/// instructions with a GM destination).
+/// The byte ranges a program declares it will write to global memory (its
+/// `Move` instructions with a GM destination — the only GM-writing
+/// instruction the ISA admits; execution cross-checks this claim against
+/// the write spans actually observed).
 fn gm_write_ranges(p: &Program) -> Vec<(usize, usize)> {
     p.instrs()
         .iter()
@@ -222,22 +291,69 @@ fn gm_write_ranges(p: &Program) -> Vec<(usize, usize)> {
         .collect()
 }
 
-/// Check that no two *programs* write overlapping GM ranges.
+/// Sort half-open `(start, end)` spans and merge overlapping or abutting
+/// neighbours; empty spans vanish.
+fn coalesce(mut spans: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+    spans.retain(|&(s, e)| e > s);
+    spans.sort_unstable();
+    let mut out: Vec<(usize, usize)> = Vec::with_capacity(spans.len());
+    for (s, e) in spans {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Check that no two *programs* write overlapping GM ranges (overlap
+/// within one program is fine — a program may legally rewrite its own
+/// output).
+///
+/// Active-end sweep over the ranges in start order: `best` is the
+/// processed range with the maximum end, `alt` the maximum-end processed
+/// range owned by a *different* program than `best` (so any processed
+/// range of any other owner ends at or before `alt.1`). A new range
+/// conflicts iff it starts before `best`'s end with a different owner, or
+/// before `alt`'s end otherwise. A plain `windows(2)` compare misses
+/// containment: `(0,100,p0), (10,20,p0), (30,40,p1)` sorts the inner
+/// same-program range between the container and the victim.
 fn check_disjoint(ranges: &[Vec<(usize, usize)>]) -> Result<(), SimError> {
     let mut flat: Vec<(usize, usize, usize)> = Vec::new(); // (start, end, program)
     for (pi, rs) in ranges.iter().enumerate() {
         for &(off, len) in rs {
-            flat.push((off, off + len, pi));
+            if len > 0 {
+                flat.push((off, off + len, pi));
+            }
         }
     }
     flat.sort_unstable();
-    for w in flat.windows(2) {
-        let (a, b) = (w[0], w[1]);
-        if b.0 < a.1 && a.2 != b.2 {
-            return Err(SimError::Isa(dv_isa::IsaError::BadPosition(format!(
-                "programs {} and {} write overlapping GM ranges [{:#x},{:#x}) and [{:#x},{:#x})",
-                a.2, b.2, a.0, a.1, b.0, b.1
-            ))));
+    // Sentinel owners that can never equal a real program index.
+    let mut best: (usize, usize, usize) = (0, 0, usize::MAX);
+    let mut alt: (usize, usize, usize) = (0, 0, usize::MAX);
+    for &(s, e, p) in &flat {
+        let hit = if s < best.1 && p != best.2 {
+            Some(best)
+        } else if s < alt.1 && p != alt.2 {
+            Some(alt)
+        } else {
+            None
+        };
+        if let Some((os, oe, op)) = hit {
+            return Err(SimError::GmOverlap {
+                prog_a: op,
+                range_a: (os, oe),
+                prog_b: p,
+                range_b: (s, e),
+            });
+        }
+        if e > best.1 {
+            if p != best.2 && best.2 != usize::MAX {
+                alt = best;
+            }
+            best = (s, e, p);
+        } else if p != best.2 && e > alt.1 {
+            alt = (s, e, p);
         }
     }
     Ok(())
@@ -248,6 +364,7 @@ mod tests {
     use super::*;
     use dv_fp16::F16;
     use dv_isa::{Addr, DataMove, Mask, VectorInstr, VectorOp};
+    use proptest::prelude::*;
 
     /// A program that doubles 128 f16 values: GM[in] -> UB, vadd, UB ->
     /// GM[out].
@@ -272,6 +389,24 @@ mod tests {
             Addr::ub(256),
             Addr::gm(out_off),
             256,
+        )))
+        .unwrap();
+        p
+    }
+
+    /// A pure streaming program: GM[in] -> UB -> GM[out], `bytes` long.
+    fn streamer(in_off: usize, out_off: usize, bytes: usize) -> Program {
+        let mut p = Program::new();
+        p.push(Instr::Move(DataMove::new(
+            Addr::gm(in_off),
+            Addr::ub(0),
+            bytes,
+        )))
+        .unwrap();
+        p.push(Instr::Move(DataMove::new(
+            Addr::ub(0),
+            Addr::gm(out_off),
+            bytes,
         )))
         .unwrap();
         p
@@ -336,7 +471,130 @@ mod tests {
         // both tiles write to byte 2048
         let programs = vec![doubler(0, 2048), doubler(256, 2048)];
         let chip = Chip::new(2, CostModel::ascend910_like());
-        assert!(chip.run(&mut gm, &programs).is_err());
+        match chip.run(&mut gm, &programs) {
+            Err(SimError::GmOverlap { prog_a, prog_b, .. }) => {
+                assert_eq!((prog_a, prog_b), (0, 1));
+            }
+            other => panic!("expected GmOverlap, got {other:?}"),
+        }
+    }
+
+    /// The exact miss from the issue: p0 declares (0,100) and (10,20) —
+    /// the inner range sorts *between* the container and p1's (30,40), so
+    /// the adjacent-`windows(2)` compare saw only same-program and
+    /// non-overlapping neighbour pairs and let the contained cross-program
+    /// range through.
+    #[test]
+    fn containment_across_a_same_program_neighbour_is_detected() {
+        let ranges = vec![vec![(0, 100), (10, 10)], vec![(30, 10)]];
+        match check_disjoint(&ranges) {
+            Err(SimError::GmOverlap {
+                prog_a,
+                range_a,
+                prog_b,
+                range_b,
+            }) => {
+                assert_eq!((prog_a, prog_b), (0, 1));
+                assert_eq!(range_a, (0, 100));
+                assert_eq!(range_b, (30, 40));
+            }
+            other => panic!("expected GmOverlap, got {other:?}"),
+        }
+    }
+
+    /// The same containment miss driven end-to-end through real programs:
+    /// p0 streams a 256-byte output plus a small rewrite inside it, p1
+    /// streams 32 bytes landing strictly inside p0's big range.
+    #[test]
+    fn contained_overlap_between_programs_rejected_at_run() {
+        let mut gm = vec![0u8; 8192];
+        let mut p0 = streamer(0, 4096, 256);
+        // a same-program rewrite inside [4096, 4352) that sorts between
+        // the container and the victim
+        p0.push(Instr::Move(DataMove::new(
+            Addr::ub(0),
+            Addr::gm(4096 + 16),
+            32,
+        )))
+        .unwrap();
+        let p1 = streamer(512, 4096 + 64, 32);
+        let chip = Chip::new(2, CostModel::ascend910_like());
+        match chip.run(&mut gm, &[p0, p1]) {
+            Err(SimError::GmOverlap { prog_a, prog_b, .. }) => {
+                assert_eq!((prog_a, prog_b), (0, 1));
+            }
+            other => panic!("expected GmOverlap, got {other:?}"),
+        }
+    }
+
+    /// Overlap *within* one program stays legal: a program may rewrite its
+    /// own output.
+    #[test]
+    fn same_program_overlap_is_allowed() {
+        let mut gm = vec![0u8; 4096];
+        let mut p0 = streamer(0, 2048, 256);
+        p0.push(Instr::Move(DataMove::new(Addr::ub(0), Addr::gm(2064), 32)))
+            .unwrap();
+        let chip = Chip::new(1, CostModel::ascend910_like());
+        chip.run(&mut gm, &[p0]).unwrap();
+    }
+
+    /// An observed GM write outside the declared merge-back ranges is a
+    /// typed error, not silently dropped bytes. Driven through the
+    /// declared-ranges seam: execution writes GM[1024,1280) but the
+    /// declaration claims only the first half.
+    #[test]
+    fn undeclared_gm_write_is_a_typed_error() {
+        let vals: Vec<F16> = (0..128).map(|_| F16::ONE).collect();
+        let mut gm = gm_with(&vals, 2048);
+        let programs = [doubler(0, 1024)];
+        let chip = Chip::new(1, CostModel::ascend910_like());
+        let declared = vec![vec![(1024, 128)]];
+        match chip.run_with_declared(&mut gm, &programs, &declared) {
+            Err(SimError::UndeclaredGmWrite { program, observed }) => {
+                assert_eq!(program, 0);
+                assert_eq!(observed, (1024, 1280));
+            }
+            other => panic!("expected UndeclaredGmWrite, got {other:?}"),
+        }
+        // The honest declaration passes and merges the bytes back.
+        let declared = vec![vec![(1024, 256)]];
+        chip.run_with_declared(&mut gm, &programs, &declared)
+            .unwrap();
+        let out = dv_fp16::from_bytes(&gm[1024..1280]);
+        assert!(out.iter().all(|v| v.to_f32() == 2.0));
+    }
+
+    /// Naive O(n²) all-pairs reference for cross-program overlap.
+    fn overlaps_naive(ranges: &[Vec<(usize, usize)>]) -> bool {
+        for (pa, ra) in ranges.iter().enumerate() {
+            for (pb, rb) in ranges.iter().enumerate() {
+                if pa >= pb {
+                    continue;
+                }
+                for &(oa, la) in ra {
+                    for &(ob, lb) in rb {
+                        if la > 0 && lb > 0 && oa < ob + lb && ob < oa + la {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    proptest! {
+        #[test]
+        fn disjointness_sweep_matches_naive_reference(
+            ranges in proptest::collection::vec(
+                proptest::collection::vec((0usize..96, 0usize..24), 0..8),
+                0..6,
+            )
+        ) {
+            let sweep_ok = check_disjoint(&ranges).is_ok();
+            prop_assert_eq!(sweep_ok, !overlaps_naive(&ranges));
+        }
     }
 
     #[test]
@@ -390,5 +648,64 @@ mod tests {
         let run = chip.run(&mut gm, &[]).unwrap();
         assert_eq!(run.cycles, 0);
         assert!(run.per_core.is_empty());
+    }
+
+    #[test]
+    fn shared_bandwidth_books_contention_without_changing_results() {
+        // Four 8 KiB streamers on four cores: each demands ~27 B/cyc, so
+        // a 32 B/cyc pipe is ~3.4x oversubscribed.
+        let vals: Vec<F16> = (0..4096).map(|i| F16::from_f32((i % 31) as f32)).collect();
+        let programs: Vec<Program> = (0..4)
+            .map(|t| streamer(t * 8192, 32768 + t * 8192, 8192))
+            .collect();
+
+        let mut gm_i = gm_with(&vals, 65536);
+        let indep = Chip::new(4, CostModel::ascend910_like());
+        let run_i = indep.run(&mut gm_i, &programs).unwrap();
+
+        let mut gm_s = gm_with(&vals, 65536);
+        let shared =
+            Chip::new(4, CostModel::ascend910_like()).with_memory(MemoryModel::SharedBandwidth {
+                bytes_per_cycle: 32,
+            });
+        let run_s = shared.run(&mut gm_s, &programs).unwrap();
+
+        assert_eq!(gm_i, gm_s, "contention reshapes time, never data");
+        assert_eq!(run_i.total.contention_stalls, 0);
+        assert!(run_s.total.contention_stalls > 0);
+        assert!(run_s.cycles > run_i.cycles);
+        let dispatch = shared.cost.core_dispatch; // one program per core
+        for (cc, c) in run_s.core_cycles.iter().zip(&run_s.per_core) {
+            assert_eq!(
+                *cc,
+                c.cycles + dispatch + c.contention_stalls,
+                "core cycles = work + dispatch + booked stall"
+            );
+            assert!(c.contention_stalls > 0);
+        }
+        // Everything except the stall booking matches the independent run.
+        for (a, b) in run_i.per_core.iter().zip(&run_s.per_core) {
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.gm_bytes, b.gm_bytes);
+        }
+    }
+
+    #[test]
+    fn ample_shared_bandwidth_is_indistinguishable_from_independent() {
+        let vals: Vec<F16> = (0..512).map(|i| F16::from_f32((i % 13) as f32)).collect();
+        let programs: Vec<Program> = (0..4).map(|t| doubler(t * 256, 2048 + t * 256)).collect();
+        let mut gm_i = gm_with(&vals, 4096);
+        let run_i = Chip::new(4, CostModel::ascend910_like())
+            .run(&mut gm_i, &programs)
+            .unwrap();
+        let mut gm_s = gm_with(&vals, 4096);
+        let run_s = Chip::new(4, CostModel::ascend910_like())
+            .with_memory(MemoryModel::ascend910_hbm())
+            .run(&mut gm_s, &programs)
+            .unwrap();
+        assert_eq!(gm_i, gm_s);
+        assert_eq!(run_i.cycles, run_s.cycles);
+        assert_eq!(run_s.total.contention_stalls, 0);
+        assert_eq!(run_i.core_cycles, run_s.core_cycles);
     }
 }

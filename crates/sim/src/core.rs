@@ -225,6 +225,11 @@ pub struct AiCore {
     /// Instructions executed since the last counter reset — the sequence
     /// space `TraceEvent::dep` indexes into.
     issued: usize,
+    /// GM byte spans `[start, end)` written since the last
+    /// [`AiCore::take_gm_writes`] — the execution-observed endpoints the
+    /// chip cross-checks its statically declared merge-back ranges
+    /// against. Always recorded (tracing on or off).
+    gm_writes: Vec<(usize, usize)>,
 }
 
 impl AiCore {
@@ -246,6 +251,7 @@ impl AiCore {
             lifetimes: LifetimeRecorder::default(),
             programs_run: 0,
             issued: 0,
+            gm_writes: Vec::new(),
         }
     }
 
@@ -272,6 +278,14 @@ impl AiCore {
         self.lifetimes.take()
     }
 
+    /// Drain the GM byte spans `[start, end)` the executed instructions
+    /// actually wrote since the last call — the ground truth the chip's
+    /// merge-back derives from, independent of any static scan of the
+    /// program text.
+    pub fn take_gm_writes(&mut self) -> Vec<(usize, usize)> {
+        std::mem::take(&mut self.gm_writes)
+    }
+
     /// Load f16 data into global memory at a byte offset.
     pub fn load_gm(&mut self, offset: usize, data: &[F16]) -> Result<(), SimError> {
         self.bufs.load_f16_slice(BufferId::Gm, offset, data)
@@ -294,6 +308,7 @@ impl AiCore {
             trace,
             lifetimes,
             issued,
+            gm_writes,
             ..
         } = self;
         run_program(
@@ -303,6 +318,11 @@ impl AiCore {
             issued,
             program,
             |pc, info, start, stall, dep| {
+                if let Some(w) = info.write {
+                    if w.buffer == BufferId::Gm {
+                        gm_writes.push((w.start, w.end));
+                    }
+                }
                 if trace_cfg.enabled {
                     lifetimes.record(info, start, start + info.cycles);
                     trace.push(
@@ -345,6 +365,7 @@ impl AiCore {
             counters,
             cost,
             issued,
+            gm_writes,
             ..
         } = self;
         run_program(
@@ -354,6 +375,11 @@ impl AiCore {
             issued,
             program,
             |pc, info, _, _, _| {
+                if let Some(w) = info.write {
+                    if w.buffer == BufferId::Gm {
+                        gm_writes.push((w.start, w.end));
+                    }
+                }
                 out.push((pc, info.mnemonic, info.cycles));
             },
         )?;
@@ -373,6 +399,7 @@ impl AiCore {
         self.lifetimes = LifetimeRecorder::default();
         self.programs_run = 0;
         self.issued = 0;
+        self.gm_writes.clear();
     }
 
     /// The cost model in effect.
@@ -429,6 +456,11 @@ mod tests {
         assert_eq!(core.counters().issues_of("mte_move"), 2);
         assert_eq!(core.counters().issues_of("vadd"), 1);
         assert!(core.counters().cycles > 0);
+
+        // The core observed exactly one GM write span — the store to
+        // [1024, 1280) — and draining it leaves the list empty.
+        assert_eq!(core.take_gm_writes(), vec![(1024, 1280)]);
+        assert!(core.take_gm_writes().is_empty());
     }
 
     #[test]

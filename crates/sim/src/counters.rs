@@ -49,6 +49,14 @@ pub struct HwCounters {
     /// Rotations refused for lack of physical headroom — the writer fell
     /// back to the full WAR/WAW stall (never silent corruption).
     pub rename_denied: u64,
+    /// Cycles this core's MTE streams were slowed by *other* cores
+    /// drawing on the shared L2/HBM path (booked by the chip's
+    /// [`crate::chip::MemoryModel`] after all cores join; always 0 under
+    /// [`crate::chip::MemoryModel::Independent`] and on single-core
+    /// runs). Unlike `stall_cycles` this is not an intra-core scoreboard
+    /// wait: it extends the core's completion time past
+    /// [`HwCounters::cycles`] without belonging to any one instruction.
+    pub contention_stalls: u64,
 }
 
 impl HwCounters {
@@ -124,6 +132,7 @@ impl HwCounters {
         self.scratch_bytes += other.scratch_bytes;
         self.renames += other.renames;
         self.rename_denied += other.rename_denied;
+        self.contention_stalls += other.contention_stalls;
     }
 }
 
@@ -185,8 +194,10 @@ mod tests {
         b.record("col2im", Unit::Vector, 9);
         b.record_lanes(128, 128);
         b.scratch_bytes = 50;
+        b.contention_stalls = 9;
         a.merge(&b);
         assert_eq!(a.cycles, 16);
+        assert_eq!(a.contention_stalls, 9);
         assert_eq!(a.issues_of("vadd"), 2);
         assert_eq!(a.issues_of("col2im"), 1);
         assert_eq!(a.vector_total_lanes, 256);

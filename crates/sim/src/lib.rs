@@ -26,6 +26,7 @@
 
 pub mod buffers;
 pub mod chip;
+pub mod contention;
 pub mod core;
 pub mod cost;
 pub mod counters;
@@ -36,7 +37,7 @@ pub mod trace;
 
 pub use crate::core::{pipe_of, AiCore};
 pub use buffers::{BufferPeaks, BufferSet, SimError};
-pub use chip::{Chip, ChipRun};
+pub use chip::{Chip, ChipRun, MemoryModel};
 pub use cost::{Capacities, CostModel, IssueModel};
 pub use counters::{HwCounters, Unit};
 pub use lifetimes::{BufferLifetimes, LiveRange};

@@ -107,6 +107,14 @@ pub struct Trace {
     pub events: Vec<TraceEvent>,
     /// Events not stored because `max_events_per_core` was reached.
     pub dropped: u64,
+    /// Extra completion cycles the chip's memory model booked against
+    /// this core for shared L2/HBM contention (always 0 under
+    /// [`MemoryModel::Independent`](crate::chip::MemoryModel) and for a
+    /// lone core's own trace). Not part of any event: contention
+    /// stretches the core's completion time without belonging to one
+    /// instruction, so it rides on the trace itself and shows up in the
+    /// Chrome export as a trailing `gm-contention` slice on the MTE row.
+    pub contention: u64,
 }
 
 impl Trace {
@@ -285,6 +293,28 @@ pub fn chrome_trace_json_with_lifetimes(traces: &[Trace], lifetimes: &[BufferLif
             );
             flow_id += 1;
         }
+        // Shared-memory contention: one slice on the MTE row starting
+        // where the core's own work ends — the completion-time stretch
+        // the chip's memory model booked against this core.
+        if t.contention > 0 {
+            let ts = t
+                .events
+                .iter()
+                .map(|e| e.start + e.cycles)
+                .max()
+                .unwrap_or(0);
+            push(
+                &mut out,
+                format!(
+                    "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"name\":\"gm-contention\",\
+                     \"cat\":\"contention\",\"ts\":{},\"dur\":{},\"args\":{{}}}}",
+                    t.core,
+                    unit_tid(Unit::Mte),
+                    ts,
+                    t.contention
+                ),
+            );
+        }
     }
     // Buffer live ranges: async slice pairs on one thread row per
     // buffer, under the owning core's process.
@@ -371,13 +401,20 @@ impl BreakdownRow {
 pub struct Breakdown {
     /// Aggregated rows, keyed and sorted by `(unit, mnemonic)`.
     pub rows: Vec<BreakdownRow>,
+    /// Shared-memory contention stalls summed over all traced cores
+    /// ([`Trace::contention`]) — kept outside the rows because contention
+    /// belongs to no instruction, but checked by
+    /// [`Breakdown::verify_against`] so the books still balance.
+    pub contention_stalls: u64,
 }
 
 impl Breakdown {
     /// Aggregate over traces (typically: all cores of one chip run).
     pub fn from_traces<'a>(traces: impl IntoIterator<Item = &'a Trace>) -> Breakdown {
         let mut map: BTreeMap<(Unit, &'static str), BreakdownRow> = BTreeMap::new();
+        let mut contention_stalls = 0u64;
         for t in traces {
+            contention_stalls += t.contention;
             for e in &t.events {
                 let row = map.entry((e.unit, e.mnemonic)).or_insert(BreakdownRow {
                     unit: e.unit,
@@ -401,6 +438,7 @@ impl Breakdown {
         }
         Breakdown {
             rows: map.into_values().collect(),
+            contention_stalls,
         }
     }
 
@@ -459,6 +497,9 @@ impl Breakdown {
             self.total_cycles(),
             self.total_stalls()
         );
+        if self.contention_stalls > 0 {
+            let _ = writeln!(out, "gm contention stalls: {}", self.contention_stalls);
+        }
         out
     }
 
@@ -503,6 +544,12 @@ impl Breakdown {
                 ));
             }
         }
+        if self.contention_stalls != counters.contention_stalls {
+            return Err(format!(
+                "trace contention stalls {} != counter contention stalls {}",
+                self.contention_stalls, counters.contention_stalls
+            ));
+        }
         Ok(())
     }
 }
@@ -540,6 +587,7 @@ mod tests {
                 ev("mte_move", Unit::Mte, 34, 20),
             ],
             dropped: 0,
+            contention: 0,
         };
         let b = Breakdown::from_traces([&t]);
         assert_eq!(b.rows.len(), 2);
@@ -559,6 +607,7 @@ mod tests {
             core: 0,
             events: vec![ev("vadd", Unit::Vector, 0, 10)],
             dropped: 0,
+            contention: 0,
         };
         let mut c = HwCounters::default();
         c.record("vadd", Unit::Vector, 10);
@@ -573,6 +622,7 @@ mod tests {
             core: 3,
             events: vec![ev("im2col", Unit::Scu, 5, 36)],
             dropped: 0,
+            contention: 0,
         };
         let json = chrome_trace_json(&[t]);
         assert!(json.starts_with('{') && json.ends_with('}'));
@@ -596,6 +646,7 @@ mod tests {
             core: 0,
             events: vec![producer, consumer, chained],
             dropped: 0,
+            contention: 0,
         };
         let json = chrome_trace_json(&[t]);
         assert!(json.contains("\"stall\":20"));
@@ -663,6 +714,7 @@ mod tests {
             core: 0,
             events: vec![a, b],
             dropped: 0,
+            contention: 0,
         };
         let bd = Breakdown::from_traces([&t]);
         assert_eq!(bd.total_stalls(), 4);
@@ -676,6 +728,43 @@ mod tests {
         assert!(bd.verify_against(&c).is_err(), "stall mismatch detected");
         c.stall_cycles = 4;
         assert_eq!(bd.verify_against(&c), Ok(()));
+    }
+
+    #[test]
+    fn contention_rides_through_breakdown_and_chrome_export() {
+        let t = Trace {
+            core: 2,
+            events: vec![ev("mte_move", Unit::Mte, 0, 20)],
+            dropped: 0,
+            contention: 77,
+        };
+        let bd = Breakdown::from_traces([&t]);
+        assert_eq!(bd.contention_stalls, 77);
+        assert!(bd.render().contains("gm contention stalls: 77"));
+
+        // The books must balance: counters missing the booked stall fail
+        // verification, matching counters pass.
+        let mut c = HwCounters::default();
+        c.record("mte_move", Unit::Mte, 20);
+        assert!(bd.verify_against(&c).is_err(), "unbalanced contention");
+        c.contention_stalls = 77;
+        assert_eq!(bd.verify_against(&c), Ok(()));
+
+        // Chrome export: one gm-contention slice on the MTE row, starting
+        // where the core's own work ends.
+        let json = chrome_trace_json(&[t]);
+        assert!(json.contains(
+            "{\"ph\":\"X\",\"pid\":2,\"tid\":2,\"name\":\"gm-contention\",\
+             \"cat\":\"contention\",\"ts\":20,\"dur\":77,\"args\":{}}"
+        ));
+        // A contention-free trace carries no such slice.
+        let quiet = Trace {
+            core: 0,
+            events: vec![ev("vadd", Unit::Vector, 0, 5)],
+            dropped: 0,
+            contention: 0,
+        };
+        assert!(!chrome_trace_json(&[quiet]).contains("gm-contention"));
     }
 
     #[test]

@@ -6,12 +6,21 @@
 //! cargo run --release --example profile_run            # N = 1, per-plane
 //! cargo run --release --example profile_run -- --batch 4
 //! cargo run --release --example profile_run -- --no-rename
+//! cargo run --release --example profile_run -- --cores 8
 //! ```
 //!
 //! With `--batch N` (N > 1) the engine's batch fold kicks in: compare
 //! the `im2col` issue count in the breakdown against an N = 1 run
 //! scaled by N to see the Mode-0 repeat chains amortise issue overhead
 //! across the batch.
+//!
+//! With `--cores N` (N > 1) the run moves to an N-core chip with
+//! cost-model-driven sharding and the shared-HBM contention stage
+//! (`MemoryModel::ascend910_hbm()`): the engine picks a partition axis
+//! for the workload, the cores' MTE streams contend for the shared
+//! 256 B/cycle pipe, and the breakdown grows a `gm contention stalls`
+//! line (also visible as trailing `gm-contention` slices on the MTE
+//! rows of the exported trace).
 //!
 //! With `--no-rename` the chip runs under
 //! `CostModel::dual_pipe_no_rename()`: the scoreboard keeps every
@@ -27,6 +36,7 @@ use davinci_pooling::sim::TraceConfig;
 struct Options {
     batch: usize,
     rename: bool,
+    cores: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -34,6 +44,7 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         batch: 1,
         rename: true,
+        cores: 1,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -47,9 +58,18 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--no-rename" => opts.rename = false,
+            "--cores" => {
+                let v = args.next().ok_or("--cores needs a value")?;
+                opts.cores = v
+                    .parse()
+                    .map_err(|_| format!("invalid --cores value: {v}"))?;
+                if opts.cores == 0 || opts.cores > 32 {
+                    return Err("--cores must be in 1..=32".into());
+                }
+            }
             other => {
                 return Err(format!(
-                    "unknown argument: {other} (try --batch N, --no-rename)"
+                    "unknown argument: {other} (try --batch N, --no-rename, --cores N)"
                 ))
             }
         }
@@ -75,9 +95,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         CostModel::dual_pipe_no_rename()
     };
-    let mut chip = Chip::new(1, cost);
-    chip.caps.ub = 64 * 1024;
-    let engine = PoolingEngine::new(chip).with_trace(TraceConfig::ON);
+    // With --cores N the run scales out instead: an N-core chip behind
+    // the shared HBM pipe, with the engine's cost model choosing the
+    // partition axis (per plane, per c1 slice, or per row band).
+    let engine = if opts.cores > 1 {
+        let chip = Chip::new(opts.cores, cost).with_memory(MemoryModel::ascend910_hbm());
+        PoolingEngine::new(chip)
+            .with_sharding(true)
+            .with_trace(TraceConfig::ON)
+    } else {
+        let mut chip = Chip::new(1, cost);
+        chip.caps.ub = 64 * 1024;
+        PoolingEngine::new(chip).with_trace(TraceConfig::ON)
+    };
     let (_, run) = engine.maxpool_forward(&input, PoolParams::K3S2, ForwardImpl::Im2col)?;
 
     let path = "pool.trace.json";
@@ -120,5 +150,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             " (renaming disabled via --no-rename)"
         }
     );
+    if opts.cores > 1 {
+        println!("\nper-core makespans ({} cores, shared HBM):", opts.cores);
+        for (i, (c, cc)) in run.per_core.iter().zip(&run.core_cycles).enumerate() {
+            println!(
+                "  core {i:>2}: {cc:>8} cycles ({} stalled on the shared pipe)",
+                c.contention_stalls
+            );
+        }
+        println!(
+            "chip makespan {} = slowest core; {} contention stalls booked in total",
+            run.cycles, run.total.contention_stalls
+        );
+    }
     Ok(())
 }

@@ -64,6 +64,6 @@ pub use dv_tensor as tensor;
 pub mod prelude {
     pub use dv_core::{ForwardImpl, MergeImpl, PoolingEngine};
     pub use dv_fp16::F16;
-    pub use dv_sim::{Chip, CostModel};
+    pub use dv_sim::{Chip, CostModel, MemoryModel};
     pub use dv_tensor::{Nc1hwc0, Nchw, Padding, PatchTensor, PoolParams};
 }
