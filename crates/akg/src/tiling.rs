@@ -121,9 +121,10 @@ impl Band {
     }
 }
 
-/// Input rows consumed by `boh` output rows: `(boh - 1) * Sh + Kh`.
+/// Input rows consumed by `boh` output rows: `(boh - 1) * Sh + EffKh`,
+/// where `EffKh = (Kh - 1) * Dh + 1` is the dilated kernel's span.
 pub fn band_input_rows(params: &PoolParams, boh: usize) -> usize {
-    (boh - 1) * params.sh + params.kh
+    (boh - 1) * params.sh + params.eff_kh()
 }
 
 /// Largest band height (in output rows) whose footprint fits `capacity`.
@@ -185,7 +186,12 @@ pub fn row_bands(
     if oh == 0 || boh == 0 || boh > oh {
         return Err(TilingError::Degenerate { oh, boh });
     }
-    if oh.div_ceil(boh) > 1 && (params.padding.top > 0 || params.padding.bottom > 0) {
+    // Ceil-mode is rejected alongside vertical padding: the rounded-up
+    // last band overhangs the plane, so only a single full-plane band
+    // (whose geometry carries the rounding) can be lowered.
+    if oh.div_ceil(boh) > 1
+        && (params.padding.top > 0 || params.padding.bottom > 0 || params.ceil_mode)
+    {
         return Err(TilingError::PaddedMultiBand { oh, boh });
     }
     let mut bands = Vec::with_capacity(oh.div_ceil(boh));
@@ -302,6 +308,37 @@ mod tests {
         assert_eq!(band_input_rows(&K3S2, 10), 21);
         let s1 = PoolParams::new((3, 3), (1, 1));
         assert_eq!(band_input_rows(&s1, 5), 7);
+        // Dilation widens the window: eff Kh = (3-1)*2 + 1 = 5.
+        let dilated = PoolParams::new((3, 3), (2, 2)).with_dilation((2, 2));
+        assert_eq!(band_input_rows(&dilated, 1), 5);
+        assert_eq!(band_input_rows(&dilated, 4), 11);
+    }
+
+    #[test]
+    fn row_bands_reject_ceil_mode_multi_band() {
+        let ceil = PoolParams::new((3, 3), (2, 2)).with_ceil_mode(true);
+        // 8x8 input -> 4 ceil-rounded output rows; splitting them must be
+        // refused because the last band overhangs the plane.
+        let err = row_bands(&ceil, 4, 2, 8).unwrap_err();
+        assert_eq!(err, TilingError::PaddedMultiBand { oh: 4, boh: 2 });
+        // One full-plane band is fine and covers the whole input.
+        let bands = row_bands(&ceil, 4, 4, 8).unwrap();
+        assert_eq!(bands.len(), 1);
+        assert_eq!(bands[0].ih_len, 8);
+    }
+
+    #[test]
+    fn dilated_bands_cover_the_dilated_window() {
+        let dilated = PoolParams::new((3, 3), (2, 2)).with_dilation((2, 2));
+        // 13 input rows -> (13-5)/2+1 = 5 output rows; bands of 2.
+        let bands = row_bands(&dilated, 5, 2, 13).unwrap();
+        assert_eq!(bands.len(), 3);
+        // Each 2-row band reads (2-1)*2 + 5 = 7 rows; the last single-row
+        // band reads 5 rows ending exactly at the plane.
+        assert_eq!(bands[0].ih_len, 7);
+        assert_eq!(bands[2].ih0, 8);
+        assert_eq!(bands[2].ih_len, 5);
+        assert_eq!(bands[2].ih0 + bands[2].ih_len, 13);
     }
 
     #[test]

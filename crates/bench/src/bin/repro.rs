@@ -81,15 +81,20 @@ fn run_gate() {
         .unwrap_or_default();
     let current = gate::collect();
     let scaling = gate::collect_scaling();
+    let tuner = gate::collect_tuner();
     let old = gate::parse_metrics(gate::COMMITTED_BASELINE).ok();
     let old_scaling = gate::parse_scaling(gate::COMMITTED_BASELINE).ok();
-    let doc = gate::to_json(&current, &scaling, old.as_deref());
+    let old_tuner = gate::parse_tuner(gate::COMMITTED_BASELINE).ok();
+    let doc = gate::to_json(&current, &scaling, &tuner, old.as_deref());
     let bench_path = root.join("BENCH_pooling.json");
     std::fs::write(&bench_path, &doc).expect("write BENCH_pooling.json");
     println!("wrote {}", bench_path.display());
     let baseline_path = root.join("crates/bench/baselines/pooling.json");
-    std::fs::write(&baseline_path, gate::to_json(&current, &scaling, None))
-        .expect("write committed baseline");
+    std::fs::write(
+        &baseline_path,
+        gate::to_json(&current, &scaling, &tuner, None),
+    )
+    .expect("write committed baseline");
     println!("refreshed {}", baseline_path.display());
     if let Some(old) = old {
         for r in gate::compare(&current, &old, gate::TOLERANCE) {
@@ -98,6 +103,11 @@ fn run_gate() {
     }
     if let Some(old) = old_scaling {
         for r in gate::compare_scaling(&scaling, &old, gate::TOLERANCE) {
+            println!("note: vs previous baseline: {r}");
+        }
+    }
+    if let Some(old) = old_tuner {
+        for r in gate::compare_tuner(&tuner, &old, gate::TOLERANCE) {
             println!("note: vs previous baseline: {r}");
         }
     }

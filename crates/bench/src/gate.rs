@@ -44,6 +44,19 @@
 //! cycle columns are then gated against the committed baseline exactly
 //! like the `metrics` rows.
 //!
+//! The `tuner` section tracks the algorithm auto-tuner
+//! ([`PoolingEngine::with_auto_tuning`]): per tracked workload, which
+//! algorithm [`choose_forward_algorithm`] / [`choose_backward_algorithm`]
+//! picked, its predicted and measured cycles, and each forced
+//! alternative's measured cycles. [`collect_tuner`] asserts the
+//! prediction-honesty contract in-run — the tuned run never falls back,
+//! never books an uncertified win (`tuner_mispredicted == 0`), is
+//! bit-identical to every forced algorithm, and is never slower than any
+//! of them — and pins the Fig. 8 crossover as tuner *choices*: stride
+//! (1, 1) auto-selects the direct reduction, stride (2, 2) im2col.
+//! [`compare_tuner`] additionally fails the gate when a chosen algorithm
+//! flips against the committed baseline.
+//!
 //! When a cost-model or lowering change moves cycles *intentionally*,
 //! regenerate the baseline with
 //! `cargo run --release -p dv-bench --bin repro -- gate` and commit the
@@ -52,11 +65,13 @@
 use crate::inputs::{feature_map, gradients, plane};
 use crate::json;
 use dv_core::{
-    fig7_workloads, table1_workloads, tiling_threshold, ForwardImpl, MergeImpl, PoolingEngine,
+    choose_backward_algorithm, choose_forward_algorithm, fig7_workloads, table1_workloads,
+    tiling_threshold, ForwardImpl, MergeImpl, PoolProblem, PoolingEngine,
 };
 use dv_isa::BufferId;
 use dv_sim::{Chip, ChipRun, CostModel, MemoryModel};
 use dv_tensor::{reference, PoolParams};
+use dv_tensor::{Nc1hwc0, PatchTensor};
 use std::fmt::Write as _;
 
 /// Relative slowdown tolerated before the gate fails (5%).
@@ -274,6 +289,254 @@ pub fn collect_scaling() -> Vec<ScalingMetric> {
                 contention_stalls: run_c.total.contention_stalls,
             });
         }
+    }
+    out
+}
+
+/// One auto-tuner row: which algorithm [`choose_forward_algorithm`] /
+/// [`choose_backward_algorithm`] picked for a tracked workload, its
+/// predicted and measured cycles, and the measured cycles of each forced
+/// alternative (0 = that alternative cannot lower the workload).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TunerMetric {
+    /// Stable identifier, e.g. `tuner/fig8s2/24x24`.
+    pub key: String,
+    /// Label of the algorithm the tuner dispatched (`direct`, `im2col`,
+    /// `fold`).
+    pub chosen: String,
+    /// The tuner's pre-run cycle prediction for the chosen algorithm.
+    pub predicted_cycles: u64,
+    /// Measured dual-pipe cycles of the tuned run.
+    pub tuned_cycles: u64,
+    /// Measured cycles of the forced direct-reduction run (0 when the
+    /// direct lowering is infeasible for this workload).
+    pub direct_cycles: u64,
+    /// Measured cycles of the forced im2col run.
+    pub im2col_cycles: u64,
+}
+
+/// Measure one forward tuner row and certify the prediction-honesty
+/// contract in-run: on a tracked workload the tuner must not fall back,
+/// its win must certify against every alternative's cycle floor
+/// (`tuner_mispredicted == 0`), the tuned output must be bit-identical
+/// to every forced algorithm's, and the tuned makespan must not exceed
+/// any forced alternative's.
+fn tuner_forward_row(
+    key: String,
+    eng: &PoolingEngine,
+    input: &Nc1hwc0,
+    (c1, h, w): (usize, usize, usize),
+    params: PoolParams,
+) -> TunerMetric {
+    let prob = PoolProblem::new(1, c1, h, w, params).expect("tuner problem");
+    let choice = choose_forward_algorithm(
+        &prob,
+        false,
+        false,
+        eng.chip.cores,
+        &eng.schedule(),
+        eng.chip.caps,
+        None,
+    );
+    let winner = choice.winner().expect("tuner must rank a candidate");
+    let (o_t, run) = eng
+        .clone()
+        .with_auto_tuning(true)
+        .maxpool_forward(input, params, ForwardImpl::Standard)
+        .expect("tuned forward");
+    assert_eq!(
+        run.total.tuner_fallbacks, 0,
+        "{key}: tuner fell back on a tracked row"
+    );
+    assert_eq!(
+        run.total.tuner_mispredicted, 0,
+        "{key}: the tuner's win could not be certified on a tracked row"
+    );
+    let mut cycles = [0u64; 2];
+    for (slot, impl_) in [ForwardImpl::Standard, ForwardImpl::Im2col]
+        .into_iter()
+        .enumerate()
+    {
+        if let Ok((o, r)) = eng.maxpool_forward(input, params, impl_) {
+            assert_eq!(
+                o_t.data(),
+                o.data(),
+                "{key}: tuned output diverged from forced {impl_:?}"
+            );
+            assert!(
+                run.cycles <= r.cycles,
+                "{key}: tuned run ({} cycles) lost to forced {impl_:?} ({} cycles)",
+                run.cycles,
+                r.cycles
+            );
+            cycles[slot] = r.cycles;
+        }
+    }
+    TunerMetric {
+        key,
+        chosen: winner.label().to_string(),
+        predicted_cycles: choice.predicted(winner).unwrap_or(0),
+        tuned_cycles: run.cycles,
+        direct_cycles: cycles[0],
+        im2col_cycles: cycles[1],
+    }
+}
+
+/// Measure one backward tuner row with the same in-run certification as
+/// [`tuner_forward_row`]: `direct` is the scattered-vadd merge, `im2col`
+/// the Col2Im merge.
+fn tuner_backward_row(
+    key: String,
+    eng: &PoolingEngine,
+    mask: &PatchTensor,
+    grads: &Nc1hwc0,
+    (c1, h, w): (usize, usize, usize),
+    params: PoolParams,
+) -> TunerMetric {
+    let prob = PoolProblem::new(1, c1, h, w, params).expect("tuner problem");
+    let choice = choose_backward_algorithm(
+        &prob,
+        true,
+        eng.chip.cores,
+        &eng.schedule(),
+        eng.chip.caps,
+        None,
+    );
+    let winner = choice.winner().expect("tuner must rank a candidate");
+    let (dx_t, run) = eng
+        .clone()
+        .with_auto_tuning(true)
+        .maxpool_backward(mask, grads, params, h, w, MergeImpl::VAdd)
+        .expect("tuned backward");
+    assert_eq!(
+        run.total.tuner_fallbacks, 0,
+        "{key}: tuner fell back on a tracked row"
+    );
+    assert_eq!(
+        run.total.tuner_mispredicted, 0,
+        "{key}: the tuner's win could not be certified on a tracked row"
+    );
+    let mut cycles = [0u64; 2];
+    for (slot, merge) in [MergeImpl::VAdd, MergeImpl::Col2Im].into_iter().enumerate() {
+        if let Ok((dx, r)) = eng.maxpool_backward(mask, grads, params, h, w, merge) {
+            assert_eq!(
+                dx_t.data(),
+                dx.data(),
+                "{key}: tuned gradient diverged from forced {merge:?}"
+            );
+            assert!(
+                run.cycles <= r.cycles,
+                "{key}: tuned run ({} cycles) lost to forced {merge:?} ({} cycles)",
+                run.cycles,
+                r.cycles
+            );
+            cycles[slot] = r.cycles;
+        }
+    }
+    TunerMetric {
+        key,
+        chosen: winner.label().to_string(),
+        predicted_cycles: choice.predicted(winner).unwrap_or(0),
+        tuned_cycles: run.cycles,
+        direct_cycles: cycles[0],
+        im2col_cycles: cycles[1],
+    }
+}
+
+/// Replay the tracked workloads through the auto-tuned engine and record
+/// which algorithm it chose per row, with the prediction-honesty
+/// contract asserted in-run ([`tuner_forward_row`]). Two choices are
+/// pinned here because they *are* the paper's Fig. 8 crossover: stride
+/// (1, 1) must auto-select the direct reduction and stride (2, 2) must
+/// auto-select im2col. The backward tuner must route every Fig. 7 shape
+/// through the Col2Im merge — the paper's Section V-B claim.
+pub fn collect_tuner() -> Vec<TunerMetric> {
+    let mut out = Vec::new();
+    let eng = PoolingEngine::ascend910();
+    for w in fig7_workloads() {
+        let shape = format!("{}x{}x{}", w.h, w.w, w.c);
+        let input = feature_map(1, w.c, w.h, w.w, 71);
+        let dims = (input.c1, w.h, w.w);
+        out.push(tuner_forward_row(
+            format!("tuner/fig7a/{shape}"),
+            &eng,
+            &input,
+            dims,
+            w.params,
+        ));
+
+        let input = feature_map(1, w.c, w.h, w.w, 73);
+        let mask = reference::maxpool_argmax_mask(&input, &w.params).expect("mask");
+        let (oh, ow) = w.out_dims();
+        let grads = gradients(1, input.c1, oh, ow, 74);
+        let m = tuner_backward_row(
+            format!("tuner/fig7c/{shape}"),
+            &eng,
+            &mask,
+            &grads,
+            dims,
+            w.params,
+        );
+        assert_eq!(
+            m.chosen, "im2col",
+            "{}: the backward tuner must route the paper shapes through Col2Im",
+            m.key
+        );
+        out.push(m);
+    }
+
+    for stride in 1usize..=3 {
+        let params = PoolParams::new((3, 3), (stride, stride));
+        let eng1 = PoolingEngine::new(Chip::new(1, CostModel::ascend910_like()));
+        let threshold = [ForwardImpl::Standard, ForwardImpl::Im2col]
+            .iter()
+            .map(|i| tiling_threshold(&params, *i, eng1.chip.caps))
+            .min()
+            .unwrap();
+        for hw in [16usize, 24, 32] {
+            if hw > threshold {
+                continue;
+            }
+            let input = plane(1, hw, hw, 80 + hw as u32);
+            let m = tuner_forward_row(
+                format!("tuner/fig8s{stride}/{hw}x{hw}"),
+                &eng1,
+                &input,
+                (1, hw, hw),
+                params,
+            );
+            match stride {
+                1 => assert_eq!(
+                    m.chosen, "direct",
+                    "{}: stride (1,1) must auto-select the direct reduction \
+                     (the Fig. 8a crossover)",
+                    m.key
+                ),
+                2 => assert_eq!(
+                    m.chosen, "im2col",
+                    "{}: stride (2,2) must auto-select im2col (the Fig. 8b \
+                     crossover)",
+                    m.key
+                ),
+                _ => {}
+            }
+            out.push(m);
+        }
+    }
+
+    for w in table1_workloads()
+        .into_iter()
+        .filter(|w| !w.evaluated_in_fig7)
+    {
+        let shape = format!("{}x{}x{}", w.h, w.w, w.c);
+        let input = feature_map(1, w.c, w.h, w.w, 75);
+        out.push(tuner_forward_row(
+            format!("tuner/table1/{}-{}/{shape}", w.cnn, w.input_idx),
+            &eng,
+            &input,
+            (input.c1, w.h, w.w),
+            w.params,
+        ));
     }
     out
 }
@@ -671,11 +934,13 @@ pub fn collect() -> Vec<Metric> {
 
 /// Render metrics as the `BENCH_pooling.json` document. When `baseline`
 /// is given, each metric additionally carries its dual-pipe cycle ratio
-/// vs the baseline (1.0 = unchanged, >1.0 = slower). The `scaling` rows
-/// land in their own top-level section with per-core-count columns.
+/// vs the baseline (1.0 = unchanged, >1.0 = slower). The `scaling` and
+/// `tuner` rows land in their own top-level sections — per-core-count
+/// columns and per-workload chosen-algorithm columns respectively.
 pub fn to_json(
     metrics: &[Metric],
     scaling: &[ScalingMetric],
+    tuner: &[TunerMetric],
     baseline: Option<&[Metric]>,
 ) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"pooling\",\n");
@@ -745,6 +1010,16 @@ pub fn to_json(
             s.contention_factor()
         );
         out.push_str(if i + 1 == scaling.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ],\n  \"tuner\": [\n");
+    for (i, t) in tuner.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"key\": \"{}\", \"chosen\": \"{}\", \"predicted_cycles\": {}, \
+             \"tuned_cycles\": {}, \"direct_cycles\": {}, \"im2col_cycles\": {}}}",
+            t.key, t.chosen, t.predicted_cycles, t.tuned_cycles, t.direct_cycles, t.im2col_cycles
+        );
+        out.push_str(if i + 1 == tuner.len() { "\n" } else { ",\n" });
     }
     out.push_str("  ]\n}\n");
     out
@@ -856,6 +1131,76 @@ pub fn compare_scaling(
     regressions
 }
 
+/// Parse the `tuner` section of a `BENCH_pooling.json`-format document.
+/// A baseline committed before the auto-tuner existed has no section and
+/// parses as the empty list — [`compare_tuner`] then treats every
+/// current row as a new ceiling.
+pub fn parse_tuner(doc: &str) -> Result<Vec<TunerMetric>, String> {
+    let v = json::parse(doc).map_err(|e| e.to_string())?;
+    let Some(arr) = v.get("tuner").and_then(|m| m.as_arr()) else {
+        return Ok(Vec::new());
+    };
+    let field = |m: &json::Value, name: &'static str| {
+        m.get(name)
+            .and_then(|c| c.as_u64())
+            .ok_or(format!("tuner row missing \"{name}\""))
+    };
+    let string = |m: &json::Value, name: &'static str| {
+        m.get(name)
+            .and_then(|c| c.as_str())
+            .map(str::to_string)
+            .ok_or(format!("tuner row missing \"{name}\""))
+    };
+    arr.iter()
+        .map(|m| {
+            Ok(TunerMetric {
+                key: string(m, "key")?,
+                chosen: string(m, "chosen")?,
+                predicted_cycles: field(m, "predicted_cycles")?,
+                tuned_cycles: field(m, "tuned_cycles")?,
+                direct_cycles: field(m, "direct_cycles")?,
+                im2col_cycles: field(m, "im2col_cycles")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()
+}
+
+/// Compare current tuner rows against a baseline's. Flags a tracked row
+/// that disappeared, a chosen-algorithm flip (the simulator is
+/// deterministic — a flip is a policy change that must be re-baselined
+/// deliberately), or tuned cycles more than `tolerance` worse. New rows
+/// pass — they are fresh ceilings.
+pub fn compare_tuner(
+    current: &[TunerMetric],
+    baseline: &[TunerMetric],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for b in baseline {
+        let Some(c) = current.iter().find(|c| c.key == b.key) else {
+            regressions.push(format!("{}: tracked tuner row disappeared", b.key));
+            continue;
+        };
+        if c.chosen != b.chosen {
+            regressions.push(format!(
+                "{}: chosen algorithm flipped ({} -> {})",
+                b.key, b.chosen, c.chosen
+            ));
+        }
+        let ratio = c.tuned_cycles as f64 / b.tuned_cycles.max(1) as f64;
+        if b.tuned_cycles > 0 && ratio > 1.0 + tolerance {
+            regressions.push(format!(
+                "{} (tuned): {} vs baseline {} ({:+.1}%)",
+                b.key,
+                c.tuned_cycles,
+                b.tuned_cycles,
+                (ratio - 1.0) * 100.0
+            ));
+        }
+    }
+    regressions
+}
+
 /// Compare current metrics against a baseline. Returns the list of
 /// regressions — a baseline metric that disappeared, or one whose cycle
 /// count (either implementation, either issue model) or buffer peak grew
@@ -929,12 +1274,16 @@ pub fn run() -> Result<String, Vec<String>> {
         .map_err(|e| vec![format!("committed baseline unreadable: {e}")])?;
     let base_scaling = parse_scaling(COMMITTED_BASELINE)
         .map_err(|e| vec![format!("committed baseline scaling unreadable: {e}")])?;
+    let base_tuner = parse_tuner(COMMITTED_BASELINE)
+        .map_err(|e| vec![format!("committed baseline tuner unreadable: {e}")])?;
     let current = collect();
     let scaling = collect_scaling();
+    let tuner = collect_tuner();
     let mut regressions = compare(&current, &baseline, TOLERANCE);
     regressions.extend(compare_scaling(&scaling, &base_scaling, TOLERANCE));
+    regressions.extend(compare_tuner(&tuner, &base_tuner, TOLERANCE));
     if regressions.is_empty() {
-        Ok(to_json(&current, &scaling, Some(&baseline)))
+        Ok(to_json(&current, &scaling, &tuner, Some(&baseline)))
     } else {
         Err(regressions)
     }
@@ -972,10 +1321,21 @@ mod tests {
         }
     }
 
+    fn tm(key: &str, chosen: &str, tuned: u64, direct: u64, im2col: u64) -> TunerMetric {
+        TunerMetric {
+            key: key.into(),
+            chosen: chosen.into(),
+            predicted_cycles: tuned + tuned / 10,
+            tuned_cycles: tuned,
+            direct_cycles: direct,
+            im2col_cycles: im2col,
+        }
+    }
+
     #[test]
     fn json_round_trip() {
         let ms = vec![m("fig7a/1x1x16", 1000, 250), m("fig8s2/16x16", 77, 33)];
-        let doc = to_json(&ms, &[], None);
+        let doc = to_json(&ms, &[], &[], None);
         assert_eq!(parse_metrics(&doc).unwrap(), ms);
         assert!(doc.contains("\"speedup_single\""));
         assert!(doc.contains("\"rename_gain\""));
@@ -991,7 +1351,7 @@ mod tests {
         assert_eq!(parsed[0].standard_cycles_norename, 0);
         assert!(compare(&ms, &parsed, TOLERANCE).is_empty());
         // with-baseline rendering stays parseable
-        let doc2 = to_json(&ms, &[], Some(&ms));
+        let doc2 = to_json(&ms, &[], &[], Some(&ms));
         assert!(doc2.contains("\"vs_baseline_standard\": 1.0000"));
         assert_eq!(parse_metrics(&doc2).unwrap(), ms);
     }
@@ -1003,16 +1363,67 @@ mod tests {
             sm("scaling/1x1x16/c1", 1, 4000),
             sm("scaling/1x1x16/c8", 8, 600),
         ];
-        let doc = to_json(&ms, &ss, None);
+        let doc = to_json(&ms, &ss, &[], None);
         assert_eq!(parse_scaling(&doc).unwrap(), ss);
         assert_eq!(parse_metrics(&doc).unwrap(), ms);
         assert!(doc.contains("\"contention_factor\": 1.2500"));
         // A baseline committed before the scaling gate has no section:
         // it parses as empty and every current row is a new ceiling.
-        let legacy = to_json(&ms, &[], None);
+        let legacy = to_json(&ms, &[], &[], None);
         let base = parse_scaling(&legacy).unwrap();
         assert!(base.is_empty());
         assert!(compare_scaling(&ss, &base, TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn tuner_section_round_trips_and_tolerates_legacy_baselines() {
+        let ms = vec![m("fig7a/1x1x16", 1000, 250)];
+        let ts = vec![
+            tm("tuner/fig8s1/16x16", "direct", 2201, 2201, 3452),
+            tm("tuner/fig8s2/16x16", "im2col", 1505, 3233, 1505),
+        ];
+        let doc = to_json(&ms, &[], &ts, None);
+        assert_eq!(parse_tuner(&doc).unwrap(), ts);
+        assert_eq!(parse_metrics(&doc).unwrap(), ms);
+        assert!(doc.contains("\"chosen\": \"direct\""));
+        // A baseline committed before the tuner gate has no section: it
+        // parses as empty and every current row is a new ceiling.
+        let legacy = to_json(&ms, &[], &[], None);
+        let base = parse_tuner(&legacy).unwrap();
+        assert!(base.is_empty());
+        assert!(compare_tuner(&ts, &base, TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn compare_tuner_flags_flips_and_regressions() {
+        let base = vec![
+            tm("tuner/a", "direct", 1000, 1000, 2000),
+            tm("tuner/b", "im2col", 500, 900, 500),
+        ];
+        // within tolerance + improvement + new row → pass
+        let ok = vec![
+            tm("tuner/a", "direct", 1040, 1040, 2000),
+            tm("tuner/b", "im2col", 450, 900, 450),
+            tm("tuner/c", "fold", 5, 0, 9),
+        ];
+        assert!(compare_tuner(&ok, &base, TOLERANCE).is_empty());
+        // a chosen-algorithm flip fails even when cycles improve
+        let flipped = vec![
+            tm("tuner/a", "im2col", 900, 1000, 900),
+            tm("tuner/b", "im2col", 500, 900, 500),
+        ];
+        let regs = compare_tuner(&flipped, &base, TOLERANCE);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("flipped (direct -> im2col)"));
+        // a 6% tuned-cycle regression fails
+        let slow = vec![
+            tm("tuner/a", "direct", 1060, 1060, 2000),
+            tm("tuner/b", "im2col", 500, 900, 500),
+        ];
+        assert_eq!(compare_tuner(&slow, &base, TOLERANCE).len(), 1);
+        // disappeared row → fail
+        let gone = vec![tm("tuner/a", "direct", 1000, 1000, 2000)];
+        assert_eq!(compare_tuner(&gone, &base, TOLERANCE).len(), 1);
     }
 
     #[test]
@@ -1153,5 +1564,40 @@ mod tests {
                 .any(|s| s.cores == 32 && s.contention_stalls > 0),
             "the full chip must book contention stalls on some shape"
         );
+        // The tuner section is committed: a chosen-algorithm column for
+        // every tracked family, with the committed choices already
+        // honouring the Fig. 8 crossover and the honesty contract
+        // (tuned cycles never above a feasible alternative's).
+        let tuner = parse_tuner(COMMITTED_BASELINE).expect("tuner section parses");
+        for prefix in [
+            "tuner/fig7a/",
+            "tuner/fig7c/",
+            "tuner/fig8s1/",
+            "tuner/fig8s2/",
+            "tuner/table1/",
+        ] {
+            assert!(
+                tuner.iter().any(|t| t.key.starts_with(prefix)),
+                "baseline missing {prefix} tuner rows"
+            );
+        }
+        for t in &tuner {
+            if t.key.starts_with("tuner/fig8s1/") {
+                assert_eq!(t.chosen, "direct", "{}: committed crossover flipped", t.key);
+            }
+            if t.key.starts_with("tuner/fig8s2/") || t.key.starts_with("tuner/fig7c/") {
+                assert_eq!(t.chosen, "im2col", "{}: committed crossover flipped", t.key);
+            }
+            for (what, alt) in [("direct", t.direct_cycles), ("im2col", t.im2col_cycles)] {
+                assert!(
+                    alt == 0 || t.tuned_cycles <= alt,
+                    "{}: committed tuned cycles {} exceed the forced {} run's {}",
+                    t.key,
+                    t.tuned_cycles,
+                    what,
+                    alt
+                );
+            }
+        }
     }
 }

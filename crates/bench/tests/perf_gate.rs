@@ -167,6 +167,41 @@ fn perf_gate_no_regressions_vs_committed_baseline() {
                     s.key
                 );
             }
+
+            // The artifact carries the auto-tuner's chosen-algorithm
+            // column per tracked row. (The honesty contract — no
+            // fallbacks, no uncertified wins, bit-identical outputs,
+            // tuned never slower than a forced alternative — is asserted
+            // inside `collect_tuner` itself; here we re-check the
+            // emitted rows and pin the Fig. 8 crossover as *choices*.)
+            let tuner = gate::parse_tuner(&doc).expect("tuner section parses");
+            assert!(!tuner.is_empty(), "tuner section must be emitted");
+            for t in &tuner {
+                if t.key.starts_with("tuner/fig8s1/") {
+                    assert_eq!(
+                        t.chosen, "direct",
+                        "{}: stride (1,1) must auto-select the direct reduction",
+                        t.key
+                    );
+                }
+                if t.key.starts_with("tuner/fig8s2/") {
+                    assert_eq!(
+                        t.chosen, "im2col",
+                        "{}: stride (2,2) must auto-select im2col",
+                        t.key
+                    );
+                }
+                for (what, alt) in [("direct", t.direct_cycles), ("im2col", t.im2col_cycles)] {
+                    assert!(
+                        alt == 0 || t.tuned_cycles <= alt,
+                        "{}: tuned cycles {} exceed the forced {} run's {}",
+                        t.key,
+                        t.tuned_cycles,
+                        what,
+                        alt
+                    );
+                }
+            }
         }
         Err(regressions) => panic!(
             "performance regressions vs the committed baseline:\n  {}\n\

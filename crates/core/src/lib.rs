@@ -39,5 +39,8 @@ pub mod workloads;
 pub use maxpool::{build_forward_batched, tiling_threshold};
 pub use problem::{ForwardImpl, LowerError, MergeImpl, PoolProblem};
 pub use runner::{PoolRun, PoolingEngine, RunError};
-pub use schedule::{choose_partition, PartitionAxis, Schedule};
+pub use schedule::{
+    chip_cycle_floor, choose_backward_algorithm, choose_forward_algorithm, choose_partition,
+    program_cycle_floor, Algorithm, AlgorithmChoice, PartitionAxis, Prediction, Schedule,
+};
 pub use workloads::{fig7_workloads, table1_workloads, CnnWorkload};

@@ -78,7 +78,7 @@ struct BandSpan {
 
 impl BandSpan {
     fn new(prob: &PoolProblem, oh0: usize, oh1: usize, last: bool) -> Self {
-        let (kh, sh) = (prob.params.kh, prob.params.sh);
+        let (kh, sh) = (prob.params.eff_kh(), prob.params.sh);
         let r0 = oh0 * sh;
         let r1 = if last { prob.ih } else { oh1 * sh };
         // Smallest o with o*Sh + Kh > r0: the first patch reaching r0.
@@ -164,55 +164,8 @@ fn build_backward_inner(
     let params = prob.params;
     let (oh, ow) = prob.out_dims();
     let planes = params.kh * params.kw;
-
-    // Patches of the previous band that can reach into a band's
-    // finalized rows and must be re-loaded: at most (Kh-1)/Sh rows.
-    let overlap = (params.kh - 1) / params.sh;
-
-    // Footprint: `copies` gradient bands + Kh*Kw mask-gradient plane
-    // sets (both sized for the band *plus* its overlap patches) + the dx
-    // scratch window (shared across bands, never doubled).
-    let footprint = |copies: usize, boh: usize| {
-        let padded = PoolProblem::padded_plane_bytes((boh + overlap) * ow);
-        let dx_rows = band_input_rows(&params, boh + overlap) + params.sh;
-        copies * (padded + planes * padded) + dx_rows * prob.iw * ROW
-    };
-    let boh1 = max_row_band(oh, caps.ub, |b| footprint(1, b))?;
-    let mut boh = boh1;
-    let mut mode = BandMode::Single;
-    if sched.double && boh1 < oh {
-        match merge {
-            MergeImpl::Col2Im => {
-                // Ping-pong profits here: second capacity query at the
-                // halved budget; if doubling does not fit even one-row
-                // bands, stay single-buffered.
-                if let Ok(b) = max_row_band(oh, caps.ub, |b| footprint(2, b)) {
-                    boh = b;
-                    mode = BandMode::PingPong;
-                }
-            }
-            MergeImpl::VAdd => {
-                // The VAdd merge is overwhelmingly Vector-bound — the
-                // gradient and mask loads a prefetch would hide are a
-                // sliver of the makespan, while halving the band height
-                // doubles the per-band overlap re-expansion tax. PR 3
-                // measured ping-pong a loss on the whole Fig. 7 sweep and
-                // hardcoded a decline. With slot renaming the bands keep
-                // single software addresses and only physical headroom is
-                // reserved, so the tax is smaller; overlap when the
-                // per-pipe predictor says the versioned plan wins.
-                if sched.rotate {
-                    let masked = matches!(source, BackwardSource::MaxMask { .. });
-                    if let Ok(vb) = max_row_band(oh, caps.ub, |b| 2 * footprint(1, b)) {
-                        if vadd_versioned_wins(prob, masked, &sched.cost, boh1, vb) {
-                            boh = vb;
-                            mode = BandMode::Versioned;
-                        }
-                    }
-                }
-            }
-        }
-    }
+    let masked = matches!(source, BackwardSource::MaxMask { .. });
+    let (boh, mut mode) = plan_backward(prob, merge, masked, caps, &sched)?;
     // `row_bands` validates the split (and rejects padded multi-band
     // requests); the spans below re-derive each band's gradient and
     // window extents including the overlap patches.
@@ -335,6 +288,71 @@ fn build_backward_inner(
     Ok(programs)
 }
 
+/// The band height and overlap mode the backward lowering adopts — kept
+/// as one function so the auto-tuner's cost estimates
+/// ([`backward_plane_est`]) band exactly as [`build_backward`] does.
+fn plan_backward(
+    prob: &PoolProblem,
+    merge: MergeImpl,
+    masked: bool,
+    caps: Capacities,
+    sched: &Schedule,
+) -> Result<(usize, BandMode), LowerError> {
+    let params = prob.params;
+    let (oh, ow) = prob.out_dims();
+    let planes = params.kh * params.kw;
+
+    // Patches of the previous band that can reach into a band's
+    // finalized rows and must be re-loaded: at most (effKh-1)/Sh rows,
+    // where effKh is the dilated kernel extent.
+    let overlap = (params.eff_kh() - 1) / params.sh;
+
+    // Footprint: `copies` gradient bands + Kh*Kw mask-gradient plane
+    // sets (both sized for the band *plus* its overlap patches) + the dx
+    // scratch window (shared across bands, never doubled).
+    let footprint = |copies: usize, boh: usize| {
+        let padded = PoolProblem::padded_plane_bytes((boh + overlap) * ow);
+        let dx_rows = band_input_rows(&params, boh + overlap) + params.sh;
+        copies * (padded + planes * padded) + dx_rows * prob.iw * ROW
+    };
+    let boh1 = max_row_band(oh, caps.ub, |b| footprint(1, b))?;
+    let mut boh = boh1;
+    let mut mode = BandMode::Single;
+    if sched.double && boh1 < oh {
+        match merge {
+            MergeImpl::Col2Im => {
+                // Ping-pong profits here: second capacity query at the
+                // halved budget; if doubling does not fit even one-row
+                // bands, stay single-buffered.
+                if let Ok(b) = max_row_band(oh, caps.ub, |b| footprint(2, b)) {
+                    boh = b;
+                    mode = BandMode::PingPong;
+                }
+            }
+            MergeImpl::VAdd => {
+                // The VAdd merge is overwhelmingly Vector-bound — the
+                // gradient and mask loads a prefetch would hide are a
+                // sliver of the makespan, while halving the band height
+                // doubles the per-band overlap re-expansion tax. PR 3
+                // measured ping-pong a loss on the whole Fig. 7 sweep and
+                // hardcoded a decline. With slot renaming the bands keep
+                // single software addresses and only physical headroom is
+                // reserved, so the tax is smaller; overlap when the
+                // per-pipe predictor says the versioned plan wins.
+                if sched.rotate {
+                    if let Ok(vb) = max_row_band(oh, caps.ub, |b| 2 * footprint(1, b)) {
+                        if vadd_versioned_wins(prob, masked, &sched.cost, boh1, vb) {
+                            boh = vb;
+                            mode = BandMode::Versioned;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((boh, mode))
+}
+
 /// The pipe-0 (MTE) stage of one band: the gradient-band DMA and, for
 /// MaxPool, the Kh*Kw argmax-mask plane DMAs into the band's slots.
 #[allow(clippy::too_many_arguments)]
@@ -444,6 +462,7 @@ fn emit_backward_compute(
                 right: params.padding.right,
             },
         )
+        .with_dilation((params.dh, params.dw))
     };
     let geom =
         Im2ColGeometry::new(span.w_rows, prob.iw, 1, band_params).map_err(LowerError::Isa)?;
@@ -596,4 +615,80 @@ fn vadd_versioned_wins(
             .collect()
     };
     schedule::versioned_makespan(&est(&versioned)) < schedule::serial_makespan(est(&serial))
+}
+
+/// Stage estimate of one Col2Im-merge backward band: same load and flush
+/// as the VAdd merge, but the merge step is Kh*Kw hardware-repeated
+/// `Col2Im` issues sweeping the band's fractals.
+fn col2im_band_cycles(
+    prob: &PoolProblem,
+    masked: bool,
+    cost: &CostModel,
+    span: &BandSpan,
+    alloc_rows: usize,
+) -> schedule::BandStages {
+    let params = prob.params;
+    let (_, ow) = prob.out_dims();
+    let boh = span.o_len();
+    let planes = (params.kh * params.kw) as u64;
+    let band_bytes = boh * ow * ROW;
+    let mut load = schedule::dma_est(cost, band_bytes);
+    if masked {
+        load += planes * schedule::dma_est(cost, band_bytes);
+    }
+    let bf = PoolProblem::fractals_for(boh * ow) as u64;
+    let merge = planes
+        * (bf.div_ceil(MAX_REPEAT as u64) * cost.issue_overhead + bf * cost.col2im_per_fractal);
+    schedule::BandStages {
+        load,
+        expand: 0,
+        compute: schedule::vec_sat(cost, alloc_rows * prob.iw * C0)
+            + planes * schedule::vec_sat(cost, boh * ow * C0)
+            + merge,
+        flush: schedule::dma_est(cost, (span.r1 - span.r0) * prob.iw * ROW),
+    }
+}
+
+/// Estimated (cycles, GM bytes) of one plane's backward program under
+/// `merge`, banded exactly as [`build_backward`] would band it (same
+/// [`plan_backward`], same spans). `None` when the geometry cannot be
+/// planned — the candidate is then absent from the auto-tuner's ranking.
+/// This is the per-plane cost [`crate::schedule::choose_backward_algorithm`]
+/// scales to chip cycles.
+pub(crate) fn backward_plane_est(
+    prob: &PoolProblem,
+    merge: MergeImpl,
+    masked: bool,
+    caps: Capacities,
+    sched: &Schedule,
+) -> Option<(u64, u64)> {
+    let cost = &sched.cost;
+    let (boh, mode) = plan_backward(prob, merge, masked, caps, sched).ok()?;
+    let (oh, ow) = prob.out_dims();
+    let bands = row_bands(&prob.params, oh, boh, prob.ih).ok()?;
+    let spans: Vec<BandSpan> = bands
+        .iter()
+        .enumerate()
+        .map(|(i, b)| BandSpan::new(prob, b.oh0, b.oh1, i + 1 == bands.len()))
+        .collect();
+    let alloc_rows = spans.iter().map(|s| s.w_rows).max()?;
+    let stages: Vec<schedule::BandStages> = spans
+        .iter()
+        .map(|s| match merge {
+            MergeImpl::VAdd => vadd_band_cycles(prob, masked, cost, s, alloc_rows),
+            MergeImpl::Col2Im => col2im_band_cycles(prob, masked, cost, s, alloc_rows),
+        })
+        .collect();
+    let cycles = if spans.len() < 2 || mode == BandMode::Single {
+        schedule::serial_makespan(stages.iter().copied())
+    } else {
+        // Ping-pong and versioned plans both recover load(i+1) ∥
+        // compute(i); the deferred-flush order is the closest closed form.
+        schedule::versioned_makespan(&stages)
+    };
+    let planes = (prob.params.kh * prob.params.kw) as u64;
+    let grad_bytes: u64 = spans.iter().map(|s| (s.o_len() * ow * ROW) as u64).sum();
+    let mask_bytes = if masked { planes * grad_bytes } else { 0 };
+    let dx_bytes = (prob.ih * prob.iw * ROW) as u64;
+    Some((cycles, grad_bytes + mask_bytes + dx_bytes))
 }

@@ -187,6 +187,27 @@ fn build_forward_inner(
             "{impl_:?} lowering requires no padding"
         )));
     }
+    // Dilation support: Im2col gets it from the instruction's geometry;
+    // Standard gets it from strided addressing. Expansion and XYSplit
+    // would need dilated gather patterns nobody benchmarks.
+    if params.has_dilation() && !matches!(impl_, ForwardImpl::Im2col | ForwardImpl::Standard) {
+        return Err(LowerError::Unsupported(format!(
+            "{impl_:?} lowering does not support dilation"
+        )));
+    }
+    // Ceil-mode overhang: windows past the input read synthesised zeros,
+    // which only the coordinate-checked Im2Col gather can produce. Other
+    // lowerings address the staged band directly and may only run ceil
+    // geometries whose rounding happens to add no overhang.
+    if impl_ != ForwardImpl::Im2col && params.ceil_mode {
+        let overhang = params.ceil_overhang(prob.ih, prob.iw)?;
+        if overhang != (0, 0) {
+            return Err(LowerError::Unsupported(format!(
+                "{impl_:?} lowering cannot read past the input \
+                 (ceil-mode overhang {overhang:?})"
+            )));
+        }
+    }
 
     let (oh, _ow) = prob.out_dims();
     let (mut boh, mut mode) = plan_band(prob, impl_, gm_mask.is_some(), caps, &sched)?;
@@ -586,7 +607,13 @@ pub(crate) fn plan_band(
 /// band can process for this implementation (N = C1 = 1).
 pub fn tiling_threshold(params: &PoolParams, impl_: ForwardImpl, caps: Capacities) -> usize {
     dv_akg::tiling_threshold(caps.ub, 4096, |hw| {
-        match PoolProblem::new(1, 1, hw.max(params.kh), hw.max(params.kw), *params) {
+        match PoolProblem::new(
+            1,
+            1,
+            hw.max(params.eff_kh()),
+            hw.max(params.eff_kw()),
+            *params,
+        ) {
             Ok(p) => {
                 let (oh, _) = p.out_dims();
                 let ub = ub_footprint(&p, impl_, false, oh);
@@ -642,7 +669,7 @@ fn emit_standard_compute(
         for oh_r in 0..boh {
             for kh in 0..params.kh {
                 let dst_row = ub_out.add(oh_r * ow * ROW);
-                let src_row = ub_in.add((oh_r * params.sh + kh) * prob.iw * ROW);
+                let src_row = ub_in.add((oh_r * params.sh + kh * params.dh) * prob.iw * ROW);
                 let elems = ow * C0;
                 let mut e0 = 0usize;
                 while e0 < elems {
@@ -656,7 +683,7 @@ fn emit_standard_compute(
                         repeat: params.kw as u16,
                         dst_stride: 0,
                         src0_stride: 0,
-                        src1_stride: ROW,
+                        src1_stride: params.dw * ROW,
                     }))?;
                     e0 += n;
                 }
@@ -669,8 +696,9 @@ fn emit_standard_compute(
             for ow_i in 0..ow {
                 for kh in 0..params.kh {
                     let dst = ub_out.add((oh_r * ow + ow_i) * ROW);
-                    let src =
-                        ub_in.add(((oh_r * params.sh + kh) * prob.iw + ow_i * params.sw) * ROW);
+                    let src = ub_in.add(
+                        ((oh_r * params.sh + kh * params.dh) * prob.iw + ow_i * params.sw) * ROW,
+                    );
                     strided_accumulate(
                         p,
                         reduction.op(),
@@ -678,7 +706,7 @@ fn emit_standard_compute(
                         src,
                         Mask::C0_ONLY,
                         params.kw as u16,
-                        ROW,
+                        params.dw * ROW,
                     )?;
                 }
             }
@@ -706,13 +734,15 @@ fn emit_standard_compute(
                     p.push(Instr::Vector(VectorInstr {
                         op: VectorOp::CmpEq,
                         dst: ub_mask.add((kh * params.kw) * padded + (oh_r * ow + ow_i) * ROW),
-                        src0: ub_in
-                            .add(((oh_r * params.sh + kh) * prob.iw + ow_i * params.sw) * ROW),
+                        src0: ub_in.add(
+                            ((oh_r * params.sh + kh * params.dh) * prob.iw + ow_i * params.sw)
+                                * ROW,
+                        ),
                         src1: ub_out.add((oh_r * ow + ow_i) * ROW),
                         mask: Mask::C0_ONLY,
                         repeat: params.kw as u16,
                         dst_stride: padded,
-                        src0_stride: ROW,
+                        src0_stride: params.dw * ROW,
                         src1_stride: 0,
                     }))?;
                 }
@@ -794,8 +824,10 @@ fn emit_im2col_load(
     let ub_cols = Addr::ub(layout.ub_cols.expect("im2col layout").of(slot));
     let l1_in = Addr::l1(layout.l1_in.of(slot));
 
-    // Band geometry: multi-band lowering requires no vertical padding
-    // (enforced by `row_bands`), so dropping top/bottom is exact.
+    // Band geometry: multi-band lowering requires no vertical padding and
+    // no ceil-mode (both enforced by `row_bands`), so dropping top/bottom
+    // — and leaving the partial band's rounding at floor — is exact.
+    // Dilation must ride along: the band's taps stay dilated.
     let band_params = if band.oh0 == 0 && band.oh1 == oh_total {
         params
     } else {
@@ -809,6 +841,7 @@ fn emit_im2col_load(
                 right: params.padding.right,
             },
         )
+        .with_dilation((params.dh, params.dw))
     };
     let geom =
         Im2ColGeometry::new(band.ih_len, prob.iw, 1, band_params).map_err(LowerError::Isa)?;

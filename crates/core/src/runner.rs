@@ -16,7 +16,10 @@ use crate::maxpool::{
     build_forward_with_argmax_parallel, BackwardSource, Reduction,
 };
 use crate::problem::{ForwardImpl, LowerError, MergeImpl, PoolProblem};
-use crate::schedule::{choose_partition, PartitionAxis, Schedule};
+use crate::schedule::{
+    chip_cycle_floor, choose_backward_algorithm, choose_forward_algorithm, choose_partition,
+    Algorithm, PartitionAxis, Schedule,
+};
 use core::fmt;
 use dv_akg::GmArena;
 use dv_isa::Program;
@@ -103,6 +106,31 @@ pub struct PoolingEngine {
     /// controlled comparisons use to run the *same* program under
     /// renaming and no-renaming cost models.
     pub rotation_planning: Option<bool>,
+    /// Auto-tune the algorithm per workload (off by default): when set,
+    /// the pooling entry points *ignore* their `impl_`/`merge` argument
+    /// and dispatch the winner of [`choose_forward_algorithm`] /
+    /// [`choose_backward_algorithm`] — direct reduction, per-plane
+    /// Im2col, or the Mode-0 batch fold. The choice is never silently
+    /// trusted: a ranked candidate that fails to lower books a
+    /// [`dv_sim::HwCounters::tuner_fallbacks`], and after the run every
+    /// rejected alternative is certified against its
+    /// [`chip_cycle_floor`] — if the winner's measured cycles exceed an
+    /// alternative's floor, the win is uncertified and the engine books
+    /// a [`dv_sim::HwCounters::tuner_mispredicted`] (so
+    /// `tuner_mispredicted == 0` proves the tuned run is no slower than
+    /// any lowerable alternative). Results are bit-identical on every
+    /// algorithm; only cycles change.
+    pub auto_tune: bool,
+}
+
+/// A tuner dispatch: the chosen algorithm's programs plus everything the
+/// post-run certification needs.
+struct Tuned {
+    programs: Vec<Program>,
+    /// Lowered programs of each rejected (but lowerable) alternative.
+    alternatives: Vec<Vec<Program>>,
+    /// Ranked candidates that failed to lower before one succeeded.
+    fallbacks: u64,
 }
 
 impl PoolingEngine {
@@ -120,6 +148,7 @@ impl PoolingEngine {
             batching: true,
             shard: false,
             rotation_planning: None,
+            auto_tune: false,
         }
     }
 
@@ -165,6 +194,13 @@ impl PoolingEngine {
         self
     }
 
+    /// Enable or disable per-workload algorithm auto-tuning (see
+    /// [`PoolingEngine::auto_tune`]).
+    pub fn with_auto_tuning(mut self, on: bool) -> PoolingEngine {
+        self.auto_tune = on;
+        self
+    }
+
     /// The overlap schedule this engine's lowerings plan against:
     /// `double_buffer` plus rotation planning resolved from the chip's
     /// cost model (or the pinned override).
@@ -184,6 +220,174 @@ impl PoolingEngine {
         }
     }
 
+    /// The chip's shared L2/HBM bandwidth, if it models one — what the
+    /// tuner's and partitioner's contention multipliers price against.
+    fn shared_bandwidth(&self) -> Option<u64> {
+        match self.chip.memory {
+            MemoryModel::Independent => None,
+            MemoryModel::SharedBandwidth { bytes_per_cycle } => Some(bytes_per_cycle),
+        }
+    }
+
+    /// Walk a tuner ranking: the first candidate that lowers is
+    /// dispatched; candidates that fail to lower before it are counted
+    /// as typed fallbacks; the remaining lowerable candidates are kept
+    /// for post-run certification. An empty (or fully infeasible)
+    /// ranking surfaces the last lowering error.
+    fn dispatch_ranked(
+        choice: &crate::schedule::AlgorithmChoice,
+        mut lower: impl FnMut(Algorithm) -> Result<Vec<Program>, LowerError>,
+    ) -> Result<Tuned, LowerError> {
+        let mut fallbacks = 0u64;
+        let mut chosen: Option<Vec<Program>> = None;
+        let mut alternatives = Vec::new();
+        let mut last_err: Option<LowerError> = None;
+        for pred in &choice.ranking {
+            match lower(pred.algorithm) {
+                Ok(ps) => {
+                    if chosen.is_none() {
+                        chosen = Some(ps);
+                    } else {
+                        alternatives.push(ps);
+                    }
+                }
+                Err(e) => {
+                    if chosen.is_none() {
+                        // The predicted winner could not be lowered: a
+                        // typed decline, never a silent re-rank.
+                        fallbacks += 1;
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+        match chosen {
+            Some(programs) => Ok(Tuned {
+                programs,
+                alternatives,
+                fallbacks,
+            }),
+            None => Err(last_err.unwrap_or_else(|| {
+                LowerError::Unsupported("auto-tuner found no feasible algorithm".into())
+            })),
+        }
+    }
+
+    /// Auto-tuned forward dispatch: rank the algorithm families, lower
+    /// the winner (falling through the ranking on typed declines), and
+    /// keep the rejected alternatives for certification.
+    fn tuned_forward(
+        &self,
+        prob: &PoolProblem,
+        reduction: Reduction,
+        gm_in: usize,
+        gm_out: usize,
+        gm_mask: Option<usize>,
+    ) -> Result<Tuned, LowerError> {
+        let is_avg = matches!(reduction, Reduction::Sum { .. });
+        let choice = choose_forward_algorithm(
+            prob,
+            gm_mask.is_some(),
+            is_avg,
+            self.chip.cores,
+            &self.schedule(),
+            self.chip.caps,
+            self.shared_bandwidth(),
+        );
+        Self::dispatch_ranked(&choice, |algo| match algo {
+            Algorithm::Fold => build_forward_batched(
+                prob,
+                reduction,
+                gm_in,
+                gm_out,
+                gm_mask,
+                self.chip.caps,
+                self.schedule(),
+            ),
+            _ => match gm_mask {
+                Some(m) => build_forward_with_argmax_parallel(
+                    prob,
+                    algo.forward_impl(),
+                    gm_in,
+                    gm_out,
+                    m,
+                    self.chip.caps,
+                    1,
+                    self.schedule(),
+                ),
+                None => build_forward_parallel(
+                    prob,
+                    algo.forward_impl(),
+                    reduction,
+                    gm_in,
+                    gm_out,
+                    self.chip.caps,
+                    1,
+                    self.schedule(),
+                ),
+            },
+        })
+    }
+
+    /// Auto-tuned backward dispatch: rank the merge families and lower
+    /// the winner. Batch folding stays the engine's occupancy-gated
+    /// consolidation (identical per-plane streams either way).
+    fn tuned_backward(
+        &self,
+        prob: &PoolProblem,
+        source: BackwardSource,
+        gm_grad: usize,
+        gm_dx: usize,
+    ) -> Result<Tuned, LowerError> {
+        let masked = matches!(source, BackwardSource::MaxMask { .. });
+        let choice = choose_backward_algorithm(
+            prob,
+            masked,
+            self.chip.cores,
+            &self.schedule(),
+            self.chip.caps,
+            self.shared_bandwidth(),
+        );
+        Self::dispatch_ranked(&choice, |algo| {
+            let merge = algo.merge_impl();
+            if self.fold_batches(prob) {
+                build_backward_batched(
+                    prob,
+                    merge,
+                    source,
+                    gm_grad,
+                    gm_dx,
+                    self.chip.caps,
+                    self.schedule(),
+                )
+            } else {
+                build_backward(
+                    prob,
+                    merge,
+                    source,
+                    gm_grad,
+                    gm_dx,
+                    self.chip.caps,
+                    self.schedule(),
+                )
+            }
+        })
+    }
+
+    /// Post-run honesty booking: surface every decline the tuner took
+    /// and certify the dispatched winner against each rejected
+    /// alternative's cycle floor. A floor the measured cycles exceed
+    /// means the predicted win cannot be certified — booked as a
+    /// misprediction, never silently dropped.
+    fn book_tuner(&self, run: &mut PoolRun, tuned: &Tuned) {
+        run.total.tuner_fallbacks += tuned.fallbacks;
+        for alt in &tuned.alternatives {
+            if chip_cycle_floor(alt, self.chip.cores, &self.chip.cost) < run.cycles {
+                run.total.tuner_mispredicted += 1;
+            }
+        }
+    }
+
     /// The partition axis this forward run shards over. With
     /// [`PoolingEngine::shard`] off the mapping reproduces the legacy
     /// switches exactly (batch fold if eligible, else band splitting if
@@ -199,11 +403,13 @@ impl PoolingEngine {
         with_mask: bool,
     ) -> PartitionAxis {
         if self.shard && impl_ == ForwardImpl::Im2col {
-            let shared = match self.chip.memory {
-                MemoryModel::Independent => None,
-                MemoryModel::SharedBandwidth { bytes_per_cycle } => Some(bytes_per_cycle),
-            };
-            let axis = choose_partition(prob, with_mask, self.chip.cores, &self.schedule(), shared);
+            let axis = choose_partition(
+                prob,
+                with_mask,
+                self.chip.cores,
+                &self.schedule(),
+                self.shared_bandwidth(),
+            );
             if axis == PartitionAxis::PerC1 && !self.batching {
                 PartitionAxis::PerPlane
             } else {
@@ -316,24 +522,36 @@ impl PoolingEngine {
         let mut gm = GmArena::new();
         let gm_in = gm.alloc(prob.in_bytes());
         let gm_out = gm.alloc(prob.out_bytes());
-        let programs = match self.forward_axis(&prob, impl_, false) {
-            PartitionAxis::PerC1 => {
-                self.batched_forward_or_fallback(&prob, Reduction::Max, gm_in, gm_out, None)?
-            }
-            axis => build_forward_parallel(
-                &prob,
-                impl_,
-                Reduction::Max,
-                gm_in,
-                gm_out,
-                self.chip.caps,
-                self.axis_parallel(axis),
-                self.schedule(),
-            )?,
+        let (programs, tuned) = if self.auto_tune {
+            let t = self.tuned_forward(&prob, Reduction::Max, gm_in, gm_out, None)?;
+            (Vec::new(), Some(t))
+        } else {
+            let ps = match self.forward_axis(&prob, impl_, false) {
+                PartitionAxis::PerC1 => {
+                    self.batched_forward_or_fallback(&prob, Reduction::Max, gm_in, gm_out, None)?
+                }
+                axis => build_forward_parallel(
+                    &prob,
+                    impl_,
+                    Reduction::Max,
+                    gm_in,
+                    gm_out,
+                    self.chip.caps,
+                    self.axis_parallel(axis),
+                    self.schedule(),
+                )?,
+            };
+            (ps, None)
         };
         let mut image = vec![0u8; gm.size()];
         write_tensor(&mut image, gm_in, input.data());
-        let run = self.chip.run(&mut image, &programs)?;
+        let mut run = self.chip.run(
+            &mut image,
+            tuned.as_ref().map_or(&programs, |t| &t.programs),
+        )?;
+        if let Some(t) = &tuned {
+            self.book_tuner(&mut run, t);
+        }
         let out = read_plane_tensor(&image, gm_out, &prob);
         Ok((out, run))
     }
@@ -350,28 +568,40 @@ impl PoolingEngine {
         let gm_in = gm.alloc(prob.in_bytes());
         let gm_out = gm.alloc(prob.out_bytes());
         let gm_mask = gm.alloc(prob.mask_bytes());
-        let programs = match self.forward_axis(&prob, impl_, true) {
-            PartitionAxis::PerC1 => self.batched_forward_or_fallback(
-                &prob,
-                Reduction::Max,
-                gm_in,
-                gm_out,
-                Some(gm_mask),
-            )?,
-            axis => build_forward_with_argmax_parallel(
-                &prob,
-                impl_,
-                gm_in,
-                gm_out,
-                gm_mask,
-                self.chip.caps,
-                self.axis_parallel(axis),
-                self.schedule(),
-            )?,
+        let (programs, tuned) = if self.auto_tune {
+            let t = self.tuned_forward(&prob, Reduction::Max, gm_in, gm_out, Some(gm_mask))?;
+            (Vec::new(), Some(t))
+        } else {
+            let ps = match self.forward_axis(&prob, impl_, true) {
+                PartitionAxis::PerC1 => self.batched_forward_or_fallback(
+                    &prob,
+                    Reduction::Max,
+                    gm_in,
+                    gm_out,
+                    Some(gm_mask),
+                )?,
+                axis => build_forward_with_argmax_parallel(
+                    &prob,
+                    impl_,
+                    gm_in,
+                    gm_out,
+                    gm_mask,
+                    self.chip.caps,
+                    self.axis_parallel(axis),
+                    self.schedule(),
+                )?,
+            };
+            (ps, None)
         };
         let mut image = vec![0u8; gm.size()];
         write_tensor(&mut image, gm_in, input.data());
-        let run = self.chip.run(&mut image, &programs)?;
+        let mut run = self.chip.run(
+            &mut image,
+            tuned.as_ref().map_or(&programs, |t| &t.programs),
+        )?;
+        if let Some(t) = &tuned {
+            self.book_tuner(&mut run, t);
+        }
         let out = read_plane_tensor(&image, gm_out, &prob);
         let mask = read_mask_tensor(&image, gm_mask, &prob);
         Ok((out, mask, run))
@@ -404,31 +634,43 @@ impl PoolingEngine {
         let gm_mask = gm.alloc(prob.mask_bytes());
         let gm_grad = gm.alloc(prob.out_bytes());
         let gm_dx = gm.alloc(prob.in_bytes());
-        let programs = if self.fold_batches(&prob) {
-            build_backward_batched(
+        let source = BackwardSource::MaxMask { gm_mask };
+        let (programs, tuned) = if self.auto_tune {
+            let t = self.tuned_backward(&prob, source, gm_grad, gm_dx)?;
+            (Vec::new(), Some(t))
+        } else if self.fold_batches(&prob) {
+            let ps = build_backward_batched(
                 &prob,
                 merge,
-                BackwardSource::MaxMask { gm_mask },
+                source,
                 gm_grad,
                 gm_dx,
                 self.chip.caps,
                 self.schedule(),
-            )?
+            )?;
+            (ps, None)
         } else {
-            build_backward(
+            let ps = build_backward(
                 &prob,
                 merge,
-                BackwardSource::MaxMask { gm_mask },
+                source,
                 gm_grad,
                 gm_dx,
                 self.chip.caps,
                 self.schedule(),
-            )?
+            )?;
+            (ps, None)
         };
         let mut image = vec![0u8; gm.size()];
         write_tensor(&mut image, gm_mask, mask.data());
         write_tensor(&mut image, gm_grad, gradients.data());
-        let run = self.chip.run(&mut image, &programs)?;
+        let mut run = self.chip.run(
+            &mut image,
+            tuned.as_ref().map_or(&programs, |t| &t.programs),
+        )?;
+        if let Some(t) = &tuned {
+            self.book_tuner(&mut run, t);
+        }
         let dx = read_input_tensor(&image, gm_dx, &prob);
         Ok((dx, run))
     }
@@ -492,30 +734,43 @@ impl PoolingEngine {
         let mut gm = GmArena::new();
         let gm_in = gm.alloc(prob.in_bytes());
         let gm_out = gm.alloc(prob.out_bytes());
-        let programs = match self.forward_axis(&prob, impl_, false) {
-            PartitionAxis::PerC1 => {
-                let scale = crate::avgpool::avg_scale(&prob);
-                self.batched_forward_or_fallback(
+        let (programs, tuned) = if self.auto_tune {
+            let scale = crate::avgpool::avg_scale(&prob);
+            let t = self.tuned_forward(&prob, Reduction::Sum { scale }, gm_in, gm_out, None)?;
+            (Vec::new(), Some(t))
+        } else {
+            let ps = match self.forward_axis(&prob, impl_, false) {
+                PartitionAxis::PerC1 => {
+                    let scale = crate::avgpool::avg_scale(&prob);
+                    self.batched_forward_or_fallback(
+                        &prob,
+                        Reduction::Sum { scale },
+                        gm_in,
+                        gm_out,
+                        None,
+                    )?
+                }
+                axis => build_avgpool_forward_parallel(
                     &prob,
-                    Reduction::Sum { scale },
+                    impl_,
                     gm_in,
                     gm_out,
-                    None,
-                )?
-            }
-            axis => build_avgpool_forward_parallel(
-                &prob,
-                impl_,
-                gm_in,
-                gm_out,
-                self.chip.caps,
-                self.axis_parallel(axis),
-                self.schedule(),
-            )?,
+                    self.chip.caps,
+                    self.axis_parallel(axis),
+                    self.schedule(),
+                )?,
+            };
+            (ps, None)
         };
         let mut image = vec![0u8; gm.size()];
         write_tensor(&mut image, gm_in, input.data());
-        let run = self.chip.run(&mut image, &programs)?;
+        let mut run = self.chip.run(
+            &mut image,
+            tuned.as_ref().map_or(&programs, |t| &t.programs),
+        )?;
+        if let Some(t) = &tuned {
+            self.book_tuner(&mut run, t);
+        }
         let out = read_plane_tensor(&image, gm_out, &prob);
         Ok((out, run))
     }
@@ -543,28 +798,42 @@ impl PoolingEngine {
         let mut gm = GmArena::new();
         let gm_grad = gm.alloc(prob.out_bytes());
         let gm_dx = gm.alloc(prob.in_bytes());
-        let programs = if self.fold_batches(&prob) {
-            build_avgpool_backward_batched(
+        let (programs, tuned) = if self.auto_tune {
+            let source = BackwardSource::AvgUniform {
+                scale: crate::avgpool::avg_scale(&prob),
+            };
+            let t = self.tuned_backward(&prob, source, gm_grad, gm_dx)?;
+            (Vec::new(), Some(t))
+        } else if self.fold_batches(&prob) {
+            let ps = build_avgpool_backward_batched(
                 &prob,
                 merge,
                 gm_grad,
                 gm_dx,
                 self.chip.caps,
                 self.schedule(),
-            )?
+            )?;
+            (ps, None)
         } else {
-            build_avgpool_backward(
+            let ps = build_avgpool_backward(
                 &prob,
                 merge,
                 gm_grad,
                 gm_dx,
                 self.chip.caps,
                 self.schedule(),
-            )?
+            )?;
+            (ps, None)
         };
         let mut image = vec![0u8; gm.size()];
         write_tensor(&mut image, gm_grad, gradients.data());
-        let run = self.chip.run(&mut image, &programs)?;
+        let mut run = self.chip.run(
+            &mut image,
+            tuned.as_ref().map_or(&programs, |t| &t.programs),
+        )?;
+        if let Some(t) = &tuned {
+            self.book_tuner(&mut run, t);
+        }
         let dx = read_input_tensor(&image, gm_dx, &prob);
         Ok((dx, run))
     }

@@ -19,10 +19,10 @@
 //! makespan is the ground truth the estimates approximate; the perf gate
 //! measures every decision against the no-rename control column.
 
-use crate::problem::PoolProblem;
-use dv_akg::{row_bands, Band};
-use dv_isa::{MAX_REPEAT, VECTOR_LANES};
-use dv_sim::{CostModel, IssueModel};
+use crate::problem::{ForwardImpl, MergeImpl, PoolProblem};
+use dv_akg::{row_bands, Band, BandMode};
+use dv_isa::{Program, MAX_REPEAT, VECTOR_LANES};
+use dv_sim::{Capacities, CostModel, IssueModel};
 use dv_tensor::{C0, FRACTAL_ROWS};
 
 const ROW: usize = C0 * 2;
@@ -449,6 +449,333 @@ pub(crate) fn forward_im2col_versioned_wins(
     forward_versioned_makespan(&v_stages) < forward_serial_makespan(&s_stages)
 }
 
+// ---------------------------------------------------------------------
+// The auto-tuner: rank whole algorithm families per workload.
+// ---------------------------------------------------------------------
+
+/// The algorithm families [`choose_forward_algorithm`] and
+/// [`choose_backward_algorithm`] rank — the auto-tuner's dispatch table.
+/// Each maps onto the existing lowering switches: the tuner never invents
+/// a new lowering, it only decides which one runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Direct reduction on the NC1HWC0 layout: [`ForwardImpl::Standard`]
+    /// forward, [`MergeImpl::VAdd`] backward — the lowering that wins
+    /// Fig. 8a's stride-(1,1) regime.
+    Direct,
+    /// The paper's accelerated path: [`ForwardImpl::Im2col`] forward,
+    /// [`MergeImpl::Col2Im`] backward, one program per `(n, c1)` plane.
+    Im2col,
+    /// The Mode-0 batch fold (forward only): all `N` planes of a `c1`
+    /// slice through one `Im2Col` repeat-chain program.
+    Fold,
+}
+
+impl Algorithm {
+    /// Stable name for baselines, gate sections and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::Direct => "direct",
+            Algorithm::Im2col => "im2col",
+            Algorithm::Fold => "fold",
+        }
+    }
+
+    /// The forward lowering this algorithm dispatches.
+    pub fn forward_impl(self) -> ForwardImpl {
+        match self {
+            Algorithm::Direct => ForwardImpl::Standard,
+            Algorithm::Im2col | Algorithm::Fold => ForwardImpl::Im2col,
+        }
+    }
+
+    /// The backward merge this algorithm dispatches.
+    pub fn merge_impl(self) -> MergeImpl {
+        match self {
+            Algorithm::Direct => MergeImpl::VAdd,
+            Algorithm::Im2col | Algorithm::Fold => MergeImpl::Col2Im,
+        }
+    }
+}
+
+/// One ranked candidate: an algorithm and its predicted chip cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Prediction {
+    /// The candidate algorithm.
+    pub algorithm: Algorithm,
+    /// Predicted chip cycles (banding, round-robin dispatch and the
+    /// shared-bandwidth contention multiplier folded in).
+    pub cycles: u64,
+}
+
+/// The tuner's verdict: every feasible candidate, cheapest first. An
+/// infeasible candidate (padded direct reduction, a fold with `N = 1`, a
+/// geometry no band plan fits) is simply absent — the engine dispatches
+/// [`AlgorithmChoice::winner`] and certifies the run against the rest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AlgorithmChoice {
+    /// Feasible candidates sorted by predicted cycles, ascending. Ties
+    /// prefer `Fold`, then `Im2col`, then `Direct` (the sort is stable
+    /// and that is the insertion order): the fold consolidates `Im2Col`
+    /// issues the estimate does not see, and `Direct` must strictly beat
+    /// the paper's accelerated path to displace it.
+    pub ranking: Vec<Prediction>,
+}
+
+impl AlgorithmChoice {
+    /// The algorithm the engine dispatches (cheapest predicted cycles).
+    pub fn winner(&self) -> Option<Algorithm> {
+        self.ranking.first().map(|p| p.algorithm)
+    }
+
+    /// The predicted cycles of one candidate, if it was feasible.
+    pub fn predicted(&self, algo: Algorithm) -> Option<u64> {
+        self.ranking
+            .iter()
+            .find(|p| p.algorithm == algo)
+            .map(|p| p.cycles)
+    }
+}
+
+/// Stage estimate of one direct-reduction (Standard) forward band,
+/// mirroring `emit_standard_compute`'s issue counts: the accumulator
+/// fill, then — with `Sw == 1` — `Boh * Kh` row chains of
+/// `ceil(Ow*C0/128)` full-mask issues each repeating `Kw` times, or the
+/// general `Boh * Ow * Kh` 16-lane issues; one extra saturated pass for
+/// the AvgPool scale; `Boh * Ow * Kh` compare issues plus `Kh * Kw`
+/// mask-plane DMAs when the argmax mask is kept.
+fn standard_band_stages(
+    prob: &PoolProblem,
+    with_mask: bool,
+    is_avg: bool,
+    cost: &CostModel,
+    band: &Band,
+) -> BandStages {
+    let params = &prob.params;
+    let (_, ow) = prob.out_dims();
+    let boh = band.oh_len();
+    let issue = cost.issue_overhead + params.kw as u64 * cost.vector_per_repeat;
+    let reduce_issues = if params.sw == 1 {
+        (boh * params.kh * (ow * C0).div_ceil(VECTOR_LANES)) as u64
+    } else {
+        (boh * ow * params.kh) as u64
+    };
+    let mut compute = vec_sat(cost, boh * ow * C0) + reduce_issues * issue;
+    if is_avg {
+        compute += vec_sat(cost, boh * ow * C0);
+    }
+    let band_bytes = boh * ow * ROW;
+    let mut flush = dma_est(cost, band_bytes);
+    if with_mask {
+        compute += (boh * ow * params.kh) as u64 * issue;
+        flush += (params.kh * params.kw) as u64 * dma_est(cost, band_bytes);
+    }
+    BandStages {
+        load: dma_est(cost, band.ih_len * prob.iw * ROW),
+        expand: 0,
+        compute,
+        flush,
+    }
+}
+
+/// Estimated (cycles, GM bytes) of one plane's forward program under
+/// `impl_`, banded exactly as the lowering would band it (same
+/// `plan_band`, same feasibility gates as `build_forward_inner`). `None`
+/// when the implementation cannot run this geometry — the candidate is
+/// then absent from the ranking, never silently mispriced.
+fn forward_plane_est(
+    prob: &PoolProblem,
+    impl_: ForwardImpl,
+    with_mask: bool,
+    is_avg: bool,
+    caps: Capacities,
+    sched: &Schedule,
+) -> Option<(u64, u64)> {
+    let cost = &sched.cost;
+    let params = &prob.params;
+    if impl_ != ForwardImpl::Im2col {
+        // Mirror build_forward_inner's gates: only the coordinate-checked
+        // Im2Col gather realises padding and ceil-mode overhang reads.
+        if !params.padding.is_none() {
+            return None;
+        }
+        if params.ceil_mode && params.ceil_overhang(prob.ih, prob.iw).ok()? != (0, 0) {
+            return None;
+        }
+        if params.has_dilation() && impl_ != ForwardImpl::Standard {
+            return None;
+        }
+    }
+    let (oh, ow) = prob.out_dims();
+    let (boh, mode) =
+        crate::maxpool::forward::plan_band(prob, impl_, with_mask, caps, sched).ok()?;
+    let bands = row_bands(params, oh, boh, prob.ih).ok()?;
+    let serial = bands.len() < 2 || mode == BandMode::Single;
+    let cycles = match impl_ {
+        ForwardImpl::Im2col => {
+            let stages: Vec<FwdStages> = bands
+                .iter()
+                .map(|b| forward_im2col_band(prob, with_mask, cost, b))
+                .collect();
+            let mut c = if serial {
+                forward_serial_makespan(&stages)
+            } else {
+                forward_versioned_makespan(&stages)
+            };
+            if is_avg {
+                // The AvgPool scale: one extra saturated pass per band.
+                c += stages.iter().map(|s| s.plane_vec).sum::<u64>();
+            }
+            c
+        }
+        _ => {
+            let stages: Vec<BandStages> = bands
+                .iter()
+                .map(|b| standard_band_stages(prob, with_mask, is_avg, cost, b))
+                .collect();
+            if serial {
+                serial_makespan(stages.iter().copied())
+            } else {
+                // Ping-pong recovers the same load(i+1) ∥ compute(i)
+                // overlap the deferred-flush order models.
+                versioned_makespan(&stages)
+            }
+        }
+    };
+    let in_bytes: u64 = bands
+        .iter()
+        .map(|b| (b.ih_len * prob.iw * ROW) as u64)
+        .sum();
+    let out_bytes = (oh * ow * ROW) as u64;
+    let mask_bytes = if with_mask {
+        (params.kh * params.kw) as u64 * out_bytes
+    } else {
+        0
+    };
+    Some((cycles, in_bytes + out_bytes + mask_bytes))
+}
+
+/// Rank the forward algorithm families for one workload: per-plane
+/// direct reduction, per-plane Im2col, and the Mode-0 batch fold, each
+/// priced by the same per-band stage estimators the overlap and
+/// partition decisions use and scaled to chip cycles by the round-robin
+/// + contention makespan model. Infeasible candidates are absent.
+pub fn choose_forward_algorithm(
+    prob: &PoolProblem,
+    with_mask: bool,
+    is_avg: bool,
+    cores: usize,
+    sched: &Schedule,
+    caps: Capacities,
+    shared_bandwidth: Option<u64>,
+) -> AlgorithmChoice {
+    let cost = &sched.cost;
+    let planes = prob.n * prob.c1;
+    let mut ranking = Vec::new();
+    let mut push = |algorithm, programs: usize, per: (u64, u64)| {
+        let est = chip_makespan(programs, per, cores, cost, shared_bandwidth);
+        ranking.push(Prediction {
+            algorithm,
+            cycles: est.round() as u64,
+        });
+    };
+    let im2col = forward_plane_est(prob, ForwardImpl::Im2col, with_mask, is_avg, caps, sched);
+    // Insertion order encodes tie preference (see [`AlgorithmChoice`]).
+    if prob.n > 1 {
+        if let Some(plane) = im2col {
+            let folded = (
+                plane.0.saturating_mul(prob.n as u64),
+                plane.1.saturating_mul(prob.n as u64),
+            );
+            push(Algorithm::Fold, prob.c1, folded);
+        }
+    }
+    if let Some(plane) = im2col {
+        push(Algorithm::Im2col, planes, plane);
+    }
+    if let Some(plane) =
+        forward_plane_est(prob, ForwardImpl::Standard, with_mask, is_avg, caps, sched)
+    {
+        push(Algorithm::Direct, planes, plane);
+    }
+    ranking.sort_by_key(|p| p.cycles);
+    AlgorithmChoice { ranking }
+}
+
+/// Rank the backward merge families for one workload: the Col2Im merge
+/// ([`Algorithm::Im2col`]) against the unrepeated 16-lane VAdd merge
+/// ([`Algorithm::Direct`]), priced per plane by the same band estimators
+/// the overlap decisions use. Batch folding is orthogonal here — the
+/// backward fold emits identical per-plane streams, so the engine keeps
+/// its occupancy-gated consolidation on whichever merge wins.
+pub fn choose_backward_algorithm(
+    prob: &PoolProblem,
+    masked: bool,
+    cores: usize,
+    sched: &Schedule,
+    caps: Capacities,
+    shared_bandwidth: Option<u64>,
+) -> AlgorithmChoice {
+    let cost = &sched.cost;
+    let planes = prob.n * prob.c1;
+    let mut ranking = Vec::new();
+    for (algorithm, merge) in [
+        (Algorithm::Im2col, MergeImpl::Col2Im),
+        (Algorithm::Direct, MergeImpl::VAdd),
+    ] {
+        if let Some(per) =
+            crate::maxpool::backward::backward_plane_est(prob, merge, masked, caps, sched)
+        {
+            let est = chip_makespan(planes, per, cores, cost, shared_bandwidth);
+            ranking.push(Prediction {
+                algorithm,
+                cycles: est.round() as u64,
+            });
+        }
+    }
+    ranking.sort_by_key(|p| p.cycles);
+    AlgorithmChoice { ranking }
+}
+
+/// A certified lower bound on the cycles one program adds to its core,
+/// valid under both issue models: each pipe is in-order and every
+/// instruction occupies its pipe for its full
+/// [`CostModel::instr_cycles`] charge — the same single source of truth
+/// the executors charge through — so the dual-pipe makespan can never
+/// undercut the busier pipe's busy total, and the single-issue sum is
+/// the two totals added.
+pub fn program_cycle_floor(p: &Program, cost: &CostModel) -> u64 {
+    let mut pipes = [0u64; 2];
+    for instr in p.instrs() {
+        pipes[dv_sim::pipe_of(instr.unit())] += cost.instr_cycles(instr);
+    }
+    pipes[0].max(pipes[1])
+}
+
+/// A certified lower bound on [`dv_sim::Chip::run`]'s chip cycles for
+/// `programs`, mirroring its round-robin core assignment and per-program
+/// dispatch charge exactly; contention stalls only ever add on top, so
+/// the bound holds under any memory model. This is what the engine
+/// certifies a tuned run against: a rejected alternative whose floor is
+/// still below the winner's *measured* cycles means the predicted win
+/// cannot be certified, and the engine books a
+/// [`dv_sim::HwCounters::tuner_mispredicted`] instead of staying silent.
+pub fn chip_cycle_floor(programs: &[Program], cores: usize, cost: &CostModel) -> u64 {
+    let cores = cores.max(1);
+    (0..cores.min(programs.len()))
+        .map(|c| {
+            let mut cycles = 0u64;
+            let mut on_core = 0u64;
+            for p in programs.iter().skip(c).step_by(cores) {
+                cycles += program_cycle_floor(p, cost);
+                on_core += 1;
+            }
+            cycles + on_core * cost.core_dispatch
+        })
+        .max()
+        .unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -674,5 +1001,143 @@ mod tests {
             vec_sat(&cost, elems),
             2 * cost.issue_overhead + (MAX_REPEAT as u64 + 1)
         );
+    }
+
+    fn choice(p: &PoolProblem, mask: bool) -> AlgorithmChoice {
+        choose_forward_algorithm(
+            p,
+            mask,
+            false,
+            1,
+            &Schedule::default(),
+            Capacities::ASCEND910,
+            None,
+        )
+    }
+
+    #[test]
+    fn forward_tuner_reproduces_the_fig8_crossover() {
+        // Fig. 8a: at stride (1, 1) the direct reduction's full-mask
+        // Kw-repeat row chains beat the Im2col expansion tax...
+        let s1 =
+            PoolProblem::new(1, 1, 56, 56, dv_tensor::PoolParams::new((3, 3), (1, 1))).unwrap();
+        assert_eq!(choice(&s1, false).winner(), Some(Algorithm::Direct));
+        // ...and at stride (2, 2) the 16-lane issue-per-element pattern
+        // loses to the saturated Im2col reduction (Fig. 8 crossover).
+        let s2 = PoolProblem::new(1, 1, 56, 56, dv_tensor::PoolParams::K3S2).unwrap();
+        assert_eq!(choice(&s2, false).winner(), Some(Algorithm::Im2col));
+        // The ranking is sorted ascending and exposes both predictions.
+        let c = choice(&s2, false);
+        assert!(c.ranking.windows(2).all(|w| w[0].cycles <= w[1].cycles));
+        assert!(c.predicted(Algorithm::Direct) > c.predicted(Algorithm::Im2col));
+    }
+
+    #[test]
+    fn forward_tuner_drops_infeasible_candidates() {
+        // Padding: only Im2col can lower it, so Direct must be absent.
+        let padded =
+            dv_tensor::PoolParams::with_padding((3, 3), (2, 2), dv_tensor::Padding::uniform(1));
+        let p = PoolProblem::new(1, 1, 56, 56, padded).unwrap();
+        let c = choice(&p, false);
+        assert_eq!(c.predicted(Algorithm::Direct), None);
+        assert_eq!(c.winner(), Some(Algorithm::Im2col));
+        // Ceil-mode overhang: 6x6 K3S2+ceil rounds up to 3x3 outputs and
+        // reads one synthesised row/column past the input — Im2col only.
+        let ceil = dv_tensor::PoolParams::K3S2.with_ceil_mode(true);
+        let p = PoolProblem::new(1, 1, 6, 6, ceil).unwrap();
+        assert_eq!(p.out_dims(), (3, 3));
+        let c = choice(&p, false);
+        assert_eq!(c.predicted(Algorithm::Direct), None);
+        assert_eq!(c.winner(), Some(Algorithm::Im2col));
+        // N = 1: no fold candidate.
+        assert_eq!(choice(&p, false).predicted(Algorithm::Fold), None);
+    }
+
+    #[test]
+    fn forward_tuner_folds_batches_when_occupancy_survives() {
+        // The choose_partition PerC1 scenario: plenty of c1 slices, N > 1
+        // — the fold's consolidated dispatch wins the ranking too.
+        let p = prob(4, 64, 36);
+        let c = choose_forward_algorithm(
+            &p,
+            false,
+            false,
+            32,
+            &Schedule::default(),
+            Capacities::ASCEND910,
+            None,
+        );
+        assert_eq!(c.winner(), Some(Algorithm::Fold));
+    }
+
+    #[test]
+    fn backward_tuner_prefers_col2im_on_the_paper_shapes() {
+        // Fig. 7c's point: the scattered VAdd merge issues Kh*Kw*Oh*Ow
+        // unrepeated 16-lane adds; Col2Im replaces them with Kh*Kw
+        // hardware-repeated issues. The tuner must see that.
+        let p = prob(1, 1, 73);
+        let c = choose_backward_algorithm(
+            &p,
+            true,
+            1,
+            &Schedule::default(),
+            Capacities::ASCEND910,
+            None,
+        );
+        assert_eq!(c.winner(), Some(Algorithm::Im2col));
+        assert!(c.predicted(Algorithm::Direct) > c.predicted(Algorithm::Im2col));
+    }
+
+    #[test]
+    fn algorithm_labels_and_lowering_map() {
+        assert_eq!(Algorithm::Direct.label(), "direct");
+        assert_eq!(Algorithm::Im2col.label(), "im2col");
+        assert_eq!(Algorithm::Fold.label(), "fold");
+        assert_eq!(Algorithm::Direct.forward_impl(), ForwardImpl::Standard);
+        assert_eq!(Algorithm::Fold.forward_impl(), ForwardImpl::Im2col);
+        assert_eq!(Algorithm::Direct.merge_impl(), MergeImpl::VAdd);
+        assert_eq!(Algorithm::Im2col.merge_impl(), MergeImpl::Col2Im);
+    }
+
+    #[test]
+    fn cycle_floors_never_exceed_measured_cycles() {
+        use crate::maxpool::build_forward;
+        use crate::maxpool::forward::Reduction;
+        let p = prob(1, 2, 36);
+        let gm_in = 0;
+        let gm_out = p.in_bytes();
+        for cost in [
+            CostModel::ascend910_like(),
+            CostModel::single_issue(),
+            CostModel::dual_pipe_no_rename(),
+        ] {
+            for impl_ in [ForwardImpl::Standard, ForwardImpl::Im2col] {
+                let programs = build_forward(
+                    &p,
+                    impl_,
+                    Reduction::Max,
+                    gm_in,
+                    gm_out,
+                    Capacities::ASCEND910,
+                )
+                .unwrap();
+                let chip = dv_sim::Chip {
+                    cores: 2,
+                    cost,
+                    ..dv_sim::Chip::ascend910()
+                };
+                let mut image = vec![0u8; p.in_bytes() + p.out_bytes()];
+                let run = chip.run(&mut image, &programs).unwrap();
+                let floor = chip_cycle_floor(&programs, chip.cores, &cost);
+                assert!(
+                    floor <= run.cycles,
+                    "floor {floor} exceeds measured {} ({impl_:?}, {:?})",
+                    run.cycles,
+                    cost.issue_model
+                );
+                // The floor is not vacuous: it must carry real charges.
+                assert!(floor > 0);
+            }
+        }
     }
 }

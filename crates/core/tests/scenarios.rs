@@ -1,0 +1,176 @@
+//! Scenario-breadth differential suites: dilated, global, and ceil-mode
+//! pooling pinned bit-exact against the `dv_tensor::reference` oracles.
+//!
+//! Each scenario runs forward (max and avg) and backward (through the
+//! argmax mask for max, uniform redistribution for avg) across random
+//! shapes, under both issue models, with double-buffering on and off —
+//! and once more through the auto-tuner, which must route every scenario
+//! through a feasible algorithm (dilation and ceil-overhang shrink the
+//! candidate set; the tuned result must still be bit-identical).
+
+use dv_core::{ForwardImpl, MergeImpl, PoolingEngine};
+use dv_fp16::F16;
+use dv_sim::{Chip, CostModel};
+use dv_tensor::reference;
+use dv_tensor::{Nc1hwc0, Padding, PoolParams};
+use proptest::prelude::*;
+use proptest::sample::select;
+
+/// Which pooling operator a case exercises.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Op {
+    Max,
+    Avg,
+}
+
+/// Both issue models with the requested double-buffering, plus a tuned
+/// variant of each: four engines per case.
+fn engines(db: bool) -> Vec<(&'static str, PoolingEngine)> {
+    [
+        ("dual_pipe", CostModel::ascend910_like()),
+        ("single_issue", CostModel::single_issue()),
+    ]
+    .into_iter()
+    .flat_map(|(name, cost)| {
+        let eng = PoolingEngine::new(Chip::new(2, cost)).with_double_buffering(db);
+        [(name, eng.clone()), (name, eng.with_auto_tuning(true))]
+    })
+    .collect()
+}
+
+fn input(n: usize, c1: usize, h: usize, w: usize, seed: u64) -> Nc1hwc0 {
+    let mut s = seed | 1;
+    Nc1hwc0::from_fn(n, c1, h, w, |_, _, _, _, _| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(99);
+        F16::from_f32(((s >> 40) % 33) as f32 - 16.0)
+    })
+}
+
+/// Integer-valued gradients so every summation order is exact in fp16.
+fn grads(n: usize, c1: usize, oh: usize, ow: usize, seed: u64) -> Nc1hwc0 {
+    let mut s = seed ^ 0xD1FF;
+    Nc1hwc0::from_fn(n, c1, oh, ow, |_, _, _, _, _| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(17);
+        F16::from_f32(((s >> 41) % 8) as f32)
+    })
+}
+
+/// Run one scenario case — forward and backward, max or avg — through
+/// every engine and pin it against the references.
+fn check_scenario(
+    what: &str,
+    params: PoolParams,
+    ih: usize,
+    iw: usize,
+    op: Op,
+    db: bool,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let x = input(1, 1, ih, iw, seed);
+    let (oh, ow) = params.out_dims(ih, iw).unwrap();
+    let dy = grads(1, 1, oh, ow, seed);
+    let mask = reference::maxpool_argmax_mask(&x, &params).unwrap();
+    let want_fwd = match op {
+        Op::Max => reference::maxpool_forward(&x, &params).unwrap(),
+        Op::Avg => reference::avgpool_forward(&x, &params).unwrap(),
+    };
+    let want_bwd = match op {
+        Op::Max => reference::maxpool_backward(&mask, &dy, &params, ih, iw).unwrap(),
+        Op::Avg => reference::avgpool_backward(&dy, &params, ih, iw).unwrap(),
+    };
+    for (model, eng) in engines(db) {
+        let tuned = if eng.auto_tune { " tuned" } else { "" };
+        let (got, _) = match op {
+            Op::Max => eng.maxpool_forward(&x, params, ForwardImpl::Im2col),
+            Op::Avg => eng.avgpool_forward(&x, params, ForwardImpl::Im2col),
+        }
+        .unwrap();
+        prop_assert_eq!(
+            got.data(),
+            want_fwd.data(),
+            "{} {}{} {:?} fwd {:?} {}x{} (db={})",
+            what,
+            model,
+            tuned,
+            op,
+            params,
+            ih,
+            iw,
+            db
+        );
+        let (dx, _) = match op {
+            Op::Max => eng.maxpool_backward(&mask, &dy, params, ih, iw, MergeImpl::Col2Im),
+            Op::Avg => eng.avgpool_backward(&dy, params, ih, iw, MergeImpl::Col2Im),
+        }
+        .unwrap();
+        prop_assert_eq!(
+            dx.data(),
+            want_bwd.data(),
+            "{} {}{} {:?} bwd {:?} {}x{} (db={})",
+            what,
+            model,
+            tuned,
+            op,
+            params,
+            ih,
+            iw,
+            db
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Dilated pooling: kernel taps skip `Dh`/`Dw` elements. The Im2col
+    /// lowering carries the dilation into the `Im2ColGeometry`; the
+    /// reference walks `kernel_offsets` — both must agree bit-for-bit.
+    #[test]
+    fn dilated_pooling_bitmatches_reference(
+        (kh, kw, sh, sw) in (2usize..=3, 2usize..=3, 1usize..=2, 1usize..=2),
+        (dh, dw) in (2usize..=3, 2usize..=3),
+        (extra_h, extra_w) in (0usize..=6, 0usize..=6),
+        op in select(vec![Op::Max, Op::Avg]),
+        db in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let params = PoolParams::new((kh, kw), (sh, sw)).with_dilation((dh, dw));
+        let (ih, iw) = (params.eff_kh() + 2 + extra_h, params.eff_kw() + 2 + extra_w);
+        prop_assume!(params.out_dims(ih, iw).is_ok());
+        check_scenario("dilated", params, ih, iw, op, db, seed)?;
+    }
+
+    /// Global pooling: one window covering the whole plane — a single
+    /// output pixel whose backward redistributes into every input pixel.
+    #[test]
+    fn global_pooling_bitmatches_reference(
+        ih in 3usize..=14,
+        iw in 3usize..=14,
+        op in select(vec![Op::Max, Op::Avg]),
+        db in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let params = PoolParams::global(ih, iw);
+        check_scenario("global", params, ih, iw, op, db, seed)?;
+    }
+
+    /// Ceil-mode rounding: the trailing partial window (PyTorch
+    /// `ceil_mode=True` semantics, including the start-in-padding clamp)
+    /// must round-trip through lowering and backward bit-exactly.
+    #[test]
+    fn ceil_mode_pooling_bitmatches_reference(
+        (kh, kw, sh, sw) in (2usize..=3, 2usize..=3, 2usize..=3, 2usize..=3),
+        pad in 0usize..=1,
+        (extra_h, extra_w) in (0usize..=9, 0usize..=9),
+        op in select(vec![Op::Max, Op::Avg]),
+        db in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let params = PoolParams::with_padding((kh, kw), (sh, sw), Padding::uniform(pad))
+            .with_ceil_mode(true);
+        let (ih, iw) = (kh + 3 + extra_h, kw + 3 + extra_w);
+        prop_assume!(params.out_dims(ih, iw).is_ok());
+        check_scenario("ceil", params, ih, iw, op, db, seed)?;
+    }
+}

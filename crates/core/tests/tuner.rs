@@ -1,0 +1,290 @@
+//! Differential wall for the algorithm auto-tuner.
+//!
+//! The tuner is a *scheduling* decision: whatever algorithm it dispatches,
+//! results must be bit-identical to every forced lowering and to the golden
+//! references in `dv_tensor::reference`. On top of the bit-match, every
+//! case checks the prediction-honesty contract: when a tuned run books no
+//! `tuner_mispredicted`, its measured makespan is no worse than any forced
+//! alternative's — because the engine certified the win against each
+//! rejected algorithm's cycle floor, and measured cycles can never fall
+//! below the floor. With auto-tuning off, both tuner counters stay zero.
+
+use dv_core::{ForwardImpl, MergeImpl, PoolRun, PoolingEngine};
+use dv_fp16::F16;
+use dv_sim::{Chip, CostModel};
+use dv_tensor::reference;
+use dv_tensor::{Nc1hwc0, Padding, PoolParams};
+use proptest::prelude::*;
+use proptest::sample::select;
+
+/// Which pooling operator a case exercises.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Op {
+    Max,
+    Avg,
+}
+
+/// Both issue models, two cores each, auto-tuning *off* — the tuned
+/// engine is derived per case with `with_auto_tuning(true)` so forced and
+/// tuned runs share the chip exactly.
+fn base_engines() -> [(&'static str, PoolingEngine); 2] {
+    [
+        (
+            "dual_pipe",
+            PoolingEngine::new(Chip::new(2, CostModel::ascend910_like())),
+        ),
+        (
+            "single_issue",
+            PoolingEngine::new(Chip::new(2, CostModel::single_issue())),
+        ),
+    ]
+}
+
+/// Random kernel/stride geometry with optional padding, so cases cover
+/// both the im2col-only region (padded) and the contested region where
+/// direct reduction can win (unpadded, stride 1).
+fn geometry() -> impl Strategy<Value = (PoolParams, usize, usize)> {
+    (
+        2usize..=3,
+        2usize..=3,
+        1usize..=3,
+        1usize..=3,
+        0usize..=1,
+        0usize..=1,
+    )
+        .prop_flat_map(|(kh, kw, sh, sw, pad_v, pad_h)| {
+            let padding = Padding {
+                top: pad_v,
+                bottom: pad_v,
+                left: pad_h,
+                right: pad_h,
+            };
+            (
+                Just(PoolParams::with_padding((kh, kw), (sh, sw), padding)),
+                kh + 4..kh + 14,
+                kw + 4..kw + 14,
+            )
+        })
+}
+
+fn input(n: usize, c1: usize, h: usize, w: usize, seed: u64) -> Nc1hwc0 {
+    let mut s = seed | 1;
+    Nc1hwc0::from_fn(n, c1, h, w, |_, _, _, _, _| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(99);
+        F16::from_f32(((s >> 40) % 33) as f32 - 16.0)
+    })
+}
+
+/// Integer-valued gradients so every summation order is exact in fp16.
+fn grads(n: usize, c1: usize, oh: usize, ow: usize, seed: u64) -> Nc1hwc0 {
+    let mut s = seed ^ 0xD1FF;
+    Nc1hwc0::from_fn(n, c1, oh, ow, |_, _, _, _, _| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(17);
+        F16::from_f32(((s >> 41) % 8) as f32)
+    })
+}
+
+/// A forced (auto-tuning off) run must never book a tuner counter.
+fn assert_untuned(what: &str, run: &PoolRun) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        run.total.tuner_mispredicted,
+        0,
+        "{}: tuner_mispredicted booked with auto-tuning off",
+        what
+    );
+    prop_assert_eq!(
+        run.total.tuner_fallbacks,
+        0,
+        "{}: tuner_fallbacks booked with auto-tuning off",
+        what
+    );
+    Ok(())
+}
+
+/// The honesty gate: a tuned run that books no misprediction certified
+/// its win against every lowerable alternative's cycle floor, so it must
+/// not be slower than any forced run of those same lowerings.
+fn assert_honest(
+    what: &str,
+    tuned: &PoolRun,
+    forced: &[(&'static str, u64)],
+) -> Result<(), TestCaseError> {
+    if tuned.total.tuner_mispredicted > 0 {
+        // The win could not be certified — the decline is typed, the
+        // makespan bound is void. Nothing more to check.
+        return Ok(());
+    }
+    for (label, cycles) in forced {
+        prop_assert!(
+            tuned.cycles <= *cycles,
+            "{}: tuned run ({} cycles) lost to forced {} ({} cycles) \
+             without booking a misprediction",
+            what,
+            tuned.cycles,
+            label,
+            cycles
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Forward: the tuned engine bit-matches the reference and every
+    /// forced algorithm (direct reduction, per-plane im2col), and when no
+    /// misprediction is booked it is at least as fast as each of them.
+    #[test]
+    fn tuned_forward_bitmatches_and_never_loses_uncertified(
+        (params, ih, iw) in geometry(),
+        n in 1usize..=2,
+        c1 in 1usize..=2,
+        op in select(vec![Op::Max, Op::Avg]),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(params.out_dims(ih, iw).is_ok());
+        let x = input(n, c1, ih, iw, seed);
+        let want = match op {
+            Op::Max => reference::maxpool_forward(&x, &params).unwrap(),
+            Op::Avg => reference::avgpool_forward(&x, &params).unwrap(),
+        };
+        for (model, base) in base_engines() {
+            let tuner = base.clone().with_auto_tuning(true);
+            // The `impl_` argument is ignored under auto-tuning; pass the
+            // one the tuner is *least* likely to pick to prove it.
+            let (got, run) = match op {
+                Op::Max => tuner.maxpool_forward(&x, params, ForwardImpl::Standard),
+                Op::Avg => tuner.avgpool_forward(&x, params, ForwardImpl::Standard),
+            }
+            .unwrap();
+            prop_assert_eq!(
+                got.data(),
+                want.data(),
+                "{} {:?} tuned fwd diverged from reference {:?} N={} {}x{}",
+                model, op, params, n, ih, iw
+            );
+
+            // Forced alternatives on the same chip. Per-plane im2col
+            // (batching off) matches the tuner's `Algorithm::Im2col`
+            // lowering; the Standard impl is `Algorithm::Direct`. Either
+            // may be infeasible (padding, ceil overhang) — skip those.
+            let mut forced = Vec::new();
+            let direct = match op {
+                Op::Max => base.maxpool_forward(&x, params, ForwardImpl::Standard),
+                Op::Avg => base.avgpool_forward(&x, params, ForwardImpl::Standard),
+            };
+            let per_plane = base.clone().with_batching(false);
+            let im2col = match op {
+                Op::Max => per_plane.maxpool_forward(&x, params, ForwardImpl::Im2col),
+                Op::Avg => per_plane.avgpool_forward(&x, params, ForwardImpl::Im2col),
+            };
+            for (label, res) in [("direct", direct), ("im2col", im2col)] {
+                if let Ok((out, frun)) = res {
+                    prop_assert_eq!(
+                        out.data(),
+                        want.data(),
+                        "{} {:?} forced {} fwd diverged {:?} {}x{}",
+                        model, op, label, params, ih, iw
+                    );
+                    assert_untuned(label, &frun)?;
+                    forced.push((label, frun.cycles));
+                }
+            }
+            prop_assert!(
+                !forced.is_empty(),
+                "{}: no forced algorithm lowered {:?} {}x{}",
+                model, params, ih, iw
+            );
+            assert_honest(model, &run, &forced)?;
+        }
+    }
+
+    /// Backward: the tuned engine bit-matches the reference and both
+    /// forced merges (scattered vadd, col2im), with the same certified
+    /// makespan bound.
+    #[test]
+    fn tuned_backward_bitmatches_and_never_loses_uncertified(
+        (params, ih, iw) in geometry(),
+        n in 1usize..=2,
+        op in select(vec![Op::Max, Op::Avg]),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(params.out_dims(ih, iw).is_ok());
+        let x = input(n, 1, ih, iw, seed);
+        let (oh, ow) = params.out_dims(ih, iw).unwrap();
+        let dy = grads(n, 1, oh, ow, seed);
+        let mask = reference::maxpool_argmax_mask(&x, &params).unwrap();
+        let want = match op {
+            Op::Max => reference::maxpool_backward(&mask, &dy, &params, ih, iw).unwrap(),
+            Op::Avg => reference::avgpool_backward(&dy, &params, ih, iw).unwrap(),
+        };
+        for (model, base) in base_engines() {
+            let tuner = base.clone().with_auto_tuning(true);
+            let (got, run) = match op {
+                Op::Max => tuner.maxpool_backward(&mask, &dy, params, ih, iw, MergeImpl::VAdd),
+                Op::Avg => tuner.avgpool_backward(&dy, params, ih, iw, MergeImpl::VAdd),
+            }
+            .unwrap();
+            prop_assert_eq!(
+                got.data(),
+                want.data(),
+                "{} {:?} tuned bwd diverged from reference {:?} N={} {}x{}",
+                model, op, params, n, ih, iw
+            );
+
+            let mut forced = Vec::new();
+            for (label, merge) in [("direct", MergeImpl::VAdd), ("im2col", MergeImpl::Col2Im)] {
+                let res = match op {
+                    Op::Max => base.maxpool_backward(&mask, &dy, params, ih, iw, merge),
+                    Op::Avg => base.avgpool_backward(&dy, params, ih, iw, merge),
+                };
+                if let Ok((dx, frun)) = res {
+                    prop_assert_eq!(
+                        dx.data(),
+                        want.data(),
+                        "{} {:?} forced {} bwd diverged {:?} {}x{}",
+                        model, op, label, params, ih, iw
+                    );
+                    assert_untuned(label, &frun)?;
+                    forced.push((label, frun.cycles));
+                }
+            }
+            prop_assert!(
+                !forced.is_empty(),
+                "{}: no forced merge lowered {:?} {}x{}",
+                model, params, ih, iw
+            );
+            assert_honest(model, &run, &forced)?;
+        }
+    }
+
+    /// The argmax-producing forward is tuned through the same dispatch:
+    /// output *and mask* bit-match the reference and the forced im2col
+    /// path, so a tuned training step reconstructs identical gradients.
+    #[test]
+    fn tuned_argmax_forward_bitmatches_forced(
+        (params, ih, iw) in geometry(),
+        c1 in 1usize..=2,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(params.out_dims(ih, iw).is_ok());
+        let x = input(1, c1, ih, iw, seed);
+        let want_mask = reference::maxpool_argmax_mask(&x, &params).unwrap();
+        let want_out = reference::maxpool_forward(&x, &params).unwrap();
+        for (model, base) in base_engines() {
+            let tuner = base.clone().with_auto_tuning(true);
+            let (out_t, mask_t, run) = tuner
+                .maxpool_forward_with_argmax(&x, params, ForwardImpl::Standard)
+                .unwrap();
+            prop_assert_eq!(out_t.data(), want_out.data(), "{} tuned argmax output", model);
+            prop_assert_eq!(mask_t.data(), want_mask.data(), "{} tuned argmax mask", model);
+            let (out_f, mask_f, frun) = base
+                .maxpool_forward_with_argmax(&x, params, ForwardImpl::Im2col)
+                .unwrap();
+            prop_assert_eq!(out_t.data(), out_f.data(), "{} argmax output vs forced", model);
+            prop_assert_eq!(mask_t.data(), mask_f.data(), "{} argmax mask vs forced", model);
+            assert_untuned("argmax", &frun)?;
+            assert_honest(model, &run, &[("im2col", frun.cycles)])?;
+        }
+    }
+}

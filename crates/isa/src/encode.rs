@@ -91,6 +91,9 @@ impl Writer {
         self.u8(g.params.padding.bottom as u8);
         self.u8(g.params.padding.left as u8);
         self.u8(g.params.padding.right as u8);
+        self.u8(g.params.dh as u8);
+        self.u8(g.params.dw as u8);
+        self.u8(g.params.ceil_mode as u8);
     }
 }
 
@@ -150,7 +153,16 @@ impl<'a> Reader<'a> {
             left: self.u8()? as usize,
             right: self.u8()? as usize,
         };
-        let params = PoolParams::with_padding((kh, kw), (sh, sw), padding);
+        let dh = self.u8()? as usize;
+        let dw = self.u8()? as usize;
+        let ceil_mode = match self.u8()? {
+            0 => false,
+            1 => true,
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        let params = PoolParams::with_padding((kh, kw), (sh, sw), padding)
+            .with_dilation((dh, dw))
+            .with_ceil_mode(ceil_mode);
         Im2ColGeometry::new(ih, iw, c1_len, params).map_err(DecodeError::Invalid)
     }
 }
@@ -496,6 +508,35 @@ mod tests {
             Program::from_bytes(&bytes),
             Err(DecodeError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn dilated_ceil_geometry_round_trips() {
+        let params = PoolParams::new((3, 3), (2, 2))
+            .with_dilation((2, 2))
+            .with_ceil_mode(true);
+        let geom = Im2ColGeometry::new(12, 12, 1, params).unwrap();
+        let mut p = Program::new();
+        p.push(Instr::Im2Col(Im2Col {
+            geom,
+            src: Addr::l1(0),
+            dst: Addr::ub(0),
+            first_patch: 0,
+            k_off: (0, 0),
+            c1: 0,
+            repeat: 1,
+            mode: RepeatMode::Mode1,
+        }))
+        .unwrap();
+        let q = Program::from_bytes(&p.to_bytes()).unwrap();
+        assert_eq!(p.instrs(), q.instrs());
+        match &q.instrs()[0] {
+            Instr::Im2Col(x) => {
+                assert_eq!((x.geom.params.dh, x.geom.params.dw), (2, 2));
+                assert!(x.geom.params.ceil_mode);
+            }
+            other => panic!("unexpected instruction {other:?}"),
+        }
     }
 
     #[test]

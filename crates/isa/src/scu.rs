@@ -158,8 +158,10 @@ impl Im2ColGeometry {
             return None;
         }
         let (p, q) = (patch / ow, patch % ow);
-        let h = (p * self.params.sh + xk) as isize - self.params.padding.top as isize;
-        let w = (q * self.params.sw + yk) as isize - self.params.padding.left as isize;
+        let h =
+            (p * self.params.sh + xk * self.params.dh) as isize - self.params.padding.top as isize;
+        let w =
+            (q * self.params.sw + yk * self.params.dw) as isize - self.params.padding.left as isize;
         if h < 0 || w < 0 || h as usize >= self.ih || w as usize >= self.iw {
             None
         } else {

@@ -139,6 +139,24 @@ impl CostModel {
     pub fn move_cycles(&self, bytes: usize) -> u64 {
         (bytes as u64).div_ceil(self.move_bytes_per_cycle)
     }
+
+    /// The cycle charge of one instruction under this model. This is the
+    /// single source of truth the executors charge through, and — because
+    /// the charge is a pure function of `(instruction, model)` — what
+    /// static program costing (e.g. the auto-tuner's certified cycle
+    /// floors in `dv-core`) can evaluate without executing anything.
+    pub fn instr_cycles(&self, instr: &dv_isa::Instr) -> u64 {
+        use dv_isa::Instr;
+        match instr {
+            Instr::Vector(v) => self.issue_overhead + v.repeat as u64 * self.vector_per_repeat,
+            Instr::Im2Col(i) => self.issue_overhead + i.repeat as u64 * self.im2col_per_fractal,
+            Instr::Col2Im(c) => self.issue_overhead + c.repeat as u64 * self.col2im_per_fractal,
+            Instr::Move(m) => self.issue_overhead + self.move_cycles(m.bytes),
+            Instr::Cube(c) => {
+                self.issue_overhead + c.fractal_ops() as u64 * self.cube_per_fractal_pair
+            }
+        }
+    }
 }
 
 impl Default for CostModel {

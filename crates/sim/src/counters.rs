@@ -57,6 +57,22 @@ pub struct HwCounters {
     /// wait: it extends the core's completion time past
     /// [`HwCounters::cycles`] without belonging to any one instruction.
     pub contention_stalls: u64,
+    /// Auto-tuner mispredictions: the dispatched algorithm's *measured*
+    /// cycles exceeded a certified lower bound of an alternative the
+    /// tuner rejected — the predicted win could not be certified, and the
+    /// doubt is surfaced here rather than silently dropped (a zero count
+    /// *proves* the tuned run was no slower than any lowerable
+    /// alternative; a nonzero count means an alternative's floor sits
+    /// below the measured cycles, which casts doubt on the choice without
+    /// necessarily meaning the alternative would actually have run
+    /// faster). Booked by the engine after the run, like
+    /// `contention_stalls`; always 0 when auto-tuning is off.
+    pub tuner_mispredicted: u64,
+    /// Auto-tuner fallbacks: the predicted winner could not be lowered
+    /// (e.g. a batched fold that does not fit) and the engine ran the
+    /// next-ranked algorithm instead — a typed decline in the spirit of
+    /// `rename_denied`, not a silent substitution.
+    pub tuner_fallbacks: u64,
 }
 
 impl HwCounters {
@@ -133,6 +149,8 @@ impl HwCounters {
         self.renames += other.renames;
         self.rename_denied += other.rename_denied;
         self.contention_stalls += other.contention_stalls;
+        self.tuner_mispredicted += other.tuner_mispredicted;
+        self.tuner_fallbacks += other.tuner_fallbacks;
     }
 }
 
@@ -195,9 +213,13 @@ mod tests {
         b.record_lanes(128, 128);
         b.scratch_bytes = 50;
         b.contention_stalls = 9;
+        b.tuner_mispredicted = 2;
+        b.tuner_fallbacks = 1;
         a.merge(&b);
         assert_eq!(a.cycles, 16);
         assert_eq!(a.contention_stalls, 9);
+        assert_eq!(a.tuner_mispredicted, 2);
+        assert_eq!(a.tuner_fallbacks, 1);
         assert_eq!(a.issues_of("vadd"), 2);
         assert_eq!(a.issues_of("col2im"), 1);
         assert_eq!(a.vector_total_lanes, 256);

@@ -124,19 +124,24 @@ pub(crate) fn execute_info(
     cost: &CostModel,
 ) -> Result<ExecInfo, SimError> {
     instr.validate()?;
-    match instr {
-        Instr::Vector(v) => exec_vector(v, bufs, cost, instr.mnemonic()),
-        Instr::Im2Col(i) => exec_im2col(i, bufs, cost),
-        Instr::Col2Im(c) => exec_col2im(c, bufs, cost),
-        Instr::Move(m) => exec_move(m, bufs, cost),
-        Instr::Cube(c) => exec_cube(c, bufs, cost),
-    }
+    // All cycle charging funnels through `CostModel::instr_cycles`, so
+    // static costing (the auto-tuner's certified floors) and execution can
+    // never disagree on an instruction's charge.
+    let cycles = cost.instr_cycles(instr);
+    let mut info = match instr {
+        Instr::Vector(v) => exec_vector(v, bufs, instr.mnemonic()),
+        Instr::Im2Col(i) => exec_im2col(i, bufs),
+        Instr::Col2Im(c) => exec_col2im(c, bufs),
+        Instr::Move(m) => exec_move(m, bufs),
+        Instr::Cube(c) => exec_cube(c, bufs),
+    }?;
+    info.cycles = cycles;
+    Ok(info)
 }
 
 fn exec_vector(
     v: &VectorInstr,
     bufs: &mut BufferSet,
-    cost: &CostModel,
     mnemonic: &'static str,
 ) -> Result<ExecInfo, SimError> {
     for rep in 0..v.repeat as usize {
@@ -183,7 +188,7 @@ fn exec_vector(
     Ok(ExecInfo {
         mnemonic,
         unit: Unit::Vector,
-        cycles: cost.issue_overhead + v.repeat as u64 * cost.vector_per_repeat,
+        cycles: 0, // set by execute_info from CostModel::instr_cycles
         repeat: v.repeat as u32,
         useful_lanes: v.useful_lanes(),
         total_lanes: VECTOR_LANES as u64 * v.repeat as u64,
@@ -202,7 +207,7 @@ fn exec_vector(
     })
 }
 
-fn exec_im2col(i: &Im2Col, bufs: &mut BufferSet, cost: &CostModel) -> Result<ExecInfo, SimError> {
+fn exec_im2col(i: &Im2Col, bufs: &mut BufferSet) -> Result<ExecInfo, SimError> {
     let geom = &i.geom;
     let iw = geom.iw;
     // Conservative read span: the whole range of source c1 planes the
@@ -238,7 +243,7 @@ fn exec_im2col(i: &Im2Col, bufs: &mut BufferSet, cost: &CostModel) -> Result<Exe
     Ok(ExecInfo {
         mnemonic: "im2col",
         unit: Unit::Scu,
-        cycles: cost.issue_overhead + i.repeat as u64 * cost.im2col_per_fractal,
+        cycles: 0, // set by execute_info from CostModel::instr_cycles
         repeat: i.repeat as u32,
         useful_lanes: 0,
         total_lanes: 0,
@@ -251,7 +256,7 @@ fn exec_im2col(i: &Im2Col, bufs: &mut BufferSet, cost: &CostModel) -> Result<Exe
     })
 }
 
-fn exec_col2im(c: &Col2Im, bufs: &mut BufferSet, cost: &CostModel) -> Result<ExecInfo, SimError> {
+fn exec_col2im(c: &Col2Im, bufs: &mut BufferSet) -> Result<ExecInfo, SimError> {
     let geom = &c.geom;
     let iw = geom.iw;
     let (xk, yk) = c.k_off;
@@ -286,7 +291,7 @@ fn exec_col2im(c: &Col2Im, bufs: &mut BufferSet, cost: &CostModel) -> Result<Exe
     Ok(ExecInfo {
         mnemonic: "col2im",
         unit: Unit::Vector,
-        cycles: cost.issue_overhead + c.repeat as u64 * cost.col2im_per_fractal,
+        cycles: 0, // set by execute_info from CostModel::instr_cycles
         repeat: c.repeat as u32,
         useful_lanes: 0,
         total_lanes: 0,
@@ -299,7 +304,7 @@ fn exec_col2im(c: &Col2Im, bufs: &mut BufferSet, cost: &CostModel) -> Result<Exe
     })
 }
 
-fn exec_move(m: &DataMove, bufs: &mut BufferSet, cost: &CostModel) -> Result<ExecInfo, SimError> {
+fn exec_move(m: &DataMove, bufs: &mut BufferSet) -> Result<ExecInfo, SimError> {
     if m.src.buffer == BufferId::L0C {
         // The L0C -> UB drain converts f32 accumulators to f16; `bytes`
         // counts source (f32) bytes.
@@ -334,7 +339,7 @@ fn exec_move(m: &DataMove, bufs: &mut BufferSet, cost: &CostModel) -> Result<Exe
     Ok(ExecInfo {
         mnemonic: "mte_move",
         unit: Unit::Mte,
-        cycles: cost.issue_overhead + cost.move_cycles(m.bytes),
+        cycles: 0, // set by execute_info from CostModel::instr_cycles
         repeat: 1,
         useful_lanes: 0,
         total_lanes: 0,
@@ -347,7 +352,7 @@ fn exec_move(m: &DataMove, bufs: &mut BufferSet, cost: &CostModel) -> Result<Exe
     })
 }
 
-fn exec_cube(c: &CubeMatmul, bufs: &mut BufferSet, cost: &CostModel) -> Result<ExecInfo, SimError> {
+fn exec_cube(c: &CubeMatmul, bufs: &mut BufferSet) -> Result<ExecInfo, SimError> {
     const E: usize = dv_isa::cube::FRACTAL_EDGE; // 16
     let (mf, kf, nf) = (c.m_fractals, c.k_fractals, c.n_fractals);
     // Tiles are stored as row-major grids of fractals, each fractal
@@ -390,7 +395,7 @@ fn exec_cube(c: &CubeMatmul, bufs: &mut BufferSet, cost: &CostModel) -> Result<E
     Ok(ExecInfo {
         mnemonic: "cube_mmad",
         unit: Unit::Cube,
-        cycles: cost.issue_overhead + c.fractal_ops() as u64 * cost.cube_per_fractal_pair,
+        cycles: 0, // set by execute_info from CostModel::instr_cycles
         repeat: 1,
         useful_lanes: 0,
         total_lanes: 0,

@@ -175,8 +175,8 @@ pub fn im2col_fractal(input: &Nc1hwc0, params: &PoolParams) -> Result<PatchTenso
                 for kwi in 0..params.kw {
                     for ohi in 0..oh {
                         for owi in 0..ow {
-                            let ih = (ohi * params.sh + khi) as isize - pt;
-                            let iw = (owi * params.sw + kwi) as isize - pl;
+                            let ih = (ohi * params.sh + khi * params.dh) as isize - pt;
+                            let iw = (owi * params.sw + kwi * params.dw) as isize - pl;
                             for c0 in 0..C0 {
                                 let v = if ih >= 0
                                     && iw >= 0
@@ -236,8 +236,8 @@ pub fn col2im_fractal(
                 for kwi in 0..params.kw {
                     for ohi in 0..oh {
                         for owi in 0..ow {
-                            let h = (ohi * params.sh + khi) as isize - pt;
-                            let w = (owi * params.sw + kwi) as isize - pl;
+                            let h = (ohi * params.sh + khi * params.dh) as isize - pt;
+                            let w = (owi * params.sw + kwi * params.dw) as isize - pl;
                             if h < 0 || w < 0 || h as usize >= ih || w as usize >= iw {
                                 continue; // contribution lands in padding
                             }
@@ -270,8 +270,8 @@ pub fn coverage_multiplicity(params: &PoolParams, ih: usize, iw: usize) -> Vec<u
         for kwi in 0..params.kw {
             for ohi in 0..oh {
                 for owi in 0..ow {
-                    let h = (ohi * params.sh + khi) as isize - pt;
-                    let w = (owi * params.sw + kwi) as isize - pl;
+                    let h = (ohi * params.sh + khi * params.dh) as isize - pt;
+                    let w = (owi * params.sw + kwi * params.dw) as isize - pl;
                     if h >= 0 && w >= 0 && (h as usize) < ih && (w as usize) < iw {
                         mult[h as usize * iw + w as usize] += 1;
                     }

@@ -1,7 +1,7 @@
 //! Pooling geometry: kernel/stride/padding parameter block and derived
 //! quantities (output extents, duplication factor, overlap predicate).
 
-use crate::shape::{out_extent, Padding, ShapeError};
+use crate::shape::{out_extent_ext, Padding, ShapeError};
 
 /// Which reduction a pooling layer applies (paper, Section II-C).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -28,6 +28,14 @@ pub struct PoolParams {
     pub sw: usize,
     /// Zero padding `(Pt, Pb, Pl, Pr)`.
     pub padding: Padding,
+    /// Dilation in the height direction `Dh` (1 = dense kernel).
+    pub dh: usize,
+    /// Dilation in the width direction `Dw` (1 = dense kernel).
+    pub dw: usize,
+    /// Ceil-mode output rounding: partial windows at the high edge emit
+    /// an extra output (PyTorch `ceil_mode=True` semantics, including the
+    /// clamp that drops windows starting entirely past the data).
+    pub ceil_mode: bool,
 }
 
 impl PoolParams {
@@ -40,6 +48,9 @@ impl PoolParams {
             sh: stride.0,
             sw: stride.1,
             padding: Padding::NONE,
+            dh: 1,
+            dw: 1,
+            ceil_mode: false,
         }
     }
 
@@ -55,7 +66,29 @@ impl PoolParams {
             sh: stride.0,
             sw: stride.1,
             padding,
+            dh: 1,
+            dw: 1,
+            ceil_mode: false,
         }
+    }
+
+    /// Builder: replace the dilation (`(Dh, Dw)`, default `(1, 1)`).
+    pub const fn with_dilation(mut self, dilation: (usize, usize)) -> PoolParams {
+        self.dh = dilation.0;
+        self.dw = dilation.1;
+        self
+    }
+
+    /// Builder: set ceil-mode output rounding (default `false`).
+    pub const fn with_ceil_mode(mut self, ceil_mode: bool) -> PoolParams {
+        self.ceil_mode = ceil_mode;
+        self
+    }
+
+    /// Global pooling over an `(Ih, Iw)` plane: one window covering the
+    /// whole input, producing a `1x1` output.
+    pub const fn global(ih: usize, iw: usize) -> PoolParams {
+        PoolParams::new((ih, iw), (ih, iw))
     }
 
     /// The paper's headline configuration: kernel (3,3), stride (2,2),
@@ -65,11 +98,56 @@ impl PoolParams {
     /// VGG16's configuration: kernel (2,2), stride (2,2).
     pub const K2S2: PoolParams = PoolParams::new((2, 2), (2, 2));
 
-    /// Output extents `(Oh, Ow)` for an `(Ih, Iw)` input — Equation 1.
+    /// Output extents `(Oh, Ow)` for an `(Ih, Iw)` input — Equation 1,
+    /// generalised over dilation and ceil-mode rounding.
     pub fn out_dims(&self, ih: usize, iw: usize) -> Result<(usize, usize), ShapeError> {
-        let oh = out_extent(ih, self.padding.top, self.padding.bottom, self.kh, self.sh)?;
-        let ow = out_extent(iw, self.padding.left, self.padding.right, self.kw, self.sw)?;
+        let oh = out_extent_ext(
+            ih,
+            self.padding.top,
+            self.padding.bottom,
+            self.kh,
+            self.sh,
+            self.dh,
+            self.ceil_mode,
+        )?;
+        let ow = out_extent_ext(
+            iw,
+            self.padding.left,
+            self.padding.right,
+            self.kw,
+            self.sw,
+            self.dw,
+            self.ceil_mode,
+        )?;
         Ok((oh, ow))
+    }
+
+    /// Effective kernel height on the padded image: `(Kh - 1) * Dh + 1`.
+    pub const fn eff_kh(&self) -> usize {
+        (self.kh - 1) * self.dh + 1
+    }
+
+    /// Effective kernel width on the padded image: `(Kw - 1) * Dw + 1`.
+    pub const fn eff_kw(&self) -> usize {
+        (self.kw - 1) * self.dw + 1
+    }
+
+    /// True when either dilation exceeds 1 — kernel taps skip elements.
+    pub const fn has_dilation(&self) -> bool {
+        self.dh > 1 || self.dw > 1
+    }
+
+    /// Rows/columns the last output windows reach past the *padded* input
+    /// — nonzero only under ceil-mode rounding, where those positions read
+    /// synthesised zeros. Lowerings that address the input directly (no
+    /// coordinate-checked gather) cannot run such geometries.
+    pub fn ceil_overhang(&self, ih: usize, iw: usize) -> Result<(usize, usize), ShapeError> {
+        let (oh, ow) = self.out_dims(ih, iw)?;
+        let over_h =
+            ((oh - 1) * self.sh + self.eff_kh()).saturating_sub(ih + self.padding.vertical());
+        let over_w =
+            ((ow - 1) * self.sw + self.eff_kw()).saturating_sub(iw + self.padding.horizontal());
+        Ok((over_h, over_w))
     }
 
     /// Number of elements inside one patch (per channel).
@@ -78,11 +156,11 @@ impl PoolParams {
     }
 
     /// `true` when neighbouring patches share input elements, i.e. the
-    /// stride is smaller than the kernel in either dimension. Overlap is
-    /// what makes im2col duplicate data and what makes col2im *sum*
-    /// (Section II-A/B, Fig. 2).
+    /// stride is smaller than the *effective* kernel in either dimension.
+    /// Overlap is what makes im2col duplicate data and what makes col2im
+    /// *sum* (Section II-A/B, Fig. 2).
     pub const fn patches_overlap(&self) -> bool {
-        self.sh < self.kh || self.sw < self.kw
+        self.sh < self.eff_kh() || self.sw < self.eff_kw()
     }
 
     /// The data duplication factor of im2col relative to the input:
@@ -204,6 +282,78 @@ mod tests {
             PoolParams::new((3, 3), (0, 0)).validate(8, 8),
             Err(ShapeError::ZeroStride)
         );
+    }
+
+    #[test]
+    fn dilated_params_derive_effective_extents() {
+        let p = PoolParams::new((3, 3), (1, 1)).with_dilation((2, 3));
+        assert_eq!((p.eff_kh(), p.eff_kw()), (5, 7));
+        assert!(p.has_dilation());
+        // 10x10 input: Oh = 10-5+1 = 6, Ow = 10-7+1 = 4.
+        assert_eq!(p.out_dims(10, 10), Ok((6, 4)));
+        // Effective window exceeding the input is rejected with the
+        // effective extent in the error.
+        assert_eq!(
+            p.out_dims(10, 6),
+            Err(ShapeError::KernelLargerThanInput {
+                padded: 6,
+                kernel: 7
+            })
+        );
+        assert_eq!(
+            PoolParams::new((3, 3), (1, 1))
+                .with_dilation((0, 1))
+                .out_dims(8, 8),
+            Err(ShapeError::ZeroDilation)
+        );
+        // Unit dilation is the default and changes nothing.
+        assert!(!PoolParams::K3S2.has_dilation());
+        assert_eq!(PoolParams::K3S2.out_dims(147, 147), Ok((73, 73)));
+    }
+
+    #[test]
+    fn dilation_extends_the_overlap_predicate() {
+        // K=2 at stride 2 does not overlap densely, but dilated to an
+        // effective extent of 3 its windows do share input columns.
+        let dense = PoolParams::new((2, 2), (2, 2));
+        assert!(!dense.patches_overlap());
+        assert!(dense.with_dilation((2, 2)).patches_overlap());
+    }
+
+    #[test]
+    fn global_pooling_is_one_window() {
+        let p = PoolParams::global(17, 23);
+        assert_eq!(p.out_dims(17, 23), Ok((1, 1)));
+        assert_eq!(p.patch_len(), 17 * 23);
+        assert!(!p.patches_overlap());
+    }
+
+    #[test]
+    fn ceil_mode_rounds_up_and_marks_overhang() {
+        let p = PoolParams::new((3, 3), (2, 2)).with_ceil_mode(true);
+        // 8x8: span 5 leaves a remainder -> 4 outputs instead of 3; the
+        // last window covers rows {6, 7, 8} — one row past the input.
+        assert_eq!(p.out_dims(8, 8), Ok((4, 4)));
+        assert_eq!(p.ceil_overhang(8, 8), Ok((1, 1)));
+        // Exact division: identical to floor mode, no overhang.
+        assert_eq!(p.out_dims(7, 7), Ok((3, 3)));
+        assert_eq!(p.ceil_overhang(7, 7), Ok((0, 0)));
+        // Floor mode never has overhang.
+        assert_eq!(PoolParams::K3S2.ceil_overhang(8, 8), Ok((0, 0)));
+    }
+
+    #[test]
+    fn ceil_mode_clamps_window_starting_entirely_in_padding() {
+        // Regression for the PyTorch clamp: 3x3 input, K=2, S=2, pad 1.
+        // Unclamped ceil would emit a 3rd output whose window starts at
+        // padded row 4 = Ih + Pt — entirely past the data. PyTorch (and
+        // this clamp) drop it.
+        let p = PoolParams::with_padding((2, 2), (2, 2), Padding::uniform(1)).with_ceil_mode(true);
+        assert_eq!(p.out_dims(3, 3), Ok((2, 2)));
+        // The kept geometry still has no window past the *padded* image.
+        assert_eq!(p.ceil_overhang(3, 3), Ok((0, 0)));
+        // One more input row and the extra window earns its keep.
+        assert_eq!(p.out_dims(4, 4), Ok((3, 3)));
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub fn maxpool_forward(input: &Nc1hwc0, params: &PoolParams) -> Result<Nc1hwc0, 
     out.orig_c = input.orig_c;
     let pt = params.padding.top as isize;
     let pl = params.padding.left as isize;
-    let pad_any = !params.padding.is_none();
+    // Out-of-bounds taps exist with explicit padding and under ceil-mode
+    // rounding, where the last window overhangs the input.
+    let oob_legal = !params.padding.is_none() || params.ceil_mode;
     for n in 0..input.n {
         for c1 in 0..input.c1 {
             for ohi in 0..oh {
@@ -38,15 +40,15 @@ pub fn maxpool_forward(input: &Nc1hwc0, params: &PoolParams) -> Result<Nc1hwc0, 
                         let mut acc = F16::NEG_INFINITY;
                         for khi in 0..params.kh {
                             for kwi in 0..params.kw {
-                                let h = (ohi * params.sh + khi) as isize - pt;
-                                let w = (owi * params.sw + kwi) as isize - pl;
+                                let h = (ohi * params.sh + khi * params.dh) as isize - pt;
+                                let w = (owi * params.sw + kwi * params.dw) as isize - pl;
                                 let v = if h >= 0
                                     && w >= 0
                                     && (h as usize) < input.h
                                     && (w as usize) < input.w
                                 {
                                     input.get(n, c1, h as usize, w as usize, c0)
-                                } else if pad_any {
+                                } else if oob_legal {
                                     F16::ZERO
                                 } else {
                                     unreachable!("no padding but out of bounds")
@@ -88,8 +90,8 @@ pub fn maxpool_argmax_mask(
                 for kwi in 0..params.kw {
                     for ohi in 0..oh {
                         for owi in 0..ow {
-                            let h = (ohi * params.sh + khi) as isize - pt;
-                            let w = (owi * params.sw + kwi) as isize - pl;
+                            let h = (ohi * params.sh + khi * params.dh) as isize - pt;
+                            let w = (owi * params.sw + kwi * params.dw) as isize - pl;
                             for c0 in 0..C0 {
                                 let v = if h >= 0
                                     && w >= 0
@@ -192,8 +194,8 @@ pub fn avgpool_forward(input: &Nc1hwc0, params: &PoolParams) -> Result<Nc1hwc0, 
                         let mut acc = F16::ZERO;
                         for khi in 0..params.kh {
                             for kwi in 0..params.kw {
-                                let h = (ohi * params.sh + khi) as isize - pt;
-                                let w = (owi * params.sw + kwi) as isize - pl;
+                                let h = (ohi * params.sh + khi * params.dh) as isize - pt;
+                                let w = (owi * params.sw + kwi * params.dw) as isize - pl;
                                 let v = if h >= 0
                                     && w >= 0
                                     && (h as usize) < input.h
@@ -420,6 +422,91 @@ mod tests {
         assert!(maxpool_backward(&mask, &grad_bad, &params, 4, 4).is_err());
         let grad_bad_c1 = Nc1hwc0::zeros(1, 2, 2, 2);
         assert!(maxpool_backward(&mask, &grad_bad_c1, &params, 4, 4).is_err());
+    }
+
+    #[test]
+    fn dilated_maxpool_skips_between_taps() {
+        // 1x1x1x5 row [9, 1, 2, 1, 4], K=(1,3), D=(1,2): the single patch
+        // taps columns {0, 2, 4} -> max 9; a dense K=(1,3) patch at the
+        // same spot would see {9, 1, 2}.
+        let input = Nchw::from_vec(
+            1,
+            1,
+            1,
+            5,
+            [9.0, 1.0, 2.0, 1.0, 4.0]
+                .iter()
+                .map(|&x| F16::from_f32(x))
+                .collect(),
+        )
+        .unwrap()
+        .to_nc1hwc0();
+        let params = PoolParams::new((1, 3), (1, 1)).with_dilation((1, 2));
+        let out = maxpool_forward(&input, &params).unwrap();
+        assert_eq!((out.h, out.w), (1, 1));
+        assert_eq!(out.get(0, 0, 0, 0, 0).to_f32(), 9.0);
+        // Second tap set {1, 1} never exists: only one output column.
+        // Average over the dilated taps: (9+2+4)/3 = 5.
+        let avg = avgpool_forward(&input, &params).unwrap();
+        assert_eq!(avg.get(0, 0, 0, 0, 0).to_f32(), 5.0);
+    }
+    #[test]
+    fn dilated_backward_routes_to_dilated_taps() {
+        // Gradient through the dilated window lands only on tap columns.
+        let input = Nchw::from_vec(
+            1,
+            1,
+            1,
+            5,
+            [9.0, 1.0, 2.0, 1.0, 4.0]
+                .iter()
+                .map(|&x| F16::from_f32(x))
+                .collect(),
+        )
+        .unwrap()
+        .to_nc1hwc0();
+        let params = PoolParams::new((1, 3), (1, 1)).with_dilation((1, 2));
+        let mask = maxpool_argmax_mask(&input, &params).unwrap();
+        let grad = Nchw::from_vec(1, 1, 1, 1, vec![F16::ONE])
+            .unwrap()
+            .to_nc1hwc0();
+        let dx = maxpool_backward(&mask, &grad, &params, 1, 5).unwrap();
+        let got: Vec<f32> = (0..5).map(|w| dx.get(0, 0, 0, w, 0).to_f32()).collect();
+        assert_eq!(got, vec![1.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn global_pooling_reduces_the_whole_plane() {
+        let input = Nchw::from_fn(1, 16, 3, 4, |_, c, h, w| {
+            F16::from_f32((c + h * 4 + w) as f32)
+        })
+        .to_nc1hwc0();
+        let params = PoolParams::global(3, 4);
+        let mx = maxpool_forward(&input, &params).unwrap();
+        assert_eq!((mx.h, mx.w), (1, 1));
+        // channel c: values c .. c+11, max = c + 11.
+        assert_eq!(mx.get(0, 0, 0, 0, 5).to_f32(), 5.0 + 11.0);
+        let avg = avgpool_forward(&input, &params).unwrap();
+        // mean of c + {0..11} = c + 5.5
+        assert!((avg.get(0, 0, 0, 0, 2).to_f32() - 7.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn ceil_mode_overhang_reads_zeros() {
+        // 1x1x1x5 row of -1s, K=(1,2), S=(1,2), ceil: 3 outputs; the last
+        // window covers column 4 plus one synthesised zero, which wins the
+        // max (count-include-pad convention).
+        let input = Nchw::from_vec(1, 1, 1, 5, vec![F16::from_f32(-1.0); 5])
+            .unwrap()
+            .to_nc1hwc0();
+        let params = PoolParams::new((1, 2), (1, 2)).with_ceil_mode(true);
+        let out = maxpool_forward(&input, &params).unwrap();
+        assert_eq!((out.h, out.w), (1, 3));
+        assert_eq!(out.get(0, 0, 0, 0, 0).to_f32(), -1.0);
+        assert_eq!(out.get(0, 0, 0, 2, 0).to_f32(), 0.0);
+        // Avg keeps the fixed 1/(Kh*Kw) denominator: (-1 + 0)/2.
+        let avg = avgpool_forward(&input, &params).unwrap();
+        assert_eq!(avg.get(0, 0, 0, 2, 0).to_f32(), -0.5);
     }
 
     #[test]

@@ -61,6 +61,8 @@ pub enum ShapeError {
     ZeroKernel,
     /// Stride height/width of zero.
     ZeroStride,
+    /// Dilation height/width of zero.
+    ZeroDilation,
     /// Input too small for even one patch: `Ih + Pt + Pb < Kh` (or the
     /// width equivalent).
     KernelLargerThanInput {
@@ -93,6 +95,7 @@ impl fmt::Display for ShapeError {
         match self {
             ShapeError::ZeroKernel => write!(f, "kernel dimensions must be nonzero"),
             ShapeError::ZeroStride => write!(f, "stride dimensions must be nonzero"),
+            ShapeError::ZeroDilation => write!(f, "dilation dimensions must be nonzero"),
             ShapeError::KernelLargerThanInput { padded, kernel } => write!(
                 f,
                 "kernel extent {kernel} exceeds padded input extent {padded}"
@@ -125,26 +128,67 @@ pub fn out_extent(
     kernel: usize,
     stride: usize,
 ) -> Result<usize, ShapeError> {
+    out_extent_ext(input, pad_lo, pad_hi, kernel, stride, 1, false)
+}
+
+/// Generalised Equation 1 with dilation and ceil-mode rounding:
+/// `O = round((I + P_lo + P_hi - ((K-1)*D + 1)) / S) + 1`, where `round`
+/// is `floor` normally and `ceil` when `ceil_mode` is set.
+///
+/// Ceil mode follows the PyTorch convention: when the rounding makes the
+/// last window start entirely inside the `lo`-side padding *or beyond the
+/// real input* (`(O-1) * S >= I + P_lo`), the extra output is dropped —
+/// such a window would read only synthesised zeros past the data.
+pub fn out_extent_ext(
+    input: usize,
+    pad_lo: usize,
+    pad_hi: usize,
+    kernel: usize,
+    stride: usize,
+    dilation: usize,
+    ceil_mode: bool,
+) -> Result<usize, ShapeError> {
     if kernel == 0 {
         return Err(ShapeError::ZeroKernel);
     }
     if stride == 0 {
         return Err(ShapeError::ZeroStride);
     }
-    if pad_lo >= kernel || pad_hi >= kernel {
+    if dilation == 0 {
+        return Err(ShapeError::ZeroDilation);
+    }
+    // The window's span on the padded image: (K-1)*D + 1.
+    let eff_kernel = (kernel - 1)
+        .checked_mul(dilation)
+        .and_then(|x| x.checked_add(1))
+        .ok_or_else(|| ShapeError::Mismatch("dilated kernel extent overflows usize".into()))?;
+    if pad_lo >= eff_kernel || pad_hi >= eff_kernel {
         return Err(ShapeError::PaddingTooLarge {
             padding: pad_lo.max(pad_hi),
-            kernel,
+            kernel: eff_kernel,
         });
     }
     let padded = input
         .checked_add(pad_lo)
         .and_then(|x| x.checked_add(pad_hi))
         .ok_or_else(|| ShapeError::Mismatch("padded input extent overflows usize".into()))?;
-    if padded < kernel {
-        return Err(ShapeError::KernelLargerThanInput { padded, kernel });
+    if padded < eff_kernel {
+        return Err(ShapeError::KernelLargerThanInput {
+            padded,
+            kernel: eff_kernel,
+        });
     }
-    Ok((padded - kernel) / stride + 1)
+    let span = padded - eff_kernel;
+    let mut out = span / stride + 1;
+    if ceil_mode && span % stride != 0 {
+        out += 1;
+        // PyTorch clamp: the rounded-up window must start before the end
+        // of the real data, not entirely within padding / past the input.
+        if (out - 1) * stride >= input + pad_lo {
+            out -= 1;
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -204,6 +248,64 @@ mod tests {
         // Input exactly kernel-sized: one patch regardless of stride.
         assert_eq!(out_extent(3, 0, 0, 3, 1), Ok(1));
         assert_eq!(out_extent(3, 0, 0, 3, 7), Ok(1));
+    }
+
+    #[test]
+    fn dilation_shrinks_the_output_extent() {
+        // 10 input, K=3, D=2: effective window 5 -> floor((10-5)/1)+1 = 6.
+        assert_eq!(out_extent_ext(10, 0, 0, 3, 1, 2, false), Ok(6));
+        // Effective window exactly the input: one patch.
+        assert_eq!(out_extent_ext(5, 0, 0, 3, 1, 2, false), Ok(1));
+        // Effective window larger than the padded input: rejected with the
+        // *effective* extent in the error.
+        assert_eq!(
+            out_extent_ext(4, 0, 0, 3, 1, 2, false),
+            Err(ShapeError::KernelLargerThanInput {
+                padded: 4,
+                kernel: 5
+            })
+        );
+        // Zero dilation is a typed error, not a wrap.
+        assert_eq!(
+            out_extent_ext(8, 0, 0, 3, 1, 0, false),
+            Err(ShapeError::ZeroDilation)
+        );
+        // Padding is judged against the effective kernel: pad 3 < eff 5.
+        assert_eq!(out_extent_ext(8, 3, 3, 3, 1, 2, false), Ok(10));
+        assert_eq!(
+            out_extent_ext(8, 3, 3, 3, 1, 1, false),
+            Err(ShapeError::PaddingTooLarge {
+                padding: 3,
+                kernel: 3
+            })
+        );
+    }
+
+    #[test]
+    fn ceil_mode_rounds_partial_windows_up() {
+        // 5 input, K=2, S=2: floor -> 2, ceil -> 3 (last window covers
+        // only row 4 and reads one synthesised zero past the edge).
+        assert_eq!(out_extent_ext(5, 0, 0, 2, 2, 1, false), Ok(2));
+        assert_eq!(out_extent_ext(5, 0, 0, 2, 2, 1, true), Ok(3));
+        // Exact division: ceil changes nothing.
+        assert_eq!(out_extent_ext(8, 0, 0, 2, 2, 1, true), Ok(4));
+        // 7 input, K=3, S=2: span 4 divides evenly -> 3 either way.
+        assert_eq!(out_extent_ext(7, 0, 0, 3, 2, 1, true), Ok(3));
+    }
+
+    #[test]
+    fn ceil_mode_clamps_windows_starting_in_padding() {
+        // 3 input, pad 1/1, K=2, S=2: unclamped ceil would produce 3
+        // outputs, but the third window starts at padded index 4 =
+        // I + P_lo — entirely past the data. PyTorch clamps to 2.
+        assert_eq!(out_extent_ext(3, 1, 1, 2, 2, 1, true), Ok(2));
+        // 6 input, pad 2/2, K=3, S=4: unclamped ceil -> 3, but
+        // (3-1)*4 = 8 >= 6+2 — clamped to the floor answer 2.
+        assert_eq!(out_extent_ext(6, 2, 2, 3, 4, 1, true), Ok(2));
+        // Control: 6 input, pad 1/1, K=3, S=2 keeps its extra ceil output
+        // ((4-1)*2 = 6 < 6+1 — the window still touches real data).
+        assert_eq!(out_extent_ext(6, 1, 1, 3, 2, 1, false), Ok(3));
+        assert_eq!(out_extent_ext(6, 1, 1, 3, 2, 1, true), Ok(4));
     }
 
     #[test]

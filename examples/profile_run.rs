@@ -29,14 +29,36 @@
 //! the `renamed`/`denied` counters against a default run to see what
 //! slot renaming buys (the live-range slices in the exported trace
 //! show the overlapping buffer versions renaming creates).
+//!
+//! With `--algo auto` the engine's per-workload auto-tuner picks the
+//! algorithm (direct reduction vs im2col — see README § "Letting the
+//! tuner pick"): the run prints the tuner's ranking, its predicted
+//! cycles against the measured makespan, and the typed decline counters
+//! (`tuner_fallbacks` / `tuner_mispredicted`). `--algo direct` and
+//! `--algo im2col` force one algorithm instead. Scenario flags reshape
+//! the workload: `--dilation D` spreads the kernel taps, `--ceil-mode`
+//! rounds the output up over a trailing partial window, and `--global`
+//! pools each whole plane to a single pixel.
 
+use davinci_pooling::core::{choose_forward_algorithm, PoolProblem};
 use davinci_pooling::prelude::*;
 use davinci_pooling::sim::TraceConfig;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Algo {
+    Auto,
+    Direct,
+    Im2col,
+}
 
 struct Options {
     batch: usize,
     rename: bool,
     cores: usize,
+    algo: Algo,
+    dilation: usize,
+    ceil_mode: bool,
+    global: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -45,6 +67,10 @@ fn parse_args() -> Result<Options, String> {
         batch: 1,
         rename: true,
         cores: 1,
+        algo: Algo::Im2col,
+        dilation: 1,
+        ceil_mode: false,
+        global: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -67,9 +93,30 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--cores must be in 1..=32".into());
                 }
             }
+            "--algo" => {
+                let v = args.next().ok_or("--algo needs a value")?;
+                opts.algo = match v.as_str() {
+                    "auto" => Algo::Auto,
+                    "direct" => Algo::Direct,
+                    "im2col" => Algo::Im2col,
+                    _ => return Err(format!("invalid --algo value: {v} (auto|direct|im2col)")),
+                };
+            }
+            "--dilation" => {
+                let v = args.next().ok_or("--dilation needs a value")?;
+                opts.dilation = v
+                    .parse()
+                    .map_err(|_| format!("invalid --dilation value: {v}"))?;
+                if opts.dilation == 0 {
+                    return Err("--dilation must be >= 1".into());
+                }
+            }
+            "--ceil-mode" => opts.ceil_mode = true,
+            "--global" => opts.global = true,
             other => {
                 return Err(format!(
-                    "unknown argument: {other} (try --batch N, --no-rename, --cores N)"
+                    "unknown argument: {other} (try --batch N, --no-rename, --cores N, \
+                     --algo auto|direct|im2col, --dilation D, --ceil-mode, --global)"
                 ))
             }
         }
@@ -79,11 +126,20 @@ fn parse_args() -> Result<Options, String> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = parse_args()?;
-    // Fig. 7's middle InceptionV3 shape: 71x71, 192 channels, K3S2.
-    let input = Nchw::from_fn(opts.batch, 192, 71, 71, |n, c, h, w| {
+    // Fig. 7's middle InceptionV3 shape: 71x71, 192 channels, K3S2 —
+    // reshaped by the scenario flags.
+    let (ih, iw) = (71usize, 71usize);
+    let input = Nchw::from_fn(opts.batch, 192, ih, iw, |n, c, h, w| {
         F16::from_f32(((n + c + 3 * h + 7 * w) % 11) as f32)
     })
     .to_nc1hwc0();
+    let params = if opts.global {
+        PoolParams::global(ih, iw)
+    } else {
+        PoolParams::K3S2
+            .with_dilation((opts.dilation, opts.dilation))
+            .with_ceil_mode(opts.ceil_mode)
+    };
 
     // Profile one AI core under a 64 KiB UB budget (the perf gate's
     // batched configuration): the plane band-splits, so the trace shows
@@ -105,10 +161,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_trace(TraceConfig::ON)
     } else {
         let mut chip = Chip::new(1, cost);
-        chip.caps.ub = 64 * 1024;
+        // Global pooling needs the whole plane resident (one output row
+        // spans every input row, so band splitting cannot help), and
+        // ceil-mode forbids multi-band splitting like padding does —
+        // keep the full 256 KiB UB for those instead of the batched-gate
+        // clamp.
+        if !opts.global && !opts.ceil_mode {
+            chip.caps.ub = 64 * 1024;
+        }
         PoolingEngine::new(chip).with_trace(TraceConfig::ON)
     };
-    let (_, run) = engine.maxpool_forward(&input, PoolParams::K3S2, ForwardImpl::Im2col)?;
+    let engine = engine.with_auto_tuning(opts.algo == Algo::Auto);
+
+    // Under --algo auto the engine ignores this argument and dispatches
+    // the tuner's winner; print the ranking it will decide from.
+    let impl_ = match opts.algo {
+        Algo::Direct => ForwardImpl::Standard,
+        _ => ForwardImpl::Im2col,
+    };
+    if opts.algo == Algo::Auto {
+        let prob = PoolProblem::new(opts.batch, input.c1, ih, iw, params)?;
+        let shared = match engine.chip.memory {
+            MemoryModel::SharedBandwidth { bytes_per_cycle } => Some(bytes_per_cycle),
+            MemoryModel::Independent => None,
+        };
+        let choice = choose_forward_algorithm(
+            &prob,
+            false,
+            false,
+            engine.chip.cores,
+            &engine.schedule(),
+            engine.chip.caps,
+            shared,
+        );
+        println!("auto-tuner ranking (predicted cycles):");
+        for p in &choice.ranking {
+            println!("  {:<8} {:>9}", p.algorithm.label(), p.cycles);
+        }
+        println!();
+    }
+    let (_, run) = engine.maxpool_forward(&input, params, impl_)?;
 
     let path = "pool.trace.json";
     std::fs::write(path, run.chrome_trace_json())?;
@@ -150,6 +242,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             " (renaming disabled via --no-rename)"
         }
     );
+    if opts.algo == Algo::Auto {
+        println!(
+            "\nauto-tuner: measured makespan {} cycles; {} ranked candidate(s) \
+             failed to lower (tuner_fallbacks), {} win(s) could not be \
+             certified against a rejected alternative's cycle floor \
+             (tuner_mispredicted{})",
+            run.cycles,
+            run.total.tuner_fallbacks,
+            run.total.tuner_mispredicted,
+            if run.total.tuner_mispredicted == 0 {
+                " = 0: the tuned run is provably no slower than any alternative"
+            } else {
+                ""
+            }
+        );
+    }
     if opts.cores > 1 {
         println!("\nper-core makespans ({} cores, shared HBM):", opts.cores);
         for (i, (c, cc)) in run.per_core.iter().zip(&run.core_cycles).enumerate() {
