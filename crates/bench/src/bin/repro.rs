@@ -111,6 +111,24 @@ fn run_gate() {
             println!("note: vs previous baseline: {r}");
         }
     }
+
+    // Host-throughput companion: measure, refresh `BENCH_host.json` and
+    // the committed host baseline, and report drift informationally.
+    use dv_bench::host;
+    let old_host = host::parse_host(host::COMMITTED_HOST_BASELINE).ok();
+    let metrics = host::collect_host();
+    let doc = host::to_host_json(&metrics);
+    let host_path = root.join("BENCH_host.json");
+    std::fs::write(&host_path, &doc).expect("write BENCH_host.json");
+    println!("wrote {}", host_path.display());
+    let host_baseline = root.join("crates/bench/baselines/host.json");
+    std::fs::write(&host_baseline, &doc).expect("write committed host baseline");
+    println!("refreshed {}", host_baseline.display());
+    if let Some(old) = old_host {
+        for r in host::compare_host(&metrics, &old, host::HOST_TOLERANCE) {
+            println!("note: vs previous baseline: {r}");
+        }
+    }
 }
 
 fn main() {

@@ -1,0 +1,440 @@
+//! The host-throughput gate: host speed as a measured, regression-gated
+//! contract.
+//!
+//! The cycle gate ([`crate::gate`]) protects the *simulated* numbers; at
+//! production traffic the simulator's own wall-clock is the serving hot
+//! path, so this module makes host speed a gated quantity too. Every
+//! Table I workload's accelerated (Im2col) forward pass is replayed under
+//! each execution [`Backend`] and timed with the vendored criterion
+//! shim's warmup-then-median loop ([`criterion::time_median`]); the
+//! measurements land in `BENCH_host.json` and are compared against the
+//! committed baseline in `crates/bench/baselines/host.json`.
+//!
+//! Two contracts are enforced:
+//!
+//! * **Bit-identity, in-gate.** On every gated workload, [`collect_host`]
+//!   asserts that all backends produce the same output bytes, the same
+//!   [`HwCounters`], the same chip cycles, and the same scratchpad peaks
+//!   as the `Scalar` reference — backends may only move host wall-clock.
+//! * **Relative speed.** Wall times are machine-dependent, so the gate
+//!   does not compare nanoseconds across machines: it gates the
+//!   machine-portable *speedup ratios* (`scalar_ns / sliced_ns` per row)
+//!   against the committed baseline with [`HOST_TOLERANCE`] slack, and
+//!   [`collect_host`] asserts in-run that `Sliced` still clears the
+//!   [`SLICED_FLOOR`] on at least one Table I workload — the hoisted
+//!   bounds checks are the whole point of the seam, and losing them is a
+//!   host-speed regression no matter what machine CI runs on. Absolute
+//!   per-backend nanoseconds, host instructions/sec, and
+//!   simulated-cycles-per-wall-second are recorded alongside for
+//!   trending.
+//!
+//! Host timing is inherently noisy where cycle counts are deterministic:
+//! [`run_host`] re-collects once before declaring a regression, and each
+//! number is a median over [`HOST_SAMPLES`] samples after a warmup pass.
+//! When the executor legitimately changes speed, regenerate with
+//! `cargo run --release -p dv-bench --bin repro -- gate` and commit the
+//! refreshed `host.json`.
+
+use crate::inputs::feature_map;
+use crate::json;
+use dv_core::{table1_workloads, ForwardImpl, PoolingEngine};
+use dv_sim::Backend;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Relative speedup-ratio loss tolerated before the host gate fails
+/// (15% — wall time needs more slack than the deterministic cycle
+/// gate's 5%).
+pub const HOST_TOLERANCE: f64 = 0.15;
+
+/// Timed samples per (workload, backend) measurement; the reported
+/// nanoseconds are the median after one warmup run.
+pub const HOST_SAMPLES: usize = 5;
+
+/// The in-run floor for the `Sliced` backend: at least one Table I
+/// workload must run at or above this many times the `Scalar` host
+/// instructions/sec.
+pub const SLICED_FLOOR: f64 = 2.0;
+
+/// The committed host baseline (regenerate via `repro -- gate` when the
+/// executor legitimately changes speed).
+pub const COMMITTED_HOST_BASELINE: &str = include_str!("../baselines/host.json");
+
+/// One host-throughput row: a Table I workload's accelerated forward
+/// pass timed under every backend, plus the deterministic denominators
+/// (instruction issues and simulated cycles) that turn wall time into
+/// throughput.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HostMetric {
+    /// Stable identifier, e.g. `host/InceptionV3-1/147x147x64`.
+    pub key: String,
+    /// Simulated instruction issues of one run (backend-invariant).
+    pub instructions: u64,
+    /// Dual-pipe chip cycles of one run (backend-invariant).
+    pub sim_cycles: u64,
+    /// Median host wall time of one run under [`Backend::Scalar`].
+    pub scalar_ns: u64,
+    /// Median host wall time under [`Backend::Sliced`].
+    pub sliced_ns: u64,
+    /// Median host wall time under [`Backend::Threaded`].
+    pub threaded_ns: u64,
+}
+
+impl HostMetric {
+    /// Host speedup of the sliced executors over the scalar reference
+    /// (the satellite bugfix's measured win).
+    pub fn sliced_speedup(&self) -> f64 {
+        self.scalar_ns as f64 / self.sliced_ns.max(1) as f64
+    }
+
+    /// Host speedup of the threaded backend over the scalar reference.
+    pub fn threaded_speedup(&self) -> f64 {
+        self.scalar_ns as f64 / self.threaded_ns.max(1) as f64
+    }
+
+    /// Host instructions per second under the given measured wall time.
+    pub fn instr_per_sec(&self, ns: u64) -> f64 {
+        self.instructions as f64 * 1e9 / ns.max(1) as f64
+    }
+
+    /// Simulated cycles retired per host wall-second under the given
+    /// measured wall time — the serving-capacity number.
+    pub fn sim_cycles_per_sec(&self, ns: u64) -> f64 {
+        self.sim_cycles as f64 * 1e9 / ns.max(1) as f64
+    }
+}
+
+/// Replay every Table I workload's Im2col forward under all three
+/// backends, asserting bit-identity in-gate and timing each backend with
+/// the criterion shim's warmup-then-median loop. Panics if `Sliced`
+/// fails [`SLICED_FLOOR`] on every row.
+pub fn collect_host() -> Vec<HostMetric> {
+    let mut out = Vec::new();
+    for w in table1_workloads() {
+        let shape = format!("{}x{}x{}", w.h, w.w, w.c);
+        let key = format!("host/{}-{}/{shape}", w.cnn, w.input_idx);
+        let input = feature_map(1, w.c, w.h, w.w, 71);
+
+        // Reference run plus the in-gate bit-identity contract: every
+        // backend must reproduce the Scalar run's output bytes, counters,
+        // cycles, and peaks exactly.
+        let scalar_eng = PoolingEngine::ascend910().with_backend(Backend::Scalar);
+        let (o_ref, run_ref) = scalar_eng
+            .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+            .expect("host gate scalar run");
+        for backend in [Backend::Sliced, Backend::Threaded] {
+            let eng = PoolingEngine::ascend910().with_backend(backend);
+            let (o, run) = eng
+                .maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+                .expect("host gate backend run");
+            assert_eq!(
+                o.data(),
+                o_ref.data(),
+                "{key}: {backend} output diverged from Scalar"
+            );
+            assert_eq!(
+                run.total, run_ref.total,
+                "{key}: {backend} counters diverged from Scalar"
+            );
+            assert_eq!(
+                run.cycles, run_ref.cycles,
+                "{key}: {backend} cycles diverged from Scalar"
+            );
+            assert_eq!(
+                run.peaks, run_ref.peaks,
+                "{key}: {backend} peaks diverged from Scalar"
+            );
+        }
+
+        let time_backend = |backend: Backend| -> u64 {
+            let eng = PoolingEngine::ascend910().with_backend(backend);
+            let d = criterion::time_median(HOST_SAMPLES, || {
+                eng.maxpool_forward(&input, w.params, ForwardImpl::Im2col)
+                    .expect("host gate timed run")
+            });
+            duration_ns(d)
+        };
+
+        out.push(HostMetric {
+            key,
+            instructions: run_ref.total.total_issues(),
+            sim_cycles: run_ref.cycles,
+            scalar_ns: time_backend(Backend::Scalar),
+            sliced_ns: time_backend(Backend::Sliced),
+            threaded_ns: time_backend(Backend::Threaded),
+        });
+    }
+    let best = out
+        .iter()
+        .map(|m| m.sliced_speedup())
+        .fold(0.0f64, f64::max);
+    assert!(
+        best >= SLICED_FLOOR,
+        "host gate: Sliced must clear {SLICED_FLOOR}x Scalar host \
+         instructions/sec on at least one Table I workload (best {best:.2}x)"
+    );
+    out
+}
+
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX).max(1)
+}
+
+/// Render host metrics as the `BENCH_host.json` document.
+pub fn to_host_json(metrics: &[HostMetric]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"host\",\n");
+    let _ = writeln!(out, "  \"tolerance\": {HOST_TOLERANCE},");
+    let _ = writeln!(out, "  \"samples\": {HOST_SAMPLES},");
+    out.push_str("  \"host\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"key\": \"{}\", \"instructions\": {}, \"sim_cycles\": {}, \
+             \"scalar_ns\": {}, \"sliced_ns\": {}, \"threaded_ns\": {}, \
+             \"sliced_speedup\": {:.4}, \"threaded_speedup\": {:.4}, \
+             \"scalar_instr_per_sec\": {:.0}, \"sliced_instr_per_sec\": {:.0}, \
+             \"sliced_sim_cycles_per_sec\": {:.0}}}",
+            m.key,
+            m.instructions,
+            m.sim_cycles,
+            m.scalar_ns,
+            m.sliced_ns,
+            m.threaded_ns,
+            m.sliced_speedup(),
+            m.threaded_speedup(),
+            m.instr_per_sec(m.scalar_ns),
+            m.instr_per_sec(m.sliced_ns),
+            m.sim_cycles_per_sec(m.sliced_ns),
+        );
+        out.push_str(if i + 1 == metrics.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parse the `host` section of a `BENCH_host.json`-format document. A
+/// document without the section (e.g. a `BENCH_pooling.json` from before
+/// the host gate existed) parses as the empty list — [`compare_host`]
+/// then treats every current row as a fresh baseline, mirroring how
+/// [`crate::gate::parse_scaling`] handles pre-scaling baselines.
+pub fn parse_host(doc: &str) -> Result<Vec<HostMetric>, String> {
+    let v = json::parse(doc).map_err(|e| e.to_string())?;
+    let Some(arr) = v.get("host").and_then(|m| m.as_arr()) else {
+        return Ok(Vec::new());
+    };
+    let field = |m: &json::Value, name: &'static str| {
+        m.get(name)
+            .and_then(|c| c.as_u64())
+            .ok_or(format!("host row missing \"{name}\""))
+    };
+    arr.iter()
+        .map(|m| {
+            Ok(HostMetric {
+                key: m
+                    .get("key")
+                    .and_then(|k| k.as_str())
+                    .ok_or("host row missing \"key\"".to_string())?
+                    .to_string(),
+                instructions: field(m, "instructions")?,
+                sim_cycles: field(m, "sim_cycles")?,
+                scalar_ns: field(m, "scalar_ns")?,
+                sliced_ns: field(m, "sliced_ns")?,
+                threaded_ns: field(m, "threaded_ns")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()
+}
+
+/// Geometric mean of the per-row sliced speedups — the gate's headline
+/// number. Individual rows jitter with host load; the geomean over all
+/// Table I rows is stable, and any executor regression (the fast paths
+/// are shared by every row) moves it.
+pub fn geomean_sliced_speedup(metrics: &[HostMetric]) -> f64 {
+    if metrics.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = metrics.iter().map(|m| m.sliced_speedup().ln()).sum();
+    (log_sum / metrics.len() as f64).exp()
+}
+
+/// Compare current host rows against a baseline's. Absolute nanoseconds
+/// are machine-dependent and never compared; what is gated is the
+/// machine-portable sliced speedup ratio:
+///
+/// * a tracked row that disappeared is a regression;
+/// * the **geometric mean** speedup over all matched rows falling more
+///   than `tolerance` below the baseline's is a regression — every row
+///   exercises the same fast paths, so a real executor regression moves
+///   the aggregate, while single-row timing jitter does not;
+/// * any single row collapsing more than `2 * tolerance` is flagged
+///   too — a belt-and-braces bound wide enough to ride out load spikes.
+///
+/// New rows pass — they are fresh baselines.
+pub fn compare_host(
+    current: &[HostMetric],
+    baseline: &[HostMetric],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut regressions = Vec::new();
+    let mut matched_current = Vec::new();
+    let mut matched_base = Vec::new();
+    for b in baseline {
+        let Some(c) = current.iter().find(|c| c.key == b.key) else {
+            regressions.push(format!("{}: tracked host row disappeared", b.key));
+            continue;
+        };
+        matched_current.push(c.clone());
+        matched_base.push(b.clone());
+        let (now, base) = (c.sliced_speedup(), b.sliced_speedup());
+        if base > 0.0 && now < base * (1.0 - 2.0 * tolerance) {
+            regressions.push(format!(
+                "{} (sliced speedup): {now:.2}x vs baseline {base:.2}x ({:+.1}%)",
+                b.key,
+                (now / base - 1.0) * 100.0
+            ));
+        }
+    }
+    let (now, base) = (
+        geomean_sliced_speedup(&matched_current),
+        geomean_sliced_speedup(&matched_base),
+    );
+    if base > 0.0 && now < base * (1.0 - tolerance) {
+        regressions.push(format!(
+            "geomean sliced speedup: {now:.2}x vs baseline {base:.2}x ({:+.1}%)",
+            (now / base - 1.0) * 100.0
+        ));
+    }
+    regressions
+}
+
+/// Run the full host gate against [`COMMITTED_HOST_BASELINE`]: collect,
+/// compare, and return the rendered `BENCH_host.json` contents on
+/// success or the regression list on failure. Because wall time is
+/// noisy, one losing collection is re-measured before a regression is
+/// declared.
+pub fn run_host() -> Result<String, Vec<String>> {
+    let baseline = parse_host(COMMITTED_HOST_BASELINE)
+        .map_err(|e| vec![format!("committed host baseline unreadable: {e}")])?;
+    let mut current = collect_host();
+    let mut regressions = compare_host(&current, &baseline, HOST_TOLERANCE);
+    if !regressions.is_empty() {
+        // Timing flake insurance: one full re-measurement before failing.
+        current = collect_host();
+        regressions = compare_host(&current, &baseline, HOST_TOLERANCE);
+    }
+    if regressions.is_empty() {
+        Ok(to_host_json(&current))
+    } else {
+        Err(regressions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hm(key: &str, scalar_ns: u64, sliced_ns: u64) -> HostMetric {
+        HostMetric {
+            key: key.into(),
+            instructions: 10_000,
+            sim_cycles: 97_836,
+            scalar_ns,
+            sliced_ns,
+            threaded_ns: sliced_ns / 2 + 1,
+        }
+    }
+
+    #[test]
+    fn host_json_round_trips() {
+        let ms = vec![
+            hm("host/InceptionV3-1/147x147x64", 4_000_000, 1_000_000),
+            hm("host/VGG16-1/224x224x64", 9_000_000, 3_000_000),
+        ];
+        let doc = to_host_json(&ms);
+        assert_eq!(parse_host(&doc).unwrap(), ms);
+        assert!(doc.contains("\"sliced_speedup\": 4.0000"));
+        assert!(doc.contains("\"scalar_instr_per_sec\""));
+    }
+
+    #[test]
+    fn absent_host_section_parses_as_empty() {
+        // A pooling-format document (or any JSON without a "host"
+        // section) must parse cleanly as the empty list, and the
+        // comparison must pass every current row as a fresh baseline.
+        let legacy = "{\n  \"benchmark\": \"pooling\",\n  \"metrics\": []\n}\n";
+        let base = parse_host(legacy).unwrap();
+        assert!(base.is_empty());
+        let ms = vec![hm("host/a", 100, 25)];
+        assert!(compare_host(&ms, &base, HOST_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn compare_host_gates_speedup_ratio_not_nanoseconds() {
+        let base = vec![hm("host/a", 4_000_000, 1_000_000)]; // 4.0x
+                                                             // Twice as slow in absolute terms but the same ratio: a slower
+                                                             // machine is not a regression.
+        let slower_machine = vec![hm("host/a", 8_000_000, 2_000_000)];
+        assert!(compare_host(&slower_machine, &base, HOST_TOLERANCE).is_empty());
+        // Ratio within tolerance passes (3.6x vs 4.0x at 15%).
+        let noisy = vec![hm("host/a", 3_600_000, 1_000_000)];
+        assert!(compare_host(&noisy, &base, HOST_TOLERANCE).is_empty());
+        // Ratio collapse fails both the per-row and geomean bounds —
+        // e.g. the sliced fast path was reverted.
+        let reverted = vec![hm("host/a", 4_000_000, 3_800_000)];
+        let regs = compare_host(&reverted, &base, HOST_TOLERANCE);
+        assert_eq!(regs.len(), 2);
+        assert!(regs.iter().any(|r| r.contains("host/a (sliced speedup)")));
+        assert!(regs.iter().any(|r| r.contains("geomean")));
+        // Disappeared row fails.
+        assert!(compare_host(&[], &base, HOST_TOLERANCE)
+            .iter()
+            .any(|r| r.contains("disappeared")));
+    }
+
+    #[test]
+    fn compare_host_rides_out_single_row_jitter() {
+        // Three tracked rows at 2.0x. One row loses 20% to a host load
+        // spike while the others hold: inside the 2x-tolerance per-row
+        // bound, and the geomean barely moves — the gate passes. The
+        // deterministic cycle gate would flag this; the host gate must
+        // not, or CI flakes.
+        let base = vec![
+            hm("host/a", 2_000_000, 1_000_000),
+            hm("host/b", 2_000_000, 1_000_000),
+            hm("host/c", 2_000_000, 1_000_000),
+        ];
+        let jitter = vec![
+            hm("host/a", 2_000_000, 1_250_000), // 1.6x: -20%
+            hm("host/b", 2_000_000, 1_000_000),
+            hm("host/c", 2_000_000, 1_000_000),
+        ];
+        assert!(compare_host(&jitter, &base, HOST_TOLERANCE).is_empty());
+        // But the same drop on every row is an executor regression and
+        // must fail via the geomean bound.
+        let real = vec![
+            hm("host/a", 2_000_000, 1_250_000),
+            hm("host/b", 2_000_000, 1_250_000),
+            hm("host/c", 2_000_000, 1_250_000),
+        ];
+        let regs = compare_host(&real, &base, HOST_TOLERANCE);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("geomean"));
+    }
+
+    #[test]
+    fn committed_host_baseline_parses_and_clears_the_floor() {
+        let base = parse_host(COMMITTED_HOST_BASELINE).expect("host baseline parses");
+        assert_eq!(
+            base.len(),
+            table1_workloads().len(),
+            "host baseline must track every Table I workload"
+        );
+        assert!(
+            base.iter().any(|m| m.sliced_speedup() >= SLICED_FLOOR),
+            "committed host baseline must record the Sliced floor win"
+        );
+        for m in &base {
+            assert!(m.instructions > 0 && m.sim_cycles > 0, "{}", m.key);
+        }
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod experiments;
 pub mod gate;
+pub mod host;
 pub mod inputs;
 pub mod json;
 pub mod plot;

@@ -201,6 +201,14 @@ impl PoolingEngine {
         self
     }
 
+    /// The same engine with a different host execution backend on its
+    /// chip. Backends change host wall-clock only — outputs, counters,
+    /// traces, and peaks are bit-identical across all of them.
+    pub fn with_backend(mut self, backend: dv_sim::Backend) -> PoolingEngine {
+        self.chip = self.chip.with_backend(backend);
+        self
+    }
+
     /// The overlap schedule this engine's lowerings plan against:
     /// `double_buffer` plus rotation planning resolved from the chip's
     /// cost model (or the pinned override).

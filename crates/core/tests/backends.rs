@@ -1,0 +1,173 @@
+//! Differential property wall for the host execution backends: every
+//! backend must be bit-identical to the `Scalar` reference interpreter on
+//! random workloads — same GM bytes, same hardware counters, same trace
+//! makespans, same scratchpad peaks. Backends are a host-speed knob only;
+//! any simulated divergence is a bug.
+
+use dv_core::{ForwardImpl, MergeImpl, PoolingEngine};
+use dv_fp16::F16;
+use dv_sim::{Backend, Chip, CostModel, HwCounters, IssueModel, TraceConfig};
+use dv_tensor::{Nc1hwc0, PoolParams};
+use proptest::prelude::*;
+
+fn engine(issue: IssueModel, backend: Backend) -> PoolingEngine {
+    let mut cost = CostModel::ascend910_like().with_backend(backend);
+    cost.issue_model = issue;
+    PoolingEngine::new(Chip::new(2, cost)).with_trace(TraceConfig::ON)
+}
+
+fn geometry() -> impl Strategy<Value = (PoolParams, usize, usize)> {
+    (1usize..=3, 1usize..=3, 1usize..=3, 1usize..=3).prop_flat_map(|(kh, kw, sh, sw)| {
+        (
+            Just(PoolParams::new((kh, kw), (sh, sw))),
+            kh..kh + 12,
+            kw..kw + 12,
+        )
+    })
+}
+
+fn input(c1: usize, h: usize, w: usize, seed: u64) -> Nc1hwc0 {
+    let mut s = seed | 1;
+    Nc1hwc0::from_fn(1, c1, h, w, |_, _, _, _, _| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(99);
+        F16::from_f32(((s >> 40) % 33) as f32 - 16.0)
+    })
+}
+
+/// The simulated observables of one run, every one of which must be
+/// backend-invariant.
+#[derive(Debug, PartialEq)]
+struct Observables {
+    out: Vec<F16>,
+    per_core: Vec<HwCounters>,
+    total: HwCounters,
+    cycles: u64,
+    makespans: Vec<u64>,
+    peaks: dv_sim::BufferPeaks,
+}
+
+fn observe(out: &Nc1hwc0, run: &dv_core::PoolRun) -> Observables {
+    Observables {
+        out: out.data().to_vec(),
+        per_core: run.per_core.clone(),
+        total: run.total.clone(),
+        cycles: run.cycles,
+        makespans: run
+            .traces
+            .iter()
+            .map(|t| {
+                t.events
+                    .iter()
+                    .map(|e| e.start + e.cycles)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect(),
+        peaks: run.peaks,
+    }
+}
+
+const ISSUE_MODELS: [IssueModel; 2] = [IssueModel::SingleIssue, IssueModel::DualPipe];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Max pooling, forward: all backends agree with `Scalar` under both
+    /// issue models, for both forward lowerings.
+    #[test]
+    fn backend_is_bit_identical_max_forward(
+        (params, ih, iw) in geometry(), c1 in 1usize..=2, seed in any::<u64>()
+    ) {
+        let x = input(c1, ih, iw, seed);
+        for issue in ISSUE_MODELS {
+            for impl_ in [ForwardImpl::Standard, ForwardImpl::Im2col] {
+                let (out, run) = engine(issue, Backend::Scalar)
+                    .maxpool_forward(&x, params, impl_)
+                    .unwrap();
+                let want = observe(&out, &run);
+                for backend in [Backend::Sliced, Backend::Threaded] {
+                    let (out, run) = engine(issue, backend)
+                        .maxpool_forward(&x, params, impl_)
+                        .unwrap();
+                    prop_assert_eq!(
+                        &observe(&out, &run), &want,
+                        "{:?}/{:?}/{:?} diverged from Scalar", backend, issue, impl_
+                    );
+                }
+            }
+        }
+    }
+
+    /// Max pooling, backward: both merge strategies, both issue models.
+    #[test]
+    fn backend_is_bit_identical_max_backward(
+        (params, ih, iw) in geometry(), seed in any::<u64>()
+    ) {
+        let x = input(1, ih, iw, seed);
+        let mask = dv_tensor::reference::maxpool_argmax_mask(&x, &params).unwrap();
+        let (oh, ow) = params.out_dims(ih, iw).unwrap();
+        let mut s = seed ^ 0xF00D;
+        let grads = Nc1hwc0::from_fn(1, 1, oh, ow, |_, _, _, _, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(7);
+            F16::from_f32(((s >> 41) % 8) as f32)
+        });
+        for issue in ISSUE_MODELS {
+            for merge in [MergeImpl::VAdd, MergeImpl::Col2Im] {
+                let (dx, run) = engine(issue, Backend::Scalar)
+                    .maxpool_backward(&mask, &grads, params, ih, iw, merge)
+                    .unwrap();
+                let want = observe(&dx, &run);
+                for backend in [Backend::Sliced, Backend::Threaded] {
+                    let (dx, run) = engine(issue, backend)
+                        .maxpool_backward(&mask, &grads, params, ih, iw, merge)
+                        .unwrap();
+                    prop_assert_eq!(
+                        &observe(&dx, &run), &want,
+                        "{:?}/{:?}/{:?} diverged from Scalar", backend, issue, merge
+                    );
+                }
+            }
+        }
+    }
+
+    /// Average pooling, forward and backward (exercises the cube matmul
+    /// and L0C drain paths too).
+    #[test]
+    fn backend_is_bit_identical_avg(
+        (params, ih, iw) in geometry(), seed in any::<u64>()
+    ) {
+        let x = input(1, ih, iw, seed);
+        let (oh, ow) = params.out_dims(ih, iw).unwrap();
+        let mut s = seed ^ 0xCAFE;
+        let grads = Nc1hwc0::from_fn(1, 1, oh, ow, |_, _, _, _, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(3);
+            F16::from_f32(((s >> 43) % 8) as f32)
+        });
+        for issue in ISSUE_MODELS {
+            let (out, run) = engine(issue, Backend::Scalar)
+                .avgpool_forward(&x, params, ForwardImpl::Im2col)
+                .unwrap();
+            let want_fwd = observe(&out, &run);
+            let (dx, run) = engine(issue, Backend::Scalar)
+                .avgpool_backward(&grads, params, ih, iw, MergeImpl::Col2Im)
+                .unwrap();
+            let want_bwd = observe(&dx, &run);
+            for backend in [Backend::Sliced, Backend::Threaded] {
+                let (out, run) = engine(issue, backend)
+                    .avgpool_forward(&x, params, ForwardImpl::Im2col)
+                    .unwrap();
+                prop_assert_eq!(
+                    &observe(&out, &run), &want_fwd,
+                    "avg fwd {:?}/{:?} diverged from Scalar", backend, issue
+                );
+                let (dx, run) = engine(issue, backend)
+                    .avgpool_backward(&grads, params, ih, iw, MergeImpl::Col2Im)
+                    .unwrap();
+                prop_assert_eq!(
+                    &observe(&dx, &run), &want_bwd,
+                    "avg bwd {:?}/{:?} diverged from Scalar", backend, issue
+                );
+            }
+        }
+    }
+}

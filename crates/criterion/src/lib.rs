@@ -5,8 +5,12 @@
 //! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], `b.iter(..)`,
 //! and the `criterion_group!`/`criterion_main!` macros (including the
 //! `name/config/targets` form). Each benchmark is warmed up once, then
-//! timed over `sample_size` samples; mean wall time per iteration is
-//! printed to stdout. No statistics, plotting, or baseline storage.
+//! timed sample-by-sample over `sample_size` samples; the **median** wall
+//! time per iteration is printed to stdout (robust against one slow
+//! outlier sample, unlike a mean over a single aggregate interval). No
+//! plotting or baseline storage. [`time_median`] exposes the same
+//! warmup-then-median loop as a plain function for tools (the host
+//! throughput gate) that need a `Duration` back instead of stdout.
 
 use std::fmt;
 use std::hint::black_box as std_black_box;
@@ -71,22 +75,50 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// Median of a set of per-sample durations. Empty input yields
+/// [`Duration::ZERO`] rather than dividing by a zero sample count.
+fn median_of(samples: &mut [Duration]) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort_unstable();
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2
+    }
+}
+
+/// Run `f` once as warm-up, then time it `samples` more times and return
+/// the median per-call wall time. `samples == 0` skips timing entirely
+/// and returns [`Duration::ZERO`] (no zero division). This is the exact
+/// loop [`Bencher::iter`] uses, exposed for tools that need the number
+/// back — the host-throughput gate builds on it.
+pub fn time_median<R, F: FnMut() -> R>(samples: usize, mut f: F) -> Duration {
+    std_black_box(f()); // warm-up
+    let mut timed: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std_black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    median_of(&mut timed)
+}
+
 /// Timing loop handle passed to bench closures.
 pub struct Bencher {
     samples: usize,
-    /// Mean wall time per iteration over all samples.
-    mean: Duration,
+    /// Median wall time per iteration over all samples.
+    median: Duration,
 }
 
 impl Bencher {
-    /// Time `f`, running it `samples` times after one warm-up call.
-    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
-        std_black_box(f()); // warm-up
-        let start = Instant::now();
-        for _ in 0..self.samples {
-            std_black_box(f());
-        }
-        self.mean = start.elapsed() / self.samples as u32;
+    /// Time `f`, running it `samples` times after one warm-up call; each
+    /// sample is timed individually and the median is reported.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, f: F) {
+        self.median = time_median(self.samples, f);
     }
 
     /// Time `routine` over fresh inputs from `setup`; only the routine is
@@ -97,14 +129,15 @@ impl Bencher {
         F: FnMut(I) -> R,
     {
         std_black_box(routine(setup())); // warm-up
-        let mut timed = Duration::ZERO;
-        for _ in 0..self.samples {
-            let input = setup();
-            let start = Instant::now();
-            std_black_box(routine(input));
-            timed += start.elapsed();
-        }
-        self.mean = timed / self.samples as u32;
+        let mut timed: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let input = setup();
+                let start = Instant::now();
+                std_black_box(routine(input));
+                start.elapsed()
+            })
+            .collect();
+        self.median = median_of(&mut timed);
     }
 }
 
@@ -188,12 +221,12 @@ impl BenchmarkGroup<'_> {
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
     let mut b = Bencher {
         samples,
-        mean: Duration::ZERO,
+        median: Duration::ZERO,
     };
     f(&mut b);
     println!(
-        "bench {label:<56} {:>12.3?}/iter ({samples} samples)",
-        b.mean
+        "bench {label:<56} {:>12.3?}/iter median ({samples} samples)",
+        b.median
     );
 }
 
@@ -249,6 +282,37 @@ mod tests {
             });
         g.finish();
         assert_eq!(hits, 7 * 3);
+    }
+
+    #[test]
+    fn time_median_counts_and_guards_zero_samples() {
+        let mut n = 0u64;
+        let d = time_median(5, || n += 1);
+        assert_eq!(n, 6, "1 warm-up + 5 samples");
+        assert!(d >= Duration::ZERO);
+
+        // Zero samples: one warm-up call, no timing, no zero division.
+        let mut m = 0u64;
+        assert_eq!(time_median(0, || m += 1), Duration::ZERO);
+        assert_eq!(m, 1, "warm-up still runs");
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let mut v = [
+            Duration::from_micros(10),
+            Duration::from_micros(11),
+            Duration::from_secs(100), // outlier
+        ];
+        assert_eq!(median_of(&mut v), Duration::from_micros(11));
+        let mut even = [
+            Duration::from_micros(10),
+            Duration::from_micros(20),
+            Duration::from_micros(30),
+            Duration::from_secs(100),
+        ];
+        assert_eq!(median_of(&mut even), Duration::from_micros(25));
+        assert_eq!(median_of(&mut []), Duration::ZERO);
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! The job front-end is a *transport*, not a semantic layer: every
+//! result it hands back must be bit-identical to calling the engine
+//! directly with the same spec, regardless of which worker, in which
+//! order, under which backend the job ran.
+
+use dv_core::{ForwardImpl, MergeImpl, PoolingEngine};
+use dv_fp16::F16;
+use dv_serve::{run_job, JobOp, JobSpec, ServeError, Server};
+use dv_sim::{Backend, Chip, CostModel};
+use dv_tensor::{Nc1hwc0, PoolParams};
+
+fn input(n: usize, c1: usize, h: usize, w: usize, seed: u32) -> Nc1hwc0 {
+    let mut state = seed.wrapping_mul(0x9E37_79B9).wrapping_add(1);
+    Nc1hwc0::from_fn(n, c1, h, w, |_, _, _, _, _| {
+        state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        F16::from_f32(((state >> 16) % 128) as f32 * 0.25 - 16.0)
+    })
+}
+
+fn engine(cores: usize, backend: Backend) -> PoolingEngine {
+    PoolingEngine::new(Chip::new(cores, CostModel::ascend910_like()).with_backend(backend))
+}
+
+#[test]
+fn queued_jobs_match_direct_engine_runs_on_every_backend() {
+    let server = Server::new(3);
+    let x = input(1, 2, 14, 14, 11);
+    let handles: Vec<_> = Backend::ALL
+        .iter()
+        .map(|&b| {
+            let spec = JobSpec::new(
+                x.clone(),
+                PoolParams::K3S2,
+                JobOp::MaxForward(ForwardImpl::Im2col),
+            )
+            .with_backend(b)
+            .with_cores(2);
+            (b, server.submit(spec))
+        })
+        .collect();
+    let (reference, ref_run) = engine(2, Backend::Scalar)
+        .maxpool_forward(&x, PoolParams::K3S2, ForwardImpl::Im2col)
+        .unwrap();
+    for (b, h) in handles {
+        let r = h.wait().unwrap_or_else(|e| panic!("{b} job failed: {e}"));
+        assert_eq!(r.output.data(), reference.data(), "{b}: output diverged");
+        assert_eq!(r.per_core, ref_run.per_core, "{b}: counters diverged");
+        assert_eq!(r.total, ref_run.total, "{b}: totals diverged");
+        assert_eq!(r.cycles, ref_run.cycles, "{b}: cycles diverged");
+        assert!(r.traces.is_empty(), "{b}: untraced job returned traces");
+        assert!(r.mask.is_none());
+    }
+}
+
+#[test]
+fn forward_argmax_then_backward_round_trips_through_the_queue() {
+    let server = Server::new(2);
+    let x = input(1, 1, 12, 12, 23);
+    let fwd = server
+        .submit(
+            JobSpec::new(
+                x.clone(),
+                PoolParams::K3S2,
+                JobOp::MaxForwardArgmax(ForwardImpl::Im2col),
+            )
+            .with_trace(true),
+        )
+        .wait()
+        .expect("forward job");
+    assert!(!fwd.traces.is_empty(), "traced job returned no traces");
+    let mask = fwd.mask.expect("argmax job returns the mask");
+    let gradients = input(1, 1, fwd.output.h, fwd.output.w, 31);
+
+    let bwd = server
+        .submit(JobSpec::new(
+            x.clone(),
+            PoolParams::K3S2,
+            JobOp::MaxBackward {
+                merge: MergeImpl::Col2Im,
+                mask: mask.clone(),
+                gradients: gradients.clone(),
+            },
+        ))
+        .wait()
+        .expect("backward job");
+
+    let (dx, run) = engine(2, Backend::default())
+        .maxpool_backward(
+            &mask,
+            &gradients,
+            PoolParams::K3S2,
+            x.h,
+            x.w,
+            MergeImpl::Col2Im,
+        )
+        .unwrap();
+    assert_eq!(bwd.output.data(), dx.data());
+    assert_eq!(bwd.total, run.total);
+    assert_eq!(bwd.cycles, run.cycles);
+}
+
+#[test]
+fn many_jobs_complete_out_of_order_with_correct_ids() {
+    let server = Server::new(4);
+    // Mixed sizes so completion order scrambles relative to submit order.
+    let specs: Vec<JobSpec> = (0..8)
+        .map(|i| {
+            let h = 6 + 4 * (i % 3);
+            JobSpec::new(
+                input(1, 1, h, h, 41 + i as u32),
+                PoolParams::K2S2,
+                JobOp::AvgForward(ForwardImpl::Im2col),
+            )
+            .with_cores(1 + i % 2)
+        })
+        .collect();
+    let handles: Vec<_> = specs.iter().map(|s| server.submit(s.clone())).collect();
+    let ids: Vec<u64> = handles.iter().map(|h| h.id()).collect();
+    assert_eq!(ids.len(), 8);
+    assert!(
+        ids.windows(2).all(|w| w[0] < w[1]),
+        "ids must be unique and ordered"
+    );
+    for (handle, spec) in handles.into_iter().zip(&specs) {
+        let expected_id = handle.id();
+        let r = handle.wait().expect("job");
+        assert_eq!(r.job_id, expected_id);
+        let direct = run_job(expected_id, spec).expect("direct run");
+        assert_eq!(r.output.data(), direct.output.data());
+        assert_eq!(r.total, direct.total);
+        assert_eq!(r.cycles, direct.cycles);
+    }
+}
+
+#[test]
+fn engine_errors_travel_back_through_the_handle() {
+    let server = Server::new(1);
+    // Kernel larger than the input: lowering must reject it, and the
+    // rejection must surface through the handle rather than killing the
+    // worker.
+    let bad = JobSpec::new(
+        input(1, 1, 2, 2, 7),
+        PoolParams::K3S2,
+        JobOp::MaxForward(ForwardImpl::Im2col),
+    );
+    match server.submit(bad).wait() {
+        Err(ServeError::Run(_)) => {}
+        other => panic!("expected a run error, got {other:?}"),
+    }
+    // The worker survived the failed job and still serves new ones.
+    let ok = JobSpec::new(
+        input(1, 1, 8, 8, 7),
+        PoolParams::K3S2,
+        JobOp::MaxForward(ForwardImpl::Standard),
+    );
+    assert!(server.submit(ok).wait().is_ok());
+}
+
+#[test]
+fn shutdown_drains_queued_jobs() {
+    let server = Server::new(1);
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            server.submit(JobSpec::new(
+                input(1, 1, 10, 10, 50 + i),
+                PoolParams::K3S2,
+                JobOp::MaxForward(ForwardImpl::Im2col),
+            ))
+        })
+        .collect();
+    server.shutdown();
+    for h in handles {
+        assert!(h.wait().is_ok(), "queued job dropped during shutdown");
+    }
+}
+
+#[test]
+fn poll_is_nonblocking_and_resolves_once() {
+    let server = Server::new(1);
+    let h = server.submit(JobSpec::new(
+        input(1, 1, 20, 20, 61),
+        PoolParams::K3S2,
+        JobOp::MaxForward(ForwardImpl::Im2col),
+    ));
+    // Spin until the result lands; each poll returns immediately.
+    let result = loop {
+        if let Some(r) = h.poll() {
+            break r;
+        }
+        std::thread::yield_now();
+    };
+    assert!(result.is_ok());
+}

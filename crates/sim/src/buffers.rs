@@ -220,7 +220,9 @@ impl BufferSet {
         self.raw(id).len()
     }
 
-    fn raw(&self, id: BufferId) -> &Vec<u8> {
+    /// Raw byte view of one buffer — the `Sliced` executor fast paths
+    /// read operands through this after validating the full span once.
+    pub(crate) fn raw(&self, id: BufferId) -> &Vec<u8> {
         match id {
             BufferId::Gm => &self.gm,
             BufferId::L1 => &self.l1,
@@ -231,7 +233,11 @@ impl BufferSet {
         }
     }
 
-    fn raw_mut(&mut self, id: BufferId) -> &mut Vec<u8> {
+    /// Mutable raw byte view. The fast paths `mem::take` the destination
+    /// buffer through this (so source buffers stay readable), run the
+    /// unchecked element loop, and put it back — callers must restore
+    /// the vector before returning.
+    pub(crate) fn raw_mut(&mut self, id: BufferId) -> &mut Vec<u8> {
         match id {
             BufferId::Gm => &mut self.gm,
             BufferId::L1 => &mut self.l1,
@@ -240,6 +246,15 @@ impl BufferSet {
             BufferId::L0C => &mut self.l0c,
             BufferId::Ub => &mut self.ub,
         }
+    }
+
+    /// Record a write high-water mark directly — the fast paths write
+    /// through raw slices (bypassing [`BufferSet::write_f16`]), so they
+    /// note the peak once per instruction with the maximum written end,
+    /// which equals the running maximum the per-element path would have
+    /// accumulated.
+    pub(crate) fn note_peak(&mut self, id: BufferId, end: usize) {
+        self.peaks.note(id, end);
     }
 
     fn check(&self, id: BufferId, offset: usize, len: usize, align: usize) -> Result<(), SimError> {

@@ -30,7 +30,7 @@ use crate::buffers::{BufferPeaks, SimError};
 use crate::contention::contention_stalls;
 pub use crate::contention::MemoryModel;
 use crate::core::AiCore;
-use crate::cost::{Capacities, CostModel};
+use crate::cost::{Backend, Capacities, CostModel};
 use crate::counters::HwCounters;
 use crate::lifetimes::BufferLifetimes;
 use crate::trace::{Trace, TraceConfig};
@@ -130,6 +130,14 @@ impl Chip {
         self
     }
 
+    /// The same chip with a different host execution backend. Backends
+    /// only change host wall-clock: simulated results, counters, traces,
+    /// and peaks are identical across all of them.
+    pub fn with_backend(mut self, backend: Backend) -> Chip {
+        self.cost = self.cost.with_backend(backend);
+        self
+    }
+
     /// Execute `programs` (one per tile) over the cores, reading and
     /// updating the global-memory image `gm` in place.
     pub fn run(&self, gm: &mut [u8], programs: &[Program]) -> Result<ChipRun, SimError> {
@@ -164,67 +172,80 @@ impl Chip {
         }
 
         let gm_ref: &[u8] = gm;
-        let results: Vec<Option<CoreResult>> = std::thread::scope(|s| {
-            let handles: Vec<_> = groups
+        // Per-core body, shared by the threaded and sequential paths so the
+        // backend choice cannot fork simulated semantics.
+        let run_core = |core_id: usize, jobs: &[usize]| -> Result<Option<CoreResult>, SimError> {
+            if jobs.is_empty() {
+                return Ok(None);
+            }
+            let mut core = AiCore::with_capacities(self.cost, self.caps, gm_ref.len());
+            core.set_trace(self.trace);
+            core.buffers_mut().gm_bytes_mut().copy_from_slice(gm_ref);
+            let mut dispatch = 0u64;
+            let mut writes = Vec::new();
+            for &j in jobs {
+                core.run(&programs[j])?;
+                dispatch += self.cost.core_dispatch;
+                // Cross-check the write spans execution
+                // observed against the declaration, and merge
+                // back exactly what was observed.
+                let observed = coalesce(core.take_gm_writes());
+                let allowed = coalesce(
+                    declared[j]
+                        .iter()
+                        .map(|&(off, len)| (off, off + len))
+                        .collect(),
+                );
+                for &(start, end) in &observed {
+                    if !allowed.iter().any(|&(a, b)| a <= start && end <= b) {
+                        return Err(SimError::UndeclaredGmWrite {
+                            program: j,
+                            observed: (start, end),
+                        });
+                    }
+                    writes.push((start, core.buffers().gm_bytes()[start..end].to_vec()));
+                }
+            }
+            let counters = core.counters().clone();
+            let cycles = counters.cycles + dispatch;
+            let peaks = *core.buffers().peaks();
+            let mut trace = core.take_trace();
+            trace.core = core_id;
+            let mut lifetimes = core.take_lifetimes();
+            lifetimes.core = core_id;
+            Ok(Some(CoreResult {
+                counters,
+                cycles,
+                writes,
+                trace,
+                lifetimes,
+                peaks,
+            }))
+        };
+
+        // `Threaded` runs independent cores on host threads; the other
+        // backends walk the cores sequentially. Both produce identical
+        // results — only host wall-clock differs.
+        let results: Vec<Option<CoreResult>> = if self.cost.backend == Backend::Threaded {
+            std::thread::scope(|s| {
+                let run_core = &run_core;
+                let handles: Vec<_> = groups
+                    .iter()
+                    .enumerate()
+                    .map(|(core_id, jobs)| s.spawn(move || run_core(core_id, jobs)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("core thread panicked"))
+                    .collect::<Result<Vec<_>, _>>()
+            })?
+        } else {
+            groups
                 .iter()
                 .enumerate()
-                .map(|(core_id, jobs)| {
-                    s.spawn(move || -> Result<Option<CoreResult>, SimError> {
-                        if jobs.is_empty() {
-                            return Ok(None);
-                        }
-                        let mut core = AiCore::with_capacities(self.cost, self.caps, gm_ref.len());
-                        core.set_trace(self.trace);
-                        core.buffers_mut().gm_bytes_mut().copy_from_slice(gm_ref);
-                        let mut dispatch = 0u64;
-                        let mut writes = Vec::new();
-                        for &j in jobs {
-                            core.run(&programs[j])?;
-                            dispatch += self.cost.core_dispatch;
-                            // Cross-check the write spans execution
-                            // observed against the declaration, and merge
-                            // back exactly what was observed.
-                            let observed = coalesce(core.take_gm_writes());
-                            let allowed = coalesce(
-                                declared[j]
-                                    .iter()
-                                    .map(|&(off, len)| (off, off + len))
-                                    .collect(),
-                            );
-                            for &(start, end) in &observed {
-                                if !allowed.iter().any(|&(a, b)| a <= start && end <= b) {
-                                    return Err(SimError::UndeclaredGmWrite {
-                                        program: j,
-                                        observed: (start, end),
-                                    });
-                                }
-                                writes
-                                    .push((start, core.buffers().gm_bytes()[start..end].to_vec()));
-                            }
-                        }
-                        let counters = core.counters().clone();
-                        let cycles = counters.cycles + dispatch;
-                        let peaks = *core.buffers().peaks();
-                        let mut trace = core.take_trace();
-                        trace.core = core_id;
-                        let mut lifetimes = core.take_lifetimes();
-                        lifetimes.core = core_id;
-                        Ok(Some(CoreResult {
-                            counters,
-                            cycles,
-                            writes,
-                            trace,
-                            lifetimes,
-                            peaks,
-                        }))
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("core thread panicked"))
-                .collect::<Result<Vec<_>, _>>()
-        })?;
+                .map(|(core_id, jobs)| run_core(core_id, jobs))
+                .collect::<Result<Vec<_>, _>>()?
+        };
 
         let mut active: Vec<CoreResult> = results.into_iter().flatten().collect();
 

@@ -41,6 +41,74 @@ pub enum IssueModel {
     DualPipe,
 }
 
+/// How the *host* executes the functional simulation. Purely a
+/// host-side choice: every backend computes the same f16 bytes, charges
+/// the same cycles through [`CostModel::instr_cycles`], and books the
+/// same counters, peaks, and traces — the differential test wall
+/// (`backend_is_bit_identical`) and the host-throughput gate both
+/// enforce it. Only wall-clock time on the machine running the
+/// simulator changes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// The reference interpreter: every f16 element goes through the
+    /// `Result`-checked [`crate::buffers::BufferSet::read_f16`] /
+    /// `write_f16` path, and the chip runs its cores sequentially.
+    /// Slowest, and the semantics oracle the other backends are
+    /// differentially tested against.
+    Scalar,
+    /// Each executor validates every operand's full byte span once per
+    /// instruction, then runs the element loop over raw slices with no
+    /// per-element checks. Instructions whose conservative span
+    /// validation declines (an out-of-range operand, an odd stride, an
+    /// f16 view of L0C) fall back to the `Scalar` interpreter so error
+    /// values and partial-write effects stay bit-identical. Cores still
+    /// run sequentially.
+    Sliced,
+    /// `Sliced` element loops plus host threads across the chip's
+    /// independent cores in [`crate::chip::Chip::run`] (each core owns a
+    /// private buffer set and GM image, so core-level parallelism never
+    /// reorders anything observable). The default: it is the behaviour
+    /// the chip has always had, with the fast executors underneath.
+    #[default]
+    Threaded,
+}
+
+impl Backend {
+    /// All backends, `Scalar` (the oracle) first.
+    pub const ALL: [Backend; 3] = [Backend::Scalar, Backend::Sliced, Backend::Threaded];
+
+    /// Stable lowercase name (`scalar` / `sliced` / `threaded`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Sliced => "sliced",
+            Backend::Threaded => "threaded",
+        }
+    }
+
+    /// Parse a backend name as accepted by `--backend` flags.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "scalar" => Some(Backend::Scalar),
+            "sliced" => Some(Backend::Sliced),
+            "threaded" => Some(Backend::Threaded),
+            _ => None,
+        }
+    }
+
+    /// Whether the functional executors may take the span-validated
+    /// slice fast paths (everything but the reference interpreter).
+    pub(crate) fn sliced_exec(self) -> bool {
+        !matches!(self, Backend::Scalar)
+    }
+}
+
+impl core::fmt::Display for Backend {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Cycle charges for each simulated mechanism.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CostModel {
@@ -77,6 +145,12 @@ pub struct CostModel {
     /// and the makespan can only shrink. Ignored under
     /// [`IssueModel::SingleIssue`].
     pub rename: bool,
+    /// Host execution backend. Affects wall-clock speed of the simulator
+    /// process only — simulated results, cycles, counters, traces, and
+    /// peaks are backend-invariant by construction (the fast paths
+    /// delegate to the reference interpreter whenever semantics could
+    /// diverge).
+    pub backend: Backend,
 }
 
 impl CostModel {
@@ -99,7 +173,16 @@ impl CostModel {
             core_dispatch: 64,
             issue_model: IssueModel::DualPipe,
             rename: true,
+            backend: Backend::Threaded,
         }
+    }
+
+    /// The same cost model under a different host execution backend.
+    /// Simulated behaviour is unchanged; only host wall-clock speed
+    /// differs.
+    pub const fn with_backend(mut self, backend: Backend) -> CostModel {
+        self.backend = backend;
+        self
     }
 
     /// The legacy serial machine: identical charges, but every
@@ -254,6 +337,27 @@ mod tests {
             dual,
             "charges must be identical between the rename columns"
         );
+    }
+
+    #[test]
+    fn backend_changes_no_charge_and_round_trips() {
+        let dual = CostModel::ascend910_like();
+        assert_eq!(dual.backend, Backend::Threaded);
+        assert_eq!(Backend::default(), Backend::Threaded);
+        for b in Backend::ALL {
+            let m = dual.with_backend(b);
+            assert_eq!(
+                CostModel {
+                    backend: dual.backend,
+                    ..m
+                },
+                dual,
+                "a backend swap must never change a cycle charge"
+            );
+            assert_eq!(Backend::parse(b.name()), Some(b));
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert_eq!(Backend::parse("simd"), None);
     }
 
     #[test]

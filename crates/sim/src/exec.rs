@@ -1,7 +1,7 @@
 //! Instruction execution: functional semantics + cycle charging.
 
 use crate::buffers::{BufferSet, SimError};
-use crate::cost::CostModel;
+use crate::cost::{Backend, CostModel};
 use crate::counters::{HwCounters, Unit};
 use dv_fp16::F16;
 use dv_isa::{
@@ -42,6 +42,76 @@ impl MemSpan {
 /// each `stride` bytes after the previous.
 fn strided_span(addr: Addr, block: usize, stride: usize, repeat: usize) -> MemSpan {
     MemSpan::new(addr, repeat.saturating_sub(1) * stride + block)
+}
+
+/// Read one f16 from a raw byte slice. Fast-path primitive: the caller
+/// has already validated the operand's whole span.
+#[inline]
+fn get16(b: &[u8], off: usize) -> F16 {
+    F16::from_bits(u16::from_le_bytes([b[off], b[off + 1]]))
+}
+
+/// Write one f16 into a raw byte slice (span pre-validated).
+#[inline]
+fn put16(b: &mut [u8], off: usize, v: F16) {
+    let x = v.to_bits().to_le_bytes();
+    b[off] = x[0];
+    b[off + 1] = x[1];
+}
+
+/// Can `reps` blocks of `block_bytes` f16 bytes, `stride` apart starting
+/// at `addr`, be accessed through the unchecked slice path? Declines —
+/// conservatively, sending the instruction to the reference interpreter —
+/// on L0C (f16 views of the f32 accumulator buffer must keep erroring),
+/// misaligned offsets, odd strides, and any span not provably inside the
+/// buffer. `reps` must be at least 1.
+fn f16_rect_ok(
+    bufs: &BufferSet,
+    addr: Addr,
+    stride: usize,
+    reps: usize,
+    block_bytes: usize,
+) -> bool {
+    if addr.buffer == BufferId::L0C || !addr.offset.is_multiple_of(2) {
+        return false;
+    }
+    if reps > 1 && !stride.is_multiple_of(2) {
+        return false;
+    }
+    let Some(span) = (reps - 1)
+        .checked_mul(stride)
+        .and_then(|s| s.checked_add(block_bytes))
+    else {
+        return false;
+    };
+    addr.offset
+        .checked_add(span)
+        .is_some_and(|end| end <= bufs.capacity(addr.buffer))
+}
+
+/// One lane of a vector instruction — shared by the reference
+/// interpreter and the sliced fast path so the arithmetic can never
+/// fork between backends.
+#[inline]
+fn vector_lane_op(op: VectorOp, a: F16, b: F16) -> F16 {
+    match op {
+        VectorOp::Max => a.max(b),
+        VectorOp::Min => a.min(b),
+        VectorOp::Add => a + b,
+        VectorOp::Sub => a - b,
+        VectorOp::Mul => a * b,
+        VectorOp::MulScalar(s) => a * s,
+        VectorOp::Dup(s) => s,
+        VectorOp::CmpEq => {
+            if a == b {
+                F16::ONE
+            } else {
+                F16::ZERO
+            }
+        }
+        VectorOp::Copy => a,
+        VectorOp::Relu => a.max(F16::ZERO),
+    }
 }
 
 /// Everything the simulator learns from executing one instruction: the
@@ -128,12 +198,13 @@ pub(crate) fn execute_info(
     // static costing (the auto-tuner's certified floors) and execution can
     // never disagree on an instruction's charge.
     let cycles = cost.instr_cycles(instr);
+    let backend = cost.backend;
     let mut info = match instr {
-        Instr::Vector(v) => exec_vector(v, bufs, instr.mnemonic()),
-        Instr::Im2Col(i) => exec_im2col(i, bufs),
-        Instr::Col2Im(c) => exec_col2im(c, bufs),
-        Instr::Move(m) => exec_move(m, bufs),
-        Instr::Cube(c) => exec_cube(c, bufs),
+        Instr::Vector(v) => exec_vector(v, bufs, instr.mnemonic(), backend),
+        Instr::Im2Col(i) => exec_im2col(i, bufs, backend),
+        Instr::Col2Im(c) => exec_col2im(c, bufs, backend),
+        Instr::Move(m) => exec_move(m, bufs, backend),
+        Instr::Cube(c) => exec_cube(c, bufs, backend),
     }?;
     info.cycles = cycles;
     Ok(info)
@@ -143,45 +214,34 @@ fn exec_vector(
     v: &VectorInstr,
     bufs: &mut BufferSet,
     mnemonic: &'static str,
+    backend: Backend,
 ) -> Result<ExecInfo, SimError> {
-    for rep in 0..v.repeat as usize {
-        let dst_base = v.dst.offset + rep * v.dst_stride;
-        let src0_base = v.src0.offset + rep * v.src0_stride;
-        let src1_base = v.src1.offset + rep * v.src1_stride;
-        for lane in 0..VECTOR_LANES {
-            if !v.mask.lane(lane) {
-                continue;
-            }
-            let off = lane * 2;
-            let a = if v.op.has_src0() {
-                bufs.read_f16(v.src0.buffer, src0_base + off)?
-            } else {
-                F16::ZERO
-            };
-            let b = if v.op.has_src1() {
-                bufs.read_f16(v.src1.buffer, src1_base + off)?
-            } else {
-                F16::ZERO
-            };
-            let out = match v.op {
-                VectorOp::Max => a.max(b),
-                VectorOp::Min => a.min(b),
-                VectorOp::Add => a + b,
-                VectorOp::Sub => a - b,
-                VectorOp::Mul => a * b,
-                VectorOp::MulScalar(s) => a * s,
-                VectorOp::Dup(s) => s,
-                VectorOp::CmpEq => {
-                    if a == b {
-                        F16::ONE
-                    } else {
-                        F16::ZERO
-                    }
+    if !(backend.sliced_exec() && vector_sliced(v, bufs)) {
+        // Reference interpreter: per-element checked access. Also the
+        // fallback whenever the sliced path's one-shot span validation
+        // declines, so error values and partial-write effects stay
+        // bit-identical across backends.
+        for rep in 0..v.repeat as usize {
+            let dst_base = v.dst.offset + rep * v.dst_stride;
+            let src0_base = v.src0.offset + rep * v.src0_stride;
+            let src1_base = v.src1.offset + rep * v.src1_stride;
+            for lane in 0..VECTOR_LANES {
+                if !v.mask.lane(lane) {
+                    continue;
                 }
-                VectorOp::Copy => a,
-                VectorOp::Relu => a.max(F16::ZERO),
-            };
-            bufs.write_f16(v.dst.buffer, dst_base + off, out)?;
+                let off = lane * 2;
+                let a = if v.op.has_src0() {
+                    bufs.read_f16(v.src0.buffer, src0_base + off)?
+                } else {
+                    F16::ZERO
+                };
+                let b = if v.op.has_src1() {
+                    bufs.read_f16(v.src1.buffer, src1_base + off)?
+                } else {
+                    F16::ZERO
+                };
+                bufs.write_f16(v.dst.buffer, dst_base + off, vector_lane_op(v.op, a, b))?;
+            }
         }
     }
     let rep = v.repeat as usize;
@@ -207,31 +267,103 @@ fn exec_vector(
     })
 }
 
-fn exec_im2col(i: &Im2Col, bufs: &mut BufferSet) -> Result<ExecInfo, SimError> {
+/// The `Sliced`/`Threaded` vector fast path: validate every operand's
+/// whole strided span once, then run the lane loop over raw slices with
+/// no per-element checks. Returns `false` — touching no memory — when
+/// the instruction cannot be proven safe up front; the caller then runs
+/// the reference interpreter, which reproduces the exact error (and any
+/// partial writes preceding it).
+fn vector_sliced(v: &VectorInstr, bufs: &mut BufferSet) -> bool {
+    let reps = v.repeat as usize;
+    let Some(top) = (0..VECTOR_LANES).rev().find(|&l| v.mask.lane(l)) else {
+        return true; // no enabled lanes: no memory is touched
+    };
+    if reps == 0 {
+        return true;
+    }
+    let block = (top + 1) * 2;
+    if !f16_rect_ok(bufs, v.dst, v.dst_stride, reps, block)
+        || (v.op.has_src0() && !f16_rect_ok(bufs, v.src0, v.src0_stride, reps, block))
+        || (v.op.has_src1() && !f16_rect_ok(bufs, v.src1, v.src1_stride, reps, block))
+    {
+        return false;
+    }
+    let dst_id = v.dst.buffer;
+    // A source living in the destination buffer must observe this
+    // instruction's earlier writes (e.g. the accumulate idiom with
+    // dst_stride 0), so those lanes read through the taken vector.
+    let s0_in_dst = v.op.has_src0() && v.src0.buffer == dst_id;
+    let s1_in_dst = v.op.has_src1() && v.src1.buffer == dst_id;
+    let mut dstv = std::mem::take(bufs.raw_mut(dst_id));
+    {
+        let s0: &[u8] = if v.op.has_src0() && !s0_in_dst {
+            bufs.raw(v.src0.buffer)
+        } else {
+            &[]
+        };
+        let s1: &[u8] = if v.op.has_src1() && !s1_in_dst {
+            bufs.raw(v.src1.buffer)
+        } else {
+            &[]
+        };
+        for rep in 0..reps {
+            let dst_base = v.dst.offset + rep * v.dst_stride;
+            let src0_base = v.src0.offset + rep * v.src0_stride;
+            let src1_base = v.src1.offset + rep * v.src1_stride;
+            for lane in 0..=top {
+                if !v.mask.lane(lane) {
+                    continue;
+                }
+                let off = lane * 2;
+                let a = if v.op.has_src0() {
+                    get16(if s0_in_dst { &dstv } else { s0 }, src0_base + off)
+                } else {
+                    F16::ZERO
+                };
+                let b = if v.op.has_src1() {
+                    get16(if s1_in_dst { &dstv } else { s1 }, src1_base + off)
+                } else {
+                    F16::ZERO
+                };
+                put16(&mut dstv, dst_base + off, vector_lane_op(v.op, a, b));
+            }
+        }
+    }
+    *bufs.raw_mut(dst_id) = dstv;
+    bufs.note_peak(dst_id, v.dst.offset + (reps - 1) * v.dst_stride + block);
+    true
+}
+
+fn exec_im2col(i: &Im2Col, bufs: &mut BufferSet, backend: Backend) -> Result<ExecInfo, SimError> {
     let geom = &i.geom;
     let iw = geom.iw;
+    let positions = i.repeat_positions();
     // Conservative read span: the whole range of source c1 planes the
     // repeats gather from (mode 0 walks c1 forward; mode 1 stays put).
     let (mut c1_min, mut c1_max) = (usize::MAX, 0usize);
-    for (frac_idx, (c1, xk, yk, first_patch)) in i.repeat_positions().into_iter().enumerate() {
+    for &(c1, ..) in &positions {
         c1_min = c1_min.min(c1);
         c1_max = c1_max.max(c1);
-        let plane_base = i.src.offset + c1 * geom.src_plane_bytes();
-        let frac_base = i.dst.offset + frac_idx * FRACTAL_BYTES;
-        for row in 0..FRACTAL_ROWS {
-            let patch = first_patch + row;
-            let coord = geom.element_coord(patch, xk, yk);
-            for c0 in 0..C0 {
-                let v = match coord {
-                    Some((h, w)) => {
-                        let off = plane_base + ((h * iw + w) * C0 + c0) * 2;
-                        bufs.read_f16(i.src.buffer, off)?
-                    }
-                    // Padding border or past-the-grid patch slots load
-                    // zeros.
-                    None => F16::ZERO,
-                };
-                bufs.write_f16(i.dst.buffer, frac_base + (row * C0 + c0) * 2, v)?;
+    }
+    if !(backend.sliced_exec() && im2col_sliced(i, bufs, &positions, c1_max)) {
+        for (frac_idx, &(c1, xk, yk, first_patch)) in positions.iter().enumerate() {
+            let plane_base = i.src.offset + c1 * geom.src_plane_bytes();
+            let frac_base = i.dst.offset + frac_idx * FRACTAL_BYTES;
+            for row in 0..FRACTAL_ROWS {
+                let patch = first_patch + row;
+                let coord = geom.element_coord(patch, xk, yk);
+                for c0 in 0..C0 {
+                    let v = match coord {
+                        Some((h, w)) => {
+                            let off = plane_base + ((h * iw + w) * C0 + c0) * 2;
+                            bufs.read_f16(i.src.buffer, off)?
+                        }
+                        // Padding border or past-the-grid patch slots load
+                        // zeros.
+                        None => F16::ZERO,
+                    };
+                    bufs.write_f16(i.dst.buffer, frac_base + (row * C0 + c0) * 2, v)?;
+                }
             }
         }
     }
@@ -256,26 +388,84 @@ fn exec_im2col(i: &Im2Col, bufs: &mut BufferSet) -> Result<ExecInfo, SimError> {
     })
 }
 
-fn exec_col2im(c: &Col2Im, bufs: &mut BufferSet) -> Result<ExecInfo, SimError> {
+/// Sliced `Im2Col`: validate the destination fractal range and the whole
+/// source c1-plane range once (reads resolved by `element_coord` always
+/// land inside their plane), then gather through raw slices.
+fn im2col_sliced(
+    i: &Im2Col,
+    bufs: &mut BufferSet,
+    positions: &[(usize, usize, usize, usize)],
+    c1_max: usize,
+) -> bool {
+    let geom = &i.geom;
+    let iw = geom.iw;
+    if positions.is_empty() {
+        return true;
+    }
+    let plane = geom.src_plane_bytes();
+    let src_ok = i.src.buffer != BufferId::L0C
+        && i.src.offset.is_multiple_of(2)
+        && (c1_max + 1)
+            .checked_mul(plane)
+            .and_then(|b| i.src.offset.checked_add(b))
+            .is_some_and(|end| end <= bufs.capacity(i.src.buffer));
+    if !src_ok || !f16_rect_ok(bufs, i.dst, 0, 1, positions.len() * FRACTAL_BYTES) {
+        return false;
+    }
+    let dst_id = i.dst.buffer;
+    let same = i.src.buffer == dst_id;
+    let mut dstv = std::mem::take(bufs.raw_mut(dst_id));
+    {
+        let srcv: &[u8] = if same { &[] } else { bufs.raw(i.src.buffer) };
+        for (frac_idx, &(c1, xk, yk, first_patch)) in positions.iter().enumerate() {
+            let plane_base = i.src.offset + c1 * plane;
+            let frac_base = i.dst.offset + frac_idx * FRACTAL_BYTES;
+            for row in 0..FRACTAL_ROWS {
+                let out_base = frac_base + row * C0 * 2;
+                match geom.element_coord(first_patch + row, xk, yk) {
+                    Some((h, w)) => {
+                        let in_base = plane_base + (h * iw + w) * C0 * 2;
+                        for c0 in 0..C0 {
+                            let v = get16(if same { &dstv } else { srcv }, in_base + c0 * 2);
+                            put16(&mut dstv, out_base + c0 * 2, v);
+                        }
+                    }
+                    None => {
+                        for c0 in 0..C0 {
+                            put16(&mut dstv, out_base + c0 * 2, F16::ZERO);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    *bufs.raw_mut(dst_id) = dstv;
+    bufs.note_peak(dst_id, i.dst.offset + positions.len() * FRACTAL_BYTES);
+    true
+}
+
+fn exec_col2im(c: &Col2Im, bufs: &mut BufferSet, backend: Backend) -> Result<ExecInfo, SimError> {
     let geom = &c.geom;
     let iw = geom.iw;
     let (xk, yk) = c.k_off;
     let plane_base = c.dst.offset + c.c1 * geom.src_plane_bytes();
-    for rep in 0..c.repeat as usize {
-        let frac_base = c.src.offset + rep * FRACTAL_BYTES;
-        for row in 0..FRACTAL_ROWS {
-            let patch = c.first_patch + rep * FRACTAL_ROWS + row;
-            // Patch slots past the grid and padding-border positions are
-            // skipped — their contributions do not land anywhere.
-            let Some((h, w)) = geom.element_coord(patch, xk, yk) else {
-                continue;
-            };
-            for c0 in 0..C0 {
-                let src_off = frac_base + (row * C0 + c0) * 2;
-                let dst_off = plane_base + ((h * iw + w) * C0 + c0) * 2;
-                let add = bufs.read_f16(c.src.buffer, src_off)?;
-                let cur = bufs.read_f16(c.dst.buffer, dst_off)?;
-                bufs.write_f16(c.dst.buffer, dst_off, cur + add)?;
+    if !(backend.sliced_exec() && col2im_sliced(c, bufs, plane_base)) {
+        for rep in 0..c.repeat as usize {
+            let frac_base = c.src.offset + rep * FRACTAL_BYTES;
+            for row in 0..FRACTAL_ROWS {
+                let patch = c.first_patch + rep * FRACTAL_ROWS + row;
+                // Patch slots past the grid and padding-border positions
+                // are skipped — their contributions do not land anywhere.
+                let Some((h, w)) = geom.element_coord(patch, xk, yk) else {
+                    continue;
+                };
+                for c0 in 0..C0 {
+                    let src_off = frac_base + (row * C0 + c0) * 2;
+                    let dst_off = plane_base + ((h * iw + w) * C0 + c0) * 2;
+                    let add = bufs.read_f16(c.src.buffer, src_off)?;
+                    let cur = bufs.read_f16(c.dst.buffer, dst_off)?;
+                    bufs.write_f16(c.dst.buffer, dst_off, cur + add)?;
+                }
             }
         }
     }
@@ -304,7 +494,59 @@ fn exec_col2im(c: &Col2Im, bufs: &mut BufferSet) -> Result<ExecInfo, SimError> {
     })
 }
 
-fn exec_move(m: &DataMove, bufs: &mut BufferSet) -> Result<ExecInfo, SimError> {
+/// Sliced `Col2Im`: validate the source fractal range and the whole
+/// destination c1 plane once, then run the scatter-add read-modify-write
+/// over raw slices. The running write high-water mark is tracked because
+/// skipped patch slots can leave the tail of the plane untouched.
+fn col2im_sliced(c: &Col2Im, bufs: &mut BufferSet, plane_base: usize) -> bool {
+    let geom = &c.geom;
+    let iw = geom.iw;
+    let (xk, yk) = c.k_off;
+    let reps = c.repeat as usize;
+    if reps == 0 {
+        return true;
+    }
+    let dst_ok = c.dst.buffer != BufferId::L0C
+        && plane_base.is_multiple_of(2)
+        && plane_base
+            .checked_add(geom.src_plane_bytes())
+            .is_some_and(|end| end <= bufs.capacity(c.dst.buffer));
+    if !dst_ok || !f16_rect_ok(bufs, c.src, 0, 1, reps * FRACTAL_BYTES) {
+        return false;
+    }
+    let dst_id = c.dst.buffer;
+    let same = c.src.buffer == dst_id;
+    let mut dstv = std::mem::take(bufs.raw_mut(dst_id));
+    let mut peak: Option<usize> = None;
+    {
+        let srcv: &[u8] = if same { &[] } else { bufs.raw(c.src.buffer) };
+        for rep in 0..reps {
+            let frac_base = c.src.offset + rep * FRACTAL_BYTES;
+            for row in 0..FRACTAL_ROWS {
+                let patch = c.first_patch + rep * FRACTAL_ROWS + row;
+                let Some((h, w)) = geom.element_coord(patch, xk, yk) else {
+                    continue;
+                };
+                let src_base = frac_base + row * C0 * 2;
+                let dst_base = plane_base + (h * iw + w) * C0 * 2;
+                for c0 in 0..C0 {
+                    let add = get16(if same { &dstv } else { srcv }, src_base + c0 * 2);
+                    let cur = get16(&dstv, dst_base + c0 * 2);
+                    put16(&mut dstv, dst_base + c0 * 2, cur + add);
+                }
+                let end = dst_base + C0 * 2;
+                peak = Some(peak.map_or(end, |p| p.max(end)));
+            }
+        }
+    }
+    *bufs.raw_mut(dst_id) = dstv;
+    if let Some(end) = peak {
+        bufs.note_peak(dst_id, end);
+    }
+    true
+}
+
+fn exec_move(m: &DataMove, bufs: &mut BufferSet, backend: Backend) -> Result<ExecInfo, SimError> {
     if m.src.buffer == BufferId::L0C {
         // The L0C -> UB drain converts f32 accumulators to f16; `bytes`
         // counts source (f32) bytes.
@@ -316,9 +558,11 @@ fn exec_move(m: &DataMove, bufs: &mut BufferSet) -> Result<ExecInfo, SimError> {
             });
         }
         let n = m.bytes / 4;
-        for e in 0..n {
-            let v = bufs.read_f32_l0c(m.src.offset + e * 4)?;
-            bufs.write_f16(m.dst.buffer, m.dst.offset + e * 2, F16::from_f32(v))?;
+        if !(backend.sliced_exec() && drain_sliced(m, bufs, n)) {
+            for e in 0..n {
+                let v = bufs.read_f32_l0c(m.src.offset + e * 4)?;
+                bufs.write_f16(m.dst.buffer, m.dst.offset + e * 2, F16::from_f32(v))?;
+            }
         }
     } else {
         bufs.copy(
@@ -352,41 +596,72 @@ fn exec_move(m: &DataMove, bufs: &mut BufferSet) -> Result<ExecInfo, SimError> {
     })
 }
 
-fn exec_cube(c: &CubeMatmul, bufs: &mut BufferSet) -> Result<ExecInfo, SimError> {
+/// Sliced L0C -> f16 drain: both spans validated once, then a straight
+/// convert loop. The f16 destination can never be L0C (`f16_rect_ok`
+/// declines it), so the two views are always distinct buffers.
+fn drain_sliced(m: &DataMove, bufs: &mut BufferSet, n: usize) -> bool {
+    if n == 0 {
+        return true;
+    }
+    let src_ok = m.src.offset.is_multiple_of(4)
+        && m.src
+            .offset
+            .checked_add(m.bytes)
+            .is_some_and(|end| end <= bufs.capacity(BufferId::L0C));
+    if !src_ok || !f16_rect_ok(bufs, m.dst, 0, 1, n * 2) {
+        return false;
+    }
+    let mut dstv = std::mem::take(bufs.raw_mut(m.dst.buffer));
+    {
+        let l0c = bufs.raw(BufferId::L0C);
+        for e in 0..n {
+            let o = m.src.offset + e * 4;
+            let v = f32::from_le_bytes([l0c[o], l0c[o + 1], l0c[o + 2], l0c[o + 3]]);
+            put16(&mut dstv, m.dst.offset + e * 2, F16::from_f32(v));
+        }
+    }
+    *bufs.raw_mut(m.dst.buffer) = dstv;
+    bufs.note_peak(m.dst.buffer, m.dst.offset + n * 2);
+    true
+}
+
+fn exec_cube(c: &CubeMatmul, bufs: &mut BufferSet, backend: Backend) -> Result<ExecInfo, SimError> {
     const E: usize = dv_isa::cube::FRACTAL_EDGE; // 16
     let (mf, kf, nf) = (c.m_fractals, c.k_fractals, c.n_fractals);
-    // Tiles are stored as row-major grids of fractals, each fractal
-    // row-major 16x16 f16 (f32 in L0C).
-    let a_frac = |bufs: &BufferSet, fi: usize, fj: usize, r: usize, col: usize| {
-        bufs.read_f16(
-            c.a.buffer,
-            c.a.offset + ((fi * kf + fj) * E * E + r * E + col) * 2,
-        )
-    };
-    let b_frac = |bufs: &BufferSet, fi: usize, fj: usize, r: usize, col: usize| {
-        bufs.read_f16(
-            c.b.buffer,
-            c.b.offset + ((fi * nf + fj) * E * E + r * E + col) * 2,
-        )
-    };
-    for mi in 0..mf * E {
-        for ni in 0..nf * E {
-            let mut acc = if c.accumulate {
-                bufs.read_f32_l0c(
+    if !(backend.sliced_exec() && cube_sliced(c, bufs)) {
+        // Tiles are stored as row-major grids of fractals, each fractal
+        // row-major 16x16 f16 (f32 in L0C).
+        let a_frac = |bufs: &BufferSet, fi: usize, fj: usize, r: usize, col: usize| {
+            bufs.read_f16(
+                c.a.buffer,
+                c.a.offset + ((fi * kf + fj) * E * E + r * E + col) * 2,
+            )
+        };
+        let b_frac = |bufs: &BufferSet, fi: usize, fj: usize, r: usize, col: usize| {
+            bufs.read_f16(
+                c.b.buffer,
+                c.b.offset + ((fi * nf + fj) * E * E + r * E + col) * 2,
+            )
+        };
+        for mi in 0..mf * E {
+            for ni in 0..nf * E {
+                let mut acc = if c.accumulate {
+                    bufs.read_f32_l0c(
+                        c.c.offset + (((mi / E) * nf + ni / E) * E * E + (mi % E) * E + ni % E) * 4,
+                    )?
+                } else {
+                    0.0f32
+                };
+                for ki in 0..kf * E {
+                    let a = a_frac(bufs, mi / E, ki / E, mi % E, ki % E)?;
+                    let b = b_frac(bufs, ki / E, ni / E, ki % E, ni % E)?;
+                    acc += a.to_f32() * b.to_f32();
+                }
+                bufs.write_f32_l0c(
                     c.c.offset + (((mi / E) * nf + ni / E) * E * E + (mi % E) * E + ni % E) * 4,
-                )?
-            } else {
-                0.0f32
-            };
-            for ki in 0..kf * E {
-                let a = a_frac(bufs, mi / E, ki / E, mi % E, ki % E)?;
-                let b = b_frac(bufs, ki / E, ni / E, ki % E, ni % E)?;
-                acc += a.to_f32() * b.to_f32();
+                    acc,
+                )?;
             }
-            bufs.write_f32_l0c(
-                c.c.offset + (((mi / E) * nf + ni / E) * E * E + (mi % E) * E + ni % E) * 4,
-                acc,
-            )?;
         }
     }
     let a_span = MemSpan::new(c.a, mf * kf * E * E * 2);
@@ -406,6 +681,57 @@ fn exec_cube(c: &CubeMatmul, bufs: &mut BufferSet) -> Result<ExecInfo, SimError>
         reads: [Some(a_span), Some(b_span), c.accumulate.then_some(c_span)],
         write: Some(c_span),
     })
+}
+
+/// Sliced Cube matmul: validate the a/b f16 tiles and the L0C
+/// accumulator span once, then run the triple loop over raw slices in
+/// the same iteration order as the reference (f32 accumulation order is
+/// part of the bit-exact contract).
+fn cube_sliced(c: &CubeMatmul, bufs: &mut BufferSet) -> bool {
+    const E: usize = dv_isa::cube::FRACTAL_EDGE;
+    let (mf, kf, nf) = (c.m_fractals, c.k_fractals, c.n_fractals);
+    if mf * nf == 0 {
+        return true;
+    }
+    let c_ok = c.c.buffer == BufferId::L0C
+        && c.c.offset.is_multiple_of(4)
+        && c.c
+            .offset
+            .checked_add(mf * nf * E * E * 4)
+            .is_some_and(|end| end <= bufs.capacity(BufferId::L0C));
+    if !c_ok
+        || !f16_rect_ok(bufs, c.a, 0, 1, mf * kf * E * E * 2)
+        || !f16_rect_ok(bufs, c.b, 0, 1, kf * nf * E * E * 2)
+    {
+        return false;
+    }
+    let mut cvec = std::mem::take(bufs.raw_mut(BufferId::L0C));
+    {
+        let av = bufs.raw(c.a.buffer);
+        let bv = bufs.raw(c.b.buffer);
+        for mi in 0..mf * E {
+            for ni in 0..nf * E {
+                let co =
+                    c.c.offset + (((mi / E) * nf + ni / E) * E * E + (mi % E) * E + ni % E) * 4;
+                let mut acc = if c.accumulate {
+                    f32::from_le_bytes([cvec[co], cvec[co + 1], cvec[co + 2], cvec[co + 3]])
+                } else {
+                    0.0f32
+                };
+                for ki in 0..kf * E {
+                    let ao =
+                        c.a.offset + (((mi / E) * kf + ki / E) * E * E + (mi % E) * E + ki % E) * 2;
+                    let bo =
+                        c.b.offset + (((ki / E) * nf + ni / E) * E * E + (ki % E) * E + ni % E) * 2;
+                    acc += get16(av, ao).to_f32() * get16(bv, bo).to_f32();
+                }
+                cvec[co..co + 4].copy_from_slice(&acc.to_le_bytes());
+            }
+        }
+    }
+    *bufs.raw_mut(BufferId::L0C) = cvec;
+    bufs.note_peak(BufferId::L0C, c.c.offset + mf * nf * E * E * 4);
+    true
 }
 
 #[cfg(test)]
@@ -715,6 +1041,256 @@ mod tests {
             execute(&i, &mut bufs, &cost, &mut ctr),
             Err(SimError::OutOfBounds { .. })
         ));
+    }
+
+    /// Run one instruction under every backend on identically-prepared
+    /// buffer sets and require the result value, every buffer's bytes,
+    /// the peaks, and the counters to match the `Scalar` reference
+    /// exactly — including error cases and the partial writes that
+    /// precede them.
+    fn assert_backends_identical(i: &Instr, load: impl Fn(&mut BufferSet)) {
+        let mut reference: Option<(Result<(), SimError>, BufferSet, HwCounters)> = None;
+        for backend in Backend::ALL {
+            let mut bufs = BufferSet::new(Capacities::ASCEND910, 1 << 16);
+            load(&mut bufs);
+            let cost = CostModel::ascend910_like().with_backend(backend);
+            let mut ctr = HwCounters::default();
+            let r = execute(i, &mut bufs, &cost, &mut ctr);
+            match &reference {
+                None => reference = Some((r, bufs, ctr)),
+                Some((r0, b0, c0)) => {
+                    assert_eq!(&r, r0, "{backend}: result diverged");
+                    assert_eq!(&ctr, c0, "{backend}: counters diverged");
+                    assert_eq!(bufs.peaks(), b0.peaks(), "{backend}: peaks diverged");
+                    for id in [
+                        BufferId::Gm,
+                        BufferId::L1,
+                        BufferId::L0A,
+                        BufferId::L0B,
+                        BufferId::L0C,
+                        BufferId::Ub,
+                    ] {
+                        assert!(bufs.raw(id) == b0.raw(id), "{backend}: {id} bytes diverged");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_vector_at_exact_capacity_boundary() {
+        let cap = Capacities::ASCEND910.ub;
+        // The last 256-byte block of UB: in bounds by exactly zero slack.
+        let i = Instr::Vector(VectorInstr::unit_stride(
+            VectorOp::Add,
+            Addr::ub(cap - 256),
+            Addr::ub(0),
+            Addr::ub(256),
+            Mask::FULL,
+            1,
+        ));
+        assert_backends_identical(&i, |b| {
+            let vals: Vec<F16> = (0..256).map(|k| f((k % 19) as f32)).collect();
+            b.load_f16_slice(BufferId::Ub, 0, &vals).unwrap();
+        });
+    }
+
+    #[test]
+    fn sliced_oob_error_and_partial_writes_match_scalar() {
+        let cap = Capacities::ASCEND910.ub;
+        // Three strided repeats; the third starts at the capacity edge,
+        // so the reference writes two blocks and then errors. The sliced
+        // path must decline up front and reproduce both the bytes and
+        // the error.
+        let i = Instr::Vector(VectorInstr {
+            op: VectorOp::Add,
+            dst: Addr::ub(cap - 512),
+            src0: Addr::ub(0),
+            src1: Addr::ub(0),
+            mask: Mask::FULL,
+            repeat: 3,
+            dst_stride: 256,
+            src0_stride: 0,
+            src1_stride: 0,
+        });
+        assert_backends_identical(&i, |b| {
+            let vals: Vec<F16> = (0..128).map(|k| f((k % 7) as f32)).collect();
+            b.load_f16_slice(BufferId::Ub, 0, &vals).unwrap();
+        });
+    }
+
+    #[test]
+    fn sliced_misalignment_and_odd_strides_match_scalar() {
+        // Odd destination offset: misaligned before any write.
+        let i = Instr::Vector(VectorInstr::unit_stride(
+            VectorOp::Copy,
+            Addr::ub(129),
+            Addr::ub(0),
+            Addr::ub(0),
+            Mask::first_n(4),
+            1,
+        ));
+        assert_backends_identical(&i, |_| {});
+        // Odd stride: the second repeat's base is misaligned, so the
+        // reference writes one block and then errors mid-instruction.
+        let i = Instr::Vector(VectorInstr {
+            op: VectorOp::Copy,
+            dst: Addr::ub(1024),
+            src0: Addr::ub(0),
+            src1: Addr::ub(0),
+            mask: Mask::first_n(2),
+            repeat: 2,
+            dst_stride: 257,
+            src0_stride: 0,
+            src1_stride: 0,
+        });
+        assert_backends_identical(&i, |b| {
+            b.load_f16_slice(BufferId::Ub, 0, &[f(3.0), f(4.0)])
+                .unwrap();
+        });
+    }
+
+    #[test]
+    fn sliced_empty_mask_touches_nothing_like_scalar() {
+        let cap = Capacities::ASCEND910.ub;
+        // Every lane disabled: even an out-of-range base must not fire,
+        // because no element is touched (matching the reference loop).
+        let i = Instr::Vector(VectorInstr::unit_stride(
+            VectorOp::Add,
+            Addr::ub(cap - 2),
+            Addr::ub(cap - 2),
+            Addr::ub(cap - 2),
+            Mask::first_n(0),
+            2,
+        ));
+        assert_backends_identical(&i, |_| {});
+    }
+
+    #[test]
+    fn sliced_accumulate_in_place_matches_scalar() {
+        // src0 == dst with stride 0: each repeat must observe the
+        // previous repeat's writes (the max-accumulate idiom).
+        let i = Instr::Vector(VectorInstr {
+            op: VectorOp::Max,
+            dst: Addr::ub(0),
+            src0: Addr::ub(0),
+            src1: Addr::ub(1024),
+            mask: Mask::FULL,
+            repeat: 3,
+            dst_stride: 0,
+            src0_stride: 0,
+            src1_stride: 256,
+        });
+        assert_backends_identical(&i, |b| {
+            b.load_f16_slice(BufferId::Ub, 0, &vec![F16::NEG_INFINITY; 128])
+                .unwrap();
+            for rep in 0..3usize {
+                let vals: Vec<F16> = (0..128).map(|k| f(((k * (rep + 1)) % 31) as f32)).collect();
+                b.load_f16_slice(BufferId::Ub, 1024 + rep * 256, &vals)
+                    .unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn sliced_im2col_and_col2im_match_scalar_at_boundaries() {
+        let params = PoolParams::new((2, 2), (2, 2));
+        let geom = dv_isa::Im2ColGeometry::new(8, 8, 1, params).unwrap();
+        let plane: Vec<F16> = (0..8 * 8 * C0).map(|k| f((k % 13) as f32)).collect();
+        let cap = Capacities::ASCEND910.ub;
+        // Destination fractals ending exactly at UB capacity.
+        let i = Instr::Im2Col(Im2Col {
+            geom,
+            src: Addr::l1(0),
+            dst: Addr::ub(cap - 4 * FRACTAL_BYTES),
+            first_patch: 0,
+            k_off: (0, 0),
+            c1: 0,
+            repeat: 4,
+            mode: dv_isa::RepeatMode::Mode0,
+        });
+        assert_backends_identical(&i, |b| {
+            b.load_f16_slice(BufferId::L1, 0, &plane).unwrap();
+        });
+        // And one fractal beyond: the reference errors partway through.
+        let i = Instr::Im2Col(Im2Col {
+            geom,
+            src: Addr::l1(0),
+            dst: Addr::ub(cap - 3 * FRACTAL_BYTES),
+            first_patch: 0,
+            k_off: (0, 0),
+            c1: 0,
+            repeat: 4,
+            mode: dv_isa::RepeatMode::Mode0,
+        });
+        assert_backends_identical(&i, |b| {
+            b.load_f16_slice(BufferId::L1, 0, &plane).unwrap();
+        });
+        // Col2Im scatter-add with src and dst in the same buffer, the
+        // destination plane flush against the capacity edge.
+        let plane_bytes = geom.src_plane_bytes();
+        let i = Instr::Col2Im(Col2Im {
+            geom,
+            src: Addr::ub(0),
+            dst: Addr::ub(cap - plane_bytes),
+            first_patch: 0,
+            k_off: (0, 0),
+            c1: 0,
+            repeat: 1,
+        });
+        assert_backends_identical(&i, |b| {
+            let frac: Vec<F16> = (0..16 * C0).map(|k| f((k % 9 + 1) as f32)).collect();
+            b.load_f16_slice(BufferId::Ub, 0, &frac).unwrap();
+        });
+    }
+
+    #[test]
+    fn sliced_drain_and_cube_match_scalar() {
+        let cap = Capacities::ASCEND910.ub;
+        // L0C drain landing exactly at the UB capacity edge.
+        let i = Instr::Move(DataMove::new(
+            Addr::new(BufferId::L0C, 0),
+            Addr::ub(cap - 64),
+            128,
+        ));
+        assert_backends_identical(&i, |b| {
+            for e in 0..32 {
+                b.write_f32_l0c(e * 4, e as f32 * 0.25 - 2.0).unwrap();
+            }
+        });
+        // And one past it: the reference converts a prefix, then errors.
+        let i = Instr::Move(DataMove::new(
+            Addr::new(BufferId::L0C, 0),
+            Addr::ub(cap - 62),
+            128,
+        ));
+        assert_backends_identical(&i, |b| {
+            for e in 0..32 {
+                b.write_f32_l0c(e * 4, e as f32 * 0.5).unwrap();
+            }
+        });
+        // Cube with accumulate: f32 accumulation order is part of the
+        // bit-exact contract.
+        let i = Instr::Cube(CubeMatmul {
+            a: Addr::new(BufferId::L0A, 0),
+            b: Addr::new(BufferId::L0B, 0),
+            c: Addr::new(BufferId::L0C, 0),
+            m_fractals: 1,
+            k_fractals: 2,
+            n_fractals: 1,
+            accumulate: true,
+        });
+        assert_backends_identical(&i, |b| {
+            let a: Vec<F16> = (0..512).map(|k| f(((k % 17) as f32) * 0.125)).collect();
+            let bb: Vec<F16> = (0..512)
+                .map(|k| f(((k % 23) as f32) * 0.25 - 1.0))
+                .collect();
+            b.load_f16_slice(BufferId::L0A, 0, &a).unwrap();
+            b.load_f16_slice(BufferId::L0B, 0, &bb).unwrap();
+            for e in 0..256 {
+                b.write_f32_l0c(e * 4, (e % 11) as f32).unwrap();
+            }
+        });
     }
 
     #[test]

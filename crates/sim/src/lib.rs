@@ -38,7 +38,7 @@ pub mod trace;
 pub use crate::core::{pipe_of, AiCore};
 pub use buffers::{BufferPeaks, BufferSet, SimError};
 pub use chip::{Chip, ChipRun, MemoryModel};
-pub use cost::{Capacities, CostModel, IssueModel};
+pub use cost::{Backend, Capacities, CostModel, IssueModel};
 pub use counters::{HwCounters, Unit};
 pub use lifetimes::{BufferLifetimes, LiveRange};
 pub use rename::RenameDenied;

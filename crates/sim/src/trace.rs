@@ -768,6 +768,30 @@ mod tests {
     }
 
     #[test]
+    fn render_survives_empty_and_zero_cycle_breakdowns() {
+        // No traces at all: the percentage columns must not divide by the
+        // zero cycle total.
+        let empty = Breakdown::from_traces([]);
+        let rendered = empty.render();
+        assert!(!rendered.contains("NaN"), "empty render: {rendered}");
+        assert!(rendered.contains("total cycles: 0"));
+
+        // Rows exist but every charge is zero cycles — same hazard.
+        let t = Trace {
+            core: 0,
+            events: vec![ev("vmax", Unit::Vector, 0, 0)],
+            dropped: 0,
+            contention: 0,
+        };
+        let zero = Breakdown::from_traces([&t]);
+        assert_eq!(zero.total_cycles(), 0);
+        let rendered = zero.render();
+        assert!(!rendered.contains("NaN"), "zero-cycle render: {rendered}");
+        assert!(rendered.contains("vmax"));
+        assert!(rendered.contains("0.0%"));
+    }
+
+    #[test]
     fn cap_drops_but_counts() {
         let cfg = TraceConfig::capped(1);
         let mut t = Trace::default();

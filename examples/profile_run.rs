@@ -7,6 +7,7 @@
 //! cargo run --release --example profile_run -- --batch 4
 //! cargo run --release --example profile_run -- --no-rename
 //! cargo run --release --example profile_run -- --cores 8
+//! cargo run --release --example profile_run -- --backend scalar
 //! ```
 //!
 //! With `--batch N` (N > 1) the engine's batch fold kicks in: compare
@@ -39,6 +40,13 @@
 //! the workload: `--dilation D` spreads the kernel taps, `--ceil-mode`
 //! rounds the output up over a trailing partial window, and `--global`
 //! pools each whole plane to a single pixel.
+//!
+//! With `--backend scalar|sliced|threaded` the run selects the *host*
+//! execution backend (see ARCHITECTURE.md § "Host execution backends").
+//! Simulated cycles, counters, and traces are bit-identical across
+//! backends — only the host wall time printed next to them changes.
+//! Diff a `--backend scalar` run against the default to see what the
+//! sliced executor loops and core threading buy on your machine.
 
 use davinci_pooling::core::{choose_forward_algorithm, PoolProblem};
 use davinci_pooling::prelude::*;
@@ -59,6 +67,7 @@ struct Options {
     dilation: usize,
     ceil_mode: bool,
     global: bool,
+    backend: Backend,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -71,6 +80,7 @@ fn parse_args() -> Result<Options, String> {
         dilation: 1,
         ceil_mode: false,
         global: false,
+        backend: Backend::default(),
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -113,10 +123,17 @@ fn parse_args() -> Result<Options, String> {
             }
             "--ceil-mode" => opts.ceil_mode = true,
             "--global" => opts.global = true,
+            "--backend" => {
+                let v = args.next().ok_or("--backend needs a value")?;
+                opts.backend = Backend::parse(&v).ok_or_else(|| {
+                    format!("invalid --backend value: {v} (scalar|sliced|threaded)")
+                })?;
+            }
             other => {
                 return Err(format!(
                     "unknown argument: {other} (try --batch N, --no-rename, --cores N, \
-                     --algo auto|direct|im2col, --dilation D, --ceil-mode, --global)"
+                     --algo auto|direct|im2col, --dilation D, --ceil-mode, --global, \
+                     --backend scalar|sliced|threaded)"
                 ))
             }
         }
@@ -155,12 +172,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the shared HBM pipe, with the engine's cost model choosing the
     // partition axis (per plane, per c1 slice, or per row band).
     let engine = if opts.cores > 1 {
-        let chip = Chip::new(opts.cores, cost).with_memory(MemoryModel::ascend910_hbm());
+        let chip = Chip::new(opts.cores, cost)
+            .with_memory(MemoryModel::ascend910_hbm())
+            .with_backend(opts.backend);
         PoolingEngine::new(chip)
             .with_sharding(true)
             .with_trace(TraceConfig::ON)
     } else {
-        let mut chip = Chip::new(1, cost);
+        let mut chip = Chip::new(1, cost).with_backend(opts.backend);
         // Global pooling needs the whole plane resident (one output row
         // spans every input row, so band splitting cannot help), and
         // ceil-mode forbids multi-band splitting like padding does —
@@ -200,7 +219,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!();
     }
+    let started = std::time::Instant::now();
     let (_, run) = engine.maxpool_forward(&input, params, impl_)?;
+    let wall = started.elapsed();
+    println!(
+        "simulated {} cycles in {wall:.3?} of host wall time \
+         ({} backend; cycles are backend-invariant, wall time is not)\n",
+        run.cycles, engine.chip.cost.backend
+    );
 
     let path = "pool.trace.json";
     std::fs::write(path, run.chrome_trace_json())?;

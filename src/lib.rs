@@ -50,6 +50,7 @@
 //! | [`core`] | the pooling implementations — the paper's contribution |
 //! | [`conv`] | convolution on the Cube Unit (substrate check) |
 //! | [`nn`] | a small CNN inference stack composed of the above |
+//! | [`serve`] | std-only async job front-end (worker pool over the engine) |
 
 pub use dv_akg as akg;
 pub use dv_conv as conv;
@@ -57,6 +58,7 @@ pub use dv_core as core;
 pub use dv_fp16 as fp16;
 pub use dv_isa as isa;
 pub use dv_nn as nn;
+pub use dv_serve as serve;
 pub use dv_sim as sim;
 pub use dv_tensor as tensor;
 
@@ -64,6 +66,7 @@ pub use dv_tensor as tensor;
 pub mod prelude {
     pub use dv_core::{ForwardImpl, MergeImpl, PoolingEngine};
     pub use dv_fp16::F16;
-    pub use dv_sim::{Chip, CostModel, MemoryModel};
+    pub use dv_serve::{JobOp, JobSpec, Server};
+    pub use dv_sim::{Backend, Chip, CostModel, MemoryModel};
     pub use dv_tensor::{Nc1hwc0, Nchw, Padding, PatchTensor, PoolParams};
 }
